@@ -1,0 +1,137 @@
+// Ablations over the design choices DESIGN.md calls out (Sec. 3.1's
+// trade-off discussion and Sec. 4.1's policy knobs), all on ERT/AF:
+//   - alpha (indegree per unit capacity): too small starves high-capacity
+//     nodes; too large overloads low-capacity ones and costs maintenance.
+//   - beta (initial reservation fraction).
+//   - mu (adaptation step) and gamma_l (overload threshold).
+//   - poll size b (supermarket theory: b = 2 is the knee).
+//   - memory-based dispatch and overloaded-set propagation on/off.
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace {
+
+void run_sweep(const char* name,
+               const std::vector<std::pair<std::string, ert::SimParams>>& pts) {
+  ert::TablePrinter t(
+      {name, "p99 max congestion", "p99 share", "heavy met", "lookup time"});
+  for (const auto& [label, params] : pts) {
+    const auto r = ert::harness::run_averaged(
+        params, ert::harness::Protocol::kErtAF, ertbench::bench_seeds());
+    t.add_row({label, ert::fmt_num(r.p99_max_congestion, 2),
+               ert::fmt_num(r.p99_share, 2),
+               std::to_string(r.heavy_encounters),
+               ert::fmt_num(r.lookup_time.mean, 2)});
+  }
+  std::printf("\n%s sweep\n", name);
+  t.print();
+}
+
+}  // namespace
+
+int main() {
+  using namespace ertbench;
+  print_header("Ablations", "ERT/AF parameter sensitivity");
+  ert::SimParams base = paper_defaults();
+  base.num_lookups = 3000;
+
+  {
+    std::vector<std::pair<std::string, ert::SimParams>> pts;
+    for (int delta : {-6, -3, 0, +6, +16}) {
+      ert::SimParams p = base;
+      p.alpha_override = p.alpha() + delta;
+      pts.emplace_back(
+          "alpha=" + std::to_string(static_cast<int>(p.alpha_override)), p);
+    }
+    run_sweep("alpha", pts);
+  }
+  {
+    std::vector<std::pair<std::string, ert::SimParams>> pts;
+    for (double beta : {0.3, 0.5, 0.8, 1.0}) {
+      ert::SimParams p = base;
+      p.beta = beta;
+      pts.emplace_back("beta=" + ert::fmt_num(beta, 1), p);
+    }
+    run_sweep("beta", pts);
+  }
+  {
+    std::vector<std::pair<std::string, ert::SimParams>> pts;
+    for (double mu : {0.25, 0.5, 1.0}) {
+      ert::SimParams p = base;
+      p.mu = mu;
+      pts.emplace_back("mu=" + ert::fmt_num(mu, 2), p);
+    }
+    run_sweep("mu", pts);
+  }
+  {
+    std::vector<std::pair<std::string, ert::SimParams>> pts;
+    for (double gl : {1.0, 1.5, 2.0}) {
+      ert::SimParams p = base;
+      p.gamma_l = gl;
+      pts.emplace_back("gamma_l=" + ert::fmt_num(gl, 1), p);
+    }
+    run_sweep("gamma_l", pts);
+  }
+  {
+    std::vector<std::pair<std::string, ert::SimParams>> pts;
+    for (int b : {1, 2, 3, 4}) {
+      ert::SimParams p = base;
+      p.poll_size = b;
+      pts.emplace_back("b=" + std::to_string(b), p);
+    }
+    run_sweep("poll size b", pts);
+  }
+  {
+    std::vector<std::pair<std::string, ert::SimParams>> pts;
+    {
+      ert::SimParams p = base;
+      pts.emplace_back("memory+Aset", p);
+    }
+    {
+      ert::SimParams p = base;
+      p.use_memory = false;
+      pts.emplace_back("no memory", p);
+    }
+    {
+      ert::SimParams p = base;
+      p.propagate_overloaded = false;
+      pts.emplace_back("no A set", p);
+    }
+    {
+      ert::SimParams p = base;
+      p.use_memory = false;
+      p.propagate_overloaded = false;
+      pts.emplace_back("neither", p);
+    }
+    run_sweep("forwarding features", pts);
+  }
+  {
+    // Data forwarding (anonymity pattern): responses retrace the query
+    // path, roughly doubling per-lookup load — congestion control matters
+    // even more.
+    std::vector<std::pair<std::string, ert::SimParams>> pts;
+    {
+      ert::SimParams p = base;
+      pts.emplace_back("query only", p);
+    }
+    {
+      ert::SimParams p = base;
+      p.data_forwarding = true;
+      pts.emplace_back("query+data", p);
+    }
+    run_sweep("data forwarding", pts);
+  }
+  {
+    // Probe cost: Algorithm 4's polling is "a costly process" (Sec. 4.1);
+    // charge each probe a latency and watch the trade-off.
+    std::vector<std::pair<std::string, ert::SimParams>> pts;
+    for (double c : {0.0, 0.02, 0.05, 0.1}) {
+      ert::SimParams p = base;
+      p.probe_cost = c;
+      pts.emplace_back("probe=" + ert::fmt_num(c, 2) + "s", p);
+    }
+    run_sweep("probe cost", pts);
+  }
+  return 0;
+}

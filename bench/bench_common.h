@@ -1,0 +1,69 @@
+// Shared configuration for the figure-reproduction benches.
+//
+// Every bench binary regenerates one table/figure of the paper's Sec. 5.
+// Parameters follow Table 2 exactly except the lookup arrival rate: the
+// paper's stated 1 lookup/s cannot produce any queueing at its own service
+// times (see DESIGN.md "Load / congestion model"), so the harness runs at
+// 16 lookups/s, which places the simulated network in the congestion
+// regime the paper's figures display. Override with ERT_BENCH_RATE.
+// ERT_BENCH_SEEDS (default 2) controls how many seeds are averaged.
+#pragma once
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "common/table_printer.h"
+#include "harness/experiment.h"
+#include "harness/protocol.h"
+
+namespace ertbench {
+
+inline double bench_rate() {
+  if (const char* e = std::getenv("ERT_BENCH_RATE")) return std::atof(e);
+  return 16.0;
+}
+
+inline int bench_seeds() {
+  if (const char* e = std::getenv("ERT_BENCH_SEEDS")) return std::atoi(e);
+  return 2;
+}
+
+/// Table 2 defaults with the calibrated arrival rate.
+inline ert::SimParams paper_defaults() {
+  ert::SimParams p;
+  p.lookup_rate = bench_rate();
+  p.seed = 42;
+  return p;
+}
+
+inline std::vector<std::string> protocol_headers(const std::string& x_name) {
+  std::vector<std::string> h{x_name};
+  for (auto proto : ert::harness::kAllProtocols)
+    h.emplace_back(ert::harness::to_string(proto));
+  return h;
+}
+
+/// Runs all six protocols at one sweep point and returns one metric each.
+template <typename MetricFn>
+std::vector<double> run_all_protocols(const ert::SimParams& params,
+                                      MetricFn metric) {
+  std::vector<double> out;
+  out.reserve(ert::harness::kAllProtocols.size());
+  for (auto proto : ert::harness::kAllProtocols) {
+    const auto r = ert::harness::run_averaged(params, proto, bench_seeds());
+    out.push_back(metric(r));
+  }
+  return out;
+}
+
+inline void print_header(const char* figure, const char* description) {
+  std::printf("=====================================================\n");
+  std::printf("%s — %s\n", figure, description);
+  std::printf("(rate %.0f lookups/s, %d seed(s) averaged)\n", bench_rate(),
+              bench_seeds());
+  std::printf("=====================================================\n");
+}
+
+}  // namespace ertbench

@@ -1,0 +1,46 @@
+// Figure 10: lookup efficiency under churn (Sec. 5.5).
+//  (a) heavy nodes in routings
+//  (b) lookup path length
+//  (c) query processing time
+//  (+) average timeouts per lookup, which the paper reports in the text:
+//      ~0 for ERT (entry-mates substitute for departed neighbors), up to
+//      ~0.06 for the others.
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace ertbench;
+  print_header("Figure 10", "lookup efficiency under churn");
+
+  ert::TablePrinter a(protocol_headers("interarrival"));
+  ert::TablePrinter b(protocol_headers("interarrival"));
+  ert::TablePrinter c(protocol_headers("interarrival"));
+  ert::TablePrinter t(protocol_headers("interarrival"));
+  for (double gap = 0.1; gap <= 0.95; gap += 0.2) {
+    ert::SimParams p = paper_defaults();
+    p.num_lookups = 3000;
+    p.churn_interarrival = gap;
+    std::vector<double> va, vb, vc, vt;
+    for (auto proto : ert::harness::kAllProtocols) {
+      const auto r = ert::harness::run_averaged(p, proto, bench_seeds());
+      va.push_back(static_cast<double>(r.heavy_encounters));
+      vb.push_back(r.avg_path_length);
+      vc.push_back(r.lookup_time.mean);
+      vt.push_back(r.avg_timeouts);
+    }
+    a.add_row(gap, va, 0);
+    b.add_row(gap, vb, 2);
+    c.add_row(gap, vc, 1);
+    t.add_row(gap, vt, 3);
+  }
+  std::printf("\n(a) heavy nodes encountered in routings (total)\n");
+  a.print();
+  std::printf("\n(b) lookup path length\n");
+  b.print();
+  std::printf("\n(c) average query processing time, seconds\n");
+  c.print();
+  std::printf("\n(text) average timeouts per lookup\n");
+  t.print();
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Figure 4: effectiveness of congestion controls.
+//  (a) 99th percentile maximum congestion vs number of lookups
+//  (b) 99th percentile congestion of the minimum-capacity node
+//  (c) 99th percentile query-distribution share
+// Paper shape: NS above Base on (a) (capacity bias overloads favorites);
+// VS and ERT/AF well below Base, with ERT/AF best at high load; ERT/A
+// strong alone, ERT/F effective only at light load; NS worst on share.
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace ertbench;
+  print_header("Figure 4", "congestion control effectiveness vs query load");
+
+  ert::TablePrinter a(protocol_headers("lookups"));
+  ert::TablePrinter b(protocol_headers("lookups"));
+  ert::TablePrinter c(protocol_headers("lookups"));
+  for (std::size_t lookups = 1000; lookups <= 5000; lookups += 1000) {
+    ert::SimParams p = paper_defaults();
+    p.num_lookups = lookups;
+    std::vector<double> va, vb, vc;
+    for (auto proto : ert::harness::kAllProtocols) {
+      const auto r = ert::harness::run_averaged(p, proto, bench_seeds());
+      va.push_back(r.p99_max_congestion);
+      vb.push_back(r.min_cap_node_congestion);
+      vc.push_back(r.p99_share);
+    }
+    a.add_row(static_cast<double>(lookups), va);
+    b.add_row(static_cast<double>(lookups), vb);
+    c.add_row(static_cast<double>(lookups), vc);
+  }
+  std::printf("\n(a) 99th percentile maximum congestion\n");
+  a.print();
+  std::printf("\n(b) congestion of the minimum-capacity node (peak)\n");
+  b.print();
+  std::printf("\n(c) 99th percentile share\n");
+  c.print();
+  return 0;
+}

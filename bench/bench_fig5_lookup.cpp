@@ -1,0 +1,66 @@
+// Figure 5: effectiveness of congestion control on lookup efficiency.
+//  (a) heavy nodes encountered in routings vs number of lookups
+//  (b) lookup path length vs network size
+//  (c) query processing time (avg / 1st / 99th percentile)
+// Paper shape: ERT/AF far fewer heavy nodes than Base/NS/VS; VS clearly
+// longer paths (virtual-server overlay inflation); ERT/AF lowest lookup
+// time with both A and F contributing.
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace ertbench;
+  print_header("Figure 5", "lookup efficiency under congestion control");
+
+  // (a) heavy nodes in routings vs lookups.
+  ert::TablePrinter a(protocol_headers("lookups"));
+  for (std::size_t lookups = 1000; lookups <= 5000; lookups += 1000) {
+    ert::SimParams p = paper_defaults();
+    p.num_lookups = lookups;
+    a.add_row(static_cast<double>(lookups),
+              run_all_protocols(p, [](const ert::harness::ExperimentResult& r) {
+                return static_cast<double>(r.heavy_encounters);
+              }),
+              0);
+  }
+  std::printf("\n(a) heavy nodes encountered in routings (total)\n");
+  a.print();
+
+  // (b) path length vs network size.
+  ert::TablePrinter b(protocol_headers("nodes"));
+  for (std::size_t n : {256u, 512u, 1024u, 2048u, 4096u}) {
+    ert::SimParams p = paper_defaults();
+    p.num_nodes = n;
+    p.dimension = ert::harness::fit_dimension(n);
+    p.num_lookups = 2000;
+    b.add_row(static_cast<double>(n),
+              run_all_protocols(p, [](const ert::harness::ExperimentResult& r) {
+                return r.avg_path_length;
+              }),
+              2);
+  }
+  std::printf("\n(b) lookup path length vs network size\n");
+  b.print();
+
+  // (c) lookup time avg (p1, p99) vs lookups.
+  std::printf("\n(c) query processing time, seconds: avg (p1, p99)\n");
+  std::vector<std::string> headers{"lookups"};
+  for (auto proto : ert::harness::kAllProtocols)
+    headers.emplace_back(ert::harness::to_string(proto));
+  ert::TablePrinter c(headers);
+  for (std::size_t lookups = 1000; lookups <= 5000; lookups += 2000) {
+    ert::SimParams p = paper_defaults();
+    p.num_lookups = lookups;
+    std::vector<std::string> row{std::to_string(lookups)};
+    for (auto proto : ert::harness::kAllProtocols) {
+      const auto r = ert::harness::run_averaged(p, proto, bench_seeds());
+      row.push_back(ert::fmt_num(r.lookup_time.mean, 1) + " (" +
+                    ert::fmt_num(r.lookup_time.p01, 1) + ", " +
+                    ert::fmt_num(r.lookup_time.p99, 1) + ")");
+    }
+    c.add_row(std::move(row));
+  }
+  c.print();
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Figure 6: indegrees of nodes in plain Cycloid by dimension.
+//
+// The paper observes that base Cycloid tables split nodes into a
+// low-indegree group and a high-indegree group (indegree 14..22 as the
+// dimension goes 6..10), the high group being 10-15% of nodes — the
+// structural query-load imbalance that motivates ERT. This bench builds
+// plain (Base) Cycloid overlays and prints the indegree distribution.
+#include <cstdio>
+#include <map>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table_printer.h"
+#include "cycloid/overlay.h"
+
+int main() {
+  using namespace ert;
+  using namespace ert::cycloid;
+  std::printf(
+      "Figure 6 — indegree distribution of plain Cycloid routing tables\n\n");
+
+  TablePrinter t({"dim", "nodes", "modal indeg", "max indeg", "p99 indeg",
+                  "high-indeg nodes", "high %"});
+  for (int d = 6; d <= 10; ++d) {
+    OverlayOptions opts;
+    opts.dimension = d;
+    Overlay o(opts);
+    IdSpace space(d);
+    // Full Cycloid for d <= 8; the paper holds n at 2048, so larger
+    // dimensions are partially occupied.
+    const std::size_t n =
+        std::min<std::size_t>(2048, static_cast<std::size_t>(space.size()));
+    Rng rng(7);
+    if (n == space.size()) {
+      for (std::uint64_t lv = 0; lv < space.size(); ++lv)
+        o.add_node(space.from_linear(lv), 1.0, 1 << 20, 0.8);
+    } else {
+      for (std::size_t i = 0; i < n; ++i)
+        o.add_node_random(rng, 1.0, 1 << 20, 0.8);
+    }
+    for (dht::NodeIndex i = 0; i < o.num_slots(); ++i) o.build_table(i, rng);
+
+    std::map<std::size_t, std::size_t> hist;
+    Percentiles pct;
+    for (dht::NodeIndex i = 0; i < o.num_slots(); ++i) {
+      const std::size_t indeg = o.node(i).inlinks.size();
+      ++hist[indeg];
+      pct.add(static_cast<double>(indeg));
+    }
+    std::size_t modal = 0, modal_count = 0, max_in = 0;
+    for (const auto& [k, c] : hist) {
+      if (c > modal_count) {
+        modal = k;
+        modal_count = c;
+      }
+      max_in = std::max(max_in, k);
+    }
+    // "High-indegree" nodes: well above the modal group (the paper's
+    // second mode). Use 1.5x modal as the split.
+    std::size_t high = 0;
+    for (const auto& [k, c] : hist)
+      if (static_cast<double>(k) > 1.5 * static_cast<double>(modal)) high += c;
+    t.add_row({std::to_string(d), std::to_string(n), std::to_string(modal),
+               std::to_string(max_in), fmt_num(pct.percentile(99), 0),
+               std::to_string(high),
+               fmt_num(100.0 * static_cast<double>(high) /
+                           static_cast<double>(n),
+                       1)});
+  }
+  t.print();
+  std::printf(
+      "\nPaper: high-indegree nodes are 10-15%% of the network and their\n"
+      "indegree grows with the dimension — the imbalance ERT corrects.\n");
+  return 0;
+}

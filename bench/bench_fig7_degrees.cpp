@@ -1,0 +1,35 @@
+// Figure 7: routing-table degrees under each congestion control protocol.
+//  (a) maximum indegree per node: avg (1st, 99th percentile)
+//  (b) maximum outdegree per node: avg (1st, 99th percentile)
+// Paper shape: Base/NS/VS degrees do not change with load; ERT degrees
+// adapt with load; VS degrees are by far the largest (virtual-server
+// overlay inflation), so ERT's elasticity costs far less maintenance.
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace ertbench;
+  print_header("Figure 7", "routing table degrees (per-node maxima)");
+
+  for (const bool outdegree : {false, true}) {
+    ert::TablePrinter t(protocol_headers("lookups"));
+    for (std::size_t lookups = 1000; lookups <= 5000; lookups += 2000) {
+      ert::SimParams p = paper_defaults();
+      p.num_lookups = lookups;
+      std::vector<std::string> row{std::to_string(lookups)};
+      for (auto proto : ert::harness::kAllProtocols) {
+        const auto r = ert::harness::run_averaged(p, proto, bench_seeds());
+        const auto& s = outdegree ? r.max_outdegree : r.max_indegree;
+        row.push_back(ert::fmt_num(s.mean, 1) + " (" +
+                      ert::fmt_num(s.p01, 0) + ", " + ert::fmt_num(s.p99, 0) +
+                      ")");
+      }
+      t.add_row(std::move(row));
+    }
+    std::printf("\n(%c) maximum %s: avg (p1, p99)\n", outdegree ? 'b' : 'a',
+                outdegree ? "outdegree" : "indegree");
+    t.print();
+  }
+  return 0;
+}

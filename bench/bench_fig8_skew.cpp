@@ -1,0 +1,48 @@
+// Figure 8: effect of skewed lookups (Sec. 5.4).
+//
+// An "impulse" of 100 nodes with ids in a contiguous interval all query
+// the same 50 random keys, while the per-query process time on a light
+// node sweeps 0.1..2.1 s (heavy nodes take 5x that).
+//  (a) heavy nodes encountered in routings
+//  (b) query processing time
+//  (c) 99th percentile share
+// Paper shape: VS collapses under skew (consecutive virtual servers land
+// on the same real node) — worse than Base; ERT/AF handles the skew; NS
+// keeps a high share (capacity bias wastes low-capacity nodes).
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace ertbench;
+  print_header("Figure 8", "skewed 'impulse' lookups: 100 nodes -> 50 keys");
+
+  ert::TablePrinter a(protocol_headers("proc time"));
+  ert::TablePrinter b(protocol_headers("proc time"));
+  ert::TablePrinter c(protocol_headers("proc time"));
+  for (double light = 0.1; light <= 2.15; light += 0.5) {
+    ert::SimParams p = paper_defaults();
+    p.num_lookups = 3000;
+    p.impulse_nodes = 100;
+    p.impulse_keys = 50;
+    p.light_service_time = light;
+    p.heavy_service_time = 5.0 * light;
+    std::vector<double> va, vb, vc;
+    for (auto proto : ert::harness::kAllProtocols) {
+      const auto r = ert::harness::run_averaged(p, proto, bench_seeds());
+      va.push_back(static_cast<double>(r.heavy_encounters));
+      vb.push_back(r.lookup_time.mean);
+      vc.push_back(r.p99_share);
+    }
+    a.add_row(light, va, 0);
+    b.add_row(light, vb, 1);
+    c.add_row(light, vc, 2);
+  }
+  std::printf("\n(a) heavy nodes encountered in routings (total)\n");
+  a.print();
+  std::printf("\n(b) average query processing time, seconds\n");
+  b.print();
+  std::printf("\n(c) 99th percentile share\n");
+  c.print();
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Figure 9: congestion control under churn (Sec. 5.5).
+//
+// Node join/departure processes are Poisson; the mean interarrival time
+// sweeps 0.1..0.9 s (smaller = heavier churn). Departures are silent, so
+// stale routing entries cause timeouts until discovered.
+//  (a) 99th percentile maximum congestion
+//  (b) 99th percentile share
+// Paper shape: NS degrades in high churn (can exceed Base); VS and ERT/AF
+// stay roughly flat, with ERT/AF keeping congestion lowest.
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace ertbench;
+  print_header("Figure 9", "congestion under churn (interarrival sweep)");
+
+  ert::TablePrinter a(protocol_headers("interarrival"));
+  ert::TablePrinter b(protocol_headers("interarrival"));
+  for (double gap = 0.1; gap <= 0.95; gap += 0.2) {
+    ert::SimParams p = paper_defaults();
+    p.num_lookups = 3000;
+    p.churn_interarrival = gap;
+    std::vector<double> va, vb;
+    for (auto proto : ert::harness::kAllProtocols) {
+      const auto r = ert::harness::run_averaged(p, proto, bench_seeds());
+      va.push_back(r.p99_max_congestion);
+      vb.push_back(r.p99_share);
+    }
+    a.add_row(gap, va);
+    b.add_row(gap, vb);
+  }
+  std::printf("\n(a) 99th percentile maximum congestion\n");
+  a.print();
+  std::printf("\n(b) 99th percentile share\n");
+  b.print();
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Nonuniform and time-varying file popularity — the introduction's
+// motivating scenario ("files stored in the system often have different
+// popularities and the access patterns to the same file may vary with
+// time"), beyond the single impulse of Fig. 8.
+//
+//  (a) popularity skew sweep: lookups drawn Zipf(s) over a 200-key catalog.
+//  (b) drift: the popularity ranking reshuffles every T_d seconds — static
+//      assignment cannot follow it, periodic adaptation (Algorithm 3) can.
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace ertbench;
+  using ert::harness::Protocol;
+  print_header("Popularity", "Zipf-skewed and drifting key popularity");
+
+  std::printf("\n(a) skew sweep, 200-key catalog, Zipf exponent s\n");
+  ert::TablePrinter a({"s", "Base heavy", "ERT/A", "ERT/AF", "Base time",
+                       "ERT/A time", "ERT/AF time"});
+  for (double s : {0.0, 0.6, 1.0, 1.4}) {
+    ert::SimParams p = paper_defaults();
+    p.num_lookups = 3000;
+    if (s > 0) {
+      p.zipf_catalog = 200;
+      p.zipf_exponent = s;
+    }
+    std::vector<std::string> row{s == 0.0 ? std::string("uniform")
+                                          : ert::fmt_num(s, 1)};
+    std::vector<double> heavy, time;
+    for (auto proto : {Protocol::kBase, Protocol::kErtA, Protocol::kErtAF}) {
+      const auto r = ert::harness::run_averaged(p, proto, bench_seeds());
+      heavy.push_back(static_cast<double>(r.heavy_encounters));
+      time.push_back(r.lookup_time.mean);
+    }
+    for (double h : heavy) row.push_back(ert::fmt_num(h, 0));
+    for (double t : time) row.push_back(ert::fmt_num(t, 1));
+    a.add_row(std::move(row));
+  }
+  a.print();
+
+  std::printf(
+      "\n(b) drifting popularity (s = 1.2): ranking reshuffles every T_d\n");
+  ert::TablePrinter b({"drift period", "Base heavy", "ERT/A heavy",
+                       "ERT/AF heavy", "ERT/AF time"});
+  for (double drift : {0.0, 60.0, 20.0}) {
+    ert::SimParams p = paper_defaults();
+    p.num_lookups = 3000;
+    p.zipf_catalog = 200;
+    p.zipf_exponent = 1.2;
+    p.zipf_drift_period = drift;
+    std::vector<std::string> row{
+        drift == 0.0 ? std::string("static") : ert::fmt_num(drift, 0) + " s"};
+    double ert_af_time = 0;
+    for (auto proto : {Protocol::kBase, Protocol::kErtA, Protocol::kErtAF}) {
+      const auto r = ert::harness::run_averaged(p, proto, bench_seeds());
+      row.push_back(std::to_string(r.heavy_encounters));
+      if (proto == Protocol::kErtAF) ert_af_time = r.lookup_time.mean;
+    }
+    row.push_back(ert::fmt_num(ert_af_time, 1));
+    b.add_row(std::move(row));
+  }
+  b.print();
+  std::printf(
+      "\nSkew concentrates load on the hot keys' owners; ERT absorbs it,\n"
+      "and because adaptation is periodic it keeps absorbing it when the\n"
+      "hot set moves — the scenario static id-space balancing cannot track\n"
+      "(the paper's core argument against VS-style approaches).\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// ERT across substrates. The paper lists CAN, Chord, Tapestry, Pastry and
+// Cycloid as representative DHTs; it evaluates on constant-degree Cycloid
+// and remarks that "simulations on other O(log n)-degree networks are
+// expected to produce better results" (Sec. 5). This bench runs the same
+// workload on Cycloid, Chord (loose fingers, Fig. 1) and Pastry (prefix
+// tables, Fig. 3) and compares Base vs ERT/AF on each.
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace ertbench;
+  using ert::harness::Protocol;
+  using ert::harness::SubstrateKind;
+  print_header("Substrates",
+               "protocols across Cycloid / Chord / Pastry / CAN");
+
+  ert::TablePrinter t({"substrate", "protocol", "p99 max congestion",
+                       "p99 share", "heavy met", "path len", "lookup time"});
+  for (auto kind : {SubstrateKind::kCycloid, SubstrateKind::kChord,
+                    SubstrateKind::kPastry, SubstrateKind::kCan}) {
+    for (auto proto : {Protocol::kBase, Protocol::kErtA, Protocol::kErtF,
+                       Protocol::kErtAF}) {
+      ert::SimParams p = paper_defaults();
+      p.num_lookups = 3000;
+      const auto r =
+          ert::harness::run_averaged(p, proto, bench_seeds(), kind);
+      t.add_row({std::string(ert::harness::to_string(kind)),
+                 std::string(ert::harness::to_string(proto)),
+                 ert::fmt_num(r.p99_max_congestion, 2),
+                 ert::fmt_num(r.p99_share, 2),
+                 std::to_string(r.heavy_encounters),
+                 ert::fmt_num(r.avg_path_length, 2),
+                 ert::fmt_num(r.lookup_time.mean, 2)});
+    }
+  }
+  t.print();
+  std::printf(
+      "\nShape: ERT improves share and heavy-node counts on every\n"
+      "substrate. The log-degree substrates (Chord, Pastry) route in half\n"
+      "the hops and start from a much better-balanced Base — consistent\n"
+      "with the paper's remark that log-degree networks 'are expected to\n"
+      "produce better results': there is simply less congestion left for\n"
+      "ERT to remove there, and forwarding (F) carries most of the gain.\n");
+  return 0;
+}

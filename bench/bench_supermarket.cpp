@@ -1,0 +1,101 @@
+// Theorem 4.1 / Lemma A.1: the supermarket model behind the forwarding
+// analysis (Sec. 4.2).
+//
+//  (1) Classic power-of-b choices: expected time in system at the fixed
+//      point for b = 1, 2, 3 over an arrival-rate sweep — the exponential
+//      improvement of two-way choice over random placement.
+//  (2) Discrete-event simulation of the threshold supermarket (the paper's
+//      QFM analogue) confirming the same gap with actual queues.
+//  (3) Lemma A.1's closed-form fixed point vs integrating the paper's
+//      differential equations (3)/(4) — they must agree.
+#include <cmath>
+#include <cstdio>
+
+#include "common/table_printer.h"
+#include "supermarket/model.h"
+
+int main() {
+  using namespace ert;
+  using namespace ert::supermarket;
+
+  std::printf("Theorem 4.1 — randomized forwarding as a supermarket model\n");
+
+  std::printf("\n(1) fixed-point expected time in system, classic model\n");
+  TablePrinter t1({"lambda", "b=1 (M/M/1)", "b=2", "b=3", "gain b=2 vs b=1"});
+  for (double lam : {0.50, 0.70, 0.90, 0.95, 0.99}) {
+    const double t_1 = classic_expected_time(lam, 1);
+    const double t_2 = classic_expected_time(lam, 2);
+    const double t_3 = classic_expected_time(lam, 3);
+    t1.add_row({fmt_num(lam, 2), fmt_num(t_1, 3), fmt_num(t_2, 3),
+                fmt_num(t_3, 3), fmt_num(t_1 / t_2, 2) + "x"});
+  }
+  t1.print();
+
+  std::printf(
+      "\n(2) simulated mean time in system (500 servers, threshold T=1)\n");
+  TablePrinter t2({"lambda", "b=1 sim", "b=2 sim", "b=3 sim", "b=2 theory"});
+  for (double lam : {0.50, 0.70, 0.90, 0.95}) {
+    QueueSimParams q;
+    q.lambda = lam;
+    q.arrivals = 150000;
+    double sim_b[4] = {0, 0, 0, 0};
+    for (int b = 1; b <= 3; ++b) {
+      q.b = b;
+      q.seed = 7 + b;
+      sim_b[b] = simulate_supermarket(q).mean_system_time;
+    }
+    t2.add_row({fmt_num(lam, 2), fmt_num(sim_b[1], 3), fmt_num(sim_b[2], 3),
+                fmt_num(sim_b[3], 3),
+                fmt_num(classic_expected_time(lam, 2), 3)});
+  }
+  t2.print();
+
+  std::printf(
+      "\n(2b) memory-based dispatch (Sec. 4.1 / [22]): the remembered\n"
+      "     least-loaded server replaces one fresh random draw\n");
+  TablePrinter tm({"lambda", "b=1", "b=2 fresh", "b=2 w/memory",
+                   "probes/arrival (memory)"});
+  for (double lam : {0.90, 0.95}) {
+    QueueSimParams q;
+    q.lambda = lam;
+    q.arrivals = 150000;
+    q.b = 1;
+    q.seed = 31;
+    const double t1 = simulate_supermarket(q).mean_system_time;
+    q.b = 2;
+    const double t2 = simulate_supermarket(q).mean_system_time;
+    q.use_memory = true;
+    const auto rm = simulate_supermarket(q);
+    tm.add_row({fmt_num(lam, 2), fmt_num(t1, 3), fmt_num(t2, 3),
+                fmt_num(rm.mean_system_time, 3),
+                fmt_num(rm.probes_per_arrival, 2)});
+  }
+  tm.print();
+
+  std::printf(
+      "\n(3) threshold model: Lemma A.1 fixed point vs ODE integration\n");
+  TablePrinter t3({"lambda", "b", "E[N] closed form", "E[N] ODE", "|diff|"});
+  for (double lam : {0.70, 0.90}) {
+    for (int b : {1, 2, 3}) {
+      ThresholdModel m;
+      m.lambda = lam;
+      m.b = b;
+      m.threshold = 1;
+      m.capacity = 1;  // spare-capacity coordinates: 1 = idle server
+      m.tail = 60;
+      const auto fp = lemma_a1_fixed_point(m);
+      const auto ode = integrate_threshold_ode(m, 400.0, 0.02);
+      const double en_fp = expected_customers(fp);
+      const double en_ode = expected_customers(ode);
+      t3.add_row({fmt_num(lam, 2), std::to_string(b), fmt_num(en_fp, 4),
+                  fmt_num(en_ode, 4), fmt_num(std::fabs(en_fp - en_ode), 4)});
+    }
+  }
+  t3.print();
+
+  std::printf(
+      "\nShape check: the b=1 column explodes as lambda -> 1 while b >= 2\n"
+      "stays small — the exponential improvement Theorem 4.1 transfers to\n"
+      "ERT's two-way query forwarding. Poll sizes beyond 2 add little.\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Adaptation dynamics over time (Algorithm 3 in motion).
+//
+// The paper argues the periodic indegree adaptation drives every node's
+// congestion toward g ~ 1 ("a node's capacity is fully utilized and it is
+// also not overloaded"). This bench traces the network second by second
+// under a sustained load and shows the time series for Base (no control),
+// ERT/A (adaptation only) and ERT/AF — congestion converging and mean
+// indegree settling as Theorem 3.2 predicts.
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace ertbench;
+  using ert::harness::Protocol;
+  print_header("Timeline", "adaptation dynamics, one sample per second");
+
+  ert::SimParams p = paper_defaults();
+  p.num_lookups = 4000;
+  p.trace_timeline = true;
+
+  const Protocol protos[] = {Protocol::kBase, Protocol::kErtA,
+                             Protocol::kErtAF};
+  std::vector<ert::harness::ExperimentResult> results;
+  for (Protocol proto : protos)
+    results.push_back(ert::harness::run_experiment(p, proto));
+
+  std::printf("\nheavy nodes now / lookups in flight / ERT mean indegree\n");
+  ert::TablePrinter t({"t (s)", "heavy: Base", "ERT/A", "ERT/AF",
+                       "in flight: Base", "ERT/AF", "ERT/AF indeg"});
+  const std::size_t len = results[0].timeline.size();
+  for (std::size_t i = 0; i < len; i += std::max<std::size_t>(1, len / 24)) {
+    std::vector<std::string> row{
+        ert::fmt_num(results[0].timeline[i].time, 0)};
+    for (int j = 0; j < 3; ++j) {
+      row.push_back(i < results[j].timeline.size()
+                        ? std::to_string(results[j].timeline[i].heavy_nodes)
+                        : "-");
+    }
+    for (int j : {0, 2}) {
+      row.push_back(i < results[j].timeline.size()
+                        ? std::to_string(results[j].timeline[i].in_flight)
+                        : "-");
+    }
+    row.push_back(i < results[2].timeline.size()
+                      ? ert::fmt_num(results[2].timeline[i].mean_indegree, 1)
+                      : "-");
+    t.add_row(std::move(row));
+  }
+  t.print();
+  std::printf(
+      "\nBase carries a persistently larger backlog (its hot spots serve at\n"
+      "the heavy 1 s rate and keep queues pinned), while ERT sheds inlinks\n"
+      "at hot nodes and grows them at idle ones: fewer heavy nodes at any\n"
+      "instant, a smaller in-flight population, and a mean indegree that\n"
+      "decelerates toward the structural expansion limit — the bounded\n"
+      "growth Theorem 3.2 describes.\n");
+  return 0;
+}

@@ -1,0 +1,213 @@
+// ERT beyond Cycloid: the paper's Sec. 3.2 describes how to loosen the
+// neighbor constraints of Chord (Fig. 1) and Pastry/Tapestry (Fig. 3) so
+// elastic routing tables work there too. This example builds all three
+// substrates, runs the initial indegree assignment on each, and shows that
+// indegrees track capacity everywhere.
+//
+//   $ ./multi_substrate [nodes]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "chord/overlay.h"
+#include "common/config.h"
+#include "common/stats.h"
+#include "common/table_printer.h"
+#include "cycloid/overlay.h"
+#include "ert/capacity.h"
+#include "can/overlay.h"
+#include "pastry/overlay.h"
+
+namespace {
+
+struct SubstrateReport {
+  std::string name;
+  double lo_cap_avg_indegree = 0;  ///< avg indegree of the low-capacity half
+  double hi_cap_avg_indegree = 0;  ///< avg indegree of the high-capacity half
+  double avg_path = 0;
+};
+
+/// Correlation helper: average indegree of low- vs high-capacity nodes.
+template <typename GetIndegree>
+void split_by_capacity(const std::vector<double>& caps, GetIndegree get,
+                       SubstrateReport& out) {
+  ert::OnlineStats lo, hi;
+  for (std::size_t i = 0; i < caps.size(); ++i) {
+    (caps[i] < 1.0 ? lo : hi).add(get(i));
+  }
+  out.lo_cap_avg_indegree = lo.mean();
+  out.hi_cap_avg_indegree = hi.mean();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 600;
+  ert::SimParams params;
+  ert::Rng rng(11);
+  auto caps = ert::core::CapacityModel::generate(n, params, rng);
+  std::vector<double> norm(n);
+  for (std::size_t i = 0; i < n; ++i) norm[i] = caps.normalized(i);
+  const double alpha = 10.0;
+
+  std::vector<SubstrateReport> reports;
+
+  {  // --- Cycloid -------------------------------------------------------------
+    ert::cycloid::OverlayOptions opts;
+    opts.dimension = ert::cycloid::IdSpace(10).dimension();
+    opts.policy = ert::cycloid::NeighborPolicy::kSpareIndegree;
+    opts.enforce_indegree_bounds = true;
+    ert::cycloid::Overlay o(opts);
+    for (std::size_t i = 0; i < n; ++i)
+      o.add_node_random(rng, norm[i], ert::core::max_indegree(alpha, norm[i]),
+                        0.8);
+    for (ert::dht::NodeIndex v = 0; v < o.num_slots(); ++v)
+      o.build_table(v, rng);
+    for (ert::dht::NodeIndex v = 0; v < o.num_slots(); ++v) {
+      const auto& b = o.node(v).budget;
+      if (b.initial_target() > b.indegree())
+        o.expand_indegree(v, b.initial_target() - b.indegree(), 256);
+    }
+    SubstrateReport r{"Cycloid (d=10)"};
+    split_by_capacity(
+        norm, [&](std::size_t i) { return double(o.node(i).inlinks.size()); },
+        r);
+    std::size_t hops = 0;
+    const int lookups = 400;
+    for (int t = 0; t < lookups; ++t) {
+      ert::dht::NodeIndex cur = rng.index(o.num_slots());
+      const std::uint64_t key = rng.bits() % o.space().size();
+      ert::cycloid::RouteCtx ctx;
+      for (;;) {
+        const auto step = o.route_step(cur, key, ctx);
+        if (step.arrived) break;
+        cur = step.candidates.front();
+        ++hops;
+      }
+    }
+    r.avg_path = double(hops) / lookups;
+    reports.push_back(r);
+  }
+
+  {  // --- Chord with loose fingers (Fig. 1b) ------------------------------------
+    ert::chord::ChordOptions opts;
+    opts.bits = 16;
+    opts.enforce_indegree_bounds = true;
+    ert::chord::Overlay o(opts);
+    for (std::size_t i = 0; i < n; ++i)
+      o.add_node_random(rng, norm[i], ert::core::max_indegree(alpha, norm[i]),
+                        0.8);
+    for (ert::dht::NodeIndex v = 0; v < o.num_slots(); ++v) o.build_table(v);
+    for (ert::dht::NodeIndex v = 0; v < o.num_slots(); ++v) {
+      const auto& b = o.node(v).budget;
+      if (b.initial_target() > b.indegree())
+        o.expand_indegree(v, b.initial_target() - b.indegree(), 256);
+    }
+    SubstrateReport r{"Chord (loose fingers)"};
+    split_by_capacity(
+        norm, [&](std::size_t i) { return double(o.node(i).inlinks.size()); },
+        r);
+    std::size_t hops = 0;
+    const int lookups = 400;
+    for (int t = 0; t < lookups; ++t) {
+      ert::dht::NodeIndex cur = rng.index(o.num_slots());
+      const std::uint64_t key = rng.bits() % o.ring_size();
+      for (;;) {
+        const auto step = o.route_step(cur, key);
+        if (step.arrived) break;
+        cur = step.candidates.front();
+        ++hops;
+      }
+    }
+    r.avg_path = double(hops) / lookups;
+    reports.push_back(r);
+  }
+
+  {  // --- Pastry prefix tables (Fig. 3) ------------------------------------------
+    ert::pastry::PastryOptions opts;
+    opts.enforce_indegree_bounds = true;
+    ert::pastry::Overlay o(opts);
+    for (std::size_t i = 0; i < n; ++i)
+      o.add_node_random(rng, norm[i], ert::core::max_indegree(alpha, norm[i]),
+                        0.8);
+    for (ert::dht::NodeIndex v = 0; v < o.num_slots(); ++v) o.build_table(v);
+    for (ert::dht::NodeIndex v = 0; v < o.num_slots(); ++v) {
+      const auto& b = o.node(v).budget;
+      if (b.initial_target() > b.indegree())
+        o.expand_indegree(v, b.initial_target() - b.indegree(), 256);
+    }
+    SubstrateReport r{"Pastry (b=2)"};
+    split_by_capacity(
+        norm, [&](std::size_t i) { return double(o.node(i).inlinks.size()); },
+        r);
+    std::size_t hops = 0;
+    const int lookups = 400;
+    for (int t = 0; t < lookups; ++t) {
+      ert::dht::NodeIndex cur = rng.index(o.num_slots());
+      const std::uint64_t key = rng.bits() % o.ring_size();
+      for (;;) {
+        const auto step = o.route_step(cur, key);
+        if (step.arrived) break;
+        cur = step.candidates.front();
+        ++hops;
+      }
+    }
+    r.avg_path = double(hops) / lookups;
+    reports.push_back(r);
+  }
+
+  {  // --- CAN zone shortcuts --------------------------------------------------
+    ert::can::CanOptions opts;
+    opts.enforce_indegree_bounds = true;
+    ert::can::Overlay o(opts);
+    for (std::size_t i = 0; i < n; ++i)
+      o.add_node(rng, norm[i], ert::core::max_indegree(alpha / 2, norm[i]),
+                 0.8);
+    for (ert::dht::NodeIndex v = 0; v < o.num_slots(); ++v) {
+      const auto& b = o.node(v).budget;
+      if (b.initial_target() > b.indegree())
+        o.expand_indegree(v, b.initial_target() - b.indegree(), 256);
+    }
+    SubstrateReport r{"CAN (zone shortcuts)"};
+    split_by_capacity(
+        norm,
+        [&](std::size_t i) {
+          return double(o.node(i).inlinks.size() +
+                        o.node(i).table.entry(ert::can::kAdjacencyEntry).size());
+        },
+        r);
+    std::size_t hops = 0;
+    const int lookups = 400;
+    for (int t = 0; t < lookups; ++t) {
+      ert::dht::NodeIndex cur = rng.index(o.num_slots());
+      const ert::can::Point target{rng.uniform(), rng.uniform()};
+      for (;;) {
+        const auto step = o.route_step(cur, target);
+        if (step.arrived) break;
+        cur = step.candidates.front();
+        ++hops;
+      }
+    }
+    r.avg_path = double(hops) / lookups;
+    reports.push_back(r);
+  }
+
+  std::printf(
+      "ERT initial indegree assignment on four substrates (%zu nodes,\n"
+      "alpha = %.0f, bounded-Pareto capacities):\n\n",
+      n, alpha);
+  ert::TablePrinter t({"substrate", "avg indegree (cap < 1)",
+                       "avg indegree (cap >= 1)", "avg path length"});
+  for (const auto& r : reports) {
+    t.add_row({r.name, ert::fmt_num(r.lo_cap_avg_indegree, 1),
+               ert::fmt_num(r.hi_cap_avg_indegree, 1),
+               ert::fmt_num(r.avg_path, 2)});
+  }
+  t.print();
+  std::printf(
+      "\nOn every substrate, high-capacity nodes end up with several times\n"
+      "the indegree of low-capacity ones — queries flow toward capacity\n"
+      "(Sec. 3.2), while lookups keep their O(log n) / O(d) path lengths.\n");
+  return 0;
+}

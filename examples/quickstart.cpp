@@ -1,0 +1,43 @@
+// Quickstart: build a heterogeneous Cycloid network under each congestion
+// control protocol of the paper, run the Table 2 default workload, and
+// print the headline metrics side by side.
+//
+//   $ ./quickstart [num_nodes] [num_lookups]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/config.h"
+#include "common/table_printer.h"
+#include "harness/experiment.h"
+
+int main(int argc, char** argv) {
+  ert::SimParams params;  // Table 2 defaults
+  params.num_nodes = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 512;
+  params.num_lookups = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 1000;
+  params.dimension = ert::harness::fit_dimension(params.num_nodes);
+  // Run in the congested regime so the protocols visibly differ (see
+  // DESIGN.md: lookup arrival rate is the one knob we re-calibrate).
+  params.lookup_rate = 20.0;
+
+  std::printf("ERT quickstart: %zu nodes (Cycloid d=%d), %zu lookups\n\n",
+              params.num_nodes, params.dimension, params.num_lookups);
+
+  ert::TablePrinter table({"protocol", "p99 max congestion", "p99 share",
+                           "heavy met", "path len", "avg lookup time (s)"});
+  for (ert::harness::Protocol proto : ert::harness::kAllProtocols) {
+    const auto r = ert::harness::run_experiment(params, proto);
+    table.add_row({std::string(ert::harness::to_string(proto)),
+                   ert::fmt_num(r.p99_max_congestion, 3),
+                   ert::fmt_num(r.p99_share, 3),
+                   std::to_string(r.heavy_encounters),
+                   ert::fmt_num(r.avg_path_length, 2),
+                   ert::fmt_num(r.lookup_time.mean, 3)});
+  }
+  table.print();
+  std::printf(
+      "\nExpect ERT/AF to show the lowest congestion and lookup time; VS\n"
+      "pays for balance with longer paths; NS overloads its high-capacity\n"
+      "favorites. See bench/ for the full figure reproductions.\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// The supermarket model behind Theorem 4.1, as a standalone demo: why does
+// polling just TWO candidates per forwarding decision help so much?
+//
+//   $ ./supermarket_model [lambda]
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/table_printer.h"
+#include "supermarket/model.h"
+
+int main(int argc, char** argv) {
+  const double lambda = argc > 1 ? std::strtod(argv[1], nullptr) : 0.95;
+  using namespace ert::supermarket;
+
+  std::printf(
+      "Supermarket model at lambda = %.2f (arrivals per server per unit "
+      "time)\n\n",
+      lambda);
+
+  // Queue-length tail at the fixed point: the fraction of servers with at
+  // least i customers.
+  std::printf("fraction of servers with queue >= i:\n");
+  ert::TablePrinter tail({"i", "b=1", "b=2", "b=3"});
+  const auto s1 = classic_fixed_point(lambda, 1, 12);
+  const auto s2 = classic_fixed_point(lambda, 2, 12);
+  const auto s3 = classic_fixed_point(lambda, 3, 12);
+  for (std::size_t i = 1; i <= 8; ++i) {
+    tail.add_row({std::to_string(i), ert::fmt_num(s1[i], 6),
+                  ert::fmt_num(s2[i], 6), ert::fmt_num(s3[i], 6)});
+  }
+  tail.print();
+
+  std::printf("\nexpected time in system:\n");
+  ert::TablePrinter et({"b", "theory", "simulated (300 servers)"});
+  for (int b = 1; b <= 3; ++b) {
+    QueueSimParams q;
+    q.lambda = lambda;
+    q.b = b;
+    q.servers = 300;
+    q.arrivals = 100000;
+    q.seed = 17 + b;
+    et.add_row({std::to_string(b),
+                ert::fmt_num(classic_expected_time(lambda, b), 3),
+                ert::fmt_num(simulate_supermarket(q).mean_system_time, 3)});
+  }
+  et.print();
+
+  std::printf(
+      "\nWith b = 1 the queue tail is geometric (lambda^i); with b = 2 it\n"
+      "collapses doubly-exponentially (lambda^(2^i - 1)). That is why ERT's\n"
+      "two-way randomized forwarding (Algorithm 4) probes exactly two\n"
+      "candidates: the second choice buys an exponential improvement, and a\n"
+      "third adds almost nothing (Theorem 4.1).\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+#include "baselines/virtual_servers.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ert::baselines {
+
+std::size_t VirtualServerMap::vnode_count_for(double normalized_capacity,
+                                              std::size_t real_count) {
+  const double logn = std::log2(std::max<double>(2.0, real_count));
+  return std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::lround(normalized_capacity * logn)));
+}
+
+VirtualServerMap::VirtualServerMap(cycloid::Overlay& overlay,
+                                   const core::CapacityModel& capacities,
+                                   std::size_t real_count, Rng& rng) {
+  assert(overlay.num_slots() == 0 && "overlay must start empty");
+  vnodes_of_.resize(real_count);
+  for (std::size_t r = 0; r < real_count; ++r) {
+    place_vnodes(overlay, r,
+                 vnode_count_for(capacities.normalized(r), real_count), rng);
+  }
+}
+
+std::vector<dht::NodeIndex> VirtualServerMap::add_real_node(
+    cycloid::Overlay& overlay, const core::CapacityModel& capacities,
+    std::size_t real, Rng& rng) {
+  assert(real == vnodes_of_.size());
+  vnodes_of_.emplace_back();
+  place_vnodes(overlay, real,
+               vnode_count_for(capacities.normalized(real), real_count()),
+               rng);
+  return vnodes_of_[real];
+}
+
+void VirtualServerMap::place_vnodes(cycloid::Overlay& overlay,
+                                    std::size_t real, std::size_t count,
+                                    Rng& rng) {
+  const std::uint64_t space = overlay.space().size();
+  // Godfrey-Stoica placement: random start, then one random id within each
+  // of `count` consecutive intervals of size Theta(1/n) of the id space —
+  // here space / expected-total-vnode-count.
+  const std::size_t expected_total =
+      std::max<std::size_t>(1, vnodes_of_.size() *
+                                   vnode_count_for(1.0, vnodes_of_.size()));
+  const std::uint64_t interval =
+      std::max<std::uint64_t>(1, space / expected_total);
+  const std::uint64_t start = static_cast<std::uint64_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(space) - 1));
+  for (std::size_t j = 0; j < count; ++j) {
+    const std::uint64_t lo = (start + j * interval) % space;
+    // Random id within the j-th consecutive interval; linear-probe to a
+    // free id if taken (dense overlays).
+    std::uint64_t lv =
+        (lo + static_cast<std::uint64_t>(rng.uniform_int(
+                  0, static_cast<std::int64_t>(interval) - 1))) %
+        space;
+    std::size_t guard = 0;
+    while (overlay.directory().contains(lv)) {
+      lv = (lv + 1) % space;
+      if (++guard > space) return;  // space exhausted
+    }
+    // Vnodes carry the real node's capacity only as an NS-style hint; VS
+    // enforces no indegree bound (1 << 20 is effectively unbounded).
+    const dht::NodeIndex v = overlay.add_node(overlay.space().from_linear(lv),
+                                              1.0, 1 << 20, 1.0);
+    real_of_.resize(std::max(real_of_.size(), v + 1), 0);
+    real_of_[v] = real;
+    vnodes_of_[real].push_back(v);
+  }
+}
+
+}  // namespace ert::baselines

@@ -1,0 +1,64 @@
+// "Virtual server" load balancing baseline (VS) after Godfrey & Stoica [12],
+// as evaluated in Sec. 5.
+//
+// Each physical node runs Theta(log n) virtual servers; a node of
+// normalized capacity c-hat runs ~ c-hat * log2(n) of them so its share of
+// the id space is capacity-proportional. Virtual-server ids are picked the
+// paper's way: a random starting point, then one random id within each of
+// consecutive intervals of size Theta(1/n) — the *consecutive* placement is
+// exactly what makes VS fragile under skewed lookups (Sec. 5.4: "when query
+// load concentrates on a certain id-space interval, the load is allocated
+// to consecutive virtual servers [which] may reside on the same real
+// node").
+//
+// The map tracks vnode -> real node so queueing, capacity, and metrics stay
+// per physical node while routing runs on the virtual overlay.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "cycloid/overlay.h"
+#include "dht/types.h"
+#include "ert/capacity.h"
+
+namespace ert::baselines {
+
+class VirtualServerMap {
+ public:
+  /// Creates the virtual servers for `real_count` physical nodes inside
+  /// `overlay` (which must be empty). Vnodes get effectively unlimited
+  /// indegree bounds since VS does not control indegree. Routing tables are
+  /// NOT built here — the caller builds them once the map is reachable from
+  /// its proximity callback.
+  VirtualServerMap(cycloid::Overlay& overlay,
+                   const core::CapacityModel& capacities,
+                   std::size_t real_count, Rng& rng);
+
+  /// Adds the virtual servers of one newly joined real node (churn) and
+  /// returns them (the caller builds their tables).
+  std::vector<dht::NodeIndex> add_real_node(
+      cycloid::Overlay& overlay, const core::CapacityModel& capacities,
+      std::size_t real, Rng& rng);
+
+  std::size_t real_of(dht::NodeIndex vnode) const { return real_of_.at(vnode); }
+  const std::vector<dht::NodeIndex>& vnodes_of(std::size_t real) const {
+    return vnodes_of_.at(real);
+  }
+  std::size_t real_count() const { return vnodes_of_.size(); }
+  std::size_t vnode_count() const { return real_of_.size(); }
+
+  /// How many virtual servers a node of this normalized capacity runs.
+  static std::size_t vnode_count_for(double normalized_capacity,
+                                     std::size_t real_count);
+
+ private:
+  void place_vnodes(cycloid::Overlay& overlay, std::size_t real,
+                    std::size_t count, Rng& rng);
+
+  std::vector<std::size_t> real_of_;                ///< vnode -> real
+  std::vector<std::vector<dht::NodeIndex>> vnodes_of_;  ///< real -> vnodes
+};
+
+}  // namespace ert::baselines

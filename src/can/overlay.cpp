@@ -1,0 +1,369 @@
+#include "can/overlay.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ert::can {
+namespace {
+
+/// 1-d torus distance between coordinates.
+double t1(double a, double b) {
+  const double d = std::fabs(a - b);
+  return std::min(d, 1.0 - d);
+}
+
+/// 1-d torus distance from coordinate c to interval [lo, hi).
+double t1_interval(double c, double lo, double hi) {
+  if (c >= lo && c < hi) return 0.0;
+  return std::min(t1(c, lo), t1(c, hi));
+}
+
+/// Intervals [a0,a1) and [b0,b1) touch endpoint-to-endpoint on the torus.
+bool touch_1d(double a0, double a1, double b0, double b1) {
+  return a1 == b0 || b1 == a0 || (a1 == 1.0 && b0 == 0.0) ||
+         (b1 == 1.0 && a0 == 0.0);
+}
+
+/// Intervals overlap with positive length (no wrap; split boxes never wrap).
+bool overlap_1d(double a0, double a1, double b0, double b1) {
+  return std::min(a1, b1) - std::max(a0, b0) > 0.0;
+}
+
+}  // namespace
+
+double zone_distance(const Zone& z, Point p) {
+  const double dx = t1_interval(p.x, z.lo_x, z.hi_x);
+  const double dy = t1_interval(p.y, z.lo_y, z.hi_y);
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+bool zones_abut(const Zone& a, const Zone& b) {
+  // Share a vertical face (touch in x, overlap in y) or a horizontal one.
+  if (touch_1d(a.lo_x, a.hi_x, b.lo_x, b.hi_x) &&
+      overlap_1d(a.lo_y, a.hi_y, b.lo_y, b.hi_y))
+    return true;
+  if (touch_1d(a.lo_y, a.hi_y, b.lo_y, b.hi_y) &&
+      overlap_1d(a.lo_x, a.hi_x, b.lo_x, b.hi_x))
+    return true;
+  return false;
+}
+
+Overlay::Overlay(CanOptions opts, PhysDistFn phys_dist)
+    : opts_(opts), phys_dist_(std::move(phys_dist)) {}
+
+int Overlay::leaf_containing(Point p) const {
+  assert(root_ >= 0);
+  int t = root_;
+  while (!tree_[t].is_leaf()) {
+    const int c0 = tree_[t].child[0];
+    t = tree_[c0].zone.contains(p) ? c0 : tree_[t].child[1];
+  }
+  return t;
+}
+
+void Overlay::set_zone(dht::NodeIndex i, const Zone& z, int leaf) {
+  nodes_[i].zone = z;
+  leaf_of_[i] = leaf;
+  tree_[leaf].owner = i;
+}
+
+void Overlay::drop_adjacency(dht::NodeIndex i) {
+  auto& entry = nodes_[i].table.entry(kAdjacencyEntry);
+  for (dht::NodeIndex j : std::vector<dht::NodeIndex>(entry.candidates())) {
+    entry.remove(j);
+    nodes_[j].table.entry(kAdjacencyEntry).remove(i);
+  }
+}
+
+void Overlay::rebuild_adjacency(dht::NodeIndex i) {
+  drop_adjacency(i);
+  for (dht::NodeIndex j = 0; j < nodes_.size(); ++j) {
+    if (j == i || !nodes_[j].alive) continue;
+    if (zones_abut(nodes_[i].zone, nodes_[j].zone)) {
+      nodes_[i].table.entry(kAdjacencyEntry).add(j);
+      nodes_[j].table.entry(kAdjacencyEntry).add(i);
+    }
+  }
+}
+
+dht::NodeIndex Overlay::add_node(Rng& rng, double capacity, int max_indegree,
+                                 double beta) {
+  CanNode n;
+  n.alive = true;
+  n.capacity = capacity;
+  n.budget = core::IndegreeBudget(max_indegree, beta);
+  n.table.add_entry(dht::EntryKind::kLeaf);     // adjacency
+  n.table.add_entry(dht::EntryKind::kFinger);   // shortcuts
+  nodes_.push_back(std::move(n));
+  const dht::NodeIndex idx = nodes_.size() - 1;
+  leaf_of_.push_back(-1);
+  ++alive_;
+
+  if (root_ < 0) {
+    tree_.push_back(TreeNode{Zone{}, -1, {-1, -1}, idx});
+    root_ = 0;
+    set_zone(idx, Zone{}, root_);
+    return idx;
+  }
+  const Point p{rng.uniform(), rng.uniform()};
+  split_leaf(leaf_containing(p), idx, p);
+  return idx;
+}
+
+void Overlay::split_leaf(int leaf, dht::NodeIndex newcomer, Point p) {
+  const dht::NodeIndex incumbent = tree_[leaf].owner;
+  const Zone z = tree_[leaf].zone;
+  Zone a = z, b = z;
+  if (z.width() >= z.height()) {
+    const double mid = (z.lo_x + z.hi_x) / 2;
+    a.hi_x = mid;
+    b.lo_x = mid;
+  } else {
+    const double mid = (z.lo_y + z.hi_y) / 2;
+    a.hi_y = mid;
+    b.lo_y = mid;
+  }
+  const int ia = static_cast<int>(tree_.size());
+  tree_.push_back(TreeNode{a, leaf, {-1, -1}, dht::kNoNode});
+  const int ib = static_cast<int>(tree_.size());
+  tree_.push_back(TreeNode{b, leaf, {-1, -1}, dht::kNoNode});
+  tree_[leaf].child[0] = ia;
+  tree_[leaf].child[1] = ib;
+  tree_[leaf].owner = dht::kNoNode;
+  // The newcomer takes the half containing its point (CAN's join rule).
+  const bool new_gets_a = a.contains(p);
+  set_zone(newcomer, new_gets_a ? a : b, new_gets_a ? ia : ib);
+  set_zone(incumbent, new_gets_a ? b : a, new_gets_a ? ib : ia);
+  rebuild_adjacency(incumbent);
+  rebuild_adjacency(newcomer);
+}
+
+int Overlay::deepest_leaf(int t) const {
+  int best = -1, best_depth = -1;
+  // Iterative DFS with explicit depth.
+  std::vector<std::pair<int, int>> stack{{t, 0}};
+  while (!stack.empty()) {
+    const auto [n, d] = stack.back();
+    stack.pop_back();
+    if (tree_[n].is_leaf()) {
+      if (d > best_depth) {
+        best_depth = d;
+        best = n;
+      }
+    } else {
+      stack.push_back({tree_[n].child[0], d + 1});
+      stack.push_back({tree_[n].child[1], d + 1});
+    }
+  }
+  return best;
+}
+
+void Overlay::leave_graceful(dht::NodeIndex i) {
+  CanNode& n = nodes_.at(i);
+  if (!n.alive) return;
+  // Tear down elastic links first.
+  for (dht::NodeIndex j :
+       std::vector<dht::NodeIndex>(n.table.entry(kShortcutEntry).candidates()))
+    unlink_shortcut(i, j);
+  for (const auto& f : std::vector<core::BackwardFinger>(n.inlinks.fingers()))
+    unlink_shortcut(f.node, i);
+
+  const int leaf = leaf_of_[i];
+  if (leaf == root_) {  // last node: the space goes unowned
+    drop_adjacency(i);
+    n.alive = false;
+    --alive_;
+    root_ = -1;
+    tree_.clear();
+    leaf_of_[i] = -1;
+    return;
+  }
+  const int parent = tree_[leaf].parent;
+  const int sibling = tree_[parent].child[0] == leaf ? tree_[parent].child[1]
+                                                     : tree_[parent].child[0];
+  drop_adjacency(i);
+  n.alive = false;
+  --alive_;
+
+  if (tree_[sibling].is_leaf()) {
+    // Merge: the sibling's owner takes the whole parent zone.
+    const dht::NodeIndex s = tree_[sibling].owner;
+    tree_[parent].child[0] = tree_[parent].child[1] = -1;
+    set_zone(s, tree_[parent].zone, parent);
+    rebuild_adjacency(s);
+    return;
+  }
+  // Takeover: the deepest leaf below the sibling subtree donates its owner.
+  const int donor_leaf = deepest_leaf(sibling);
+  const dht::NodeIndex donor = tree_[donor_leaf].owner;
+  const int donor_parent = tree_[donor_leaf].parent;
+  const int donor_sibling = tree_[donor_parent].child[0] == donor_leaf
+                                ? tree_[donor_parent].child[1]
+                                : tree_[donor_parent].child[0];
+  // The deepest leaf's sibling is a leaf too (a deepest internal node with
+  // a non-leaf child would have a deeper leaf below it).
+  assert(tree_[donor_sibling].is_leaf());
+  const dht::NodeIndex keeper = tree_[donor_sibling].owner;
+  drop_adjacency(donor);
+  tree_[donor_parent].child[0] = tree_[donor_parent].child[1] = -1;
+  set_zone(keeper, tree_[donor_parent].zone, donor_parent);
+  // The donor adopts the departed node's zone.
+  set_zone(donor, tree_[leaf].zone, leaf);
+  rebuild_adjacency(keeper);
+  rebuild_adjacency(donor);
+}
+
+dht::NodeIndex Overlay::responsible(Point p) const {
+  if (root_ < 0) return dht::kNoNode;
+  return tree_[leaf_containing(p)].owner;
+}
+
+RouteStep Overlay::route_step(dht::NodeIndex cur, Point target) const {
+  RouteStep step;
+  const dht::NodeIndex owner = responsible(target);
+  assert(owner != dht::kNoNode);
+  if (owner == cur) {
+    step.arrived = true;
+    return step;
+  }
+  const CanNode& cn = nodes_.at(cur);
+  assert(cn.alive);
+  const double my_zd = zone_distance(cn.zone, target);
+  const double my_cd = net::torus_distance(cn.zone.center(), target);
+  auto better = [&](dht::NodeIndex c) {
+    const double zd = zone_distance(nodes_[c].zone, target);
+    if (zd != my_zd) return zd < my_zd;
+    return net::torus_distance(nodes_[c].zone.center(), target) < my_cd;
+  };
+  auto rank = [&](dht::NodeIndex c) {
+    return std::make_pair(zone_distance(nodes_[c].zone, target),
+                          net::torus_distance(nodes_[c].zone.center(), target));
+  };
+  // Pick the entry whose best candidate is globally best (shortcuts give
+  // long jumps, adjacency guarantees progress).
+  std::size_t best_entry = kNumEntries;
+  std::pair<double, double> best{1e9, 1e9};
+  for (std::size_t e = 0; e < kNumEntries; ++e) {
+    for (dht::NodeIndex c : cn.table.entry(e).candidates()) {
+      if (!nodes_[c].alive || !better(c)) continue;
+      const auto r = rank(c);
+      if (r < best) {
+        best = r;
+        best_entry = e;
+      }
+    }
+  }
+  if (best_entry == kNumEntries) {
+    // Geometrically impossible with complete adjacency over a rectilinear
+    // partition: the face toward the target always leads to a closer zone.
+    // Tolerate anyway (stale state mid-churn): fall back to the adjacency
+    // neighbor with the minimum rank, strictness dropped.
+    std::vector<dht::NodeIndex> all;
+    for (dht::NodeIndex c : cn.table.entry(kAdjacencyEntry).candidates())
+      if (nodes_[c].alive) all.push_back(c);
+    assert(!all.empty());
+    std::sort(all.begin(), all.end(), [&](dht::NodeIndex x, dht::NodeIndex y) {
+      return rank(x) < rank(y);
+    });
+    step.entry_index = kNumEntries;
+    step.candidates = std::move(all);
+    return step;
+  }
+  std::vector<dht::NodeIndex> cands;
+  for (dht::NodeIndex c : cn.table.entry(best_entry).candidates())
+    if (nodes_[c].alive && better(c)) cands.push_back(c);
+  std::sort(cands.begin(), cands.end(), [&](dht::NodeIndex x, dht::NodeIndex y) {
+    return rank(x) < rank(y);
+  });
+  step.entry_index = best_entry;
+  step.candidates = std::move(cands);
+  return step;
+}
+
+bool Overlay::link_shortcut(dht::NodeIndex from, dht::NodeIndex to,
+                            bool respect_budget) {
+  CanNode& f = nodes_.at(from);
+  CanNode& t = nodes_.at(to);
+  if (!f.alive || !t.alive || from == to) return false;
+  if (f.table.entry(kShortcutEntry).size() >= opts_.max_shortcuts) return false;
+  if (f.table.entry(kAdjacencyEntry).contains(to)) return false;  // redundant
+  if (respect_budget && !t.budget.can_accept()) return false;
+  if (t.inlinks.contains(from)) return false;
+  if (!f.table.entry(kShortcutEntry).add(to)) return false;
+  const double dist = net::torus_distance(f.zone.center(), t.zone.center());
+  t.inlinks.add(core::BackwardFinger{
+      from, static_cast<std::uint64_t>(dist * 1e9),
+      phys_dist_ ? phys_dist_(from, to) : dist});
+  t.budget.on_inlink_added();
+  return true;
+}
+
+bool Overlay::unlink_shortcut(dht::NodeIndex from, dht::NodeIndex to) {
+  if (!nodes_.at(from).table.entry(kShortcutEntry).remove(to)) return false;
+  nodes_.at(to).inlinks.remove(from);
+  nodes_.at(to).budget.on_inlink_removed();
+  return true;
+}
+
+int Overlay::expand_indegree(dht::NodeIndex i, int want,
+                             std::size_t max_probes) {
+  if (want <= 0) return 0;
+  const Point me = nodes_.at(i).zone.center();
+  // Hosts within the shortcut radius, nearest first.
+  std::vector<std::pair<double, dht::NodeIndex>> hosts;
+  for (dht::NodeIndex j = 0; j < nodes_.size(); ++j) {
+    if (j == i || !nodes_[j].alive) continue;
+    const double d = net::torus_distance(nodes_[j].zone.center(), me);
+    if (d <= opts_.shortcut_radius) hosts.emplace_back(d, j);
+  }
+  std::sort(hosts.begin(), hosts.end());
+  int gained = 0;
+  std::size_t probes = 0;
+  for (const auto& [d, host] : hosts) {
+    if (gained >= want || probes >= max_probes) break;
+    ++probes;
+    if (!nodes_[i].budget.can_accept()) break;
+    if (link_shortcut(host, i, /*respect_budget=*/true)) ++gained;
+  }
+  return gained;
+}
+
+int Overlay::shed_indegree(dht::NodeIndex i, int count) {
+  if (count <= 0) return 0;
+  const auto victims =
+      nodes_.at(i).inlinks.pick_evictions(static_cast<std::size_t>(count));
+  int shed = 0;
+  for (dht::NodeIndex v : victims)
+    if (unlink_shortcut(v, i)) ++shed;
+  return shed;
+}
+
+void Overlay::check_invariants() const {
+  if (root_ < 0) return;
+  double volume = 0.0;
+  for (dht::NodeIndex i = 0; i < nodes_.size(); ++i) {
+    const CanNode& n = nodes_[i];
+    if (!n.alive) continue;
+    volume += n.zone.volume();
+    assert(leaf_of_[i] >= 0 && tree_[leaf_of_[i]].owner == i);
+    // Adjacency completeness and symmetry.
+    for (dht::NodeIndex j = 0; j < nodes_.size(); ++j) {
+      if (j == i || !nodes_[j].alive) continue;
+      const bool should = zones_abut(n.zone, nodes_[j].zone);
+      const bool has = n.table.entry(kAdjacencyEntry).contains(j);
+      assert(should == has && "adjacency incomplete or stale");
+      if (has)
+        assert(nodes_[j].table.entry(kAdjacencyEntry).contains(i) &&
+               "adjacency asymmetric");
+    }
+    // Shortcut bookkeeping.
+    for (dht::NodeIndex c : n.table.entry(kShortcutEntry).candidates()) {
+      assert(nodes_[c].inlinks.contains(i));
+    }
+    assert(static_cast<std::size_t>(n.budget.indegree()) == n.inlinks.size());
+  }
+  assert(std::fabs(volume - 1.0) < 1e-9 && "zones do not partition the space");
+}
+
+}  // namespace ert::can

@@ -1,0 +1,144 @@
+// CAN (Content-Addressable Network) substrate.
+//
+// CAN is the fourth DHT the paper names alongside Chord, Tapestry and
+// Pastry. The id space is the 2-d unit torus; each node owns an
+// axis-aligned zone, joins split the zone containing a random point, and
+// leaves merge zones back through the split tree (the classic CAN
+// takeover: if the departing node's sibling in the split tree is a leaf
+// the two zones merge; otherwise the deepest leaf pair below the sibling
+// donates a node to adopt the freed zone).
+//
+// Elasticity follows the paper's recipe of "relaxing the routing table
+// neighbor constraints": the mandatory symmetric adjacency links stay (the
+// substrate's correctness needs them), while an elastic *shortcut* entry
+// holds extra links to nearby zones, built under the d_inf - d >= 1
+// acceptance rule, expanded by probing zone owners within a radius, and
+// shed by the adaptation algorithm. Greedy routing treats every link with
+// strictly smaller (zone distance, center distance) to the target as a
+// candidate, so the forwarding policies get their multi-candidate sets.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "dht/routing_entry.h"
+#include "dht/types.h"
+#include "ert/indegree.h"
+#include "net/proximity.h"
+
+namespace ert::can {
+
+using Point = net::Coord;  // unit torus
+
+/// Axis-aligned box on the unit square (splits never wrap).
+struct Zone {
+  double lo_x = 0.0, hi_x = 1.0;
+  double lo_y = 0.0, hi_y = 1.0;
+
+  bool contains(Point p) const {
+    return p.x >= lo_x && p.x < hi_x && p.y >= lo_y && p.y < hi_y;
+  }
+  double width() const { return hi_x - lo_x; }
+  double height() const { return hi_y - lo_y; }
+  double volume() const { return width() * height(); }
+  Point center() const {
+    return Point{(lo_x + hi_x) / 2, (lo_y + hi_y) / 2};
+  }
+};
+
+/// Torus distance from a point to the closest point of a zone.
+double zone_distance(const Zone& z, Point p);
+
+/// True iff the zones share a face segment (abut) on the torus.
+bool zones_abut(const Zone& a, const Zone& b);
+
+inline constexpr std::size_t kAdjacencyEntry = 0;  ///< mandatory neighbors
+inline constexpr std::size_t kShortcutEntry = 1;   ///< elastic ERT links
+inline constexpr std::size_t kNumEntries = 2;
+
+struct CanOptions {
+  bool enforce_indegree_bounds = false;
+  double shortcut_radius = 0.35;  ///< probe owners within this distance.
+  std::size_t max_shortcuts = 8;  ///< per-node outgoing shortcut cap.
+};
+
+struct CanNode {
+  Zone zone;
+  bool alive = false;
+  double capacity = 1.0;
+  dht::ElasticTable table;  ///< [0] adjacency, [1] shortcuts.
+  core::IndegreeBudget budget;  ///< counts *shortcut* inlinks.
+  core::BackwardFingerList inlinks;  ///< who shortcuts to us.
+};
+
+struct RouteStep {
+  bool arrived = false;
+  std::size_t entry_index = kNumEntries;  ///< kNumEntries = mixed/emergency.
+  std::vector<dht::NodeIndex> candidates;
+};
+
+class Overlay {
+ public:
+  using PhysDistFn = std::function<double(dht::NodeIndex, dht::NodeIndex)>;
+
+  explicit Overlay(CanOptions opts, PhysDistFn phys_dist = {});
+
+  /// First node owns the whole space; later joins pick a random point and
+  /// split the zone containing it. Returns the new node's index.
+  dht::NodeIndex add_node(Rng& rng, double capacity, int max_indegree,
+                          double beta);
+
+  /// ERT shortcut expansion: probe owners within shortcut_radius of our
+  /// center until `want` new inlinks are gained.
+  int expand_indegree(dht::NodeIndex i, int want, std::size_t max_probes);
+  int shed_indegree(dht::NodeIndex i, int count);
+
+  /// Classic CAN departure with zone takeover through the split tree.
+  void leave_graceful(dht::NodeIndex i);
+
+  dht::NodeIndex responsible(Point p) const;
+  RouteStep route_step(dht::NodeIndex cur, Point target) const;
+
+  bool link_shortcut(dht::NodeIndex from, dht::NodeIndex to,
+                     bool respect_budget);
+  bool unlink_shortcut(dht::NodeIndex from, dht::NodeIndex to);
+
+  const CanNode& node(dht::NodeIndex i) const { return nodes_.at(i); }
+  std::size_t num_slots() const { return nodes_.size(); }
+  std::size_t alive_count() const { return alive_; }
+
+  /// Structural invariants: zones partition the space, adjacency symmetric
+  /// and complete, shortcut bookkeeping consistent. Assert-checked.
+  void check_invariants() const;
+
+ private:
+  /// Split-tree bookkeeping: every leaf is an alive node's zone.
+  struct TreeNode {
+    Zone zone;
+    int parent = -1;
+    int child[2] = {-1, -1};
+    dht::NodeIndex owner = dht::kNoNode;  ///< valid iff leaf.
+    bool is_leaf() const { return child[0] < 0; }
+  };
+
+  int leaf_containing(Point p) const;
+  void split_leaf(int leaf, dht::NodeIndex newcomer, Point p);
+  void rebuild_adjacency(dht::NodeIndex i);
+  void drop_adjacency(dht::NodeIndex i);
+  void set_zone(dht::NodeIndex i, const Zone& z, int leaf);
+  /// Deepest leaf below `t` (pair donor search).
+  int deepest_leaf(int t) const;
+
+  CanOptions opts_;
+  PhysDistFn phys_dist_;
+  std::vector<CanNode> nodes_;
+  std::vector<TreeNode> tree_;
+  std::vector<int> leaf_of_;  ///< node -> tree leaf index.
+  int root_ = -1;
+  std::size_t alive_ = 0;
+};
+
+}  // namespace ert::can

@@ -1,0 +1,313 @@
+#include "chord/overlay.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ert::chord {
+
+Overlay::Overlay(ChordOptions opts, PhysDistFn phys_dist)
+    : opts_(opts),
+      phys_dist_(std::move(phys_dist)),
+      directory_(std::uint64_t{1} << opts.bits) {
+  assert(opts.bits >= 3 && opts.bits <= 48);
+}
+
+dht::NodeIndex Overlay::add_node(std::uint64_t id, double capacity,
+                                 int max_indegree, double beta) {
+  assert(!directory_.contains(id));
+  ChordNode n;
+  n.id = id;
+  n.alive = true;
+  n.capacity = capacity;
+  n.budget = core::IndegreeBudget(max_indegree, beta);
+  for (int m = 0; m < opts_.bits; ++m)
+    n.table.add_entry(dht::EntryKind::kFinger);
+  n.table.add_entry(dht::EntryKind::kSuccessor);
+  nodes_.push_back(std::move(n));
+  const dht::NodeIndex idx = nodes_.size() - 1;
+  directory_.insert(id, idx);
+  ++alive_;
+  return idx;
+}
+
+dht::NodeIndex Overlay::add_node_random(Rng& rng, double capacity,
+                                        int max_indegree, double beta) {
+  for (;;) {
+    const std::uint64_t id = rng.bits() & (ring_size() - 1);
+    if (!directory_.contains(id))
+      return add_node(id, capacity, max_indegree, beta);
+  }
+}
+
+bool Overlay::eligible(dht::NodeIndex owner, std::size_t slot,
+                       dht::NodeIndex cand) const {
+  if (owner == cand) return false;
+  const ChordNode& o = nodes_.at(owner);
+  const ChordNode& c = nodes_.at(cand);
+  if (slot == successor_entry()) {
+    // Successor list: cand among the first `successor_list` occupied ids
+    // after o (positions, so churn keeps the rule meaningful).
+    const auto succs = directory_.successors_of(o.id, opts_.successor_list);
+    return std::find(succs.begin(), succs.end(), c.id) != succs.end();
+  }
+  const int m = static_cast<int>(slot);
+  // Loose finger rule (Fig. 1b): cand is one of the first `finger_spread`
+  // successors at or after o.id + 2^m.
+  const std::uint64_t start = (o.id + (std::uint64_t{1} << m)) & (ring_size() - 1);
+  if (directory_.contains(start) && c.id == start) return true;
+  const auto window = directory_.successors_of(
+      start == 0 ? ring_size() - 1 : start - 1, opts_.finger_spread);
+  return std::find(window.begin(), window.end(), c.id) != window.end();
+}
+
+bool Overlay::link(dht::NodeIndex from, std::size_t slot, dht::NodeIndex to,
+                   bool respect_budget) {
+  ChordNode& f = nodes_.at(from);
+  ChordNode& t = nodes_.at(to);
+  if (!f.alive || !t.alive || from == to) return false;
+  if (!eligible(from, slot, to)) return false;
+  if (respect_budget && !t.budget.can_accept()) return false;
+  if (t.inlinks.contains(from)) return false;  // one role per ordered pair
+  if (f.table.entry(slot).size() >= opts_.finger_spread &&
+      slot != successor_entry())
+    return false;  // loose slot is full
+  if (!f.table.entry(slot).add(to)) return false;
+  t.inlinks.add(core::BackwardFinger{
+      from, logical_distance(from, to),
+      phys_dist_ ? phys_dist_(from, to) : 0.0});
+  t.budget.on_inlink_added();
+  return true;
+}
+
+bool Overlay::unlink(dht::NodeIndex from, dht::NodeIndex to) {
+  if (nodes_.at(from).table.remove_everywhere(to) == 0) return false;
+  nodes_.at(to).inlinks.remove(from);
+  nodes_.at(to).budget.on_inlink_removed();
+  return true;
+}
+
+void Overlay::build_table(dht::NodeIndex i) {
+  ChordNode& n = nodes_.at(i);
+  // Successor list first: low fingers usually coincide with the nearest
+  // successors, and the one-role-per-pair rule would otherwise leave the
+  // successor entry empty (fingers then diversify via the loose window).
+  for (const std::uint64_t id :
+       directory_.successors_of(n.id, opts_.successor_list)) {
+    link(i, successor_entry(), *directory_.owner_of(id), false);
+  }
+  // Fingers: for each m link the successor of id + 2^m (the strict-Chord
+  // choice) when it accepts; otherwise walk the loose window.
+  for (int m = 0; m < opts_.bits; ++m) {
+    const std::uint64_t start =
+        (n.id + (std::uint64_t{1} << m)) & (ring_size() - 1);
+    bool linked = false;
+    std::uint64_t probe = start == 0 ? ring_size() - 1 : start - 1;
+    for (const std::uint64_t id :
+         directory_.successors_of(probe, opts_.finger_spread)) {
+      const dht::NodeIndex cand = *directory_.owner_of(id);
+      if (link(i, static_cast<std::size_t>(m), cand,
+               opts_.enforce_indegree_bounds)) {
+        linked = true;
+        break;
+      }
+    }
+    if (!linked) {
+      // Routability over bounds: force the strict successor if possible.
+      if (const dht::NodeIndex cand = directory_.successor(start);
+          cand != dht::kNoNode && cand != i)
+        link(i, static_cast<std::size_t>(m), cand, false);
+    }
+  }
+  n.table_built = true;
+}
+
+std::vector<ExpansionTarget> Overlay::expansion_targets(
+    dht::NodeIndex i, std::size_t max_targets) const {
+  std::vector<ExpansionTarget> out;
+  const ChordNode& me = nodes_.at(i);
+  for (int m = opts_.bits - 1; m >= 0 && out.size() < max_targets; --m) {
+    // Hosts j with succ(j + 2^m) near i: j in the predecessors of i - 2^m.
+    const std::uint64_t base =
+        (me.id - (std::uint64_t{1} << m)) & (ring_size() - 1);
+    for (const std::uint64_t id :
+         directory_.predecessors_of((base + 1) & (ring_size() - 1),
+                                    opts_.finger_spread)) {
+      if (out.size() >= max_targets) break;
+      const dht::NodeIndex host = *directory_.owner_of(id);
+      if (host == i || me.inlinks.contains(host)) continue;
+      out.emplace_back(host, static_cast<std::size_t>(m));
+    }
+  }
+  // Predecessors can adopt us into their successor lists.
+  for (const std::uint64_t id :
+       directory_.predecessors_of(me.id, opts_.successor_list)) {
+    if (out.size() >= max_targets) break;
+    const dht::NodeIndex host = *directory_.owner_of(id);
+    if (host == i || me.inlinks.contains(host)) continue;
+    out.emplace_back(host, successor_entry());
+  }
+  return out;
+}
+
+int Overlay::expand_indegree(dht::NodeIndex i, int want,
+                             std::size_t max_probes) {
+  if (want <= 0) return 0;
+  int gained = 0;
+  for (const auto& [host, slot] : expansion_targets(i, max_probes)) {
+    if (gained >= want) break;
+    if (!nodes_[i].budget.can_accept()) break;
+    if (link(host, slot, i, /*respect_budget=*/true)) ++gained;
+  }
+  return gained;
+}
+
+int Overlay::shed_indegree(dht::NodeIndex i, int count) {
+  if (count <= 0) return 0;
+  const auto victims =
+      nodes_.at(i).inlinks.pick_evictions(static_cast<std::size_t>(count));
+  int shed = 0;
+  for (dht::NodeIndex v : victims)
+    if (unlink(v, i)) ++shed;
+  return shed;
+}
+
+void Overlay::leave_graceful(dht::NodeIndex i) {
+  ChordNode& n = nodes_.at(i);
+  if (!n.alive) return;
+  for (auto& entry : n.table.entries()) {
+    for (dht::NodeIndex c : std::vector<dht::NodeIndex>(entry.candidates())) {
+      nodes_[c].inlinks.remove(i);
+      nodes_[c].budget.on_inlink_removed();
+      entry.remove(c);
+    }
+  }
+  for (const auto& f : std::vector<core::BackwardFinger>(n.inlinks.fingers()))
+    nodes_[f.node].table.remove_everywhere(i);
+  n.inlinks.clear();
+  directory_.erase(n.id);
+  n.alive = false;
+  --alive_;
+}
+
+void Overlay::fail(dht::NodeIndex i) {
+  ChordNode& n = nodes_.at(i);
+  if (!n.alive) return;
+  directory_.erase(n.id);
+  n.alive = false;
+  --alive_;
+}
+
+void Overlay::purge_dead(dht::NodeIndex at, dht::NodeIndex dead) {
+  ChordNode& n = nodes_.at(at);
+  n.table.remove_everywhere(dead);
+  if (n.inlinks.remove(dead)) n.budget.on_inlink_removed();
+}
+
+void Overlay::repair_entry(dht::NodeIndex i, std::size_t slot) {
+  ChordNode& n = nodes_.at(i);
+  auto& entry = n.table.entry(slot);
+  for (dht::NodeIndex c : entry.candidates())
+    if (nodes_[c].alive) return;
+  if (directory_.size() < 2) return;
+  if (slot == successor_entry()) {
+    for (const std::uint64_t id :
+         directory_.successors_of(n.id, opts_.successor_list))
+      link(i, slot, *directory_.owner_of(id), false);
+    return;
+  }
+  const int m = static_cast<int>(slot);
+  const std::uint64_t start =
+      (n.id + (std::uint64_t{1} << m)) & (ring_size() - 1);
+  for (const std::uint64_t id : directory_.successors_of(
+           start == 0 ? ring_size() - 1 : start - 1, opts_.finger_spread)) {
+    if (link(i, slot, *directory_.owner_of(id),
+             opts_.enforce_indegree_bounds))
+      return;
+  }
+  if (const dht::NodeIndex cand = directory_.successor(start);
+      cand != dht::kNoNode && cand != i)
+    link(i, slot, cand, false);
+}
+
+std::uint64_t Overlay::logical_distance_to_key(dht::NodeIndex a,
+                                               std::uint64_t key) const {
+  return dht::ring_distance(nodes_.at(a).id, key & (ring_size() - 1),
+                            ring_size());
+}
+
+dht::NodeIndex Overlay::responsible(std::uint64_t key) const {
+  return directory_.successor(key & (ring_size() - 1));
+}
+
+std::uint64_t Overlay::logical_distance(dht::NodeIndex a,
+                                        dht::NodeIndex b) const {
+  return dht::ring_distance(nodes_.at(a).id, nodes_.at(b).id, ring_size());
+}
+
+RouteStep Overlay::route_step(dht::NodeIndex cur, std::uint64_t key) const {
+  RouteStep step;
+  const dht::NodeIndex owner = responsible(key);
+  assert(owner != dht::kNoNode);
+  if (owner == cur) {
+    step.arrived = true;
+    return step;
+  }
+  const ChordNode& cn = nodes_.at(cur);
+  const std::uint64_t target = nodes_.at(owner).id;
+  const std::uint64_t my_gap = dht::clockwise(cn.id, target, ring_size());
+  // Greedy: the slot whose best candidate lands clockwise-closest to the
+  // owner without overshooting.
+  std::size_t best_slot = cn.table.num_entries();
+  std::uint64_t best_gap = my_gap;
+  for (std::size_t slot = 0; slot < cn.table.num_entries(); ++slot) {
+    for (dht::NodeIndex c : cn.table.entry(slot).candidates()) {
+      const std::uint64_t step_fwd =
+          dht::clockwise(cn.id, nodes_[c].id, ring_size());
+      if (step_fwd == 0 || step_fwd > my_gap) continue;  // overshoot / self
+      const std::uint64_t gap = my_gap - step_fwd;
+      if (gap < best_gap) {
+        best_gap = gap;
+        best_slot = slot;
+      }
+    }
+  }
+  if (best_slot < cn.table.num_entries()) {
+    std::vector<std::pair<std::uint64_t, dht::NodeIndex>> ranked;
+    for (dht::NodeIndex c : cn.table.entry(best_slot).candidates()) {
+      const std::uint64_t step_fwd =
+          dht::clockwise(cn.id, nodes_[c].id, ring_size());
+      if (step_fwd == 0 || step_fwd > my_gap) continue;
+      ranked.emplace_back(my_gap - step_fwd, c);
+    }
+    std::stable_sort(ranked.begin(), ranked.end());
+    step.entry_index = best_slot;
+    step.candidates.reserve(ranked.size());
+    for (const auto& [g, c] : ranked) step.candidates.push_back(c);
+    return step;
+  }
+  // Emergency: directory successor (stabilized ring link).
+  const dht::NodeIndex succ = directory_.successor((cn.id + 1) & (ring_size() - 1));
+  assert(succ != dht::kNoNode && succ != cur);
+  step.entry_index = cn.table.num_entries();
+  step.candidates = {succ};
+  return step;
+}
+
+void Overlay::check_invariants() const {
+  for (dht::NodeIndex i = 0; i < nodes_.size(); ++i) {
+    const ChordNode& n = nodes_[i];
+    if (!n.alive) continue;
+    for (std::size_t slot = 0; slot < n.table.num_entries(); ++slot) {
+      for (dht::NodeIndex c : n.table.entry(slot).candidates()) {
+        if (!nodes_[c].alive) continue;
+        assert(nodes_[c].inlinks.contains(i));
+      }
+    }
+    for (const auto& f : n.inlinks.fingers()) {
+      if (!nodes_[f.node].alive) continue;
+      assert(nodes_[f.node].table.links_to(i));
+    }
+  }
+}
+
+}  // namespace ert::chord

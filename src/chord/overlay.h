@@ -1,0 +1,129 @@
+// Chord substrate with the paper's loose-finger ERT variant (Sec. 3.2,
+// Fig. 1).
+//
+// Classic Chord gives node i exactly one (m+1)-th finger: the successor of
+// i + 2^m. The paper loosens the constraint so the (m+1)-th finger slot may
+// hold a *set* of successors succeeding succ(i + 2^m) — that set is the
+// elastic candidate list randomized forwarding picks from, and the slack is
+// what lets node i ask the predecessors of (i - 2^m) to adopt it during
+// indegree expansion ("node (1010-1-011) can send requests targeting
+// ID in [1010-0-000, 1010-0-011] to take it as their 4th finger").
+//
+// The overlay mirrors the Cycloid one: indegree budgets with the
+// d_inf - d >= 1 acceptance rule, backward fingers per inlink, expansion
+// target enumeration, shedding, and a route_step API returning candidate
+// sets per hop. Routing is greedy clockwise: any candidate strictly closer
+// (clockwise) to the owner qualifies, fingers give the O(log n) jumps, and
+// the successor entry guarantees progress.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "dht/ring.h"
+#include "dht/routing_entry.h"
+#include "dht/types.h"
+#include "ert/indegree.h"
+
+namespace ert::chord {
+
+struct ChordOptions {
+  int bits = 16;  ///< ring size 2^bits.
+  /// Max candidates a loose finger slot may hold / how far past
+  /// succ(i + 2^m) eligibility stretches, in occupied-node positions.
+  std::size_t finger_spread = 4;
+  std::size_t successor_list = 4;
+  bool enforce_indegree_bounds = false;
+};
+
+struct ChordNode {
+  std::uint64_t id = 0;
+  bool alive = false;
+  bool table_built = false;
+  double capacity = 1.0;
+  dht::ElasticTable table;  ///< entries: [0, bits) fingers, [bits] successors.
+  core::IndegreeBudget budget;
+  core::BackwardFingerList inlinks;
+};
+
+struct RouteStep {
+  bool arrived = false;
+  std::size_t entry_index = 0;
+  std::vector<dht::NodeIndex> candidates;  ///< best progress first.
+};
+
+using ExpansionTarget = std::pair<dht::NodeIndex, std::size_t>;
+
+class Overlay {
+ public:
+  using PhysDistFn = std::function<double(dht::NodeIndex, dht::NodeIndex)>;
+
+  explicit Overlay(ChordOptions opts, PhysDistFn phys_dist = {});
+
+  dht::NodeIndex add_node(std::uint64_t id, double capacity, int max_indegree,
+                          double beta);
+  dht::NodeIndex add_node_random(Rng& rng, double capacity, int max_indegree,
+                                 double beta);
+
+  /// Builds fingers and the successor list for `i`.
+  void build_table(dht::NodeIndex i);
+
+  int expand_indegree(dht::NodeIndex i, int want, std::size_t max_probes);
+  int shed_indegree(dht::NodeIndex i, int count);
+  void leave_graceful(dht::NodeIndex i);
+
+  /// Silent failure: stale links to `i` remain until discovered (timeouts).
+  void fail(dht::NodeIndex i);
+
+  /// Purges a discovered-dead neighbor from `at`'s table and inlinks.
+  void purge_dead(dht::NodeIndex at, dht::NodeIndex dead);
+
+  /// Refills `slot` of `i` from the directory if it has no live candidate.
+  void repair_entry(dht::NodeIndex i, std::size_t slot);
+
+  dht::NodeIndex responsible(std::uint64_t key) const;
+  RouteStep route_step(dht::NodeIndex cur, std::uint64_t key) const;
+
+  /// Ring distance from a node to a key (for forwarding tie-breaks).
+  std::uint64_t logical_distance_to_key(dht::NodeIndex a,
+                                        std::uint64_t key) const;
+
+  /// Hosts that could adopt `i` into a finger slot: for each m, the
+  /// predecessors of (i - 2^m) within the spread window, plus predecessors
+  /// for the successor-list slot.
+  std::vector<ExpansionTarget> expansion_targets(dht::NodeIndex i,
+                                                 std::size_t max_targets) const;
+
+  bool link(dht::NodeIndex from, std::size_t slot, dht::NodeIndex to,
+            bool respect_budget);
+  bool unlink(dht::NodeIndex from, dht::NodeIndex to);
+  bool eligible(dht::NodeIndex owner, std::size_t slot,
+                dht::NodeIndex cand) const;
+
+  const ChordNode& node(dht::NodeIndex i) const { return nodes_.at(i); }
+  ChordNode& mutable_node(dht::NodeIndex i) { return nodes_.at(i); }
+  std::size_t num_slots() const { return nodes_.size(); }
+  std::size_t alive_count() const { return alive_; }
+  const dht::RingDirectory& directory() const { return directory_; }
+  int bits() const { return opts_.bits; }
+  std::uint64_t ring_size() const { return std::uint64_t{1} << opts_.bits; }
+  std::size_t successor_entry() const {
+    return static_cast<std::size_t>(opts_.bits);
+  }
+
+  std::uint64_t logical_distance(dht::NodeIndex a, dht::NodeIndex b) const;
+
+  void check_invariants() const;
+
+ private:
+  ChordOptions opts_;
+  PhysDistFn phys_dist_;
+  dht::RingDirectory directory_;
+  std::vector<ChordNode> nodes_;
+  std::size_t alive_ = 0;
+};
+
+}  // namespace ert::chord

@@ -1,0 +1,72 @@
+// Bit-manipulation helpers used by the DHT id spaces (Cycloid cubical
+// indices, Chord ring arithmetic, Pastry digit prefixes).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace ert {
+
+/// Returns the index of the most significant bit where `a` and `b` differ,
+/// or -1 if `a == b`. Bit 0 is the least significant bit.
+constexpr int msb_diff(std::uint64_t a, std::uint64_t b) noexcept {
+  const std::uint64_t x = a ^ b;
+  if (x == 0) return -1;
+  return 63 - std::countl_zero(x);
+}
+
+/// Returns bit `pos` of `v` (0 or 1).
+constexpr int bit_at(std::uint64_t v, int pos) noexcept {
+  return static_cast<int>((v >> pos) & 1u);
+}
+
+/// Returns `v` with bit `pos` flipped.
+constexpr std::uint64_t flip_bit(std::uint64_t v, int pos) noexcept {
+  return v ^ (std::uint64_t{1} << pos);
+}
+
+/// Returns a mask with the `k` lowest bits set. `k` must be in [0, 64].
+constexpr std::uint64_t low_mask(int k) noexcept {
+  return k >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << k) - 1;
+}
+
+/// True iff `a` and `b` agree on all bits at positions >= `pos`
+/// within a `width`-bit value.
+constexpr bool same_high_bits(std::uint64_t a, std::uint64_t b, int pos,
+                              int width) noexcept {
+  const std::uint64_t mask = low_mask(width) & ~low_mask(pos);
+  return (a & mask) == (b & mask);
+}
+
+/// Length of the common prefix (starting at the most significant of `width`
+/// bits) of `a` and `b`. Returns `width` when equal.
+constexpr int common_prefix_len(std::uint64_t a, std::uint64_t b,
+                                int width) noexcept {
+  const int d = msb_diff(a & low_mask(width), b & low_mask(width));
+  return d < 0 ? width : width - 1 - d;
+}
+
+/// Number of digits (base 2^bits_per_digit) shared as a prefix between two
+/// `width`-bit ids, scanning from the most significant digit.
+constexpr int common_digit_prefix(std::uint64_t a, std::uint64_t b, int width,
+                                  int bits_per_digit) noexcept {
+  const int digits = width / bits_per_digit;
+  int shared = 0;
+  for (int row = 0; row < digits; ++row) {
+    const int shift = width - (row + 1) * bits_per_digit;
+    const std::uint64_t mask = low_mask(bits_per_digit);
+    if (((a >> shift) & mask) != ((b >> shift) & mask)) break;
+    ++shared;
+  }
+  return shared;
+}
+
+/// Digit at `row` (0 = most significant) of a `width`-bit id in base
+/// 2^bits_per_digit.
+constexpr std::uint64_t digit_at(std::uint64_t v, int row, int width,
+                                 int bits_per_digit) noexcept {
+  const int shift = width - (row + 1) * bits_per_digit;
+  return (v >> shift) & low_mask(bits_per_digit);
+}
+
+}  // namespace ert

@@ -1,0 +1,37 @@
+#include "common/log.h"
+
+#include <cstdio>
+
+namespace ert::log {
+namespace {
+
+Level g_level = Level::Warn;
+
+void vlog(Level lv, const char* tag, const char* fmt, va_list args) {
+  if (lv < g_level) return;
+  std::fprintf(stderr, "[%s] ", tag);
+  std::vfprintf(stderr, fmt, args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace
+
+void set_level(Level level) { g_level = level; }
+Level level() { return g_level; }
+
+#define ERT_LOG_IMPL(fn, lv, tag)            \
+  void fn(const char* fmt, ...) {            \
+    va_list args;                            \
+    va_start(args, fmt);                     \
+    vlog(lv, tag, fmt, args);                \
+    va_end(args);                            \
+  }
+
+ERT_LOG_IMPL(debug, Level::Debug, "debug")
+ERT_LOG_IMPL(info, Level::Info, "info")
+ERT_LOG_IMPL(warn, Level::Warn, "warn")
+ERT_LOG_IMPL(error, Level::Error, "error")
+
+#undef ERT_LOG_IMPL
+
+}  // namespace ert::log

@@ -1,0 +1,22 @@
+// Minimal leveled logger. The simulator is deterministic and single-threaded
+// per run, so the logger favors simplicity: printf-style free functions with
+// a process-wide level gate. Benches keep the level at Warn to avoid
+// polluting table output.
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+namespace ert::log {
+
+enum class Level { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+void set_level(Level level);
+Level level();
+
+void debug(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+void info(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+void warn(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+void error(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace ert::log

@@ -1,0 +1,67 @@
+#include "common/rng.h"
+
+#include <cmath>
+#include <unordered_set>
+
+namespace ert {
+
+std::size_t Rng::zipf(std::size_t n, double s) {
+  // Rejection-inversion sampling (Hormann & Derflinger) would be faster for
+  // large n, but the simulator only draws popularity ranks at workload-setup
+  // time, so simple inverse-CDF over a cached table is unnecessary; we use
+  // the standard rejection method which is O(1) amortized.
+  //
+  // For small exponents fall back to direct CDF inversion over a harmonic
+  // approximation: H(x) ~ x^(1-s)/(1-s) for s != 1, log(x) for s == 1.
+  const double x_max = static_cast<double>(n);
+  auto h_integral = [s](double x) {
+    if (std::abs(s - 1.0) < 1e-12) return std::log(x);
+    return (std::pow(x, 1.0 - s) - 1.0) / (1.0 - s);
+  };
+  auto h_integral_inv = [s](double y) {
+    if (std::abs(s - 1.0) < 1e-12) return std::exp(y);
+    return std::pow(1.0 + y * (1.0 - s), 1.0 / (1.0 - s));
+  };
+  const double total = h_integral(x_max + 0.5) - h_integral(0.5);
+  for (;;) {
+    const double u = uniform(0.0, 1.0) * total + h_integral(0.5);
+    const double x = h_integral_inv(u);
+    const auto k = static_cast<std::size_t>(std::clamp(x + 0.5, 1.0, x_max));
+    // Accept with probability proportional to the true mass at k relative to
+    // the envelope; the envelope is tight so acceptance is high.
+    const double ratio =
+        std::pow(static_cast<double>(k), -s) /
+        (h_integral(static_cast<double>(k) + 0.5) -
+         h_integral(static_cast<double>(k) - 0.5));
+    if (uniform(0.0, 1.0) * ratio <= 1.0 || ratio >= 1.0) return k - 1;
+  }
+}
+
+std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
+  std::vector<std::size_t> out;
+  out.reserve(k);
+  if (k >= n) {
+    out.resize(n);
+    for (std::size_t i = 0; i < n; ++i) out[i] = i;
+    return out;
+  }
+  if (k * 3 >= n) {
+    // Dense case: partial Fisher-Yates over an index array.
+    std::vector<std::size_t> all(n);
+    for (std::size_t i = 0; i < n; ++i) all[i] = i;
+    for (std::size_t i = 0; i < k; ++i) {
+      std::swap(all[i], all[i + index(n - i)]);
+    }
+    all.resize(k);
+    return all;
+  }
+  // Sparse case: rejection sampling into a set.
+  std::unordered_set<std::size_t> seen;
+  while (out.size() < k) {
+    const std::size_t v = index(n);
+    if (seen.insert(v).second) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace ert

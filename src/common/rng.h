@@ -1,0 +1,81 @@
+// Deterministic random number generation for the simulator.
+//
+// Every experiment takes an explicit seed so runs are reproducible; all
+// randomness flows through this class (no global state). Distributions match
+// the paper's workload models: bounded Pareto capacities (Table 2), Poisson
+// arrival processes (Sec. 5), and Zipf-like popularity skews.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace ert {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) : eng_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(eng_);
+  }
+
+  /// Uniform integer in [0, n) — convenience for index selection.
+  std::size_t index(std::size_t n) {
+    return static_cast<std::size_t>(
+        std::uniform_int_distribution<std::uint64_t>(0, n - 1)(eng_));
+  }
+
+  std::uint64_t bits() { return eng_(); }
+
+  /// Uniform real in [lo, hi).
+  double uniform(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>(lo, hi)(eng_);
+  }
+
+  bool bernoulli(double p) { return std::bernoulli_distribution(p)(eng_); }
+
+  /// Exponential inter-arrival time with the given rate (events per unit
+  /// time); used for Poisson query streams and churn processes.
+  double exponential(double rate) {
+    return std::exponential_distribution<double>(rate)(eng_);
+  }
+
+  int poisson(double mean) { return std::poisson_distribution<int>(mean)(eng_); }
+
+  /// Bounded Pareto with the paper's parameterization (shape k, range
+  /// [lo, hi]); models node capacity heterogeneity (Table 2: shape 2,
+  /// lower 500, upper 50000).
+  double bounded_pareto(double shape, double lo, double hi) {
+    // Inverse-CDF sampling of the bounded Pareto distribution.
+    const double u = uniform(0.0, 1.0);
+    const double lk = std::pow(lo, shape);
+    const double hk = std::pow(hi, shape);
+    return std::pow(-(u * hk - u * lk - hk) / (hk * lk), -1.0 / shape);
+  }
+
+  /// Zipf-distributed rank in [0, n) with exponent s; used for file
+  /// popularity skew workloads.
+  std::size_t zipf(std::size_t n, double s);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    std::shuffle(v.begin(), v.end(), eng_);
+  }
+
+  /// Sample k distinct indices from [0, n) (k <= n).
+  std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k);
+
+  /// Split off an independent child stream (for per-node or per-run seeds).
+  Rng fork() { return Rng(eng_() ^ 0xd1b54a32d192ed03ull); }
+
+  std::mt19937_64& engine() { return eng_; }
+
+ private:
+  std::mt19937_64 eng_;
+};
+
+}  // namespace ert

@@ -1,0 +1,62 @@
+#include "common/stats.h"
+
+#include <cassert>
+#include <numeric>
+
+namespace ert {
+
+void OnlineStats::merge(const OnlineStats& o) {
+  if (o.n_ == 0) return;
+  if (n_ == 0) {
+    *this = o;
+    return;
+  }
+  const double total = static_cast<double>(n_ + o.n_);
+  const double delta = o.mean_ - mean_;
+  m2_ += o.m2_ + delta * delta * static_cast<double>(n_) *
+                     static_cast<double>(o.n_) / total;
+  mean_ += delta * static_cast<double>(o.n_) / total;
+  n_ += o.n_;
+  min_ = std::min(min_, o.min_);
+  max_ = std::max(max_, o.max_);
+}
+
+double Percentiles::percentile(double p) const {
+  assert(!samples_.empty());
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  if (p <= 0.0) return samples_.front();
+  if (p >= 100.0) return samples_.back();
+  const double rank = p / 100.0 * static_cast<double>(samples_.size());
+  auto idx = static_cast<std::size_t>(std::ceil(rank));
+  idx = std::min(std::max<std::size_t>(idx, 1), samples_.size());
+  return samples_[idx - 1];
+}
+
+double Percentiles::mean() const {
+  if (samples_.empty()) return 0.0;
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
+         static_cast<double>(samples_.size());
+}
+
+PctSummary summarize(const Percentiles& p) {
+  if (p.empty()) return {};
+  return PctSummary{p.mean(), p.percentile(1.0), p.percentile(99.0)};
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
+  assert(bins > 0 && hi > lo);
+}
+
+void Histogram::add(double x) {
+  auto b = static_cast<std::ptrdiff_t>((x - lo_) / width_);
+  b = std::clamp<std::ptrdiff_t>(b, 0,
+                                 static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(b)];
+  ++total_;
+}
+
+}  // namespace ert

@@ -1,0 +1,117 @@
+// Statistics collectors for the evaluation metrics of Sec. 5:
+// percentile summaries (the paper reports 1st/99th percentiles throughout),
+// online mean/variance, and time-weighted maxima for congestion tracking.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace ert {
+
+/// Streaming mean / variance / min / max (Welford's algorithm).
+class OnlineStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+  void merge(const OnlineStats& o);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Collects samples and answers percentile queries (nearest-rank method,
+/// matching the paper's "99th percentile" metrics).
+class Percentiles {
+ public:
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+  void reserve(std::size_t n) { samples_.reserve(n); }
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  /// p in [0, 100]. Nearest-rank: the smallest value such that at least
+  /// p% of samples are <= it. p = 0 returns the minimum.
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+  double mean() const;
+  double min() const { return percentile(0.0); }
+  double max() const { return percentile(100.0); }
+
+  const std::vector<double>& samples() const { return samples_; }
+  void clear() { samples_.clear(); sorted_ = false; }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+/// Summary triple the paper plots as error bars: average with 1st and 99th
+/// percentiles (Figs. 5c, 7, 10c).
+struct PctSummary {
+  double mean = 0.0;
+  double p01 = 0.0;
+  double p99 = 0.0;
+};
+
+PctSummary summarize(const Percentiles& p);
+
+/// Tracks the running maximum of a per-node quantity over simulated time
+/// (used for "maximum congestion during all test cases", Sec. 5.1).
+class RunningMax {
+ public:
+  void observe(double x) { max_ = std::max(max_, x); }
+  double value() const { return max_; }
+  void reset() { max_ = 0.0; }
+
+ private:
+  double max_ = 0.0;
+};
+
+/// Fixed-bin histogram over [lo, hi); out-of-range samples clamp to the
+/// boundary bins. Used for indegree distribution reporting (Fig. 6).
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t bin_count(std::size_t b) const { return counts_.at(b); }
+  std::size_t bins() const { return counts_.size(); }
+  double bin_low(std::size_t b) const {
+    return lo_ + width_ * static_cast<double>(b);
+  }
+  std::size_t total() const { return total_; }
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace ert

@@ -1,0 +1,33 @@
+// Aligned-column table output for the benchmark harnesses. Every bench
+// binary regenerates one of the paper's figures as a text table: a header
+// row naming the series and one row per x-axis point.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ert {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: first cell is the x value, the rest are numeric series.
+  void add_row(double x, const std::vector<double>& ys, int precision = 3);
+
+  /// Renders to stdout with aligned columns and a separator under the header.
+  void print() const;
+
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper shared by benches).
+std::string fmt_num(double v, int precision = 3);
+
+}  // namespace ert

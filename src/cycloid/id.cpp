@@ -1,0 +1,43 @@
+#include "cycloid/id.h"
+
+#include <cassert>
+
+namespace ert::cycloid {
+
+IdSpace::IdSpace(int dimension) : d_(dimension) {
+  assert(dimension >= 2 && dimension <= 24);
+}
+
+bool IdSpace::cubical_ok(CycloidId owner, CycloidId cand) const {
+  if (owner.k < 1) return false;
+  if (cand.k != owner.k - 1) return false;
+  if (bit_at(cand.a, owner.k) == bit_at(owner.a, owner.k)) return false;
+  return same_high_bits(cand.a, owner.a, owner.k + 1, d_);
+}
+
+bool IdSpace::cyclic_ok(CycloidId owner, CycloidId cand) const {
+  if (owner.k < 1) return false;
+  if (cand.k != owner.k - 1) return false;
+  if (cand.a == owner.a) return false;  // same cycle is the leaf sets' role
+  return same_high_bits(cand.a, owner.a, owner.k, d_);
+}
+
+std::uint64_t IdSpace::cycle_distance(std::uint64_t a1, std::uint64_t a2) const {
+  const std::uint64_t n = num_cycles();
+  const std::uint64_t fwd = a2 >= a1 ? a2 - a1 : n - a1 + a2;
+  return std::min(fwd, n - fwd);
+}
+
+bool IdSpace::outside_leaf_ok(CycloidId owner, CycloidId cand,
+                              std::uint64_t window) const {
+  if (owner.a == cand.a) return false;
+  return cycle_distance(owner.a, cand.a) <= window;
+}
+
+std::string IdSpace::to_string(CycloidId id) const {
+  std::string bits;
+  for (int i = d_ - 1; i >= 0; --i) bits.push_back(bit_at(id.a, i) ? '1' : '0');
+  return "(" + std::to_string(id.k) + "," + bits + ")";
+}
+
+}  // namespace ert::cycloid

@@ -1,0 +1,82 @@
+// Cycloid id space (Shen, Xu, Chen: "Cycloid: a constant-degree P2P overlay
+// network", and Sec. 3.2 of the ERT paper).
+//
+// A Cycloid of dimension d has d * 2^d ids arranged as a cube-connected
+// cycles graph: each id is a pair (k, a) with cyclic index k in [0, d) and
+// cubical index a in [0, 2^d). Ids are linearized as lv = a * d + k so that
+// each cycle (fixed a) occupies a contiguous block — the order used for key
+// responsibility and leaf sets.
+//
+// Neighbor constraints (ERT paper, Sec. 3.2 and Fig. 2), for node (k, a)
+// with k >= 1:
+//  * cubical neighbor:  (k-1, a_{d-1} ... !a_k  x..x) — bit k flipped,
+//    bits above k preserved, bits below k free;
+//  * cyclic neighbors:  (k-1, a_{d-1} ... a_k  x..x) — bits >= k preserved,
+//    bits below k free.
+// Nodes with k == 0 have neither (the original Cycloid leaves them null) and
+// rely on their leaf sets.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bitops.h"
+
+namespace ert::cycloid {
+
+struct CycloidId {
+  int k = 0;            ///< cyclic index in [0, d)
+  std::uint64_t a = 0;  ///< cubical index in [0, 2^d)
+
+  friend bool operator==(const CycloidId&, const CycloidId&) = default;
+};
+
+/// Static description of a Cycloid id space.
+class IdSpace {
+ public:
+  explicit IdSpace(int dimension);
+
+  int dimension() const { return d_; }
+  std::uint64_t num_cycles() const { return std::uint64_t{1} << d_; }
+  std::uint64_t size() const { return num_cycles() * static_cast<std::uint64_t>(d_); }
+
+  std::uint64_t to_linear(CycloidId id) const {
+    return id.a * static_cast<std::uint64_t>(d_) +
+           static_cast<std::uint64_t>(id.k);
+  }
+  CycloidId from_linear(std::uint64_t lv) const {
+    return CycloidId{static_cast<int>(lv % static_cast<std::uint64_t>(d_)),
+                     lv / static_cast<std::uint64_t>(d_)};
+  }
+
+  /// Reduces an arbitrary key to an id in this space.
+  std::uint64_t key_to_linear(std::uint64_t key) const { return key % size(); }
+
+  // --- neighbor constraints -------------------------------------------------
+
+  /// Can `cand` sit in the *cubical* entry of `owner`'s routing table?
+  bool cubical_ok(CycloidId owner, CycloidId cand) const;
+
+  /// Can `cand` sit in a *cyclic* entry of `owner`'s routing table?
+  bool cyclic_ok(CycloidId owner, CycloidId cand) const;
+
+  /// Inside leaf set: same cycle.
+  bool inside_leaf_ok(CycloidId owner, CycloidId cand) const {
+    return owner.a == cand.a && !(owner == cand);
+  }
+
+  /// Outside leaf set: a different cycle within `window` cycles (cubical
+  /// distance on the 2^d cycle ring).
+  bool outside_leaf_ok(CycloidId owner, CycloidId cand,
+                       std::uint64_t window = 1) const;
+
+  /// Cubical ring distance between two cycles (wrap-around).
+  std::uint64_t cycle_distance(std::uint64_t a1, std::uint64_t a2) const;
+
+  std::string to_string(CycloidId id) const;
+
+ private:
+  int d_;
+};
+
+}  // namespace ert::cycloid

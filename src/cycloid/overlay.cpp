@@ -1,0 +1,643 @@
+#include "cycloid/overlay.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ert::cycloid {
+
+Overlay::Overlay(OverlayOptions opts, PhysDistFn phys_dist)
+    : opts_(opts),
+      space_(opts.dimension),
+      phys_dist_(std::move(phys_dist)),
+      directory_(space_.size()) {}
+
+dht::NodeIndex Overlay::add_node(CycloidId id, double capacity,
+                                 int max_indegree, double beta) {
+  const std::uint64_t v = space_.to_linear(id);
+  assert(!directory_.contains(v) && "Cycloid id already occupied");
+  OverlayNode n;
+  n.id = id;
+  n.alive = true;
+  n.capacity = capacity;
+  n.budget = core::IndegreeBudget(max_indegree, beta);
+  n.table.add_entry(dht::EntryKind::kCubical);
+  n.table.add_entry(dht::EntryKind::kCyclic);
+  n.table.add_entry(dht::EntryKind::kInsideLeaf);
+  n.table.add_entry(dht::EntryKind::kOutsideLeaf);
+  nodes_.push_back(std::move(n));
+  const dht::NodeIndex idx = nodes_.size() - 1;
+  directory_.insert(v, idx);
+  ++alive_;
+  return idx;
+}
+
+dht::NodeIndex Overlay::add_node_random(Rng& rng, double capacity,
+                                        int max_indegree, double beta) {
+  const std::uint64_t total = space_.size();
+  assert(directory_.size() < total && "id space is full");
+  // Random probing; past 64 misses (very dense occupancy) scan forward from
+  // a random start for the first free id.
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const auto v = static_cast<std::uint64_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(total) - 1));
+    if (!directory_.contains(v))
+      return add_node(space_.from_linear(v), capacity, max_indegree, beta);
+  }
+  auto v = static_cast<std::uint64_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(total) - 1));
+  while (directory_.contains(v)) v = (v + 1) % total;
+  return add_node(space_.from_linear(v), capacity, max_indegree, beta);
+}
+
+std::vector<dht::NodeIndex> Overlay::cycle_members(std::uint64_t a) const {
+  std::vector<dht::NodeIndex> out;
+  const auto d = static_cast<std::uint64_t>(space_.dimension());
+  for (std::uint64_t k = 0; k < d; ++k) {
+    if (auto owner = directory_.owner_of(a * d + k)) out.push_back(*owner);
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> Overlay::nearby_cycles(std::uint64_t a,
+                                                  std::size_t count) const {
+  std::vector<std::uint64_t> out;
+  const auto d = static_cast<std::uint64_t>(space_.dimension());
+  const std::uint64_t total = space_.size();
+  if (directory_.empty()) return out;
+  // Succeeding side: first occupied id past the end of each found cycle.
+  std::uint64_t probe = (a * d + d) % total;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t id = directory_.successor_id(probe);
+    const std::uint64_t cyc = id / d;
+    if (cyc == a) break;  // wrapped around to our own cycle
+    if (std::find(out.begin(), out.end(), cyc) != out.end()) break;
+    out.push_back(cyc);
+    probe = (cyc * d + d) % total;
+  }
+  // Preceding side: last occupied id before the start of each found cycle.
+  probe = a * d;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t id =
+        directory_.predecessor_id(probe == 0 ? total - 1 : probe - 1) ;
+    const std::uint64_t cyc = id / d;
+    if (cyc == a) break;
+    if (std::find(out.begin(), out.end(), cyc) != out.end()) break;
+    out.push_back(cyc);
+    probe = cyc * d;
+  }
+  return out;
+}
+
+bool Overlay::eligible(dht::NodeIndex owner, std::size_t slot,
+                       dht::NodeIndex cand) const {
+  if (owner == cand) return false;
+  const CycloidId& o = nodes_.at(owner).id;
+  const CycloidId& c = nodes_.at(cand).id;
+  switch (slot) {
+    case kCubicalEntry:
+      return space_.cubical_ok(o, c);
+    case kCyclicEntry:
+      return space_.cyclic_ok(o, c);
+    case kInsideLeafEntry:
+      return space_.inside_leaf_ok(o, c);
+    case kOutsideLeafEntry: {
+      if (o.a == c.a) return false;
+      // Dynamic eligibility: candidate must live within the nearest
+      // occupied cycles on either side (window 2 tolerates races with
+      // concurrent joins between link creation and checks).
+      const auto near = nearby_cycles(o.a, 2);
+      return std::find(near.begin(), near.end(), c.a) != near.end();
+    }
+    default:
+      return false;
+  }
+}
+
+namespace {
+
+/// Enumerates occupied ids of the form (k_sel, pattern with `free_bits` low
+/// bits free), returning node indices.
+std::vector<dht::NodeIndex> collect_matching(const dht::RingDirectory& dir,
+                                             const IdSpace& space, int k_sel,
+                                             std::uint64_t pattern,
+                                             int free_bits) {
+  std::vector<dht::NodeIndex> out;
+  if (k_sel < 0 || k_sel >= space.dimension()) return out;
+  const std::uint64_t base = pattern & ~low_mask(free_bits);
+  const std::uint64_t span = std::uint64_t{1} << free_bits;
+  out.reserve(span / 4);
+  for (std::uint64_t low = 0; low < span; ++low) {
+    const CycloidId id{k_sel, base | low};
+    if (auto owner = dir.owner_of(space.to_linear(id))) out.push_back(*owner);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<dht::NodeIndex> Overlay::eligible_candidates(
+    dht::NodeIndex owner, std::size_t slot) const {
+  const OverlayNode& o = nodes_.at(owner);
+  std::vector<dht::NodeIndex> cands;
+  switch (slot) {
+    case kCubicalEntry: {
+      if (o.id.k < 1) break;
+      const std::uint64_t pattern = flip_bit(o.id.a, o.id.k);
+      cands = collect_matching(directory_, space_, o.id.k - 1, pattern, o.id.k);
+      break;
+    }
+    case kCyclicEntry: {
+      if (o.id.k < 1) break;
+      cands = collect_matching(directory_, space_, o.id.k - 1, o.id.a, o.id.k);
+      std::erase_if(cands, [&](dht::NodeIndex c) {
+        return nodes_[c].id.a == o.id.a;
+      });
+      break;
+    }
+    case kInsideLeafEntry: {
+      cands = cycle_members(o.id.a);
+      std::erase(cands, owner);
+      break;
+    }
+    case kOutsideLeafEntry: {
+      for (std::uint64_t cyc : nearby_cycles(o.id.a, opts_.base_fanout)) {
+        auto members = cycle_members(cyc);
+        // Primary node (largest cyclic index) first, as in Cycloid.
+        std::reverse(members.begin(), members.end());
+        cands.insert(cands.end(), members.begin(), members.end());
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  std::erase_if(cands, [&](dht::NodeIndex c) {
+    return c == owner || !nodes_[c].alive;
+  });
+  // Nearest-first base order; "nearest" is slot-specific:
+  //  * cubical: cycle distance to the canonical pattern (owner's cubical
+  //    index with bit k flipped, low bits preserved) — measuring against
+  //    the owner's own cycle would make one wrap-adjacent cycle the
+  //    universal favorite and turn it into an artificial mega-hub;
+  //  * cyclic: cycle distance to the owner's cycle;
+  //  * inside leaf: wrap-around distance of cyclic indices (a cycle is a
+  //    ring of d nodes, so (d-1, a) and (0, a) are adjacent);
+  //  * outside leaf: cycle distance, then PRIMARY first (largest cyclic
+  //    index) — the structural high-indegree group of Fig. 6.
+  const std::uint64_t my_lv = lv(owner);
+  if (slot == kInsideLeafEntry) {
+    const int d = space_.dimension();
+    std::stable_sort(cands.begin(), cands.end(),
+                     [&](dht::NodeIndex x, dht::NodeIndex y) {
+                       auto kdist = [&](dht::NodeIndex c) {
+                         const int dk = std::abs(nodes_[c].id.k - o.id.k);
+                         return std::min(dk, d - dk);
+                       };
+                       return kdist(x) < kdist(y);
+                     });
+  } else {
+    const std::uint64_t pattern =
+        slot == kCubicalEntry ? flip_bit(o.id.a, o.id.k) : o.id.a;
+    std::stable_sort(cands.begin(), cands.end(),
+                     [&](dht::NodeIndex x, dht::NodeIndex y) {
+                       const auto dx =
+                           space_.cycle_distance(nodes_[x].id.a, pattern);
+                       const auto dy =
+                           space_.cycle_distance(nodes_[y].id.a, pattern);
+                       if (dx != dy) return dx < dy;
+                       if (slot == kOutsideLeafEntry &&
+                           nodes_[x].id.k != nodes_[y].id.k)
+                         return nodes_[x].id.k > nodes_[y].id.k;
+                       return dht::ring_distance(lv(x), my_lv, space_.size()) <
+                              dht::ring_distance(lv(y), my_lv, space_.size());
+                     });
+  }
+  order_by_policy(owner, cands);
+  return cands;
+}
+
+void Overlay::order_by_policy(dht::NodeIndex owner,
+                              std::vector<dht::NodeIndex>& cands) const {
+  switch (opts_.policy) {
+    case NeighborPolicy::kNearest:
+      break;
+    case NeighborPolicy::kSpareIndegree:
+      // ERT: keep nearest-first order but prefer nodes with spare indegree.
+      std::stable_partition(cands.begin(), cands.end(), [&](dht::NodeIndex c) {
+        return nodes_[c].budget.can_accept();
+      });
+      break;
+    case NeighborPolicy::kCapacityBiased:
+      // NS [7]: highest capacity first (proximity breaks ties); nodes whose
+      // indegree bound is full go last.
+      std::stable_sort(cands.begin(), cands.end(),
+                       [&](dht::NodeIndex x, dht::NodeIndex y) {
+                         if (nodes_[x].capacity != nodes_[y].capacity)
+                           return nodes_[x].capacity > nodes_[y].capacity;
+                         return physical_distance(owner, x) <
+                                physical_distance(owner, y);
+                       });
+      std::stable_partition(cands.begin(), cands.end(), [&](dht::NodeIndex c) {
+        return nodes_[c].budget.can_accept();
+      });
+      break;
+  }
+}
+
+bool Overlay::link(dht::NodeIndex from, std::size_t slot, dht::NodeIndex to,
+                   bool respect_budget) {
+  OverlayNode& f = nodes_.at(from);
+  OverlayNode& t = nodes_.at(to);
+  if (!f.alive || !t.alive || from == to) return false;
+  if (!eligible(from, slot, to)) return false;
+  if (respect_budget && !t.budget.can_accept()) return false;
+  // One role per ordered pair: if `from` already points at `to` in another
+  // slot, do not double-link (keeps indegree == #pointing nodes).
+  if (t.inlinks.contains(from)) return false;
+  if (!f.table.entry(slot).add(to)) return false;
+  t.inlinks.add(core::BackwardFinger{from, logical_distance(from, to),
+                                     physical_distance(from, to)});
+  t.budget.on_inlink_added();
+  return true;
+}
+
+bool Overlay::unlink(dht::NodeIndex from, dht::NodeIndex to) {
+  OverlayNode& f = nodes_.at(from);
+  OverlayNode& t = nodes_.at(to);
+  if (f.table.remove_everywhere(to) == 0) return false;
+  t.inlinks.remove(from);
+  t.budget.on_inlink_removed();
+  return true;
+}
+
+void Overlay::build_table(dht::NodeIndex i, Rng& rng) {
+  (void)rng;
+  struct SlotPlan {
+    std::size_t slot;
+    std::size_t want;
+  };
+  const SlotPlan plan[] = {
+      {kCubicalEntry, 1},
+      {kCyclicEntry, 2 * opts_.base_fanout},
+      {kInsideLeafEntry, 2 * opts_.base_fanout},
+      {kOutsideLeafEntry, 2 * opts_.base_fanout},
+  };
+  for (const SlotPlan& p : plan) {
+    std::size_t made = nodes_[i].table.entry(p.slot).size();
+    if (made >= p.want) continue;
+    for (dht::NodeIndex c : eligible_candidates(i, p.slot)) {
+      if (made >= p.want) break;
+      if (link(i, p.slot, c, opts_.enforce_indegree_bounds)) ++made;
+    }
+    if (made == 0) {
+      // Never leave a slot empty if anyone eligible exists: routability
+      // trumps the indegree bound (the bound check is best-effort per the
+      // paper's "only nodes with available capacity ... can be neighbors",
+      // which presumes such nodes exist).
+      for (dht::NodeIndex c : eligible_candidates(i, p.slot)) {
+        if (link(i, p.slot, c, false)) break;
+      }
+    }
+  }
+  // Ring adjacency: every node keeps its lv-successor and lv-predecessor
+  // in the matching leaf entry (Theorem 3.3's proof already assumes nodes
+  // probe successors/predecessors). This closes the cycle-boundary gap —
+  // e.g. (d-1, a) -> (0, a+1) — that neither the primaries-based outside
+  // leaf set nor the cubical/cyclic links cover, and it guarantees the
+  // leaf-set walk always has a progress candidate.
+  if (directory_.size() > 1) {
+    const std::uint64_t total = space_.size();
+    const std::uint64_t succ = directory_.successor_id((lv(i) + 1) % total);
+    const std::uint64_t pred =
+        directory_.predecessor_id(lv(i) == 0 ? total - 1 : lv(i) - 1);
+    for (const std::uint64_t nb : {succ, pred}) {
+      const dht::NodeIndex c = *directory_.owner_of(nb);
+      if (c == i) continue;
+      const std::size_t slot = nodes_[c].id.a == nodes_[i].id.a
+                                   ? kInsideLeafEntry
+                                   : kOutsideLeafEntry;
+      if (!nodes_[i].table.entry(slot).contains(c)) link(i, slot, c, false);
+    }
+  }
+  nodes_[i].table_built = true;
+  // Back-fill: hosts that already built their tables but have no live
+  // candidate in a slot the newcomer fits adopt it — keeps sparse and
+  // churned networks routable (Cycloid's stabilization). Hosts that have
+  // not built yet are skipped so genesis builds see virgin entries.
+  for (const auto& [host, slot] : expansion_targets(i, 64)) {
+    if (!nodes_[host].table_built) continue;
+    auto& entry = nodes_[host].table.entry(slot);
+    bool has_live = false;
+    for (dht::NodeIndex c : entry.candidates())
+      if (nodes_[c].alive) {
+        has_live = true;
+        break;
+      }
+    if (!has_live) link(host, slot, i, false);
+  }
+}
+
+std::vector<ExpansionTarget> Overlay::expansion_targets(
+    dht::NodeIndex i, std::size_t max_targets) const {
+  std::vector<ExpansionTarget> out;
+  const OverlayNode& me = nodes_.at(i);
+  const int k = me.id.k;
+  auto push_hosts = [&](std::vector<dht::NodeIndex> hosts, std::size_t slot) {
+    for (dht::NodeIndex h : hosts) {
+      if (out.size() >= max_targets) return;
+      if (h == i || !nodes_[h].alive) continue;
+      // Algorithm 1 skips ids already among the backward fingers.
+      if (me.inlinks.contains(h)) continue;
+      out.emplace_back(h, slot);
+    }
+  };
+  if (k + 1 < space_.dimension()) {
+    // Hosts (k+1, ...) whose cubical entry we satisfy: their bit (k+1)
+    // differs from ours, bits above match, bits below free.
+    push_hosts(collect_matching(directory_, space_, k + 1,
+                                flip_bit(me.id.a, k + 1), k + 1),
+               kCubicalEntry);
+    // Hosts (k+1, ...) whose cyclic entry we satisfy: bits >= k+1 match.
+    auto cyc = collect_matching(directory_, space_, k + 1, me.id.a, k + 1);
+    std::erase_if(cyc, [&](dht::NodeIndex h) {
+      return nodes_[h].id.a == me.id.a;
+    });
+    push_hosts(std::move(cyc), kCyclicEntry);
+  }
+  // Successor/predecessor probing (assumed by Theorem 3.3): same-cycle
+  // members can take us into their inside leaf sets, adjacent cycles into
+  // their outside leaf sets.
+  auto inside = cycle_members(me.id.a);
+  std::erase(inside, i);
+  push_hosts(std::move(inside), kInsideLeafEntry);
+  for (std::uint64_t cyc : nearby_cycles(me.id.a, 1))
+    push_hosts(cycle_members(cyc), kOutsideLeafEntry);
+  return out;
+}
+
+int Overlay::expand_indegree(dht::NodeIndex i, int want,
+                             std::size_t max_probes) {
+  if (want <= 0) return 0;
+  int gained = 0;
+  for (const auto& [host, slot] : expansion_targets(i, max_probes)) {
+    if (gained >= want) break;
+    if (!nodes_[i].budget.can_accept()) break;
+    if (link(host, slot, i, /*respect_budget=*/true)) ++gained;
+  }
+  return gained;
+}
+
+int Overlay::shed_indegree(dht::NodeIndex i, int count) {
+  if (count <= 0) return 0;
+  // Keep the node reachable: never drop the last inlink.
+  count = std::min<int>(count,
+                        static_cast<int>(nodes_.at(i).inlinks.size()) - 1);
+  if (count <= 0) return 0;
+  const auto victims = nodes_.at(i).inlinks.pick_evictions(
+      static_cast<std::size_t>(count));
+  int shed = 0;
+  for (dht::NodeIndex v : victims) {
+    if (!unlink(v, i)) continue;
+    ++shed;
+    // The evicted host lost a candidate; if that leaves a slot with no live
+    // option its routing would degrade to the walk — repair right away.
+    if (nodes_[v].alive) {
+      for (std::size_t slot = 0; slot < kNumEntries; ++slot)
+        repair_entry(v, slot);
+    }
+  }
+  return shed;
+}
+
+void Overlay::leave_graceful(dht::NodeIndex i) {
+  OverlayNode& n = nodes_.at(i);
+  if (!n.alive) return;
+  // Drop our outlinks (fixing the targets' backward fingers).
+  for (auto& entry : n.table.entries()) {
+    for (dht::NodeIndex c : std::vector<dht::NodeIndex>(entry.candidates())) {
+      nodes_[c].inlinks.remove(i);
+      nodes_[c].budget.on_inlink_removed();
+      entry.remove(c);
+    }
+  }
+  // Drop our inlinks (fixing the pointers' tables).
+  for (const auto& f :
+       std::vector<core::BackwardFinger>(n.inlinks.fingers())) {
+    nodes_[f.node].table.remove_everywhere(i);
+  }
+  n.inlinks.clear();
+  directory_.erase(lv(i));
+  n.alive = false;
+  --alive_;
+}
+
+void Overlay::fail(dht::NodeIndex i) {
+  OverlayNode& n = nodes_.at(i);
+  if (!n.alive) return;
+  directory_.erase(lv(i));
+  n.alive = false;
+  --alive_;
+  // Stale state stays: nodes pointing at `i` discover the failure on their
+  // next contact (timeout), and nodes `i` pointed at keep a stale backward
+  // finger until purged.
+}
+
+void Overlay::purge_dead(dht::NodeIndex at, dht::NodeIndex dead) {
+  OverlayNode& n = nodes_.at(at);
+  n.table.remove_everywhere(dead);
+  if (n.inlinks.remove(dead)) n.budget.on_inlink_removed();
+}
+
+void Overlay::repair_entry(dht::NodeIndex i, std::size_t slot) {
+  auto& entry = nodes_.at(i).table.entry(slot);
+  for (dht::NodeIndex c : entry.candidates())
+    if (nodes_[c].alive) return;  // still has a live candidate
+  for (dht::NodeIndex c : eligible_candidates(i, slot)) {
+    if (link(i, slot, c, opts_.enforce_indegree_bounds)) return;
+  }
+  for (dht::NodeIndex c : eligible_candidates(i, slot)) {
+    if (link(i, slot, c, false)) return;
+  }
+}
+
+dht::NodeIndex Overlay::responsible(std::uint64_t key) const {
+  return directory_.successor(space_.key_to_linear(key));
+}
+
+std::uint64_t Overlay::logical_distance(dht::NodeIndex a,
+                                        dht::NodeIndex b) const {
+  return dht::ring_distance(lv(a), lv(b), space_.size());
+}
+
+std::uint64_t Overlay::logical_distance_to_key(dht::NodeIndex a,
+                                               std::uint64_t key) const {
+  return dht::ring_distance(lv(a), space_.key_to_linear(key), space_.size());
+}
+
+RouteStep Overlay::route_step(dht::NodeIndex cur, std::uint64_t key,
+                              RouteCtx& ctx) const {
+  RouteStep step;
+  const dht::NodeIndex owner = responsible(key);
+  assert(owner != dht::kNoNode);
+  if (owner == cur) {
+    step.arrived = true;
+    return step;
+  }
+  const OverlayNode& cn = nodes_.at(cur);
+  const OverlayNode& on = nodes_.at(owner);
+  assert(cn.alive);
+  const CycloidId cid = cn.id;
+  const CycloidId oid = on.id;
+  const int h = cid.a == oid.a ? -1 : msb_diff(cid.a, oid.a);
+
+  if (ctx.phase == RouteCtx::Phase::kAscend) {
+    if (h >= 0 && cid.k < h) {
+      // Ascending: climb toward cyclic index h, preferably within the local
+      // cycle; in sparse networks, where the local cycle may have no
+      // higher-k member, the outside leaf set (whose heads are the
+      // primaries — highest k — of adjacent cycles) keeps the climb going.
+      // k strictly increases either way, so the phase ends within d hops.
+      for (std::size_t slot : {kInsideLeafEntry, kOutsideLeafEntry}) {
+        std::vector<dht::NodeIndex> ups;
+        for (dht::NodeIndex c : cn.table.entry(slot).candidates())
+          if (nodes_[c].id.k > cid.k) ups.push_back(c);
+        if (ups.empty()) continue;
+        std::stable_sort(ups.begin(), ups.end(),
+                         [&](dht::NodeIndex x, dht::NodeIndex y) {
+                           return std::abs(nodes_[x].id.k - h) <
+                                  std::abs(nodes_[y].id.k - h);
+                         });
+        step.entry_index = slot;
+        step.candidates = std::move(ups);
+        return step;
+      }
+    }
+    ctx.phase = RouteCtx::Phase::kDescend;
+  }
+
+  if (ctx.phase == RouteCtx::Phase::kDescend) {
+    auto by_cycle_distance = [&](std::vector<dht::NodeIndex> cands) {
+      std::stable_sort(cands.begin(), cands.end(),
+                       [&](dht::NodeIndex x, dht::NodeIndex y) {
+                         return space_.cycle_distance(nodes_[x].id.a, oid.a) <
+                                space_.cycle_distance(nodes_[y].id.a, oid.a);
+                       });
+      return cands;
+    };
+    if (h >= 0 && cid.k >= 1 && cid.k == h &&
+        !cn.table.entry(kCubicalEntry).empty()) {
+      // Flip bit h via the cubical link; every candidate makes progress.
+      step.entry_index = kCubicalEntry;
+      step.candidates =
+          by_cycle_distance(cn.table.entry(kCubicalEntry).candidates());
+      return step;
+    }
+    if (h >= 0 && cid.k >= 1 && cid.k > h &&
+        !cn.table.entry(kCyclicEntry).empty()) {
+      // Move between cycles: any cyclic candidate preserves the
+      // already-corrected bits >= k and lowers k.
+      step.entry_index = kCyclicEntry;
+      step.candidates =
+          by_cycle_distance(cn.table.entry(kCyclicEntry).candidates());
+      return step;
+    }
+    // No descend step possible from here (target cycle reached, k exhausted,
+    // or the needed entry is empty): drop to the walk permanently — the
+    // monotone phase order is what guarantees termination.
+    ctx.phase = RouteCtx::Phase::kWalk;
+  }
+
+  // Cycle walk / greedy fallback: any candidate strictly reducing the
+  // ring-position distance to the owner qualifies. Dead (stale) candidates
+  // are judged by their last-known id so the timeout path stays realistic.
+  const std::uint64_t total = space_.size();
+  const std::size_t my_pos = directory_.position_distance(lv(cur), lv(owner));
+  const std::uint64_t my_iddist = dht::ring_distance(lv(cur), lv(owner), total);
+  auto progress_rank = [&](dht::NodeIndex c) -> std::int64_t {
+    // Returns a sort key; negative means "no progress" (filtered out).
+    if (nodes_[c].alive) {
+      const std::size_t pos = directory_.position_distance(lv(c), lv(owner));
+      if (pos >= my_pos) return -1;
+      return static_cast<std::int64_t>(pos);
+    }
+    const std::uint64_t idd = dht::ring_distance(lv(c), lv(owner), total);
+    if (idd >= my_iddist) return -1;
+    return static_cast<std::int64_t>(my_pos);  // dead: rank after live ones
+  };
+  // Rank progress candidates across ALL entries and route through the slot
+  // holding the globally best one — cubical/cyclic links double as long
+  // jumps and the outside leaf set skips whole cycles, so the walk is a
+  // greedy ring walk with shortcuts rather than a position-by-position
+  // crawl. One structural constraint: once inside the owner's cycle, stay
+  // there ("traverse cycle" phase) — a position shortcut that exits the
+  // cycle can strand the query next to an owner only reachable through its
+  // own cycle's leaf links.
+  const bool in_owner_cycle = cid.a == oid.a;
+  auto usable = [&](dht::NodeIndex c) {
+    return !in_owner_cycle || nodes_[c].id.a == oid.a;
+  };
+  for (int relax = 0; relax < 2; ++relax) {
+    std::size_t best_slot = kNoEntry;
+    std::int64_t best_rank = -1;
+    for (std::size_t slot = 0; slot < kNumEntries; ++slot) {
+      for (dht::NodeIndex c : cn.table.entry(slot).candidates()) {
+        if (relax == 0 && !usable(c)) continue;
+        const std::int64_t r = progress_rank(c);
+        if (r >= 0 && (best_rank < 0 || r < best_rank)) {
+          best_rank = r;
+          best_slot = slot;
+        }
+      }
+    }
+    if (best_slot != kNoEntry) {
+      std::vector<std::pair<std::int64_t, dht::NodeIndex>> ranked;
+      for (dht::NodeIndex c : cn.table.entry(best_slot).candidates()) {
+        if (relax == 0 && !usable(c)) continue;
+        const std::int64_t r = progress_rank(c);
+        if (r >= 0) ranked.emplace_back(r, c);
+      }
+      std::stable_sort(ranked.begin(), ranked.end());
+      step.entry_index = best_slot;
+      step.candidates.reserve(ranked.size());
+      for (const auto& [r, c] : ranked) step.candidates.push_back(c);
+      return step;
+    }
+  }
+  // Emergency: step to the directory-adjacent node toward the owner. This
+  // models the stabilized leaf-set hop that always exists in a connected
+  // Cycloid; it guarantees lookup termination on any membership.
+  const std::uint64_t next_id = directory_.step_toward(lv(cur), lv(owner));
+  const auto next = directory_.owner_of(next_id);
+  assert(next.has_value());
+  step.entry_index = kNoEntry;
+  step.candidates = {*next};
+  return step;
+}
+
+void Overlay::check_invariants() const {
+  for (dht::NodeIndex i = 0; i < nodes_.size(); ++i) {
+    const OverlayNode& n = nodes_[i];
+    if (!n.alive) continue;
+    std::size_t outdeg = 0;
+    for (std::size_t slot = 0; slot < n.table.num_entries(); ++slot) {
+      for (dht::NodeIndex c : n.table.entry(slot).candidates()) {
+        ++outdeg;
+        if (!nodes_[c].alive) continue;  // stale link, tolerated after fail()
+        assert(nodes_[c].inlinks.contains(i) &&
+               "outlink without matching backward finger");
+        if (slot != kOutsideLeafEntry) {
+          assert(eligible(i, slot, c) && "ineligible candidate in entry");
+        }
+      }
+    }
+    (void)outdeg;
+    for (const auto& f : n.inlinks.fingers()) {
+      if (!nodes_[f.node].alive) continue;
+      assert(nodes_[f.node].table.links_to(i) &&
+             "backward finger without matching outlink");
+    }
+    assert(n.budget.indegree() >= 0);
+  }
+}
+
+}  // namespace ert::cycloid

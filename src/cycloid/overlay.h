@@ -1,0 +1,233 @@
+// Cycloid overlay with elastic routing tables.
+//
+// This is the substrate the paper's evaluation runs on (Sec. 5, Table 2:
+// dimension 8, n = 2048 = d * 2^d). The overlay manages:
+//
+//  * membership: a RingDirectory over linearized ids, join (random free id),
+//    graceful leave, and silent failure (stale links remain, producing the
+//    timeouts measured in Sec. 5.5);
+//  * elastic routing tables: four entries per node (cubical, cyclic, inside
+//    leaf, outside leaf) whose candidate sets grow and shrink;
+//  * indegree mechanics: the acceptance bound d_inf - d >= 1, backward
+//    fingers mirroring every inlink, reverse-neighbor enumeration for the
+//    indegree expansion algorithm (Sec. 3.2, Algorithm 1), and shedding for
+//    periodic adaptation (Sec. 3.3, Algorithm 3);
+//  * routing: one `route_step` call per hop returning the entry the query
+//    must leave through and its candidate set, preference-ordered so that
+//    deterministic protocols (Base/NS/VS) take the front element while ERT
+//    applies randomized forwarding over the whole set.
+//
+// Routing follows Cycloid's three phases. With current node (k, a) routing
+// toward the owner (l, b) of the key:
+//   ascending   k < h           : climb the local cycle via inside leaves
+//   descending  k == h          : cubical link (flips bit h, k -> k-1)
+//               k > h           : cyclic link (preserves bits >= k, k -> k-1)
+//   cycle walk  a == b          : leaf-set walk to the owner
+// where h is the most significant differing bit between a and b. Since each
+// descending hop fixes the invariant h < k and decreases k, and the walk
+// strictly decreases ring-position distance (with a directory-adjacent
+// emergency step when an entry has no progress candidate), every lookup
+// terminates; tests assert hop bounds.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "cycloid/id.h"
+#include "dht/ring.h"
+#include "dht/routing_entry.h"
+#include "dht/types.h"
+#include "ert/indegree.h"
+
+namespace ert::cycloid {
+
+/// Entry-slot layout shared by every node.
+inline constexpr std::size_t kCubicalEntry = 0;
+inline constexpr std::size_t kCyclicEntry = 1;
+inline constexpr std::size_t kInsideLeafEntry = 2;
+inline constexpr std::size_t kOutsideLeafEntry = 3;
+inline constexpr std::size_t kNumEntries = 4;
+/// Sentinel entry index for emergency hops (no table entry involved).
+inline constexpr std::size_t kNoEntry = kNumEntries;
+
+/// How table-construction chooses among eligible neighbors.
+enum class NeighborPolicy {
+  kNearest,         ///< Base: plain Cycloid, nearest eligible id.
+  kSpareIndegree,   ///< ERT: nearest eligible whose indegree bound has room.
+  kCapacityBiased,  ///< NS [7]: highest-capacity eligible with room.
+};
+
+struct OverlayOptions {
+  int dimension = 8;
+  NeighborPolicy policy = NeighborPolicy::kNearest;
+  /// Enforce d_inf - d >= 1 when creating inlinks (ERT, NS).
+  bool enforce_indegree_bounds = false;
+  /// How many cyclic / leaf candidates per direction the *base* table build
+  /// creates (the original Cycloid uses 1 of each, outdegree 7 total).
+  std::size_t base_fanout = 1;
+};
+
+struct OverlayNode {
+  CycloidId id;
+  bool alive = false;
+  bool table_built = false;  ///< has build_table run for this node?
+  double capacity = 1.0;  ///< normalized capacity (drives NS bias).
+  dht::ElasticTable table;
+  core::IndegreeBudget budget;
+  core::BackwardFingerList inlinks;
+};
+
+struct RouteStep {
+  bool arrived = false;
+  /// Entry the query leaves through; kNoEntry for emergency hops.
+  std::size_t entry_index = kNoEntry;
+  /// Preference-ordered candidate next hops (front = deterministic choice).
+  std::vector<dht::NodeIndex> candidates;
+};
+
+/// Per-query routing state carried with the message (like the overloaded
+/// set A of Algorithm 4). The phase advances monotonically, which is what
+/// makes termination provable: ascending strictly raises the cyclic index,
+/// descending strictly lowers it, and the walk strictly reduces
+/// ring-position distance to the owner.
+struct RouteCtx {
+  enum class Phase : std::uint8_t { kAscend, kDescend, kWalk };
+  Phase phase = Phase::kAscend;
+};
+
+/// (host node, entry slot) pair the expansion algorithm may probe.
+using ExpansionTarget = std::pair<dht::NodeIndex, std::size_t>;
+
+class Overlay {
+ public:
+  using PhysDistFn = std::function<double(dht::NodeIndex, dht::NodeIndex)>;
+
+  explicit Overlay(OverlayOptions opts, PhysDistFn phys_dist = {});
+
+  // --- membership -----------------------------------------------------------
+
+  /// Adds a node at `id` (must be free). `max_indegree`/`beta` configure the
+  /// node's budget (pass a large bound for protocols that ignore it).
+  dht::NodeIndex add_node(CycloidId id, double capacity, int max_indegree,
+                          double beta);
+
+  /// Adds a node at a uniformly random free id.
+  dht::NodeIndex add_node_random(Rng& rng, double capacity, int max_indegree,
+                                 double beta);
+
+  /// Builds the basic routing table for `i` per the configured policy
+  /// (join step 1). Also back-fills: nodes that could use `i` in an entry
+  /// with no live candidate adopt it (keeps sparse networks routable).
+  void build_table(dht::NodeIndex i, Rng& rng);
+
+  /// Indegree expansion (join step 2 / adaptation growth): probes reverse
+  /// neighbors until `want` new inlinks are gained or `max_probes` targets
+  /// are exhausted. Returns the number gained.
+  int expand_indegree(dht::NodeIndex i, int want, std::size_t max_probes);
+
+  /// Sheds up to `count` inlinks, evicting the backward fingers with the
+  /// longest logical (then physical) distance. A node keeps at least one
+  /// inlink (its keys must stay reachable), and hosts whose entry would be
+  /// emptied repair it immediately (the maintenance the paper's "ask
+  /// backward fingers to delete" implies). Returns the number shed.
+  int shed_indegree(dht::NodeIndex i, int count);
+
+  /// Graceful departure: all links to and from `i` are removed.
+  void leave_graceful(dht::NodeIndex i);
+
+  /// Silent failure: `i` leaves the directory but stale links to it remain
+  /// in other tables until discovered (timeout model, Sec. 5.5).
+  void fail(dht::NodeIndex i);
+
+  /// Purges a discovered-dead neighbor from `at`'s table and backward
+  /// fingers.
+  void purge_dead(dht::NodeIndex at, dht::NodeIndex dead);
+
+  /// Refills entry `slot` of `i` from the directory if it has no live
+  /// candidate (used after purges and when shedding empties a host's slot).
+  void repair_entry(dht::NodeIndex i, std::size_t slot);
+
+  // --- routing ---------------------------------------------------------------
+
+  dht::NodeIndex responsible(std::uint64_t key) const;
+
+  /// One routing hop. `ctx` is the query's carried phase state; pass a
+  /// fresh RouteCtx when the lookup starts.
+  RouteStep route_step(dht::NodeIndex cur, std::uint64_t key,
+                       RouteCtx& ctx) const;
+
+  // --- elasticity helpers -----------------------------------------------------
+
+  /// Enumerates up to `max_targets` (host, slot) pairs that could take `i`
+  /// as a routing-table neighbor, nearest hosts first.
+  std::vector<ExpansionTarget> expansion_targets(dht::NodeIndex i,
+                                                 std::size_t max_targets) const;
+
+  /// Creates the link from -> to in `slot`, mirroring the backward finger
+  /// and indegree. When `respect_budget`, fails if `to` has no spare
+  /// indegree. Returns false if ineligible, duplicate, or over budget.
+  bool link(dht::NodeIndex from, std::size_t slot, dht::NodeIndex to,
+            bool respect_budget);
+
+  /// Removes the link from -> to everywhere in `from`'s table, fixing the
+  /// backward finger and indegree of `to`.
+  bool unlink(dht::NodeIndex from, dht::NodeIndex to);
+
+  /// True iff `cand` may legally sit in entry `slot` of `owner`.
+  bool eligible(dht::NodeIndex owner, std::size_t slot,
+                dht::NodeIndex cand) const;
+
+  // --- introspection -----------------------------------------------------------
+
+  const OverlayNode& node(dht::NodeIndex i) const { return nodes_.at(i); }
+  OverlayNode& mutable_node(dht::NodeIndex i) { return nodes_.at(i); }
+  std::size_t num_slots() const { return nodes_.size(); }
+  std::size_t alive_count() const { return alive_; }
+  const IdSpace& space() const { return space_; }
+  const dht::RingDirectory& directory() const { return directory_; }
+
+  /// Logical distance between two nodes: ring distance of linear ids.
+  std::uint64_t logical_distance(dht::NodeIndex a, dht::NodeIndex b) const;
+
+  /// Logical distance from a node to a key's owner position.
+  std::uint64_t logical_distance_to_key(dht::NodeIndex a,
+                                        std::uint64_t key) const;
+
+  double physical_distance(dht::NodeIndex a, dht::NodeIndex b) const {
+    return phys_dist_ ? phys_dist_(a, b) : 0.0;
+  }
+
+  /// Verifies internal invariants (link symmetry, budget consistency);
+  /// aborts via assert on violation. Used by tests.
+  void check_invariants() const;
+
+ private:
+  std::uint64_t lv(dht::NodeIndex i) const { return space_.to_linear(nodes_[i].id); }
+
+  /// All alive nodes eligible for entry `slot` of `owner`, preference-
+  /// ordered per the configured policy.
+  std::vector<dht::NodeIndex> eligible_candidates(dht::NodeIndex owner,
+                                                  std::size_t slot) const;
+
+  /// Nearest occupied cycles != `a` (up to `count` per side).
+  std::vector<std::uint64_t> nearby_cycles(std::uint64_t a,
+                                           std::size_t count) const;
+
+  /// Alive members of cycle `a` (indices), ascending k.
+  std::vector<dht::NodeIndex> cycle_members(std::uint64_t a) const;
+
+  void order_by_policy(dht::NodeIndex owner,
+                       std::vector<dht::NodeIndex>& cands) const;
+
+  OverlayOptions opts_;
+  IdSpace space_;
+  PhysDistFn phys_dist_;
+  dht::RingDirectory directory_;
+  std::vector<OverlayNode> nodes_;
+  std::size_t alive_ = 0;
+};
+
+}  // namespace ert::cycloid

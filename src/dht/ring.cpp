@@ -1,0 +1,156 @@
+#include "dht/ring.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ert::dht {
+
+std::uint64_t clockwise(std::uint64_t from, std::uint64_t to,
+                        std::uint64_t modulus) {
+  if (modulus == 0) return to - from;  // wraps naturally in 2^64
+  assert(from < modulus && to < modulus);
+  return to >= from ? to - from : modulus - from + to;
+}
+
+std::uint64_t ring_distance(std::uint64_t a, std::uint64_t b,
+                            std::uint64_t modulus) {
+  const std::uint64_t cw = clockwise(a, b, modulus);
+  const std::uint64_t ccw = clockwise(b, a, modulus);
+  return std::min(cw, ccw);
+}
+
+bool in_interval(std::uint64_t x, std::uint64_t from, std::uint64_t to,
+                 std::uint64_t modulus) {
+  if (from == to) return true;  // full circle
+  const std::uint64_t span = clockwise(from, to, modulus);
+  const std::uint64_t off = clockwise(from, x, modulus);
+  return off > 0 && off <= span;
+}
+
+std::size_t RingDirectory::lower_bound(std::uint64_t id) const {
+  return static_cast<std::size_t>(
+      std::lower_bound(ids_.begin(), ids_.end(), id) - ids_.begin());
+}
+
+bool RingDirectory::insert(std::uint64_t id, NodeIndex node) {
+  assert(modulus_ == 0 || id < modulus_);
+  const std::size_t pos = lower_bound(id);
+  if (pos < ids_.size() && ids_[pos] == id) return false;
+  ids_.insert(ids_.begin() + static_cast<std::ptrdiff_t>(pos), id);
+  owners_.insert(owners_.begin() + static_cast<std::ptrdiff_t>(pos), node);
+  return true;
+}
+
+bool RingDirectory::erase(std::uint64_t id) {
+  const std::size_t pos = lower_bound(id);
+  if (pos >= ids_.size() || ids_[pos] != id) return false;
+  ids_.erase(ids_.begin() + static_cast<std::ptrdiff_t>(pos));
+  owners_.erase(owners_.begin() + static_cast<std::ptrdiff_t>(pos));
+  return true;
+}
+
+bool RingDirectory::contains(std::uint64_t id) const {
+  const std::size_t pos = lower_bound(id);
+  return pos < ids_.size() && ids_[pos] == id;
+}
+
+std::optional<NodeIndex> RingDirectory::owner_of(std::uint64_t id) const {
+  const std::size_t pos = lower_bound(id);
+  if (pos < ids_.size() && ids_[pos] == id) return owners_[pos];
+  return std::nullopt;
+}
+
+NodeIndex RingDirectory::successor(std::uint64_t key) const {
+  if (ids_.empty()) return kNoNode;
+  std::size_t pos = lower_bound(key);
+  if (pos == ids_.size()) pos = 0;  // wrap
+  return owners_[pos];
+}
+
+std::uint64_t RingDirectory::successor_id(std::uint64_t key) const {
+  assert(!ids_.empty());
+  std::size_t pos = lower_bound(key);
+  if (pos == ids_.size()) pos = 0;
+  return ids_[pos];
+}
+
+NodeIndex RingDirectory::predecessor(std::uint64_t key) const {
+  if (ids_.empty()) return kNoNode;
+  std::size_t pos = lower_bound(key);
+  pos = (pos == 0 ? ids_.size() : pos) - 1;
+  return owners_[pos];
+}
+
+std::uint64_t RingDirectory::predecessor_id(std::uint64_t key) const {
+  assert(!ids_.empty());
+  std::size_t pos = lower_bound(key);
+  pos = (pos == 0 ? ids_.size() : pos) - 1;
+  return ids_[pos];
+}
+
+std::size_t RingDirectory::position_distance(std::uint64_t a,
+                                             std::uint64_t b) const {
+  const std::size_t pa = lower_bound(a);
+  const std::size_t pb = lower_bound(b);
+  assert(pa < ids_.size() && ids_[pa] == a);
+  assert(pb < ids_.size() && ids_[pb] == b);
+  const std::size_t fwd = pb >= pa ? pb - pa : ids_.size() - pa + pb;
+  return std::min(fwd, ids_.size() - fwd);
+}
+
+std::uint64_t RingDirectory::step_toward(std::uint64_t a,
+                                         std::uint64_t b) const {
+  assert(ids_.size() >= 2);
+  const std::size_t pa = lower_bound(a);
+  const std::size_t pb = lower_bound(b);
+  assert(pa < ids_.size() && ids_[pa] == a);
+  const std::size_t fwd = pb >= pa ? pb - pa : ids_.size() - pa + pb;
+  const bool clockwise_shorter = fwd <= ids_.size() - fwd;
+  const std::size_t next =
+      clockwise_shorter ? (pa + 1) % ids_.size()
+                        : (pa == 0 ? ids_.size() - 1 : pa - 1);
+  return ids_[next];
+}
+
+std::vector<std::uint64_t> RingDirectory::ids_in_range(std::uint64_t lo,
+                                                       std::uint64_t hi) const {
+  std::vector<std::uint64_t> out;
+  for (std::size_t pos = lower_bound(lo); pos < ids_.size() && ids_[pos] < hi;
+       ++pos)
+    out.push_back(ids_[pos]);
+  return out;
+}
+
+std::vector<std::uint64_t> RingDirectory::successors_of(std::uint64_t key,
+                                                        std::size_t k) const {
+  std::vector<std::uint64_t> out;
+  if (ids_.empty()) return out;
+  k = std::min(k, ids_.size());
+  std::size_t pos = lower_bound(key);
+  if (pos < ids_.size() && ids_[pos] == key) ++pos;  // exclude key itself
+  out.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    if (pos >= ids_.size()) pos = 0;
+    if (ids_[pos] == key) break;  // wrapped all the way around
+    out.push_back(ids_[pos]);
+    ++pos;
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> RingDirectory::predecessors_of(
+    std::uint64_t key, std::size_t k) const {
+  std::vector<std::uint64_t> out;
+  if (ids_.empty()) return out;
+  k = std::min(k, ids_.size());
+  std::size_t pos = lower_bound(key);
+  out.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    pos = (pos == 0 ? ids_.size() : pos) - 1;
+    if (ids_[pos] == key) break;
+    out.push_back(ids_[pos]);
+  }
+  return out;
+}
+
+}  // namespace ert::dht

@@ -1,0 +1,87 @@
+// Circular id-space arithmetic and successor/predecessor search over a
+// sorted set of occupied ids. Shared by all three substrates: Chord uses it
+// directly on its ring, Cycloid on its linearized (cubical, cyclic) order,
+// Pastry on its numeric id order (leaf sets).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "dht/types.h"
+
+namespace ert::dht {
+
+/// Clockwise distance from `from` to `to` on a ring of size `modulus`
+/// (modulus == 0 means the full 2^64 ring).
+std::uint64_t clockwise(std::uint64_t from, std::uint64_t to,
+                        std::uint64_t modulus);
+
+/// Minimum of the clockwise and counter-clockwise distances.
+std::uint64_t ring_distance(std::uint64_t a, std::uint64_t b,
+                            std::uint64_t modulus);
+
+/// True iff `x` lies in the half-open clockwise interval (from, to] on the
+/// ring. Degenerate interval (from == to) contains everything (full circle).
+bool in_interval(std::uint64_t x, std::uint64_t from, std::uint64_t to,
+                 std::uint64_t modulus);
+
+/// An ordered, mutable set of occupied ids on a ring, with id -> NodeIndex
+/// resolution. Backing store is a sorted vector: the simulator's overlays
+/// change membership (churn) far less often than they query successors.
+class RingDirectory {
+ public:
+  explicit RingDirectory(std::uint64_t modulus) : modulus_(modulus) {}
+
+  /// Inserts an id owned by `node`. Returns false if the id is taken.
+  bool insert(std::uint64_t id, NodeIndex node);
+
+  /// Removes an id; returns false if absent.
+  bool erase(std::uint64_t id);
+
+  bool contains(std::uint64_t id) const;
+  std::optional<NodeIndex> owner_of(std::uint64_t id) const;
+
+  /// The node responsible for `key`: owner of the first occupied id at or
+  /// clockwise after `key` (Chord-style successor assignment).
+  NodeIndex successor(std::uint64_t key) const;
+
+  /// Owner of the first occupied id strictly clockwise-before `key`.
+  NodeIndex predecessor(std::uint64_t key) const;
+
+  /// Occupied id at or after `key` (wrapping); useful for neighbor probes.
+  std::uint64_t successor_id(std::uint64_t key) const;
+  std::uint64_t predecessor_id(std::uint64_t key) const;
+
+  /// All occupied ids in [lo, hi) — non-wrapping range scan (lo <= hi).
+  std::vector<std::uint64_t> ids_in_range(std::uint64_t lo,
+                                          std::uint64_t hi) const;
+
+  /// The k occupied ids clockwise after `key` (excluding `key` itself).
+  std::vector<std::uint64_t> successors_of(std::uint64_t key,
+                                           std::size_t k) const;
+  std::vector<std::uint64_t> predecessors_of(std::uint64_t key,
+                                             std::size_t k) const;
+
+  /// Number of occupied positions separating two occupied ids, walking the
+  /// shorter way around the sorted ring. Both ids must be occupied.
+  std::size_t position_distance(std::uint64_t a, std::uint64_t b) const;
+
+  /// Among `a`'s two occupied ring neighbors, the one on the shorter side
+  /// toward occupied id `b` (== b when adjacent). Requires size() >= 2.
+  std::uint64_t step_toward(std::uint64_t a, std::uint64_t b) const;
+
+  std::size_t size() const { return ids_.size(); }
+  bool empty() const { return ids_.empty(); }
+  std::uint64_t modulus() const { return modulus_; }
+  const std::vector<std::uint64_t>& ids() const { return ids_; }
+
+ private:
+  std::size_t lower_bound(std::uint64_t id) const;
+
+  std::uint64_t modulus_;
+  std::vector<std::uint64_t> ids_;        // sorted
+  std::vector<NodeIndex> owners_;         // parallel to ids_
+};
+
+}  // namespace ert::dht

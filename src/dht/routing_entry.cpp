@@ -1,0 +1,45 @@
+#include "dht/routing_entry.h"
+
+#include <algorithm>
+
+namespace ert::dht {
+
+bool RoutingEntry::add(NodeIndex n) {
+  if (contains(n)) return false;
+  candidates_.push_back(n);
+  return true;
+}
+
+bool RoutingEntry::remove(NodeIndex n) {
+  auto it = std::find(candidates_.begin(), candidates_.end(), n);
+  if (it == candidates_.end()) return false;
+  candidates_.erase(it);
+  if (memory_ == n) memory_ = kNoNode;
+  return true;
+}
+
+bool RoutingEntry::contains(NodeIndex n) const {
+  return std::find(candidates_.begin(), candidates_.end(), n) !=
+         candidates_.end();
+}
+
+std::size_t ElasticTable::outdegree() const {
+  std::size_t total = 0;
+  for (const auto& e : entries_) total += e.size();
+  return total;
+}
+
+std::size_t ElasticTable::remove_everywhere(NodeIndex n) {
+  std::size_t removed = 0;
+  for (auto& e : entries_)
+    if (e.remove(n)) ++removed;
+  return removed;
+}
+
+bool ElasticTable::links_to(NodeIndex n) const {
+  for (const auto& e : entries_)
+    if (e.contains(n)) return true;
+  return false;
+}
+
+}  // namespace ert::dht

@@ -1,0 +1,98 @@
+// Elastic routing-table entry.
+//
+// The paper's central data-structure change (Sec. 3): instead of exactly one
+// neighbor per routing-table slot, each slot holds a *set* of candidate
+// neighbors, all of which satisfy the slot's id constraint (e.g. all valid
+// 4th fingers in loose Chord, all valid cubical neighbors in Cycloid).
+// Elasticity — growing via indegree expansion and shrinking via periodic
+// adaptation — operates on these candidate sets, and the randomized
+// forwarding policy (Sec. 4) picks among them. The per-entry `memory` slot
+// implements Mitzenmacher's load-balancing-with-memory: the least-loaded
+// recent candidate is remembered and reused as one of the next poll's
+// choices.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dht/types.h"
+
+namespace ert::dht {
+
+/// Which role this entry plays in its substrate's routing algorithm.
+enum class EntryKind : std::uint8_t {
+  kCubical,      // Cycloid: flips the current cyclic-index bit
+  kCyclic,       // Cycloid: moves between adjacent cycles
+  kInsideLeaf,   // Cycloid: same-cycle leaf set
+  kOutsideLeaf,  // Cycloid: adjacent-cycle leaf set
+  kFinger,       // Chord: 2^m finger (loose: successor set)
+  kSuccessor,    // Chord: successor list
+  kPrefix,       // Pastry/Tapestry: row/column prefix entry
+  kLeaf,         // Pastry: leaf set
+};
+
+class RoutingEntry {
+ public:
+  RoutingEntry() = default;
+  explicit RoutingEntry(EntryKind kind) : kind_(kind) {}
+
+  EntryKind kind() const { return kind_; }
+
+  /// Adds a candidate if not already present; returns true when added.
+  bool add(NodeIndex n);
+
+  /// Removes a candidate; clears the memory slot if it pointed at `n`.
+  /// Returns true when removed.
+  bool remove(NodeIndex n);
+
+  bool contains(NodeIndex n) const;
+  bool empty() const { return candidates_.empty(); }
+  std::size_t size() const { return candidates_.size(); }
+
+  const std::vector<NodeIndex>& candidates() const { return candidates_; }
+
+  /// Memory slot for memory-based randomized dispatch (Sec. 4.1).
+  NodeIndex memory() const { return memory_; }
+  void remember(NodeIndex n) { memory_ = n; }
+  void forget() { memory_ = kNoNode; }
+
+ private:
+  EntryKind kind_ = EntryKind::kFinger;
+  std::vector<NodeIndex> candidates_;
+  NodeIndex memory_ = kNoNode;
+};
+
+/// A full elastic routing table: a fixed set of entries (one per slot of the
+/// substrate's geometry) whose candidate lists vary in size, plus the
+/// backward-finger list that mirrors this node's inlinks (Sec. 3.2: "each
+/// DHT node maintains a backward outlink for each of its inlinks").
+class ElasticTable {
+ public:
+  std::size_t add_entry(EntryKind kind) {
+    entries_.emplace_back(kind);
+    return entries_.size() - 1;
+  }
+
+  RoutingEntry& entry(std::size_t i) { return entries_.at(i); }
+  const RoutingEntry& entry(std::size_t i) const { return entries_.at(i); }
+  std::size_t num_entries() const { return entries_.size(); }
+
+  std::vector<RoutingEntry>& entries() { return entries_; }
+  const std::vector<RoutingEntry>& entries() const { return entries_; }
+
+  /// Total outdegree: sum of candidate-set sizes over all entries.
+  std::size_t outdegree() const;
+
+  /// Removes `n` from every entry; returns how many entries dropped it.
+  std::size_t remove_everywhere(NodeIndex n);
+
+  /// True if `n` appears in any entry.
+  bool links_to(NodeIndex n) const;
+
+  void clear() { entries_.clear(); }
+
+ private:
+  std::vector<RoutingEntry> entries_;
+};
+
+}  // namespace ert::dht

@@ -1,0 +1,20 @@
+// Shared vocabulary types for all DHT substrates.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace ert::dht {
+
+/// Dense index of a node within an overlay instance. Overlays in this
+/// library address nodes by index; protocol ids (Cycloid/Chord/Pastry) map
+/// to and from indices inside each overlay.
+using NodeIndex = std::size_t;
+
+inline constexpr NodeIndex kNoNode = std::numeric_limits<NodeIndex>::max();
+
+/// A raw key in the linearized id space of an overlay.
+using KeyValue = std::uint64_t;
+
+}  // namespace ert::dht

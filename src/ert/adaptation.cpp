@@ -1,0 +1,25 @@
+#include "ert/adaptation.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace ert::core {
+
+AdaptDecision decide_adaptation(double load, double capacity, double gamma_l,
+                                double mu) {
+  assert(capacity > 0.0 && gamma_l >= 1.0 && mu > 0.0);
+  const double g = load / capacity;
+  if (g > gamma_l) {
+    const int delta =
+        std::max(1, static_cast<int>(std::lround(mu * (load - capacity))));
+    return {AdaptAction::kShed, delta};
+  }
+  if (g < 1.0 / gamma_l) {
+    const int delta =
+        std::max(1, static_cast<int>(std::lround(mu * (capacity - load))));
+    return {AdaptAction::kGrow, delta};
+  }
+  return {};
+}
+
+}  // namespace ert::core

@@ -1,0 +1,30 @@
+// Periodic indegree adaptation policy (Sec. 3.3, Algorithm 3).
+//
+// Every period T a node compares the load l it experienced against its
+// capacity c (both in queue-slot units here — see DESIGN.md Sec. 2):
+//
+//   g = l / c  >  gamma_l      -> shed  ~ mu * (l - c) inlinks, lower d_inf
+//   g = l / c  <  1 / gamma_l  -> grow  ~ mu * (c - l) inlinks, raise d_inf
+//
+// The pseudocode in the paper has the d_inf increments/decrements inverted
+// relative to its own prose ("...then deletes corresponding backward
+// fingers, and decreases its maximum indegree d_inf correspondingly"); we
+// follow the prose, which is also what makes Theorem 3.2's bound converge.
+#pragma once
+
+#include <algorithm>
+
+namespace ert::core {
+
+enum class AdaptAction { kNone, kShed, kGrow };
+
+struct AdaptDecision {
+  AdaptAction action = AdaptAction::kNone;
+  int delta = 0;  ///< number of inlinks to shed or grow (>= 1 when acting).
+};
+
+/// Pure decision function; `load` and `capacity` are in the same unit.
+AdaptDecision decide_adaptation(double load, double capacity, double gamma_l,
+                                double mu);
+
+}  // namespace ert::core

@@ -1,0 +1,57 @@
+#include "ert/capacity.h"
+
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace ert::core {
+
+CapacityModel CapacityModel::generate(std::size_t n, const SimParams& params,
+                                      Rng& rng) {
+  std::vector<double> raw(n);
+  for (auto& c : raw)
+    c = rng.bounded_pareto(params.pareto_shape, params.capacity_lo,
+                           params.capacity_hi);
+  return from_raw(std::move(raw));
+}
+
+CapacityModel CapacityModel::from_raw(std::vector<double> raw) {
+  CapacityModel m;
+  m.raw_ = std::move(raw);
+  m.total_raw_ = std::accumulate(m.raw_.begin(), m.raw_.end(), 0.0);
+  m.norm_mean_ =
+      m.raw_.empty() ? 1.0 : m.total_raw_ / static_cast<double>(m.raw_.size());
+  m.normalized_.resize(m.raw_.size());
+  for (std::size_t i = 0; i < m.raw_.size(); ++i)
+    m.normalized_[i] = m.raw_[i] / m.norm_mean_;
+  return m;
+}
+
+std::size_t CapacityModel::add_node(double raw_capacity) {
+  raw_.push_back(raw_capacity);
+  total_raw_ += raw_capacity;
+  // Normalize the newcomer against the mean frozen at network construction:
+  // each node estimates the network-wide mean rather than triggering a global
+  // renormalization (Sec. 3.2's estimation assumption).
+  normalized_.push_back(raw_capacity / norm_mean_);
+  return raw_.size() - 1;
+}
+
+double CapacityModel::estimated(std::size_t i, double gamma_c,
+                                Rng& rng) const {
+  assert(gamma_c >= 1.0);
+  const double e = rng.uniform(1.0 / gamma_c, gamma_c);
+  return normalized_.at(i) * e;
+}
+
+int max_indegree(double alpha, double normalized_capacity) {
+  const int d = static_cast<int>(
+      std::floor(0.5 + alpha * normalized_capacity));
+  return std::max(d, 1);  // every node must be reachable by at least one link
+}
+
+int queue_slots(double alpha, double normalized_capacity) {
+  return max_indegree(alpha, normalized_capacity);
+}
+
+}  // namespace ert::core

@@ -1,0 +1,66 @@
+// Node capacity model (Sec. 3.1 and Table 2).
+//
+// Raw capacities are drawn from a bounded Pareto distribution (shape 2,
+// range [500, 50000]) "reflecting real-world situations where machines'
+// capacities vary by different orders of magnitude". The protocol works on
+// *normalized* capacity c-hat = n * c / sum(c) so the mean is 1; the maximum
+// indegree of a node is d_inf = floor(0.5 + alpha * c-hat).
+//
+// Theorems 3.1/3.2 allow each node to know its capacity and the network
+// size only within error factors gamma_c / gamma_n w.h.p.; we model that by
+// multiplying each node's view of its normalized capacity with a factor
+// drawn uniformly from [1/gamma, gamma].
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/config.h"
+#include "common/rng.h"
+
+namespace ert::core {
+
+class CapacityModel {
+ public:
+  /// Draws `n` capacities from the bounded Pareto of `params` and
+  /// normalizes them to mean 1.
+  static CapacityModel generate(std::size_t n, const SimParams& params,
+                                Rng& rng);
+
+  /// Builds from explicit raw capacities (tests, custom workloads).
+  static CapacityModel from_raw(std::vector<double> raw);
+
+  /// Adds a node under churn; the newcomer is normalized against the
+  /// directory's running mean (its "estimated" view of the network), so no
+  /// global renormalization happens — matching the paper's estimation model.
+  std::size_t add_node(double raw_capacity);
+
+  std::size_t size() const { return raw_.size(); }
+  double raw(std::size_t i) const { return raw_.at(i); }
+  double normalized(std::size_t i) const { return normalized_.at(i); }
+
+  /// The node's own (possibly erroneous) estimate of its normalized
+  /// capacity: normalized(i) * e where e ~ U[1/gamma_c, gamma_c].
+  double estimated(std::size_t i, double gamma_c, Rng& rng) const;
+
+  double total_raw() const { return total_raw_; }
+  double mean_raw() const {
+    return raw_.empty() ? 0.0 : total_raw_ / static_cast<double>(raw_.size());
+  }
+
+ private:
+  std::vector<double> raw_;
+  std::vector<double> normalized_;
+  double total_raw_ = 0.0;
+  double norm_mean_ = 0.0;  ///< the raw mean used for normalization.
+};
+
+/// Maximum indegree d_inf = floor(0.5 + alpha * c_hat)  (Sec. 3.2).
+int max_indegree(double alpha, double normalized_capacity);
+
+/// Queue-slot capacity: how many queries the node "can handle at one time"
+/// (Sec. 5). Identical formula to max_indegree; kept as a separate named
+/// function because the two concepts evolve independently under adaptation.
+int queue_slots(double alpha, double normalized_capacity);
+
+}  // namespace ert::core

@@ -1,0 +1,75 @@
+// Randomized query-forwarding policies (Sec. 4.1, Algorithm 4).
+//
+// Given the candidate set of the routing entry a query must leave through,
+// the policies pick the next hop:
+//
+//  * Random walk        — uniform choice (the non-forwarding baseline; also
+//                         what ERT/A uses).
+//  * b-way randomized   — poll b random candidates' load, prefer a light one;
+//                         if all heavy, take the least-loaded (gradient).
+//  * Topology-aware     — the full Algorithm 4: excludes nodes already known
+//    two-way (default)    overloaded (the set A carried with the query),
+//                         reuses the remembered least-loaded candidate as one
+//                         of the two choices (memory-based dispatch [22]),
+//                         and among light candidates prefers the logically
+//                         closest to the target, tie-broken by physical
+//                         proximity.
+//
+// The policy is substrate-agnostic: load, logical distance, and physical
+// distance are supplied through a probe interface.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "dht/routing_entry.h"
+#include "dht/types.h"
+
+namespace ert::core {
+
+/// How the forwarder sees a candidate. Collected by one "probe" per
+/// candidate polled; the simulator charges probe costs accordingly.
+struct ProbeResult {
+  double load = 0.0;      ///< congestion g = queue length / slots.
+  bool heavy = false;     ///< g > gamma_l.
+  std::uint64_t logical_distance = 0;  ///< candidate -> target, overlay hops metric.
+  double physical_distance = 0.0;      ///< self -> candidate.
+  double unit_load = 1.0;  ///< how much `load` grows per additional query
+                           ///< (1 / slots); used by the memory update.
+};
+
+using ProbeFn = std::function<ProbeResult(dht::NodeIndex)>;
+
+struct ForwardDecision {
+  dht::NodeIndex next = dht::kNoNode;
+  int probes = 0;  ///< how many load probes the decision cost.
+  std::vector<dht::NodeIndex> newly_overloaded;  ///< to append to the query's A set.
+};
+
+/// Uniform random choice (no probing).
+ForwardDecision forward_random(const std::vector<dht::NodeIndex>& candidates,
+                               Rng& rng);
+
+/// b-way randomized gradient walk without memory or topology awareness:
+/// probe up to `poll_size` random candidates sequentially until a light one
+/// is found; if none, take the least loaded probed.
+ForwardDecision forward_b_way(const std::vector<dht::NodeIndex>& candidates,
+                              int poll_size, const ProbeFn& probe, Rng& rng);
+
+struct TopoForwardOptions {
+  int poll_size = 2;
+  bool use_memory = true;
+  bool track_overloaded = true;
+};
+
+/// Full Algorithm 4. `entry` supplies and receives the memory slot;
+/// `overloaded` is the query's accumulated set A (candidates in it are
+/// excluded unless that empties the candidate list).
+ForwardDecision forward_topology_aware(
+    dht::RoutingEntry& entry, const std::vector<dht::NodeIndex>& candidates,
+    const std::vector<dht::NodeIndex>& overloaded,
+    const TopoForwardOptions& opts, const ProbeFn& probe, Rng& rng);
+
+}  // namespace ert::core

@@ -1,0 +1,50 @@
+#include "ert/indegree.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ert::core {
+
+int IndegreeBudget::initial_target() const {
+  return std::max(1, static_cast<int>(std::lround(
+                         beta_ * static_cast<double>(max_))));
+}
+
+void IndegreeBudget::lower_bound_by(int k) { max_ = std::max(1, max_ - k); }
+
+bool BackwardFingerList::add(BackwardFinger f) {
+  if (contains(f.node)) return false;
+  fingers_.push_back(f);
+  return true;
+}
+
+bool BackwardFingerList::remove(dht::NodeIndex n) {
+  auto it = std::find_if(fingers_.begin(), fingers_.end(),
+                         [n](const BackwardFinger& f) { return f.node == n; });
+  if (it == fingers_.end()) return false;
+  fingers_.erase(it);
+  return true;
+}
+
+bool BackwardFingerList::contains(dht::NodeIndex n) const {
+  return std::any_of(fingers_.begin(), fingers_.end(),
+                     [n](const BackwardFinger& f) { return f.node == n; });
+}
+
+std::vector<dht::NodeIndex> BackwardFingerList::pick_evictions(
+    std::size_t k) const {
+  std::vector<BackwardFinger> sorted = fingers_;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const BackwardFinger& a, const BackwardFinger& b) {
+              if (a.logical_distance != b.logical_distance)
+                return a.logical_distance > b.logical_distance;
+              return a.physical_distance > b.physical_distance;
+            });
+  k = std::min(k, sorted.size());
+  std::vector<dht::NodeIndex> out;
+  out.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) out.push_back(sorted[i].node);
+  return out;
+}
+
+}  // namespace ert::core

@@ -1,0 +1,84 @@
+// Indegree accounting (Sec. 3.2) and backward-finger bookkeeping.
+//
+// Every inlink a node accepts is mirrored by a backward finger, so the node
+// knows exactly who forwards queries to it. The budget enforces the
+// acceptance rule "only nodes with available capacity d_inf - d >= 1 can be
+// the joining node's neighbors", and periodic adaptation moves d_inf
+// (Sec. 3.3: shedding load lowers the bound, inviting load raises it).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dht/types.h"
+
+namespace ert::core {
+
+class IndegreeBudget {
+ public:
+  IndegreeBudget() = default;
+  IndegreeBudget(int max_indegree, double beta)
+      : max_(max_indegree), beta_(beta) {}
+
+  int indegree() const { return degree_; }
+  int max_indegree() const { return max_; }
+
+  /// Initial target = beta * d_inf, at least 1 (Sec. 3.2).
+  int initial_target() const;
+
+  /// Acceptance rule for new inlinks: spare capacity >= 1.
+  bool can_accept() const { return max_ - degree_ >= 1; }
+
+  /// Whether the node should keep probing during initial assignment:
+  /// Algorithm 2 loops while d_inf - d >= beta * d_inf, i.e. until the
+  /// indegree reaches the reservation watermark.
+  bool wants_more() const { return degree_ < initial_target(); }
+
+  void on_inlink_added() { ++degree_; }
+  void on_inlink_removed() {
+    if (degree_ > 0) --degree_;
+  }
+
+  /// Periodic adaptation side effects on the bound (Sec. 3.3): shedding
+  /// k inlinks also lowers d_inf by k; growing raises it. The bound never
+  /// drops below 1.
+  void lower_bound_by(int k);
+  void raise_bound_by(int k) { max_ += k; }
+
+ private:
+  int max_ = 1;
+  int degree_ = 0;
+  double beta_ = 0.8;
+};
+
+/// One backward finger: who points at us, how far they are in the overlay's
+/// logical metric, and how far physically. Eviction during shedding prefers
+/// the longest logical distance, breaking ties by physical distance
+/// (Sec. 3.3).
+struct BackwardFinger {
+  dht::NodeIndex node = dht::kNoNode;
+  std::uint64_t logical_distance = 0;
+  double physical_distance = 0.0;
+};
+
+class BackwardFingerList {
+ public:
+  bool add(BackwardFinger f);
+  bool remove(dht::NodeIndex n);
+  bool contains(dht::NodeIndex n) const;
+
+  std::size_t size() const { return fingers_.size(); }
+  bool empty() const { return fingers_.empty(); }
+  const std::vector<BackwardFinger>& fingers() const { return fingers_; }
+
+  /// Picks up to k fingers to shed: longest logical distance first, ties by
+  /// longest physical distance. Returns node indices in eviction order.
+  std::vector<dht::NodeIndex> pick_evictions(std::size_t k) const;
+
+  void clear() { fingers_.clear(); }
+
+ private:
+  std::vector<BackwardFinger> fingers_;
+};
+
+}  // namespace ert::core

@@ -1,0 +1,3 @@
+// load_tracker.h is header-only; this translation unit exists so the target
+// has a stable archive member and the header gets compiled standalone.
+#include "ert/load_tracker.h"

@@ -1,0 +1,66 @@
+// Per-node load measurement (Secs. 3.3 and 5).
+//
+// Two views of load coexist in the paper and both are tracked here:
+//  * the *instantaneous* queue length, whose peak within each adaptation
+//    period drives Algorithm 3 ("adjust its indegree periodically according
+//    to the maximum load it experienced"), and whose ratio to the node's
+//    queue slots is the congestion rate g;
+//  * the *cumulative* number of queries handled, which feeds the fair-share
+//    metric s_i = (l_i / sum l) / (c_i / sum c).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+
+namespace ert::core {
+
+class LoadTracker {
+ public:
+  /// Queue grew by one (arrival or forwarded-in query).
+  void on_enqueue() {
+    ++queue_len_;
+    ++period_arrivals_;
+    ++cumulative_;
+    period_peak_ = std::max(period_peak_, queue_len_);
+    all_time_peak_ = std::max(all_time_peak_, queue_len_);
+  }
+
+  /// Queue shrank by one (service completed or query handed off).
+  void on_dequeue() {
+    if (queue_len_ > 0) --queue_len_;
+  }
+
+  std::size_t queue_length() const { return queue_len_; }
+  std::size_t cumulative_handled() const { return cumulative_; }
+  std::size_t all_time_peak() const { return all_time_peak_; }
+
+  /// Ends the current adaptation period, returning its peak queue length
+  /// and resetting period counters.
+  std::size_t end_period() {
+    const std::size_t peak = period_peak_;
+    period_peak_ = queue_len_;
+    period_arrivals_ = 0;
+    return peak;
+  }
+
+  std::size_t period_arrivals() const { return period_arrivals_; }
+
+  /// Congestion rate g = queue length / slots (slots > 0).
+  double congestion(int slots) const {
+    return static_cast<double>(queue_len_) / static_cast<double>(slots);
+  }
+
+  /// Peak congestion across the whole run ("maximum congestion").
+  double max_congestion(int slots) const {
+    return static_cast<double>(all_time_peak_) / static_cast<double>(slots);
+  }
+
+ private:
+  std::size_t queue_len_ = 0;
+  std::size_t period_peak_ = 0;
+  std::size_t period_arrivals_ = 0;
+  std::size_t cumulative_ = 0;
+  std::size_t all_time_peak_ = 0;
+};
+
+}  // namespace ert::core

@@ -1,0 +1,61 @@
+#include "estimate/size_estimator.h"
+
+#include <cassert>
+
+namespace ert::estimate {
+
+double density_estimate(const dht::RingDirectory& directory, std::uint64_t id,
+                        std::size_t k) {
+  assert(directory.size() > k);
+  const auto succs = directory.successors_of(id, k);
+  assert(!succs.empty());
+  const std::uint64_t modulus =
+      directory.modulus() == 0 ? ~std::uint64_t{0} : directory.modulus();
+  const std::uint64_t span = dht::clockwise(id, succs.back(),
+                                            directory.modulus());
+  if (span == 0) return static_cast<double>(directory.size());
+  // k successors within `span` of the ring: density k/span, so the ring
+  // holds ~ modulus * k / span nodes.
+  return static_cast<double>(modulus) * static_cast<double>(succs.size()) /
+         static_cast<double>(span);
+}
+
+PushSumResult push_sum_count(
+    std::size_t n,
+    const std::function<std::vector<dht::NodeIndex>(dht::NodeIndex)>& neighbors,
+    int rounds, Rng& rng, dht::NodeIndex leader) {
+  assert(leader < n);
+  std::vector<double> value(n, 0.0), weight(n, 1.0);
+  value[leader] = 1.0;
+  std::vector<double> nv(n), nw(n);
+  for (int round = 0; round < rounds; ++round) {
+    std::fill(nv.begin(), nv.end(), 0.0);
+    std::fill(nw.begin(), nw.end(), 0.0);
+    for (dht::NodeIndex i = 0; i < n; ++i) {
+      const auto nbrs = neighbors(i);
+      if (nbrs.empty()) {
+        nv[i] += value[i];
+        nw[i] += weight[i];
+        continue;
+      }
+      const dht::NodeIndex target = nbrs[rng.index(nbrs.size())];
+      // Half stays, half goes to one random neighbor (push-sum).
+      nv[i] += value[i] / 2;
+      nw[i] += weight[i] / 2;
+      nv[target] += value[i] / 2;
+      nw[target] += weight[i] / 2;
+    }
+    value.swap(nv);
+    weight.swap(nw);
+  }
+  PushSumResult r;
+  r.rounds = rounds;
+  r.estimates.resize(n);
+  for (dht::NodeIndex i = 0; i < n; ++i) {
+    r.estimates[i] = value[i] > 0 ? weight[i] / value[i]
+                                  : static_cast<double>(n);  // not yet reached
+  }
+  return r;
+}
+
+}  // namespace ert::estimate

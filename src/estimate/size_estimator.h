@@ -1,0 +1,53 @@
+// Network-size estimation.
+//
+// Theorems 3.1/3.2 assume every node can estimate the network size n within
+// a factor gamma_n of the true value w.h.p., citing balanced-tree id
+// management [20] and synopsis diffusion [23]. This module supplies two
+// concrete estimators a DHT node can actually run:
+//
+//  * Density estimation: the clockwise gaps to a node's k nearest ring
+//    successors are ~ Exp(n / modulus); n-hat = modulus * k / span. Purely
+//    local (reads the successor list), the standard Chord-style estimator.
+//  * Push-sum gossip (Kempe et al.): mass conservation over any connected
+//    overlay graph; after O(log n) rounds every node's value/weight ratio
+//    converges to 1/n. Works on arbitrary topologies and is the style of
+//    aggregation synopsis diffusion performs.
+//
+// Tests verify both land within small error factors w.h.p., justifying the
+// gamma_n ~ 1..2 range used by the bound checks.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "dht/ring.h"
+#include "dht/types.h"
+
+namespace ert::estimate {
+
+/// Density estimate of the network size as seen from `id`: the owner of
+/// `id` inspects its `k` nearest clockwise successors. Requires the
+/// directory to hold at least k + 1 ids.
+double density_estimate(const dht::RingDirectory& directory, std::uint64_t id,
+                        std::size_t k);
+
+/// One node's view after a push-sum run.
+struct PushSumResult {
+  std::vector<double> estimates;  ///< per-node n-hat.
+  int rounds = 0;
+};
+
+/// Runs synchronous push-sum over an arbitrary graph: `neighbors(i)` lists
+/// the nodes i can gossip to (must be connected and symmetric-ish for good
+/// convergence). Node 0 starts with value 1, everyone with weight... the
+/// count protocol: value_i = (i == leader), weight_i = 1; at convergence
+/// weight/value = n at every node. Each round every node splits its mass
+/// between itself and one random neighbor.
+PushSumResult push_sum_count(
+    std::size_t n, const std::function<std::vector<dht::NodeIndex>(dht::NodeIndex)>& neighbors,
+    int rounds, Rng& rng, dht::NodeIndex leader = 0);
+
+}  // namespace ert::estimate

@@ -1,0 +1,800 @@
+#include "harness/experiment.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <deque>
+#include <memory>
+
+#include "baselines/virtual_servers.h"
+#include "common/rng.h"
+#include "cycloid/overlay.h"
+#include "ert/adaptation.h"
+#include "ert/capacity.h"
+#include "ert/forwarding.h"
+#include "ert/load_tracker.h"
+#include "harness/substrate.h"
+#include "metrics/metrics.h"
+#include "net/proximity.h"
+#include "sim/simulator.h"
+#include "workload/workload.h"
+
+namespace ert::harness {
+
+int fit_dimension(std::size_t ids_needed) {
+  for (int d = 3; d <= 24; ++d) {
+    if (static_cast<std::size_t>(d) << d >= ids_needed) return d;
+  }
+  return 24;
+}
+
+namespace {
+
+using dht::NodeIndex;
+
+/// A lookup in flight.
+struct Query {
+  std::uint64_t key = 0;
+  NodeIndex cur = dht::kNoNode;  ///< overlay node currently holding it.
+  double start_time = 0.0;
+  double penalty = 0.0;  ///< timeout penalty to fold into the next hop.
+  std::size_t hops = 0;
+  std::size_t heavy_met = 0;
+  std::size_t timeouts = 0;
+  std::vector<NodeIndex> overloaded;  ///< the A set of Algorithm 4.
+  bool done = false;
+  bool returning = false;  ///< data-forwarding mode: response leg.
+  std::vector<NodeIndex> path;  ///< recorded when data forwarding is on.
+  sim::EventHandle service;  ///< pending completion (for churn relocation).
+};
+
+/// Per physical node queueing and accounting state.
+struct RealNode {
+  /// Normalized capacity c-hat: queries the node can handle per unit
+  /// period (mean 1 across the network). Congestion g = queue / c-hat, so
+  /// "ideally g stays around 1" (Sec. 5) holds when each node has about
+  /// its fair backlog. The indegree bound floor(0.5 + alpha*c-hat) is a
+  /// separate quantity (see ert::core::max_indegree).
+  double cap = 1.0;
+  bool alive = true;
+  core::LoadTracker tracker;
+  std::size_t in_service = 0;
+  std::deque<std::size_t> waiting;        ///< queued query ids.
+  std::vector<std::size_t> serving;       ///< query ids in service.
+  double peak_congestion = 0.0;
+  int grow_backoff = 0;  ///< expansion backoff after fruitless probes.
+  int grow_wait = 0;
+};
+
+class Engine {
+ public:
+  Engine(const SimParams& params, Protocol proto, SubstrateKind substrate)
+      : params_(params),
+        proto_(proto),
+        kind_(substrate),
+        rng_(params.seed) {}
+
+  ExperimentResult run() {
+    build_network();
+    if (params_.impulse_nodes > 0) {
+      const std::uint64_t space = substrate_->key_space();
+      const std::uint64_t scaled = std::max<std::uint64_t>(
+          1, static_cast<std::uint64_t>(
+                 static_cast<double>(params_.impulse_nodes) *
+                 static_cast<double>(space) /
+                 static_cast<double>(std::max<std::size_t>(1, reals_.size()))));
+      impulse_ = workload::ImpulseWorkload::make(space, scaled,
+                                                 params_.impulse_keys, rng_);
+    }
+    if (params_.zipf_catalog > 0) {
+      zipf_ = std::make_unique<workload::ZipfKeys>(
+          substrate_->key_space(), params_.zipf_catalog,
+          params_.zipf_exponent, rng_);
+      if (params_.zipf_drift_period > 0) schedule_zipf_drift();
+    }
+    schedule_next_lookup();
+    if (uses_adaptation(proto_)) schedule_adaptation();
+    if (params_.churn_interarrival > 0) schedule_churn();
+    if (params_.trace_timeline) schedule_trace();
+    sim_.run();
+    return finalize();
+  }
+
+ private:
+  bool done() const {
+    return issued_ >= params_.num_lookups && completed_ + dropped_ >= issued_;
+  }
+
+  std::size_t real_of(NodeIndex v) const {
+    return vs_ ? vs_->real_of(v) : real_of_overlay_.at(v);
+  }
+
+  bool is_heavy(std::size_t r) const {
+    return static_cast<double>(reals_[r].tracker.queue_length()) >
+           params_.gamma_l * reals_[r].cap;
+  }
+  double congestion(std::size_t r) const {
+    return static_cast<double>(reals_[r].tracker.queue_length()) /
+           reals_[r].cap;
+  }
+
+  // --- network construction --------------------------------------------------
+
+  void build_network() {
+    const std::size_t n = params_.num_nodes;
+    caps_ = core::CapacityModel::generate(n, params_, rng_);
+    prox_ = net::ProximityMap(n, rng_);
+
+    std::size_t ids_needed = n;
+    if (uses_virtual_servers(proto_)) {
+      ids_needed = static_cast<std::size_t>(
+          1.5 * static_cast<double>(n) * std::log2(std::max<double>(2.0, n)));
+    }
+    if (params_.churn_interarrival > 0) {
+      // Churn needs id-space headroom for joins (a full Cycloid rejects
+      // every join); double the space.
+      ids_needed = std::max(ids_needed, 2 * n);
+    }
+    assert((!uses_virtual_servers(proto_) && proto_ != Protocol::kNS) ||
+           kind_ == SubstrateKind::kCycloid ||
+           (proto_ != Protocol::kVS && proto_ != Protocol::kNS));
+    substrate_ = make_substrate(
+        kind_, params_, /*capacity_biased=*/proto_ == Protocol::kNS,
+        /*enforce_bounds=*/proto_ == Protocol::kNS || is_ert(proto_),
+        ids_needed, [this](NodeIndex a, NodeIndex b) {
+          return prox_.distance(real_of(a), real_of(b));
+        });
+
+    if (uses_virtual_servers(proto_)) {
+      cycloid::Overlay* overlay = substrate_->as_cycloid();
+      assert(overlay && "virtual servers require the Cycloid substrate");
+      vs_ = std::make_unique<baselines::VirtualServerMap>(*overlay, caps_, n,
+                                                          rng_);
+      for (NodeIndex v = 0; v < substrate_->num_slots(); ++v)
+        substrate_->build_table(v, rng_);
+    } else {
+      for (std::size_t r = 0; r < n; ++r) {
+        const int dinf = node_max_indegree(r);
+        const NodeIndex v =
+            substrate_->add_node(rng_, caps_.normalized(r), dinf, params_.beta);
+        overlay_of_real_.push_back(v);
+        real_of_overlay_.push_back(r);
+      }
+      for (NodeIndex v = 0; v < substrate_->num_slots(); ++v)
+        substrate_->build_table(v, rng_);
+      if (is_ert(proto_)) initial_indegree_assignment();
+    }
+
+    reals_.resize(n);
+    for (std::size_t r = 0; r < n; ++r) reals_[r].cap = caps_.normalized(r);
+    degrees_ = std::make_unique<metrics::DegreeTracker>(n);
+    observe_degrees();
+  }
+
+  int node_max_indegree(std::size_t r) {
+    if (is_ert(proto_) || proto_ == Protocol::kNS) {
+      const double est = caps_.estimated(r, params_.gamma_c, rng_);
+      return core::max_indegree(params_.alpha(), est);
+    }
+    return 1 << 20;  // Base/VS: no indegree control.
+  }
+
+  void initial_indegree_assignment() {
+    // Algorithm 2's probing loop, run for every node in random order.
+    std::vector<NodeIndex> order(substrate_->num_slots());
+    for (NodeIndex v = 0; v < order.size(); ++v) order[v] = v;
+    rng_.shuffle(order);
+    for (NodeIndex v : order) {
+      const auto& budget = substrate_->budget(v);
+      const int want = budget.initial_target() - budget.indegree();
+      if (want > 0) substrate_->expand_indegree(v, want, 256);
+    }
+  }
+
+  // --- workload ----------------------------------------------------------------
+
+  void schedule_next_lookup() {
+    if (issued_ >= params_.num_lookups) return;
+    sim_.schedule(rng_.exponential(params_.lookup_rate), [this] {
+      issue_lookup();
+      schedule_next_lookup();
+    });
+  }
+
+  NodeIndex pick_alive_overlay_node() {
+    for (;;) {
+      const NodeIndex v = rng_.index(substrate_->num_slots());
+      if (substrate_->alive(v)) return v;
+    }
+  }
+
+  void issue_lookup() {
+    ++issued_;
+    Query q;
+    q.start_time = sim_.now();
+    NodeIndex src;
+    if (impulse_.enabled()) {
+      // Sec. 5.4: sources live in the contiguous impulse interval and all
+      // query the same hot keys.
+      const std::uint64_t lv =
+          (impulse_.interval_start +
+           static_cast<std::uint64_t>(rng_.uniform_int(
+               0, static_cast<std::int64_t>(impulse_.interval_len) - 1))) %
+          substrate_->key_space();
+      src = substrate_->node_at_or_after(lv);
+      q.key = impulse_.pick_key(rng_);
+    } else if (zipf_) {
+      src = pick_alive_overlay_node();
+      q.key = zipf_->pick(rng_);
+    } else {
+      src = pick_alive_overlay_node();
+      q.key = rng_.bits() % substrate_->key_space();
+    }
+    q.cur = src;
+    if (params_.data_forwarding) q.path.push_back(src);
+    queries_.push_back(std::move(q));
+    const std::size_t qid = queries_.size() - 1;
+    substrate_->start_query(qid);
+    arrive(qid, src);
+  }
+
+  // --- queueing ----------------------------------------------------------------
+
+  void arrive(std::size_t qid, NodeIndex v) {
+    Query& q = queries_[qid];
+    if (!substrate_->alive(v)) {
+      // The node died while the query was in flight: timeout, then hand the
+      // query to the dead node's ring successor.
+      ++q.timeouts;
+      const NodeIndex sub = substrate_->live_successor(v);
+      ++q.hops;
+      sim_.schedule(params_.timeout_penalty,
+                    [this, qid, sub] { arrive(qid, sub); });
+      return;
+    }
+    q.cur = v;
+    const std::size_t r = real_of(v);
+    RealNode& rn = reals_[r];
+    if (is_heavy(r)) ++q.heavy_met;
+    rn.tracker.on_enqueue();
+    rn.peak_congestion = std::max(rn.peak_congestion, congestion(r));
+    // Single FIFO server per node: the paper's capacity slots bound how
+    // many queries a node "can handle at one time" (the overload
+    // threshold), while processing itself is one query at a time with the
+    // Table 2 service times (0.2 s light, 1 s heavy).
+    if (rn.in_service == 0) {
+      begin_service(r, qid);
+    } else {
+      rn.waiting.push_back(qid);
+    }
+  }
+
+  void begin_service(std::size_t r, std::size_t qid) {
+    RealNode& rn = reals_[r];
+    ++rn.in_service;
+    rn.serving.push_back(qid);
+    // Table 2: 0.2 s in light nodes, 1 s in heavy nodes, chosen when
+    // processing starts, scaled by capacity — "capacity represents the
+    // number of queries node i can handle in a given time interval"
+    // (Sec. 3.1), so a node of twice the normalized capacity processes
+    // twice as fast. The Table 2 times are for a capacity-1 node.
+    const double base = is_heavy(r) ? params_.heavy_service_time
+                                    : params_.light_service_time;
+    const double service = base / rn.cap;
+    queries_[qid].service =
+        sim_.schedule(service, [this, r, qid] { complete_service(r, qid); });
+  }
+
+  void complete_service(std::size_t r, std::size_t qid) {
+    RealNode& rn = reals_[r];
+    --rn.in_service;
+    std::erase(rn.serving, qid);
+    rn.tracker.on_dequeue();
+    if (!rn.waiting.empty()) {
+      const std::size_t next_qid = rn.waiting.front();
+      rn.waiting.pop_front();
+      begin_service(r, next_qid);
+    }
+    if (queries_[qid].returning) {
+      forward_response(qid);
+    } else {
+      forward(qid);
+    }
+  }
+
+  // --- routing + forwarding policy ----------------------------------------------
+
+  void forward(std::size_t qid) {
+    Query& q = queries_[qid];
+    NodeIndex v = q.cur;
+    for (int guard = 0; guard < 4096; ++guard) {
+      if (q.hops > hop_cap()) {
+        drop_lookup(qid);
+        return;
+      }
+      HopStep step = substrate_->route_step(qid, v, q.key);
+      if (step.arrived) {
+        finish_lookup(qid);
+        return;
+      }
+      assert(!step.candidates.empty());
+      if (is_ert(proto_) && step.candidates.size() > 1) {
+        // Elastic entries hold several candidates; departed ones are
+        // silently skipped and purged — "when an entry neighbor left,
+        // others can be used as a substitute instead of making a detour
+        // routing" (Sec. 5.5). A timeout only happens when the whole entry
+        // is stale (handled below).
+        std::vector<NodeIndex> live;
+        live.reserve(step.candidates.size());
+        for (NodeIndex c : step.candidates) {
+          if (substrate_->alive(c))
+            live.push_back(c);
+          else
+            substrate_->purge_dead(v, c);
+        }
+        if (!live.empty()) step.candidates = std::move(live);
+      }
+      int probes = 0;
+      const NodeIndex next = select_next(qid, v, step, probes);
+      if (next == dht::kNoNode) {
+        drop_lookup(qid);
+        return;
+      }
+      if (!substrate_->alive(next)) {
+        // Timeout: discover the failure, purge the stale link, repair the
+        // entry, and retry (Sec. 5.5's timeout accounting).
+        ++q.timeouts;
+        q.penalty += params_.timeout_penalty;
+        substrate_->purge_dead(v, next);
+        if (step.slot != kNoSlot) substrate_->repair_entry(v, step.slot);
+        continue;
+      }
+      ++q.hops;
+      if (params_.data_forwarding) q.path.push_back(next);
+      if (real_of(next) == real_of(v)) {
+        // Hop between two virtual servers of the same physical node: no
+        // network transfer and no re-queueing — the machine keeps routing
+        // internally (still counts as an overlay hop).
+        v = next;
+        q.cur = next;
+        continue;
+      }
+      const double latency = prox_.latency(real_of(v), real_of(next)) +
+                             q.penalty + params_.probe_cost * probes;
+      q.penalty = 0.0;
+      sim_.schedule(latency, [this, qid, next] { arrive(qid, next); });
+      return;
+    }
+    drop_lookup(qid);
+  }
+
+  /// Data-forwarding mode (the anonymity pattern of Freenet/Mantis/Hordes
+  /// the introduction cites): the response retraces the query path through
+  /// the intermediaries, loading each of them once more.
+  void forward_response(std::size_t qid) {
+    Query& q = queries_[qid];
+    while (!q.path.empty() && (q.path.back() == q.cur ||
+                               !substrate_->alive(q.path.back()))) {
+      q.path.pop_back();  // skip self and departed intermediaries
+    }
+    if (q.path.empty()) {
+      complete_query(qid);
+      return;
+    }
+    const NodeIndex next = q.path.back();
+    q.path.pop_back();
+    ++q.hops;
+    const double latency = prox_.latency(real_of(q.cur), real_of(next));
+    sim_.schedule(latency, [this, qid, next] { arrive(qid, next); });
+  }
+
+  NodeIndex select_next(std::size_t qid, NodeIndex v, const HopStep& step,
+                        int& probes) {
+    Query& q = queries_[qid];
+    if (!uses_forwarding(proto_)) {
+      if (is_ert(proto_)) {
+        // ERT/A: random walk over the elastic candidate set (Sec. 4.1's
+        // baseline policy).
+        return step.candidates[rng_.index(step.candidates.size())];
+      }
+      // Base / NS / VS: the substrate's deterministic best candidate.
+      return step.candidates.front();
+    }
+    // ERT/F and ERT/AF: Algorithm 4.
+    core::TopoForwardOptions opts;
+    opts.poll_size = params_.poll_size;
+    opts.use_memory = params_.use_memory;
+    opts.track_overloaded = params_.propagate_overloaded;
+    const auto probe = [&](NodeIndex c) {
+      core::ProbeResult pr;
+      const std::size_t r = real_of(c);
+      pr.load = congestion(r);
+      pr.heavy = is_heavy(r);
+      pr.logical_distance = substrate_->logical_distance_to_key(c, q.key);
+      pr.physical_distance = prox_.distance(real_of(v), r);
+      pr.unit_load = 1.0 / reals_[r].cap;
+      return pr;
+    };
+    core::ForwardDecision dec;
+    if (dht::RoutingEntry* entry = substrate_->entry(v, step.slot)) {
+      dec = core::forward_topology_aware(*entry, step.candidates, q.overloaded,
+                                         opts, probe, rng_);
+    } else {
+      dec = core::forward_random(step.candidates, rng_);
+    }
+    probes = dec.probes;
+    for (NodeIndex o : dec.newly_overloaded) {
+      if (q.overloaded.size() < 64 &&
+          std::find(q.overloaded.begin(), q.overloaded.end(), o) ==
+              q.overloaded.end())
+        q.overloaded.push_back(o);
+    }
+    return dec.next;
+  }
+
+  std::size_t hop_cap() const { return 64 + substrate_->num_slots() / 2; }
+
+  void finish_lookup(std::size_t qid) {
+    Query& q = queries_[qid];
+    if (q.done) return;
+    if (params_.data_forwarding && !q.returning) {
+      // The owner sends the data back through the recorded path.
+      q.returning = true;
+      forward_response(qid);
+      return;
+    }
+    complete_query(qid);
+  }
+
+  void complete_query(std::size_t qid) {
+    Query& q = queries_[qid];
+    if (q.done) return;
+    q.done = true;
+    metrics::LookupRecord rec;
+    rec.latency = sim_.now() - q.start_time;
+    rec.path_len = q.hops;
+    rec.heavy_met = q.heavy_met;
+    rec.timeouts = q.timeouts;
+    lookups_.add(rec);
+    ++completed_;
+  }
+
+  void drop_lookup(std::size_t qid) {
+    Query& q = queries_[qid];
+    if (q.done) return;
+    q.done = true;
+    ++dropped_;
+  }
+
+  void schedule_zipf_drift() {
+    if (done()) return;
+    sim_.schedule(params_.zipf_drift_period, [this] {
+      // Time-varying popularity: the hot set moves to different keys.
+      zipf_->reshuffle(rng_);
+      schedule_zipf_drift();
+    });
+  }
+
+  // --- periodic indegree adaptation (Algorithm 3) ---------------------------------
+
+  void schedule_adaptation() {
+    if (done()) return;
+    sim_.schedule(params_.adapt_period, [this] {
+      adaptation_sweep();
+      schedule_adaptation();
+    });
+  }
+
+  void adaptation_sweep() {
+    for (NodeIndex v = 0; v < substrate_->num_slots(); ++v) {
+      if (!substrate_->alive(v)) continue;
+      const std::size_t r = real_of(v);
+      RealNode& rn = reals_[r];
+      const auto peak = static_cast<double>(rn.tracker.end_period());
+      const auto dec =
+          core::decide_adaptation(peak, rn.cap, params_.gamma_l, params_.mu);
+      auto& budget = substrate_->budget(v);
+      if (dec.action == core::AdaptAction::kShed) {
+        // Lower the bound first so the hosts' repairs do not immediately
+        // re-adopt this overloaded node.
+        budget.lower_bound_by(dec.delta);
+        const int shed = substrate_->shed_indegree(v, dec.delta);
+        if (shed < dec.delta) budget.raise_bound_by(dec.delta - shed);
+        rn.grow_backoff = 0;  // shedding frees hosts: growth may work again
+        rn.grow_wait = 0;
+      } else if (dec.action == core::AdaptAction::kGrow) {
+        if (rn.grow_wait > 0) {
+          --rn.grow_wait;
+          continue;
+        }
+        budget.raise_bound_by(dec.delta);
+        const int gained = substrate_->expand_indegree(
+            v, dec.delta,
+            std::min<std::size_t>(
+                256, 16 + 4 * static_cast<std::size_t>(dec.delta)));
+        if (gained < dec.delta) budget.lower_bound_by(dec.delta - gained);
+        if (gained == 0) {
+          // Exponential backoff: the reverse-neighbor id sets are finite;
+          // once exhausted, probing every period is wasted work.
+          rn.grow_backoff = std::min(512, std::max(8, rn.grow_backoff * 2));
+          rn.grow_wait = rn.grow_backoff;
+        } else {
+          rn.grow_backoff = 0;
+        }
+      }
+    }
+    observe_degrees();
+  }
+
+  void schedule_trace() {
+    if (done()) return;
+    sim_.schedule(params_.adapt_period, [this] {
+      sample_timeline();
+      schedule_trace();
+    });
+  }
+
+  void sample_timeline() {
+    ExperimentResult::PeriodSample s;
+    s.time = sim_.now();
+    Percentiles g;
+    for (std::size_t r = 0; r < reals_.size(); ++r) {
+      if (!reals_[r].alive) continue;
+      const double gr = congestion(r);
+      g.add(gr);
+      if (is_heavy(r)) ++s.heavy_nodes;
+    }
+    if (!g.empty()) {
+      s.p99_congestion = g.percentile(99);
+      s.mean_congestion = g.mean();
+    }
+    std::size_t indeg = 0, alive_nodes = 0;
+    for (NodeIndex v = 0; v < substrate_->num_slots(); ++v) {
+      if (!substrate_->alive(v)) continue;
+      indeg += substrate_->indegree(v);
+      ++alive_nodes;
+    }
+    s.mean_indegree = alive_nodes ? static_cast<double>(indeg) /
+                                        static_cast<double>(alive_nodes)
+                                  : 0.0;
+    s.in_flight = issued_ - completed_ - dropped_;
+    timeline_.push_back(s);
+  }
+
+  void observe_degrees() {
+    for (std::size_t r = 0; r < reals_.size(); ++r) {
+      if (!reals_[r].alive) continue;
+      std::size_t in = 0, out = 0;
+      if (vs_) {
+        for (NodeIndex v : vs_->vnodes_of(r)) {
+          if (!substrate_->alive(v)) continue;
+          in += substrate_->indegree(v);
+          out += substrate_->outdegree(v);
+        }
+      } else {
+        const NodeIndex v = overlay_of_real_[r];
+        if (v != dht::kNoNode && substrate_->alive(v)) {
+          in = substrate_->indegree(v);
+          out = substrate_->outdegree(v);
+        }
+      }
+      degrees_->observe(r, in, out);
+    }
+  }
+
+  // --- churn (Sec. 5.5) ------------------------------------------------------------
+
+  void schedule_churn() {
+    const double rate = 1.0 / params_.churn_interarrival;
+    if (done()) return;
+    sim_.schedule(rng_.exponential(rate), [this] {
+      churn_join();
+      schedule_churn();
+    });
+    sim_.schedule(rng_.exponential(rate), [this] { churn_depart(); });
+  }
+
+  void churn_join() {
+    if (done()) return;
+    const double raw = rng_.bounded_pareto(
+        params_.pareto_shape, params_.capacity_lo, params_.capacity_hi);
+    const std::size_t r = caps_.add_node(raw);
+    prox_.add_node(rng_);
+    RealNode rn;
+    rn.cap = caps_.normalized(r);
+    reals_.push_back(std::move(rn));
+    if (vs_) {
+      cycloid::Overlay* overlay = substrate_->as_cycloid();
+      for (NodeIndex v : vs_->add_real_node(*overlay, caps_, r, rng_))
+        substrate_->build_table(v, rng_);
+    } else {
+      if (substrate_->id_space_full()) {
+        reals_[r].alive = false;  // id space full: join rejected
+        overlay_of_real_.push_back(dht::kNoNode);
+        return;
+      }
+      const NodeIndex v = substrate_->add_node(
+          rng_, caps_.normalized(r), node_max_indegree(r), params_.beta);
+      overlay_of_real_.push_back(v);
+      real_of_overlay_.push_back(r);
+      substrate_->build_table(v, rng_);
+      if (is_ert(proto_)) {
+        const auto& budget = substrate_->budget(v);
+        const int want = budget.initial_target() - budget.indegree();
+        if (want > 0) substrate_->expand_indegree(v, want, 256);
+      }
+    }
+    degrees_->ensure_size(reals_.size());
+  }
+
+  void churn_depart() {
+    if (done()) return;
+    // Pick a random alive real node; keep a floor so the network survives.
+    if (alive_reals() < std::max<std::size_t>(16, params_.num_nodes / 4))
+      return;
+    for (int tries = 0; tries < 64; ++tries) {
+      const std::size_t r = rng_.index(reals_.size());
+      if (!reals_[r].alive) continue;
+      depart_real(r);
+      return;
+    }
+  }
+
+  std::size_t alive_reals() const {
+    std::size_t n = 0;
+    for (const auto& rn : reals_)
+      if (rn.alive) ++n;
+    return n;
+  }
+
+  void depart_real(std::size_t r) {
+    RealNode& rn = reals_[r];
+    rn.alive = false;
+    // Silent failure: stale links remain and are discovered via timeouts.
+    if (vs_) {
+      for (NodeIndex v : vs_->vnodes_of(r)) substrate_->fail(v);
+    } else {
+      if (overlay_of_real_[r] != dht::kNoNode)
+        substrate_->fail(overlay_of_real_[r]);
+    }
+    relocate_queries_from(r);
+  }
+
+  void relocate_queries_from(std::size_t r) {
+    RealNode& rn = reals_[r];
+    std::vector<std::size_t> displaced;
+    displaced.reserve(rn.waiting.size() + rn.serving.size());
+    for (std::size_t qid : rn.waiting) displaced.push_back(qid);
+    for (std::size_t qid : rn.serving) {
+      queries_[qid].service.cancel();
+      displaced.push_back(qid);
+    }
+    rn.waiting.clear();
+    rn.serving.clear();
+    rn.in_service = 0;
+    for (std::size_t i = 0; i < displaced.size(); ++i) rn.tracker.on_dequeue();
+    for (std::size_t qid : displaced) {
+      Query& q = queries_[qid];
+      if (q.done) continue;
+      ++q.timeouts;
+      ++q.hops;
+      const NodeIndex sub = substrate_->live_successor(q.cur);
+      sim_.schedule(params_.timeout_penalty,
+                    [this, qid, sub] { arrive(qid, sub); });
+    }
+  }
+
+  // --- results -----------------------------------------------------------------------
+
+  ExperimentResult finalize() {
+    observe_degrees();
+    ExperimentResult res;
+    Percentiles peak;
+    std::size_t min_cap_node = 0;
+    for (std::size_t r = 0; r < reals_.size(); ++r) {
+      peak.add(reals_[r].peak_congestion);
+      if (caps_.raw(r) < caps_.raw(min_cap_node)) min_cap_node = r;
+    }
+    res.p99_max_congestion = peak.percentile(99);
+    res.mean_max_congestion = peak.mean();
+    res.min_cap_node_congestion = reals_[min_cap_node].peak_congestion;
+
+    std::vector<double> load(reals_.size()), cap(reals_.size());
+    for (std::size_t r = 0; r < reals_.size(); ++r) {
+      load[r] = static_cast<double>(reals_[r].tracker.cumulative_handled());
+      cap[r] = caps_.raw(r);
+    }
+    Percentiles shares;
+    for (double s : metrics::compute_shares(load, cap)) shares.add(s);
+    res.p99_share = shares.percentile(99);
+
+    res.heavy_encounters = lookups_.total_heavy_encounters();
+    res.avg_path_length = lookups_.avg_path_length();
+    res.lookup_time = lookups_.latency_summary();
+    res.avg_timeouts = lookups_.avg_timeouts();
+    res.max_indegree = degrees_->indegree_summary();
+    res.max_outdegree = degrees_->outdegree_summary();
+    res.timeline = std::move(timeline_);
+    res.completed_lookups = completed_;
+    res.dropped_lookups = dropped_;
+    res.sim_duration = sim_.now();
+    res.final_nodes = alive_reals();
+    return res;
+  }
+
+  SimParams params_;
+  Protocol proto_;
+  SubstrateKind kind_;
+  Rng rng_;
+  sim::Simulator sim_;
+  core::CapacityModel caps_;
+  net::ProximityMap prox_;
+  std::unique_ptr<SubstrateOps> substrate_;
+  std::unique_ptr<baselines::VirtualServerMap> vs_;
+  workload::ImpulseWorkload impulse_;
+  std::unique_ptr<workload::ZipfKeys> zipf_;
+  std::vector<RealNode> reals_;
+  std::vector<NodeIndex> overlay_of_real_;    ///< real -> overlay (non-VS).
+  std::vector<std::size_t> real_of_overlay_;  ///< overlay -> real (non-VS).
+  std::vector<Query> queries_;
+  metrics::LookupStats lookups_;
+  std::vector<ExperimentResult::PeriodSample> timeline_;
+  std::unique_ptr<metrics::DegreeTracker> degrees_;
+  std::size_t issued_ = 0;
+  std::size_t completed_ = 0;
+  std::size_t dropped_ = 0;
+};
+
+}  // namespace
+
+ExperimentResult run_experiment(const SimParams& params, Protocol protocol,
+                                SubstrateKind substrate) {
+  Engine engine(params, protocol, substrate);
+  return engine.run();
+}
+
+ExperimentResult run_experiment(const SimParams& params, Protocol protocol) {
+  return run_experiment(params, protocol, SubstrateKind::kCycloid);
+}
+
+ExperimentResult run_averaged(const SimParams& params, Protocol protocol,
+                              int seeds, SubstrateKind substrate) {
+  assert(seeds >= 1);
+  ExperimentResult acc;
+  for (int s = 0; s < seeds; ++s) {
+    SimParams p = params;
+    p.seed = params.seed + static_cast<std::uint64_t>(s);
+    const ExperimentResult r = run_experiment(p, protocol, substrate);
+    const double w = 1.0 / seeds;
+    acc.p99_max_congestion += w * r.p99_max_congestion;
+    acc.mean_max_congestion += w * r.mean_max_congestion;
+    acc.min_cap_node_congestion += w * r.min_cap_node_congestion;
+    acc.p99_share += w * r.p99_share;
+    acc.heavy_encounters +=
+        r.heavy_encounters / static_cast<std::size_t>(seeds);
+    acc.avg_path_length += w * r.avg_path_length;
+    acc.lookup_time.mean += w * r.lookup_time.mean;
+    acc.lookup_time.p01 += w * r.lookup_time.p01;
+    acc.lookup_time.p99 += w * r.lookup_time.p99;
+    acc.avg_timeouts += w * r.avg_timeouts;
+    acc.max_indegree.mean += w * r.max_indegree.mean;
+    acc.max_indegree.p01 += w * r.max_indegree.p01;
+    acc.max_indegree.p99 += w * r.max_indegree.p99;
+    acc.max_outdegree.mean += w * r.max_outdegree.mean;
+    acc.max_outdegree.p01 += w * r.max_outdegree.p01;
+    acc.max_outdegree.p99 += w * r.max_outdegree.p99;
+    acc.completed_lookups +=
+        r.completed_lookups / static_cast<std::size_t>(seeds);
+    acc.dropped_lookups += r.dropped_lookups;
+    acc.sim_duration += w * r.sim_duration;
+    acc.final_nodes = r.final_nodes;
+  }
+  return acc;
+}
+
+ExperimentResult run_averaged(const SimParams& params, Protocol protocol,
+                              int seeds) {
+  return run_averaged(params, protocol, seeds, SubstrateKind::kCycloid);
+}
+
+}  // namespace ert::harness

@@ -1,0 +1,71 @@
+// Experiment driver: builds a Cycloid network under one of the Sec. 5
+// protocols, runs the configured workload on the discrete-event simulator,
+// and reports every metric the paper's figures plot.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/config.h"
+#include "common/stats.h"
+#include "harness/protocol.h"
+#include "harness/substrate.h"
+
+namespace ert::harness {
+
+struct ExperimentResult {
+  // Congestion (Fig. 4a/4b, 9a): per-node peak congestion g = queue/slots.
+  double p99_max_congestion = 0.0;
+  double mean_max_congestion = 0.0;
+  /// Peak congestion of the minimum-capacity node (Fig. 4b).
+  double min_cap_node_congestion = 0.0;
+
+  // Fair share (Fig. 4c, 8c, 9b).
+  double p99_share = 0.0;
+
+  // Lookup efficiency (Figs. 5, 8, 10).
+  std::size_t heavy_encounters = 0;  ///< heavy nodes met in routings, total.
+  double avg_path_length = 0.0;
+  PctSummary lookup_time;  ///< avg / 1st / 99th percentile seconds.
+  double avg_timeouts = 0.0;
+
+  // Routing-table degrees (Fig. 7): per-node maxima over the run.
+  PctSummary max_indegree;
+  PctSummary max_outdegree;
+
+  /// One sample per simulated second when params.trace_timeline is set:
+  /// how Algorithm 3 drives the network toward g ~ 1.
+  struct PeriodSample {
+    double time = 0.0;
+    double p99_congestion = 0.0;   ///< over nodes, instantaneous.
+    double mean_congestion = 0.0;
+    std::size_t heavy_nodes = 0;   ///< nodes with g > gamma_l right now.
+    double mean_indegree = 0.0;    ///< over alive overlay nodes.
+    std::size_t in_flight = 0;     ///< lookups issued but not finished.
+  };
+  std::vector<PeriodSample> timeline;
+
+  // Bookkeeping.
+  std::size_t completed_lookups = 0;
+  std::size_t dropped_lookups = 0;
+  double sim_duration = 0.0;
+  std::size_t final_nodes = 0;  ///< real nodes alive at the end.
+};
+
+/// Runs one simulation. Deterministic for a given (params.seed, protocol,
+/// substrate). VS and NS require the Cycloid substrate.
+ExperimentResult run_experiment(const SimParams& params, Protocol protocol);
+ExperimentResult run_experiment(const SimParams& params, Protocol protocol,
+                                SubstrateKind substrate);
+
+/// Averages scalar metrics over `seeds` runs with seeds params.seed,
+/// params.seed + 1, ... (percentile summaries are averaged element-wise).
+ExperimentResult run_averaged(const SimParams& params, Protocol protocol,
+                              int seeds);
+ExperimentResult run_averaged(const SimParams& params, Protocol protocol,
+                              int seeds, SubstrateKind substrate);
+
+/// Smallest Cycloid dimension whose id space holds `ids_needed` ids.
+int fit_dimension(std::size_t ids_needed);
+
+}  // namespace ert::harness

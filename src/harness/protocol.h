@@ -1,0 +1,51 @@
+// The protocol matrix of Sec. 5: Cycloid without congestion control (Base),
+// the capacity-biased neighbor-selection baseline (NS, Castro et al. [7]),
+// the virtual-server baseline (VS, Godfrey & Stoica [12]), and the ERT
+// protocol with its two components toggled individually (ERT/A adaptation
+// only, ERT/F forwarding only, ERT/AF both).
+#pragma once
+
+#include <array>
+#include <string_view>
+
+namespace ert::harness {
+
+enum class Protocol { kBase, kNS, kVS, kErtA, kErtF, kErtAF };
+
+inline constexpr std::array<Protocol, 6> kAllProtocols = {
+    Protocol::kBase, Protocol::kNS,   Protocol::kVS,
+    Protocol::kErtA, Protocol::kErtF, Protocol::kErtAF,
+};
+
+constexpr std::string_view to_string(Protocol p) {
+  switch (p) {
+    case Protocol::kBase:  return "Base";
+    case Protocol::kNS:    return "NS";
+    case Protocol::kVS:    return "VS";
+    case Protocol::kErtA:  return "ERT/A";
+    case Protocol::kErtF:  return "ERT/F";
+    case Protocol::kErtAF: return "ERT/AF";
+  }
+  return "?";
+}
+
+/// ERT protocols build capacity-bounded elastic tables and run initial
+/// indegree assignment.
+constexpr bool is_ert(Protocol p) {
+  return p == Protocol::kErtA || p == Protocol::kErtF ||
+         p == Protocol::kErtAF;
+}
+
+/// Periodic indegree adaptation (Algorithm 3).
+constexpr bool uses_adaptation(Protocol p) {
+  return p == Protocol::kErtA || p == Protocol::kErtAF;
+}
+
+/// Topology-aware randomized query forwarding (Algorithm 4).
+constexpr bool uses_forwarding(Protocol p) {
+  return p == Protocol::kErtF || p == Protocol::kErtAF;
+}
+
+constexpr bool uses_virtual_servers(Protocol p) { return p == Protocol::kVS; }
+
+}  // namespace ert::harness

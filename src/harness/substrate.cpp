@@ -1,0 +1,401 @@
+#include "harness/substrate.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "can/overlay.h"
+#include "chord/overlay.h"
+#include "cycloid/overlay.h"
+#include "harness/experiment.h"
+#include "pastry/overlay.h"
+
+namespace ert::harness {
+namespace {
+
+using dht::NodeIndex;
+
+class CycloidSubstrate final : public SubstrateOps {
+ public:
+  CycloidSubstrate(const SimParams& params, bool capacity_biased,
+                   bool enforce_bounds, std::size_t ids_needed,
+                   cycloid::Overlay::PhysDistFn phys) {
+    cycloid::OverlayOptions opts;
+    opts.dimension = std::max(params.dimension, fit_dimension(ids_needed));
+    opts.enforce_indegree_bounds = enforce_bounds;
+    opts.policy = capacity_biased ? cycloid::NeighborPolicy::kCapacityBiased
+                  : enforce_bounds ? cycloid::NeighborPolicy::kSpareIndegree
+                                   : cycloid::NeighborPolicy::kNearest;
+    overlay_ = std::make_unique<cycloid::Overlay>(opts, std::move(phys));
+  }
+
+  NodeIndex add_node(Rng& rng, double capacity, int max_indegree,
+                     double beta) override {
+    return overlay_->add_node_random(rng, capacity, max_indegree, beta);
+  }
+  void build_table(NodeIndex i, Rng& rng) override {
+    overlay_->build_table(i, rng);
+  }
+  bool id_space_full() const override {
+    return overlay_->directory().size() >= overlay_->space().size();
+  }
+  void fail(NodeIndex i) override { overlay_->fail(i); }
+  bool alive(NodeIndex i) const override { return overlay_->node(i).alive; }
+  std::size_t num_slots() const override { return overlay_->num_slots(); }
+
+  int expand_indegree(NodeIndex i, int want, std::size_t probes) override {
+    return overlay_->expand_indegree(i, want, probes);
+  }
+  int shed_indegree(NodeIndex i, int count) override {
+    return overlay_->shed_indegree(i, count);
+  }
+  core::IndegreeBudget& budget(NodeIndex i) override {
+    return overlay_->mutable_node(i).budget;
+  }
+  std::size_t indegree(NodeIndex i) const override {
+    return overlay_->node(i).inlinks.size();
+  }
+  std::size_t outdegree(NodeIndex i) const override {
+    return overlay_->node(i).table.outdegree();
+  }
+
+  void purge_dead(NodeIndex at, NodeIndex dead) override {
+    overlay_->purge_dead(at, dead);
+  }
+  void repair_entry(NodeIndex i, std::size_t slot) override {
+    if (slot < cycloid::kNumEntries) overlay_->repair_entry(i, slot);
+  }
+
+  std::uint64_t key_space() const override { return overlay_->space().size(); }
+  NodeIndex responsible(std::uint64_t key) const override {
+    return overlay_->responsible(key);
+  }
+  void start_query(std::size_t qid) override {
+    if (qid >= ctx_.size()) ctx_.resize(qid + 1);
+    ctx_[qid] = cycloid::RouteCtx{};
+  }
+  HopStep route_step(std::size_t qid, NodeIndex cur,
+                     std::uint64_t key) override {
+    assert(qid < ctx_.size());
+    cycloid::RouteStep s = overlay_->route_step(cur, key, ctx_[qid]);
+    HopStep h;
+    h.arrived = s.arrived;
+    h.slot = s.entry_index < cycloid::kNumEntries ? s.entry_index : kNoSlot;
+    h.candidates = std::move(s.candidates);
+    return h;
+  }
+  std::uint64_t logical_distance_to_key(NodeIndex a,
+                                        std::uint64_t key) const override {
+    return overlay_->logical_distance_to_key(a, key);
+  }
+  dht::RoutingEntry* entry(NodeIndex i, std::size_t slot) override {
+    if (slot == kNoSlot) return nullptr;
+    return &overlay_->mutable_node(i).table.entry(slot);
+  }
+  NodeIndex live_successor(NodeIndex i) const override {
+    const std::uint64_t lv =
+        overlay_->space().to_linear(overlay_->node(i).id);
+    return overlay_->directory().successor(lv);
+  }
+  NodeIndex node_at_or_after(std::uint64_t lv) const override {
+    return overlay_->directory().successor(lv % overlay_->space().size());
+  }
+  cycloid::Overlay* as_cycloid() override { return overlay_.get(); }
+
+ private:
+  std::unique_ptr<cycloid::Overlay> overlay_;
+  std::vector<cycloid::RouteCtx> ctx_;
+};
+
+class ChordSubstrate final : public SubstrateOps {
+ public:
+  ChordSubstrate(const SimParams& params, bool enforce_bounds,
+                 std::size_t ids_needed, chord::Overlay::PhysDistFn phys) {
+    chord::ChordOptions opts;
+    opts.enforce_indegree_bounds = enforce_bounds;
+    // Ring large enough that random ids rarely collide.
+    int bits = 12;
+    while ((std::uint64_t{1} << bits) < 16 * ids_needed) ++bits;
+    opts.bits = bits;
+    (void)params;
+    overlay_ = std::make_unique<chord::Overlay>(opts, std::move(phys));
+  }
+
+  NodeIndex add_node(Rng& rng, double capacity, int max_indegree,
+                     double beta) override {
+    return overlay_->add_node_random(rng, capacity, max_indegree, beta);
+  }
+  void build_table(NodeIndex i, Rng& rng) override {
+    (void)rng;
+    overlay_->build_table(i);
+  }
+  bool id_space_full() const override {
+    return overlay_->directory().size() >= overlay_->ring_size();
+  }
+  void fail(NodeIndex i) override { overlay_->fail(i); }
+  bool alive(NodeIndex i) const override { return overlay_->node(i).alive; }
+  std::size_t num_slots() const override { return overlay_->num_slots(); }
+
+  int expand_indegree(NodeIndex i, int want, std::size_t probes) override {
+    return overlay_->expand_indegree(i, want, probes);
+  }
+  int shed_indegree(NodeIndex i, int count) override {
+    return overlay_->shed_indegree(i, count);
+  }
+  core::IndegreeBudget& budget(NodeIndex i) override {
+    return overlay_->mutable_node(i).budget;
+  }
+  std::size_t indegree(NodeIndex i) const override {
+    return overlay_->node(i).inlinks.size();
+  }
+  std::size_t outdegree(NodeIndex i) const override {
+    return overlay_->node(i).table.outdegree();
+  }
+
+  void purge_dead(NodeIndex at, NodeIndex dead) override {
+    overlay_->purge_dead(at, dead);
+  }
+  void repair_entry(NodeIndex i, std::size_t slot) override {
+    if (slot != kNoSlot) overlay_->repair_entry(i, slot);
+  }
+
+  std::uint64_t key_space() const override { return overlay_->ring_size(); }
+  NodeIndex responsible(std::uint64_t key) const override {
+    return overlay_->responsible(key);
+  }
+  void start_query(std::size_t) override {}
+  HopStep route_step(std::size_t, NodeIndex cur, std::uint64_t key) override {
+    chord::RouteStep s = overlay_->route_step(cur, key);
+    HopStep h;
+    h.arrived = s.arrived;
+    h.slot = s.entry_index < overlay_->node(cur).table.num_entries()
+                 ? s.entry_index
+                 : kNoSlot;
+    h.candidates = std::move(s.candidates);
+    return h;
+  }
+  std::uint64_t logical_distance_to_key(NodeIndex a,
+                                        std::uint64_t key) const override {
+    return overlay_->logical_distance_to_key(a, key);
+  }
+  dht::RoutingEntry* entry(NodeIndex i, std::size_t slot) override {
+    if (slot == kNoSlot) return nullptr;
+    return &overlay_->mutable_node(i).table.entry(slot);
+  }
+  NodeIndex live_successor(NodeIndex i) const override {
+    return overlay_->directory().successor(
+        (overlay_->node(i).id + 1) & (overlay_->ring_size() - 1));
+  }
+  NodeIndex node_at_or_after(std::uint64_t lv) const override {
+    return overlay_->directory().successor(lv & (overlay_->ring_size() - 1));
+  }
+
+ private:
+  std::unique_ptr<chord::Overlay> overlay_;
+};
+
+class PastrySubstrate final : public SubstrateOps {
+ public:
+  PastrySubstrate(const SimParams& params, bool enforce_bounds,
+                  std::size_t ids_needed, pastry::Overlay::PhysDistFn phys) {
+    pastry::PastryOptions opts;
+    opts.enforce_indegree_bounds = enforce_bounds;
+    int bits = 12;
+    while ((std::uint64_t{1} << bits) < 16 * ids_needed) ++bits;
+    opts.rows = (bits + opts.bits_per_digit - 1) / opts.bits_per_digit;
+    (void)params;
+    overlay_ = std::make_unique<pastry::Overlay>(opts, std::move(phys));
+  }
+
+  NodeIndex add_node(Rng& rng, double capacity, int max_indegree,
+                     double beta) override {
+    return overlay_->add_node_random(rng, capacity, max_indegree, beta);
+  }
+  void build_table(NodeIndex i, Rng& rng) override {
+    (void)rng;
+    overlay_->build_table(i);
+  }
+  bool id_space_full() const override {
+    return overlay_->directory().size() >= overlay_->ring_size();
+  }
+  void fail(NodeIndex i) override { overlay_->fail(i); }
+  bool alive(NodeIndex i) const override { return overlay_->node(i).alive; }
+  std::size_t num_slots() const override { return overlay_->num_slots(); }
+
+  int expand_indegree(NodeIndex i, int want, std::size_t probes) override {
+    return overlay_->expand_indegree(i, want, probes);
+  }
+  int shed_indegree(NodeIndex i, int count) override {
+    return overlay_->shed_indegree(i, count);
+  }
+  core::IndegreeBudget& budget(NodeIndex i) override {
+    return overlay_->mutable_node(i).budget;
+  }
+  std::size_t indegree(NodeIndex i) const override {
+    return overlay_->node(i).inlinks.size();
+  }
+  std::size_t outdegree(NodeIndex i) const override {
+    return overlay_->node(i).table.outdegree();
+  }
+
+  void purge_dead(NodeIndex at, NodeIndex dead) override {
+    overlay_->purge_dead(at, dead);
+  }
+  void repair_entry(NodeIndex i, std::size_t slot) override {
+    if (slot != kNoSlot) overlay_->repair_entry(i, slot);
+  }
+
+  std::uint64_t key_space() const override { return overlay_->ring_size(); }
+  NodeIndex responsible(std::uint64_t key) const override {
+    return overlay_->responsible(key);
+  }
+  void start_query(std::size_t) override {}
+  HopStep route_step(std::size_t, NodeIndex cur, std::uint64_t key) override {
+    pastry::RouteStep s = overlay_->route_step(cur, key);
+    HopStep h;
+    h.arrived = s.arrived;
+    h.slot = s.entry_index < overlay_->node(cur).table.num_entries()
+                 ? s.entry_index
+                 : kNoSlot;
+    h.candidates = std::move(s.candidates);
+    return h;
+  }
+  std::uint64_t logical_distance_to_key(NodeIndex a,
+                                        std::uint64_t key) const override {
+    return overlay_->logical_distance_to_key(a, key);
+  }
+  dht::RoutingEntry* entry(NodeIndex i, std::size_t slot) override {
+    if (slot == kNoSlot) return nullptr;
+    return &overlay_->mutable_node(i).table.entry(slot);
+  }
+  NodeIndex live_successor(NodeIndex i) const override {
+    return overlay_->directory().successor(
+        (overlay_->node(i).id + 1) & (overlay_->ring_size() - 1));
+  }
+  NodeIndex node_at_or_after(std::uint64_t lv) const override {
+    return overlay_->directory().successor(lv & (overlay_->ring_size() - 1));
+  }
+
+ private:
+  std::unique_ptr<pastry::Overlay> overlay_;
+};
+
+class CanSubstrate final : public SubstrateOps {
+ public:
+  CanSubstrate(const SimParams& params, bool enforce_bounds,
+               can::Overlay::PhysDistFn phys) {
+    can::CanOptions opts;
+    opts.enforce_indegree_bounds = enforce_bounds;
+    (void)params;
+    overlay_ = std::make_unique<can::Overlay>(opts, std::move(phys));
+  }
+
+  /// Keys hash onto the unit torus: low/high 16 bits become x/y.
+  static can::Point to_point(std::uint64_t key) {
+    return can::Point{static_cast<double>(key & 0xFFFF) / 65536.0,
+                      static_cast<double>((key >> 16) & 0xFFFF) / 65536.0};
+  }
+
+  NodeIndex add_node(Rng& rng, double capacity, int max_indegree,
+                     double beta) override {
+    return overlay_->add_node(rng, capacity, max_indegree, beta);
+  }
+  void build_table(NodeIndex, Rng&) override {
+    // Adjacency is built by the join split; shortcuts come from the
+    // engine's initial indegree assignment (expand_indegree).
+  }
+  bool id_space_full() const override { return false; }
+  void fail(NodeIndex i) override {
+    // CAN departures are announced (the zone must be taken over to keep the
+    // space partitioned); silent-failure takeover is out of scope, so churn
+    // on CAN models graceful departure and produces no timeouts.
+    overlay_->leave_graceful(i);
+  }
+  bool alive(NodeIndex i) const override { return overlay_->node(i).alive; }
+  std::size_t num_slots() const override { return overlay_->num_slots(); }
+
+  int expand_indegree(NodeIndex i, int want, std::size_t probes) override {
+    return overlay_->expand_indegree(i, want, probes);
+  }
+  int shed_indegree(NodeIndex i, int count) override {
+    return overlay_->shed_indegree(i, count);
+  }
+  core::IndegreeBudget& budget(NodeIndex i) override {
+    return const_cast<core::IndegreeBudget&>(overlay_->node(i).budget);
+  }
+  std::size_t indegree(NodeIndex i) const override {
+    // Symmetric adjacency plus elastic shortcut inlinks.
+    return overlay_->node(i).table.entry(can::kAdjacencyEntry).size() +
+           overlay_->node(i).inlinks.size();
+  }
+  std::size_t outdegree(NodeIndex i) const override {
+    return overlay_->node(i).table.outdegree();
+  }
+
+  void purge_dead(NodeIndex at, NodeIndex dead) override {
+    overlay_->unlink_shortcut(at, dead);
+  }
+  void repair_entry(NodeIndex, std::size_t) override {}
+
+  std::uint64_t key_space() const override { return std::uint64_t{1} << 32; }
+  NodeIndex responsible(std::uint64_t key) const override {
+    return overlay_->responsible(to_point(key));
+  }
+  void start_query(std::size_t) override {}
+  HopStep route_step(std::size_t, NodeIndex cur, std::uint64_t key) override {
+    can::RouteStep s = overlay_->route_step(cur, to_point(key));
+    HopStep h;
+    h.arrived = s.arrived;
+    h.slot = s.entry_index < can::kNumEntries ? s.entry_index : kNoSlot;
+    h.candidates = std::move(s.candidates);
+    return h;
+  }
+  std::uint64_t logical_distance_to_key(NodeIndex a,
+                                        std::uint64_t key) const override {
+    return static_cast<std::uint64_t>(
+        can::zone_distance(overlay_->node(a).zone, to_point(key)) * 1e9);
+  }
+  dht::RoutingEntry* entry(NodeIndex i, std::size_t slot) override {
+    if (slot == kNoSlot) return nullptr;
+    return &const_cast<dht::ElasticTable&>(overlay_->node(i).table).entry(slot);
+  }
+  NodeIndex live_successor(NodeIndex i) const override {
+    // Owner of the (departed) node's zone center after takeover.
+    return overlay_->responsible(overlay_->node(i).zone.center());
+  }
+  NodeIndex node_at_or_after(std::uint64_t lv) const override {
+    return overlay_->responsible(to_point(lv & 0xFFFFFFFFull));
+  }
+
+ private:
+  std::unique_ptr<can::Overlay> overlay_;
+};
+
+}  // namespace
+
+std::unique_ptr<SubstrateOps> make_substrate(SubstrateKind kind,
+                                             const SimParams& params,
+                                             bool capacity_biased,
+                                             bool enforce_bounds,
+                                             std::size_t ids_needed,
+                                             PhysDistFn phys) {
+  switch (kind) {
+    case SubstrateKind::kCycloid:
+      return std::make_unique<CycloidSubstrate>(
+          params, capacity_biased, enforce_bounds, ids_needed, std::move(phys));
+    case SubstrateKind::kChord:
+      assert(!capacity_biased && "NS policy is Cycloid-only in this build");
+      return std::make_unique<ChordSubstrate>(params, enforce_bounds,
+                                              ids_needed, std::move(phys));
+    case SubstrateKind::kPastry:
+      assert(!capacity_biased && "NS policy is Cycloid-only in this build");
+      return std::make_unique<PastrySubstrate>(params, enforce_bounds,
+                                               ids_needed, std::move(phys));
+    case SubstrateKind::kCan:
+      assert(!capacity_biased && "NS policy is Cycloid-only in this build");
+      return std::make_unique<CanSubstrate>(params, enforce_bounds,
+                                            std::move(phys));
+  }
+  return nullptr;
+}
+
+}  // namespace ert::harness

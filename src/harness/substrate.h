@@ -1,0 +1,118 @@
+// Substrate abstraction for the experiment engine.
+//
+// The paper evaluates ERT on Cycloid but stresses the mechanism "can also
+// be applied to other DHT networks" (Sec. 5), giving the Chord and
+// Pastry/Tapestry constructions explicitly (Figs. 1 and 3). This interface
+// lets the same experiment engine — queueing, workloads, adaptation,
+// forwarding, churn, metrics — run on any of the three overlays, so every
+// figure can be regenerated per substrate.
+//
+// One adapter instance wraps one overlay instance. Per-query routing state
+// (Cycloid's monotone phase) is stored inside the adapter keyed by query
+// id, keeping the engine substrate-agnostic.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include <functional>
+
+#include "common/config.h"
+#include "common/rng.h"
+#include "dht/routing_entry.h"
+#include "dht/types.h"
+#include "ert/indegree.h"
+
+namespace ert::cycloid {
+class Overlay;
+}
+
+namespace ert::harness {
+
+enum class SubstrateKind { kCycloid, kChord, kPastry, kCan };
+
+constexpr const char* to_string(SubstrateKind k) {
+  switch (k) {
+    case SubstrateKind::kCycloid: return "Cycloid";
+    case SubstrateKind::kChord:   return "Chord";
+    case SubstrateKind::kPastry:  return "Pastry";
+    case SubstrateKind::kCan:     return "CAN";
+  }
+  return "?";
+}
+
+/// One routing hop, substrate-agnostic.
+struct HopStep {
+  bool arrived = false;
+  /// Index of the table entry the query leaves through, or kNoSlot for
+  /// emergency (non-table) hops.
+  std::size_t slot = std::numeric_limits<std::size_t>::max();
+  std::vector<dht::NodeIndex> candidates;
+};
+
+inline constexpr std::size_t kNoSlot = std::numeric_limits<std::size_t>::max();
+
+class SubstrateOps {
+ public:
+  virtual ~SubstrateOps() = default;
+
+  // --- membership ---
+  virtual dht::NodeIndex add_node(Rng& rng, double capacity, int max_indegree,
+                                  double beta) = 0;
+  virtual void build_table(dht::NodeIndex i, Rng& rng) = 0;
+  virtual bool id_space_full() const = 0;
+  virtual void fail(dht::NodeIndex i) = 0;
+  virtual bool alive(dht::NodeIndex i) const = 0;
+  virtual std::size_t num_slots() const = 0;
+
+  // --- elasticity ---
+  virtual int expand_indegree(dht::NodeIndex i, int want,
+                              std::size_t max_probes) = 0;
+  virtual int shed_indegree(dht::NodeIndex i, int count) = 0;
+  virtual core::IndegreeBudget& budget(dht::NodeIndex i) = 0;
+  virtual std::size_t indegree(dht::NodeIndex i) const = 0;
+  virtual std::size_t outdegree(dht::NodeIndex i) const = 0;
+
+  // --- maintenance ---
+  virtual void purge_dead(dht::NodeIndex at, dht::NodeIndex dead) = 0;
+  virtual void repair_entry(dht::NodeIndex i, std::size_t slot) = 0;
+
+  // --- routing ---
+  virtual std::uint64_t key_space() const = 0;
+  virtual dht::NodeIndex responsible(std::uint64_t key) const = 0;
+  /// `qid` selects the per-query routing context; call start_query first.
+  virtual HopStep route_step(std::size_t qid, dht::NodeIndex cur,
+                             std::uint64_t key) = 0;
+  virtual void start_query(std::size_t qid) = 0;
+  virtual std::uint64_t logical_distance_to_key(dht::NodeIndex a,
+                                                std::uint64_t key) const = 0;
+  /// Mutable access to a table entry (memory slot for Algorithm 4);
+  /// nullptr when `slot` is kNoSlot.
+  virtual dht::RoutingEntry* entry(dht::NodeIndex i, std::size_t slot) = 0;
+  /// Live ring successor of (possibly dead) node `i` — the hand-off target
+  /// when a node fails with queries queued.
+  virtual dht::NodeIndex live_successor(dht::NodeIndex i) const = 0;
+  /// A uniformly random id owned by an alive node near linear position
+  /// `lv` (for impulse source selection).
+  virtual dht::NodeIndex node_at_or_after(std::uint64_t lv) const = 0;
+
+  /// Non-null when this substrate is the Cycloid overlay (virtual servers
+  /// are only defined there).
+  virtual cycloid::Overlay* as_cycloid() { return nullptr; }
+};
+
+using PhysDistFn = std::function<double(dht::NodeIndex, dht::NodeIndex)>;
+
+/// Factory. `capacity_biased` / `enforce_bounds` mirror the per-protocol
+/// table policies; `phys` supplies physical distances for proximity
+/// tie-breaks.
+std::unique_ptr<SubstrateOps> make_substrate(SubstrateKind kind,
+                                             const SimParams& params,
+                                             bool capacity_biased,
+                                             bool enforce_bounds,
+                                             std::size_t ids_needed,
+                                             PhysDistFn phys);
+
+}  // namespace ert::harness

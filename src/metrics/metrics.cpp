@@ -1,0 +1,56 @@
+#include "metrics/metrics.h"
+
+#include <cassert>
+
+namespace ert::metrics {
+
+std::vector<double> compute_shares(const std::vector<double>& load,
+                                   const std::vector<double>& capacity) {
+  assert(load.size() == capacity.size());
+  double sum_l = 0, sum_c = 0;
+  for (double l : load) sum_l += l;
+  for (double c : capacity) sum_c += c;
+  std::vector<double> shares(load.size(), 0.0);
+  if (sum_l <= 0 || sum_c <= 0) return shares;
+  for (std::size_t i = 0; i < load.size(); ++i) {
+    assert(capacity[i] > 0);
+    shares[i] = (load[i] / sum_l) / (capacity[i] / sum_c);
+  }
+  return shares;
+}
+
+void LookupStats::add(const LookupRecord& r) {
+  ++count_;
+  heavy_total_ += r.heavy_met;
+  path_total_ += r.path_len;
+  timeout_total_ += r.timeouts;
+  latency_.add(r.latency);
+}
+
+void DegreeTracker::ensure_size(std::size_t n) {
+  if (n > max_in_.size()) {
+    max_in_.resize(n, 0);
+    max_out_.resize(n, 0);
+  }
+}
+
+void DegreeTracker::observe(std::size_t node, std::size_t indegree,
+                            std::size_t outdegree) {
+  ensure_size(node + 1);
+  max_in_[node] = std::max(max_in_[node], indegree);
+  max_out_[node] = std::max(max_out_[node], outdegree);
+}
+
+PctSummary DegreeTracker::indegree_summary() const {
+  Percentiles p;
+  for (std::size_t v : max_in_) p.add(static_cast<double>(v));
+  return summarize(p);
+}
+
+PctSummary DegreeTracker::outdegree_summary() const {
+  Percentiles p;
+  for (std::size_t v : max_out_) p.add(static_cast<double>(v));
+  return summarize(p);
+}
+
+}  // namespace ert::metrics

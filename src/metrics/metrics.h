@@ -1,0 +1,76 @@
+// Metric collectors matching the evaluation metrics of Sec. 5:
+// congestion rate g_i = l_i / c_i, fair-share s_i, lookup path statistics,
+// and routing-table degree statistics.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace ert::metrics {
+
+/// Fair-share s_i = (l_i / sum l) / (c_i / sum c) over a population.
+/// Returns one share value per node (nodes with zero capacity excluded by
+/// the caller). If no load exists anywhere, all shares are 0.
+std::vector<double> compute_shares(const std::vector<double>& load,
+                                   const std::vector<double>& capacity);
+
+/// Per-lookup record.
+struct LookupRecord {
+  double latency = 0.0;     ///< initiation -> arrival at owner, seconds.
+  std::size_t path_len = 0; ///< overlay hops.
+  std::size_t heavy_met = 0;  ///< heavy nodes encountered along the path.
+  std::size_t timeouts = 0;   ///< dead-neighbor discoveries en route.
+};
+
+/// Aggregates lookups into the figures' series: total heavy encounters
+/// (Figs. 5a, 8a, 10a), path length (Figs. 5b, 10b), and avg/1st/99th
+/// lookup time (Figs. 5c, 8b, 10c).
+class LookupStats {
+ public:
+  void add(const LookupRecord& r);
+
+  std::size_t lookups() const { return count_; }
+  std::size_t total_heavy_encounters() const { return heavy_total_; }
+  double total_timeouts() const { return static_cast<double>(timeout_total_); }
+  double avg_timeouts() const {
+    return count_ ? static_cast<double>(timeout_total_) /
+                        static_cast<double>(count_)
+                  : 0.0;
+  }
+  double avg_path_length() const {
+    return count_ ? static_cast<double>(path_total_) /
+                        static_cast<double>(count_)
+                  : 0.0;
+  }
+  PctSummary latency_summary() const { return summarize(latency_); }
+  const Percentiles& latencies() const { return latency_; }
+
+ private:
+  std::size_t count_ = 0;
+  std::size_t heavy_total_ = 0;
+  std::size_t path_total_ = 0;
+  std::size_t timeout_total_ = 0;
+  Percentiles latency_;
+};
+
+/// Tracks per-node peak routing-table degrees over a run (Fig. 7 reports
+/// the avg/1st/99th percentiles of the maxima, "the management overhead of
+/// ERT in the worst case").
+class DegreeTracker {
+ public:
+  explicit DegreeTracker(std::size_t n) : max_in_(n, 0), max_out_(n, 0) {}
+
+  void observe(std::size_t node, std::size_t indegree, std::size_t outdegree);
+  void ensure_size(std::size_t n);
+
+  PctSummary indegree_summary() const;
+  PctSummary outdegree_summary() const;
+
+ private:
+  std::vector<std::size_t> max_in_;
+  std::vector<std::size_t> max_out_;
+};
+
+}  // namespace ert::metrics

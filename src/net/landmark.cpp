@@ -1,0 +1,52 @@
+#include "net/landmark.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace ert::net {
+
+LandmarkSpace::LandmarkSpace(std::size_t num_landmarks, Rng& rng) {
+  assert(num_landmarks > 0);
+  landmarks_.reserve(num_landmarks);
+  for (std::size_t i = 0; i < num_landmarks; ++i)
+    landmarks_.push_back(Coord{rng.uniform(), rng.uniform()});
+}
+
+std::vector<double> LandmarkSpace::vector_of(Coord c) const {
+  std::vector<double> v;
+  v.reserve(landmarks_.size());
+  for (Coord l : landmarks_) v.push_back(torus_distance(c, l));
+  return v;
+}
+
+double LandmarkSpace::landmark_distance(Coord a, Coord b) const {
+  double sum = 0.0;
+  for (Coord l : landmarks_) {
+    const double d = torus_distance(a, l) - torus_distance(b, l);
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+double ordering_fidelity(const LandmarkSpace& space, std::size_t trials,
+                         Rng& rng) {
+  std::size_t agree = 0;
+  std::size_t counted = 0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    const Coord x{rng.uniform(), rng.uniform()};
+    const Coord a{rng.uniform(), rng.uniform()};
+    const Coord b{rng.uniform(), rng.uniform()};
+    const double ta = torus_distance(x, a);
+    const double tb = torus_distance(x, b);
+    if (std::fabs(ta - tb) < 0.02) continue;  // too close to call fairly
+    const bool true_a = ta < tb;
+    const bool lm_a =
+        space.landmark_distance(x, a) < space.landmark_distance(x, b);
+    ++counted;
+    if (true_a == lm_a) ++agree;
+  }
+  return counted ? static_cast<double>(agree) / static_cast<double>(counted)
+                 : 1.0;
+}
+
+}  // namespace ert::net

@@ -1,0 +1,48 @@
+// Landmark-based proximity estimation.
+//
+// The topology-aware forwarding policy measures "physical distance on the
+// Internet" with a landmarking method (paper refs [31], [30]): each node
+// pings a small set of well-known landmark hosts and uses the vector of
+// round-trip distances as its coordinate; two nodes compare proximity by
+// the distance between their landmark vectors, with no direct measurement.
+//
+// Here the "Internet" is the synthetic torus of ProximityMap; the landmark
+// space derives each node's vector from its true position, so tests can
+// quantify how faithfully the landmark metric preserves the true ordering
+// (what the forwarding tie-break actually relies on).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/proximity.h"
+
+namespace ert::net {
+
+class LandmarkSpace {
+ public:
+  /// Drops `num_landmarks` landmarks uniformly at random on the torus.
+  LandmarkSpace(std::size_t num_landmarks, Rng& rng);
+
+  /// The landmark vector of a point: its torus distance to each landmark.
+  std::vector<double> vector_of(Coord c) const;
+
+  /// L2 distance between two points' landmark vectors — the proximity
+  /// metric nodes can compute without measuring each other directly.
+  double landmark_distance(Coord a, Coord b) const;
+
+  std::size_t num_landmarks() const { return landmarks_.size(); }
+  Coord landmark(std::size_t i) const { return landmarks_.at(i); }
+
+ private:
+  std::vector<Coord> landmarks_;
+};
+
+/// Fraction of random triples (x, a, b) for which the landmark metric and
+/// the true torus metric agree on whether a or b is closer to x — the
+/// ordering fidelity the forwarding tie-break needs. 1.0 = perfect.
+double ordering_fidelity(const LandmarkSpace& space, std::size_t trials,
+                         Rng& rng);
+
+}  // namespace ert::net

@@ -1,0 +1,36 @@
+#include "net/proximity.h"
+
+#include <cmath>
+
+namespace ert::net {
+
+double torus_distance(Coord a, Coord b) {
+  double dx = std::fabs(a.x - b.x);
+  double dy = std::fabs(a.y - b.y);
+  if (dx > 0.5) dx = 1.0 - dx;
+  if (dy > 0.5) dy = 1.0 - dy;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+ProximityMap::ProximityMap(std::size_t n, Rng& rng, double base_latency,
+                           double latency_scale)
+    : base_latency_(base_latency), latency_scale_(latency_scale) {
+  coords_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) add_node(rng);
+}
+
+std::size_t ProximityMap::add_node(Rng& rng) {
+  coords_.push_back(Coord{rng.uniform(), rng.uniform()});
+  return coords_.size() - 1;
+}
+
+double ProximityMap::distance(std::size_t a, std::size_t b) const {
+  return torus_distance(coords_.at(a), coords_.at(b));
+}
+
+double ProximityMap::latency(std::size_t a, std::size_t b) const {
+  if (a == b) return 0.0;
+  return base_latency_ + latency_scale_ * distance(a, b);
+}
+
+}  // namespace ert::net

@@ -1,0 +1,130 @@
+// Pastry/Tapestry substrate with elastic prefix-routing tables (Sec. 3.2,
+// Fig. 3).
+//
+// Ids are `rows * bits_per_digit`-bit values read as base-2^b digit strings.
+// Row r, column v of node j's table may hold any node sharing the first r
+// digits with j whose digit r equals v (v != j's digit r) — "an entry at
+// row m refers to a node whose ID shares node i's ID in the first m digits,
+// but whose (m+1)th digit differs". Since each entry already admits many
+// nodes, elasticity turns the single reference into a candidate set, and
+// indegree expansion probes "(a_{d-1} ... a_{k-1} !a_k x...x)" hosts: every
+// node sharing a prefix with i can adopt i at the row where their ids
+// diverge. Tapestry's neighbor table is the same structure (suffix vs
+// prefix orientation only), so this module stands in for both.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "dht/ring.h"
+#include "dht/routing_entry.h"
+#include "dht/types.h"
+#include "ert/indegree.h"
+
+namespace ert::pastry {
+
+struct PastryOptions {
+  int rows = 8;            ///< digits per id.
+  int bits_per_digit = 2;  ///< b; base = 2^b (Pastry default b = 4; 2 keeps
+                           ///< test networks denser per column).
+  std::size_t leaf_half = 4;    ///< leaf-set size per side.
+  std::size_t entry_spread = 4; ///< max candidates per elastic entry.
+  bool enforce_indegree_bounds = false;
+  bool proximity_neighbor_selection = true;  ///< Pastry's PNS.
+};
+
+struct PastryNode {
+  std::uint64_t id = 0;
+  bool alive = false;
+  bool table_built = false;
+  double capacity = 1.0;
+  /// Entries: rows * (2^b) prefix slots (own-digit columns stay empty),
+  /// then one leaf entry. Slot (r, v) = r * 2^b + v.
+  dht::ElasticTable table;
+  core::IndegreeBudget budget;
+  core::BackwardFingerList inlinks;
+};
+
+struct RouteStep {
+  bool arrived = false;
+  std::size_t entry_index = 0;
+  std::vector<dht::NodeIndex> candidates;
+};
+
+using ExpansionTarget = std::pair<dht::NodeIndex, std::size_t>;
+
+class Overlay {
+ public:
+  using PhysDistFn = std::function<double(dht::NodeIndex, dht::NodeIndex)>;
+
+  explicit Overlay(PastryOptions opts, PhysDistFn phys_dist = {});
+
+  dht::NodeIndex add_node(std::uint64_t id, double capacity, int max_indegree,
+                          double beta);
+  dht::NodeIndex add_node_random(Rng& rng, double capacity, int max_indegree,
+                                 double beta);
+  void build_table(dht::NodeIndex i);
+
+  int expand_indegree(dht::NodeIndex i, int want, std::size_t max_probes);
+  int shed_indegree(dht::NodeIndex i, int count);
+  void leave_graceful(dht::NodeIndex i);
+
+  /// Silent failure: stale links to `i` remain until discovered (timeouts).
+  void fail(dht::NodeIndex i);
+
+  /// Purges a discovered-dead neighbor from `at`'s table and inlinks.
+  void purge_dead(dht::NodeIndex at, dht::NodeIndex dead);
+
+  /// Refills `slot` of `i` from the directory if it has no live candidate.
+  void repair_entry(dht::NodeIndex i, std::size_t slot);
+
+  dht::NodeIndex responsible(std::uint64_t key) const;
+  RouteStep route_step(dht::NodeIndex cur, std::uint64_t key) const;
+
+  /// Ring distance from a node to a key (for forwarding tie-breaks).
+  std::uint64_t logical_distance_to_key(dht::NodeIndex a,
+                                        std::uint64_t key) const;
+
+  std::vector<ExpansionTarget> expansion_targets(dht::NodeIndex i,
+                                                 std::size_t max_targets) const;
+
+  bool link(dht::NodeIndex from, std::size_t slot, dht::NodeIndex to,
+            bool respect_budget);
+  bool unlink(dht::NodeIndex from, dht::NodeIndex to);
+  bool eligible(dht::NodeIndex owner, std::size_t slot,
+                dht::NodeIndex cand) const;
+
+  const PastryNode& node(dht::NodeIndex i) const { return nodes_.at(i); }
+  PastryNode& mutable_node(dht::NodeIndex i) { return nodes_.at(i); }
+  std::size_t num_slots() const { return nodes_.size(); }
+  std::size_t alive_count() const { return alive_; }
+  const dht::RingDirectory& directory() const { return directory_; }
+
+  int rows() const { return opts_.rows; }
+  int base() const { return 1 << opts_.bits_per_digit; }
+  int id_bits() const { return opts_.rows * opts_.bits_per_digit; }
+  std::uint64_t ring_size() const { return std::uint64_t{1} << id_bits(); }
+  std::size_t prefix_slot(int row, int digit) const {
+    return static_cast<std::size_t>(row * base() + digit);
+  }
+  std::size_t leaf_entry() const {
+    return static_cast<std::size_t>(opts_.rows * base());
+  }
+  int digit_of(std::uint64_t id, int row) const;
+  int shared_digits(std::uint64_t a, std::uint64_t b) const;
+
+  std::uint64_t logical_distance(dht::NodeIndex a, dht::NodeIndex b) const;
+  void check_invariants() const;
+
+ private:
+  PastryOptions opts_;
+  PhysDistFn phys_dist_;
+  dht::RingDirectory directory_;
+  std::vector<PastryNode> nodes_;
+  std::size_t alive_ = 0;
+};
+
+}  // namespace ert::pastry

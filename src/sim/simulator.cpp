@@ -1,0 +1,78 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+
+namespace ert::sim {
+
+EventHandle Simulator::schedule(Time delay, EventFn fn) {
+  if (delay < 0) delay = 0;
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+EventHandle Simulator::schedule_at(Time when, EventFn fn) {
+  assert(when >= now_ && "cannot schedule into the past");
+  auto alive = std::make_shared<bool>(true);
+  queue_.push(Event{when, next_seq_++, std::move(fn), alive});
+  ++*live_;
+  return EventHandle{std::move(alive), live_};
+}
+
+bool Simulator::pop_next(Event& out) {
+  while (!queue_.empty()) {
+    // priority_queue::top() is const; the event is moved out via a copy of
+    // the shared state and popped. Function objects here are small (bound
+    // lambdas over indices), so the copy is cheap.
+    out = queue_.top();
+    queue_.pop();
+    if (*out.alive) {
+      --*live_;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::size_t Simulator::run() {
+  std::size_t executed = 0;
+  Event ev;
+  while (pop_next(ev)) {
+    now_ = ev.when;
+    *ev.alive = false;
+    ev.fn();
+    ++executed;
+  }
+  return executed;
+}
+
+std::size_t Simulator::run_until(Time deadline) {
+  std::size_t executed = 0;
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (!*top.alive) {
+      queue_.pop();
+      continue;
+    }
+    if (top.when > deadline) break;
+    Event ev;
+    if (!pop_next(ev)) break;
+    now_ = ev.when;
+    *ev.alive = false;
+    ev.fn();
+    ++executed;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return executed;
+}
+
+bool Simulator::step() {
+  Event ev;
+  if (!pop_next(ev)) return false;
+  now_ = ev.when;
+  *ev.alive = false;
+  ev.fn();
+  return true;
+}
+
+bool Simulator::empty() const { return *live_ == 0; }
+
+}  // namespace ert::sim

@@ -1,0 +1,250 @@
+#include "supermarket/model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "sim/simulator.h"
+
+namespace ert::supermarket {
+
+std::vector<double> classic_fixed_point(double lambda, int d,
+                                        std::size_t max_len) {
+  assert(lambda > 0 && lambda < 1 && d >= 1);
+  std::vector<double> s(max_len + 1);
+  s[0] = 1.0;
+  for (std::size_t i = 1; i <= max_len; ++i) {
+    // s_i = lambda^((d^i - 1)/(d - 1)); for d == 1 the exponent is i.
+    const double expo =
+        d == 1 ? static_cast<double>(i)
+               : (std::pow(d, static_cast<double>(i)) - 1.0) /
+                     (static_cast<double>(d) - 1.0);
+    s[i] = std::pow(lambda, expo);
+    if (s[i] < 1e-300) s[i] = 0.0;
+  }
+  return s;
+}
+
+double classic_expected_time(double lambda, int d) {
+  const auto s = classic_fixed_point(lambda, d, 512);
+  double total = 0.0;
+  for (std::size_t i = 1; i < s.size(); ++i) total += s[i];
+  return total / lambda;  // Little: E[T] = E[N] / lambda (per server)
+}
+
+namespace {
+
+/// ds/dt for the threshold model, paper equations (3)/(4). `st.s[idx]`
+/// stores s_{c-idx}; s_c = 1 is pinned.
+std::vector<double> derivative(const ThresholdModel& m,
+                               const ThresholdState& st) {
+  const int c = m.capacity;
+  const double sT1 = st.at_spare(m.threshold - 1);
+  // A/lambda = (s_{T-1}^b - 1) / (s_{T-1} - 1) = 1 + s + ... + s^{b-1}.
+  double geo = 0.0;
+  for (int j = 0; j < m.b; ++j) geo += std::pow(sT1, j);
+  std::vector<double> ds(st.s.size(), 0.0);
+  for (std::size_t idx = 1; idx < st.s.size(); ++idx) {
+    const int i = c - static_cast<int>(idx);
+    const double si = st.at_spare(i);
+    const double sip = st.at_spare(i + 1);
+    const double sim_ = st.at_spare(i - 1);
+    if (i >= m.threshold - 1) {
+      // eq (3): ds_i/dt = lambda (s_{i+1} - s_i) * geo - (s_i - s_{i-1})
+      ds[idx] = m.lambda * (sip - si) * geo - (si - sim_);
+    } else {
+      // eq (4): ds_i/dt = lambda (s_{i+1}^b - s_i^b) - (s_i - s_{i-1})
+      ds[idx] = m.lambda * (std::pow(sip, m.b) - std::pow(si, m.b)) -
+                (si - sim_);
+    }
+  }
+  return ds;
+}
+
+void clamp_state(ThresholdState& st) {
+  // Monotone in the tail (s_{i} <= s_{i+1}) and within [0, 1].
+  st.s[0] = 1.0;
+  for (std::size_t idx = 1; idx < st.s.size(); ++idx) {
+    st.s[idx] = std::clamp(st.s[idx], 0.0, st.s[idx - 1]);
+  }
+}
+
+}  // namespace
+
+ThresholdState integrate_threshold_ode(const ThresholdModel& m, double t_end,
+                                       double dt) {
+  assert(m.lambda > 0 && m.lambda < 1 && m.b >= 1);
+  ThresholdState st;
+  st.capacity = m.capacity;
+  st.s.assign(static_cast<std::size_t>(m.capacity + m.tail) + 1, 0.0);
+  st.s[0] = 1.0;  // empty system: s_c = 1, s_i = 0 for i < c
+  const auto axpy = [&](const ThresholdState& base,
+                        const std::vector<double>& k, double scale) {
+    ThresholdState out = base;
+    for (std::size_t i = 0; i < out.s.size(); ++i) out.s[i] += scale * k[i];
+    clamp_state(out);
+    return out;
+  };
+  for (double t = 0; t < t_end; t += dt) {
+    const auto k1 = derivative(m, st);
+    const auto k2 = derivative(m, axpy(st, k1, dt / 2));
+    const auto k3 = derivative(m, axpy(st, k2, dt / 2));
+    const auto k4 = derivative(m, axpy(st, k3, dt));
+    for (std::size_t i = 0; i < st.s.size(); ++i)
+      st.s[i] += dt / 6.0 * (k1[i] + 2 * k2[i] + 2 * k3[i] + k4[i]);
+    clamp_state(st);
+  }
+  return st;
+}
+
+ThresholdState lemma_a1_fixed_point(const ThresholdModel& m) {
+  assert(m.lambda > 0 && m.lambda < 1 && m.b >= 1);
+  const int c = m.capacity;
+  const int T = m.threshold;
+  // Self-consistent solve for s_{T-1}: A = lambda * geometric(s_{T-1}),
+  // and summing eq (3) over i in [T-1, c] gives
+  // s_i = (lambda - A) * (A^{c-i} - 1)/(A - 1) + A^{c-i}.
+  auto s_from_A = [&](double A) {
+    const int e = c - (T - 1);
+    const double Ae = std::pow(A, e);
+    if (std::abs(A - 1.0) < 1e-12) {
+      return m.lambda * e - e + 1.0;  // limit A -> 1
+    }
+    return (m.lambda - A) * (Ae - 1.0) / (A - 1.0) + Ae;
+  };
+  double sT1 = m.lambda;  // initial guess
+  for (int iter = 0; iter < 10000; ++iter) {
+    double geo = 0.0;
+    for (int j = 0; j < m.b; ++j) geo += std::pow(sT1, j);
+    const double A = m.lambda * geo;
+    const double next = std::clamp(s_from_A(A), 0.0, 1.0);
+    if (std::abs(next - sT1) < 1e-14) {
+      sT1 = next;
+      break;
+    }
+    sT1 = 0.5 * sT1 + 0.5 * next;  // damped iteration
+  }
+  ThresholdState st;
+  st.capacity = c;
+  st.s.assign(static_cast<std::size_t>(c + m.tail) + 1, 0.0);
+  double geo = 0.0;
+  for (int j = 0; j < m.b; ++j) geo += std::pow(sT1, j);
+  const double A = m.lambda * geo;
+  for (int i = c; i >= T - 1 && i >= c - m.tail; --i) {
+    const int e = c - i;
+    double v;
+    if (std::abs(A - 1.0) < 1e-12) {
+      v = m.lambda * e - e + 1.0;
+    } else {
+      const double Ae = std::pow(A, e);
+      v = (m.lambda - A) * (Ae - 1.0) / (A - 1.0) + Ae;
+    }
+    st.s[static_cast<std::size_t>(e)] = std::clamp(v, 0.0, 1.0);
+  }
+  // Below the threshold (eq (4) at the fixed point): s_{i-1} = lambda s_i^b.
+  for (int i = T - 2; i >= c - m.tail; --i) {
+    const double above = st.at_spare(i + 1);
+    st.s[static_cast<std::size_t>(c - i)] =
+        std::clamp(m.lambda * std::pow(above, m.b), 0.0, 1.0);
+  }
+  clamp_state(st);
+  return st;
+}
+
+double expected_customers(const ThresholdState& st) {
+  // A server with i spare capacities holds (c - i) customers:
+  // E[N] = sum_{i <= c-1} P(spare <= i) = sum over the tail of s.
+  double total = 0.0;
+  for (std::size_t idx = 1; idx < st.s.size(); ++idx) total += st.s[idx];
+  return total;
+}
+
+double expected_system_time(const ThresholdModel& m,
+                            const ThresholdState& st) {
+  return expected_customers(st) / m.lambda;
+}
+
+QueueSimResult simulate_supermarket(const QueueSimParams& p) {
+  assert(p.b >= 1 && p.lambda > 0 && p.lambda < 1);
+  Rng rng(p.seed);
+  // Per-server FIFO job finish times. With exponential services and FIFO
+  // order, the k-th job's finish time is deterministic once its service
+  // time is drawn, so the exact queue length at time t is the number of
+  // finish times > t — no completion events needed. Finish times are
+  // pruned lazily, only for the servers an arrival actually polls.
+  std::vector<std::vector<double>> finish(p.servers);
+  OnlineStats wait_stats, system_stats;
+  Percentiles system_pct;
+  std::size_t max_queue = 0;
+  std::size_t probes = 0;
+
+  auto queue_len = [&](std::size_t s, double now) {
+    auto& f = finish[s];
+    std::size_t done = 0;
+    while (done < f.size() && f[done] <= now) ++done;
+    if (done > 0) f.erase(f.begin(), f.begin() + static_cast<std::ptrdiff_t>(done));
+    return f.size();
+  };
+
+  const double total_rate = p.lambda * static_cast<double>(p.servers);
+  double t = 0.0;
+  std::size_t memory = p.servers;  // sentinel: nothing remembered yet
+  for (std::size_t arrived = 0; arrived < p.arrivals; ++arrived) {
+    t += rng.exponential(total_rate);
+    // Poll up to b choices sequentially; join the first below the
+    // threshold, otherwise the least loaded polled server. With memory,
+    // the remembered server takes one of the b slots [22].
+    std::size_t chosen = p.servers;  // sentinel
+    std::size_t chosen_len = 0;
+    std::vector<std::pair<std::size_t, std::size_t>> polled;  // (server, len)
+    for (int j = 0; j < p.b; ++j) {
+      const std::size_t cand = p.use_memory && j == 0 && memory < p.servers
+                                   ? memory
+                                   : rng.index(p.servers);
+      const std::size_t len = queue_len(cand, t);
+      ++probes;
+      polled.emplace_back(cand, len);
+      if (chosen == p.servers || len < chosen_len) {
+        chosen = cand;
+        chosen_len = len;
+      }
+      if (len < static_cast<std::size_t>(p.threshold)) {
+        chosen = cand;
+        chosen_len = len;
+        break;
+      }
+    }
+    if (p.use_memory) {
+      // [22]: remember the least loaded of this task's choices AFTER the
+      // allocation (chosen just gained one job).
+      memory = chosen;
+      std::size_t best = chosen_len + 1;
+      for (const auto& [cand, len] : polled) {
+        if (cand != chosen && len < best) {
+          best = len;
+          memory = cand;
+        }
+      }
+    }
+    auto& f = finish[chosen];
+    const double start = f.empty() ? t : std::max(t, f.back());
+    const double service = rng.exponential(1.0);
+    f.push_back(start + service);
+    wait_stats.add(start - t);
+    system_stats.add(start + service - t);
+    system_pct.add(start + service - t);
+    max_queue = std::max(max_queue, f.size());
+  }
+  QueueSimResult r;
+  r.mean_wait = wait_stats.mean();
+  r.mean_system_time = system_stats.mean();
+  r.p99_system_time = system_pct.percentile(99);
+  r.max_queue = max_queue;
+  r.probes_per_arrival =
+      static_cast<double>(probes) / static_cast<double>(p.arrivals);
+  return r;
+}
+
+}  // namespace ert::supermarket

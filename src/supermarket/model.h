@@ -1,0 +1,105 @@
+// Supermarket customer-service models backing Sec. 4.2 and Theorem 4.1.
+//
+// The paper maps its query-forwarding model (QFM) onto Mitzenmacher's
+// supermarket model with a strong threshold: customers arrive in a Poisson
+// stream of rate lambda*n at n FIFO servers with exp(1) service; each
+// customer polls up to b random servers sequentially, joins the first one
+// below the threshold T, and joins the least-loaded polled server if all
+// are above it. Theorem 4.1: any b >= 2 yields an exponential improvement
+// in expected waiting time over b = 1 (random walk).
+//
+// Three artifacts are provided:
+//  * the classic power-of-d fixed point (s_i = lambda^((d^i-1)/(d-1))) and
+//    expected time in system — the cleanest statement of the exponential
+//    gap;
+//  * the paper's threshold model: the Lemma A.1 self-consistent fixed
+//    point and an RK4 integrator for the differential equations (3)/(4),
+//    in the paper's "spare capacity" coordinates;
+//  * a discrete-event n-server queue simulator measuring actual waiting
+//    times for b = 1, 2, 3, ... so theory and simulation can be compared.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ert::supermarket {
+
+// --- classic power-of-d choices (no threshold) -------------------------------
+
+/// Fixed point of the classic supermarket model: fraction of queues with
+/// length >= i, for i in [0, max_len]. d = 1 gives the M/M/1 geometric tail
+/// lambda^i; d >= 2 gives the doubly-exponential lambda^((d^i-1)/(d-1)).
+std::vector<double> classic_fixed_point(double lambda, int d,
+                                        std::size_t max_len);
+
+/// Expected time a customer spends in the system at the fixed point
+/// (Little's law: E[T] = sum_i s_i / lambda).
+double classic_expected_time(double lambda, int d);
+
+// --- the paper's threshold model (Lemma A.1) ---------------------------------
+
+struct ThresholdModel {
+  double lambda = 0.9;  ///< arrival rate per server (< 1).
+  int b = 2;            ///< poll size.
+  int threshold = 1;    ///< T: spare capacities below which a server is "busy".
+  int capacity = 4;     ///< c: spare capacities of an empty server.
+  int tail = 40;        ///< how far below spare capacity 0 to track (queue).
+};
+
+/// State vector s_i = fraction of servers with at most i spare capacities,
+/// for i = c down to c - tail (index 0 holds s_c == 1).
+struct ThresholdState {
+  std::vector<double> s;
+  int capacity = 0;
+
+  double at_spare(int i) const {
+    const int idx = capacity - i;
+    if (idx < 0) return 1.0;  // s_i = 1 for i >= c
+    if (idx >= static_cast<int>(s.size())) return 0.0;
+    return s[static_cast<std::size_t>(idx)];
+  }
+};
+
+/// Solves the Lemma A.1 fixed point self-consistently (s_{T-1} and
+/// A = lambda * (s_{T-1}^b - 1) / (s_{T-1} - 1) determine each other).
+ThresholdState lemma_a1_fixed_point(const ThresholdModel& m);
+
+/// Integrates the differential equations (3)/(4) with RK4 from the empty
+/// system until t_end; dt is the step size.
+ThresholdState integrate_threshold_ode(const ThresholdModel& m, double t_end,
+                                       double dt = 0.01);
+
+/// Expected number of customers per server at a state (sum over queue
+/// levels); expected system time follows from Little's law.
+double expected_customers(const ThresholdState& st);
+double expected_system_time(const ThresholdModel& m, const ThresholdState& st);
+
+// --- discrete-event simulation -----------------------------------------------
+
+struct QueueSimParams {
+  std::size_t servers = 500;
+  double lambda = 0.9;   ///< per-server arrival rate.
+  int b = 2;             ///< poll size (1 = random server).
+  int threshold = 1;     ///< join the first polled server with queue < T.
+  std::size_t arrivals = 200000;
+  std::uint64_t seed = 1;
+  /// Memory-based dispatch as the ERT paper adapts it from [22]
+  /// (Sec. 4.1: "with the remembered node, it only needs to randomly
+  /// choose ONE neighbor, instead of two"): the remembered least-loaded
+  /// server takes one of the b slots, so each dispatch draws only (b - 1)
+  /// fresh servers — trading a little queueing time for half the probes.
+  bool use_memory = false;
+};
+
+struct QueueSimResult {
+  double mean_wait = 0.0;         ///< arrival -> service start.
+  double mean_system_time = 0.0;  ///< arrival -> departure.
+  double p99_system_time = 0.0;
+  std::size_t max_queue = 0;
+  double probes_per_arrival = 0.0;  ///< load-status probes issued.
+};
+
+QueueSimResult simulate_supermarket(const QueueSimParams& p);
+
+}  // namespace ert::supermarket

@@ -1,0 +1,53 @@
+#include "workload/workload.h"
+
+#include <cassert>
+
+namespace ert::workload {
+
+ImpulseWorkload ImpulseWorkload::make(std::uint64_t space_size,
+                                      std::size_t impulse_nodes,
+                                      std::size_t impulse_keys, Rng& rng) {
+  assert(space_size > 0);
+  ImpulseWorkload w;
+  w.space_size = space_size;
+  // In a (near-)fully-occupied space, `impulse_nodes` ids span roughly that
+  // many positions; in a sparse one the interval scales up proportionally —
+  // callers pass a pre-scaled node count when needed.
+  w.interval_len = std::min<std::uint64_t>(impulse_nodes, space_size);
+  w.interval_start = static_cast<std::uint64_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(space_size) - 1));
+  w.hot_keys.reserve(impulse_keys);
+  for (std::size_t i = 0; i < impulse_keys; ++i)
+    w.hot_keys.push_back(static_cast<std::uint64_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(space_size) - 1)));
+  return w;
+}
+
+bool ImpulseWorkload::in_interval(std::uint64_t lv) const {
+  if (interval_len == 0) return false;
+  // Wrap-around interval membership within the id space.
+  const std::uint64_t off = lv >= interval_start
+                                ? lv - interval_start
+                                : lv + space_size - interval_start;
+  return off < interval_len;
+}
+
+std::uint64_t ImpulseWorkload::pick_key(Rng& rng) const {
+  assert(!hot_keys.empty());
+  return hot_keys[rng.index(hot_keys.size())];
+}
+
+ZipfKeys::ZipfKeys(std::uint64_t space_size, std::size_t catalog,
+                   double exponent, Rng& rng)
+    : exponent_(exponent) {
+  keys_.reserve(catalog);
+  for (std::size_t i = 0; i < catalog; ++i)
+    keys_.push_back(static_cast<std::uint64_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(space_size) - 1)));
+}
+
+std::uint64_t ZipfKeys::pick(Rng& rng) {
+  return keys_[rng.zipf(keys_.size(), exponent_)];
+}
+
+}  // namespace ert::workload

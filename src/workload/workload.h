@@ -1,0 +1,70 @@
+// Workload generators for the evaluation scenarios of Sec. 5.
+//
+//  * Uniform lookups: random source node, random target key, Poisson
+//    arrivals at rate 1/s (Table 2).
+//  * Skewed "impulse" lookups (Sec. 5.4): a set of nodes whose ids lie in a
+//    contiguous interval of the id space all query the same small set of
+//    hot keys (100 nodes / 50 keys in the paper).
+//  * Zipf popularity (extension): keys drawn with Zipf-ranked popularity,
+//    modeling the nonuniform, time-varying file popularity the paper's
+//    introduction motivates.
+//  * Churn (Sec. 5.5): Poisson join and departure processes with mean
+//    interarrival 0.1..0.9 s.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace ert::workload {
+
+/// Exponential inter-arrival sampler (Poisson process).
+class PoissonProcess {
+ public:
+  explicit PoissonProcess(double rate) : rate_(rate) {}
+  double rate() const { return rate_; }
+  double next_gap(Rng& rng) const { return rng.exponential(rate_); }
+
+ private:
+  double rate_;
+};
+
+/// The Sec. 5.4 impulse: sources live in a contiguous id interval and all
+/// query the same hot keys.
+struct ImpulseWorkload {
+  std::uint64_t space_size = 1;      ///< id-space size (interval wraps in it).
+  std::uint64_t interval_start = 0;  ///< first linear id of the source range.
+  std::uint64_t interval_len = 0;    ///< length of the source range.
+  std::vector<std::uint64_t> hot_keys;
+
+  /// Picks a contiguous interval covering ~`impulse_nodes` ids and
+  /// `impulse_keys` random keys from an id space of `space_size` ids.
+  static ImpulseWorkload make(std::uint64_t space_size,
+                              std::size_t impulse_nodes,
+                              std::size_t impulse_keys, Rng& rng);
+
+  bool in_interval(std::uint64_t lv) const;
+  std::uint64_t pick_key(Rng& rng) const;
+  bool enabled() const { return !hot_keys.empty(); }
+};
+
+/// Zipf-popularity key picker over a fixed catalog of keys.
+class ZipfKeys {
+ public:
+  ZipfKeys(std::uint64_t space_size, std::size_t catalog, double exponent,
+           Rng& rng);
+
+  std::uint64_t pick(Rng& rng);
+  std::size_t catalog_size() const { return keys_.size(); }
+  double exponent() const { return exponent_; }
+
+  /// Re-ranks popularity (time-varying popularity: the hot set drifts).
+  void reshuffle(Rng& rng) { rng.shuffle(keys_); }
+
+ private:
+  std::vector<std::uint64_t> keys_;
+  double exponent_;
+};
+
+}  // namespace ert::workload

@@ -1,0 +1,111 @@
+#include "ert/adaptation.h"
+
+#include <gtest/gtest.h>
+
+#include "ert/load_tracker.h"
+
+namespace ert::core {
+namespace {
+
+TEST(Adaptation, NoActionInsideBand) {
+  // gamma_l = 2: the acceptable band is [c/2, 2c].
+  EXPECT_EQ(decide_adaptation(10, 10, 2.0, 0.5).action, AdaptAction::kNone);
+  EXPECT_EQ(decide_adaptation(19, 10, 2.0, 0.5).action, AdaptAction::kNone);
+  EXPECT_EQ(decide_adaptation(6, 10, 2.0, 0.5).action, AdaptAction::kNone);
+}
+
+TEST(Adaptation, ShedWhenOverloaded) {
+  const auto d = decide_adaptation(30, 10, 2.0, 0.5);
+  EXPECT_EQ(d.action, AdaptAction::kShed);
+  EXPECT_EQ(d.delta, 10);  // mu * (l - c) = 0.5 * 20
+}
+
+TEST(Adaptation, GrowWhenUnderloaded) {
+  const auto d = decide_adaptation(2, 10, 2.0, 0.5);
+  EXPECT_EQ(d.action, AdaptAction::kGrow);
+  EXPECT_EQ(d.delta, 4);  // mu * (c - l) = 0.5 * 8
+}
+
+TEST(Adaptation, DeltaAtLeastOne) {
+  const auto d = decide_adaptation(10.4, 10, 1.0, 0.5);
+  EXPECT_EQ(d.action, AdaptAction::kShed);
+  EXPECT_EQ(d.delta, 1);
+  const auto g = decide_adaptation(9.8, 10, 1.0, 0.5);
+  EXPECT_EQ(g.action, AdaptAction::kGrow);
+  EXPECT_EQ(g.delta, 1);
+}
+
+TEST(Adaptation, GammaOneBoundary) {
+  // gamma_l = 1 (Table 2 default): exactly-at-capacity takes no action.
+  EXPECT_EQ(decide_adaptation(10, 10, 1.0, 0.5).action, AdaptAction::kNone);
+  EXPECT_EQ(decide_adaptation(11, 10, 1.0, 0.5).action, AdaptAction::kShed);
+  EXPECT_EQ(decide_adaptation(9, 10, 1.0, 0.5).action, AdaptAction::kGrow);
+}
+
+TEST(Adaptation, ConvergesToBand) {
+  // Iterating load ~ nu * d with adaptation must settle into the band,
+  // mirroring the Theorem 3.2 argument.
+  const double nu = 0.5, c = 20, gamma = 1.5, mu = 0.5;
+  double d = 100;  // start far too high
+  for (int i = 0; i < 100; ++i) {
+    const double load = nu * d;
+    const auto dec = decide_adaptation(load, c, gamma, mu);
+    if (dec.action == AdaptAction::kShed) d -= dec.delta;
+    if (dec.action == AdaptAction::kGrow) d += dec.delta;
+    ASSERT_GT(d, 0);
+  }
+  const double g = nu * d / c;
+  EXPECT_LE(g, gamma + 0.1);
+  EXPECT_GE(g, 1.0 / gamma - 0.1);
+}
+
+TEST(LoadTracker, QueueAccounting) {
+  LoadTracker t;
+  t.on_enqueue();
+  t.on_enqueue();
+  t.on_enqueue();
+  EXPECT_EQ(t.queue_length(), 3u);
+  t.on_dequeue();
+  EXPECT_EQ(t.queue_length(), 2u);
+  EXPECT_EQ(t.cumulative_handled(), 3u);
+  EXPECT_EQ(t.all_time_peak(), 3u);
+}
+
+TEST(LoadTracker, PeriodPeakResets) {
+  LoadTracker t;
+  t.on_enqueue();
+  t.on_enqueue();
+  t.on_dequeue();
+  t.on_dequeue();
+  EXPECT_EQ(t.end_period(), 2u);
+  // New period starts from the current queue length (0 here).
+  t.on_enqueue();
+  EXPECT_EQ(t.end_period(), 1u);
+  EXPECT_EQ(t.all_time_peak(), 2u);  // all-time survives periods
+}
+
+TEST(LoadTracker, PeriodPeakSeedsFromCarryover) {
+  LoadTracker t;
+  for (int i = 0; i < 5; ++i) t.on_enqueue();
+  t.end_period();
+  // Queue still holds 5; the next period's peak starts there.
+  EXPECT_EQ(t.end_period(), 5u);
+}
+
+TEST(LoadTracker, Congestion) {
+  LoadTracker t;
+  for (int i = 0; i < 6; ++i) t.on_enqueue();
+  EXPECT_DOUBLE_EQ(t.congestion(4), 1.5);
+  t.on_dequeue();
+  EXPECT_DOUBLE_EQ(t.congestion(4), 1.25);
+  EXPECT_DOUBLE_EQ(t.max_congestion(4), 1.5);
+}
+
+TEST(LoadTracker, DequeueOnEmptyIsSafe) {
+  LoadTracker t;
+  t.on_dequeue();
+  EXPECT_EQ(t.queue_length(), 0u);
+}
+
+}  // namespace
+}  // namespace ert::core

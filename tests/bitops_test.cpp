@@ -1,0 +1,80 @@
+#include "common/bitops.h"
+
+#include <gtest/gtest.h>
+
+namespace ert {
+namespace {
+
+TEST(BitOps, MsbDiffBasics) {
+  EXPECT_EQ(msb_diff(0, 0), -1);
+  EXPECT_EQ(msb_diff(5, 5), -1);
+  EXPECT_EQ(msb_diff(0, 1), 0);
+  EXPECT_EQ(msb_diff(0b1000, 0b0000), 3);
+  EXPECT_EQ(msb_diff(0b1010, 0b1000), 1);
+  EXPECT_EQ(msb_diff(~0ull, 0), 63);
+}
+
+TEST(BitOps, MsbDiffIsSymmetric) {
+  for (std::uint64_t a : {0ull, 1ull, 0xffull, 0xdeadbeefull}) {
+    for (std::uint64_t b : {0ull, 2ull, 0x100ull, 0xcafef00dull}) {
+      EXPECT_EQ(msb_diff(a, b), msb_diff(b, a));
+    }
+  }
+}
+
+TEST(BitOps, BitAt) {
+  EXPECT_EQ(bit_at(0b1010, 0), 0);
+  EXPECT_EQ(bit_at(0b1010, 1), 1);
+  EXPECT_EQ(bit_at(0b1010, 3), 1);
+  EXPECT_EQ(bit_at(0b1010, 4), 0);
+}
+
+TEST(BitOps, FlipBit) {
+  EXPECT_EQ(flip_bit(0b1010, 0), 0b1011u);
+  EXPECT_EQ(flip_bit(0b1010, 1), 0b1000u);
+  EXPECT_EQ(flip_bit(flip_bit(0xabcd, 7), 7), 0xabcdu);
+}
+
+TEST(BitOps, LowMask) {
+  EXPECT_EQ(low_mask(0), 0u);
+  EXPECT_EQ(low_mask(1), 1u);
+  EXPECT_EQ(low_mask(8), 0xffu);
+  EXPECT_EQ(low_mask(64), ~0ull);
+}
+
+TEST(BitOps, SameHighBits) {
+  // width 8, compare bits >= 4
+  EXPECT_TRUE(same_high_bits(0b10110000, 0b10111111, 4, 8));
+  EXPECT_FALSE(same_high_bits(0b10110000, 0b10100000, 4, 8));
+  // pos 0 compares everything
+  EXPECT_FALSE(same_high_bits(0b10110001, 0b10110000, 0, 8));
+  EXPECT_TRUE(same_high_bits(0b10110001, 0b10110001, 0, 8));
+  // pos == width compares nothing
+  EXPECT_TRUE(same_high_bits(0xff, 0x00, 8, 8));
+}
+
+TEST(BitOps, CommonPrefixLen) {
+  EXPECT_EQ(common_prefix_len(0b1010, 0b1010, 4), 4);
+  EXPECT_EQ(common_prefix_len(0b1010, 0b1011, 4), 3);
+  EXPECT_EQ(common_prefix_len(0b1010, 0b0010, 4), 0);
+  EXPECT_EQ(common_prefix_len(0b1010, 0b1110, 4), 1);
+}
+
+TEST(BitOps, CommonDigitPrefix) {
+  // width 8, base 4 (2 bits/digit): digits of 0b10'11'01'00 = 2,3,1,0
+  EXPECT_EQ(common_digit_prefix(0b10110100, 0b10110100, 8, 2), 4);
+  EXPECT_EQ(common_digit_prefix(0b10110100, 0b10110111, 8, 2), 3);
+  EXPECT_EQ(common_digit_prefix(0b10110100, 0b10000100, 8, 2), 1);
+  EXPECT_EQ(common_digit_prefix(0b10110100, 0b00110100, 8, 2), 0);
+}
+
+TEST(BitOps, DigitAt) {
+  // width 8, 2 bits/digit, value 0b10'11'01'00
+  EXPECT_EQ(digit_at(0b10110100, 0, 8, 2), 2u);
+  EXPECT_EQ(digit_at(0b10110100, 1, 8, 2), 3u);
+  EXPECT_EQ(digit_at(0b10110100, 2, 8, 2), 1u);
+  EXPECT_EQ(digit_at(0b10110100, 3, 8, 2), 0u);
+}
+
+}  // namespace
+}  // namespace ert

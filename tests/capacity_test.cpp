@@ -1,0 +1,87 @@
+#include "ert/capacity.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace ert::core {
+namespace {
+
+SimParams defaults() { return SimParams{}; }
+
+TEST(CapacityModel, NormalizedMeanIsOne) {
+  Rng rng(1);
+  const auto m = CapacityModel::generate(2048, defaults(), rng);
+  double sum = 0;
+  for (std::size_t i = 0; i < m.size(); ++i) sum += m.normalized(i);
+  EXPECT_NEAR(sum / 2048.0, 1.0, 1e-9);
+}
+
+TEST(CapacityModel, RawInParetoRange) {
+  Rng rng(2);
+  const auto m = CapacityModel::generate(500, defaults(), rng);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    EXPECT_GE(m.raw(i), 500.0);
+    EXPECT_LE(m.raw(i), 50000.0);
+  }
+}
+
+TEST(CapacityModel, FromRaw) {
+  const auto m = CapacityModel::from_raw({100.0, 300.0});
+  EXPECT_DOUBLE_EQ(m.normalized(0), 0.5);
+  EXPECT_DOUBLE_EQ(m.normalized(1), 1.5);
+  EXPECT_DOUBLE_EQ(m.total_raw(), 400.0);
+}
+
+TEST(CapacityModel, AddNodeUsesFrozenMean) {
+  auto m = CapacityModel::from_raw({100.0, 300.0});  // mean 200
+  const std::size_t i = m.add_node(400.0);
+  EXPECT_EQ(i, 2u);
+  EXPECT_DOUBLE_EQ(m.normalized(2), 2.0);
+  // Existing normalizations unchanged (no global renormalization).
+  EXPECT_DOUBLE_EQ(m.normalized(0), 0.5);
+}
+
+TEST(CapacityModel, EstimatedWithinGamma) {
+  auto m = CapacityModel::from_raw({100.0, 100.0});
+  Rng rng(3);
+  for (int t = 0; t < 200; ++t) {
+    const double e = m.estimated(0, 2.0, rng);
+    EXPECT_GE(e, 0.5);
+    EXPECT_LE(e, 2.0);
+  }
+  // gamma_c = 1 means exact knowledge.
+  EXPECT_DOUBLE_EQ(m.estimated(0, 1.0, rng), 1.0);
+}
+
+TEST(MaxIndegree, PaperFormula) {
+  // d_inf = floor(0.5 + alpha * c_hat), Table 2: alpha = d + 3 = 11.
+  EXPECT_EQ(max_indegree(11.0, 1.0), 11);
+  EXPECT_EQ(max_indegree(11.0, 2.0), 22);
+  EXPECT_EQ(max_indegree(11.0, 0.5), 6);   // floor(0.5 + 5.5) = 6 (round)
+  EXPECT_EQ(max_indegree(11.0, 0.04), 1);  // clamped to 1
+}
+
+TEST(MaxIndegree, ScalesLinearly) {
+  for (double c : {0.5, 1.0, 3.0, 10.0}) {
+    EXPECT_NEAR(max_indegree(11.0, c), 11.0 * c, 0.51);
+  }
+}
+
+TEST(QueueSlots, MatchesMaxIndegree) {
+  EXPECT_EQ(queue_slots(11.0, 1.7), max_indegree(11.0, 1.7));
+}
+
+TEST(CapacityModel, HeterogeneitySpansOrdersOfMagnitude) {
+  Rng rng(5);
+  const auto m = CapacityModel::generate(2048, defaults(), rng);
+  double lo = 1e18, hi = 0;
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    lo = std::min(lo, m.raw(i));
+    hi = std::max(hi, m.raw(i));
+  }
+  EXPECT_GT(hi / lo, 10.0);  // Pareto heterogeneity really present
+}
+
+}  // namespace
+}  // namespace ert::core

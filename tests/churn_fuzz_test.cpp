@@ -1,0 +1,217 @@
+// Fuzz: random interleavings of join / graceful-leave / silent-fail /
+// expand / shed / purge / repair / lookup on each substrate, with the
+// structural invariants re-checked throughout. Seeds are fixed so failures
+// reproduce.
+#include <gtest/gtest.h>
+
+#include "chord/overlay.h"
+#include "cycloid/overlay.h"
+#include "pastry/overlay.h"
+
+namespace ert {
+namespace {
+
+using dht::NodeIndex;
+
+template <typename Overlay>
+NodeIndex pick_alive(const Overlay& o, Rng& rng) {
+  for (int t = 0; t < 256; ++t) {
+    const NodeIndex v = rng.index(o.num_slots());
+    if (o.node(v).alive) return v;
+  }
+  return dht::kNoNode;
+}
+
+/// Drives one fuzz round; `route` runs a full lookup and returns the final
+/// node, `join` adds and wires one node.
+template <typename Overlay, typename JoinFn, typename RouteFn>
+void fuzz(Overlay& o, Rng& rng, JoinFn join, RouteFn route, int ops) {
+  for (int op = 0; op < ops; ++op) {
+    switch (rng.index(10)) {
+      case 0:
+      case 1:
+        join();
+        break;
+      case 2: {
+        if (o.alive_count() > 32) {
+          const NodeIndex v = pick_alive(o, rng);
+          if (v != dht::kNoNode) o.leave_graceful(v);
+        }
+        break;
+      }
+      case 3: {
+        if (o.alive_count() > 32) {
+          const NodeIndex v = pick_alive(o, rng);
+          if (v != dht::kNoNode) o.fail(v);
+        }
+        break;
+      }
+      case 4: {
+        const NodeIndex v = pick_alive(o, rng);
+        if (v != dht::kNoNode)
+          o.expand_indegree(v, 1 + static_cast<int>(rng.index(4)), 64);
+        break;
+      }
+      case 5: {
+        const NodeIndex v = pick_alive(o, rng);
+        if (v != dht::kNoNode)
+          o.shed_indegree(v, 1 + static_cast<int>(rng.index(3)));
+        break;
+      }
+      case 6: {
+        // Purge stale links the way the runtime would on a timeout.
+        const NodeIndex v = pick_alive(o, rng);
+        if (v == dht::kNoNode) break;
+        for (const auto& e : o.node(v).table.entries()) {
+          for (NodeIndex c : std::vector<NodeIndex>(e.candidates())) {
+            if (!o.node(c).alive) o.purge_dead(v, c);
+          }
+        }
+        for (std::size_t slot = 0; slot < o.node(v).table.num_entries();
+             ++slot)
+          o.repair_entry(v, slot);
+        break;
+      }
+      default: {
+        // Lookup correctness under whatever state we are in.
+        const NodeIndex src = pick_alive(o, rng);
+        if (src == dht::kNoNode) break;
+        route(src);
+        break;
+      }
+    }
+  }
+  o.check_invariants();
+}
+
+TEST(ChurnFuzz, Cycloid) {
+  cycloid::OverlayOptions opts;
+  opts.dimension = 7;
+  opts.policy = cycloid::NeighborPolicy::kSpareIndegree;
+  opts.enforce_indegree_bounds = true;
+  cycloid::Overlay o(opts);
+  Rng rng(101);
+  auto join = [&] {
+    if (o.directory().size() + 8 >= o.space().size()) return;
+    const NodeIndex v = o.add_node_random(rng, rng.uniform(0.3, 4.0), 40, 0.8);
+    o.build_table(v, rng);
+    o.expand_indegree(v, 4, 64);
+  };
+  auto route = [&](NodeIndex src) {
+    const std::uint64_t key = rng.bits() % o.space().size();
+    cycloid::RouteCtx ctx;
+    NodeIndex cur = src;
+    std::size_t hops = 0;
+    for (;;) {
+      const auto step = o.route_step(cur, key, ctx);
+      if (step.arrived) break;
+      ASSERT_FALSE(step.candidates.empty());
+      // Follow the first LIVE candidate, purging stale ones like the
+      // runtime does.
+      NodeIndex next = dht::kNoNode;
+      for (NodeIndex c : step.candidates) {
+        if (o.node(c).alive) {
+          next = c;
+          break;
+        }
+        o.purge_dead(cur, c);
+      }
+      if (next == dht::kNoNode) {
+        if (step.entry_index < cycloid::kNoEntry)
+          o.repair_entry(cur, step.entry_index);
+        ++hops;
+        if (hops > 600) FAIL() << "lookup stuck on stale entries";
+        continue;
+      }
+      cur = next;
+      ASSERT_LT(++hops, 600u);
+    }
+    ASSERT_EQ(cur, o.responsible(key));
+  };
+  for (int i = 0; i < 150; ++i) join();
+  fuzz(o, rng, join, route, 800);
+}
+
+TEST(ChurnFuzz, Chord) {
+  chord::ChordOptions opts;
+  opts.bits = 14;
+  opts.enforce_indegree_bounds = true;
+  chord::Overlay o(opts);
+  Rng rng(202);
+  auto join = [&] {
+    const NodeIndex v = o.add_node_random(rng, rng.uniform(0.3, 4.0), 40, 0.8);
+    o.build_table(v);
+    o.expand_indegree(v, 4, 64);
+  };
+  auto route = [&](NodeIndex src) {
+    const std::uint64_t key = rng.bits() % o.ring_size();
+    NodeIndex cur = src;
+    std::size_t hops = 0;
+    for (;;) {
+      const auto step = o.route_step(cur, key);
+      if (step.arrived) break;
+      ASSERT_FALSE(step.candidates.empty());
+      NodeIndex next = dht::kNoNode;
+      for (NodeIndex c : step.candidates) {
+        if (o.node(c).alive) {
+          next = c;
+          break;
+        }
+        o.purge_dead(cur, c);
+      }
+      if (next == dht::kNoNode) {
+        ++hops;
+        if (hops > 600) FAIL() << "lookup stuck on stale entries";
+        continue;
+      }
+      cur = next;
+      ASSERT_LT(++hops, 600u);
+    }
+    ASSERT_EQ(cur, o.responsible(key));
+  };
+  for (int i = 0; i < 150; ++i) join();
+  fuzz(o, rng, join, route, 800);
+}
+
+TEST(ChurnFuzz, Pastry) {
+  pastry::PastryOptions opts;
+  opts.enforce_indegree_bounds = true;
+  pastry::Overlay o(opts);
+  Rng rng(303);
+  auto join = [&] {
+    const NodeIndex v = o.add_node_random(rng, rng.uniform(0.3, 4.0), 40, 0.8);
+    o.build_table(v);
+    o.expand_indegree(v, 4, 64);
+  };
+  auto route = [&](NodeIndex src) {
+    const std::uint64_t key = rng.bits() % o.ring_size();
+    NodeIndex cur = src;
+    std::size_t hops = 0;
+    for (;;) {
+      const auto step = o.route_step(cur, key);
+      if (step.arrived) break;
+      ASSERT_FALSE(step.candidates.empty());
+      NodeIndex next = dht::kNoNode;
+      for (NodeIndex c : step.candidates) {
+        if (o.node(c).alive) {
+          next = c;
+          break;
+        }
+        o.purge_dead(cur, c);
+      }
+      if (next == dht::kNoNode) {
+        ++hops;
+        if (hops > 600) FAIL() << "lookup stuck on stale entries";
+        continue;
+      }
+      cur = next;
+      ASSERT_LT(++hops, 600u);
+    }
+    ASSERT_EQ(cur, o.responsible(key));
+  };
+  for (int i = 0; i < 150; ++i) join();
+  fuzz(o, rng, join, route, 800);
+}
+
+}  // namespace
+}  // namespace ert

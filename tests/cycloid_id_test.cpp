@@ -1,0 +1,117 @@
+#include "cycloid/id.h"
+
+#include <gtest/gtest.h>
+
+namespace ert::cycloid {
+namespace {
+
+TEST(IdSpace, Sizes) {
+  IdSpace s(8);
+  EXPECT_EQ(s.dimension(), 8);
+  EXPECT_EQ(s.num_cycles(), 256u);
+  EXPECT_EQ(s.size(), 2048u);  // the paper's n = d * 2^d
+}
+
+TEST(IdSpace, LinearRoundTrip) {
+  IdSpace s(8);
+  for (std::uint64_t lv = 0; lv < s.size(); lv += 37) {
+    EXPECT_EQ(s.to_linear(s.from_linear(lv)), lv);
+  }
+  const CycloidId id{5, 0b10110100};
+  EXPECT_EQ(s.from_linear(s.to_linear(id)), id);
+}
+
+TEST(IdSpace, LinearOrderGroupsCycles) {
+  IdSpace s(8);
+  // Same cycle occupies d consecutive linear slots.
+  EXPECT_EQ(s.to_linear({0, 3}), 24u);
+  EXPECT_EQ(s.to_linear({7, 3}), 31u);
+  EXPECT_EQ(s.to_linear({0, 4}), 32u);
+}
+
+TEST(IdSpace, KeyToLinearWraps) {
+  IdSpace s(8);
+  EXPECT_EQ(s.key_to_linear(2048), 0u);
+  EXPECT_EQ(s.key_to_linear(2049), 1u);
+  EXPECT_LT(s.key_to_linear(~0ull), 2048u);
+}
+
+TEST(IdSpace, CubicalOkPaperExample) {
+  // Fig. 2: node (4, 101-1-1010) has cubical neighbor (3, 101-0-xxxx).
+  IdSpace s(8);
+  const CycloidId owner{4, 0b10111010};
+  for (std::uint64_t low = 0; low < 16; ++low) {
+    EXPECT_TRUE(s.cubical_ok(owner, {3, 0b10100000 | low}));
+  }
+  // Wrong cyclic index.
+  EXPECT_FALSE(s.cubical_ok(owner, {2, 0b10100000}));
+  // Bit 4 not flipped.
+  EXPECT_FALSE(s.cubical_ok(owner, {3, 0b10110000}));
+  // High bits differ.
+  EXPECT_FALSE(s.cubical_ok(owner, {3, 0b00100000}));
+}
+
+TEST(IdSpace, CyclicOkPaperExample) {
+  // Fig. 2: cyclic neighbors of (4, 101-1-1010) are (3, 101-1-xxxx).
+  IdSpace s(8);
+  const CycloidId owner{4, 0b10111010};
+  EXPECT_TRUE(s.cyclic_ok(owner, {3, 0b10111100}));
+  EXPECT_TRUE(s.cyclic_ok(owner, {3, 0b10110011}));
+  // Same cycle excluded (that's the leaf sets' role).
+  EXPECT_FALSE(s.cyclic_ok(owner, {3, 0b10111010}));
+  // Bits >= k must match.
+  EXPECT_FALSE(s.cyclic_ok(owner, {3, 0b10101100}));
+  EXPECT_FALSE(s.cyclic_ok(owner, {2, 0b10111100}));
+}
+
+TEST(IdSpace, KZeroHasNoCubicalOrCyclic) {
+  IdSpace s(8);
+  const CycloidId owner{0, 42};
+  EXPECT_FALSE(s.cubical_ok(owner, {7, flip_bit(42, 0)}));
+  EXPECT_FALSE(s.cyclic_ok(owner, {7, 43}));
+}
+
+TEST(IdSpace, ExpansionInverseOfSelection) {
+  // The indegree-expansion id set (Sec. 3.2): node i (k, a) probes hosts
+  // (k+1, ...) — verify the inverse relation: host j can take i as cubical
+  // neighbor iff i satisfies cubical_ok(j, i).
+  IdSpace s(6);
+  const CycloidId i{3, 0b101000};
+  // Paper example shape: i probes (4, 101-1-xx) for cubical inlinks
+  // (bit 4 flipped relative to i.a, bits above preserved, below free).
+  const CycloidId host_good{4, 0b111001};
+  EXPECT_TRUE(s.cubical_ok(host_good, i));
+  const CycloidId host_bad{4, 0b101001};  // bit 4 not flipped
+  EXPECT_FALSE(s.cubical_ok(host_bad, i));
+}
+
+TEST(IdSpace, InsideLeafOk) {
+  IdSpace s(8);
+  EXPECT_TRUE(s.inside_leaf_ok({2, 7}, {5, 7}));
+  EXPECT_FALSE(s.inside_leaf_ok({2, 7}, {2, 7}));  // self
+  EXPECT_FALSE(s.inside_leaf_ok({2, 7}, {2, 8}));  // other cycle
+}
+
+TEST(IdSpace, CycleDistanceWraps) {
+  IdSpace s(8);
+  EXPECT_EQ(s.cycle_distance(0, 255), 1u);
+  EXPECT_EQ(s.cycle_distance(0, 128), 128u);
+  EXPECT_EQ(s.cycle_distance(10, 10), 0u);
+}
+
+TEST(IdSpace, OutsideLeafWindow) {
+  IdSpace s(8);
+  EXPECT_TRUE(s.outside_leaf_ok({0, 5}, {3, 6}, 1));
+  EXPECT_TRUE(s.outside_leaf_ok({0, 5}, {3, 4}, 1));
+  EXPECT_FALSE(s.outside_leaf_ok({0, 5}, {3, 7}, 1));
+  EXPECT_TRUE(s.outside_leaf_ok({0, 5}, {3, 7}, 2));
+  EXPECT_FALSE(s.outside_leaf_ok({0, 5}, {3, 5}, 1));  // same cycle
+}
+
+TEST(IdSpace, ToString) {
+  IdSpace s(8);
+  EXPECT_EQ(s.to_string({4, 0b10111010}), "(4,10111010)");
+}
+
+}  // namespace
+}  // namespace ert::cycloid

@@ -1,0 +1,214 @@
+// Integration tests: the full experiment engine across all protocols and
+// workloads, on small networks so the suite stays fast.
+#include "harness/experiment.h"
+
+#include <gtest/gtest.h>
+
+namespace ert::harness {
+namespace {
+
+SimParams small_params() {
+  SimParams p;
+  p.num_nodes = 256;
+  p.dimension = fit_dimension(256);  // 6 -> 384 ids
+  p.num_lookups = 400;
+  p.lookup_rate = 16.0;
+  p.seed = 5;
+  return p;
+}
+
+class AllProtocolsTest : public ::testing::TestWithParam<Protocol> {};
+
+TEST_P(AllProtocolsTest, CompletesAllLookupsWithSaneMetrics) {
+  const auto r = run_experiment(small_params(), GetParam());
+  EXPECT_EQ(r.completed_lookups, 400u);
+  EXPECT_EQ(r.dropped_lookups, 0u);
+  EXPECT_GT(r.avg_path_length, 1.0);
+  EXPECT_LT(r.avg_path_length, 40.0);
+  EXPECT_GT(r.lookup_time.mean, 0.0);
+  EXPECT_GE(r.lookup_time.p99, r.lookup_time.p01);
+  EXPECT_GT(r.p99_share, 0.0);
+  EXPECT_GE(r.p99_max_congestion, 0.0);
+  EXPECT_GT(r.max_outdegree.mean, 0.0);
+  EXPECT_EQ(r.final_nodes, 256u);
+}
+
+TEST_P(AllProtocolsTest, DeterministicForSeed) {
+  const auto a = run_experiment(small_params(), GetParam());
+  const auto b = run_experiment(small_params(), GetParam());
+  EXPECT_DOUBLE_EQ(a.lookup_time.mean, b.lookup_time.mean);
+  EXPECT_EQ(a.heavy_encounters, b.heavy_encounters);
+  EXPECT_DOUBLE_EQ(a.p99_share, b.p99_share);
+}
+
+TEST_P(AllProtocolsTest, SurvivesChurn) {
+  SimParams p = small_params();
+  p.churn_interarrival = 0.5;
+  const auto r = run_experiment(p, GetParam());
+  EXPECT_EQ(r.completed_lookups + r.dropped_lookups, 400u);
+  // The vast majority of lookups must complete despite churn.
+  EXPECT_GT(r.completed_lookups, 390u);
+}
+
+TEST_P(AllProtocolsTest, SurvivesSkewedImpulse) {
+  SimParams p = small_params();
+  p.impulse_nodes = 20;
+  p.impulse_keys = 10;
+  const auto r = run_experiment(p, GetParam());
+  EXPECT_EQ(r.completed_lookups, 400u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Protocols, AllProtocolsTest,
+    ::testing::Values(Protocol::kBase, Protocol::kNS, Protocol::kVS,
+                      Protocol::kErtA, Protocol::kErtF, Protocol::kErtAF),
+    [](const auto& info) {
+      std::string name{to_string(info.param)};
+      for (char& c : name)
+        if (c == '/') c = '_';
+      return name;
+    });
+
+TEST(Experiment, FitDimension) {
+  EXPECT_EQ(fit_dimension(1), 3);
+  EXPECT_EQ(fit_dimension(24), 3);      // 3 * 8 = 24
+  EXPECT_EQ(fit_dimension(25), 4);      // 4 * 16 = 64
+  EXPECT_EQ(fit_dimension(2048), 8);    // the paper's network
+  EXPECT_EQ(fit_dimension(2049), 9);
+}
+
+TEST(Experiment, ErtReducesShareSkewVsBase) {
+  // The paper's central load-balance claim, on the small network.
+  SimParams p = small_params();
+  p.num_lookups = 800;
+  const auto base = run_averaged(p, Protocol::kBase, 3);
+  const auto ert = run_averaged(p, Protocol::kErtAF, 3);
+  EXPECT_LT(ert.p99_share, base.p99_share);
+}
+
+TEST(Experiment, ErtReducesHeavyEncountersVsBase) {
+  SimParams p = small_params();
+  p.num_lookups = 800;
+  const auto base = run_averaged(p, Protocol::kBase, 3);
+  const auto ert = run_averaged(p, Protocol::kErtAF, 3);
+  EXPECT_LE(ert.heavy_encounters, base.heavy_encounters);
+}
+
+TEST(Experiment, VsHasLongerPathsThanBase) {
+  // Godfrey-Stoica virtual servers inflate the overlay (Fig. 5b).
+  SimParams p = small_params();
+  const auto base = run_experiment(p, Protocol::kBase);
+  const auto vs = run_experiment(p, Protocol::kVS);
+  EXPECT_GT(vs.avg_path_length, base.avg_path_length);
+}
+
+TEST(Experiment, VsHasLargerDegreesThanErt) {
+  // Fig. 7: VS pays much more maintenance than ERT.
+  SimParams p = small_params();
+  const auto vs = run_experiment(p, Protocol::kVS);
+  const auto ert = run_experiment(p, Protocol::kErtAF);
+  EXPECT_GT(vs.max_outdegree.p99, ert.max_outdegree.p99);
+}
+
+TEST(Experiment, ErtTimeoutsLowerUnderChurn) {
+  // Sec. 5.5: elastic entries substitute for departed neighbors.
+  SimParams p = small_params();
+  p.churn_interarrival = 0.4;
+  p.num_lookups = 800;
+  const auto base = run_averaged(p, Protocol::kBase, 3);
+  const auto ert = run_averaged(p, Protocol::kErtAF, 3);
+  EXPECT_LT(ert.avg_timeouts, base.avg_timeouts);
+}
+
+TEST(Experiment, RunAveragedAveragesScalars) {
+  SimParams p = small_params();
+  p.num_lookups = 200;
+  const auto one = run_experiment(p, Protocol::kBase);
+  SimParams p2 = p;
+  p2.seed = p.seed + 1;
+  const auto two = run_experiment(p2, Protocol::kBase);
+  const auto avg = run_averaged(p, Protocol::kBase, 2);
+  EXPECT_NEAR(avg.p99_share, (one.p99_share + two.p99_share) / 2, 1e-9);
+  EXPECT_NEAR(avg.lookup_time.mean,
+              (one.lookup_time.mean + two.lookup_time.mean) / 2, 1e-9);
+}
+
+TEST(Experiment, ProbeCostChargedForForwarding) {
+  SimParams p = small_params();
+  p.probe_cost = 0.05;
+  const auto with = run_experiment(p, Protocol::kErtAF);
+  p.probe_cost = 0.0;
+  const auto without = run_experiment(p, Protocol::kErtAF);
+  EXPECT_GT(with.lookup_time.mean, without.lookup_time.mean);
+}
+
+TEST(Experiment, ZipfWorkloadRuns) {
+  SimParams p = small_params();
+  p.zipf_catalog = 50;
+  p.zipf_exponent = 1.0;
+  const auto r = run_experiment(p, Protocol::kErtAF);
+  EXPECT_EQ(r.completed_lookups, 400u);
+  // Skewed keys concentrate load: share skew must exceed uniform's.
+  SimParams u = small_params();
+  const auto uni = run_experiment(u, Protocol::kErtAF);
+  EXPECT_GT(r.p99_share, uni.p99_share);
+}
+
+TEST(Experiment, ZipfDriftReshufflesHotSet) {
+  SimParams p = small_params();
+  p.num_lookups = 600;
+  p.zipf_catalog = 50;
+  p.zipf_exponent = 1.2;
+  p.zipf_drift_period = 5.0;
+  const auto r = run_experiment(p, Protocol::kErtA);
+  EXPECT_EQ(r.completed_lookups, 600u);
+}
+
+TEST(Experiment, TimelineTracing) {
+  SimParams p = small_params();
+  p.trace_timeline = true;
+  const auto r = run_experiment(p, Protocol::kErtA);
+  ASSERT_FALSE(r.timeline.empty());
+  // One sample per adaptation period, covering the issue window (400
+  // lookups at 16/s ~ 25 s) plus drain.
+  EXPECT_GT(r.timeline.size(), 10u);
+  double prev = 0.0;
+  for (const auto& s : r.timeline) {
+    EXPECT_GT(s.time, prev);
+    prev = s.time;
+    // Note p99 can sit below the mean when fewer than 1% of nodes carry
+    // all the queueing (nearest-rank percentile vs heavy-tailed mean).
+    EXPECT_GE(s.p99_congestion, 0.0);
+    EXPECT_GE(s.mean_congestion, 0.0);
+    EXPECT_GT(s.mean_indegree, 0.0);
+  }
+  // Tracing off -> no samples.
+  p.trace_timeline = false;
+  EXPECT_TRUE(run_experiment(p, Protocol::kErtA).timeline.empty());
+}
+
+TEST(Experiment, AdaptationGrowsIndegreesOverTime) {
+  SimParams p = small_params();
+  p.trace_timeline = true;
+  p.num_lookups = 800;
+  const auto r = run_experiment(p, Protocol::kErtA);
+  ASSERT_GT(r.timeline.size(), 4u);
+  // Underloaded nodes keep inviting load: mean indegree rises from the
+  // initial beta*d_inf assignment toward the structural limit.
+  EXPECT_GT(r.timeline.back().mean_indegree,
+            r.timeline.front().mean_indegree);
+}
+
+TEST(Experiment, PollSizeOneDegradesForwarding) {
+  SimParams p = small_params();
+  p.num_lookups = 800;
+  p.poll_size = 1;
+  const auto b1 = run_averaged(p, Protocol::kErtAF, 3);
+  p.poll_size = 2;
+  const auto b2 = run_averaged(p, Protocol::kErtAF, 3);
+  // b=1 cannot react to load at all; b=2 must not be worse on heavy hits.
+  EXPECT_LE(b2.heavy_encounters, b1.heavy_encounters + 5);
+}
+
+}  // namespace
+}  // namespace ert::harness

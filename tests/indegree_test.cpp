@@ -1,0 +1,89 @@
+#include "ert/indegree.h"
+
+#include <gtest/gtest.h>
+
+namespace ert::core {
+namespace {
+
+TEST(IndegreeBudget, InitialTarget) {
+  IndegreeBudget b(10, 0.8);
+  EXPECT_EQ(b.initial_target(), 8);
+  IndegreeBudget small(1, 0.5);
+  EXPECT_EQ(small.initial_target(), 1);  // at least 1
+}
+
+TEST(IndegreeBudget, AcceptanceRule) {
+  IndegreeBudget b(2, 1.0);
+  EXPECT_TRUE(b.can_accept());
+  b.on_inlink_added();
+  EXPECT_TRUE(b.can_accept());
+  b.on_inlink_added();
+  EXPECT_FALSE(b.can_accept());  // d_inf - d == 0
+  b.on_inlink_removed();
+  EXPECT_TRUE(b.can_accept());
+}
+
+TEST(IndegreeBudget, WantsMoreUntilWatermark) {
+  IndegreeBudget b(10, 0.8);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_TRUE(b.wants_more());
+    b.on_inlink_added();
+  }
+  EXPECT_FALSE(b.wants_more());
+}
+
+TEST(IndegreeBudget, BoundAdjustment) {
+  IndegreeBudget b(5, 0.8);
+  b.raise_bound_by(3);
+  EXPECT_EQ(b.max_indegree(), 8);
+  b.lower_bound_by(10);
+  EXPECT_EQ(b.max_indegree(), 1);  // never below 1
+}
+
+TEST(IndegreeBudget, RemoveBelowZeroClamped) {
+  IndegreeBudget b(5, 0.8);
+  b.on_inlink_removed();
+  EXPECT_EQ(b.indegree(), 0);
+}
+
+TEST(BackwardFingerList, AddRemoveContains) {
+  BackwardFingerList l;
+  EXPECT_TRUE(l.add({1, 100, 0.5}));
+  EXPECT_FALSE(l.add({1, 100, 0.5}));  // duplicate node
+  EXPECT_TRUE(l.add({2, 50, 0.1}));
+  EXPECT_EQ(l.size(), 2u);
+  EXPECT_TRUE(l.contains(1));
+  EXPECT_TRUE(l.remove(1));
+  EXPECT_FALSE(l.remove(1));
+  EXPECT_FALSE(l.contains(1));
+}
+
+TEST(BackwardFingerList, EvictionOrderLogicalThenPhysical) {
+  BackwardFingerList l;
+  l.add({1, 100, 0.1});
+  l.add({2, 300, 0.2});
+  l.add({3, 300, 0.9});  // same logical as 2, farther physically
+  l.add({4, 50, 0.5});
+  const auto ev = l.pick_evictions(3);
+  ASSERT_EQ(ev.size(), 3u);
+  EXPECT_EQ(ev[0], 3u);  // longest logical, longest physical
+  EXPECT_EQ(ev[1], 2u);
+  EXPECT_EQ(ev[2], 1u);
+}
+
+TEST(BackwardFingerList, EvictionsClampToSize) {
+  BackwardFingerList l;
+  l.add({1, 10, 0.0});
+  EXPECT_EQ(l.pick_evictions(5).size(), 1u);
+  EXPECT_EQ(l.pick_evictions(0).size(), 0u);
+}
+
+TEST(BackwardFingerList, Clear) {
+  BackwardFingerList l;
+  l.add({1, 1, 1});
+  l.clear();
+  EXPECT_TRUE(l.empty());
+}
+
+}  // namespace
+}  // namespace ert::core

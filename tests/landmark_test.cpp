@@ -1,0 +1,62 @@
+#include "net/landmark.h"
+
+#include <gtest/gtest.h>
+
+namespace ert::net {
+namespace {
+
+TEST(Landmark, VectorShape) {
+  Rng rng(1);
+  LandmarkSpace s(8, rng);
+  EXPECT_EQ(s.num_landmarks(), 8u);
+  const auto v = s.vector_of({0.3, 0.7});
+  EXPECT_EQ(v.size(), 8u);
+  for (double d : v) {
+    EXPECT_GE(d, 0.0);
+    EXPECT_LE(d, 0.7071068);
+  }
+}
+
+TEST(Landmark, IdenticalPointsHaveZeroDistance) {
+  Rng rng(2);
+  LandmarkSpace s(6, rng);
+  EXPECT_DOUBLE_EQ(s.landmark_distance({0.1, 0.2}, {0.1, 0.2}), 0.0);
+}
+
+TEST(Landmark, SymmetricMetric) {
+  Rng rng(3);
+  LandmarkSpace s(6, rng);
+  const Coord a{0.1, 0.9}, b{0.6, 0.3};
+  EXPECT_DOUBLE_EQ(s.landmark_distance(a, b), s.landmark_distance(b, a));
+}
+
+TEST(Landmark, NearbyPointsHaveSmallLandmarkDistance) {
+  Rng rng(4);
+  LandmarkSpace s(8, rng);
+  const Coord a{0.4, 0.4};
+  const Coord near{0.41, 0.4};
+  const Coord far{0.9, 0.9};
+  EXPECT_LT(s.landmark_distance(a, near), s.landmark_distance(a, far));
+}
+
+TEST(Landmark, OrderingFidelityHighWithEnoughLandmarks) {
+  Rng rng(5);
+  LandmarkSpace s(12, rng);
+  // The forwarding tie-break only needs relative order; with 12 landmarks
+  // the landmark metric must agree with the true metric on the vast
+  // majority of comparisons.
+  EXPECT_GT(ordering_fidelity(s, 4000, rng), 0.85);
+}
+
+TEST(Landmark, MoreLandmarksMoreFidelity) {
+  Rng rng(6);
+  LandmarkSpace coarse(2, rng);
+  LandmarkSpace fine(16, rng);
+  Rng r1(7), r2(7);
+  const double f_coarse = ordering_fidelity(coarse, 4000, r1);
+  const double f_fine = ordering_fidelity(fine, 4000, r2);
+  EXPECT_GT(f_fine, f_coarse);
+}
+
+}  // namespace
+}  // namespace ert::net

@@ -1,0 +1,79 @@
+#include "metrics/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace ert::metrics {
+namespace {
+
+TEST(Shares, FairLoadGivesOnes) {
+  // Load exactly proportional to capacity -> every share is 1.
+  const auto s = compute_shares({10, 20, 30}, {1, 2, 3});
+  ASSERT_EQ(s.size(), 3u);
+  for (double v : s) EXPECT_DOUBLE_EQ(v, 1.0);
+}
+
+TEST(Shares, SkewDetected) {
+  // Node 0 handles everything despite having half the capacity.
+  const auto s = compute_shares({100, 0}, {1, 1});
+  EXPECT_DOUBLE_EQ(s[0], 2.0);
+  EXPECT_DOUBLE_EQ(s[1], 0.0);
+}
+
+TEST(Shares, ZeroLoadGivesZeros) {
+  const auto s = compute_shares({0, 0}, {1, 2});
+  EXPECT_DOUBLE_EQ(s[0], 0.0);
+  EXPECT_DOUBLE_EQ(s[1], 0.0);
+}
+
+TEST(Shares, MatchesPaperFormula) {
+  // s_i = (l_i / sum l) / (c_i / sum c)
+  const std::vector<double> load{5, 15};
+  const std::vector<double> cap{4, 1};
+  const auto s = compute_shares(load, cap);
+  EXPECT_NEAR(s[0], (5.0 / 20.0) / (4.0 / 5.0), 1e-12);
+  EXPECT_NEAR(s[1], (15.0 / 20.0) / (1.0 / 5.0), 1e-12);
+}
+
+TEST(LookupStats, Aggregation) {
+  LookupStats st;
+  st.add({1.0, 5, 2, 0});
+  st.add({3.0, 7, 0, 1});
+  st.add({2.0, 6, 1, 2});
+  EXPECT_EQ(st.lookups(), 3u);
+  EXPECT_EQ(st.total_heavy_encounters(), 3u);
+  EXPECT_DOUBLE_EQ(st.avg_path_length(), 6.0);
+  EXPECT_DOUBLE_EQ(st.avg_timeouts(), 1.0);
+  const auto sum = st.latency_summary();
+  EXPECT_DOUBLE_EQ(sum.mean, 2.0);
+  EXPECT_DOUBLE_EQ(sum.p01, 1.0);
+  EXPECT_DOUBLE_EQ(sum.p99, 3.0);
+}
+
+TEST(LookupStats, Empty) {
+  LookupStats st;
+  EXPECT_EQ(st.lookups(), 0u);
+  EXPECT_DOUBLE_EQ(st.avg_path_length(), 0.0);
+  EXPECT_DOUBLE_EQ(st.avg_timeouts(), 0.0);
+}
+
+TEST(DegreeTracker, TracksMaxima) {
+  DegreeTracker t(3);
+  t.observe(0, 5, 7);
+  t.observe(0, 3, 9);  // lower indegree, higher outdegree
+  t.observe(1, 10, 2);
+  t.observe(2, 1, 1);
+  const auto in = t.indegree_summary();
+  const auto out = t.outdegree_summary();
+  EXPECT_DOUBLE_EQ(in.p99, 10.0);
+  EXPECT_NEAR(in.mean, (5 + 10 + 1) / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(out.p99, 9.0);
+}
+
+TEST(DegreeTracker, GrowsForChurnJoins) {
+  DegreeTracker t(1);
+  t.observe(5, 4, 4);  // auto-grows
+  EXPECT_DOUBLE_EQ(t.indegree_summary().p99, 4.0);
+}
+
+}  // namespace
+}  // namespace ert::metrics

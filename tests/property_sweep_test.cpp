@@ -1,0 +1,173 @@
+// Parameterized property sweeps over the protocol's parameter space:
+// Algorithm 3's convergence band for every (gamma_l, mu) pair, forwarding
+// distribution properties for every poll size, and the indegree/capacity
+// proportionality of the initial assignment across alpha values.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "cycloid/overlay.h"
+#include "ert/adaptation.h"
+#include "ert/capacity.h"
+#include "ert/forwarding.h"
+
+namespace ert {
+namespace {
+
+// --- Algorithm 3 convergence across the (gamma_l, mu) grid -------------------
+
+using AdaptParam = std::tuple<double, double>;  // gamma_l, mu
+
+class AdaptationSweep : public ::testing::TestWithParam<AdaptParam> {};
+
+TEST_P(AdaptationSweep, LoadConvergesIntoBand) {
+  const auto [gamma, mu] = GetParam();
+  // Deterministic feedback model from the Theorem 3.2 proof: load = nu * d,
+  // adaptation step d <- d -+ mu * |nu*d - c|. The loop's gain is mu * nu:
+  // it contracts toward the band iff mu * nu < 2 (why Table 2 picks
+  // mu = 1/2: stable for any per-inlink rate nu < 4). At mu * nu >= 2 the
+  // iteration oscillates; the clamps keep it bounded but not convergent.
+  for (double nu : {0.1, 0.5, 1.0, 2.5}) {
+    for (double c : {1.0, 8.0, 40.0}) {
+      double d = 200.0;  // start far off
+      for (int i = 0; i < 400; ++i) {
+        const auto dec = core::decide_adaptation(nu * d, c, gamma, mu);
+        if (dec.action == core::AdaptAction::kShed) {
+          // Mirror shed_indegree's clamp: a node never drops below 1 inlink.
+          d -= std::min<double>(dec.delta, d - 1.0);
+        }
+        if (dec.action == core::AdaptAction::kGrow) d += dec.delta;
+        ASSERT_GE(d, 1.0) << "indegree collapsed";
+      }
+      const double g = nu * d / c;
+      if (mu * nu < 1.9) {
+        // Stable regime: lands inside the band up to the one-link
+        // quantization.
+        EXPECT_LE(g, gamma + nu / c + 0.6) << "nu=" << nu << " c=" << c;
+        EXPECT_GE(g, 1.0 / gamma - nu / c - 0.6) << "nu=" << nu << " c=" << c;
+      } else {
+        // Unstable gain: bounded oscillation (the overshoot is at most one
+        // full correction of the whole band).
+        EXPECT_LE(g, (gamma + nu / c + 0.6) * (1.0 + mu * nu))
+            << "nu=" << nu << " c=" << c;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, AdaptationSweep,
+    ::testing::Combine(::testing::Values(1.0, 1.5, 2.0, 3.0),
+                       ::testing::Values(0.25, 0.5, 1.0)));
+
+// --- forwarding distribution properties across poll sizes --------------------
+
+class PollSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PollSweep, AllLightCandidatesGetTraffic) {
+  // Under uniform light load every candidate must receive a nontrivial
+  // share (the randomized policy must not starve anyone).
+  const int b = GetParam();
+  Rng rng(100 + b);
+  dht::RoutingEntry entry(dht::EntryKind::kCyclic);
+  std::vector<dht::NodeIndex> cands;
+  for (dht::NodeIndex n = 0; n < 6; ++n) {
+    entry.add(n);
+    cands.push_back(n);
+  }
+  core::TopoForwardOptions opts;
+  opts.poll_size = b;
+  opts.use_memory = false;
+  const auto probe = [](dht::NodeIndex) {
+    return core::ProbeResult{0.1, false, 5, 0.5, 1.0};
+  };
+  std::map<dht::NodeIndex, int> hits;
+  const int trials = 3000;
+  for (int t = 0; t < trials; ++t)
+    ++hits[core::forward_topology_aware(entry, cands, {}, opts, probe, rng)
+               .next];
+  for (dht::NodeIndex n = 0; n < 6; ++n)
+    EXPECT_GT(hits[n], trials / 30) << "candidate " << n << " starved (b=" << b
+                                    << ")";
+}
+
+TEST_P(PollSweep, HeavyCandidatesAvoidedWhenLightExists) {
+  const int b = GetParam();
+  Rng rng(200 + b);
+  dht::RoutingEntry entry(dht::EntryKind::kCyclic);
+  std::vector<dht::NodeIndex> cands;
+  for (dht::NodeIndex n = 0; n < 6; ++n) {
+    entry.add(n);
+    cands.push_back(n);
+  }
+  core::TopoForwardOptions opts;
+  opts.poll_size = b;
+  opts.use_memory = false;
+  // Node 0 is massively overloaded; the rest are light.
+  const auto probe = [](dht::NodeIndex n) {
+    core::ProbeResult r{0.1, false, 5, 0.5, 1.0};
+    if (n == 0) {
+      r.load = 50.0;
+      r.heavy = true;
+    }
+    return r;
+  };
+  int to_heavy = 0;
+  const int trials = 2000;
+  for (int t = 0; t < trials; ++t) {
+    if (core::forward_topology_aware(entry, cands, {}, opts, probe, rng)
+            .next == 0)
+      ++to_heavy;
+  }
+  // With b >= 2, the heavy node is only chosen when BOTH polls land on it —
+  // impossible here (choices are distinct), so it gets (almost) nothing.
+  EXPECT_LT(to_heavy, trials / 50);
+}
+
+INSTANTIATE_TEST_SUITE_P(PollSizes, PollSweep, ::testing::Values(2, 3, 4));
+
+// --- initial assignment proportionality across alpha --------------------------
+
+class AlphaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(AlphaSweep, IndegreeTracksCapacity) {
+  const double alpha = GetParam();
+  cycloid::OverlayOptions opts;
+  opts.dimension = 7;
+  opts.policy = cycloid::NeighborPolicy::kSpareIndegree;
+  opts.enforce_indegree_bounds = true;
+  cycloid::Overlay o(opts);
+  Rng rng(300);
+  std::vector<double> caps(cycloid::IdSpace(7).size());
+  for (std::uint64_t lv = 0; lv < caps.size(); ++lv) {
+    caps[lv] = lv % 2 == 0 ? 0.5 : 3.0;
+    o.add_node(o.space().from_linear(lv), caps[lv],
+               core::max_indegree(alpha, caps[lv]), 0.8);
+  }
+  for (dht::NodeIndex i = 0; i < o.num_slots(); ++i) o.build_table(i, rng);
+  for (dht::NodeIndex i = 0; i < o.num_slots(); ++i) {
+    const auto& b = o.node(i).budget;
+    if (b.initial_target() > b.indegree())
+      o.expand_indegree(i, b.initial_target() - b.indegree(), 128);
+  }
+  double lo = 0, hi = 0;
+  std::size_t nl = 0, nh = 0;
+  for (dht::NodeIndex i = 0; i < o.num_slots(); ++i) {
+    if (caps[i] < 1) {
+      lo += static_cast<double>(o.node(i).inlinks.size());
+      ++nl;
+    } else {
+      hi += static_cast<double>(o.node(i).inlinks.size());
+      ++nh;
+    }
+  }
+  // Capacity ratio is 6x; the indegree ratio must clearly follow.
+  EXPECT_GT(hi / static_cast<double>(nh), 2.0 * lo / static_cast<double>(nl))
+      << "alpha=" << alpha;
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, AlphaSweep,
+                         ::testing::Values(6.0, 10.0, 14.0));
+
+}  // namespace
+}  // namespace ert

@@ -1,0 +1,63 @@
+#include "net/proximity.h"
+
+#include <gtest/gtest.h>
+
+namespace ert::net {
+namespace {
+
+TEST(TorusDistance, Basics) {
+  EXPECT_DOUBLE_EQ(torus_distance({0, 0}, {0, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(torus_distance({0, 0}, {0.3, 0}), 0.3);
+  EXPECT_DOUBLE_EQ(torus_distance({0, 0}, {0, 0.4}), 0.4);
+}
+
+TEST(TorusDistance, WrapsAround) {
+  // 0.1 and 0.9 are 0.2 apart across the wrap, not 0.8.
+  EXPECT_NEAR(torus_distance({0.1, 0}, {0.9, 0}), 0.2, 1e-12);
+  EXPECT_NEAR(torus_distance({0, 0.05}, {0, 0.95}), 0.1, 1e-12);
+}
+
+TEST(TorusDistance, Symmetric) {
+  const Coord a{0.12, 0.7}, b{0.9, 0.33};
+  EXPECT_DOUBLE_EQ(torus_distance(a, b), torus_distance(b, a));
+}
+
+TEST(TorusDistance, MaxIsHalfDiagonal) {
+  // No two points can be farther than sqrt(0.5^2 + 0.5^2).
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const Coord a{rng.uniform(), rng.uniform()};
+    const Coord b{rng.uniform(), rng.uniform()};
+    EXPECT_LE(torus_distance(a, b), 0.7071068);
+  }
+}
+
+TEST(ProximityMap, SizesAndGrowth) {
+  Rng rng(2);
+  ProximityMap m(10, rng);
+  EXPECT_EQ(m.size(), 10u);
+  const std::size_t idx = m.add_node(rng);
+  EXPECT_EQ(idx, 10u);
+  EXPECT_EQ(m.size(), 11u);
+}
+
+TEST(ProximityMap, LatencyProperties) {
+  Rng rng(3);
+  ProximityMap m(50, rng, 0.010, 0.100);
+  EXPECT_DOUBLE_EQ(m.latency(7, 7), 0.0);
+  for (std::size_t i = 0; i < 49; ++i) {
+    const double l = m.latency(i, i + 1);
+    EXPECT_GE(l, 0.010);
+    EXPECT_LE(l, 0.010 + 0.100 * 0.7071068);
+    EXPECT_DOUBLE_EQ(l, m.latency(i + 1, i));
+  }
+}
+
+TEST(ProximityMap, DistanceMatchesCoords) {
+  Rng rng(4);
+  ProximityMap m(5, rng);
+  EXPECT_DOUBLE_EQ(m.distance(1, 3), torus_distance(m.coord(1), m.coord(3)));
+}
+
+}  // namespace
+}  // namespace ert::net

@@ -1,0 +1,139 @@
+// RingDirectory fuzz against a reference model (std::map): random
+// interleavings of insert / erase / successor / predecessor / ranges must
+// agree with the straightforward implementation.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.h"
+#include "dht/ring.h"
+
+namespace ert::dht {
+namespace {
+
+class Reference {
+ public:
+  explicit Reference(std::uint64_t modulus) : modulus_(modulus) {}
+
+  bool insert(std::uint64_t id, NodeIndex n) {
+    return map_.emplace(id, n).second;
+  }
+  bool erase(std::uint64_t id) { return map_.erase(id) > 0; }
+
+  NodeIndex successor(std::uint64_t key) const {
+    if (map_.empty()) return kNoNode;
+    auto it = map_.lower_bound(key);
+    if (it == map_.end()) it = map_.begin();
+    return it->second;
+  }
+  NodeIndex predecessor(std::uint64_t key) const {
+    if (map_.empty()) return kNoNode;
+    auto it = map_.lower_bound(key);
+    if (it == map_.begin()) it = map_.end();
+    --it;
+    return it->second;
+  }
+  std::vector<std::uint64_t> successors_of(std::uint64_t key,
+                                           std::size_t k) const {
+    std::vector<std::uint64_t> out;
+    if (map_.empty()) return out;
+    auto it = map_.upper_bound(key);
+    for (std::size_t i = 0; i < std::min(k, map_.size()); ++i) {
+      if (it == map_.end()) it = map_.begin();
+      if (it->first == key) break;
+      out.push_back(it->first);
+      ++it;
+    }
+    return out;
+  }
+  std::size_t size() const { return map_.size(); }
+  std::uint64_t any_id(Rng& rng) const {
+    auto it = map_.begin();
+    std::advance(it, rng.index(map_.size()));
+    return it->first;
+  }
+
+ private:
+  std::uint64_t modulus_;
+  std::map<std::uint64_t, NodeIndex> map_;
+};
+
+TEST(RingFuzz, MatchesReferenceModel) {
+  const std::uint64_t modulus = 10000;
+  RingDirectory dir(modulus);
+  Reference ref(modulus);
+  Rng rng(20240707);
+  NodeIndex next_node = 0;
+
+  for (int op = 0; op < 20000; ++op) {
+    const std::uint64_t key = static_cast<std::uint64_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(modulus) - 1));
+    switch (rng.index(6)) {
+      case 0:
+      case 1: {
+        const bool a = dir.insert(key, next_node);
+        const bool b = ref.insert(key, next_node);
+        ASSERT_EQ(a, b);
+        ++next_node;
+        break;
+      }
+      case 2: {
+        if (ref.size() == 0) break;
+        // Erase an existing id half the time, a random key otherwise.
+        const std::uint64_t victim =
+            rng.bernoulli(0.5) ? ref.any_id(rng) : key;
+        ASSERT_EQ(dir.erase(victim), ref.erase(victim));
+        break;
+      }
+      case 3: {
+        if (ref.size() == 0) break;
+        ASSERT_EQ(dir.successor(key), ref.successor(key));
+        break;
+      }
+      case 4: {
+        if (ref.size() == 0) break;
+        ASSERT_EQ(dir.predecessor(key), ref.predecessor(key));
+        break;
+      }
+      default: {
+        if (ref.size() == 0) break;
+        const std::size_t k = 1 + rng.index(5);
+        ASSERT_EQ(dir.successors_of(key, k), ref.successors_of(key, k));
+        break;
+      }
+    }
+    ASSERT_EQ(dir.size(), ref.size());
+  }
+}
+
+TEST(RingFuzz, PositionDistanceSymmetricAndBounded) {
+  RingDirectory dir(100000);
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i)
+    dir.insert(static_cast<std::uint64_t>(rng.uniform_int(0, 99999)), i);
+  for (int t = 0; t < 2000; ++t) {
+    const std::uint64_t a = dir.ids()[rng.index(dir.size())];
+    const std::uint64_t b = dir.ids()[rng.index(dir.size())];
+    const std::size_t d1 = dir.position_distance(a, b);
+    const std::size_t d2 = dir.position_distance(b, a);
+    ASSERT_EQ(d1, d2);
+    ASSERT_LE(d1, dir.size() / 2);
+  }
+}
+
+TEST(RingFuzz, StepTowardAlwaysReducesPositionDistance) {
+  RingDirectory dir(100000);
+  Rng rng(8);
+  for (int i = 0; i < 300; ++i)
+    dir.insert(static_cast<std::uint64_t>(rng.uniform_int(0, 99999)), i);
+  for (int t = 0; t < 1000; ++t) {
+    const std::uint64_t a = dir.ids()[rng.index(dir.size())];
+    const std::uint64_t b = dir.ids()[rng.index(dir.size())];
+    if (a == b) continue;
+    const std::uint64_t next = dir.step_toward(a, b);
+    ASSERT_EQ(dir.position_distance(next, b), dir.position_distance(a, b) - 1);
+  }
+}
+
+}  // namespace
+}  // namespace ert::dht

@@ -1,0 +1,127 @@
+#include "dht/ring.h"
+
+#include <gtest/gtest.h>
+
+namespace ert::dht {
+namespace {
+
+TEST(RingMath, Clockwise) {
+  EXPECT_EQ(clockwise(0, 5, 10), 5u);
+  EXPECT_EQ(clockwise(7, 2, 10), 5u);
+  EXPECT_EQ(clockwise(3, 3, 10), 0u);
+}
+
+TEST(RingMath, RingDistance) {
+  EXPECT_EQ(ring_distance(0, 5, 10), 5u);
+  EXPECT_EQ(ring_distance(1, 9, 10), 2u);
+  EXPECT_EQ(ring_distance(9, 1, 10), 2u);
+  EXPECT_EQ(ring_distance(4, 4, 10), 0u);
+}
+
+TEST(RingMath, InInterval) {
+  EXPECT_TRUE(in_interval(3, 1, 5, 10));
+  EXPECT_TRUE(in_interval(5, 1, 5, 10));   // closed at `to`
+  EXPECT_FALSE(in_interval(1, 1, 5, 10));  // open at `from`
+  EXPECT_TRUE(in_interval(0, 8, 2, 10));   // wrapping interval
+  EXPECT_FALSE(in_interval(5, 8, 2, 10));
+  EXPECT_TRUE(in_interval(7, 4, 4, 10));   // degenerate = full circle
+}
+
+class RingDirectoryTest : public ::testing::Test {
+ protected:
+  RingDirectoryTest() : dir_(100) {
+    for (std::uint64_t id : {10u, 30u, 50u, 70u, 90u})
+      EXPECT_TRUE(dir_.insert(id, id / 10));
+  }
+  RingDirectory dir_;
+};
+
+TEST_F(RingDirectoryTest, InsertRejectsDuplicates) {
+  EXPECT_FALSE(dir_.insert(30, 99));
+  EXPECT_EQ(dir_.size(), 5u);
+}
+
+TEST_F(RingDirectoryTest, OwnerLookup) {
+  EXPECT_EQ(dir_.owner_of(30).value(), 3u);
+  EXPECT_FALSE(dir_.owner_of(31).has_value());
+}
+
+TEST_F(RingDirectoryTest, SuccessorAssignsKeys) {
+  EXPECT_EQ(dir_.successor(10), 1u);  // exact hit -> that node
+  EXPECT_EQ(dir_.successor(11), 3u);
+  EXPECT_EQ(dir_.successor(30), 3u);
+  EXPECT_EQ(dir_.successor(95), 1u);  // wraps to 10
+  EXPECT_EQ(dir_.successor(0), 1u);
+}
+
+TEST_F(RingDirectoryTest, Predecessor) {
+  EXPECT_EQ(dir_.predecessor(30), 1u);   // strictly before 30 -> 10
+  EXPECT_EQ(dir_.predecessor(31), 3u);
+  EXPECT_EQ(dir_.predecessor(10), 9u);   // wraps back to 90
+  EXPECT_EQ(dir_.predecessor(0), 9u);
+}
+
+TEST_F(RingDirectoryTest, SuccessorPredecessorIds) {
+  EXPECT_EQ(dir_.successor_id(11), 30u);
+  EXPECT_EQ(dir_.successor_id(91), 10u);
+  EXPECT_EQ(dir_.predecessor_id(11), 10u);
+  EXPECT_EQ(dir_.predecessor_id(10), 90u);
+}
+
+TEST_F(RingDirectoryTest, Erase) {
+  EXPECT_TRUE(dir_.erase(30));
+  EXPECT_FALSE(dir_.erase(30));
+  EXPECT_EQ(dir_.successor(11), 5u);
+  EXPECT_EQ(dir_.size(), 4u);
+}
+
+TEST_F(RingDirectoryTest, SuccessorsOfExcludesSelfAndWraps) {
+  const auto s = dir_.successors_of(70, 3);
+  EXPECT_EQ(s, (std::vector<std::uint64_t>{90, 10, 30}));
+  const auto all = dir_.successors_of(10, 10);
+  EXPECT_EQ(all.size(), 4u);  // never returns the key itself
+}
+
+TEST_F(RingDirectoryTest, PredecessorsOf) {
+  const auto p = dir_.predecessors_of(30, 2);
+  EXPECT_EQ(p, (std::vector<std::uint64_t>{10, 90}));
+}
+
+TEST_F(RingDirectoryTest, PositionDistance) {
+  EXPECT_EQ(dir_.position_distance(10, 10), 0u);
+  EXPECT_EQ(dir_.position_distance(10, 30), 1u);
+  EXPECT_EQ(dir_.position_distance(10, 90), 1u);  // shorter the other way
+  EXPECT_EQ(dir_.position_distance(10, 50), 2u);
+  EXPECT_EQ(dir_.position_distance(30, 90), 2u);
+}
+
+TEST_F(RingDirectoryTest, StepToward) {
+  EXPECT_EQ(dir_.step_toward(10, 50), 30u);
+  EXPECT_EQ(dir_.step_toward(10, 90), 90u);  // counter-clockwise is shorter
+  EXPECT_EQ(dir_.step_toward(90, 30), 10u);
+}
+
+TEST(RingDirectory, StepTowardConvergesFromAnywhere) {
+  RingDirectory dir(1000);
+  for (std::uint64_t i = 0; i < 50; ++i) dir.insert(i * 17 % 1000, i);
+  const std::uint64_t target = 17;  // occupied (i=1)
+  for (const std::uint64_t start : dir.ids()) {
+    std::uint64_t cur = start;
+    std::size_t hops = 0;
+    while (cur != target) {
+      cur = dir.step_toward(cur, target);
+      ASSERT_LE(++hops, dir.size() / 2 + 1);
+    }
+  }
+}
+
+TEST(RingDirectory, FullModulusRing) {
+  RingDirectory dir(0);  // 2^64 ring
+  dir.insert(~0ull, 1);
+  dir.insert(5, 2);
+  EXPECT_EQ(dir.successor(6), 1u);
+  EXPECT_EQ(dir.successor(0), 2u);
+}
+
+}  // namespace
+}  // namespace ert::dht

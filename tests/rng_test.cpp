@@ -1,0 +1,140 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace ert {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.bits(), b.bits());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.bits() == b.bits()) ++same;
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, UniformIntInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, UniformIntCoversRange) {
+  Rng rng(7);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.uniform_int(0, 9));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, IndexBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.index(17), 17u);
+}
+
+TEST(Rng, UniformRealMean) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(13);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.03);  // mean = 1/rate
+}
+
+TEST(Rng, BoundedParetoStaysInRange) {
+  Rng rng(17);
+  for (int i = 0; i < 5000; ++i) {
+    const double v = rng.bounded_pareto(2.0, 500.0, 50000.0);
+    EXPECT_GE(v, 500.0);
+    EXPECT_LE(v, 50000.0);
+  }
+}
+
+TEST(Rng, BoundedParetoIsSkewedLow) {
+  // Shape-2 Pareto concentrates mass near the lower bound: the median must
+  // be far below the midpoint of [500, 50000].
+  Rng rng(19);
+  std::vector<double> v(10001);
+  for (auto& x : v) x = rng.bounded_pareto(2.0, 500.0, 50000.0);
+  std::nth_element(v.begin(), v.begin() + 5000, v.end());
+  EXPECT_LT(v[5000], 1200.0);
+  EXPECT_GT(v[5000], 500.0);
+}
+
+TEST(Rng, BoundedParetoMeanMatchesTheory) {
+  // E[X] for bounded Pareto(k, L, H) = L^k/(1-(L/H)^k) * k/(k-1) *
+  //   (1/L^{k-1} - 1/H^{k-1}).
+  const double k = 2.0, L = 500.0, H = 50000.0;
+  const double expect = std::pow(L, k) / (1 - std::pow(L / H, k)) *
+                        (k / (k - 1)) * (1 / L - 1 / H);
+  Rng rng(23);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.bounded_pareto(k, L, H);
+  EXPECT_NEAR(sum / n, expect, expect * 0.05);
+}
+
+TEST(Rng, ZipfInRangeAndSkewed) {
+  Rng rng(29);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 20000; ++i) {
+    const std::size_t r = rng.zipf(100, 1.0);
+    ASSERT_LT(r, 100u);
+    ++counts[r];
+  }
+  // Rank 0 must dominate rank 50 heavily under s = 1.
+  EXPECT_GT(counts[0], counts[50] * 10);
+  EXPECT_GT(counts[0], 0);
+}
+
+TEST(Rng, SampleIndicesDistinct) {
+  Rng rng(31);
+  for (std::size_t k : {0u, 1u, 5u, 99u, 100u, 150u}) {
+    const auto s = rng.sample_indices(100, k);
+    EXPECT_EQ(s.size(), std::min<std::size_t>(k, 100));
+    std::set<std::size_t> uniq(s.begin(), s.end());
+    EXPECT_EQ(uniq.size(), s.size());
+    for (auto v : s) EXPECT_LT(v, 100u);
+  }
+}
+
+TEST(Rng, ForkIndependent) {
+  Rng a(5);
+  Rng b = a.fork();
+  // The fork must not replay the parent's stream.
+  Rng a2(5);
+  (void)a2.fork();
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.bits() == b.bits()) ++same;
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, PoissonMean) {
+  Rng rng(37);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.poisson(3.5);
+  EXPECT_NEAR(sum / n, 3.5, 0.1);
+}
+
+}  // namespace
+}  // namespace ert

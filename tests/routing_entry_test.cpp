@@ -1,0 +1,77 @@
+#include "dht/routing_entry.h"
+
+#include <gtest/gtest.h>
+
+namespace ert::dht {
+namespace {
+
+TEST(RoutingEntry, AddRemoveContains) {
+  RoutingEntry e(EntryKind::kCubical);
+  EXPECT_TRUE(e.empty());
+  EXPECT_TRUE(e.add(3));
+  EXPECT_FALSE(e.add(3));  // duplicate
+  EXPECT_TRUE(e.add(7));
+  EXPECT_EQ(e.size(), 2u);
+  EXPECT_TRUE(e.contains(3));
+  EXPECT_TRUE(e.remove(3));
+  EXPECT_FALSE(e.remove(3));
+  EXPECT_FALSE(e.contains(3));
+}
+
+TEST(RoutingEntry, MemorySlot) {
+  RoutingEntry e(EntryKind::kCyclic);
+  EXPECT_EQ(e.memory(), kNoNode);
+  e.add(5);
+  e.remember(5);
+  EXPECT_EQ(e.memory(), 5u);
+  e.forget();
+  EXPECT_EQ(e.memory(), kNoNode);
+}
+
+TEST(RoutingEntry, RemovingMemberClearsMemory) {
+  RoutingEntry e(EntryKind::kFinger);
+  e.add(5);
+  e.add(9);
+  e.remember(5);
+  e.remove(5);
+  EXPECT_EQ(e.memory(), kNoNode);
+  // Removing a non-memory member keeps the memory.
+  e.remember(9);
+  e.add(11);
+  e.remove(11);
+  EXPECT_EQ(e.memory(), 9u);
+}
+
+TEST(ElasticTable, EntriesAndOutdegree) {
+  ElasticTable t;
+  const std::size_t a = t.add_entry(EntryKind::kCubical);
+  const std::size_t b = t.add_entry(EntryKind::kCyclic);
+  EXPECT_EQ(t.num_entries(), 2u);
+  t.entry(a).add(1);
+  t.entry(a).add(2);
+  t.entry(b).add(3);
+  EXPECT_EQ(t.outdegree(), 3u);
+}
+
+TEST(ElasticTable, RemoveEverywhere) {
+  ElasticTable t;
+  t.add_entry(EntryKind::kCubical);
+  t.add_entry(EntryKind::kCyclic);
+  t.entry(0).add(9);
+  t.entry(1).add(9);
+  t.entry(1).add(4);
+  EXPECT_TRUE(t.links_to(9));
+  EXPECT_EQ(t.remove_everywhere(9), 2u);
+  EXPECT_FALSE(t.links_to(9));
+  EXPECT_EQ(t.outdegree(), 1u);
+  EXPECT_EQ(t.remove_everywhere(9), 0u);
+}
+
+TEST(ElasticTable, KindPreserved) {
+  ElasticTable t;
+  t.add_entry(EntryKind::kInsideLeaf);
+  EXPECT_EQ(t.entry(0).kind(), EntryKind::kInsideLeaf);
+}
+
+}  // namespace
+}  // namespace ert::dht

@@ -1,0 +1,125 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ert::sim {
+namespace {
+
+TEST(Simulator, RunsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(3.0, [&] { order.push_back(3); });
+  sim.schedule(1.0, [&] { order.push_back(1); });
+  sim.schedule(2.0, [&] { order.push_back(2); });
+  EXPECT_EQ(sim.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(Simulator, SimultaneousEventsFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) sim.schedule(1.0, [&order, i] { order.push_back(i); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, NestedScheduling) {
+  Simulator sim;
+  std::vector<double> times;
+  sim.schedule(1.0, [&] {
+    times.push_back(sim.now());
+    sim.schedule(0.5, [&] { times.push_back(sim.now()); });
+  });
+  sim.run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[0], 1.0);
+  EXPECT_DOUBLE_EQ(times[1], 1.5);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  int fired = 0;
+  EventHandle h = sim.schedule(1.0, [&] { ++fired; });
+  sim.schedule(2.0, [&] { ++fired; });
+  EXPECT_TRUE(h.pending());
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  EXPECT_EQ(sim.run(), 1u);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, CancelAfterFireIsNoop) {
+  Simulator sim;
+  EventHandle h = sim.schedule(0.0, [] {});
+  sim.run();
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // must not crash
+}
+
+TEST(Simulator, RunUntilLeavesLaterEvents) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(1.0, [&] { ++fired; });
+  sim.schedule(5.0, [&] { ++fired; });
+  EXPECT_EQ(sim.run_until(2.0), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+  EXPECT_FALSE(sim.empty());
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, StepExecutesOne) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(1.0, [&] { ++fired; });
+  sim.schedule(2.0, [&] { ++fired; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, NegativeDelayClampsToNow) {
+  Simulator sim;
+  sim.schedule(1.0, [&] {
+    sim.schedule(-5.0, [&] { EXPECT_DOUBLE_EQ(sim.now(), 1.0); });
+  });
+  sim.run();
+}
+
+TEST(Simulator, PendingEventCount) {
+  Simulator sim;
+  EXPECT_TRUE(sim.empty());
+  auto h = sim.schedule(1.0, [] {});
+  sim.schedule(2.0, [] {});
+  EXPECT_EQ(sim.pending_events(), 2u);
+  h.cancel();
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run();
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(Simulator, ManyEventsStressOrder) {
+  Simulator sim;
+  double last = -1.0;
+  std::size_t count = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double t = (i * 7919) % 1000;  // scrambled times
+    sim.schedule(t, [&, t] {
+      EXPECT_LE(last, sim.now());
+      EXPECT_DOUBLE_EQ(sim.now(), t);
+      last = sim.now();
+      ++count;
+    });
+  }
+  sim.run();
+  EXPECT_EQ(count, 10000u);
+}
+
+}  // namespace
+}  // namespace ert::sim

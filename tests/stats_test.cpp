@@ -1,0 +1,135 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "common/table_printer.h"
+
+namespace ert {
+namespace {
+
+TEST(OnlineStats, Empty) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, MeanVarMinMax) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(OnlineStats, MergeMatchesSequential) {
+  OnlineStats a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = i * 0.37 - 3;
+    a.add(x);
+    all.add(x);
+  }
+  for (int i = 0; i < 31; ++i) {
+    const double x = i * -1.1 + 9;
+    b.add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(OnlineStats, MergeWithEmpty) {
+  OnlineStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  const double mean = a.mean();
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  b.merge(a);
+  EXPECT_DOUBLE_EQ(b.mean(), mean);
+}
+
+TEST(Percentiles, NearestRank) {
+  Percentiles p;
+  for (int i = 1; i <= 100; ++i) p.add(i);
+  EXPECT_EQ(p.percentile(1), 1.0);
+  EXPECT_EQ(p.percentile(50), 50.0);
+  EXPECT_EQ(p.percentile(99), 99.0);
+  EXPECT_EQ(p.percentile(100), 100.0);
+  EXPECT_EQ(p.min(), 1.0);
+  EXPECT_EQ(p.max(), 100.0);
+  EXPECT_DOUBLE_EQ(p.mean(), 50.5);
+}
+
+TEST(Percentiles, SingleSample) {
+  Percentiles p;
+  p.add(7.5);
+  EXPECT_EQ(p.percentile(1), 7.5);
+  EXPECT_EQ(p.percentile(50), 7.5);
+  EXPECT_EQ(p.percentile(99), 7.5);
+}
+
+TEST(Percentiles, AddAfterQueryResorts) {
+  Percentiles p;
+  p.add(10);
+  EXPECT_EQ(p.median(), 10.0);
+  p.add(1);
+  p.add(2);
+  EXPECT_EQ(p.median(), 2.0);
+}
+
+TEST(Percentiles, Summary) {
+  Percentiles p;
+  for (int i = 1; i <= 200; ++i) p.add(i);
+  const PctSummary s = summarize(p);
+  EXPECT_DOUBLE_EQ(s.mean, 100.5);
+  EXPECT_EQ(s.p01, 2.0);
+  EXPECT_EQ(s.p99, 198.0);
+}
+
+TEST(RunningMax, Tracks) {
+  RunningMax m;
+  EXPECT_EQ(m.value(), 0.0);
+  m.observe(3);
+  m.observe(1);
+  EXPECT_EQ(m.value(), 3.0);
+  m.reset();
+  EXPECT_EQ(m.value(), 0.0);
+}
+
+TEST(Histogram, BinsAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);   // bin 0
+  h.add(9.9);   // bin 4
+  h.add(-3.0);  // clamps to bin 0
+  h.add(42.0);  // clamps to bin 4
+  h.add(5.0);   // bin 2
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(2), 1u);
+  EXPECT_EQ(h.bin_count(4), 2u);
+  EXPECT_DOUBLE_EQ(h.bin_low(2), 4.0);
+}
+
+TEST(TablePrinter, AlignsAndFormats) {
+  TablePrinter t({"x", "longheader"});
+  t.add_row(2.0, {1.23456});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("longheader"), std::string::npos);
+  EXPECT_NE(s.find("1.235"), std::string::npos);
+  EXPECT_NE(s.find("2"), std::string::npos);
+}
+
+TEST(TablePrinter, FmtNum) {
+  EXPECT_EQ(fmt_num(1.23456, 2), "1.23");
+  EXPECT_EQ(fmt_num(3.0, 0), "3");
+}
+
+}  // namespace
+}  // namespace ert

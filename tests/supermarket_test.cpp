@@ -1,0 +1,163 @@
+#include "supermarket/model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ert::supermarket {
+namespace {
+
+TEST(ClassicFixedPoint, MM1Geometric) {
+  // d = 1 is an M/M/1 queue: s_i = lambda^i, E[T] = 1/(1-lambda).
+  const auto s = classic_fixed_point(0.8, 1, 50);
+  for (std::size_t i = 0; i < 10; ++i)
+    EXPECT_NEAR(s[i], std::pow(0.8, static_cast<double>(i)), 1e-12);
+  EXPECT_NEAR(classic_expected_time(0.8, 1), 5.0, 1e-6);
+}
+
+TEST(ClassicFixedPoint, PowerOfTwoDoublyExponential) {
+  const auto s = classic_fixed_point(0.9, 2, 20);
+  EXPECT_NEAR(s[1], 0.9, 1e-12);
+  EXPECT_NEAR(s[2], std::pow(0.9, 3.0), 1e-12);
+  EXPECT_NEAR(s[3], std::pow(0.9, 7.0), 1e-12);
+  // Tail collapses much faster than geometric.
+  EXPECT_LT(s[6], std::pow(0.9, 30.0));
+}
+
+TEST(ClassicExpectedTime, ExponentialImprovement) {
+  // Theorem 4.1's headline: two choices beat one by an exponential margin,
+  // growing without bound as lambda -> 1.
+  const double g90 = classic_expected_time(0.90, 1) / classic_expected_time(0.90, 2);
+  const double g99 = classic_expected_time(0.99, 1) / classic_expected_time(0.99, 2);
+  EXPECT_GT(g90, 3.0);
+  EXPECT_GT(g99, 15.0);
+  EXPECT_GT(g99, g90);
+  // b = 3 helps less over b = 2 than b = 2 over b = 1 ("poll size larger
+  // than two gains much less substantial extra improvement").
+  const double gain32 =
+      classic_expected_time(0.99, 2) / classic_expected_time(0.99, 3);
+  EXPECT_LT(gain32, g99 / 3);
+}
+
+TEST(ThresholdFixedPoint, MatchesOdeIntegration) {
+  for (const int b : {1, 2, 3}) {
+    ThresholdModel m;
+    m.lambda = 0.7;
+    m.b = b;
+    m.threshold = 1;
+    m.capacity = 1;
+    m.tail = 50;
+    const auto fp = lemma_a1_fixed_point(m);
+    const auto ode = integrate_threshold_ode(m, 300.0, 0.02);
+    EXPECT_NEAR(expected_customers(fp), expected_customers(ode), 0.05)
+        << "b=" << b;
+  }
+}
+
+TEST(ThresholdFixedPoint, MonotoneTail) {
+  ThresholdModel m;
+  m.lambda = 0.9;
+  m.b = 2;
+  const auto fp = lemma_a1_fixed_point(m);
+  for (std::size_t i = 1; i < fp.s.size(); ++i)
+    EXPECT_LE(fp.s[i], fp.s[i - 1] + 1e-12);
+  EXPECT_DOUBLE_EQ(fp.s[0], 1.0);
+}
+
+TEST(ThresholdFixedPoint, MoreChoicesShorterQueues) {
+  double prev = 1e18;
+  for (int b : {1, 2, 3}) {
+    ThresholdModel m;
+    m.lambda = 0.9;
+    m.b = b;
+    const double en = expected_customers(lemma_a1_fixed_point(m));
+    EXPECT_LT(en, prev);
+    prev = en;
+  }
+}
+
+TEST(QueueSim, MM1SanityAgainstTheory) {
+  QueueSimParams p;
+  p.lambda = 0.7;
+  p.b = 1;
+  p.arrivals = 120000;
+  p.servers = 300;
+  const auto r = simulate_supermarket(p);
+  // M/M/1: E[T] = 1/(1 - lambda) = 3.33.
+  EXPECT_NEAR(r.mean_system_time, 1.0 / 0.3, 0.35);
+}
+
+TEST(QueueSim, TwoChoicesMatchTheory) {
+  QueueSimParams p;
+  p.lambda = 0.9;
+  p.b = 2;
+  p.arrivals = 120000;
+  p.servers = 300;
+  const auto r = simulate_supermarket(p);
+  EXPECT_NEAR(r.mean_system_time, classic_expected_time(0.9, 2), 0.3);
+}
+
+TEST(QueueSim, ImprovementVisibleInSimulation) {
+  QueueSimParams p;
+  p.lambda = 0.93;
+  p.arrivals = 80000;
+  p.servers = 300;
+  p.b = 1;
+  const double t1 = simulate_supermarket(p).mean_system_time;
+  p.b = 2;
+  p.seed = 2;
+  const double t2 = simulate_supermarket(p).mean_system_time;
+  EXPECT_GT(t1, 2.0 * t2);
+}
+
+TEST(QueueSim, MaxQueueShrinksWithChoices) {
+  QueueSimParams p;
+  p.lambda = 0.9;
+  p.arrivals = 60000;
+  p.servers = 200;
+  p.b = 1;
+  const auto r1 = simulate_supermarket(p);
+  p.b = 2;
+  const auto r2 = simulate_supermarket(p);
+  EXPECT_LT(r2.max_queue, r1.max_queue);
+}
+
+TEST(QueueSim, MemoryDispatchSitsBetweenOneAndTwoChoices) {
+  // The ERT adaptation of [22] (one fresh draw + the remembered server)
+  // keeps most of the two-choice gain over random placement: far below
+  // b = 1, somewhat above two fresh choices. (The memory server still
+  // gets probed, so the saving is one random draw, not one probe.)
+  QueueSimParams p;
+  p.lambda = 0.9;
+  p.arrivals = 100000;
+  p.servers = 300;
+  p.b = 1;
+  const double t1 = simulate_supermarket(p).mean_system_time;
+  p.b = 2;
+  const auto fresh = simulate_supermarket(p);
+  p.use_memory = true;
+  const auto mem = simulate_supermarket(p);
+  EXPECT_LT(mem.mean_system_time, 0.7 * t1);
+  EXPECT_GT(mem.mean_system_time, 0.9 * fresh.mean_system_time);
+}
+
+TEST(QueueSim, ProbeAccounting) {
+  QueueSimParams p;
+  p.lambda = 0.5;
+  p.arrivals = 20000;
+  p.threshold = 0;  // never breaks early: always polls exactly b
+  p.b = 3;
+  const auto r = simulate_supermarket(p);
+  EXPECT_NEAR(r.probes_per_arrival, 3.0, 1e-9);
+}
+
+TEST(QueueSim, DeterministicForSeed) {
+  QueueSimParams p;
+  p.arrivals = 5000;
+  const auto a = simulate_supermarket(p);
+  const auto b = simulate_supermarket(p);
+  EXPECT_DOUBLE_EQ(a.mean_system_time, b.mean_system_time);
+}
+
+}  // namespace
+}  // namespace ert::supermarket

@@ -1,0 +1,120 @@
+#include "baselines/virtual_servers.h"
+
+#include <gtest/gtest.h>
+
+namespace ert::baselines {
+namespace {
+
+using dht::NodeIndex;
+
+TEST(VirtualServers, CountScalesWithCapacity) {
+  // c-hat * log2(n) vnodes, at least 1.
+  EXPECT_EQ(VirtualServerMap::vnode_count_for(1.0, 1024), 10u);
+  EXPECT_EQ(VirtualServerMap::vnode_count_for(2.0, 1024), 20u);
+  EXPECT_EQ(VirtualServerMap::vnode_count_for(0.01, 1024), 1u);
+}
+
+class VsFixture : public ::testing::Test {
+ protected:
+  VsFixture()
+      : overlay_(make_opts()),
+        rng_(7),
+        caps_(core::CapacityModel::from_raw(make_caps())),
+        map_(overlay_, caps_, kReal, rng_) {
+    for (NodeIndex v = 0; v < overlay_.num_slots(); ++v)
+      overlay_.build_table(v, rng_);
+  }
+
+  static cycloid::OverlayOptions make_opts() {
+    cycloid::OverlayOptions o;
+    o.dimension = 10;  // 10 * 1024 ids, plenty for ~64*6 vnodes
+    return o;
+  }
+  static std::vector<double> make_caps() {
+    std::vector<double> c(kReal);
+    for (std::size_t i = 0; i < kReal; ++i)
+      c[i] = (i % 4 == 0) ? 4000.0 : 500.0;
+    return c;
+  }
+
+  static constexpr std::size_t kReal = 64;
+  cycloid::Overlay overlay_;
+  Rng rng_;
+  core::CapacityModel caps_;
+  VirtualServerMap map_;
+};
+
+TEST_F(VsFixture, EveryVnodeMapsBack) {
+  EXPECT_EQ(map_.real_count(), kReal);
+  EXPECT_EQ(map_.vnode_count(), overlay_.num_slots());
+  for (std::size_t r = 0; r < kReal; ++r) {
+    for (NodeIndex v : map_.vnodes_of(r)) {
+      EXPECT_EQ(map_.real_of(v), r);
+      EXPECT_TRUE(overlay_.node(v).alive);
+    }
+  }
+}
+
+TEST_F(VsFixture, HighCapacityNodesGetMoreVnodes) {
+  const std::size_t hi = map_.vnodes_of(0).size();   // capacity 4000
+  const std::size_t lo = map_.vnodes_of(1).size();   // capacity 500
+  EXPECT_GT(hi, 3 * lo);
+}
+
+TEST_F(VsFixture, VnodeIdsAreConsecutiveIntervals) {
+  // The Godfrey-Stoica placement puts one vnode per consecutive interval:
+  // a real node's vnode ids must span a small contiguous arc, not the whole
+  // ring. Check the arc length against the expected interval footprint.
+  const std::uint64_t space = overlay_.space().size();
+  for (std::size_t r = 0; r < kReal; ++r) {
+    const auto& vs = map_.vnodes_of(r);
+    if (vs.size() < 2) continue;
+    std::vector<std::uint64_t> lvs;
+    for (NodeIndex v : vs)
+      lvs.push_back(overlay_.space().to_linear(overlay_.node(v).id));
+    std::sort(lvs.begin(), lvs.end());
+    // Smallest arc containing all vnodes: complement of the largest gap.
+    std::uint64_t largest_gap = lvs.front() + space - lvs.back();
+    for (std::size_t i = 1; i < lvs.size(); ++i)
+      largest_gap = std::max(largest_gap, lvs[i] - lvs[i - 1]);
+    const std::uint64_t arc = space - largest_gap;
+    // Expected footprint: vnode-count intervals of ~space/total-vnodes, plus
+    // generous probing slack.
+    const std::uint64_t expect =
+        vs.size() * (space / map_.vnode_count()) * 4 + 64;
+    EXPECT_LT(arc, expect) << "real node " << r << " spans too much";
+  }
+}
+
+TEST_F(VsFixture, RoutingWorksOnVirtualOverlay) {
+  Rng rng(9);
+  for (int t = 0; t < 200; ++t) {
+    NodeIndex cur = rng.index(overlay_.num_slots());
+    const std::uint64_t key = rng.bits() % overlay_.space().size();
+    cycloid::RouteCtx ctx;
+    std::size_t hops = 0;
+    for (;;) {
+      const auto step = overlay_.route_step(cur, key, ctx);
+      if (step.arrived) break;
+      ASSERT_FALSE(step.candidates.empty());
+      cur = step.candidates.front();
+      ASSERT_LT(++hops, 200u);
+    }
+    ASSERT_EQ(cur, overlay_.responsible(key));
+  }
+}
+
+TEST_F(VsFixture, ChurnJoinAddsVnodes) {
+  const std::size_t r = caps_.size();
+  caps_.add_node(4000.0);
+  const auto added = map_.add_real_node(overlay_, caps_, r, rng_);
+  EXPECT_FALSE(added.empty());
+  for (NodeIndex v : added) {
+    overlay_.build_table(v, rng_);
+    EXPECT_EQ(map_.real_of(v), r);
+  }
+  EXPECT_EQ(map_.real_count(), kReal + 1);
+}
+
+}  // namespace
+}  // namespace ert::baselines

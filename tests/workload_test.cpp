@@ -1,0 +1,96 @@
+#include "workload/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ert::workload {
+namespace {
+
+TEST(PoissonProcess, MeanGapMatchesRate) {
+  PoissonProcess p(4.0);
+  Rng rng(1);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += p.next_gap(rng);
+  EXPECT_NEAR(sum / n, 0.25, 0.01);
+}
+
+TEST(Impulse, MakeRespectsSizes) {
+  Rng rng(2);
+  const auto w = ImpulseWorkload::make(2048, 100, 50, rng);
+  EXPECT_TRUE(w.enabled());
+  EXPECT_EQ(w.interval_len, 100u);
+  EXPECT_EQ(w.hot_keys.size(), 50u);
+  EXPECT_LT(w.interval_start, 2048u);
+  for (std::uint64_t k : w.hot_keys) EXPECT_LT(k, 2048u);
+}
+
+TEST(Impulse, IntervalMembership) {
+  ImpulseWorkload w;
+  w.space_size = 100;
+  w.interval_start = 90;
+  w.interval_len = 20;  // wraps: [90, 100) + [0, 10)
+  EXPECT_TRUE(w.in_interval(90));
+  EXPECT_TRUE(w.in_interval(99));
+  EXPECT_TRUE(w.in_interval(0));
+  EXPECT_TRUE(w.in_interval(9));
+  EXPECT_FALSE(w.in_interval(10));
+  EXPECT_FALSE(w.in_interval(89));
+}
+
+TEST(Impulse, DisabledByDefault) {
+  ImpulseWorkload w;
+  EXPECT_FALSE(w.enabled());
+  EXPECT_FALSE(w.in_interval(0));
+}
+
+TEST(Impulse, PickKeyOnlyReturnsHotKeys) {
+  Rng rng(3);
+  const auto w = ImpulseWorkload::make(2048, 100, 50, rng);
+  std::set<std::uint64_t> hot(w.hot_keys.begin(), w.hot_keys.end());
+  for (int i = 0; i < 500; ++i) EXPECT_TRUE(hot.count(w.pick_key(rng)));
+}
+
+TEST(Impulse, KeysClampToSpace) {
+  Rng rng(4);
+  const auto w = ImpulseWorkload::make(64, 200, 10, rng);
+  EXPECT_EQ(w.interval_len, 64u);  // clamped to the whole space
+}
+
+TEST(ZipfKeys, SkewAndCatalog) {
+  Rng rng(5);
+  ZipfKeys z(1 << 20, 100, 1.0, rng);
+  EXPECT_EQ(z.catalog_size(), 100u);
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 20000; ++i) ++counts[z.pick(rng)];
+  // The most popular key should dwarf the median key.
+  int max_count = 0;
+  for (auto& [k, c] : counts) max_count = std::max(max_count, c);
+  EXPECT_GT(max_count, 1500);  // rank-1 under s=1, n=100 gets ~19%
+}
+
+TEST(ZipfKeys, ReshuffleChangesHotKey) {
+  Rng rng(6);
+  ZipfKeys z(1 << 20, 50, 1.2, rng);
+  auto hottest = [&](Rng& r) {
+    std::map<std::uint64_t, int> counts;
+    for (int i = 0; i < 5000; ++i) ++counts[z.pick(r)];
+    std::uint64_t best = 0;
+    int bc = -1;
+    for (auto& [k, c] : counts)
+      if (c > bc) {
+        bc = c;
+        best = k;
+      }
+    return best;
+  };
+  const auto before = hottest(rng);
+  z.reshuffle(rng);
+  const auto after = hottest(rng);
+  // Popularity drifted to (almost surely) another key.
+  EXPECT_NE(before, after);
+}
+
+}  // namespace
+}  // namespace ert::workload

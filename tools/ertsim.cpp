@@ -1,0 +1,175 @@
+// ertsim — run any single experiment from the command line.
+//
+//   ertsim [options]
+//     --protocol  base|ns|vs|ert-a|ert-f|ert-af   (default ert-af)
+//     --substrate cycloid|chord|pastry|can        (default cycloid)
+//     --nodes N          (default 2048)
+//     --lookups N        (default 3000)
+//     --rate R           lookups per second (default 16)
+//     --seed S           (default 1)
+//     --seeds K          average over K seeds (default 1)
+//     --churn T          mean join/leave interarrival seconds (0 = off)
+//     --impulse N:K      skewed workload: N source nodes, K hot keys
+//     --zipf N:S         Zipf workload: N-key catalog, exponent S
+//     --zipf-drift T     reshuffle popularity ranks every T seconds
+//     --service L:H      light/heavy service seconds (default 0.2:1.0)
+//     --alpha A          indegree per unit capacity (default dimension+3)
+//     --beta B, --mu M, --gamma-l G, --poll B
+//     --data-forwarding  responses retrace the query path
+//     --probe-cost C     seconds charged per load probe
+//     --csv FILE         append one CSV row (with header if new file)
+//
+// Exit code 0 on success; prints a one-screen report.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/config.h"
+#include "harness/experiment.h"
+
+namespace {
+
+using ert::harness::Protocol;
+using ert::harness::SubstrateKind;
+
+[[noreturn]] void usage(const char* msg = nullptr) {
+  if (msg) std::fprintf(stderr, "ertsim: %s\n", msg);
+  std::fprintf(stderr,
+               "usage: ertsim [--protocol P] [--substrate S] [--nodes N]\n"
+               "              [--lookups N] [--rate R] [--seed S] [--seeds K]\n"
+               "              [--churn T] [--impulse N:K] [--service L:H]\n"
+               "              [--alpha A] [--beta B] [--mu M] [--gamma-l G]\n"
+               "              [--poll B] [--data-forwarding] [--probe-cost C]\n"
+               "              [--csv FILE]\n");
+  std::exit(2);
+}
+
+Protocol parse_protocol(const std::string& s) {
+  if (s == "base") return Protocol::kBase;
+  if (s == "ns") return Protocol::kNS;
+  if (s == "vs") return Protocol::kVS;
+  if (s == "ert-a") return Protocol::kErtA;
+  if (s == "ert-f") return Protocol::kErtF;
+  if (s == "ert-af") return Protocol::kErtAF;
+  usage("unknown protocol");
+}
+
+SubstrateKind parse_substrate(const std::string& s) {
+  if (s == "cycloid") return SubstrateKind::kCycloid;
+  if (s == "chord") return SubstrateKind::kChord;
+  if (s == "pastry") return SubstrateKind::kPastry;
+  if (s == "can") return SubstrateKind::kCan;
+  usage("unknown substrate");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ert::SimParams p;
+  p.lookup_rate = 16.0;
+  Protocol proto = Protocol::kErtAF;
+  SubstrateKind kind = SubstrateKind::kCycloid;
+  int seeds = 1;
+  std::string csv;
+
+  auto need = [&](int& i) -> const char* {
+    if (i + 1 >= argc) usage("missing argument value");
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--protocol") proto = parse_protocol(need(i));
+    else if (a == "--substrate") kind = parse_substrate(need(i));
+    else if (a == "--nodes") p.num_nodes = std::strtoul(need(i), nullptr, 10);
+    else if (a == "--lookups") p.num_lookups = std::strtoul(need(i), nullptr, 10);
+    else if (a == "--rate") p.lookup_rate = std::strtod(need(i), nullptr);
+    else if (a == "--seed") p.seed = std::strtoull(need(i), nullptr, 10);
+    else if (a == "--seeds") seeds = std::atoi(need(i));
+    else if (a == "--churn") p.churn_interarrival = std::strtod(need(i), nullptr);
+    else if (a == "--impulse") {
+      const char* v = need(i);
+      const char* colon = std::strchr(v, ':');
+      if (!colon) usage("--impulse wants N:K");
+      p.impulse_nodes = std::strtoul(v, nullptr, 10);
+      p.impulse_keys = std::strtoul(colon + 1, nullptr, 10);
+    } else if (a == "--service") {
+      const char* v = need(i);
+      const char* colon = std::strchr(v, ':');
+      if (!colon) usage("--service wants L:H");
+      p.light_service_time = std::strtod(v, nullptr);
+      p.heavy_service_time = std::strtod(colon + 1, nullptr);
+    }
+    else if (a == "--alpha") p.alpha_override = std::strtod(need(i), nullptr);
+    else if (a == "--beta") p.beta = std::strtod(need(i), nullptr);
+    else if (a == "--mu") p.mu = std::strtod(need(i), nullptr);
+    else if (a == "--gamma-l") p.gamma_l = std::strtod(need(i), nullptr);
+    else if (a == "--poll") p.poll_size = std::atoi(need(i));
+    else if (a == "--zipf") {
+      const char* v = need(i);
+      const char* colon = std::strchr(v, ':');
+      p.zipf_catalog = std::strtoul(v, nullptr, 10);
+      p.zipf_exponent = colon ? std::strtod(colon + 1, nullptr) : 1.0;
+    }
+    else if (a == "--zipf-drift") p.zipf_drift_period = std::strtod(need(i), nullptr);
+    else if (a == "--data-forwarding") p.data_forwarding = true;
+    else if (a == "--probe-cost") p.probe_cost = std::strtod(need(i), nullptr);
+    else if (a == "--csv") csv = need(i);
+    else if (a == "--help" || a == "-h") usage();
+    else usage(("unknown option " + a).c_str());
+  }
+  p.dimension = std::max(p.dimension, ert::harness::fit_dimension(p.num_nodes));
+  if ((proto == Protocol::kVS || proto == Protocol::kNS) &&
+      kind != SubstrateKind::kCycloid)
+    usage("VS/NS require the cycloid substrate");
+
+  const auto r = seeds > 1
+                     ? ert::harness::run_averaged(p, proto, seeds, kind)
+                     : ert::harness::run_experiment(p, proto, kind);
+
+  std::printf("protocol           %s on %s\n",
+              std::string(ert::harness::to_string(proto)).c_str(),
+              ert::harness::to_string(kind));
+  std::printf("network            %zu nodes, %zu lookups at %.1f/s\n",
+              p.num_nodes, p.num_lookups, p.lookup_rate);
+  std::printf("completed          %zu (+%zu dropped), sim time %.1f s\n",
+              r.completed_lookups, r.dropped_lookups, r.sim_duration);
+  std::printf("p99 max congestion %.3f   (mean %.3f, min-cap node %.3f)\n",
+              r.p99_max_congestion, r.mean_max_congestion,
+              r.min_cap_node_congestion);
+  std::printf("p99 share          %.3f\n", r.p99_share);
+  std::printf("heavy encounters   %zu\n", r.heavy_encounters);
+  std::printf("path length        %.2f hops\n", r.avg_path_length);
+  std::printf("lookup time        %.3f s  (p1 %.3f, p99 %.3f)\n",
+              r.lookup_time.mean, r.lookup_time.p01, r.lookup_time.p99);
+  std::printf("timeouts/lookup    %.3f\n", r.avg_timeouts);
+  std::printf("max indegree       %.1f  (p1 %.0f, p99 %.0f)\n",
+              r.max_indegree.mean, r.max_indegree.p01, r.max_indegree.p99);
+  std::printf("max outdegree      %.1f  (p1 %.0f, p99 %.0f)\n",
+              r.max_outdegree.mean, r.max_outdegree.p01, r.max_outdegree.p99);
+
+  if (!csv.empty()) {
+    FILE* f = std::fopen(csv.c_str(), "a");
+    if (!f) {
+      std::perror("ertsim: --csv open");
+      return 1;
+    }
+    if (std::ftell(f) == 0) {
+      std::fprintf(f,
+                   "protocol,substrate,nodes,lookups,rate,seed,churn,"
+                   "impulse_nodes,impulse_keys,p99_max_congestion,p99_share,"
+                   "heavy,path,latency_mean,latency_p99,timeouts,"
+                   "max_indegree_p99,max_outdegree_p99\n");
+    }
+    std::fprintf(f, "%s,%s,%zu,%zu,%g,%llu,%g,%zu,%zu,%g,%g,%zu,%g,%g,%g,%g,%g,%g\n",
+                 std::string(ert::harness::to_string(proto)).c_str(),
+                 ert::harness::to_string(kind), p.num_nodes, p.num_lookups,
+                 p.lookup_rate, static_cast<unsigned long long>(p.seed),
+                 p.churn_interarrival, p.impulse_nodes, p.impulse_keys,
+                 r.p99_max_congestion, r.p99_share, r.heavy_encounters,
+                 r.avg_path_length, r.lookup_time.mean, r.lookup_time.p99,
+                 r.avg_timeouts, r.max_indegree.p99, r.max_outdegree.p99);
+    std::fclose(f);
+  }
+  return 0;
+}
