@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_churn_lookup.dir/bench_fig10_churn_lookup.cpp.o"
+  "CMakeFiles/bench_fig10_churn_lookup.dir/bench_fig10_churn_lookup.cpp.o.d"
+  "bench_fig10_churn_lookup"
+  "bench_fig10_churn_lookup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_churn_lookup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_lookup.dir/bench_fig5_lookup.cpp.o"
+  "CMakeFiles/bench_fig5_lookup.dir/bench_fig5_lookup.cpp.o.d"
+  "bench_fig5_lookup"
+  "bench_fig5_lookup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_lookup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_indegree.dir/bench_fig6_indegree.cpp.o"
+  "CMakeFiles/bench_fig6_indegree.dir/bench_fig6_indegree.cpp.o.d"
+  "bench_fig6_indegree"
+  "bench_fig6_indegree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_indegree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig9_churn.cpp" "bench/CMakeFiles/bench_fig9_churn.dir/bench_fig9_churn.cpp.o" "gcc" "bench/CMakeFiles/bench_fig9_churn.dir/bench_fig9_churn.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/ert_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/supermarket/CMakeFiles/ert_supermarket.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ert_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/ert_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/ert_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/cycloid/CMakeFiles/ert_cycloid.dir/DependInfo.cmake"
+  "/root/repo/build/src/chord/CMakeFiles/ert_chord.dir/DependInfo.cmake"
+  "/root/repo/build/src/pastry/CMakeFiles/ert_pastry.dir/DependInfo.cmake"
+  "/root/repo/build/src/can/CMakeFiles/ert_can.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ert_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/ert/CMakeFiles/ert_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dht/CMakeFiles/ert_dht.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ert_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ert_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_churn.dir/bench_fig9_churn.cpp.o"
+  "CMakeFiles/bench_fig9_churn.dir/bench_fig9_churn.cpp.o.d"
+  "bench_fig9_churn"
+  "bench_fig9_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_popularity.dir/bench_popularity.cpp.o"
+  "CMakeFiles/bench_popularity.dir/bench_popularity.cpp.o.d"
+  "bench_popularity"
+  "bench_popularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_popularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_supermarket.dir/bench_supermarket.cpp.o"
+  "CMakeFiles/bench_supermarket.dir/bench_supermarket.cpp.o.d"
+  "bench_supermarket"
+  "bench_supermarket.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_supermarket.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

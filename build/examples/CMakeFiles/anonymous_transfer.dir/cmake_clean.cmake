@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anonymous_transfer.dir/anonymous_transfer.cpp.o"
+  "CMakeFiles/anonymous_transfer.dir/anonymous_transfer.cpp.o.d"
+  "anonymous_transfer"
+  "anonymous_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anonymous_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_substrate.dir/multi_substrate.cpp.o"
+  "CMakeFiles/multi_substrate.dir/multi_substrate.cpp.o.d"
+  "multi_substrate"
+  "multi_substrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_substrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

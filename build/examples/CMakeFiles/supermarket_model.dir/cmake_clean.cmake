@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supermarket_model.dir/supermarket_model.cpp.o"
+  "CMakeFiles/supermarket_model.dir/supermarket_model.cpp.o.d"
+  "supermarket_model"
+  "supermarket_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supermarket_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

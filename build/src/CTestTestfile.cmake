@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("net")
+subdirs("dht")
+subdirs("estimate")
+subdirs("cycloid")
+subdirs("can")
+subdirs("chord")
+subdirs("pastry")
+subdirs("ert")
+subdirs("workload")
+subdirs("metrics")
+subdirs("supermarket")
+subdirs("baselines")
+subdirs("harness")

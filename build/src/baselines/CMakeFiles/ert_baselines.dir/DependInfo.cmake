@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/virtual_servers.cpp" "src/baselines/CMakeFiles/ert_baselines.dir/virtual_servers.cpp.o" "gcc" "src/baselines/CMakeFiles/ert_baselines.dir/virtual_servers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ert_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cycloid/CMakeFiles/ert_cycloid.dir/DependInfo.cmake"
+  "/root/repo/build/src/ert/CMakeFiles/ert_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dht/CMakeFiles/ert_dht.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ert_baselines.dir/virtual_servers.cpp.o"
+  "CMakeFiles/ert_baselines.dir/virtual_servers.cpp.o.d"
+  "libert_baselines.a"
+  "libert_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ert_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ert_can.dir/overlay.cpp.o"
+  "CMakeFiles/ert_can.dir/overlay.cpp.o.d"
+  "libert_can.a"
+  "libert_can.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ert_can.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ert_chord.dir/overlay.cpp.o"
+  "CMakeFiles/ert_chord.dir/overlay.cpp.o.d"
+  "libert_chord.a"
+  "libert_chord.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ert_chord.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

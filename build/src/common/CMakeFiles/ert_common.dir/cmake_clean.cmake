@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ert_common.dir/log.cpp.o"
+  "CMakeFiles/ert_common.dir/log.cpp.o.d"
+  "CMakeFiles/ert_common.dir/rng.cpp.o"
+  "CMakeFiles/ert_common.dir/rng.cpp.o.d"
+  "CMakeFiles/ert_common.dir/stats.cpp.o"
+  "CMakeFiles/ert_common.dir/stats.cpp.o.d"
+  "CMakeFiles/ert_common.dir/table_printer.cpp.o"
+  "CMakeFiles/ert_common.dir/table_printer.cpp.o.d"
+  "libert_common.a"
+  "libert_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ert_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

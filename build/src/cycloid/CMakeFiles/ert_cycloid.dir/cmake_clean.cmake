@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ert_cycloid.dir/id.cpp.o"
+  "CMakeFiles/ert_cycloid.dir/id.cpp.o.d"
+  "CMakeFiles/ert_cycloid.dir/overlay.cpp.o"
+  "CMakeFiles/ert_cycloid.dir/overlay.cpp.o.d"
+  "libert_cycloid.a"
+  "libert_cycloid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ert_cycloid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ert_dht.dir/ring.cpp.o"
+  "CMakeFiles/ert_dht.dir/ring.cpp.o.d"
+  "CMakeFiles/ert_dht.dir/routing_entry.cpp.o"
+  "CMakeFiles/ert_dht.dir/routing_entry.cpp.o.d"
+  "libert_dht.a"
+  "libert_dht.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ert_dht.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

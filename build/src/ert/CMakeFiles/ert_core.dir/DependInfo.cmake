@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ert/adaptation.cpp" "src/ert/CMakeFiles/ert_core.dir/adaptation.cpp.o" "gcc" "src/ert/CMakeFiles/ert_core.dir/adaptation.cpp.o.d"
+  "/root/repo/src/ert/capacity.cpp" "src/ert/CMakeFiles/ert_core.dir/capacity.cpp.o" "gcc" "src/ert/CMakeFiles/ert_core.dir/capacity.cpp.o.d"
+  "/root/repo/src/ert/forwarding.cpp" "src/ert/CMakeFiles/ert_core.dir/forwarding.cpp.o" "gcc" "src/ert/CMakeFiles/ert_core.dir/forwarding.cpp.o.d"
+  "/root/repo/src/ert/indegree.cpp" "src/ert/CMakeFiles/ert_core.dir/indegree.cpp.o" "gcc" "src/ert/CMakeFiles/ert_core.dir/indegree.cpp.o.d"
+  "/root/repo/src/ert/load_tracker.cpp" "src/ert/CMakeFiles/ert_core.dir/load_tracker.cpp.o" "gcc" "src/ert/CMakeFiles/ert_core.dir/load_tracker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ert_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dht/CMakeFiles/ert_dht.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

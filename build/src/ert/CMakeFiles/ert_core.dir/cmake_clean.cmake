@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ert_core.dir/adaptation.cpp.o"
+  "CMakeFiles/ert_core.dir/adaptation.cpp.o.d"
+  "CMakeFiles/ert_core.dir/capacity.cpp.o"
+  "CMakeFiles/ert_core.dir/capacity.cpp.o.d"
+  "CMakeFiles/ert_core.dir/forwarding.cpp.o"
+  "CMakeFiles/ert_core.dir/forwarding.cpp.o.d"
+  "CMakeFiles/ert_core.dir/indegree.cpp.o"
+  "CMakeFiles/ert_core.dir/indegree.cpp.o.d"
+  "CMakeFiles/ert_core.dir/load_tracker.cpp.o"
+  "CMakeFiles/ert_core.dir/load_tracker.cpp.o.d"
+  "libert_core.a"
+  "libert_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ert_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ert_estimate.dir/size_estimator.cpp.o"
+  "CMakeFiles/ert_estimate.dir/size_estimator.cpp.o.d"
+  "libert_estimate.a"
+  "libert_estimate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ert_estimate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

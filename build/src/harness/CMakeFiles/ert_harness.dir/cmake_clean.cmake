@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ert_harness.dir/experiment.cpp.o"
+  "CMakeFiles/ert_harness.dir/experiment.cpp.o.d"
+  "CMakeFiles/ert_harness.dir/substrate.cpp.o"
+  "CMakeFiles/ert_harness.dir/substrate.cpp.o.d"
+  "libert_harness.a"
+  "libert_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ert_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

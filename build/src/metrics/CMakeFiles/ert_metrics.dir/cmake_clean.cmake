@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ert_metrics.dir/metrics.cpp.o"
+  "CMakeFiles/ert_metrics.dir/metrics.cpp.o.d"
+  "libert_metrics.a"
+  "libert_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ert_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ert_net.dir/landmark.cpp.o"
+  "CMakeFiles/ert_net.dir/landmark.cpp.o.d"
+  "CMakeFiles/ert_net.dir/proximity.cpp.o"
+  "CMakeFiles/ert_net.dir/proximity.cpp.o.d"
+  "libert_net.a"
+  "libert_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ert_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ert_pastry.dir/overlay.cpp.o"
+  "CMakeFiles/ert_pastry.dir/overlay.cpp.o.d"
+  "libert_pastry.a"
+  "libert_pastry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ert_pastry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

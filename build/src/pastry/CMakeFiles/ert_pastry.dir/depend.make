@@ -1,0 +1,2 @@
+# Empty dependencies file for ert_pastry.
+# This may be replaced when dependencies are built.

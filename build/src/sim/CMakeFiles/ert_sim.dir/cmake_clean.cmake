@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ert_sim.dir/simulator.cpp.o"
+  "CMakeFiles/ert_sim.dir/simulator.cpp.o.d"
+  "libert_sim.a"
+  "libert_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ert_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ert_supermarket.dir/model.cpp.o"
+  "CMakeFiles/ert_supermarket.dir/model.cpp.o.d"
+  "libert_supermarket.a"
+  "libert_supermarket.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ert_supermarket.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

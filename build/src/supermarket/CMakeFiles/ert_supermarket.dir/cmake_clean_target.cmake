@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libert_supermarket.a"
+)

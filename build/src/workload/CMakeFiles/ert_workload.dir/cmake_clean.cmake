@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ert_workload.dir/workload.cpp.o"
+  "CMakeFiles/ert_workload.dir/workload.cpp.o.d"
+  "libert_workload.a"
+  "libert_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ert_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

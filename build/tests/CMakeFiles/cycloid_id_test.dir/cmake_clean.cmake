@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cycloid_id_test.dir/cycloid_id_test.cpp.o"
+  "CMakeFiles/cycloid_id_test.dir/cycloid_id_test.cpp.o.d"
+  "cycloid_id_test"
+  "cycloid_id_test.pdb"
+  "cycloid_id_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cycloid_id_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

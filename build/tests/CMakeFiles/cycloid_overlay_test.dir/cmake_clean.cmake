@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cycloid_overlay_test.dir/cycloid_overlay_test.cpp.o"
+  "CMakeFiles/cycloid_overlay_test.dir/cycloid_overlay_test.cpp.o.d"
+  "cycloid_overlay_test"
+  "cycloid_overlay_test.pdb"
+  "cycloid_overlay_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cycloid_overlay_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cycloid_routing_test.dir/cycloid_routing_test.cpp.o"
+  "CMakeFiles/cycloid_routing_test.dir/cycloid_routing_test.cpp.o.d"
+  "cycloid_routing_test"
+  "cycloid_routing_test.pdb"
+  "cycloid_routing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cycloid_routing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

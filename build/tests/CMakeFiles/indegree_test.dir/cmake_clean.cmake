@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/indegree_test.dir/indegree_test.cpp.o"
+  "CMakeFiles/indegree_test.dir/indegree_test.cpp.o.d"
+  "indegree_test"
+  "indegree_test.pdb"
+  "indegree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/indegree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

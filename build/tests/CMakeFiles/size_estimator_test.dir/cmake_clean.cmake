@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/size_estimator_test.dir/size_estimator_test.cpp.o"
+  "CMakeFiles/size_estimator_test.dir/size_estimator_test.cpp.o.d"
+  "size_estimator_test"
+  "size_estimator_test.pdb"
+  "size_estimator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/size_estimator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/virtual_servers_test.dir/virtual_servers_test.cpp.o"
+  "CMakeFiles/virtual_servers_test.dir/virtual_servers_test.cpp.o.d"
+  "virtual_servers_test"
+  "virtual_servers_test.pdb"
+  "virtual_servers_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/virtual_servers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ertsim.dir/ertsim.cpp.o"
+  "CMakeFiles/ertsim.dir/ertsim.cpp.o.d"
+  "ertsim"
+  "ertsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ertsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ertsim.
+# This may be replaced when dependencies are built.
