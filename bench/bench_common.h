@@ -46,15 +46,25 @@ inline std::vector<std::string> protocol_headers(const std::string& x_name) {
 }
 
 /// Runs all six protocols at one sweep point and returns one metric each.
+/// The (protocol, seed) grid fans out across the harness thread pool
+/// (ERT_THREADS overrides the worker count); results are reduced in seed
+/// order, so the numbers match a sequential run bit for bit.
 template <typename MetricFn>
 std::vector<double> run_all_protocols(const ert::SimParams& params,
                                       MetricFn metric) {
-  std::vector<double> out;
-  out.reserve(ert::harness::kAllProtocols.size());
+  std::vector<ert::harness::SweepJob> jobs;
+  jobs.reserve(ert::harness::kAllProtocols.size());
   for (auto proto : ert::harness::kAllProtocols) {
-    const auto r = ert::harness::run_averaged(params, proto, bench_seeds());
-    out.push_back(metric(r));
+    ert::harness::SweepJob job;
+    job.params = params;
+    job.protocol = proto;
+    job.seeds = bench_seeds();
+    jobs.push_back(job);
   }
+  const auto results = ert::harness::run_sweep(jobs);
+  std::vector<double> out;
+  out.reserve(results.size());
+  for (const auto& r : results) out.push_back(metric(r));
   return out;
 }
 

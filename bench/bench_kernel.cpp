@@ -1,0 +1,264 @@
+// Kernel microbench: pooled event kernel vs the seed reference kernel.
+//
+//   bench_kernel [output.json]     (default BENCH_sim_kernel.json)
+//
+// Runs identical workloads through ert::sim::Simulator and the pre-pooling
+// reference implementation (reference_kernel.h) and records throughput and
+// speedup per workload. Workloads:
+//
+//   schedule_run     N one-shot events at scrambled times, then drain —
+//                    the pure scheduling/dispatch path.
+//   schedule_cancel  a rolling window of requests, each scheduling a
+//                    payload plus a timeout the payload cancels — the
+//                    event-dense schedule/cancel pattern the experiment
+//                    engine produces under churn (~1/3 of events cancel).
+//   cancel_storm     schedule a large horizon, cancel 15/16 of it up
+//                    front, then drain — exercises compaction.
+//
+// ERT_BENCH_SMOKE=1 shrinks sizes for CI smoke runs. Times are the best of
+// three repetitions (one in smoke mode).
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "json_writer.h"
+#include "reference_kernel.h"
+#include "sim/simulator.h"
+
+namespace {
+
+bool smoke_mode() {
+  const char* e = std::getenv("ERT_BENCH_SMOKE");
+  return e && *e && std::string(e) != "0";
+}
+
+/// xorshift so both kernels see the same cheap, deterministic time stream.
+struct MiniRng {
+  std::uint64_t s = 0x9e3779b97f4a7c15ull;
+  std::uint64_t next() {
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    return s;
+  }
+  double delay() { return 0.1 + static_cast<double>(next() % 1024) / 256.0; }
+};
+
+/// Events executed by a pure schedule-then-drain workload of n events.
+template <typename Sim>
+std::size_t workload_schedule_run(std::size_t n) {
+  Sim sim;
+  MiniRng rng;
+  std::size_t sink = 0;
+  std::size_t executed = 0;
+  // Drain in slices so the heap stays at a realistic working size instead
+  // of holding all n events at once.
+  const std::size_t slice = 8192;
+  for (std::size_t scheduled = 0; scheduled < n;) {
+    const std::size_t batch = std::min(slice, n - scheduled);
+    for (std::size_t i = 0; i < batch; ++i)
+      sim.schedule(rng.delay(), [&sink] { ++sink; });
+    scheduled += batch;
+    executed += sim.run();
+  }
+  return executed + (sink ? 0 : 1);
+}
+
+/// Rolling request/timeout pattern: each request schedules a payload and a
+/// timeout; the payload fires first and cancels the timeout, then spawns
+/// the next request. One timeout in 8 "wins" instead, so the cancel path
+/// runs from both sides. Returns events executed.
+template <typename Sim, typename Handle>
+std::size_t workload_schedule_cancel(std::size_t requests) {
+  struct Driver {
+    Sim sim;
+    MiniRng rng;
+    std::size_t remaining;
+    std::size_t spawned = 0;
+
+    void spawn() {
+      if (remaining == 0) return;
+      --remaining;
+      ++spawned;
+      const double d = rng.delay();
+      const bool timeout_wins = (rng.next() & 7u) == 0;
+      // The losing event is scheduled later and cancelled by the winner.
+      Handle loser;
+      if (timeout_wins) {
+        loser = sim.schedule(d * 4.0, [this] { spawn(); });
+        sim.schedule(d * 2.0, [this, loser]() mutable {
+          loser.cancel();
+          spawn();
+        });
+      } else {
+        loser = sim.schedule(d * 8.0, [this] { spawn(); });
+        sim.schedule(d, [this, loser]() mutable {
+          loser.cancel();
+          spawn();
+        });
+      }
+    }
+  };
+  Driver drv;
+  drv.remaining = requests;
+  const std::size_t window = std::min<std::size_t>(1024, requests);
+  for (std::size_t i = 0; i < window; ++i) drv.spawn();
+  return drv.sim.run();
+}
+
+/// Bulk cancellation: fill the heap, cancel 15/16 of it, drain, repeat.
+/// The pooled kernel's compaction keeps the drain from wading through
+/// stale entries; the reference kernel pays for them at every pop.
+template <typename Sim, typename Handle>
+std::size_t workload_cancel_storm(std::size_t n) {
+  Sim sim;
+  MiniRng rng;
+  std::size_t sink = 0;
+  std::size_t executed = 0;
+  const std::size_t round = 1 << 14;
+  std::vector<Handle> handles;
+  handles.reserve(round);
+  for (std::size_t done = 0; done < n;) {
+    const std::size_t batch = std::min(round, n - done);
+    handles.clear();
+    for (std::size_t i = 0; i < batch; ++i)
+      handles.push_back(sim.schedule(rng.delay(), [&sink] { ++sink; }));
+    for (std::size_t i = 0; i < batch; ++i)
+      if (i % 16 != 0) handles[i].cancel();
+    executed += sim.run();
+    done += batch;
+  }
+  return executed;
+}
+
+double time_best_of(int reps, const std::function<std::size_t()>& fn,
+                    std::size_t& executed) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    executed = fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
+struct WorkloadResult {
+  const char* name;
+  std::size_t events_scheduled;
+  std::size_t pooled_executed;
+  double pooled_seconds;
+  std::size_t ref_executed;
+  double ref_seconds;
+};
+
+void emit(ertbench::JsonWriter& w, const WorkloadResult& r) {
+  w.begin_object();
+  w.field("name", r.name);
+  w.field("events_scheduled", r.events_scheduled);
+  w.key("pooled");
+  w.begin_object();
+  w.field("events_executed", r.pooled_executed);
+  w.field("seconds", r.pooled_seconds);
+  w.field("events_per_sec",
+          static_cast<double>(r.pooled_executed) / r.pooled_seconds);
+  w.end_object();
+  w.key("reference");
+  w.begin_object();
+  w.field("events_executed", r.ref_executed);
+  w.field("seconds", r.ref_seconds);
+  w.field("events_per_sec",
+          static_cast<double>(r.ref_executed) / r.ref_seconds);
+  w.end_object();
+  w.field("speedup", r.ref_seconds / r.pooled_seconds);
+  w.end_object();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = smoke_mode();
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_sim_kernel.json";
+  const int reps = smoke ? 1 : 3;
+  const std::size_t n_run = smoke ? 200'000 : 4'000'000;
+  const std::size_t n_cancel = smoke ? 100'000 : 2'000'000;
+  const std::size_t n_storm = smoke ? 200'000 : 4'000'000;
+
+  using PooledSim = ert::sim::Simulator;
+  using PooledHandle = ert::sim::EventHandle;
+  using RefSim = ertbench::refsim::Simulator;
+  using RefHandle = ertbench::refsim::EventHandle;
+
+  std::vector<WorkloadResult> results;
+
+  {
+    WorkloadResult r{"schedule_run", n_run, 0, 0, 0, 0};
+    r.pooled_seconds = time_best_of(
+        reps, [&] { return workload_schedule_run<PooledSim>(n_run); },
+        r.pooled_executed);
+    r.ref_seconds = time_best_of(
+        reps, [&] { return workload_schedule_run<RefSim>(n_run); },
+        r.ref_executed);
+    results.push_back(r);
+  }
+  {
+    // ~3 events per request (payload, timeout, respawn chain).
+    WorkloadResult r{"schedule_cancel", 2 * n_cancel, 0, 0, 0, 0};
+    r.pooled_seconds = time_best_of(
+        reps,
+        [&] {
+          return workload_schedule_cancel<PooledSim, PooledHandle>(n_cancel);
+        },
+        r.pooled_executed);
+    r.ref_seconds = time_best_of(
+        reps,
+        [&] { return workload_schedule_cancel<RefSim, RefHandle>(n_cancel); },
+        r.ref_executed);
+    results.push_back(r);
+  }
+  {
+    WorkloadResult r{"cancel_storm", n_storm, 0, 0, 0, 0};
+    r.pooled_seconds = time_best_of(
+        reps,
+        [&] { return workload_cancel_storm<PooledSim, PooledHandle>(n_storm); },
+        r.pooled_executed);
+    r.ref_seconds = time_best_of(
+        reps,
+        [&] { return workload_cancel_storm<RefSim, RefHandle>(n_storm); },
+        r.ref_executed);
+    results.push_back(r);
+  }
+
+  std::FILE* f = std::fopen(out_path, "w");
+  if (!f) {
+    std::perror("bench_kernel: open output");
+    return 1;
+  }
+  ertbench::JsonWriter w(f);
+  w.begin_object();
+  w.field("bench", "sim_kernel");
+  w.field("smoke", smoke);
+  w.field("repetitions", reps);
+  w.key("workloads");
+  w.begin_array();
+  for (const auto& r : results) emit(w, r);
+  w.end_array();
+  w.end_object();
+  w.finish();
+  std::fclose(f);
+
+  for (const auto& r : results) {
+    std::printf("%-16s pooled %8.1f k ev/s   reference %8.1f k ev/s   speedup %.2fx\n",
+                r.name,
+                static_cast<double>(r.pooled_executed) / r.pooled_seconds / 1e3,
+                static_cast<double>(r.ref_executed) / r.ref_seconds / 1e3,
+                r.ref_seconds / r.pooled_seconds);
+  }
+  std::printf("wrote %s\n", out_path);
+  return 0;
+}

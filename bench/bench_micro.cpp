@@ -4,6 +4,8 @@
 // simulator's performance so the figure benches stay fast.
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "common/rng.h"
 #include "cycloid/overlay.h"
 #include "dht/ring.h"
@@ -26,6 +28,41 @@ void BM_SimulatorScheduleRun(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_SimulatorScheduleRun);
+
+void BM_SimulatorScheduleCancel(benchmark::State& state) {
+  // The churn/timeout pattern: most scheduled events are cancelled before
+  // they fire. Exercises the slab free list and heap compaction.
+  for (auto _ : state) {
+    sim::Simulator sim;
+    int sink = 0;
+    std::vector<sim::EventHandle> handles;
+    handles.reserve(1000);
+    for (int i = 0; i < 1000; ++i)
+      handles.push_back(sim.schedule((i * 7) % 100, [&sink] { ++sink; }));
+    for (int i = 0; i < 1000; ++i)
+      if (i % 8 != 0) handles[i].cancel();
+    sim.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimulatorScheduleCancel);
+
+void BM_SimulatorSteadyState(benchmark::State& state) {
+  // Rolling horizon in steady state: slots and heap capacity recycle, so
+  // per-event cost should be allocation-free.
+  sim::Simulator sim;
+  int sink = 0;
+  for (int i = 0; i < 64; ++i) sim.schedule(1.0 + i, [&sink] { ++sink; });
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      sim.step();
+      sim.schedule(64.0, [&sink] { ++sink; });
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_SimulatorSteadyState);
 
 cycloid::Overlay* full_cycloid(int d) {
   static cycloid::Overlay* o = [] {

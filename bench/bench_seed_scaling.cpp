@@ -1,0 +1,141 @@
+// Seed fan-out scaling bench: run_averaged wall time vs worker threads.
+//
+//   bench_seed_scaling [output.json]   (default BENCH_seed_scaling.json)
+//
+// Times run_averaged over 8 seeds of the Table 2 ERT/AF experiment at
+// several thread counts and verifies every multi-threaded result is
+// bit-identical to the single-threaded one (the harness reduces in seed
+// order, so anything else is a bug). ERT_BENCH_SMOKE=1 shrinks the network
+// for CI smoke runs.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "harness/experiment.h"
+#include "harness/parallel.h"
+#include "json_writer.h"
+
+namespace {
+
+using ert::harness::ExperimentResult;
+
+bool smoke_mode() {
+  const char* e = std::getenv("ERT_BENCH_SMOKE");
+  return e && *e && std::string(e) != "0";
+}
+
+bool bits_equal(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+/// Bitwise comparison of every scalar an averaged result carries.
+bool identical(const ExperimentResult& a, const ExperimentResult& b) {
+  return bits_equal(a.p99_max_congestion, b.p99_max_congestion) &&
+         bits_equal(a.mean_max_congestion, b.mean_max_congestion) &&
+         bits_equal(a.min_cap_node_congestion, b.min_cap_node_congestion) &&
+         bits_equal(a.p99_share, b.p99_share) &&
+         a.heavy_encounters == b.heavy_encounters &&
+         bits_equal(a.avg_path_length, b.avg_path_length) &&
+         bits_equal(a.lookup_time.mean, b.lookup_time.mean) &&
+         bits_equal(a.lookup_time.p01, b.lookup_time.p01) &&
+         bits_equal(a.lookup_time.p99, b.lookup_time.p99) &&
+         bits_equal(a.avg_timeouts, b.avg_timeouts) &&
+         bits_equal(a.max_indegree.mean, b.max_indegree.mean) &&
+         bits_equal(a.max_indegree.p99, b.max_indegree.p99) &&
+         bits_equal(a.max_outdegree.mean, b.max_outdegree.mean) &&
+         bits_equal(a.max_outdegree.p99, b.max_outdegree.p99) &&
+         a.completed_lookups == b.completed_lookups &&
+         a.dropped_lookups == b.dropped_lookups &&
+         bits_equal(a.sim_duration, b.sim_duration) &&
+         a.final_nodes == b.final_nodes;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = smoke_mode();
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_seed_scaling.json";
+  const int seeds = 8;
+
+  ert::SimParams p;
+  p.seed = 42;
+  p.lookup_rate = 16.0;
+  if (smoke) {
+    p.num_nodes = 256;
+    p.dimension = ert::harness::fit_dimension(p.num_nodes);
+    p.num_lookups = 400;
+  } else {
+    p.num_nodes = 1024;
+    p.dimension = ert::harness::fit_dimension(p.num_nodes);
+    p.num_lookups = 2000;
+  }
+  const auto proto = ert::harness::Protocol::kErtAF;
+
+  const int hw = ert::harness::default_threads();
+  std::vector<int> thread_counts{1, 2, 4};
+  if (hw > 4) thread_counts.push_back(hw);
+
+  struct Run {
+    int threads;
+    double seconds;
+    bool identical;
+  };
+  std::vector<Run> runs;
+  ExperimentResult single;
+  for (const int t : thread_counts) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto r = ert::harness::run_averaged(
+        p, proto, seeds, ert::harness::SubstrateKind::kCycloid, t);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double secs = std::chrono::duration<double>(t1 - t0).count();
+    if (t == 1) single = r;
+    runs.push_back(Run{t, secs, identical(single, r)});
+  }
+
+  std::FILE* f = std::fopen(out_path, "w");
+  if (!f) {
+    std::perror("bench_seed_scaling: open output");
+    return 1;
+  }
+  ertbench::JsonWriter w(f);
+  w.begin_object();
+  w.field("bench", "seed_scaling");
+  w.field("smoke", smoke);
+  w.field("seeds", seeds);
+  w.field("hardware_concurrency", hw);
+  w.key("params");
+  w.begin_object();
+  w.field("protocol", "ERT/AF");
+  w.field("nodes", p.num_nodes);
+  w.field("lookups", p.num_lookups);
+  w.field("rate", p.lookup_rate);
+  w.end_object();
+  w.key("runs");
+  w.begin_array();
+  for (const Run& r : runs) {
+    w.begin_object();
+    w.field("threads", r.threads);
+    w.field("seconds", r.seconds);
+    w.field("speedup", runs.front().seconds / r.seconds);
+    w.field("identical_to_single_thread", r.identical);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  w.finish();
+  std::fclose(f);
+
+  bool all_identical = true;
+  for (const Run& r : runs) {
+    std::printf("threads %2d   %7.2f s   speedup %.2fx   %s\n", r.threads,
+                r.seconds, runs.front().seconds / r.seconds,
+                r.identical ? "bit-identical" : "MISMATCH");
+    all_identical = all_identical && r.identical;
+  }
+  std::printf("wrote %s\n", out_path);
+  return all_identical ? 0 : 1;
+}

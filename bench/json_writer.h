@@ -1,0 +1,88 @@
+// Minimal streaming JSON writer for the BENCH_*.json perf artifacts.
+//
+// The benches emit flat, machine-diffable documents (see README.md for the
+// schema); this writer only needs objects, arrays, strings, bools, and
+// numbers. Commas and indentation are handled by a nesting stack, so the
+// emitting code reads like the document it produces.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace ertbench {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::FILE* f) : f_(f) {}
+
+  void begin_object() { open('{'); }
+  void end_object() { close('}'); }
+  void begin_array() { open('['); }
+  void end_array() { close(']'); }
+
+  void key(const char* k) {
+    comma();
+    indent();
+    std::fprintf(f_, "\"%s\": ", k);
+    pending_value_ = true;
+  }
+
+  void value(double v) { lead(); std::fprintf(f_, "%.6g", v); }
+  void value(std::uint64_t v) { lead(); std::fprintf(f_, "%llu", static_cast<unsigned long long>(v)); }
+  void value(int v) { lead(); std::fprintf(f_, "%d", v); }
+  void value(bool v) { lead(); std::fprintf(f_, "%s", v ? "true" : "false"); }
+  void value(const char* s) { lead(); std::fprintf(f_, "\"%s\"", s); }
+  void value(const std::string& s) { value(s.c_str()); }
+
+  template <typename T>
+  void field(const char* k, T v) {
+    key(k);
+    value(v);
+  }
+
+  void finish() { std::fprintf(f_, "\n"); }
+
+ private:
+  void open(char c) {
+    lead();
+    std::fprintf(f_, "%c", c);
+    stack_.push_back(false);
+  }
+
+  void close(char c) {
+    stack_.pop_back();
+    std::fprintf(f_, "\n");
+    indent();
+    std::fprintf(f_, "%c", c);
+  }
+
+  /// Emitted before any value or container: either this is a keyed value
+  /// (key() already printed "k": ) or an array element needing comma+indent.
+  void lead() {
+    if (pending_value_) {
+      pending_value_ = false;
+      return;
+    }
+    comma();
+    indent();
+  }
+
+  void comma() {
+    if (stack_.empty()) return;
+    if (stack_.back()) std::fprintf(f_, ",");
+    stack_.back() = true;
+    std::fprintf(f_, "\n");
+  }
+
+  void indent() {
+    for (std::size_t i = 0; i < stack_.size(); ++i) std::fprintf(f_, "  ");
+  }
+
+  std::FILE* f_;
+  std::vector<bool> stack_;
+  bool pending_value_ = false;
+};
+
+}  // namespace ertbench

@@ -1,0 +1,106 @@
+// The pre-pooling event kernel, kept verbatim as the benchmark baseline.
+//
+// This is the seed implementation of ert::sim::Simulator: one
+// std::make_shared<bool> per event for cancellation, a type-erased
+// std::function callback stored inside the heap entry, and lazy pop-time
+// skipping with no compaction. bench_kernel runs identical workloads
+// through this and the pooled kernel so BENCH_sim_kernel.json records the
+// speedup against a fixed reference rather than against a moving target.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+namespace ertbench::refsim {
+
+using Time = double;
+using EventFn = std::function<void()>;
+
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  void cancel() {
+    if (alive_ && *alive_) {
+      *alive_ = false;
+      if (live_counter_) --*live_counter_;
+    }
+  }
+  bool pending() const { return alive_ && *alive_; }
+
+  EventHandle(std::shared_ptr<bool> alive,
+              std::shared_ptr<std::size_t> live_counter)
+      : alive_(std::move(alive)), live_counter_(std::move(live_counter)) {}
+
+ private:
+  std::shared_ptr<bool> alive_;
+  std::shared_ptr<std::size_t> live_counter_;
+};
+
+class Simulator {
+ public:
+  Time now() const { return now_; }
+
+  EventHandle schedule(Time delay, EventFn fn) {
+    if (delay < 0) delay = 0;
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  EventHandle schedule_at(Time when, EventFn fn) {
+    auto alive = std::make_shared<bool>(true);
+    queue_.push(Event{when, next_seq_++, std::move(fn), alive});
+    ++*live_;
+    return EventHandle{std::move(alive), live_};
+  }
+
+  std::size_t run() {
+    std::size_t executed = 0;
+    Event ev;
+    while (pop_next(ev)) {
+      now_ = ev.when;
+      *ev.alive = false;
+      ev.fn();
+      ++executed;
+    }
+    return executed;
+  }
+
+  bool empty() const { return *live_ == 0; }
+  std::size_t pending_events() const { return *live_; }
+
+ private:
+  struct Event {
+    Time when;
+    std::uint64_t seq;
+    EventFn fn;
+    std::shared_ptr<bool> alive;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool pop_next(Event& out) {
+    while (!queue_.empty()) {
+      out = queue_.top();
+      queue_.pop();
+      if (*out.alive) {
+        --*live_;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  Time now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::shared_ptr<std::size_t> live_ = std::make_shared<std::size_t>(0);
+};
+
+}  // namespace ertbench::refsim

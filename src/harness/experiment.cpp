@@ -13,6 +13,7 @@
 #include "ert/capacity.h"
 #include "ert/forwarding.h"
 #include "ert/load_tracker.h"
+#include "harness/parallel.h"
 #include "harness/substrate.h"
 #include "metrics/metrics.h"
 #include "net/proximity.h"
@@ -757,21 +758,24 @@ ExperimentResult run_experiment(const SimParams& params, Protocol protocol) {
   return run_experiment(params, protocol, SubstrateKind::kCycloid);
 }
 
-ExperimentResult run_averaged(const SimParams& params, Protocol protocol,
-                              int seeds, SubstrateKind substrate) {
-  assert(seeds >= 1);
+namespace {
+
+/// Sequential seed-order reduction of per-seed results. Counters accumulate
+/// in double and round once at the end (per-seed integer division would
+/// truncate each term). Runs after every seed finishes, so the aggregate is
+/// a pure function of the per-seed results — independent of which thread
+/// produced them or when.
+ExperimentResult reduce_in_seed_order(const std::vector<ExperimentResult>& runs) {
+  assert(!runs.empty());
+  const double w = 1.0 / static_cast<double>(runs.size());
   ExperimentResult acc;
-  for (int s = 0; s < seeds; ++s) {
-    SimParams p = params;
-    p.seed = params.seed + static_cast<std::uint64_t>(s);
-    const ExperimentResult r = run_experiment(p, protocol, substrate);
-    const double w = 1.0 / seeds;
+  double heavy = 0.0, completed = 0.0, dropped = 0.0;
+  for (const ExperimentResult& r : runs) {
     acc.p99_max_congestion += w * r.p99_max_congestion;
     acc.mean_max_congestion += w * r.mean_max_congestion;
     acc.min_cap_node_congestion += w * r.min_cap_node_congestion;
     acc.p99_share += w * r.p99_share;
-    acc.heavy_encounters +=
-        r.heavy_encounters / static_cast<std::size_t>(seeds);
+    heavy += w * static_cast<double>(r.heavy_encounters);
     acc.avg_path_length += w * r.avg_path_length;
     acc.lookup_time.mean += w * r.lookup_time.mean;
     acc.lookup_time.p01 += w * r.lookup_time.p01;
@@ -783,13 +787,56 @@ ExperimentResult run_averaged(const SimParams& params, Protocol protocol,
     acc.max_outdegree.mean += w * r.max_outdegree.mean;
     acc.max_outdegree.p01 += w * r.max_outdegree.p01;
     acc.max_outdegree.p99 += w * r.max_outdegree.p99;
-    acc.completed_lookups +=
-        r.completed_lookups / static_cast<std::size_t>(seeds);
-    acc.dropped_lookups += r.dropped_lookups;
+    completed += w * static_cast<double>(r.completed_lookups);
+    dropped += w * static_cast<double>(r.dropped_lookups);
     acc.sim_duration += w * r.sim_duration;
     acc.final_nodes = r.final_nodes;
   }
+  acc.heavy_encounters = static_cast<std::size_t>(std::llround(heavy));
+  acc.completed_lookups = static_cast<std::size_t>(std::llround(completed));
+  acc.dropped_lookups = static_cast<std::size_t>(std::llround(dropped));
   return acc;
+}
+
+}  // namespace
+
+std::vector<ExperimentResult> run_sweep(const std::vector<SweepJob>& jobs,
+                                        int threads) {
+  struct Unit {
+    std::size_t job;
+    int seed_offset;
+  };
+  std::vector<Unit> units;
+  std::vector<std::vector<ExperimentResult>> runs(jobs.size());
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    assert(jobs[j].seeds >= 1);
+    runs[j].resize(static_cast<std::size_t>(jobs[j].seeds));
+    for (int s = 0; s < jobs[j].seeds; ++s) units.push_back(Unit{j, s});
+  }
+  parallel_for(units.size(), threads, [&](std::size_t i) {
+    const Unit& u = units[i];
+    const SweepJob& job = jobs[u.job];
+    SimParams p = job.params;
+    p.seed = job.params.seed + static_cast<std::uint64_t>(u.seed_offset);
+    runs[u.job][static_cast<std::size_t>(u.seed_offset)] =
+        run_experiment(p, job.protocol, job.substrate);
+  });
+  std::vector<ExperimentResult> out;
+  out.reserve(jobs.size());
+  for (const auto& r : runs) out.push_back(reduce_in_seed_order(r));
+  return out;
+}
+
+ExperimentResult run_averaged(const SimParams& params, Protocol protocol,
+                              int seeds, SubstrateKind substrate,
+                              int threads) {
+  assert(seeds >= 1);
+  SweepJob job;
+  job.params = params;
+  job.protocol = protocol;
+  job.substrate = substrate;
+  job.seeds = seeds;
+  return run_sweep({job}, threads).front();
 }
 
 ExperimentResult run_averaged(const SimParams& params, Protocol protocol,

@@ -59,11 +59,33 @@ ExperimentResult run_experiment(const SimParams& params, Protocol protocol,
                                 SubstrateKind substrate);
 
 /// Averages scalar metrics over `seeds` runs with seeds params.seed,
-/// params.seed + 1, ... (percentile summaries are averaged element-wise).
+/// params.seed + 1, ... (percentile summaries are averaged element-wise;
+/// counters are averaged in double and rounded once at the end).
+///
+/// Seeds fan out across `threads` worker threads (0 = default_threads());
+/// each run owns an independent Simulator, and the reduction happens
+/// sequentially in seed order after all runs finish, so the result is
+/// bit-identical whatever the thread count or completion order.
 ExperimentResult run_averaged(const SimParams& params, Protocol protocol,
                               int seeds);
 ExperimentResult run_averaged(const SimParams& params, Protocol protocol,
-                              int seeds, SubstrateKind substrate);
+                              int seeds, SubstrateKind substrate,
+                              int threads = 0);
+
+/// One point of a parameter sweep: an averaged experiment.
+struct SweepJob {
+  SimParams params;
+  Protocol protocol = Protocol::kErtAF;
+  SubstrateKind substrate = SubstrateKind::kCycloid;
+  int seeds = 1;
+};
+
+/// Runs every job (each averaged over its seeds) and returns results in job
+/// order. The (job, seed) pairs are flattened into unit tasks before
+/// fan-out, so the pool stays saturated even when jobs.size() is small.
+/// Deterministic for fixed job parameters regardless of `threads`.
+std::vector<ExperimentResult> run_sweep(const std::vector<SweepJob>& jobs,
+                                        int threads = 0);
 
 /// Smallest Cycloid dimension whose id space holds `ids_needed` ids.
 int fit_dimension(std::size_t ids_needed);

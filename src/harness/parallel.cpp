@@ -1,0 +1,44 @@
+#include "harness/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+namespace ert::harness {
+
+int default_threads() {
+  if (const char* e = std::getenv("ERT_THREADS")) {
+    const int v = std::atoi(e);
+    if (v >= 1) return v;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw ? static_cast<int>(hw) : 1;
+}
+
+void parallel_for(std::size_t n, int threads,
+                  const std::function<void(std::size_t)>& body) {
+  if (threads <= 0) threads = default_threads();
+  const std::size_t workers =
+      std::min(static_cast<std::size_t>(threads), n);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  const auto work = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      body(i);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (std::size_t t = 1; t < workers; ++t) pool.emplace_back(work);
+  work();
+  for (auto& th : pool) th.join();
+}
+
+}  // namespace ert::harness

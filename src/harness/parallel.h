@@ -1,0 +1,26 @@
+// Thread-pool primitive for the experiment harness.
+//
+// Experiments are embarrassingly parallel at seed granularity: each run owns
+// its Simulator, Rng, and network, so fanning seeds across threads needs no
+// synchronization beyond handing out indices. Results are written to
+// pre-sized slots and reduced sequentially in seed order afterwards, which
+// makes every aggregate independent of thread scheduling.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace ert::harness {
+
+/// Worker count used when a caller passes threads == 0: the ERT_THREADS
+/// environment variable if set (>= 1), else std::thread::hardware_concurrency.
+int default_threads();
+
+/// Invokes body(0) .. body(n-1), distributing indices across up to `threads`
+/// workers via an atomic counter (threads == 0 means default_threads()).
+/// With one worker everything runs inline on the calling thread. body must
+/// not throw and must only touch disjoint state per index.
+void parallel_for(std::size_t n, int threads,
+                  const std::function<void(std::size_t)>& body);
+
+}  // namespace ert::harness

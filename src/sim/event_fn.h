@@ -1,0 +1,108 @@
+// Small-buffer-optimized callback for the event kernel.
+//
+// Every callback the experiment engine schedules is a lambda over a handful
+// of indices (this, qid, next), so the common case fits in the inline buffer
+// and scheduling never touches the heap. Larger callables transparently fall
+// back to a heap allocation. Unlike std::function, EventFn is move-only, so
+// it also accepts non-copyable captures.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace ert::sim {
+
+class EventFn {
+ public:
+  /// Inline storage size: covers a lambda capturing a pointer plus a few
+  /// 64-bit indices with room to spare.
+  static constexpr std::size_t kInlineSize = 48;
+
+  EventFn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, EventFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  EventFn(F&& f) {  // NOLINT(google-explicit-constructor): callable wrapper
+    using D = std::decay_t<F>;
+    if constexpr (sizeof(D) <= kInlineSize &&
+                  alignof(D) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<D>) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      ops_ = &inline_ops<D>;
+    } else {
+      ::new (static_cast<void*>(buf_)) D*(new D(std::forward<F>(f)));
+      ops_ = &heap_ops<D>;
+    }
+  }
+
+  EventFn(EventFn&& o) noexcept : ops_(o.ops_) {
+    if (ops_) {
+      ops_->relocate(buf_, o.buf_);
+      o.ops_ = nullptr;
+    }
+  }
+
+  EventFn& operator=(EventFn&& o) noexcept {
+    if (this != &o) {
+      reset();
+      ops_ = o.ops_;
+      if (ops_) {
+        ops_->relocate(buf_, o.buf_);
+        o.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+
+  ~EventFn() { reset(); }
+
+  void reset() {
+    if (ops_) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(buf_); }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    /// Move-constructs the payload from src into dst and destroys src.
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void*);
+  };
+
+  template <typename D>
+  static constexpr Ops inline_ops = {
+      [](void* p) { (*static_cast<D*>(p))(); },
+      [](void* dst, void* src) {
+        ::new (dst) D(std::move(*static_cast<D*>(src)));
+        static_cast<D*>(src)->~D();
+      },
+      [](void* p) { static_cast<D*>(p)->~D(); },
+  };
+
+  template <typename D>
+  static constexpr Ops heap_ops = {
+      [](void* p) { (**static_cast<D**>(p))(); },
+      [](void* dst, void* src) {
+        ::new (dst) D*(*static_cast<D**>(src));
+      },
+      [](void* p) { delete *static_cast<D**>(p); },
+  };
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineSize];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace ert::sim

@@ -1,8 +1,31 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace ert::sim {
+
+// Slab invariant: a slot leaves the free list only in schedule_at (which
+// pushes exactly one heap entry for it) and returns only when that entry is
+// removed (fired, popped stale, or dropped by compaction). Hence every slot
+// has at most one heap entry, heap_.size() == live_ + cancelled_, and an
+// entry is stale iff its record's callback was reset by cancel().
+
+std::uint32_t Simulator::alloc_slot() {
+  if (free_head_ != kNil) {
+    const std::uint32_t slot = free_head_;
+    free_head_ = slab_[slot].next_free;
+    slab_[slot].next_free = kNil;
+    return slot;
+  }
+  slab_.emplace_back();
+  return static_cast<std::uint32_t>(slab_.size() - 1);
+}
+
+void Simulator::free_slot(std::uint32_t slot) {
+  slab_[slot].next_free = free_head_;
+  free_head_ = slot;
+}
 
 EventHandle Simulator::schedule(Time delay, EventFn fn) {
   if (delay < 0) delay = 0;
@@ -11,34 +34,73 @@ EventHandle Simulator::schedule(Time delay, EventFn fn) {
 
 EventHandle Simulator::schedule_at(Time when, EventFn fn) {
   assert(when >= now_ && "cannot schedule into the past");
-  auto alive = std::make_shared<bool>(true);
-  queue_.push(Event{when, next_seq_++, std::move(fn), alive});
-  ++*live_;
-  return EventHandle{std::move(alive), live_};
+  assert(fn && "cannot schedule an empty callback");
+  const std::uint32_t slot = alloc_slot();
+  Record& rec = slab_[slot];
+  rec.fn = std::move(fn);
+  heap_.push_back(HeapEntry{when, next_seq_++, slot});
+  std::push_heap(heap_.begin(), heap_.end());
+  ++live_;
+  return EventHandle{this, slot, rec.gen};
 }
 
-bool Simulator::pop_next(Event& out) {
-  while (!queue_.empty()) {
-    // priority_queue::top() is const; the event is moved out via a copy of
-    // the shared state and popped. Function objects here are small (bound
-    // lambdas over indices), so the copy is cheap.
-    out = queue_.top();
-    queue_.pop();
-    if (*out.alive) {
-      --*live_;
-      return true;
-    }
+void Simulator::cancel(std::uint32_t slot, std::uint64_t gen) {
+  Record& rec = slab_[slot];
+  if (rec.gen != gen || !rec.fn) return;  // already fired or cancelled
+  ++rec.gen;       // invalidates every handle copy
+  rec.fn.reset();  // marks the heap entry stale; frees captures early
+  --live_;
+  ++cancelled_;
+  maybe_compact();
+}
+
+bool Simulator::settle_front() {
+  while (!heap_.empty()) {
+    const std::uint32_t slot = heap_.front().slot;
+    if (slab_[slot].fn) return true;
+    std::pop_heap(heap_.begin(), heap_.end());
+    heap_.pop_back();
+    free_slot(slot);
+    --cancelled_;
   }
   return false;
 }
 
+void Simulator::fire_front() {
+  const HeapEntry entry = heap_.front();
+  std::pop_heap(heap_.begin(), heap_.end());
+  heap_.pop_back();
+  Record& rec = slab_[entry.slot];
+  EventFn fn = std::move(rec.fn);  // leaves rec.fn empty
+  ++rec.gen;
+  free_slot(entry.slot);
+  --live_;
+  now_ = entry.when;
+  fn();  // slot already recycled: re-entrant scheduling is safe
+}
+
+void Simulator::maybe_compact() {
+  // Compact when stale entries dominate: the rebuild is O(heap) but
+  // amortizes to O(1) per cancel since it halves the heap each time it
+  // runs. The floor keeps tiny queues on the cheap lazy-skip path.
+  if (cancelled_ <= 64 || cancelled_ <= live_) return;
+  auto out = heap_.begin();
+  for (const HeapEntry& e : heap_) {
+    if (slab_[e.slot].fn) {
+      *out++ = e;
+    } else {
+      free_slot(e.slot);
+    }
+  }
+  heap_.erase(out, heap_.end());
+  std::make_heap(heap_.begin(), heap_.end());
+  cancelled_ = 0;
+}
+
 std::size_t Simulator::run() {
   std::size_t executed = 0;
-  Event ev;
-  while (pop_next(ev)) {
-    now_ = ev.when;
-    *ev.alive = false;
-    ev.fn();
+  while (settle_front()) {
+    fire_front();
     ++executed;
   }
   return executed;
@@ -46,18 +108,9 @@ std::size_t Simulator::run() {
 
 std::size_t Simulator::run_until(Time deadline) {
   std::size_t executed = 0;
-  while (!queue_.empty()) {
-    const Event& top = queue_.top();
-    if (!*top.alive) {
-      queue_.pop();
-      continue;
-    }
-    if (top.when > deadline) break;
-    Event ev;
-    if (!pop_next(ev)) break;
-    now_ = ev.when;
-    *ev.alive = false;
-    ev.fn();
+  while (settle_front()) {
+    if (heap_.front().when > deadline) break;
+    fire_front();
     ++executed;
   }
   if (now_ < deadline) now_ = deadline;
@@ -65,14 +118,9 @@ std::size_t Simulator::run_until(Time deadline) {
 }
 
 bool Simulator::step() {
-  Event ev;
-  if (!pop_next(ev)) return false;
-  now_ = ev.when;
-  *ev.alive = false;
-  ev.fn();
+  if (!settle_front()) return false;
+  fire_front();
   return true;
 }
-
-bool Simulator::empty() const { return *live_ == 0; }
 
 }  // namespace ert::sim

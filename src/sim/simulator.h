@@ -3,43 +3,49 @@
 // The paper's evaluation (Sec. 5) is simulation-based; this kernel is the
 // substrate every experiment runs on. Events are (time, sequence) ordered so
 // simultaneous events fire in scheduling order, which keeps runs fully
-// deterministic for a fixed seed. Cancellation is lazy: a cancelled event
-// stays in the heap but is skipped at pop time.
+// deterministic for a fixed seed.
+//
+// Event records live in a slab with an intrusive free list and are addressed
+// by {slot, generation} handles; the binary heap holds 24-byte entries that
+// point into the slab. Cancellation bumps the record's generation (O(1), no
+// shared ownership), leaving a stale heap entry that is skipped at pop time
+// or removed by compaction when stale entries dominate the heap. In steady
+// state schedule/cancel/fire perform zero heap allocations: slots and heap
+// capacity are recycled, and callbacks up to EventFn::kInlineSize bytes are
+// stored inline in the record.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <memory>
-#include <queue>
 #include <vector>
+
+#include "sim/event_fn.h"
 
 namespace ert::sim {
 
 using Time = double;
-using EventFn = std::function<void()>;
+
+class Simulator;
 
 /// Handle for cancelling a scheduled event. Default-constructed handles are
-/// inert. Copies share the cancellation flag.
+/// inert. Copies refer to the same event. A handle must not outlive its
+/// Simulator (the experiment engine owns both, simulator first, so engine
+/// state always satisfies this).
 class EventHandle {
  public:
   EventHandle() = default;
 
   /// Prevents the event from firing (no-op if already fired or cancelled).
-  void cancel() {
-    if (alive_ && *alive_) {
-      *alive_ = false;
-      if (live_counter_) --*live_counter_;
-    }
-  }
-  bool pending() const { return alive_ && *alive_; }
+  inline void cancel();
+  inline bool pending() const;
 
  private:
   friend class Simulator;
-  EventHandle(std::shared_ptr<bool> alive,
-              std::shared_ptr<std::size_t> live_counter)
-      : alive_(std::move(alive)), live_counter_(std::move(live_counter)) {}
-  std::shared_ptr<bool> alive_;
-  std::shared_ptr<std::size_t> live_counter_;
+  EventHandle(Simulator* sim, std::uint32_t slot, std::uint64_t gen)
+      : sim_(sim), slot_(slot), gen_(gen) {}
+  Simulator* sim_ = nullptr;
+  std::uint32_t slot_ = 0;
+  std::uint64_t gen_ = 0;
 };
 
 class Simulator {
@@ -62,31 +68,65 @@ class Simulator {
   /// Executes at most one event; returns false if the queue is empty.
   bool step();
 
-  bool empty() const;
-  std::size_t pending_events() const { return *live_; }
+  bool empty() const { return live_ == 0; }
+  std::size_t pending_events() const { return live_; }
+
+  /// Heap entries (live + not-yet-reclaimed cancelled); exposed for tests
+  /// asserting the compaction policy.
+  std::size_t heap_size() const { return heap_.size(); }
 
  private:
-  struct Event {
+  friend class EventHandle;
+
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+
+  /// Pooled event payload. `gen` counts up at every cancel and fire, so a
+  /// handle (or heap entry) holding a stale generation can never touch a
+  /// recycled slot's new occupant.
+  struct Record {
+    EventFn fn;
+    std::uint64_t gen = 0;
+    std::uint32_t next_free = kNil;
+  };
+
+  struct HeapEntry {
     Time when;
     std::uint64_t seq;
-    EventFn fn;
-    std::shared_ptr<bool> alive;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
+    std::uint32_t slot;
+
+    /// Max-heap comparator inverted into an earliest-first queue; seq
+    /// breaks time ties in scheduling order.
+    friend bool operator<(const HeapEntry& a, const HeapEntry& b) {
       if (a.when != b.when) return a.when > b.when;
       return a.seq > b.seq;
     }
   };
 
-  bool pop_next(Event& out);
+  std::uint32_t alloc_slot();
+  void free_slot(std::uint32_t slot);
+  void cancel(std::uint32_t slot, std::uint64_t gen);
+  /// Pops until the heap's front is a live entry; returns false when empty.
+  bool settle_front();
+  /// Removes the (live) front entry and runs its callback.
+  void fire_front();
+  /// Rebuilds the heap without stale entries once they dominate it.
+  void maybe_compact();
 
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<HeapEntry> heap_;
+  std::vector<Record> slab_;
+  std::uint32_t free_head_ = kNil;
   Time now_ = 0.0;
   std::uint64_t next_seq_ = 0;
-  /// Non-cancelled events in the heap; shared with handles so cancel()
-  /// keeps the count exact.
-  std::shared_ptr<std::size_t> live_ = std::make_shared<std::size_t>(0);
+  std::size_t live_ = 0;       ///< scheduled and not cancelled/fired.
+  std::size_t cancelled_ = 0;  ///< stale entries still in the heap.
 };
+
+inline void EventHandle::cancel() {
+  if (sim_) sim_->cancel(slot_, gen_);
+}
+
+inline bool EventHandle::pending() const {
+  return sim_ && slot_ < sim_->slab_.size() && sim_->slab_[slot_].gen == gen_;
+}
 
 }  // namespace ert::sim

@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <vector>
+
 namespace ert::harness {
 namespace {
 
@@ -131,6 +134,72 @@ TEST(Experiment, RunAveragedAveragesScalars) {
   EXPECT_NEAR(avg.p99_share, (one.p99_share + two.p99_share) / 2, 1e-9);
   EXPECT_NEAR(avg.lookup_time.mean,
               (one.lookup_time.mean + two.lookup_time.mean) / 2, 1e-9);
+}
+
+TEST(Experiment, RunAveragedBitIdenticalAcrossThreadCounts) {
+  // The seed fan-out reduces sequentially in seed order after all runs
+  // finish, so the thread count must not change a single bit of the
+  // aggregate (even oversubscribed on one core).
+  SimParams p = small_params();
+  p.num_lookups = 200;
+  const auto one =
+      run_averaged(p, Protocol::kErtAF, 4, SubstrateKind::kCycloid, 1);
+  const auto four =
+      run_averaged(p, Protocol::kErtAF, 4, SubstrateKind::kCycloid, 4);
+  EXPECT_EQ(one.p99_max_congestion, four.p99_max_congestion);
+  EXPECT_EQ(one.mean_max_congestion, four.mean_max_congestion);
+  EXPECT_EQ(one.p99_share, four.p99_share);
+  EXPECT_EQ(one.heavy_encounters, four.heavy_encounters);
+  EXPECT_EQ(one.avg_path_length, four.avg_path_length);
+  EXPECT_EQ(one.lookup_time.mean, four.lookup_time.mean);
+  EXPECT_EQ(one.lookup_time.p01, four.lookup_time.p01);
+  EXPECT_EQ(one.lookup_time.p99, four.lookup_time.p99);
+  EXPECT_EQ(one.avg_timeouts, four.avg_timeouts);
+  EXPECT_EQ(one.max_indegree.mean, four.max_indegree.mean);
+  EXPECT_EQ(one.max_outdegree.p99, four.max_outdegree.p99);
+  EXPECT_EQ(one.completed_lookups, four.completed_lookups);
+  EXPECT_EQ(one.dropped_lookups, four.dropped_lookups);
+  EXPECT_EQ(one.sim_duration, four.sim_duration);
+  EXPECT_EQ(one.final_nodes, four.final_nodes);
+}
+
+TEST(Experiment, RunAveragedRoundsCountersOnce) {
+  // Counters accumulate in double and round at the end: three seeds of
+  // 200 completed lookups each must average to exactly 200, not the
+  // 66*3 = 198 that per-seed integer division produced.
+  SimParams p = small_params();
+  p.num_lookups = 200;
+  const auto avg = run_averaged(p, Protocol::kBase, 3);
+  EXPECT_EQ(avg.completed_lookups, 200u);
+  double heavy = 0.0;
+  for (int s = 0; s < 3; ++s) {
+    SimParams ps = p;
+    ps.seed = p.seed + static_cast<std::uint64_t>(s);
+    heavy += static_cast<double>(
+        run_experiment(ps, Protocol::kBase).heavy_encounters);
+  }
+  EXPECT_EQ(avg.heavy_encounters,
+            static_cast<std::size_t>(std::llround(heavy / 3.0)));
+}
+
+TEST(Experiment, RunSweepMatchesRunAveragedPerJob) {
+  SimParams p = small_params();
+  p.num_lookups = 200;
+  std::vector<SweepJob> jobs(2);
+  jobs[0].params = p;
+  jobs[0].protocol = Protocol::kBase;
+  jobs[0].seeds = 2;
+  jobs[1].params = p;
+  jobs[1].protocol = Protocol::kErtAF;
+  jobs[1].seeds = 2;
+  const auto sweep = run_sweep(jobs);
+  ASSERT_EQ(sweep.size(), 2u);
+  const auto base = run_averaged(p, Protocol::kBase, 2);
+  const auto ert = run_averaged(p, Protocol::kErtAF, 2);
+  EXPECT_EQ(sweep[0].p99_share, base.p99_share);
+  EXPECT_EQ(sweep[0].heavy_encounters, base.heavy_encounters);
+  EXPECT_EQ(sweep[1].p99_share, ert.p99_share);
+  EXPECT_EQ(sweep[1].lookup_time.mean, ert.lookup_time.mean);
 }
 
 TEST(Experiment, ProbeCostChargedForForwarding) {

@@ -104,6 +104,83 @@ TEST(Simulator, PendingEventCount) {
   EXPECT_TRUE(sim.empty());
 }
 
+TEST(Simulator, StaleHandleCannotCancelRecycledSlot) {
+  // After an event fires, its slot returns to the free list and the next
+  // schedule reuses it. The old handle holds a stale generation, so
+  // cancelling through it must not touch the new occupant.
+  Simulator sim;
+  int first = 0, second = 0;
+  EventHandle h1 = sim.schedule(1.0, [&] { ++first; });
+  sim.run();
+  EXPECT_EQ(first, 1);
+  EventHandle h2 = sim.schedule(1.0, [&] { ++second; });
+  EXPECT_FALSE(h1.pending());
+  EXPECT_TRUE(h2.pending());
+  h1.cancel();  // stale: must be a no-op
+  EXPECT_TRUE(h2.pending());
+  EXPECT_EQ(sim.run(), 1u);
+  EXPECT_EQ(second, 1);
+}
+
+TEST(Simulator, StaleHandleAfterCancelAndReuse) {
+  Simulator sim;
+  int fired = 0;
+  EventHandle h1 = sim.schedule(1.0, [&] { ++fired; });
+  sim.schedule(2.0, [&] { ++fired; });
+  h1.cancel();
+  sim.run();  // reclaims h1's slot
+  EXPECT_EQ(fired, 1);
+  EventHandle h2 = sim.schedule(1.0, [&] { ++fired; });
+  h1.cancel();  // doubly stale
+  EXPECT_TRUE(h2.pending());
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, HandleCopiesShareCancellation) {
+  Simulator sim;
+  int fired = 0;
+  EventHandle a = sim.schedule(1.0, [&] { ++fired; });
+  EventHandle b = a;
+  a.cancel();
+  EXPECT_FALSE(b.pending());
+  b.cancel();  // second cancel via the copy: no-op, no double-count
+  EXPECT_EQ(sim.pending_events(), 0u);
+  sim.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Simulator, CompactionPrunesCancelledEntries) {
+  // Cancel nearly everything: once stale entries outnumber live ones (past
+  // the 64-entry floor), the heap must shrink without being popped.
+  Simulator sim;
+  int fired = 0;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 1000; ++i)
+    handles.push_back(sim.schedule(1.0 + i, [&] { ++fired; }));
+  for (int i = 0; i < 1000; ++i)
+    if (i % 100 != 0) handles[i].cancel();
+  EXPECT_EQ(sim.pending_events(), 10u);
+  EXPECT_LT(sim.heap_size(), 200u);  // lazy-only would still hold ~1000
+  EXPECT_EQ(sim.run(), 10u);
+  EXPECT_EQ(fired, 10);
+}
+
+TEST(Simulator, SlotReuseKeepsSchedulingAllocationFree) {
+  // Steady-state rolling horizon: the slab and heap stop growing once the
+  // window is warm, so heap_size never exceeds the in-flight window.
+  Simulator sim;
+  int fired = 0;
+  for (int i = 0; i < 32; ++i) sim.schedule(1.0 + i, [&] { ++fired; });
+  for (int round = 0; round < 1000; ++round) {
+    sim.step();
+    sim.schedule(40.0, [&] { ++fired; });
+    EXPECT_LE(sim.heap_size(), 33u);
+  }
+  sim.run();
+  EXPECT_EQ(fired, 1032);
+}
+
 TEST(Simulator, ManyEventsStressOrder) {
   Simulator sim;
   double last = -1.0;

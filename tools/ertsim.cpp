@@ -8,6 +8,8 @@
 //     --rate R           lookups per second (default 16)
 //     --seed S           (default 1)
 //     --seeds K          average over K seeds (default 1)
+//     --threads T        worker threads for the seed fan-out (default: all
+//                        cores; the result is identical for any T)
 //     --churn T          mean join/leave interarrival seconds (0 = off)
 //     --impulse N:K      skewed workload: N source nodes, K hot keys
 //     --zipf N:S         Zipf workload: N-key catalog, exponent S
@@ -38,6 +40,7 @@ using ert::harness::SubstrateKind;
   std::fprintf(stderr,
                "usage: ertsim [--protocol P] [--substrate S] [--nodes N]\n"
                "              [--lookups N] [--rate R] [--seed S] [--seeds K]\n"
+               "              [--threads T]\n"
                "              [--churn T] [--impulse N:K] [--service L:H]\n"
                "              [--alpha A] [--beta B] [--mu M] [--gamma-l G]\n"
                "              [--poll B] [--data-forwarding] [--probe-cost C]\n"
@@ -71,6 +74,7 @@ int main(int argc, char** argv) {
   Protocol proto = Protocol::kErtAF;
   SubstrateKind kind = SubstrateKind::kCycloid;
   int seeds = 1;
+  int threads = 0;
   std::string csv;
 
   auto need = [&](int& i) -> const char* {
@@ -86,6 +90,7 @@ int main(int argc, char** argv) {
     else if (a == "--rate") p.lookup_rate = std::strtod(need(i), nullptr);
     else if (a == "--seed") p.seed = std::strtoull(need(i), nullptr, 10);
     else if (a == "--seeds") seeds = std::atoi(need(i));
+    else if (a == "--threads") threads = std::atoi(need(i));
     else if (a == "--churn") p.churn_interarrival = std::strtod(need(i), nullptr);
     else if (a == "--impulse") {
       const char* v = need(i);
@@ -123,9 +128,9 @@ int main(int argc, char** argv) {
       kind != SubstrateKind::kCycloid)
     usage("VS/NS require the cycloid substrate");
 
-  const auto r = seeds > 1
-                     ? ert::harness::run_averaged(p, proto, seeds, kind)
-                     : ert::harness::run_experiment(p, proto, kind);
+  const auto r =
+      seeds > 1 ? ert::harness::run_averaged(p, proto, seeds, kind, threads)
+                : ert::harness::run_experiment(p, proto, kind);
 
   std::printf("protocol           %s on %s\n",
               std::string(ert::harness::to_string(proto)).c_str(),
