@@ -292,6 +292,7 @@ bool Overlay::link_shortcut(dht::NodeIndex from, dht::NodeIndex to,
   if (t.inlinks.contains(from)) return false;
   if (!f.table.entry(kShortcutEntry).add(to)) return false;
   const double dist = net::torus_distance(f.zone.center(), t.zone.center());
+  if (!t.budget.can_accept()) t.budget.on_forced_inlink();
   t.inlinks.add(core::BackwardFinger{
       from, static_cast<std::uint64_t>(dist * 1e9),
       phys_dist_ ? phys_dist_(from, to) : dist});

@@ -72,6 +72,7 @@ bool Overlay::link(dht::NodeIndex from, std::size_t slot, dht::NodeIndex to,
       slot != successor_entry())
     return false;  // loose slot is full
   if (!f.table.entry(slot).add(to)) return false;
+  if (!t.budget.can_accept()) t.budget.on_forced_inlink();
   t.inlinks.add(core::BackwardFinger{
       from, logical_distance(from, to),
       phys_dist_ ? phys_dist_(from, to) : 0.0});

@@ -255,6 +255,7 @@ bool Overlay::link(dht::NodeIndex from, std::size_t slot, dht::NodeIndex to,
   // slot, do not double-link (keeps indegree == #pointing nodes).
   if (t.inlinks.contains(from)) return false;
   if (!f.table.entry(slot).add(to)) return false;
+  if (!t.budget.can_accept()) t.budget.on_forced_inlink();
   t.inlinks.add(core::BackwardFinger{from, logical_distance(from, to),
                                      physical_distance(from, to)});
   t.budget.on_inlink_added();

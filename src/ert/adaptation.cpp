@@ -5,6 +5,11 @@
 
 namespace ert::core {
 
+AdaptThresholds adaptation_thresholds(double capacity, double gamma_l) {
+  assert(capacity > 0.0 && gamma_l >= 1.0);
+  return {gamma_l * capacity, capacity / gamma_l};
+}
+
 AdaptDecision decide_adaptation(double load, double capacity, double gamma_l,
                                 double mu) {
   assert(capacity > 0.0 && gamma_l >= 1.0 && mu > 0.0);

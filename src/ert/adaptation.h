@@ -23,6 +23,16 @@ struct AdaptDecision {
   int delta = 0;  ///< number of inlinks to shed or grow (>= 1 when acting).
 };
 
+/// The load window Algorithm 3 keeps a node inside, in load units:
+/// shed above `shed_above` = gamma_l * c, grow below `grow_below` =
+/// c / gamma_l. Exposed so the invariant auditor and tests can state the
+/// Theorem 3.2 window with the exact thresholds the decision uses.
+struct AdaptThresholds {
+  double shed_above = 0.0;
+  double grow_below = 0.0;
+};
+AdaptThresholds adaptation_thresholds(double capacity, double gamma_l);
+
 /// Pure decision function; `load` and `capacity` are in the same unit.
 AdaptDecision decide_adaptation(double load, double capacity, double gamma_l,
                                 double mu);

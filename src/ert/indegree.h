@@ -22,6 +22,10 @@ class IndegreeBudget {
 
   int indegree() const { return degree_; }
   int max_indegree() const { return max_; }
+  double reservation_beta() const { return beta_; }
+  /// Spare acceptance capacity d_inf - d (may be negative when emergency
+  /// repairs bypassed the budget to keep the network routable).
+  int spare() const { return max_ - degree_; }
 
   /// Initial target = beta * d_inf, at least 1 (Sec. 3.2).
   int initial_target() const;
@@ -39,6 +43,16 @@ class IndegreeBudget {
     if (degree_ > 0) --degree_;
   }
 
+  /// Records a link accepted while no spare capacity was left — the
+  /// emergency build/repair fallbacks (link with respect_budget=false)
+  /// that keep the network routable. Monotonic, never decremented: the
+  /// auditable inlink bound is d <= d_inf + forced_accepts(), which is
+  /// inductive under budgeted adds (need spare >= 1), removals, shedding
+  /// (bound and degree fall together), and growth (every raise is backed
+  /// by gained inlinks).
+  void on_forced_inlink() { ++forced_; }
+  int forced_accepts() const { return forced_; }
+
   /// Periodic adaptation side effects on the bound (Sec. 3.3): shedding
   /// k inlinks also lowers d_inf by k; growing raises it. The bound never
   /// drops below 1.
@@ -48,6 +62,7 @@ class IndegreeBudget {
  private:
   int max_ = 1;
   int degree_ = 0;
+  int forced_ = 0;
   double beta_ = 0.8;
 };
 

@@ -45,6 +45,11 @@ class LoadTracker {
 
   std::size_t period_arrivals() const { return period_arrivals_; }
 
+  /// Peak queue length within the current (unfinished) adaptation period;
+  /// exposed so the invariant auditor can relate the adaptation decision to
+  /// the load that drove it without ending the period.
+  std::size_t period_peak() const { return period_peak_; }
+
   /// Congestion rate g = queue length / slots (slots > 0).
   double congestion(int slots) const {
     return static_cast<double>(queue_len_) / static_cast<double>(slots);

@@ -1,0 +1,103 @@
+#include "harness/auditor.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "ert/capacity.h"
+#include "harness/substrate.h"
+
+namespace ert::harness {
+
+std::string to_string(const InvariantViolation& v) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "t=%.3f %s node=%zu observed=%g bound=%g%s%s", v.time,
+                v.invariant.c_str(), static_cast<std::size_t>(v.node),
+                v.observed, v.bound, v.detail.empty() ? "" : " ",
+                v.detail.c_str());
+  return buf;
+}
+
+void InvariantAuditor::report(const char* invariant, dht::NodeIndex node,
+                              double observed, double bound,
+                              std::string detail) {
+  ++total_;
+  if (records_.size() >= opts_.max_records) return;
+  InvariantViolation v;
+  v.time = now_;
+  v.invariant = invariant;
+  v.node = node;
+  v.observed = observed;
+  v.bound = bound;
+  v.detail = std::move(detail);
+  records_.push_back(std::move(v));
+}
+
+void InvariantAuditor::expect_le(const char* invariant, dht::NodeIndex node,
+                                 double observed, double bound,
+                                 const char* what) {
+  if (observed <= bound) return;
+  report(invariant, node, observed, bound, what);
+}
+
+void InvariantAuditor::expect_eq(const char* invariant, dht::NodeIndex node,
+                                 double observed, double bound,
+                                 const char* what) {
+  if (observed == bound) return;
+  report(invariant, node, observed, bound, what);
+}
+
+void audit_substrate(InvariantAuditor& auditor, SubstrateOps& sub,
+                     bool bounds_enforced, bool adaptive, double alpha,
+                     double gamma_c,
+                     const std::function<double(dht::NodeIndex)>& capacity_of) {
+  const std::size_t slack = auditor.options().indegree_slack;
+  for (dht::NodeIndex v = 0; v < sub.num_slots(); ++v) {
+    if (!sub.alive(v)) continue;
+
+    const LinkAuditCounts links = sub.audit_links(v);
+    auditor.expect_eq("links.symmetry", v,
+                      static_cast<double>(links.missing_backward), 0.0,
+                      "outlink without matching backward finger");
+    auditor.expect_eq("links.symmetry", v,
+                      static_cast<double>(links.missing_forward), 0.0,
+                      "backward finger without matching outlink");
+
+    const auto& budget = sub.budget(v);
+    const double d = static_cast<double>(links.inlinks);
+    auditor.expect_eq("indegree.budget-sync", v,
+                      static_cast<double>(budget.indegree()), d,
+                      "budget degree vs backward-finger count");
+
+    if (!bounds_enforced) continue;
+    const double dinf = budget.max_indegree();
+    auditor.expect_le("indegree.bound-floor", v, 1.0, dinf,
+                      "d_inf fell below 1");
+    // Every inlink beyond d_inf must be accounted for by an emergency
+    // accept (link with respect_budget=false): d <= d_inf + forced.
+    auditor.expect_le(
+        "indegree.bound", v, d,
+        dinf + static_cast<double>(budget.forced_accepts()) +
+            static_cast<double>(slack),
+        "inlinks exceed d_inf + emergency accepts");
+    // Theorem 3.1: d_inf was assigned as floor(0.5 + alpha * c_est) with
+    // c_est <= gamma_c * c-hat, so it can never exceed the gamma_c-inflated
+    // capacity bound. Under adaptation (Theorem 3.2) the bound moves, but
+    // every raise is backed by really-gained inlinks and every shed lowers
+    // it by exactly the links lost, so the bound-over-degree gap never
+    // grows past the initial assignment's: d_inf <= d + theorem31 bound.
+    const double d31 = static_cast<double>(
+        core::max_indegree(alpha, gamma_c * capacity_of(v)));
+    if (adaptive) {
+      auditor.expect_le("theorem3.2", v, dinf, d + d31,
+                        "adapted d_inf outgrew its capacity window");
+    } else {
+      auditor.expect_le("theorem3.1", v, dinf, d31,
+                        "initial d_inf exceeds alpha*gamma_c*c-hat");
+    }
+  }
+  // Structural self-check (assert-based; no-op under NDEBUG).
+  sub.check_structure();
+}
+
+}  // namespace ert::harness

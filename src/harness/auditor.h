@@ -1,0 +1,121 @@
+// Continuous invariant auditing for the experiment engine.
+//
+// The paper's central claims are *provable bounds*: Theorem 3.1 bounds the
+// indegree a node accepts at assignment time by its (estimated) capacity,
+// and Theorem 3.2 keeps the adapted indegree inside a capacity window.
+// This auditor turns those theorems — plus the structural invariants every
+// substrate must maintain — into executable checks that run on the
+// simulator clock, every adaptation period, over all live nodes:
+//
+//   indegree.budget-sync   backward-finger count == budget's indegree
+//   indegree.bound         elastic inlinks <= d_inf + forced accepts:
+//                          build/repair may bypass the budget to keep the
+//                          network routable (link with
+//                          respect_budget=false), and every such accept is
+//                          counted, so any excess over d_inf must be
+//                          backed by one — see docs/FAULTS.md
+//   indegree.bound-floor   d_inf >= 1 (Sec. 3.3: the bound never drops
+//                          below one, keys must stay reachable)
+//   theorem3.1             static-bound protocols (ERT/F, NS): d_inf <=
+//                          floor(0.5 + alpha * gamma_c * c-hat)
+//   theorem3.2             adaptive protocols (ERT/A, ERT/AF): d_inf <=
+//                          d + floor(0.5 + alpha * gamma_c * c-hat); the
+//                          bound-over-degree gap never exceeds the initial
+//                          assignment's, so growth is always backed by
+//                          real inlinks (the executable form of the
+//                          theorem's capacity window)
+//   links.symmetry         every outlink candidate is mirrored by a
+//                          backward finger at its target and vice versa
+//   queue.consistency      LoadTracker queue length == waiting + in
+//                          service at the engine's queues
+//
+// Violations are recorded as structured records (first-violation time,
+// node, bound, observed value) that `ertsim --audit` prints and tests
+// consume; the sweep never mutates the network, so enabling the auditor
+// leaves results bit-identical.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "dht/types.h"
+
+namespace ert::harness {
+
+class SubstrateOps;
+
+struct AuditorOptions {
+  bool enabled = false;
+  /// Sweep period in seconds; 0 means "use the adaptation period T".
+  double period = 0.0;
+  /// Cap on stored violation records (counters keep counting past it).
+  std::size_t max_records = 256;
+  /// Inlinks over d_inf tolerated before indegree.bound fires. Emergency
+  /// repairs (link with respect_budget=false) may overshoot the budget to
+  /// keep a partition-free table; 0 makes the check strict.
+  std::size_t indegree_slack = 0;
+};
+
+/// One invariant violation, first observed at `time`.
+struct InvariantViolation {
+  double time = 0.0;
+  std::string invariant;  ///< e.g. "theorem3.2", "links.symmetry".
+  dht::NodeIndex node = dht::kNoNode;  ///< overlay node (or real id).
+  double observed = 0.0;
+  double bound = 0.0;
+  std::string detail;
+};
+
+std::string to_string(const InvariantViolation& v);
+
+class InvariantAuditor {
+ public:
+  explicit InvariantAuditor(AuditorOptions opts) : opts_(opts) {}
+
+  const AuditorOptions& options() const { return opts_; }
+
+  void begin_sweep(double time) {
+    now_ = time;
+    ++sweeps_;
+  }
+
+  /// Records a violation (subject to the record cap).
+  void report(const char* invariant, dht::NodeIndex node, double observed,
+              double bound, std::string detail = {});
+
+  /// observed <= bound, else a violation.
+  void expect_le(const char* invariant, dht::NodeIndex node, double observed,
+                 double bound, const char* what = "");
+
+  /// observed == bound, else a violation.
+  void expect_eq(const char* invariant, dht::NodeIndex node, double observed,
+                 double bound, const char* what = "");
+
+  std::size_t sweeps() const { return sweeps_; }
+  std::size_t total_violations() const { return total_; }
+  bool clean() const { return total_ == 0; }
+  const std::vector<InvariantViolation>& records() const { return records_; }
+
+ private:
+  AuditorOptions opts_;
+  double now_ = 0.0;
+  std::size_t sweeps_ = 0;
+  std::size_t total_ = 0;
+  std::vector<InvariantViolation> records_;
+};
+
+/// Sweeps every live overlay node of `sub`, checking budget consistency,
+/// link symmetry, and the theorem bound windows. `capacity_of` maps an
+/// overlay node to the normalized capacity of its physical host;
+/// `bounds_enforced` / `adaptive` select which theorem applies (Base/VS
+/// enforce no bound, ERT/F and NS keep the initial one, ERT/A and ERT/AF
+/// adapt it). Also runs the overlay's own check_invariants() (assert-based,
+/// active in Debug/sanitizer builds).
+void audit_substrate(InvariantAuditor& auditor, SubstrateOps& sub,
+                     bool bounds_enforced, bool adaptive, double alpha,
+                     double gamma_c,
+                     const std::function<double(dht::NodeIndex)>& capacity_of);
+
+}  // namespace ert::harness

@@ -45,8 +45,8 @@ struct Query {
   std::vector<NodeIndex> overloaded;  ///< the A set of Algorithm 4.
   bool done = false;
   bool returning = false;  ///< data-forwarding mode: response leg.
+  bool fault_hit = false;  ///< saw an injected fault (drop/crash) en route.
   std::vector<NodeIndex> path;  ///< recorded when data forwarding is on.
-  sim::EventHandle service;  ///< pending completion (for churn relocation).
 };
 
 /// Per physical node queueing and accounting state.
@@ -65,15 +65,28 @@ struct RealNode {
   double peak_congestion = 0.0;
   int grow_backoff = 0;  ///< expansion backoff after fruitless probes.
   int grow_wait = 0;
+  /// Pending completion of the single FIFO server (cancelled when the node
+  /// departs or crashes with a query in service). Node-level rather than
+  /// per-query: under message duplication one query id can be in service at
+  /// two nodes at once, and each node must only ever cancel its own event.
+  sim::EventHandle service_ev;
 };
 
 class Engine {
  public:
-  Engine(const SimParams& params, Protocol proto, SubstrateKind substrate)
+  Engine(const SimParams& params, Protocol proto, SubstrateKind substrate,
+         const ExperimentOptions& options)
       : params_(params),
         proto_(proto),
         kind_(substrate),
-        rng_(params.seed) {}
+        rng_(params.seed) {
+    // The injector owns dedicated Rng streams; with an all-zero plan the
+    // run consumes exactly the same workload randomness as a plain run.
+    if (options.faults.enabled())
+      faults_ = std::make_unique<FaultInjector>(options.faults, params.seed);
+    if (options.audit.enabled)
+      auditor_ = std::make_unique<InvariantAuditor>(options.audit);
+  }
 
   ExperimentResult run() {
     build_network();
@@ -97,6 +110,11 @@ class Engine {
     if (uses_adaptation(proto_)) schedule_adaptation();
     if (params_.churn_interarrival > 0) schedule_churn();
     if (params_.trace_timeline) schedule_trace();
+    if (faults_) schedule_crash_waves();
+    // Scheduled after adaptation so an audit tick at the same timestamp
+    // observes the post-adaptation state (same-time events fire in
+    // scheduling order).
+    if (auditor_) schedule_audit();
     sim_.run();
     return finalize();
   }
@@ -243,6 +261,10 @@ class Engine {
 
   void arrive(std::size_t qid, NodeIndex v) {
     Query& q = queries_[qid];
+    // Under duplication one query can have several copies in flight; once
+    // any copy finishes (or the lookup is failed), the stragglers evaporate
+    // here. Fault-free runs never take this branch.
+    if (q.done) return;
     if (!substrate_->alive(v)) {
       // The node died while the query was in flight: timeout, then hand the
       // query to the dead node's ring successor.
@@ -282,7 +304,7 @@ class Engine {
     const double base = is_heavy(r) ? params_.heavy_service_time
                                     : params_.light_service_time;
     const double service = base / rn.cap;
-    queries_[qid].service =
+    rn.service_ev =
         sim_.schedule(service, [this, r, qid] { complete_service(r, qid); });
   }
 
@@ -296,10 +318,54 @@ class Engine {
       rn.waiting.pop_front();
       begin_service(r, next_qid);
     }
+    if (queries_[qid].done) return;  // duplicate copy of a finished lookup
     if (queries_[qid].returning) {
       forward_response(qid);
     } else {
       forward(qid);
+    }
+  }
+
+  // --- message transport (fault-injection aware) -------------------------------
+
+  /// Sends one inter-node hop. Fault-free (and zero-probability-plan) runs
+  /// take a single schedule at `latency` — the exact pre-fault-layer path.
+  /// Under a message-fault plan the hop may be dropped (the sender detects
+  /// the loss after a backoff timeout and retransmits until the retry
+  /// budget runs out), delayed, or duplicated (delivery is at-least-once;
+  /// Query::done absorbs the extra copies).
+  void send_hop(std::size_t qid, NodeIndex to, double latency) {
+    if (!faults_ || !faults_->plan().message_faults()) {
+      sim_.schedule(latency, [this, qid, to] { arrive(qid, to); });
+      return;
+    }
+    attempt_send(qid, to, latency, 0);
+  }
+
+  void attempt_send(std::size_t qid, NodeIndex to, double latency,
+                    int attempt) {
+    Query& q = queries_[qid];
+    if (q.done) return;
+    const MessageFate f = faults_->fate();
+    if (f.dropped) {
+      ++fstats_.timed_out;
+      q.fault_hit = true;
+      if (faults_->retries_exhausted(attempt + 1)) {
+        fail_lookup_fault(qid);
+        return;
+      }
+      ++fstats_.retried;
+      sim_.schedule(faults_->retry_delay(attempt),
+                    [this, qid, to, latency, attempt] {
+                      attempt_send(qid, to, latency, attempt + 1);
+                    });
+      return;
+    }
+    sim_.schedule(latency + f.extra_delay,
+                  [this, qid, to] { arrive(qid, to); });
+    if (f.duplicated) {
+      sim_.schedule(latency + f.extra_delay + f.dup_extra_delay,
+                    [this, qid, to] { arrive(qid, to); });
     }
   }
 
@@ -363,7 +429,7 @@ class Engine {
       const double latency = prox_.latency(real_of(v), real_of(next)) +
                              q.penalty + params_.probe_cost * probes;
       q.penalty = 0.0;
-      sim_.schedule(latency, [this, qid, next] { arrive(qid, next); });
+      send_hop(qid, next, latency);
       return;
     }
     drop_lookup(qid);
@@ -386,7 +452,7 @@ class Engine {
     q.path.pop_back();
     ++q.hops;
     const double latency = prox_.latency(real_of(q.cur), real_of(next));
-    sim_.schedule(latency, [this, qid, next] { arrive(qid, next); });
+    send_hop(qid, next, latency);
   }
 
   NodeIndex select_next(std::size_t qid, NodeIndex v, const HopStep& step,
@@ -451,6 +517,7 @@ class Engine {
     Query& q = queries_[qid];
     if (q.done) return;
     q.done = true;
+    if (q.fault_hit) ++fstats_.recovered;
     metrics::LookupRecord rec;
     rec.latency = sim_.now() - q.start_time;
     rec.path_len = q.hops;
@@ -458,13 +525,36 @@ class Engine {
     rec.timeouts = q.timeouts;
     lookups_.add(rec);
     ++completed_;
+    on_lookup_settled();
   }
 
+  /// Once the workload is fully settled, cancel the pending audit tick so
+  /// the sweep chain never extends the simulated clock past the last
+  /// workload event (audited runs stay bit-identical, sim_duration
+  /// included).
+  void on_lookup_settled() {
+    if (auditor_ && done()) audit_ev_.cancel();
+  }
+
+  /// Routing-capacity failure (hop budget exhausted, no candidate left):
+  /// the Figure-4 congestion path.
   void drop_lookup(std::size_t qid) {
     Query& q = queries_[qid];
     if (q.done) return;
     q.done = true;
+    ++dropped_overload_;
     ++dropped_;
+    on_lookup_settled();
+  }
+
+  /// Fault-layer failure: a hop's retransmit budget was exhausted.
+  void fail_lookup_fault(std::size_t qid) {
+    Query& q = queries_[qid];
+    if (q.done) return;
+    q.done = true;
+    ++dropped_fault_;
+    ++dropped_;
+    on_lookup_settled();
   }
 
   void schedule_zipf_drift() {
@@ -497,10 +587,16 @@ class Engine {
       auto& budget = substrate_->budget(v);
       if (dec.action == core::AdaptAction::kShed) {
         // Lower the bound first so the hosts' repairs do not immediately
-        // re-adopt this overloaded node.
+        // re-adopt this overloaded node, then settle it at exactly
+        // old_bound - shed. (Raising back by the un-shed remainder would
+        // overshoot the old bound whenever lower_bound_by saturated at its
+        // floor of 1 — an overloaded node must never end a shed with a
+        // *higher* bound than it started with.)
+        const int before = budget.max_indegree();
         budget.lower_bound_by(dec.delta);
         const int shed = substrate_->shed_indegree(v, dec.delta);
-        if (shed < dec.delta) budget.raise_bound_by(dec.delta - shed);
+        const int target = std::max(1, before - shed);
+        budget.raise_bound_by(target - budget.max_indegree());
         rn.grow_backoff = 0;  // shedding frees hosts: growth may work again
         rn.grow_wait = 0;
       } else if (dec.action == core::AdaptAction::kGrow) {
@@ -648,7 +744,7 @@ class Engine {
     return n;
   }
 
-  void depart_real(std::size_t r) {
+  void depart_real(std::size_t r, bool crash = false) {
     RealNode& rn = reals_[r];
     rn.alive = false;
     // Silent failure: stale links remain and are discovered via timeouts.
@@ -658,18 +754,16 @@ class Engine {
       if (overlay_of_real_[r] != dht::kNoNode)
         substrate_->fail(overlay_of_real_[r]);
     }
-    relocate_queries_from(r);
+    relocate_queries_from(r, crash);
   }
 
-  void relocate_queries_from(std::size_t r) {
+  void relocate_queries_from(std::size_t r, bool crash) {
     RealNode& rn = reals_[r];
+    rn.service_ev.cancel();
     std::vector<std::size_t> displaced;
     displaced.reserve(rn.waiting.size() + rn.serving.size());
     for (std::size_t qid : rn.waiting) displaced.push_back(qid);
-    for (std::size_t qid : rn.serving) {
-      queries_[qid].service.cancel();
-      displaced.push_back(qid);
-    }
+    for (std::size_t qid : rn.serving) displaced.push_back(qid);
     rn.waiting.clear();
     rn.serving.clear();
     rn.in_service = 0;
@@ -679,10 +773,74 @@ class Engine {
       if (q.done) continue;
       ++q.timeouts;
       ++q.hops;
+      if (crash) {
+        // Injected crash: the loss counts against the fault layer.
+        q.fault_hit = true;
+        ++fstats_.timed_out;
+      }
       const NodeIndex sub = substrate_->live_successor(q.cur);
       sim_.schedule(params_.timeout_penalty,
                     [this, qid, sub] { arrive(qid, sub); });
     }
+  }
+
+  // --- crash waves (FaultPlan schedule) --------------------------------------------
+
+  void schedule_crash_waves() {
+    // run() schedules these at t = 0, so the delay is the absolute time.
+    for (const CrashWave& wave : faults_->plan().crash_waves) {
+      sim_.schedule(wave.time,
+                    [this, count = wave.count] { crash_wave(count); });
+    }
+  }
+
+  void crash_wave(std::size_t count) {
+    if (done()) return;
+    Rng& rng = faults_->crash_rng();
+    for (std::size_t k = 0; k < count; ++k) {
+      // Same survival floor as churn so the network stays routable.
+      if (alive_reals() <= std::max<std::size_t>(16, params_.num_nodes / 4))
+        return;
+      for (int tries = 0; tries < 256; ++tries) {
+        const std::size_t r = rng.index(reals_.size());
+        if (!reals_[r].alive) continue;
+        ++fstats_.crashed_nodes;
+        depart_real(r, /*crash=*/true);
+        break;
+      }
+    }
+  }
+
+  // --- continuous invariant auditing (docs/FAULTS.md) ------------------------------
+
+  void schedule_audit() {
+    if (done()) return;
+    const double period = auditor_->options().period > 0.0
+                              ? auditor_->options().period
+                              : params_.adapt_period;
+    audit_ev_ = sim_.schedule(period, [this] {
+      audit_sweep();
+      schedule_audit();
+    });
+  }
+
+  void audit_sweep() {
+    auditor_->begin_sweep(sim_.now());
+    // Engine-level queue.consistency: the LoadTracker's queue length must
+    // equal what the engine's queues actually hold for every alive node.
+    for (std::size_t r = 0; r < reals_.size(); ++r) {
+      const RealNode& rn = reals_[r];
+      if (!rn.alive) continue;
+      auditor_->expect_eq(
+          "queue.consistency", static_cast<NodeIndex>(r),
+          static_cast<double>(rn.tracker.queue_length()),
+          static_cast<double>(rn.waiting.size() + rn.in_service),
+          "LoadTracker queue vs waiting + in-service");
+    }
+    const bool bounds = proto_ == Protocol::kNS || is_ert(proto_);
+    audit_substrate(*auditor_, *substrate_, bounds, uses_adaptation(proto_),
+                    params_.alpha(), params_.gamma_c,
+                    [this](NodeIndex v) { return reals_[real_of(v)].cap; });
   }
 
   // --- results -----------------------------------------------------------------------
@@ -718,8 +876,16 @@ class Engine {
     res.timeline = std::move(timeline_);
     res.completed_lookups = completed_;
     res.dropped_lookups = dropped_;
+    res.dropped_overload = dropped_overload_;
+    res.dropped_fault = dropped_fault_;
     res.sim_duration = sim_.now();
     res.final_nodes = alive_reals();
+    res.faults = fstats_;
+    if (auditor_) {
+      res.audit_sweeps = auditor_->sweeps();
+      res.audit_violations = auditor_->total_violations();
+      res.audit_records = auditor_->records();
+    }
     return res;
   }
 
@@ -743,15 +909,27 @@ class Engine {
   std::unique_ptr<metrics::DegreeTracker> degrees_;
   std::size_t issued_ = 0;
   std::size_t completed_ = 0;
-  std::size_t dropped_ = 0;
+  std::size_t dropped_ = 0;  ///< dropped_overload_ + dropped_fault_.
+  std::size_t dropped_overload_ = 0;
+  std::size_t dropped_fault_ = 0;
+  std::unique_ptr<FaultInjector> faults_;    ///< null in fault-free runs.
+  std::unique_ptr<InvariantAuditor> auditor_;  ///< null unless audit.enabled.
+  sim::EventHandle audit_ev_;  ///< pending sweep, cancelled on settle.
+  metrics::FaultCounters fstats_;
 };
 
 }  // namespace
 
 ExperimentResult run_experiment(const SimParams& params, Protocol protocol,
-                                SubstrateKind substrate) {
-  Engine engine(params, protocol, substrate);
+                                SubstrateKind substrate,
+                                const ExperimentOptions& options) {
+  Engine engine(params, protocol, substrate, options);
   return engine.run();
+}
+
+ExperimentResult run_experiment(const SimParams& params, Protocol protocol,
+                                SubstrateKind substrate) {
+  return run_experiment(params, protocol, substrate, ExperimentOptions{});
 }
 
 ExperimentResult run_experiment(const SimParams& params, Protocol protocol) {
@@ -770,6 +948,8 @@ ExperimentResult reduce_in_seed_order(const std::vector<ExperimentResult>& runs)
   const double w = 1.0 / static_cast<double>(runs.size());
   ExperimentResult acc;
   double heavy = 0.0, completed = 0.0, dropped = 0.0;
+  double d_overload = 0.0, d_fault = 0.0;
+  double timed_out = 0.0, retried = 0.0, recovered = 0.0, crashed = 0.0;
   for (const ExperimentResult& r : runs) {
     acc.p99_max_congestion += w * r.p99_max_congestion;
     acc.mean_max_congestion += w * r.mean_max_congestion;
@@ -789,12 +969,30 @@ ExperimentResult reduce_in_seed_order(const std::vector<ExperimentResult>& runs)
     acc.max_outdegree.p99 += w * r.max_outdegree.p99;
     completed += w * static_cast<double>(r.completed_lookups);
     dropped += w * static_cast<double>(r.dropped_lookups);
+    d_overload += w * static_cast<double>(r.dropped_overload);
+    d_fault += w * static_cast<double>(r.dropped_fault);
+    timed_out += w * static_cast<double>(r.faults.timed_out);
+    retried += w * static_cast<double>(r.faults.retried);
+    recovered += w * static_cast<double>(r.faults.recovered);
+    crashed += w * static_cast<double>(r.faults.crashed_nodes);
     acc.sim_duration += w * r.sim_duration;
     acc.final_nodes = r.final_nodes;
+    // Audit output sums (not averages): sweeps and violations are totals
+    // across seeds, and records concatenate in seed order.
+    acc.audit_sweeps += r.audit_sweeps;
+    acc.audit_violations += r.audit_violations;
+    acc.audit_records.insert(acc.audit_records.end(), r.audit_records.begin(),
+                             r.audit_records.end());
   }
   acc.heavy_encounters = static_cast<std::size_t>(std::llround(heavy));
   acc.completed_lookups = static_cast<std::size_t>(std::llround(completed));
   acc.dropped_lookups = static_cast<std::size_t>(std::llround(dropped));
+  acc.dropped_overload = static_cast<std::size_t>(std::llround(d_overload));
+  acc.dropped_fault = static_cast<std::size_t>(std::llround(d_fault));
+  acc.faults.timed_out = static_cast<std::size_t>(std::llround(timed_out));
+  acc.faults.retried = static_cast<std::size_t>(std::llround(retried));
+  acc.faults.recovered = static_cast<std::size_t>(std::llround(recovered));
+  acc.faults.crashed_nodes = static_cast<std::size_t>(std::llround(crashed));
   return acc;
 }
 
@@ -819,7 +1017,7 @@ std::vector<ExperimentResult> run_sweep(const std::vector<SweepJob>& jobs,
     SimParams p = job.params;
     p.seed = job.params.seed + static_cast<std::uint64_t>(u.seed_offset);
     runs[u.job][static_cast<std::size_t>(u.seed_offset)] =
-        run_experiment(p, job.protocol, job.substrate);
+        run_experiment(p, job.protocol, job.substrate, job.options);
   });
   std::vector<ExperimentResult> out;
   out.reserve(jobs.size());
@@ -828,15 +1026,23 @@ std::vector<ExperimentResult> run_sweep(const std::vector<SweepJob>& jobs,
 }
 
 ExperimentResult run_averaged(const SimParams& params, Protocol protocol,
-                              int seeds, SubstrateKind substrate,
-                              int threads) {
+                              int seeds, SubstrateKind substrate, int threads,
+                              const ExperimentOptions& options) {
   assert(seeds >= 1);
   SweepJob job;
   job.params = params;
   job.protocol = protocol;
   job.substrate = substrate;
   job.seeds = seeds;
+  job.options = options;
   return run_sweep({job}, threads).front();
+}
+
+ExperimentResult run_averaged(const SimParams& params, Protocol protocol,
+                              int seeds, SubstrateKind substrate,
+                              int threads) {
+  return run_averaged(params, protocol, seeds, substrate, threads,
+                      ExperimentOptions{});
 }
 
 ExperimentResult run_averaged(const SimParams& params, Protocol protocol,

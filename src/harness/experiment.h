@@ -8,10 +8,22 @@
 
 #include "common/config.h"
 #include "common/stats.h"
+#include "harness/auditor.h"
+#include "harness/faults.h"
 #include "harness/protocol.h"
 #include "harness/substrate.h"
+#include "metrics/metrics.h"
 
 namespace ert::harness {
+
+/// Optional per-run machinery: fault injection (docs/FAULTS.md) and the
+/// continuous invariant auditor. Default-constructed options change nothing:
+/// an empty FaultPlan and a disabled auditor leave every run bit-identical
+/// to the plain run_experiment path.
+struct ExperimentOptions {
+  FaultPlan faults;
+  AuditorOptions audit;
+};
 
 struct ExperimentResult {
   // Congestion (Fig. 4a/4b, 9a): per-node peak congestion g = queue/slots.
@@ -47,16 +59,37 @@ struct ExperimentResult {
 
   // Bookkeeping.
   std::size_t completed_lookups = 0;
+  /// Total drops = dropped_overload + dropped_fault (kept as the sum so
+  /// existing consumers keep reading one number).
   std::size_t dropped_lookups = 0;
+  /// Routing-capacity drops: hop budget exhausted or no candidate left.
+  /// This is the Figure-4 congestion path; injected faults never land here.
+  std::size_t dropped_overload = 0;
+  /// Lookups failed by the fault layer: a hop's retries were exhausted.
+  std::size_t dropped_fault = 0;
   double sim_duration = 0.0;
   std::size_t final_nodes = 0;  ///< real nodes alive at the end.
+
+  // Fault-injection accounting (zero in fault-free runs).
+  metrics::FaultCounters faults;
+
+  // Invariant-audit report (empty unless options.audit.enabled). Under
+  // run_averaged / run_sweep, sweeps and violations sum over seeds and
+  // records concatenate in seed order.
+  std::size_t audit_sweeps = 0;
+  std::size_t audit_violations = 0;
+  std::vector<InvariantViolation> audit_records;
 };
 
 /// Runs one simulation. Deterministic for a given (params.seed, protocol,
-/// substrate). VS and NS require the Cycloid substrate.
+/// substrate, options) — including faulted runs: the fault stream has its
+/// own seeded Rng. VS and NS require the Cycloid substrate.
 ExperimentResult run_experiment(const SimParams& params, Protocol protocol);
 ExperimentResult run_experiment(const SimParams& params, Protocol protocol,
                                 SubstrateKind substrate);
+ExperimentResult run_experiment(const SimParams& params, Protocol protocol,
+                                SubstrateKind substrate,
+                                const ExperimentOptions& options);
 
 /// Averages scalar metrics over `seeds` runs with seeds params.seed,
 /// params.seed + 1, ... (percentile summaries are averaged element-wise;
@@ -71,6 +104,9 @@ ExperimentResult run_averaged(const SimParams& params, Protocol protocol,
 ExperimentResult run_averaged(const SimParams& params, Protocol protocol,
                               int seeds, SubstrateKind substrate,
                               int threads = 0);
+ExperimentResult run_averaged(const SimParams& params, Protocol protocol,
+                              int seeds, SubstrateKind substrate, int threads,
+                              const ExperimentOptions& options);
 
 /// One point of a parameter sweep: an averaged experiment.
 struct SweepJob {
@@ -78,6 +114,7 @@ struct SweepJob {
   Protocol protocol = Protocol::kErtAF;
   SubstrateKind substrate = SubstrateKind::kCycloid;
   int seeds = 1;
+  ExperimentOptions options;  ///< per-job fault plan + audit config.
 };
 
 /// Runs every job (each averaged over its seeds) and returns results in job

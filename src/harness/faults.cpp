@@ -1,0 +1,44 @@
+#include "harness/faults.h"
+
+#include <cmath>
+
+namespace ert::harness {
+
+namespace {
+// Domain-separation constants so the message and crash streams differ from
+// each other and from the engine's workload stream for the same seed.
+constexpr std::uint64_t kMessageStream = 0xFA17F00DDEADBEEFull;
+constexpr std::uint64_t kCrashStream = 0xC4A5511FEEDFACEull;
+}  // namespace
+
+FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t seed)
+    : plan_(plan),
+      rng_(seed ^ kMessageStream),
+      crash_rng_(seed ^ kCrashStream) {}
+
+MessageFate FaultInjector::fate() {
+  ++messages_;
+  MessageFate f;
+  // Fixed draw order (drop, delay, dup) with one uniform per enabled fault
+  // class: the stream is a pure function of (plan, seed, call index).
+  if (plan_.drop_prob > 0.0 && rng_.uniform() < plan_.drop_prob) {
+    f.dropped = true;
+    ++drops_;
+    return f;
+  }
+  if (plan_.delay_prob > 0.0 && rng_.uniform() < plan_.delay_prob) {
+    f.extra_delay = rng_.uniform(0.0, plan_.delay_max);
+  }
+  if (plan_.dup_prob > 0.0 && rng_.uniform() < plan_.dup_prob) {
+    f.duplicated = true;
+    f.dup_extra_delay = rng_.uniform(0.0, plan_.dup_delay);
+    ++duplicates_;
+  }
+  return f;
+}
+
+double FaultInjector::retry_delay(int attempt) const {
+  return plan_.retry_timeout * std::pow(plan_.retry_backoff, attempt);
+}
+
+}  // namespace ert::harness

@@ -1,0 +1,105 @@
+// Fault-injection layer for the experiment engine.
+//
+// The paper's bounds (Theorems 3.1/3.2) are stated for a running network,
+// but DHTs live in the regime of message loss and node failure (cf. the
+// self-stabilization literature around CONE-DHT and the Kademlia analyses
+// of routing under imperfect tables). A FaultPlan describes per-message
+// drop / delay / duplication probabilities and a schedule of crash waves;
+// the FaultInjector turns it into a deterministic per-run fault stream:
+// every decision is drawn from a dedicated Rng seeded from the experiment
+// seed, so a faulted run is bit-identical for a fixed seed regardless of
+// the harness thread count (seeds fan out across threads, each run is
+// single-threaded).
+//
+// The engine reacts to injected loss with a query timeout plus bounded
+// retry under exponential backoff, counting timed_out / retried /
+// recovered (see metrics::FaultCounters).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace ert::harness {
+
+/// One crash wave: at simulated time `time`, `count` random alive nodes
+/// fail silently (stale links remain; queued and in-service queries at the
+/// crashed node experience the loss and are retried via its successor).
+struct CrashWave {
+  double time = 0.0;
+  std::size_t count = 0;
+};
+
+/// Declarative fault model for one experiment run.
+struct FaultPlan {
+  // --- per-message faults (applied to every inter-node hop) ---
+  double drop_prob = 0.0;   ///< P[message lost in transit].
+  double delay_prob = 0.0;  ///< P[message delayed beyond its latency].
+  double delay_max = 0.5;   ///< extra delay ~ U[0, delay_max] seconds.
+  double dup_prob = 0.0;    ///< P[message delivered twice].
+  double dup_delay = 0.05;  ///< duplicate trails by ~ U[0, dup_delay] s.
+
+  // --- node-crash schedule ---
+  std::vector<CrashWave> crash_waves;
+
+  // --- loss recovery (sender-side timeout + bounded retry) ---
+  double retry_timeout = 0.5;  ///< seconds before the first retransmit.
+  int max_retries = 3;         ///< retransmits before the query is failed.
+  double retry_backoff = 2.0;  ///< timeout multiplier per attempt.
+
+  bool message_faults() const {
+    return drop_prob > 0.0 || delay_prob > 0.0 || dup_prob > 0.0;
+  }
+  bool enabled() const { return message_faults() || !crash_waves.empty(); }
+};
+
+/// What the network did to one message.
+struct MessageFate {
+  bool dropped = false;
+  bool duplicated = false;
+  double extra_delay = 0.0;      ///< added to the hop latency.
+  double dup_extra_delay = 0.0;  ///< duplicate's lag behind the original.
+};
+
+/// Deterministic fault stream: the i-th call to fate() returns the same
+/// MessageFate for a given (plan, seed), independent of anything else the
+/// engine does (the injector owns its Rng; the engine's workload Rng is
+/// never touched, so a zeroed plan leaves fault-free runs bit-identical).
+class FaultInjector {
+ public:
+  FaultInjector(FaultPlan plan, std::uint64_t seed);
+
+  /// Fault decision for the next inter-node message.
+  MessageFate fate();
+
+  /// Sender-side retransmit timeout for the given 0-based attempt:
+  /// retry_timeout * retry_backoff^attempt.
+  double retry_delay(int attempt) const;
+
+  /// True when `attempt` retransmits exhaust the plan's retry budget.
+  bool retries_exhausted(int attempt) const {
+    return attempt > plan_.max_retries;
+  }
+
+  const FaultPlan& plan() const { return plan_; }
+
+  /// Rng for crash-victim selection (kept separate from the message
+  /// stream so crash scheduling does not shift message fates).
+  Rng& crash_rng() { return crash_rng_; }
+
+  std::size_t messages() const { return messages_; }
+  std::size_t drops() const { return drops_; }
+  std::size_t duplicates() const { return duplicates_; }
+
+ private:
+  FaultPlan plan_;
+  Rng rng_;
+  Rng crash_rng_;
+  std::size_t messages_ = 0;
+  std::size_t drops_ = 0;
+  std::size_t duplicates_ = 0;
+};
+
+}  // namespace ert::harness

@@ -14,6 +14,29 @@ namespace {
 
 using dht::NodeIndex;
 
+/// Symmetry audit shared by the ring-based overlays (Cycloid, Chord,
+/// Pastry): every live outlink candidate must be mirrored by a backward
+/// finger at its target, every backward finger from a live node by an
+/// outlink at its owner. Stale links to *dead* peers are tolerated — silent
+/// failure (Sec. 5.5) leaves them in place until a timeout discovers them.
+template <typename OverlayT>
+LinkAuditCounts audit_links_ring(const OverlayT& o, NodeIndex i) {
+  LinkAuditCounts a;
+  const auto& n = o.node(i);
+  a.inlinks = n.inlinks.size();
+  for (const auto& e : n.table.entries()) {
+    for (NodeIndex c : e.candidates()) {
+      if (!o.node(c).alive) continue;
+      if (!o.node(c).inlinks.contains(i)) ++a.missing_backward;
+    }
+  }
+  for (const auto& f : n.inlinks.fingers()) {
+    if (!o.node(f.node).alive) continue;
+    if (!o.node(f.node).table.links_to(i)) ++a.missing_forward;
+  }
+  return a;
+}
+
 class CycloidSubstrate final : public SubstrateOps {
  public:
   CycloidSubstrate(const SimParams& params, bool capacity_biased,
@@ -64,6 +87,11 @@ class CycloidSubstrate final : public SubstrateOps {
   void repair_entry(NodeIndex i, std::size_t slot) override {
     if (slot < cycloid::kNumEntries) overlay_->repair_entry(i, slot);
   }
+
+  LinkAuditCounts audit_links(NodeIndex i) const override {
+    return audit_links_ring(*overlay_, i);
+  }
+  void check_structure() const override { overlay_->check_invariants(); }
 
   std::uint64_t key_space() const override { return overlay_->space().size(); }
   NodeIndex responsible(std::uint64_t key) const override {
@@ -158,6 +186,11 @@ class ChordSubstrate final : public SubstrateOps {
     if (slot != kNoSlot) overlay_->repair_entry(i, slot);
   }
 
+  LinkAuditCounts audit_links(NodeIndex i) const override {
+    return audit_links_ring(*overlay_, i);
+  }
+  void check_structure() const override { overlay_->check_invariants(); }
+
   std::uint64_t key_space() const override { return overlay_->ring_size(); }
   NodeIndex responsible(std::uint64_t key) const override {
     return overlay_->responsible(key);
@@ -243,6 +276,11 @@ class PastrySubstrate final : public SubstrateOps {
   void repair_entry(NodeIndex i, std::size_t slot) override {
     if (slot != kNoSlot) overlay_->repair_entry(i, slot);
   }
+
+  LinkAuditCounts audit_links(NodeIndex i) const override {
+    return audit_links_ring(*overlay_, i);
+  }
+  void check_structure() const override { overlay_->check_invariants(); }
 
   std::uint64_t key_space() const override { return overlay_->ring_size(); }
   NodeIndex responsible(std::uint64_t key) const override {
@@ -335,6 +373,30 @@ class CanSubstrate final : public SubstrateOps {
     overlay_->unlink_shortcut(at, dead);
   }
   void repair_entry(NodeIndex, std::size_t) override {}
+
+  LinkAuditCounts audit_links(NodeIndex i) const override {
+    LinkAuditCounts a;
+    const auto& n = overlay_->node(i);
+    a.inlinks = n.inlinks.size();
+    // Zone adjacency must be mutual (the space stays partitioned); elastic
+    // shortcuts mirror through backward fingers like the ring overlays.
+    for (NodeIndex c : n.table.entry(can::kAdjacencyEntry).candidates()) {
+      if (!overlay_->node(c).alive) continue;
+      if (!overlay_->node(c).table.entry(can::kAdjacencyEntry).contains(i))
+        ++a.missing_backward;
+    }
+    for (NodeIndex c : n.table.entry(can::kShortcutEntry).candidates()) {
+      if (!overlay_->node(c).alive) continue;
+      if (!overlay_->node(c).inlinks.contains(i)) ++a.missing_backward;
+    }
+    for (const auto& f : n.inlinks.fingers()) {
+      if (!overlay_->node(f.node).alive) continue;
+      if (!overlay_->node(f.node).table.entry(can::kShortcutEntry).contains(i))
+        ++a.missing_forward;
+    }
+    return a;
+  }
+  void check_structure() const override { overlay_->check_invariants(); }
 
   std::uint64_t key_space() const override { return std::uint64_t{1} << 32; }
   NodeIndex responsible(std::uint64_t key) const override {

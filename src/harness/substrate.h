@@ -54,6 +54,17 @@ struct HopStep {
 
 inline constexpr std::size_t kNoSlot = std::numeric_limits<std::size_t>::max();
 
+/// Per-node link bookkeeping summary for the invariant auditor: the elastic
+/// inlink count (backward fingers) and how many links lack their mirror.
+/// Mandatory symmetric structure (CAN zone adjacency) is folded into the
+/// missing_* counts but not into `inlinks`, which tracks exactly what the
+/// indegree budget governs.
+struct LinkAuditCounts {
+  std::size_t inlinks = 0;           ///< backward fingers (budget-governed).
+  std::size_t missing_backward = 0;  ///< outlinks without a mirror finger.
+  std::size_t missing_forward = 0;   ///< fingers without a mirror outlink.
+};
+
 class SubstrateOps {
  public:
   virtual ~SubstrateOps() = default;
@@ -78,6 +89,14 @@ class SubstrateOps {
   // --- maintenance ---
   virtual void purge_dead(dht::NodeIndex at, dht::NodeIndex dead) = 0;
   virtual void repair_entry(dht::NodeIndex i, std::size_t slot) = 0;
+
+  // --- auditing ---
+  /// Counts `i`'s elastic inlinks and any broken link mirrors (see
+  /// LinkAuditCounts). Read-only; used by the invariant auditor.
+  virtual LinkAuditCounts audit_links(dht::NodeIndex i) const = 0;
+  /// Runs the overlay's own check_invariants() (assert-based; active in
+  /// Debug and sanitizer builds, a no-op under NDEBUG).
+  virtual void check_structure() const = 0;
 
   // --- routing ---
   virtual std::uint64_t key_space() const = 0;

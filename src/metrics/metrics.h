@@ -16,6 +16,23 @@ namespace ert::metrics {
 std::vector<double> compute_shares(const std::vector<double>& load,
                                    const std::vector<double>& capacity);
 
+/// Loss-recovery accounting for faulted runs (docs/FAULTS.md): how often
+/// messages timed out, how many retransmits the bounded-backoff retry path
+/// sent, and how many lookups that hit a fault still completed.
+struct FaultCounters {
+  std::size_t timed_out = 0;  ///< loss detections (message drops + crashes).
+  std::size_t retried = 0;    ///< retransmits sent.
+  std::size_t recovered = 0;  ///< fault-hit lookups that still completed.
+  std::size_t crashed_nodes = 0;  ///< nodes failed by the crash schedule.
+
+  void merge(const FaultCounters& o) {
+    timed_out += o.timed_out;
+    retried += o.retried;
+    recovered += o.recovered;
+    crashed_nodes += o.crashed_nodes;
+  }
+};
+
 /// Per-lookup record.
 struct LookupRecord {
   double latency = 0.0;     ///< initiation -> arrival at owner, seconds.

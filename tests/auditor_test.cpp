@@ -1,0 +1,208 @@
+// Continuous invariant auditing: the full protocol x substrate matrix must
+// be violation-free fault-free, the sweep must never perturb results, and
+// the auditor must stay clean through injected faults once crashed nodes
+// are out of the live set.
+#include "harness/auditor.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "harness/experiment.h"
+
+namespace ert::harness {
+namespace {
+
+SimParams small_params() {
+  SimParams p;
+  p.num_nodes = 256;
+  p.dimension = fit_dimension(256);
+  p.num_lookups = 400;
+  p.lookup_rate = 16.0;
+  p.seed = 5;
+  return p;
+}
+
+std::string violations_text(const ExperimentResult& r) {
+  std::string out;
+  for (const auto& v : r.audit_records) {
+    out += to_string(v);
+    out += '\n';
+  }
+  return out;
+}
+
+// --- auditor unit behavior ---------------------------------------------------
+
+TEST(InvariantAuditorUnit, ExpectationsRecordViolations) {
+  AuditorOptions opts;
+  opts.enabled = true;
+  InvariantAuditor a(opts);
+  a.begin_sweep(3.0);
+  a.expect_le("indegree.bound", 7, 5.0, 9.0);   // holds
+  a.expect_le("indegree.bound", 7, 12.0, 9.0);  // violated
+  a.expect_eq("queue.consistency", 2, 4.0, 4.0);  // holds
+  a.expect_eq("queue.consistency", 2, 4.0, 5.0);  // violated
+  EXPECT_EQ(a.sweeps(), 1u);
+  EXPECT_EQ(a.total_violations(), 2u);
+  EXPECT_FALSE(a.clean());
+  ASSERT_EQ(a.records().size(), 2u);
+  EXPECT_EQ(a.records()[0].invariant, "indegree.bound");
+  EXPECT_EQ(a.records()[0].time, 3.0);
+  EXPECT_EQ(a.records()[0].node, 7u);
+  const std::string s = to_string(a.records()[0]);
+  EXPECT_NE(s.find("indegree.bound"), std::string::npos);
+  EXPECT_NE(s.find("node=7"), std::string::npos);
+}
+
+TEST(InvariantAuditorUnit, RecordCapKeepsCounting) {
+  AuditorOptions opts;
+  opts.enabled = true;
+  opts.max_records = 4;
+  InvariantAuditor a(opts);
+  a.begin_sweep(0.0);
+  for (int i = 0; i < 10; ++i) a.report("theorem3.2", i, 2.0, 1.0);
+  EXPECT_EQ(a.records().size(), 4u);
+  EXPECT_EQ(a.total_violations(), 10u);
+}
+
+// --- full-matrix fault-free sweeps ------------------------------------------
+
+struct Case {
+  Protocol protocol;
+  SubstrateKind substrate;
+};
+
+class AuditMatrixTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(AuditMatrixTest, FaultFreeRunIsViolationFree) {
+  const Case c = GetParam();
+  ExperimentOptions opts;
+  opts.audit.enabled = true;
+  const auto r = run_experiment(small_params(), c.protocol, c.substrate, opts);
+  EXPECT_EQ(r.completed_lookups, 400u);
+  EXPECT_GT(r.audit_sweeps, 10u);
+  EXPECT_EQ(r.audit_violations, 0u) << violations_text(r);
+  EXPECT_TRUE(r.audit_records.empty());
+}
+
+TEST_P(AuditMatrixTest, AuditingNeverPerturbsResults) {
+  // The sweep only reads: an audited run must be bit-identical to the
+  // plain run on every metric.
+  const Case c = GetParam();
+  ExperimentOptions opts;
+  opts.audit.enabled = true;
+  const auto audited =
+      run_experiment(small_params(), c.protocol, c.substrate, opts);
+  const auto plain = run_experiment(small_params(), c.protocol, c.substrate);
+  EXPECT_EQ(audited.lookup_time.mean, plain.lookup_time.mean);
+  EXPECT_EQ(audited.p99_share, plain.p99_share);
+  EXPECT_EQ(audited.heavy_encounters, plain.heavy_encounters);
+  EXPECT_EQ(audited.p99_max_congestion, plain.p99_max_congestion);
+  EXPECT_EQ(audited.completed_lookups, plain.completed_lookups);
+  EXPECT_EQ(audited.sim_duration, plain.sim_duration);
+}
+
+// The full matrix: every protocol on every substrate it supports (VS and
+// NS are Cycloid-only by construction).
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, AuditMatrixTest,
+    ::testing::Values(
+        Case{Protocol::kBase, SubstrateKind::kCycloid},
+        Case{Protocol::kNS, SubstrateKind::kCycloid},
+        Case{Protocol::kVS, SubstrateKind::kCycloid},
+        Case{Protocol::kErtA, SubstrateKind::kCycloid},
+        Case{Protocol::kErtF, SubstrateKind::kCycloid},
+        Case{Protocol::kErtAF, SubstrateKind::kCycloid},
+        Case{Protocol::kBase, SubstrateKind::kChord},
+        Case{Protocol::kErtA, SubstrateKind::kChord},
+        Case{Protocol::kErtF, SubstrateKind::kChord},
+        Case{Protocol::kErtAF, SubstrateKind::kChord},
+        Case{Protocol::kBase, SubstrateKind::kPastry},
+        Case{Protocol::kErtA, SubstrateKind::kPastry},
+        Case{Protocol::kErtF, SubstrateKind::kPastry},
+        Case{Protocol::kErtAF, SubstrateKind::kPastry},
+        Case{Protocol::kBase, SubstrateKind::kCan},
+        Case{Protocol::kErtA, SubstrateKind::kCan},
+        Case{Protocol::kErtF, SubstrateKind::kCan},
+        Case{Protocol::kErtAF, SubstrateKind::kCan}),
+    [](const auto& info) {
+      std::string name{to_string(info.param.protocol)};
+      name += "_";
+      name += to_string(info.param.substrate);
+      for (char& ch : name)
+        if (ch == '/') ch = '_';
+      return name;
+    });
+
+// --- audited runs under churn and faults -------------------------------------
+
+TEST(AuditUnderStress, ChurnStaysViolationFree) {
+  // Joins and silent departures exercise repair paths (including the
+  // budget-bypassing emergency links the forced-accept counter covers).
+  SimParams p = small_params();
+  p.churn_interarrival = 0.5;
+  ExperimentOptions opts;
+  opts.audit.enabled = true;
+  for (const Protocol proto : {Protocol::kErtA, Protocol::kErtAF}) {
+    const auto r =
+        run_experiment(p, proto, SubstrateKind::kCycloid, opts);
+    EXPECT_EQ(r.audit_violations, 0u)
+        << to_string(proto) << "\n" << violations_text(r);
+  }
+}
+
+TEST(AuditUnderStress, SeededFaultRunRecoversAndAuditsClean) {
+  // The ISSUE's fault scenario: message drops plus a crash wave. ERT/AF
+  // must still complete nearly everything, the retry path must fire, and
+  // once the crashed nodes have left the live set every sweep must pass.
+  ExperimentOptions opts;
+  opts.audit.enabled = true;
+  opts.faults.drop_prob = 0.01;
+  opts.faults.crash_waves.push_back(CrashWave{5.0, 24});
+  const auto r = run_experiment(small_params(), Protocol::kErtAF,
+                                SubstrateKind::kCycloid, opts);
+  EXPECT_EQ(r.faults.crashed_nodes, 24u);
+  EXPECT_GT(r.faults.retried, 0u);
+  EXPECT_GE(r.completed_lookups, 380u);
+  EXPECT_EQ(r.audit_violations, 0u) << violations_text(r);
+}
+
+TEST(AuditUnderStress, AveragedRunsSumAuditOutput) {
+  SimParams p = small_params();
+  p.num_lookups = 200;
+  ExperimentOptions opts;
+  opts.audit.enabled = true;
+  const auto avg =
+      run_averaged(p, Protocol::kErtAF, 3, SubstrateKind::kCycloid, 0, opts);
+  std::size_t sweeps = 0;
+  for (int s = 0; s < 3; ++s) {
+    SimParams ps = p;
+    ps.seed = p.seed + static_cast<std::uint64_t>(s);
+    sweeps += run_experiment(ps, Protocol::kErtAF, SubstrateKind::kCycloid,
+                             opts)
+                  .audit_sweeps;
+  }
+  EXPECT_EQ(avg.audit_sweeps, sweeps);
+  EXPECT_EQ(avg.audit_violations, 0u);
+}
+
+TEST(AuditUnderStress, CustomSweepPeriodChangesCadenceOnly) {
+  ExperimentOptions fast;
+  fast.audit.enabled = true;
+  fast.audit.period = 0.25;
+  ExperimentOptions slow;
+  slow.audit.enabled = true;
+  slow.audit.period = 4.0;
+  const auto rf = run_experiment(small_params(), Protocol::kErtAF,
+                                 SubstrateKind::kCycloid, fast);
+  const auto rs = run_experiment(small_params(), Protocol::kErtAF,
+                                 SubstrateKind::kCycloid, slow);
+  EXPECT_GT(rf.audit_sweeps, rs.audit_sweeps);
+  EXPECT_EQ(rf.audit_violations, 0u);
+  EXPECT_EQ(rs.audit_violations, 0u);
+  EXPECT_EQ(rf.lookup_time.mean, rs.lookup_time.mean);
+}
+
+}  // namespace
+}  // namespace ert::harness

@@ -1,7 +1,9 @@
 // Fuzz: random interleavings of join / graceful-leave / silent-fail /
 // expand / shed / purge / repair / lookup on each substrate, with the
-// structural invariants re-checked throughout. Seeds are fixed so failures
-// reproduce.
+// structural invariants re-checked throughout — including nodes crashing
+// *while* a lookup is routing through them (the query hands off to a live
+// node and must still converge without touching stale state; run under
+// ASan/UBSan in CI). Seeds are fixed so failures reproduce.
 #include <gtest/gtest.h>
 
 #include "chord/overlay.h"
@@ -103,6 +105,22 @@ TEST(ChurnFuzz, Cycloid) {
     NodeIndex cur = src;
     std::size_t hops = 0;
     for (;;) {
+      // Crash-during-routing: with the network above its floor, fail a
+      // random node mid-lookup (sometimes cur itself) and keep routing —
+      // ASan/UBSan then prove no stale NodeIndex is dereferenced.
+      if (o.alive_count() > 48 && rng.index(8) == 0) {
+        const NodeIndex victim = pick_alive(o, rng);
+        if (victim != dht::kNoNode) o.fail(victim);
+      }
+      if (!o.node(cur).alive) {
+        // The node holding the query died: hand off to a live node the
+        // way the engine routes displaced queries, and count the hop.
+        cur = pick_alive(o, rng);
+        if (cur == dht::kNoNode) return;
+        ++hops;
+        if (hops > 600) FAIL() << "lookup stuck after mid-route crashes";
+        continue;
+      }
       const auto step = o.route_step(cur, key, ctx);
       if (step.arrived) break;
       ASSERT_FALSE(step.candidates.empty());
@@ -148,6 +166,22 @@ TEST(ChurnFuzz, Chord) {
     NodeIndex cur = src;
     std::size_t hops = 0;
     for (;;) {
+      // Crash-during-routing: with the network above its floor, fail a
+      // random node mid-lookup (sometimes cur itself) and keep routing —
+      // ASan/UBSan then prove no stale NodeIndex is dereferenced.
+      if (o.alive_count() > 48 && rng.index(8) == 0) {
+        const NodeIndex victim = pick_alive(o, rng);
+        if (victim != dht::kNoNode) o.fail(victim);
+      }
+      if (!o.node(cur).alive) {
+        // The node holding the query died: hand off to a live node the
+        // way the engine routes displaced queries, and count the hop.
+        cur = pick_alive(o, rng);
+        if (cur == dht::kNoNode) return;
+        ++hops;
+        if (hops > 600) FAIL() << "lookup stuck after mid-route crashes";
+        continue;
+      }
       const auto step = o.route_step(cur, key);
       if (step.arrived) break;
       ASSERT_FALSE(step.candidates.empty());
@@ -188,6 +222,22 @@ TEST(ChurnFuzz, Pastry) {
     NodeIndex cur = src;
     std::size_t hops = 0;
     for (;;) {
+      // Crash-during-routing: with the network above its floor, fail a
+      // random node mid-lookup (sometimes cur itself) and keep routing —
+      // ASan/UBSan then prove no stale NodeIndex is dereferenced.
+      if (o.alive_count() > 48 && rng.index(8) == 0) {
+        const NodeIndex victim = pick_alive(o, rng);
+        if (victim != dht::kNoNode) o.fail(victim);
+      }
+      if (!o.node(cur).alive) {
+        // The node holding the query died: hand off to a live node the
+        // way the engine routes displaced queries, and count the hop.
+        cur = pick_alive(o, rng);
+        if (cur == dht::kNoNode) return;
+        ++hops;
+        if (hops > 600) FAIL() << "lookup stuck after mid-route crashes";
+        continue;
+      }
       const auto step = o.route_step(cur, key);
       if (step.arrived) break;
       ASSERT_FALSE(step.candidates.empty());

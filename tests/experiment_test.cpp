@@ -26,6 +26,15 @@ TEST_P(AllProtocolsTest, CompletesAllLookupsWithSaneMetrics) {
   const auto r = run_experiment(small_params(), GetParam());
   EXPECT_EQ(r.completed_lookups, 400u);
   EXPECT_EQ(r.dropped_lookups, 0u);
+  // The drop split is a partition of dropped_lookups, and fault-free runs
+  // never touch the fault counters.
+  EXPECT_EQ(r.dropped_overload, 0u);
+  EXPECT_EQ(r.dropped_fault, 0u);
+  EXPECT_EQ(r.faults.timed_out, 0u);
+  EXPECT_EQ(r.faults.retried, 0u);
+  EXPECT_EQ(r.faults.recovered, 0u);
+  EXPECT_EQ(r.faults.crashed_nodes, 0u);
+  EXPECT_EQ(r.audit_sweeps, 0u);  // auditor off by default
   EXPECT_GT(r.avg_path_length, 1.0);
   EXPECT_LT(r.avg_path_length, 40.0);
   EXPECT_GT(r.lookup_time.mean, 0.0);
@@ -51,6 +60,9 @@ TEST_P(AllProtocolsTest, SurvivesChurn) {
   EXPECT_EQ(r.completed_lookups + r.dropped_lookups, 400u);
   // The vast majority of lookups must complete despite churn.
   EXPECT_GT(r.completed_lookups, 390u);
+  // Churn losses are routing-capacity drops, never fault-layer ones.
+  EXPECT_EQ(r.dropped_overload + r.dropped_fault, r.dropped_lookups);
+  EXPECT_EQ(r.dropped_fault, 0u);
 }
 
 TEST_P(AllProtocolsTest, SurvivesSkewedImpulse) {

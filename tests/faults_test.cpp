@@ -1,0 +1,246 @@
+// Fault-injection layer: deterministic fate streams, loss recovery
+// accounting, and the bit-identity guarantees of faulted runs
+// (docs/FAULTS.md).
+#include "harness/faults.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "harness/experiment.h"
+
+namespace ert::harness {
+namespace {
+
+SimParams small_params() {
+  SimParams p;
+  p.num_nodes = 256;
+  p.dimension = fit_dimension(256);
+  p.num_lookups = 400;
+  p.lookup_rate = 16.0;
+  p.seed = 5;
+  return p;
+}
+
+FaultPlan mixed_plan() {
+  FaultPlan plan;
+  plan.drop_prob = 0.1;
+  plan.delay_prob = 0.2;
+  plan.dup_prob = 0.05;
+  return plan;
+}
+
+TEST(FaultInjector, SameSeedSameFateSequence) {
+  FaultInjector a(mixed_plan(), 42);
+  FaultInjector b(mixed_plan(), 42);
+  for (int i = 0; i < 5000; ++i) {
+    const MessageFate fa = a.fate();
+    const MessageFate fb = b.fate();
+    EXPECT_EQ(fa.dropped, fb.dropped) << "message " << i;
+    EXPECT_EQ(fa.duplicated, fb.duplicated) << "message " << i;
+    EXPECT_EQ(fa.extra_delay, fb.extra_delay) << "message " << i;
+    EXPECT_EQ(fa.dup_extra_delay, fb.dup_extra_delay) << "message " << i;
+  }
+  EXPECT_EQ(a.messages(), 5000u);
+  EXPECT_EQ(a.drops(), b.drops());
+  EXPECT_EQ(a.duplicates(), b.duplicates());
+}
+
+TEST(FaultInjector, DifferentSeedsDiverge) {
+  FaultInjector a(mixed_plan(), 1);
+  FaultInjector b(mixed_plan(), 2);
+  int differ = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const MessageFate fa = a.fate();
+    const MessageFate fb = b.fate();
+    if (fa.dropped != fb.dropped || fa.extra_delay != fb.extra_delay) ++differ;
+  }
+  EXPECT_GT(differ, 0);
+}
+
+TEST(FaultInjector, RatesRoughlyMatchProbabilities) {
+  FaultInjector inj(mixed_plan(), 7);
+  for (int i = 0; i < 20000; ++i) inj.fate();
+  const double drop_rate =
+      static_cast<double>(inj.drops()) / static_cast<double>(inj.messages());
+  const double dup_rate = static_cast<double>(inj.duplicates()) /
+                          static_cast<double>(inj.messages());
+  EXPECT_NEAR(drop_rate, 0.1, 0.02);
+  EXPECT_NEAR(dup_rate, 0.05, 0.02);
+}
+
+TEST(FaultInjector, ZeroProbabilitiesNeverFault) {
+  FaultPlan plan;  // all probabilities zero
+  plan.crash_waves.push_back(CrashWave{1.0, 0});
+  EXPECT_TRUE(plan.enabled());
+  EXPECT_FALSE(plan.message_faults());
+  FaultInjector inj(plan, 3);
+  for (int i = 0; i < 1000; ++i) {
+    const MessageFate f = inj.fate();
+    EXPECT_FALSE(f.dropped);
+    EXPECT_FALSE(f.duplicated);
+    EXPECT_EQ(f.extra_delay, 0.0);
+  }
+}
+
+TEST(FaultInjector, RetryDelayBacksOffExponentially) {
+  FaultPlan plan;
+  plan.retry_timeout = 0.5;
+  plan.retry_backoff = 2.0;
+  plan.max_retries = 3;
+  FaultInjector inj(plan, 0);
+  EXPECT_DOUBLE_EQ(inj.retry_delay(0), 0.5);
+  EXPECT_DOUBLE_EQ(inj.retry_delay(1), 1.0);
+  EXPECT_DOUBLE_EQ(inj.retry_delay(2), 2.0);
+  EXPECT_FALSE(inj.retries_exhausted(3));
+  EXPECT_TRUE(inj.retries_exhausted(4));
+}
+
+// --- engine integration ------------------------------------------------------
+
+TEST(FaultedExperiment, ZeroProbabilityPlanBitIdenticalToDefault) {
+  // A plan whose injector is constructed but never fires must leave the
+  // run untouched: the fault stream has its own Rng, so the workload
+  // randomness is byte-for-byte the plain run's.
+  const SimParams p = small_params();
+  ExperimentOptions opts;
+  opts.faults.crash_waves.push_back(CrashWave{1.0, 0});  // enabled, inert
+  const auto plain = run_experiment(p, Protocol::kErtAF);
+  const auto faulted =
+      run_experiment(p, Protocol::kErtAF, SubstrateKind::kCycloid, opts);
+  EXPECT_EQ(plain.lookup_time.mean, faulted.lookup_time.mean);
+  EXPECT_EQ(plain.p99_share, faulted.p99_share);
+  EXPECT_EQ(plain.heavy_encounters, faulted.heavy_encounters);
+  EXPECT_EQ(plain.completed_lookups, faulted.completed_lookups);
+  EXPECT_EQ(plain.sim_duration, faulted.sim_duration);
+  EXPECT_EQ(faulted.faults.timed_out, 0u);
+  EXPECT_EQ(faulted.faults.retried, 0u);
+  EXPECT_EQ(faulted.faults.crashed_nodes, 0u);
+}
+
+TEST(FaultedExperiment, DeterministicForSeed) {
+  const SimParams p = small_params();
+  ExperimentOptions opts;
+  opts.faults.drop_prob = 0.02;
+  opts.faults.dup_prob = 0.01;
+  opts.faults.crash_waves.push_back(CrashWave{5.0, 16});
+  const auto a =
+      run_experiment(p, Protocol::kErtAF, SubstrateKind::kCycloid, opts);
+  const auto b =
+      run_experiment(p, Protocol::kErtAF, SubstrateKind::kCycloid, opts);
+  EXPECT_EQ(a.lookup_time.mean, b.lookup_time.mean);
+  EXPECT_EQ(a.completed_lookups, b.completed_lookups);
+  EXPECT_EQ(a.dropped_fault, b.dropped_fault);
+  EXPECT_EQ(a.faults.timed_out, b.faults.timed_out);
+  EXPECT_EQ(a.faults.retried, b.faults.retried);
+  EXPECT_EQ(a.faults.recovered, b.faults.recovered);
+  EXPECT_EQ(a.faults.crashed_nodes, b.faults.crashed_nodes);
+}
+
+TEST(FaultedExperiment, DropsAreDetectedRetriedAndRecovered) {
+  const SimParams p = small_params();
+  ExperimentOptions opts;
+  opts.faults.drop_prob = 0.05;
+  const auto r =
+      run_experiment(p, Protocol::kErtAF, SubstrateKind::kCycloid, opts);
+  EXPECT_GT(r.faults.timed_out, 0u);
+  EXPECT_GT(r.faults.retried, 0u);
+  EXPECT_GT(r.faults.recovered, 0u);
+  // Every lookup is accounted exactly once.
+  EXPECT_EQ(r.completed_lookups + r.dropped_lookups, 400u);
+  EXPECT_EQ(r.dropped_overload + r.dropped_fault, r.dropped_lookups);
+  // 5% loss with 3 retransmits: the vast majority must still complete.
+  EXPECT_GT(r.completed_lookups, 390u);
+}
+
+TEST(FaultedExperiment, ExhaustedRetriesFailAsFaultDrops) {
+  const SimParams p = small_params();
+  ExperimentOptions opts;
+  opts.faults.drop_prob = 1.0;  // every message lost
+  opts.faults.max_retries = 2;
+  const auto r =
+      run_experiment(p, Protocol::kErtAF, SubstrateKind::kCycloid, opts);
+  EXPECT_GT(r.dropped_fault, 0u);
+  EXPECT_EQ(r.dropped_overload, 0u);
+  EXPECT_EQ(r.completed_lookups + r.dropped_lookups, 400u);
+  EXPECT_EQ(r.dropped_overload + r.dropped_fault, r.dropped_lookups);
+}
+
+TEST(FaultedExperiment, DuplicationIsAtLeastOnceWithoutDoubleCounting) {
+  const SimParams p = small_params();
+  ExperimentOptions opts;
+  opts.faults.dup_prob = 0.5;
+  const auto r =
+      run_experiment(p, Protocol::kErtAF, SubstrateKind::kCycloid, opts);
+  // Delivery is at-least-once: every lookup still completes exactly once.
+  EXPECT_EQ(r.completed_lookups, 400u);
+  EXPECT_EQ(r.dropped_lookups, 0u);
+  // The duplicates are real work: they load the network beyond the
+  // fault-free run.
+  const auto plain = run_experiment(p, Protocol::kErtAF);
+  EXPECT_NE(r.p99_share, plain.p99_share);
+}
+
+TEST(FaultedExperiment, CrashWavesFailNodesAndLookupsRecover) {
+  const SimParams p = small_params();
+  ExperimentOptions opts;
+  opts.faults.crash_waves.push_back(CrashWave{4.0, 16});
+  opts.faults.crash_waves.push_back(CrashWave{12.0, 16});
+  const auto r =
+      run_experiment(p, Protocol::kErtAF, SubstrateKind::kCycloid, opts);
+  EXPECT_EQ(r.faults.crashed_nodes, 32u);
+  EXPECT_EQ(r.final_nodes, 256u - 32u);
+  EXPECT_EQ(r.completed_lookups + r.dropped_lookups, 400u);
+  // Stale links are discovered and routed around (Sec. 5.5 machinery).
+  EXPECT_GT(r.completed_lookups, 380u);
+}
+
+TEST(FaultedExperiment, AveragedBitIdenticalAcrossThreadCounts) {
+  // The ISSUE's acceptance criterion: a seeded fault run (1% drop plus a
+  // crash wave) reduced over 4 seeds must not change a single bit between
+  // 1 and 4 worker threads.
+  SimParams p = small_params();
+  p.num_lookups = 200;
+  ExperimentOptions opts;
+  opts.faults.drop_prob = 0.01;
+  opts.faults.crash_waves.push_back(CrashWave{5.0, 16});
+  const auto one =
+      run_averaged(p, Protocol::kErtAF, 4, SubstrateKind::kCycloid, 1, opts);
+  const auto four =
+      run_averaged(p, Protocol::kErtAF, 4, SubstrateKind::kCycloid, 4, opts);
+  EXPECT_EQ(one.lookup_time.mean, four.lookup_time.mean);
+  EXPECT_EQ(one.lookup_time.p99, four.lookup_time.p99);
+  EXPECT_EQ(one.p99_share, four.p99_share);
+  EXPECT_EQ(one.p99_max_congestion, four.p99_max_congestion);
+  EXPECT_EQ(one.avg_path_length, four.avg_path_length);
+  EXPECT_EQ(one.completed_lookups, four.completed_lookups);
+  EXPECT_EQ(one.dropped_overload, four.dropped_overload);
+  EXPECT_EQ(one.dropped_fault, four.dropped_fault);
+  EXPECT_EQ(one.faults.timed_out, four.faults.timed_out);
+  EXPECT_EQ(one.faults.retried, four.faults.retried);
+  EXPECT_EQ(one.faults.recovered, four.faults.recovered);
+  EXPECT_EQ(one.faults.crashed_nodes, four.faults.crashed_nodes);
+  EXPECT_EQ(one.sim_duration, four.sim_duration);
+  EXPECT_EQ(one.final_nodes, four.final_nodes);
+}
+
+TEST(FaultedExperiment, FaultsWorkOnEverySubstrate) {
+  for (const SubstrateKind kind :
+       {SubstrateKind::kCycloid, SubstrateKind::kChord, SubstrateKind::kPastry,
+        SubstrateKind::kCan}) {
+    SimParams p = small_params();
+    p.num_lookups = 200;
+    ExperimentOptions opts;
+    opts.faults.drop_prob = 0.02;
+    opts.faults.crash_waves.push_back(CrashWave{5.0, 8});
+    const auto r = run_experiment(p, Protocol::kErtAF, kind, opts);
+    EXPECT_EQ(r.completed_lookups + r.dropped_lookups, 200u)
+        << to_string(kind);
+    EXPECT_EQ(r.faults.crashed_nodes, 8u) << to_string(kind);
+    EXPECT_GT(r.completed_lookups, 190u) << to_string(kind);
+  }
+}
+
+}  // namespace
+}  // namespace ert::harness

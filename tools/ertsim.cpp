@@ -20,8 +20,17 @@
 //     --data-forwarding  responses retrace the query path
 //     --probe-cost C     seconds charged per load probe
 //     --csv FILE         append one CSV row (with header if new file)
+//     --audit            run the invariant auditor every adaptation period
+//     --faults SPEC      inject faults; SPEC is comma-separated key=value:
+//                          drop=P delay=P dup=P       per-message probs
+//                          crash=T:N                  N nodes crash at T s
+//                                                     (repeatable)
+//                          timeout=S retries=K backoff=B   loss recovery
+//                        e.g. --faults drop=0.01,crash=5:32
+//     --audit-log FILE   write one violation record per line to FILE
 //
-// Exit code 0 on success; prints a one-screen report.
+// Exit code 0 on success, 3 when --audit found invariant violations;
+// prints a one-screen report.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -44,8 +53,42 @@ using ert::harness::SubstrateKind;
                "              [--churn T] [--impulse N:K] [--service L:H]\n"
                "              [--alpha A] [--beta B] [--mu M] [--gamma-l G]\n"
                "              [--poll B] [--data-forwarding] [--probe-cost C]\n"
-               "              [--csv FILE]\n");
+               "              [--csv FILE] [--audit] [--faults SPEC]\n"
+               "              [--audit-log FILE]\n");
   std::exit(2);
+}
+
+/// Parses "drop=0.01,dup=0.005,crash=5:32,crash=20:16,retries=4".
+ert::harness::FaultPlan parse_faults(const std::string& spec) {
+  ert::harness::FaultPlan plan;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string tok = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    const std::size_t eq = tok.find('=');
+    if (eq == std::string::npos) usage("--faults token wants key=value");
+    const std::string key = tok.substr(0, eq);
+    const std::string val = tok.substr(eq + 1);
+    if (key == "drop") plan.drop_prob = std::strtod(val.c_str(), nullptr);
+    else if (key == "delay") plan.delay_prob = std::strtod(val.c_str(), nullptr);
+    else if (key == "dup") plan.dup_prob = std::strtod(val.c_str(), nullptr);
+    else if (key == "timeout") plan.retry_timeout = std::strtod(val.c_str(), nullptr);
+    else if (key == "retries") plan.max_retries = std::atoi(val.c_str());
+    else if (key == "backoff") plan.retry_backoff = std::strtod(val.c_str(), nullptr);
+    else if (key == "crash") {
+      const std::size_t colon = val.find(':');
+      if (colon == std::string::npos) usage("--faults crash wants T:N");
+      ert::harness::CrashWave wave;
+      wave.time = std::strtod(val.c_str(), nullptr);
+      wave.count = std::strtoul(val.c_str() + colon + 1, nullptr, 10);
+      plan.crash_waves.push_back(wave);
+    } else {
+      usage(("unknown --faults key " + key).c_str());
+    }
+  }
+  return plan;
 }
 
 Protocol parse_protocol(const std::string& s) {
@@ -76,6 +119,8 @@ int main(int argc, char** argv) {
   int seeds = 1;
   int threads = 0;
   std::string csv;
+  std::string audit_log;
+  ert::harness::ExperimentOptions options;
 
   auto need = [&](int& i) -> const char* {
     if (i + 1 >= argc) usage("missing argument value");
@@ -120,6 +165,9 @@ int main(int argc, char** argv) {
     else if (a == "--data-forwarding") p.data_forwarding = true;
     else if (a == "--probe-cost") p.probe_cost = std::strtod(need(i), nullptr);
     else if (a == "--csv") csv = need(i);
+    else if (a == "--audit") options.audit.enabled = true;
+    else if (a == "--faults") options.faults = parse_faults(need(i));
+    else if (a == "--audit-log") audit_log = need(i);
     else if (a == "--help" || a == "-h") usage();
     else usage(("unknown option " + a).c_str());
   }
@@ -129,8 +177,9 @@ int main(int argc, char** argv) {
     usage("VS/NS require the cycloid substrate");
 
   const auto r =
-      seeds > 1 ? ert::harness::run_averaged(p, proto, seeds, kind, threads)
-                : ert::harness::run_experiment(p, proto, kind);
+      seeds > 1
+          ? ert::harness::run_averaged(p, proto, seeds, kind, threads, options)
+          : ert::harness::run_experiment(p, proto, kind, options);
 
   std::printf("protocol           %s on %s\n",
               std::string(ert::harness::to_string(proto)).c_str(),
@@ -152,6 +201,31 @@ int main(int argc, char** argv) {
               r.max_indegree.mean, r.max_indegree.p01, r.max_indegree.p99);
   std::printf("max outdegree      %.1f  (p1 %.0f, p99 %.0f)\n",
               r.max_outdegree.mean, r.max_outdegree.p01, r.max_outdegree.p99);
+  if (options.faults.enabled()) {
+    std::printf("faults             %zu timed out, %zu retried, %zu recovered, "
+                "%zu crashed\n",
+                r.faults.timed_out, r.faults.retried, r.faults.recovered,
+                r.faults.crashed_nodes);
+    std::printf("dropped split      %zu overload, %zu fault\n",
+                r.dropped_overload, r.dropped_fault);
+  }
+  if (options.audit.enabled) {
+    std::printf("audit              %zu sweeps, %zu violations%s\n",
+                r.audit_sweeps, r.audit_violations,
+                r.audit_violations == 0 ? " (clean)" : "");
+    for (const auto& v : r.audit_records)
+      std::printf("  %s\n", ert::harness::to_string(v).c_str());
+    if (!audit_log.empty()) {
+      FILE* f = std::fopen(audit_log.c_str(), "w");
+      if (!f) {
+        std::perror("ertsim: --audit-log open");
+        return 1;
+      }
+      for (const auto& v : r.audit_records)
+        std::fprintf(f, "%s\n", ert::harness::to_string(v).c_str());
+      std::fclose(f);
+    }
+  }
 
   if (!csv.empty()) {
     FILE* f = std::fopen(csv.c_str(), "a");
@@ -176,5 +250,6 @@ int main(int argc, char** argv) {
                  r.avg_timeouts, r.max_indegree.p99, r.max_outdegree.p99);
     std::fclose(f);
   }
+  if (options.audit.enabled && r.audit_violations > 0) return 3;
   return 0;
 }
