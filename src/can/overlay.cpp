@@ -1,5 +1,6 @@
 #include "can/overlay.h"
 
+#include "trace/trace.h"
 #include <algorithm>
 #include <cassert>
 #include <cmath>
@@ -325,7 +326,13 @@ int Overlay::expand_indegree(dht::NodeIndex i, int want,
     if (gained >= want || probes >= max_probes) break;
     ++probes;
     if (!nodes_[i].budget.can_accept()) break;
-    if (link_shortcut(host, i, /*respect_budget=*/true)) ++gained;
+    if (link_shortcut(host, i, /*respect_budget=*/true)) {
+      ++gained;
+      if (trace_ && trace_->wants(trace::Category::kLink))
+        trace_->emit(trace::EventType::kLinkAdopt, i, 0,
+                     static_cast<std::int64_t>(host),
+                     static_cast<std::int64_t>(nodes_[i].inlinks.size()));
+    }
   }
   return gained;
 }
@@ -336,7 +343,13 @@ int Overlay::shed_indegree(dht::NodeIndex i, int count) {
       nodes_.at(i).inlinks.pick_evictions(static_cast<std::size_t>(count));
   int shed = 0;
   for (dht::NodeIndex v : victims)
-    if (unlink_shortcut(v, i)) ++shed;
+    if (unlink_shortcut(v, i)) {
+      ++shed;
+      if (trace_ && trace_->wants(trace::Category::kLink))
+        trace_->emit(trace::EventType::kLinkShed, i, 0,
+                     static_cast<std::int64_t>(v),
+                     static_cast<std::int64_t>(nodes_[i].inlinks.size()));
+    }
   return shed;
 }
 

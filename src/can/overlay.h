@@ -29,6 +29,10 @@
 #include "ert/indegree.h"
 #include "net/proximity.h"
 
+namespace ert::trace {
+class TraceSink;
+}
+
 namespace ert::can {
 
 using Point = net::Coord;  // unit torus
@@ -114,6 +118,11 @@ class Overlay {
   /// and complete, shortcut bookkeeping consistent. Assert-checked.
   void check_invariants() const;
 
+  /// Installs a structured-trace sink for the ERT elasticity path
+  /// (link.adopt / link.shed from expand_indegree / shed_indegree); null
+  /// disables emission. Observes only. See docs/TRACING.md.
+  void set_trace(trace::TraceSink* sink) { trace_ = sink; }
+
  private:
   /// Split-tree bookkeeping: every leaf is an alive node's zone.
   struct TreeNode {
@@ -139,6 +148,7 @@ class Overlay {
   std::vector<int> leaf_of_;  ///< node -> tree leaf index.
   int root_ = -1;
   std::size_t alive_ = 0;
+  trace::TraceSink* trace_ = nullptr;
 };
 
 }  // namespace ert::can

@@ -1,5 +1,6 @@
 #include "chord/overlay.h"
 
+#include "trace/trace.h"
 #include <algorithm>
 #include <cassert>
 
@@ -157,7 +158,13 @@ int Overlay::expand_indegree(dht::NodeIndex i, int want,
   for (const auto& [host, slot] : expansion_targets(i, max_probes)) {
     if (gained >= want) break;
     if (!nodes_[i].budget.can_accept()) break;
-    if (link(host, slot, i, /*respect_budget=*/true)) ++gained;
+    if (link(host, slot, i, /*respect_budget=*/true)) {
+      ++gained;
+      if (trace_ && trace_->wants(trace::Category::kLink))
+        trace_->emit(trace::EventType::kLinkAdopt, i, 0,
+                     static_cast<std::int64_t>(host),
+                     static_cast<std::int64_t>(nodes_[i].inlinks.size()));
+    }
   }
   return gained;
 }
@@ -168,7 +175,13 @@ int Overlay::shed_indegree(dht::NodeIndex i, int count) {
       nodes_.at(i).inlinks.pick_evictions(static_cast<std::size_t>(count));
   int shed = 0;
   for (dht::NodeIndex v : victims)
-    if (unlink(v, i)) ++shed;
+    if (unlink(v, i)) {
+      ++shed;
+      if (trace_ && trace_->wants(trace::Category::kLink))
+        trace_->emit(trace::EventType::kLinkShed, i, 0,
+                     static_cast<std::int64_t>(v),
+                     static_cast<std::int64_t>(nodes_[i].inlinks.size()));
+    }
   return shed;
 }
 

@@ -28,6 +28,10 @@
 #include "dht/types.h"
 #include "ert/indegree.h"
 
+namespace ert::trace {
+class TraceSink;
+}
+
 namespace ert::chord {
 
 struct ChordOptions {
@@ -118,12 +122,18 @@ class Overlay {
 
   void check_invariants() const;
 
+  /// Installs a structured-trace sink for the ERT elasticity path
+  /// (link.adopt / link.shed from expand_indegree / shed_indegree); null
+  /// disables emission. Observes only. See docs/TRACING.md.
+  void set_trace(trace::TraceSink* sink) { trace_ = sink; }
+
  private:
   ChordOptions opts_;
   PhysDistFn phys_dist_;
   dht::RingDirectory directory_;
   std::vector<ChordNode> nodes_;
   std::size_t alive_ = 0;
+  trace::TraceSink* trace_ = nullptr;
 };
 
 }  // namespace ert::chord

@@ -1,5 +1,6 @@
 #include "cycloid/overlay.h"
 
+#include "trace/trace.h"
 #include <algorithm>
 #include <cassert>
 
@@ -383,7 +384,13 @@ int Overlay::expand_indegree(dht::NodeIndex i, int want,
   for (const auto& [host, slot] : expansion_targets(i, max_probes)) {
     if (gained >= want) break;
     if (!nodes_[i].budget.can_accept()) break;
-    if (link(host, slot, i, /*respect_budget=*/true)) ++gained;
+    if (link(host, slot, i, /*respect_budget=*/true)) {
+      ++gained;
+      if (trace_ && trace_->wants(trace::Category::kLink))
+        trace_->emit(trace::EventType::kLinkAdopt, i, 0,
+                     static_cast<std::int64_t>(host),
+                     static_cast<std::int64_t>(nodes_[i].inlinks.size()));
+    }
   }
   return gained;
 }
@@ -400,6 +407,10 @@ int Overlay::shed_indegree(dht::NodeIndex i, int count) {
   for (dht::NodeIndex v : victims) {
     if (!unlink(v, i)) continue;
     ++shed;
+    if (trace_ && trace_->wants(trace::Category::kLink))
+      trace_->emit(trace::EventType::kLinkShed, i, 0,
+                   static_cast<std::int64_t>(v),
+                   static_cast<std::int64_t>(nodes_[i].inlinks.size()));
     // The evicted host lost a candidate; if that leaves a slot with no live
     // option its routing would degrade to the walk — repair right away.
     if (nodes_[v].alive) {

@@ -42,6 +42,10 @@
 #include "dht/types.h"
 #include "ert/indegree.h"
 
+namespace ert::trace {
+class TraceSink;
+}
+
 namespace ert::cycloid {
 
 /// Entry-slot layout shared by every node.
@@ -204,6 +208,12 @@ class Overlay {
   /// aborts via assert on violation. Used by tests.
   void check_invariants() const;
 
+  /// Installs a structured-trace sink for the ERT elasticity path
+  /// (link.adopt / link.shed events from expand_indegree / shed_indegree);
+  /// null (the default) disables emission. The sink only observes — it
+  /// never changes overlay behavior. See docs/TRACING.md.
+  void set_trace(trace::TraceSink* sink) { trace_ = sink; }
+
  private:
   std::uint64_t lv(dht::NodeIndex i) const { return space_.to_linear(nodes_[i].id); }
 
@@ -228,6 +238,7 @@ class Overlay {
   dht::RingDirectory directory_;
   std::vector<OverlayNode> nodes_;
   std::size_t alive_ = 0;
+  trace::TraceSink* trace_ = nullptr;
 };
 
 }  // namespace ert::cycloid

@@ -86,9 +86,18 @@ class Engine {
       faults_ = std::make_unique<FaultInjector>(options.faults, params.seed);
     if (options.audit.enabled)
       auditor_ = std::make_unique<InvariantAuditor>(options.audit);
+    if (options.trace.enabled) {
+      trace_ = std::make_unique<trace::TraceSink>(
+          options.trace, [this] { return sim_.now(); });
+      if (faults_) faults_->set_trace(trace_.get());
+    }
   }
 
   ExperimentResult run() {
+    if (tracing(trace::Category::kRun))
+      trace_->emit(trace::EventType::kRunBegin, params_.num_nodes,
+                   params_.seed, static_cast<std::int64_t>(proto_),
+                   static_cast<std::int64_t>(kind_));
     build_network();
     if (params_.impulse_nodes > 0) {
       const std::uint64_t space = substrate_->key_space();
@@ -123,6 +132,8 @@ class Engine {
   bool done() const {
     return issued_ >= params_.num_lookups && completed_ + dropped_ >= issued_;
   }
+
+  bool tracing(trace::Category c) const { return trace_ && trace_->wants(c); }
 
   std::size_t real_of(NodeIndex v) const {
     return vs_ ? vs_->real_of(v) : real_of_overlay_.at(v);
@@ -163,6 +174,7 @@ class Engine {
         ids_needed, [this](NodeIndex a, NodeIndex b) {
           return prox_.distance(real_of(a), real_of(b));
         });
+    substrate_->set_trace(trace_.get());
 
     if (uses_virtual_servers(proto_)) {
       cycloid::Overlay* overlay = substrate_->as_cycloid();
@@ -251,8 +263,12 @@ class Engine {
     }
     q.cur = src;
     if (params_.data_forwarding) q.path.push_back(src);
+    const std::uint64_t key = q.key;
     queries_.push_back(std::move(q));
     const std::size_t qid = queries_.size() - 1;
+    if (tracing(trace::Category::kQuery))
+      trace_->emit(trace::EventType::kQueryBegin, src, qid,
+                   static_cast<std::int64_t>(key));
     substrate_->start_query(qid);
     arrive(qid, src);
   }
@@ -269,6 +285,9 @@ class Engine {
       // The node died while the query was in flight: timeout, then hand the
       // query to the dead node's ring successor.
       ++q.timeouts;
+      if (tracing(trace::Category::kHop))
+        trace_->emit(trace::EventType::kQueryTimeout, v, qid, 0, 0,
+                     /*site=*/0);
       const NodeIndex sub = substrate_->live_successor(v);
       ++q.hops;
       sim_.schedule(params_.timeout_penalty,
@@ -278,7 +297,14 @@ class Engine {
     q.cur = v;
     const std::size_t r = real_of(v);
     RealNode& rn = reals_[r];
-    if (is_heavy(r)) ++q.heavy_met;
+    if (is_heavy(r)) {
+      ++q.heavy_met;
+      if (tracing(trace::Category::kOverload))
+        trace_->emit(
+            trace::EventType::kQueryOverload, v, qid,
+            static_cast<std::int64_t>(rn.tracker.queue_length()),
+            std::llround(congestion(r) * 1000.0));
+    }
     rn.tracker.on_enqueue();
     rn.peak_congestion = std::max(rn.peak_congestion, congestion(r));
     // Single FIFO server per node: the paper's capacity slots bound how
@@ -350,11 +376,15 @@ class Engine {
     if (f.dropped) {
       ++fstats_.timed_out;
       q.fault_hit = true;
+      if (tracing(trace::Category::kFault))
+        trace_->emit(trace::EventType::kFaultTimeout, to, qid, attempt);
       if (faults_->retries_exhausted(attempt + 1)) {
         fail_lookup_fault(qid);
         return;
       }
       ++fstats_.retried;
+      if (tracing(trace::Category::kFault))
+        trace_->emit(trace::EventType::kFaultRetry, to, qid, attempt + 1);
       sim_.schedule(faults_->retry_delay(attempt),
                     [this, qid, to, latency, attempt] {
                       attempt_send(qid, to, latency, attempt + 1);
@@ -411,12 +441,20 @@ class Engine {
         // Timeout: discover the failure, purge the stale link, repair the
         // entry, and retry (Sec. 5.5's timeout accounting).
         ++q.timeouts;
+        if (tracing(trace::Category::kHop))
+          trace_->emit(trace::EventType::kQueryTimeout, next, qid, 0, 0,
+                       /*site=*/1);
         q.penalty += params_.timeout_penalty;
         substrate_->purge_dead(v, next);
         if (step.slot != kNoSlot) substrate_->repair_entry(v, step.slot);
         continue;
       }
       ++q.hops;
+      if (tracing(trace::Category::kHop))
+        trace_->emit(trace::EventType::kQueryHop, v, qid,
+                     static_cast<std::int64_t>(next),
+                     static_cast<std::int64_t>(q.overloaded.size()),
+                     static_cast<std::uint32_t>(step.candidates.size()));
       if (params_.data_forwarding) q.path.push_back(next);
       if (real_of(next) == real_of(v)) {
         // Hop between two virtual servers of the same physical node: no
@@ -451,6 +489,11 @@ class Engine {
     const NodeIndex next = q.path.back();
     q.path.pop_back();
     ++q.hops;
+    // Response-leg hop: no candidate set (the path is fixed), aux = 0.
+    if (tracing(trace::Category::kHop))
+      trace_->emit(trace::EventType::kQueryHop, q.cur, qid,
+                   static_cast<std::int64_t>(next),
+                   static_cast<std::int64_t>(q.overloaded.size()), 0);
     const double latency = prox_.latency(real_of(q.cur), real_of(next));
     send_hop(qid, next, latency);
   }
@@ -518,6 +561,10 @@ class Engine {
     if (q.done) return;
     q.done = true;
     if (q.fault_hit) ++fstats_.recovered;
+    if (tracing(trace::Category::kQuery))
+      trace_->emit(trace::EventType::kQueryEnd, q.cur, qid,
+                   static_cast<std::int64_t>(q.hops),
+                   static_cast<std::int64_t>(q.heavy_met));
     metrics::LookupRecord rec;
     rec.latency = sim_.now() - q.start_time;
     rec.path_len = q.hops;
@@ -528,12 +575,14 @@ class Engine {
     on_lookup_settled();
   }
 
-  /// Once the workload is fully settled, cancel the pending audit tick so
-  /// the sweep chain never extends the simulated clock past the last
-  /// workload event (audited runs stay bit-identical, sim_duration
-  /// included).
+  /// Once the workload is fully settled, cancel the pending audit tick and
+  /// the pending timeline sample so neither periodic chain extends the
+  /// simulated clock past the last workload event (audited and
+  /// timeline-traced runs stay bit-identical, sim_duration included).
   void on_lookup_settled() {
-    if (auditor_ && done()) audit_ev_.cancel();
+    if (!done()) return;
+    audit_ev_.cancel();
+    timeline_ev_.cancel();
   }
 
   /// Routing-capacity failure (hop budget exhausted, no candidate left):
@@ -542,6 +591,9 @@ class Engine {
     Query& q = queries_[qid];
     if (q.done) return;
     q.done = true;
+    if (tracing(trace::Category::kQuery))
+      trace_->emit(trace::EventType::kQueryDrop, q.cur, qid,
+                   static_cast<std::int64_t>(q.hops), 0, /*cause=*/0);
     ++dropped_overload_;
     ++dropped_;
     on_lookup_settled();
@@ -552,6 +604,9 @@ class Engine {
     Query& q = queries_[qid];
     if (q.done) return;
     q.done = true;
+    if (tracing(trace::Category::kQuery))
+      trace_->emit(trace::EventType::kQueryDrop, q.cur, qid,
+                   static_cast<std::int64_t>(q.hops), 0, /*cause=*/1);
     ++dropped_fault_;
     ++dropped_;
     on_lookup_settled();
@@ -585,6 +640,10 @@ class Engine {
       const auto dec =
           core::decide_adaptation(peak, rn.cap, params_.gamma_l, params_.mu);
       auto& budget = substrate_->budget(v);
+      const bool trace_adapt = tracing(trace::Category::kAdapt) &&
+                               dec.action != core::AdaptAction::kNone;
+      const std::size_t ind_before =
+          trace_adapt ? substrate_->indegree(v) : 0;
       if (dec.action == core::AdaptAction::kShed) {
         // Lower the bound first so the hosts' repairs do not immediately
         // re-adopt this overloaded node, then settle it at exactly
@@ -599,6 +658,11 @@ class Engine {
         budget.raise_bound_by(target - budget.max_indegree());
         rn.grow_backoff = 0;  // shedding frees hosts: growth may work again
         rn.grow_wait = 0;
+        if (trace_adapt)
+          trace_->emit(trace::EventType::kAdaptShed, v, 0,
+                       static_cast<std::int64_t>(ind_before),
+                       static_cast<std::int64_t>(substrate_->indegree(v)),
+                       static_cast<std::uint32_t>(dec.delta));
       } else if (dec.action == core::AdaptAction::kGrow) {
         if (rn.grow_wait > 0) {
           --rn.grow_wait;
@@ -618,6 +682,11 @@ class Engine {
         } else {
           rn.grow_backoff = 0;
         }
+        if (trace_adapt)
+          trace_->emit(trace::EventType::kAdaptGrow, v, 0,
+                       static_cast<std::int64_t>(ind_before),
+                       static_cast<std::int64_t>(substrate_->indegree(v)),
+                       static_cast<std::uint32_t>(dec.delta));
       }
     }
     observe_degrees();
@@ -625,7 +694,7 @@ class Engine {
 
   void schedule_trace() {
     if (done()) return;
-    sim_.schedule(params_.adapt_period, [this] {
+    timeline_ev_ = sim_.schedule(params_.adapt_period, [this] {
       sample_timeline();
       schedule_trace();
     });
@@ -700,18 +769,26 @@ class Engine {
     RealNode rn;
     rn.cap = caps_.normalized(r);
     reals_.push_back(std::move(rn));
+    // The overlay slot the join landed on: -1 when rejected (id space
+    // full); for VS the first virtual server of the new real node.
+    std::int64_t overlay_slot = -1;
     if (vs_) {
       cycloid::Overlay* overlay = substrate_->as_cycloid();
-      for (NodeIndex v : vs_->add_real_node(*overlay, caps_, r, rng_))
+      for (NodeIndex v : vs_->add_real_node(*overlay, caps_, r, rng_)) {
+        if (overlay_slot < 0) overlay_slot = static_cast<std::int64_t>(v);
         substrate_->build_table(v, rng_);
+      }
     } else {
       if (substrate_->id_space_full()) {
         reals_[r].alive = false;  // id space full: join rejected
         overlay_of_real_.push_back(dht::kNoNode);
+        if (tracing(trace::Category::kChurn))
+          trace_->emit(trace::EventType::kChurnJoin, r, 0, -1);
         return;
       }
       const NodeIndex v = substrate_->add_node(
           rng_, caps_.normalized(r), node_max_indegree(r), params_.beta);
+      overlay_slot = static_cast<std::int64_t>(v);
       overlay_of_real_.push_back(v);
       real_of_overlay_.push_back(r);
       substrate_->build_table(v, rng_);
@@ -721,6 +798,8 @@ class Engine {
         if (want > 0) substrate_->expand_indegree(v, want, 256);
       }
     }
+    if (tracing(trace::Category::kChurn))
+      trace_->emit(trace::EventType::kChurnJoin, r, 0, overlay_slot);
     degrees_->ensure_size(reals_.size());
   }
 
@@ -747,6 +826,10 @@ class Engine {
   void depart_real(std::size_t r, bool crash = false) {
     RealNode& rn = reals_[r];
     rn.alive = false;
+    if (tracing(trace::Category::kChurn))
+      trace_->emit(crash ? trace::EventType::kCrash
+                         : trace::EventType::kChurnDepart,
+                   r);
     // Silent failure: stale links remain and are discovered via timeouts.
     if (vs_) {
       for (NodeIndex v : vs_->vnodes_of(r)) substrate_->fail(v);
@@ -773,6 +856,9 @@ class Engine {
       if (q.done) continue;
       ++q.timeouts;
       ++q.hops;
+      if (tracing(trace::Category::kHop))
+        trace_->emit(trace::EventType::kQueryTimeout, q.cur, qid, 0, 0,
+                     /*site=*/2);
       if (crash) {
         // Injected crash: the loss counts against the fault layer.
         q.fault_hit = true;
@@ -886,6 +972,15 @@ class Engine {
       res.audit_violations = auditor_->total_violations();
       res.audit_records = auditor_->records();
     }
+    if (trace_) {
+      if (trace_->wants(trace::Category::kRun))
+        trace_->emit(trace::EventType::kRunEnd, 0, params_.seed,
+                     static_cast<std::int64_t>(completed_),
+                     static_cast<std::int64_t>(dropped_));
+      res.trace_records = trace_->snapshot();
+      res.trace_emitted = trace_->emitted();
+      res.trace_dropped = trace_->dropped();
+    }
     return res;
   }
 
@@ -914,7 +1009,9 @@ class Engine {
   std::size_t dropped_fault_ = 0;
   std::unique_ptr<FaultInjector> faults_;    ///< null in fault-free runs.
   std::unique_ptr<InvariantAuditor> auditor_;  ///< null unless audit.enabled.
+  std::unique_ptr<trace::TraceSink> trace_;  ///< null unless trace.enabled.
   sim::EventHandle audit_ev_;  ///< pending sweep, cancelled on settle.
+  sim::EventHandle timeline_ev_;  ///< pending timeline sample, ditto.
   metrics::FaultCounters fstats_;
 };
 
@@ -983,6 +1080,12 @@ ExperimentResult reduce_in_seed_order(const std::vector<ExperimentResult>& runs)
     acc.audit_violations += r.audit_violations;
     acc.audit_records.insert(acc.audit_records.end(), r.audit_records.begin(),
                              r.audit_records.end());
+    // Trace output likewise sums and concatenates in seed order, so the
+    // serialized stream is byte-identical for any thread count.
+    acc.trace_emitted += r.trace_emitted;
+    acc.trace_dropped += r.trace_dropped;
+    acc.trace_records.insert(acc.trace_records.end(), r.trace_records.begin(),
+                             r.trace_records.end());
   }
   acc.heavy_encounters = static_cast<std::size_t>(std::llround(heavy));
   acc.completed_lookups = static_cast<std::size_t>(std::llround(completed));

@@ -13,6 +13,7 @@
 #include "harness/protocol.h"
 #include "harness/substrate.h"
 #include "metrics/metrics.h"
+#include "trace/trace.h"
 
 namespace ert::harness {
 
@@ -23,6 +24,10 @@ namespace ert::harness {
 struct ExperimentOptions {
   FaultPlan faults;
   AuditorOptions audit;
+  /// Structured event tracing (docs/TRACING.md). Disabled by default; an
+  /// enabled tracer observes only, so metrics and sim_duration stay
+  /// bit-identical to a tracer-off run.
+  trace::TraceConfig trace;
 };
 
 struct ExperimentResult {
@@ -79,6 +84,14 @@ struct ExperimentResult {
   std::size_t audit_sweeps = 0;
   std::size_t audit_violations = 0;
   std::vector<InvariantViolation> audit_records;
+
+  // Structured trace (empty unless options.trace.enabled). Under
+  // run_averaged / run_sweep the per-seed streams concatenate in seed
+  // order and the counters sum, so the trace is byte-identical for any
+  // thread count. `trace_dropped` counts records evicted by ring wrap.
+  std::vector<trace::Record> trace_records;
+  std::size_t trace_emitted = 0;
+  std::size_t trace_dropped = 0;
 };
 
 /// Runs one simulation. Deterministic for a given (params.seed, protocol,

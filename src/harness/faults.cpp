@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "trace/trace.h"
+
 namespace ert::harness {
 
 namespace {
@@ -28,11 +30,17 @@ MessageFate FaultInjector::fate() {
   }
   if (plan_.delay_prob > 0.0 && rng_.uniform() < plan_.delay_prob) {
     f.extra_delay = rng_.uniform(0.0, plan_.delay_max);
+    if (trace_ && trace_->wants(trace::Category::kFault))
+      trace_->emit(trace::EventType::kFaultDelay, 0, messages_,
+                   std::llround(f.extra_delay * 1e6));
   }
   if (plan_.dup_prob > 0.0 && rng_.uniform() < plan_.dup_prob) {
     f.duplicated = true;
     f.dup_extra_delay = rng_.uniform(0.0, plan_.dup_delay);
     ++duplicates_;
+    if (trace_ && trace_->wants(trace::Category::kFault))
+      trace_->emit(trace::EventType::kFaultDup, 0, messages_,
+                   std::llround(f.dup_extra_delay * 1e6));
   }
   return f;
 }

@@ -22,6 +22,10 @@
 
 #include "common/rng.h"
 
+namespace ert::trace {
+class TraceSink;
+}
+
 namespace ert::harness {
 
 /// One crash wave: at simulated time `time`, `count` random alive nodes
@@ -93,6 +97,11 @@ class FaultInjector {
   std::size_t drops() const { return drops_; }
   std::size_t duplicates() const { return duplicates_; }
 
+  /// Installs a structured-trace sink for fault.delay / fault.dup records
+  /// (drops surface as the engine's fault.timeout); null disables emission.
+  /// Observes only — fates are unchanged. See docs/TRACING.md.
+  void set_trace(trace::TraceSink* sink) { trace_ = sink; }
+
  private:
   FaultPlan plan_;
   Rng rng_;
@@ -100,6 +109,7 @@ class FaultInjector {
   std::size_t messages_ = 0;
   std::size_t drops_ = 0;
   std::size_t duplicates_ = 0;
+  trace::TraceSink* trace_ = nullptr;
 };
 
 }  // namespace ert::harness

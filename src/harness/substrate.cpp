@@ -129,6 +129,10 @@ class CycloidSubstrate final : public SubstrateOps {
   }
   cycloid::Overlay* as_cycloid() override { return overlay_.get(); }
 
+  void set_trace(trace::TraceSink* sink) override {
+    overlay_->set_trace(sink);
+  }
+
  private:
   std::unique_ptr<cycloid::Overlay> overlay_;
   std::vector<cycloid::RouteCtx> ctx_;
@@ -222,6 +226,10 @@ class ChordSubstrate final : public SubstrateOps {
     return overlay_->directory().successor(lv & (overlay_->ring_size() - 1));
   }
 
+  void set_trace(trace::TraceSink* sink) override {
+    overlay_->set_trace(sink);
+  }
+
  private:
   std::unique_ptr<chord::Overlay> overlay_;
 };
@@ -311,6 +319,10 @@ class PastrySubstrate final : public SubstrateOps {
   }
   NodeIndex node_at_or_after(std::uint64_t lv) const override {
     return overlay_->directory().successor(lv & (overlay_->ring_size() - 1));
+  }
+
+  void set_trace(trace::TraceSink* sink) override {
+    overlay_->set_trace(sink);
   }
 
  private:
@@ -426,6 +438,10 @@ class CanSubstrate final : public SubstrateOps {
   }
   NodeIndex node_at_or_after(std::uint64_t lv) const override {
     return overlay_->responsible(to_point(lv & 0xFFFFFFFFull));
+  }
+
+  void set_trace(trace::TraceSink* sink) override {
+    overlay_->set_trace(sink);
   }
 
  private:

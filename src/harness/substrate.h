@@ -29,6 +29,10 @@ namespace ert::cycloid {
 class Overlay;
 }
 
+namespace ert::trace {
+class TraceSink;
+}
+
 namespace ert::harness {
 
 enum class SubstrateKind { kCycloid, kChord, kPastry, kCan };
@@ -120,6 +124,10 @@ class SubstrateOps {
   /// Non-null when this substrate is the Cycloid overlay (virtual servers
   /// are only defined there).
   virtual cycloid::Overlay* as_cycloid() { return nullptr; }
+
+  /// Forwards a structured-trace sink to the wrapped overlay so its ERT
+  /// elasticity path can emit link.adopt / link.shed records; null detaches.
+  virtual void set_trace(trace::TraceSink* sink) = 0;
 };
 
 using PhysDistFn = std::function<double(dht::NodeIndex, dht::NodeIndex)>;

@@ -24,6 +24,10 @@
 #include "dht/types.h"
 #include "ert/indegree.h"
 
+namespace ert::trace {
+class TraceSink;
+}
+
 namespace ert::pastry {
 
 struct PastryOptions {
@@ -119,12 +123,18 @@ class Overlay {
   std::uint64_t logical_distance(dht::NodeIndex a, dht::NodeIndex b) const;
   void check_invariants() const;
 
+  /// Installs a structured-trace sink for the ERT elasticity path
+  /// (link.adopt / link.shed from expand_indegree / shed_indegree); null
+  /// disables emission. Observes only. See docs/TRACING.md.
+  void set_trace(trace::TraceSink* sink) { trace_ = sink; }
+
  private:
   PastryOptions opts_;
   PhysDistFn phys_dist_;
   dht::RingDirectory directory_;
   std::vector<PastryNode> nodes_;
   std::size_t alive_ = 0;
+  trace::TraceSink* trace_ = nullptr;
 };
 
 }  // namespace ert::pastry

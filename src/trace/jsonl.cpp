@@ -1,0 +1,229 @@
+#include "trace/jsonl.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <initializer_list>
+
+namespace ert::trace {
+namespace {
+
+/// Which Record slot a JSONL key reads/writes.
+enum class Slot { kQuery, kNode, kA, kB, kAux };
+
+struct Field {
+  const char* key;
+  Slot slot;
+};
+
+/// Per-type field list, shared by the writer and the parser so the schema
+/// cannot drift between them. Order is the canonical serialization order.
+const std::initializer_list<Field>& fields_for(EventType t) {
+  static const std::initializer_list<Field> kRunBegin{
+      {"seed", Slot::kQuery}, {"nodes", Slot::kNode},
+      {"proto", Slot::kA},    {"sub", Slot::kB}};
+  static const std::initializer_list<Field> kRunEnd{
+      {"seed", Slot::kQuery}, {"completed", Slot::kA}, {"dropped", Slot::kB}};
+  static const std::initializer_list<Field> kQueryBegin{
+      {"q", Slot::kQuery}, {"node", Slot::kNode}, {"key", Slot::kA}};
+  static const std::initializer_list<Field> kQueryHop{
+      {"q", Slot::kQuery}, {"from", Slot::kNode}, {"to", Slot::kA},
+      {"cands", Slot::kAux}, {"aset", Slot::kB}};
+  static const std::initializer_list<Field> kQueryOverload{
+      {"q", Slot::kQuery}, {"node", Slot::kNode}, {"queue", Slot::kA},
+      {"mg", Slot::kB}};
+  static const std::initializer_list<Field> kQueryTimeout{
+      {"q", Slot::kQuery}, {"node", Slot::kNode}, {"site", Slot::kAux}};
+  static const std::initializer_list<Field> kQueryEnd{
+      {"q", Slot::kQuery}, {"node", Slot::kNode}, {"hops", Slot::kA},
+      {"heavy", Slot::kB}};
+  static const std::initializer_list<Field> kQueryDrop{
+      {"q", Slot::kQuery}, {"node", Slot::kNode}, {"hops", Slot::kA},
+      {"cause", Slot::kAux}};
+  static const std::initializer_list<Field> kAdapt{
+      {"node", Slot::kNode}, {"before", Slot::kA}, {"after", Slot::kB},
+      {"want", Slot::kAux}};
+  static const std::initializer_list<Field> kLink{
+      {"node", Slot::kNode}, {"host", Slot::kA}, {"indegree", Slot::kB}};
+  static const std::initializer_list<Field> kFaultHop{
+      {"q", Slot::kQuery}, {"node", Slot::kNode}, {"attempt", Slot::kA}};
+  static const std::initializer_list<Field> kFaultMsg{
+      {"msg", Slot::kQuery}, {"us", Slot::kA}};
+  static const std::initializer_list<Field> kChurnJoin{
+      {"node", Slot::kNode}, {"overlay", Slot::kA}};
+  static const std::initializer_list<Field> kNodeOnly{{"node", Slot::kNode}};
+
+  switch (t) {
+    case EventType::kRunBegin:      return kRunBegin;
+    case EventType::kRunEnd:        return kRunEnd;
+    case EventType::kQueryBegin:    return kQueryBegin;
+    case EventType::kQueryHop:      return kQueryHop;
+    case EventType::kQueryOverload: return kQueryOverload;
+    case EventType::kQueryTimeout:  return kQueryTimeout;
+    case EventType::kQueryEnd:      return kQueryEnd;
+    case EventType::kQueryDrop:     return kQueryDrop;
+    case EventType::kAdaptShed:
+    case EventType::kAdaptGrow:     return kAdapt;
+    case EventType::kLinkAdopt:
+    case EventType::kLinkShed:      return kLink;
+    case EventType::kFaultTimeout:
+    case EventType::kFaultRetry:    return kFaultHop;
+    case EventType::kFaultDelay:
+    case EventType::kFaultDup:      return kFaultMsg;
+    case EventType::kChurnJoin:     return kChurnJoin;
+    case EventType::kChurnDepart:
+    case EventType::kCrash:         return kNodeOnly;
+  }
+  return kNodeOnly;
+}
+
+void append_double(std::string& out, double v) {
+  char buf[32];
+  // Shortest round-trip form: canonical and byte-stable for equal bits.
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  out.append(buf, res.ptr);
+}
+
+void append_signed(std::string& out, std::int64_t v) {
+  char buf[24];
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  out.append(buf, res.ptr);
+}
+
+void append_unsigned(std::string& out, std::uint64_t v) {
+  char buf[24];
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  out.append(buf, res.ptr);
+}
+
+void append_slot(std::string& out, const Record& r, Slot s) {
+  switch (s) {
+    case Slot::kQuery: append_unsigned(out, r.query); break;
+    case Slot::kNode:  append_unsigned(out, r.node); break;
+    case Slot::kA:     append_signed(out, r.a); break;
+    case Slot::kB:     append_signed(out, r.b); break;
+    case Slot::kAux:   append_unsigned(out, r.aux); break;
+  }
+}
+
+/// Finds the raw value token of `"key":` in `line` (up to ',' or '}').
+bool find_value(std::string_view line, std::string_view key,
+                std::string_view* value) {
+  std::string pat;
+  pat.reserve(key.size() + 3);
+  pat.push_back('"');
+  pat.append(key);
+  pat.append("\":");
+  const std::size_t at = line.find(pat);
+  if (at == std::string_view::npos) return false;
+  const std::size_t start = at + pat.size();
+  std::size_t end = start;
+  while (end < line.size() && line[end] != ',' && line[end] != '}') ++end;
+  if (end == start) return false;
+  *value = line.substr(start, end - start);
+  return true;
+}
+
+bool parse_i64(std::string_view tok, std::int64_t* out) {
+  const auto res = std::from_chars(tok.data(), tok.data() + tok.size(), *out);
+  return res.ec == std::errc{} && res.ptr == tok.data() + tok.size();
+}
+
+bool parse_u64(std::string_view tok, std::uint64_t* out) {
+  const auto res = std::from_chars(tok.data(), tok.data() + tok.size(), *out);
+  return res.ec == std::errc{} && res.ptr == tok.data() + tok.size();
+}
+
+bool fail(std::string* error, const std::string& why) {
+  if (error) *error = why;
+  return false;
+}
+
+}  // namespace
+
+void append_jsonl(std::string& out, const Record& r) {
+  out.append("{\"t\":");
+  append_double(out, r.time);
+  out.append(",\"ev\":\"");
+  out.append(to_string(r.type));
+  out.push_back('"');
+  for (const Field& f : fields_for(r.type)) {
+    out.push_back(',');
+    out.push_back('"');
+    out.append(f.key);
+    out.append("\":");
+    append_slot(out, r, f.slot);
+  }
+  out.append("}\n");
+}
+
+std::string to_jsonl(const std::vector<Record>& recs) {
+  std::string out;
+  out.reserve(recs.size() * 64);
+  for (const Record& r : recs) append_jsonl(out, r);
+  return out;
+}
+
+bool write_jsonl_file(const std::string& path,
+                      const std::vector<Record>& recs) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  const std::string text = to_jsonl(recs);
+  const bool ok =
+      std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+bool parse_jsonl_line(std::string_view line, Record* out, std::string* error) {
+  while (!line.empty() && (line.back() == '\n' || line.back() == '\r'))
+    line.remove_suffix(1);
+  if (line.size() < 2 || line.front() != '{' || line.back() != '}')
+    return fail(error, "not a JSON object");
+  std::string_view tok;
+  if (!find_value(line, "ev", &tok) || tok.size() < 2 || tok.front() != '"' ||
+      tok.back() != '"')
+    return fail(error, "missing \"ev\"");
+  const std::string_view name = tok.substr(1, tok.size() - 2);
+  Record r;
+  bool known = false;
+  for (std::size_t i = 0; i < kNumEventTypes; ++i) {
+    const auto t = static_cast<EventType>(i);
+    if (name == to_string(t)) {
+      r.type = t;
+      known = true;
+      break;
+    }
+  }
+  if (!known) return fail(error, "unknown event \"" + std::string(name) + "\"");
+  if (!find_value(line, "t", &tok)) return fail(error, "missing \"t\"");
+  {
+    const auto res =
+        std::from_chars(tok.data(), tok.data() + tok.size(), r.time);
+    if (res.ec != std::errc{} || res.ptr != tok.data() + tok.size())
+      return fail(error, "bad \"t\"");
+  }
+  if (!std::isfinite(r.time) || r.time < 0.0)
+    return fail(error, "\"t\" must be finite and >= 0");
+  for (const Field& f : fields_for(r.type)) {
+    if (!find_value(line, f.key, &tok))
+      return fail(error, std::string("missing \"") + f.key + "\"");
+    bool ok = false;
+    switch (f.slot) {
+      case Slot::kQuery: ok = parse_u64(tok, &r.query); break;
+      case Slot::kNode:  ok = parse_u64(tok, &r.node); break;
+      case Slot::kA:     ok = parse_i64(tok, &r.a); break;
+      case Slot::kB:     ok = parse_i64(tok, &r.b); break;
+      case Slot::kAux: {
+        std::uint64_t v = 0;
+        ok = parse_u64(tok, &v) && v <= 0xffffffffull;
+        r.aux = static_cast<std::uint32_t>(v);
+        break;
+      }
+    }
+    if (!ok) return fail(error, std::string("bad \"") + f.key + "\"");
+  }
+  *out = r;
+  return true;
+}
+
+}  // namespace ert::trace

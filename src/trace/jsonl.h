@@ -1,0 +1,34 @@
+// JSON-lines serialization of trace records (docs/TRACING.md).
+//
+// One record per line, fixed key order per event type, doubles printed via
+// std::to_chars shortest-round-trip — the serialization is a pure function
+// of the record bytes, so "byte-identical trace" can be asserted on the
+// text form. The parser accepts exactly what the writer produces (plus
+// order-independent key lookup), and doubles as the schema validator the
+// CI smoke run and `tracecat --validate` use.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace ert::trace {
+
+/// Appends the canonical newline-terminated JSONL line for `r`.
+void append_jsonl(std::string& out, const Record& r);
+
+/// Serializes `recs` in order; the concatenation of their lines.
+std::string to_jsonl(const std::vector<Record>& recs);
+
+/// Writes `recs` to `path` (truncating); false on I/O error.
+bool write_jsonl_file(const std::string& path, const std::vector<Record>& recs);
+
+/// Parses one JSONL line back into a Record, enforcing the schema: known
+/// "ev", a finite "t" >= 0, and every field the event type requires. On
+/// failure returns false and, when `error` is non-null, describes why.
+bool parse_jsonl_line(std::string_view line, Record* out,
+                      std::string* error = nullptr);
+
+}  // namespace ert::trace

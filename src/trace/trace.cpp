@@ -1,0 +1,128 @@
+#include "trace/trace.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ert::trace {
+
+const char* to_string(EventType t) {
+  switch (t) {
+    case EventType::kRunBegin:      return "run.begin";
+    case EventType::kRunEnd:        return "run.end";
+    case EventType::kQueryBegin:    return "query.begin";
+    case EventType::kQueryHop:      return "query.hop";
+    case EventType::kQueryOverload: return "query.overload";
+    case EventType::kQueryTimeout:  return "query.timeout";
+    case EventType::kQueryEnd:      return "query.end";
+    case EventType::kQueryDrop:     return "query.drop";
+    case EventType::kAdaptShed:     return "adapt.shed";
+    case EventType::kAdaptGrow:     return "adapt.grow";
+    case EventType::kLinkAdopt:     return "link.adopt";
+    case EventType::kLinkShed:      return "link.shed";
+    case EventType::kFaultTimeout:  return "fault.timeout";
+    case EventType::kFaultRetry:    return "fault.retry";
+    case EventType::kFaultDelay:    return "fault.delay";
+    case EventType::kFaultDup:      return "fault.dup";
+    case EventType::kChurnJoin:     return "churn.join";
+    case EventType::kChurnDepart:   return "churn.depart";
+    case EventType::kCrash:         return "crash";
+  }
+  return "?";
+}
+
+Category category_of(EventType t) {
+  switch (t) {
+    case EventType::kRunBegin:
+    case EventType::kRunEnd:
+      return Category::kRun;
+    case EventType::kQueryBegin:
+    case EventType::kQueryEnd:
+    case EventType::kQueryDrop:
+      return Category::kQuery;
+    case EventType::kQueryHop:
+    case EventType::kQueryTimeout:
+      return Category::kHop;
+    case EventType::kQueryOverload:
+      return Category::kOverload;
+    case EventType::kAdaptShed:
+    case EventType::kAdaptGrow:
+      return Category::kAdapt;
+    case EventType::kLinkAdopt:
+    case EventType::kLinkShed:
+      return Category::kLink;
+    case EventType::kFaultTimeout:
+    case EventType::kFaultRetry:
+    case EventType::kFaultDelay:
+    case EventType::kFaultDup:
+      return Category::kFault;
+    case EventType::kChurnJoin:
+    case EventType::kChurnDepart:
+    case EventType::kCrash:
+      return Category::kChurn;
+  }
+  return Category::kRun;
+}
+
+bool parse_categories(std::string_view spec, std::uint32_t* mask) {
+  std::uint32_t m = 0;
+  while (!spec.empty()) {
+    const std::size_t comma = spec.find(',');
+    const std::string_view tok = spec.substr(0, comma);
+    spec = comma == std::string_view::npos ? std::string_view{}
+                                          : spec.substr(comma + 1);
+    if (tok == "all")           m |= kAllCategories;
+    else if (tok == "run")      m |= static_cast<std::uint32_t>(Category::kRun);
+    else if (tok == "query")    m |= static_cast<std::uint32_t>(Category::kQuery);
+    else if (tok == "hop")      m |= static_cast<std::uint32_t>(Category::kHop);
+    else if (tok == "overload") m |= static_cast<std::uint32_t>(Category::kOverload);
+    else if (tok == "adapt")    m |= static_cast<std::uint32_t>(Category::kAdapt);
+    else if (tok == "link")     m |= static_cast<std::uint32_t>(Category::kLink);
+    else if (tok == "fault")    m |= static_cast<std::uint32_t>(Category::kFault);
+    else if (tok == "churn")    m |= static_cast<std::uint32_t>(Category::kChurn);
+    else return false;
+  }
+  *mask = m;
+  return m != 0;
+}
+
+TraceSink::TraceSink(const TraceConfig& cfg, ClockFn clock)
+    : mask_(cfg.categories), clock_(std::move(clock)) {
+  assert(cfg.capacity > 0);
+  ring_.reserve(cfg.capacity);
+  // Pool the full capacity up front so emission is allocation-free: grow
+  // by push_back until the ring is full, then overwrite in place.
+  ring_cap_ = cfg.capacity;
+}
+
+void TraceSink::emit(EventType t, std::uint64_t node, std::uint64_t query,
+                     std::int64_t a, std::int64_t b, std::uint32_t aux) {
+  if (!wants(category_of(t))) return;
+  Record r;
+  r.time = clock_ ? clock_() : 0.0;
+  r.query = query;
+  r.a = a;
+  r.b = b;
+  r.node = node;
+  r.type = t;
+  r.aux = aux;
+  if (ring_.size() < ring_cap_) {
+    ring_.push_back(r);
+  } else {
+    ring_[head_] = r;
+    head_ = (head_ + 1) % ring_cap_;
+  }
+  ++emitted_;
+}
+
+std::size_t TraceSink::size() const { return ring_.size(); }
+
+std::vector<Record> TraceSink::snapshot() const {
+  std::vector<Record> out;
+  out.reserve(ring_.size());
+  // Oldest first: once the ring wrapped, head_ points at the oldest record.
+  for (std::size_t i = 0; i < ring_.size(); ++i)
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  return out;
+}
+
+}  // namespace ert::trace

@@ -1,0 +1,137 @@
+// Structured event tracing for the experiment engine (docs/TRACING.md).
+//
+// The paper's claims are trajectory claims — queries meeting overloaded
+// nodes (Sec. 4, Algorithm 4), periodic sheds and grows converging to the
+// Theorem 3.2 band (Sec. 3.3) — so the harness records them as a stream of
+// typed events rather than only end-of-run aggregates. A TraceSink is a
+// pooled ring buffer of fixed-size Records; the engine, the four overlay
+// backends, and the fault injector emit into it through a raw pointer that
+// is null when tracing is off, so a disabled tracer costs one pointer test
+// per site and changes nothing else (tracer-on runs are bit-identical to
+// tracer-off runs in every metric, sim_duration included — the sink only
+// observes, it never schedules or mutates).
+//
+// Determinism contract: each run is single-threaded and owns its sink, and
+// run_averaged / run_sweep concatenate per-seed records in seed order, so
+// the serialized trace is byte-identical for a fixed seed regardless of
+// ERT_THREADS (same pattern as the auditor's records).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string_view>
+#include <vector>
+
+namespace ert::trace {
+
+/// Event categories, usable as a filter mask (TraceConfig::categories).
+enum class Category : std::uint32_t {
+  kRun      = 1u << 0,  ///< run.begin / run.end markers.
+  kQuery    = 1u << 1,  ///< query span begin/end/drop.
+  kHop      = 1u << 2,  ///< per-hop forwards (and routing timeouts).
+  kOverload = 1u << 3,  ///< heavy-node encounters.
+  kAdapt    = 1u << 4,  ///< Algorithm 3 shed/grow decisions.
+  kLink     = 1u << 5,  ///< elastic inlink adopt/shed (overlay ERT path).
+  kFault    = 1u << 6,  ///< injected-fault stream + loss recovery.
+  kChurn    = 1u << 7,  ///< joins, departures, crash-wave victims.
+};
+
+inline constexpr std::uint32_t kAllCategories = 0xffu;
+
+/// Typed trace events. The generic Record fields (node/query/a/b/aux) carry
+/// per-type semantics; docs/TRACING.md and jsonl.cpp define the mapping.
+enum class EventType : std::uint32_t {
+  kRunBegin,        ///< query=seed node=num_nodes a=protocol b=substrate.
+  kRunEnd,          ///< query=seed a=completed b=dropped.
+  kQueryBegin,      ///< query=qid node=source a=key.
+  kQueryHop,        ///< query=qid node=from a=to b=|A| aux=candidates.
+  kQueryOverload,   ///< query=qid node=heavy a=queue b=milli-congestion.
+  kQueryTimeout,    ///< query=qid node=dead aux=site (0 arrive,1 route,2 depart).
+  kQueryEnd,        ///< query=qid node=owner a=hops b=heavy_met.
+  kQueryDrop,       ///< query=qid node=last a=hops aux=cause (0 overload,1 fault).
+  kAdaptShed,       ///< node a=indegree_before b=indegree_after aux=delta.
+  kAdaptGrow,       ///< node a=indegree_before b=indegree_after aux=delta.
+  kLinkAdopt,       ///< node a=host b=indegree_after.
+  kLinkShed,        ///< node a=host b=indegree_after.
+  kFaultTimeout,    ///< query=qid node=dest a=attempt (loss detected).
+  kFaultRetry,      ///< query=qid node=dest a=attempt (retransmit sent).
+  kFaultDelay,      ///< query=message_index a=extra_delay_us.
+  kFaultDup,        ///< query=message_index a=dup_lag_us.
+  kChurnJoin,       ///< node=real a=overlay (-1 when the join was rejected).
+  kChurnDepart,     ///< node=real (voluntary departure).
+  kCrash,           ///< node=real (crash-wave victim).
+};
+
+inline constexpr std::size_t kNumEventTypes =
+    static_cast<std::size_t>(EventType::kCrash) + 1;
+
+/// Canonical event name, e.g. "query.hop" (the JSONL "ev" field).
+const char* to_string(EventType t);
+
+/// Category an event type belongs to.
+Category category_of(EventType t);
+
+/// One trace record: 48 bytes, no padding, all fields value-initialized, so
+/// records compare bytewise and serialize canonically.
+struct Record {
+  double time = 0.0;        ///< simulated seconds.
+  std::uint64_t query = 0;  ///< query id / seed / message index.
+  std::int64_t a = 0;       ///< per-type (see EventType comments).
+  std::int64_t b = 0;       ///< per-type.
+  std::uint64_t node = 0;   ///< primary node (overlay or real index).
+  EventType type = EventType::kRunBegin;
+  std::uint32_t aux = 0;    ///< per-type small field.
+};
+static_assert(sizeof(Record) == 48, "Record must stay padding-free");
+
+struct TraceConfig {
+  bool enabled = false;
+  /// Category filter; events outside the mask are never recorded.
+  std::uint32_t categories = kAllCategories;
+  /// Ring capacity in records; when full the oldest records are evicted
+  /// (dropped() counts them). Memory = capacity * sizeof(Record).
+  std::size_t capacity = std::size_t{1} << 18;
+};
+
+/// Parses "hop,adapt,fault" (or "all") into a category mask; returns false
+/// on an unknown name. Names: run, query, hop, overload, adapt, link,
+/// fault, churn, all.
+bool parse_categories(std::string_view spec, std::uint32_t* mask);
+
+/// Pooled ring-buffer sink. The buffer is allocated once at construction
+/// and records are written in place; emission never allocates. Timestamps
+/// come from the clock function (the engine binds the simulator clock), so
+/// emitters other than the engine need no access to the simulator.
+class TraceSink {
+ public:
+  using ClockFn = std::function<double()>;
+
+  TraceSink(const TraceConfig& cfg, ClockFn clock);
+
+  /// True when the filter mask admits `c` — emitters guard on this so a
+  /// filtered category costs only the test.
+  bool wants(Category c) const {
+    return (mask_ & static_cast<std::uint32_t>(c)) != 0;
+  }
+
+  void emit(EventType t, std::uint64_t node, std::uint64_t query = 0,
+            std::int64_t a = 0, std::int64_t b = 0, std::uint32_t aux = 0);
+
+  std::size_t size() const;             ///< records currently retained.
+  std::size_t emitted() const { return emitted_; }
+  std::size_t dropped() const { return emitted_ - size(); }
+
+  /// Retained records, oldest first.
+  std::vector<Record> snapshot() const;
+
+ private:
+  std::uint32_t mask_;
+  std::vector<Record> ring_;
+  std::size_t ring_cap_ = 0;  ///< fixed capacity chosen at construction.
+  std::size_t head_ = 0;      ///< oldest record once the ring has wrapped.
+  std::size_t emitted_ = 0;  ///< total records admitted by the filter.
+  ClockFn clock_;
+};
+
+}  // namespace ert::trace

@@ -71,6 +71,40 @@ TEST(LoadTracker, QueueAccounting) {
   EXPECT_EQ(t.all_time_peak(), 3u);
 }
 
+TEST(AdaptationThresholds, WindowMatchesDecisionBoundaries) {
+  // The exposed window [c/gamma, gamma*c] must be exactly where
+  // decide_adaptation flips: the auditor states Theorem 3.2 with these.
+  const auto th = adaptation_thresholds(10.0, 2.0);
+  EXPECT_DOUBLE_EQ(th.shed_above, 20.0);
+  EXPECT_DOUBLE_EQ(th.grow_below, 5.0);
+  EXPECT_EQ(decide_adaptation(th.shed_above, 10.0, 2.0, 0.5).action,
+            AdaptAction::kNone);
+  EXPECT_EQ(decide_adaptation(th.shed_above + 0.5, 10.0, 2.0, 0.5).action,
+            AdaptAction::kShed);
+  EXPECT_EQ(decide_adaptation(th.grow_below, 10.0, 2.0, 0.5).action,
+            AdaptAction::kNone);
+  EXPECT_EQ(decide_adaptation(th.grow_below - 0.5, 10.0, 2.0, 0.5).action,
+            AdaptAction::kGrow);
+}
+
+TEST(AdaptationThresholds, GammaOneCollapsesToCapacity) {
+  // Table 2's default gamma_l = 1: the window degenerates to the single
+  // point l = c.
+  const auto th = adaptation_thresholds(7.0, 1.0);
+  EXPECT_DOUBLE_EQ(th.shed_above, 7.0);
+  EXPECT_DOUBLE_EQ(th.grow_below, 7.0);
+  EXPECT_LE(th.grow_below, th.shed_above);
+}
+
+TEST(AdaptationThresholds, WindowScalesLinearlyWithCapacity) {
+  const auto a = adaptation_thresholds(4.0, 1.5);
+  const auto b = adaptation_thresholds(8.0, 1.5);
+  EXPECT_DOUBLE_EQ(b.shed_above, 2.0 * a.shed_above);
+  EXPECT_DOUBLE_EQ(b.grow_below, 2.0 * a.grow_below);
+  // gamma >= 1 keeps the window nonempty for any capacity.
+  EXPECT_LT(a.grow_below, a.shed_above);
+}
+
 TEST(LoadTracker, PeriodPeakResets) {
   LoadTracker t;
   t.on_enqueue();

@@ -268,6 +268,54 @@ TEST(Experiment, TimelineTracing) {
   EXPECT_TRUE(run_experiment(p, Protocol::kErtA).timeline.empty());
 }
 
+TEST(Experiment, TimelineSamplingDoesNotExtendSimDuration) {
+  // The timeline chain's pending sample is cancelled when the workload
+  // settles (like the auditor's pending sweep), so turning the sampler on
+  // must not push the simulated clock past the last workload event. Base
+  // has no other periodic chain, so any extension would show here.
+  for (const auto proto : {Protocol::kBase, Protocol::kVS, Protocol::kErtAF}) {
+    SimParams p = small_params();
+    p.trace_timeline = false;
+    const auto off = run_experiment(p, proto);
+    p.trace_timeline = true;
+    const auto on = run_experiment(p, proto);
+    EXPECT_EQ(off.sim_duration, on.sim_duration) << to_string(proto);
+    EXPECT_EQ(off.lookup_time.mean, on.lookup_time.mean) << to_string(proto);
+    EXPECT_EQ(off.completed_lookups, on.completed_lookups);
+    EXPECT_FALSE(on.timeline.empty());
+  }
+}
+
+TEST(Experiment, StructuredTracerOnOffBitIdentical) {
+  // ExperimentOptions::trace observes only: every scalar in the result —
+  // sim_duration included — must match the tracer-off run exactly, on a
+  // churned and faulted run where any extra event or Rng draw would skew.
+  SimParams p = small_params();
+  p.num_lookups = 200;
+  p.churn_interarrival = 1.0;
+  ExperimentOptions off;
+  off.faults.drop_prob = 0.01;
+  ExperimentOptions on = off;
+  on.trace.enabled = true;
+  const auto a = run_experiment(p, Protocol::kErtAF,
+                                SubstrateKind::kCycloid, off);
+  const auto b = run_experiment(p, Protocol::kErtAF,
+                                SubstrateKind::kCycloid, on);
+  EXPECT_EQ(a.p99_max_congestion, b.p99_max_congestion);
+  EXPECT_EQ(a.p99_share, b.p99_share);
+  EXPECT_EQ(a.heavy_encounters, b.heavy_encounters);
+  EXPECT_EQ(a.avg_path_length, b.avg_path_length);
+  EXPECT_EQ(a.lookup_time.mean, b.lookup_time.mean);
+  EXPECT_EQ(a.avg_timeouts, b.avg_timeouts);
+  EXPECT_EQ(a.completed_lookups, b.completed_lookups);
+  EXPECT_EQ(a.dropped_lookups, b.dropped_lookups);
+  EXPECT_EQ(a.faults.timed_out, b.faults.timed_out);
+  EXPECT_EQ(a.sim_duration, b.sim_duration);
+  EXPECT_EQ(a.final_nodes, b.final_nodes);
+  EXPECT_EQ(a.trace_emitted, 0u);
+  EXPECT_GT(b.trace_emitted, 0u);
+}
+
 TEST(Experiment, AdaptationGrowsIndegreesOverTime) {
   SimParams p = small_params();
   p.trace_timeline = true;

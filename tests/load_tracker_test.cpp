@@ -1,0 +1,86 @@
+// Direct unit tests for LoadTracker's period-peak bookkeeping — the value
+// Algorithm 3 adapts on and the invariant auditor reads mid-period.
+#include "ert/load_tracker.h"
+
+#include <gtest/gtest.h>
+
+namespace ert::core {
+namespace {
+
+TEST(LoadTrackerPeriodPeak, TracksRunningMaximumWithinPeriod) {
+  LoadTracker t;
+  EXPECT_EQ(t.period_peak(), 0u);
+  t.on_enqueue();
+  t.on_enqueue();
+  EXPECT_EQ(t.period_peak(), 2u);
+  t.on_dequeue();
+  // Dequeues never lower the peak: the period remembers the worst moment.
+  EXPECT_EQ(t.period_peak(), 2u);
+  t.on_enqueue();
+  t.on_enqueue();
+  EXPECT_EQ(t.period_peak(), 3u);
+  EXPECT_EQ(t.queue_length(), 3u);
+}
+
+TEST(LoadTrackerPeriodPeak, EndPeriodResetsToCurrentQueueLength) {
+  LoadTracker t;
+  for (int i = 0; i < 5; ++i) t.on_enqueue();
+  for (int i = 0; i < 3; ++i) t.on_dequeue();
+  EXPECT_EQ(t.end_period(), 5u);
+  // The backlog carried into the new period seeds its peak: a node that
+  // still holds 2 queries did not drop to an idle peak of 0.
+  EXPECT_EQ(t.period_peak(), 2u);
+  t.on_dequeue();
+  t.on_dequeue();
+  EXPECT_EQ(t.queue_length(), 0u);
+  EXPECT_EQ(t.period_peak(), 2u);
+  EXPECT_EQ(t.end_period(), 2u);
+  EXPECT_EQ(t.period_peak(), 0u);
+}
+
+TEST(LoadTrackerPeriodPeak, MatchesEndPeriodReturnValue) {
+  LoadTracker t;
+  t.on_enqueue();
+  t.on_enqueue();
+  t.on_dequeue();
+  // The auditor's mid-period read must equal what end_period will report.
+  EXPECT_EQ(t.period_peak(), 2u);
+  EXPECT_EQ(t.end_period(), 2u);
+}
+
+TEST(LoadTrackerPeriodPeak, PeriodArrivalsResetIndependently) {
+  LoadTracker t;
+  t.on_enqueue();
+  t.on_enqueue();
+  EXPECT_EQ(t.period_arrivals(), 2u);
+  t.end_period();
+  EXPECT_EQ(t.period_arrivals(), 0u);
+  // Arrivals reset to zero but the peak seeds from the live queue.
+  EXPECT_EQ(t.period_peak(), 2u);
+  t.on_enqueue();
+  EXPECT_EQ(t.period_arrivals(), 1u);
+  EXPECT_EQ(t.period_peak(), 3u);
+}
+
+TEST(LoadTrackerPeriodPeak, AllTimePeakSurvivesPeriods) {
+  LoadTracker t;
+  for (int i = 0; i < 4; ++i) t.on_enqueue();
+  for (int i = 0; i < 4; ++i) t.on_dequeue();
+  t.end_period();
+  t.on_enqueue();
+  t.end_period();
+  EXPECT_EQ(t.all_time_peak(), 4u);
+  EXPECT_EQ(t.period_peak(), 1u);
+  EXPECT_EQ(t.cumulative_handled(), 5u);
+}
+
+TEST(LoadTrackerPeriodPeak, DequeueOnEmptyIsSafe) {
+  LoadTracker t;
+  t.on_dequeue();
+  EXPECT_EQ(t.queue_length(), 0u);
+  EXPECT_EQ(t.period_peak(), 0u);
+  EXPECT_EQ(t.end_period(), 0u);
+}
+
+}  // namespace
+}  // namespace ert::core

@@ -1,0 +1,125 @@
+// Golden-trace regression tests: a small fixed-seed run of every protocol
+// on Cycloid must reproduce its checked-in event stream byte for byte —
+// the exact hop sequence plus the adaptation decisions. Any change to
+// routing order, forwarding policy, adaptation timing, or Rng consumption
+// shows up here as a readable JSONL diff instead of a silent metric shift.
+//
+// To regenerate after an intentional behavior change:
+//   ERT_REGEN_GOLDEN=1 ./trace_golden_test
+// then review the diff of tests/golden/*.jsonl like any other code change.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "harness/experiment.h"
+#include "trace/jsonl.h"
+#include "trace/trace.h"
+
+namespace ert::harness {
+namespace {
+
+SimParams golden_params() {
+  SimParams p;
+  p.num_nodes = 40;
+  p.dimension = fit_dimension(40);
+  p.num_lookups = 24;
+  p.lookup_rate = 8.0;
+  p.seed = 11;
+  return p;
+}
+
+/// File-safe protocol slug (to_string uses '/' in ERT names).
+std::string slug(Protocol p) {
+  switch (p) {
+    case Protocol::kBase:  return "base";
+    case Protocol::kNS:    return "ns";
+    case Protocol::kVS:    return "vs";
+    case Protocol::kErtA:  return "ert-a";
+    case Protocol::kErtF:  return "ert-f";
+    case Protocol::kErtAF: return "ert-af";
+  }
+  return "unknown";
+}
+
+class GoldenTraceTest : public ::testing::TestWithParam<Protocol> {};
+
+TEST_P(GoldenTraceTest, MatchesCheckedInTrace) {
+  ExperimentOptions o;
+  o.trace.enabled = true;
+  // Query spans, the per-hop chain, and the adaptation stream: the events
+  // that pin routing behavior. Run/link/churn stay out so the golden files
+  // focus on the trajectory rather than construction details.
+  o.trace.categories = static_cast<std::uint32_t>(trace::Category::kQuery) |
+                       static_cast<std::uint32_t>(trace::Category::kHop) |
+                       static_cast<std::uint32_t>(trace::Category::kAdapt);
+  const auto r = run_experiment(golden_params(), GetParam(),
+                                SubstrateKind::kCycloid, o);
+  ASSERT_EQ(r.trace_dropped, 0u)
+      << "golden run must fit the ring; raise o.trace.capacity";
+  ASSERT_GT(r.trace_records.size(), 0u);
+  const std::string got = trace::to_jsonl(r.trace_records);
+
+  const std::string path =
+      std::string(ERT_GOLDEN_DIR) + "/trace_" + slug(GetParam()) + ".jsonl";
+  if (std::getenv("ERT_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out) << "cannot write " << path;
+    out << got;
+    GTEST_SKIP() << "regenerated " << path;
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in) << "missing golden file " << path
+                  << " (run with ERT_REGEN_GOLDEN=1 to create it)";
+  std::ostringstream want;
+  want << in.rdbuf();
+  const std::string want_str = want.str();
+  EXPECT_EQ(got.size(), want_str.size());
+  if (got != want_str) {
+    // Point at the first differing line rather than dumping both streams.
+    std::istringstream ga(got), wa(want_str);
+    std::string gl, wl;
+    std::size_t lineno = 0;
+    while (true) {
+      const bool gok = static_cast<bool>(std::getline(ga, gl));
+      const bool wok = static_cast<bool>(std::getline(wa, wl));
+      ++lineno;
+      if (!gok && !wok) break;
+      ASSERT_EQ(gok, wok) << "trace length differs at line " << lineno;
+      ASSERT_EQ(gl, wl) << "first divergence at line " << lineno;
+    }
+  }
+}
+
+TEST_P(GoldenTraceTest, GoldenRunIsThreadCountInvariant) {
+  // The same fixed-seed run through the averaged path must serialize to
+  // the same bytes for 1 and 4 worker threads.
+  ExperimentOptions o;
+  o.trace.enabled = true;
+  o.trace.categories = static_cast<std::uint32_t>(trace::Category::kQuery) |
+                       static_cast<std::uint32_t>(trace::Category::kHop) |
+                       static_cast<std::uint32_t>(trace::Category::kAdapt);
+  const auto one = run_averaged(golden_params(), GetParam(), 2,
+                                SubstrateKind::kCycloid, 1, o);
+  const auto four = run_averaged(golden_params(), GetParam(), 2,
+                                 SubstrateKind::kCycloid, 4, o);
+  EXPECT_EQ(trace::to_jsonl(one.trace_records),
+            trace::to_jsonl(four.trace_records));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProtocols, GoldenTraceTest,
+    ::testing::Values(Protocol::kBase, Protocol::kNS, Protocol::kVS,
+                      Protocol::kErtA, Protocol::kErtF, Protocol::kErtAF),
+    [](const auto& info) {
+      std::string s = slug(info.param);
+      for (auto& c : s)
+        if (c == '-') c = '_';
+      return s;
+    });
+
+}  // namespace
+}  // namespace ert::harness

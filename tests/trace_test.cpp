@@ -1,0 +1,304 @@
+// Structured event tracing: sink semantics, JSONL round-trips, and the
+// determinism contract (docs/TRACING.md) — tracer-on runs bit-identical to
+// tracer-off runs, traces byte-identical across thread counts.
+#include "trace/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "trace/jsonl.h"
+
+namespace ert::trace {
+namespace {
+
+TraceConfig enabled_config() {
+  TraceConfig cfg;
+  cfg.enabled = true;
+  return cfg;
+}
+
+TEST(TraceSink, StampsClockAndStoresFields) {
+  double now = 0.0;
+  TraceSink sink(enabled_config(), [&now] { return now; });
+  now = 1.5;
+  sink.emit(EventType::kQueryHop, 3, 7, 4, 2, 5);
+  now = 2.0;
+  sink.emit(EventType::kQueryEnd, 4, 7, 6, 1);
+  ASSERT_EQ(sink.size(), 2u);
+  const auto recs = sink.snapshot();
+  EXPECT_EQ(recs[0].time, 1.5);
+  EXPECT_EQ(recs[0].type, EventType::kQueryHop);
+  EXPECT_EQ(recs[0].node, 3u);
+  EXPECT_EQ(recs[0].query, 7u);
+  EXPECT_EQ(recs[0].a, 4);
+  EXPECT_EQ(recs[0].b, 2);
+  EXPECT_EQ(recs[0].aux, 5u);
+  EXPECT_EQ(recs[1].time, 2.0);
+  EXPECT_EQ(recs[1].type, EventType::kQueryEnd);
+}
+
+TEST(TraceSink, RingWrapEvictsOldestFirst) {
+  TraceConfig cfg = enabled_config();
+  cfg.capacity = 4;
+  TraceSink sink(cfg, [] { return 0.0; });
+  for (std::uint64_t i = 0; i < 10; ++i)
+    sink.emit(EventType::kQueryBegin, i);
+  EXPECT_EQ(sink.size(), 4u);
+  EXPECT_EQ(sink.emitted(), 10u);
+  EXPECT_EQ(sink.dropped(), 6u);
+  const auto recs = sink.snapshot();
+  ASSERT_EQ(recs.size(), 4u);
+  // Oldest first: records 6, 7, 8, 9 survive.
+  for (std::uint64_t i = 0; i < 4; ++i) EXPECT_EQ(recs[i].node, 6 + i);
+}
+
+TEST(TraceSink, CategoryFilterDropsBeforeRecording) {
+  TraceConfig cfg = enabled_config();
+  cfg.categories = static_cast<std::uint32_t>(Category::kAdapt);
+  TraceSink sink(cfg, [] { return 0.0; });
+  EXPECT_TRUE(sink.wants(Category::kAdapt));
+  EXPECT_FALSE(sink.wants(Category::kHop));
+  sink.emit(EventType::kQueryHop, 1);    // filtered out
+  sink.emit(EventType::kAdaptShed, 2);   // admitted
+  sink.emit(EventType::kLinkAdopt, 3);   // filtered out
+  EXPECT_EQ(sink.emitted(), 1u);
+  ASSERT_EQ(sink.size(), 1u);
+  EXPECT_EQ(sink.snapshot()[0].type, EventType::kAdaptShed);
+}
+
+TEST(TraceCategories, EveryEventTypeHasNameAndCategory) {
+  for (std::size_t i = 0; i < kNumEventTypes; ++i) {
+    const auto t = static_cast<EventType>(i);
+    EXPECT_STRNE(to_string(t), "?");
+    const auto c = static_cast<std::uint32_t>(category_of(t));
+    EXPECT_NE(c, 0u);
+    EXPECT_EQ(c & (c - 1), 0u) << "category must be a single bit";
+  }
+}
+
+TEST(TraceCategories, ParseSpecs) {
+  std::uint32_t mask = 0;
+  EXPECT_TRUE(parse_categories("all", &mask));
+  EXPECT_EQ(mask, kAllCategories);
+  EXPECT_TRUE(parse_categories("hop,adapt", &mask));
+  EXPECT_EQ(mask, static_cast<std::uint32_t>(Category::kHop) |
+                      static_cast<std::uint32_t>(Category::kAdapt));
+  EXPECT_TRUE(parse_categories("run,query,overload,link,fault,churn", &mask));
+  EXPECT_FALSE(parse_categories("bogus", &mask));
+  EXPECT_FALSE(parse_categories("", &mask));
+  EXPECT_FALSE(parse_categories("hop,,adapt", &mask));
+}
+
+TEST(TraceJsonl, RoundTripsEveryEventType) {
+  for (std::size_t i = 0; i < kNumEventTypes; ++i) {
+    Record r;
+    r.time = 3.25 + static_cast<double>(i);
+    r.type = static_cast<EventType>(i);
+    r.node = 17;
+    r.query = 23;
+    r.a = -4;
+    r.b = 99;
+    r.aux = 2;
+    std::string line;
+    append_jsonl(line, r);
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.back(), '\n');
+    Record back;
+    std::string err;
+    ASSERT_TRUE(parse_jsonl_line(line, &back, &err))
+        << to_string(r.type) << ": " << err;
+    EXPECT_EQ(back.time, r.time);
+    EXPECT_EQ(back.type, r.type);
+    // Only the fields the type serializes survive; re-serialization must be
+    // the identity on the text form.
+    std::string again;
+    append_jsonl(again, back);
+    EXPECT_EQ(again, line) << to_string(r.type);
+  }
+}
+
+TEST(TraceJsonl, ShortestRoundTripDoubles) {
+  Record r;
+  r.type = EventType::kChurnDepart;
+  r.time = 0.1 + 0.2;  // classic non-representable sum
+  std::string line;
+  append_jsonl(line, r);
+  Record back;
+  ASSERT_TRUE(parse_jsonl_line(line, &back, nullptr));
+  EXPECT_EQ(back.time, r.time);  // exact, not approximate
+}
+
+TEST(TraceJsonl, RejectsMalformedLines) {
+  Record r;
+  std::string err;
+  EXPECT_FALSE(parse_jsonl_line("", &r, &err));
+  EXPECT_FALSE(parse_jsonl_line("not json", &r, &err));
+  EXPECT_FALSE(parse_jsonl_line(R"({"t":1,"ev":"no.such.event"})", &r, &err));
+  // Missing required fields for the type.
+  EXPECT_FALSE(parse_jsonl_line(R"({"t":1,"ev":"query.hop","q":1})", &r, &err));
+  // Negative / non-finite time.
+  EXPECT_FALSE(parse_jsonl_line(
+      R"({"t":-1,"ev":"churn.depart","node":3})", &r, &err));
+  EXPECT_FALSE(parse_jsonl_line(
+      R"({"t":nan,"ev":"churn.depart","node":3})", &r, &err));
+  // Missing ev / missing t.
+  EXPECT_FALSE(parse_jsonl_line(R"({"t":1})", &r, &err));
+  EXPECT_FALSE(parse_jsonl_line(R"({"ev":"churn.depart","node":3})", &r, &err));
+  // Valid line sanity check so the rejections above mean something.
+  EXPECT_TRUE(parse_jsonl_line(
+      R"({"t":1,"ev":"churn.depart","node":3})", &r, &err))
+      << err;
+}
+
+using ert::SimParams;
+
+SimParams trace_params() {
+  SimParams p;
+  p.num_nodes = 128;
+  p.dimension = harness::fit_dimension(128);
+  p.num_lookups = 200;
+  p.lookup_rate = 16.0;
+  p.seed = 9;
+  return p;
+}
+
+harness::ExperimentOptions traced_options() {
+  harness::ExperimentOptions o;
+  o.trace.enabled = true;
+  return o;
+}
+
+TEST(TraceDeterminism, ByteIdenticalAcrossThreadCounts) {
+  // run_averaged concatenates per-seed traces in seed order after all runs
+  // finish, so the serialized stream must not depend on the thread count.
+  const SimParams p = trace_params();
+  const auto one = harness::run_averaged(p, harness::Protocol::kErtAF, 3,
+                                         harness::SubstrateKind::kCycloid,
+                                         /*threads=*/1, traced_options());
+  const auto four = harness::run_averaged(p, harness::Protocol::kErtAF, 3,
+                                          harness::SubstrateKind::kCycloid,
+                                          /*threads=*/4, traced_options());
+  EXPECT_EQ(one.trace_emitted, four.trace_emitted);
+  EXPECT_EQ(one.trace_dropped, four.trace_dropped);
+  EXPECT_EQ(to_jsonl(one.trace_records), to_jsonl(four.trace_records));
+}
+
+TEST(TraceDeterminism, ByteIdenticalForEqualSeeds) {
+  const SimParams p = trace_params();
+  const auto a = harness::run_experiment(p, harness::Protocol::kErtAF,
+                                         harness::SubstrateKind::kCycloid,
+                                         traced_options());
+  const auto b = harness::run_experiment(p, harness::Protocol::kErtAF,
+                                         harness::SubstrateKind::kCycloid,
+                                         traced_options());
+  EXPECT_FALSE(a.trace_records.empty());
+  EXPECT_EQ(to_jsonl(a.trace_records), to_jsonl(b.trace_records));
+}
+
+TEST(TraceDeterminism, TracerObservesOnly) {
+  // An enabled tracer must not change a single bit of any metric — the sink
+  // never schedules or draws randomness.
+  SimParams p = trace_params();
+  p.churn_interarrival = 1.0;
+  for (const auto proto :
+       {harness::Protocol::kBase, harness::Protocol::kErtAF}) {
+    const auto off = harness::run_experiment(
+        p, proto, harness::SubstrateKind::kCycloid, {});
+    const auto on = harness::run_experiment(
+        p, proto, harness::SubstrateKind::kCycloid, traced_options());
+    EXPECT_EQ(off.p99_max_congestion, on.p99_max_congestion);
+    EXPECT_EQ(off.mean_max_congestion, on.mean_max_congestion);
+    EXPECT_EQ(off.p99_share, on.p99_share);
+    EXPECT_EQ(off.heavy_encounters, on.heavy_encounters);
+    EXPECT_EQ(off.avg_path_length, on.avg_path_length);
+    EXPECT_EQ(off.lookup_time.mean, on.lookup_time.mean);
+    EXPECT_EQ(off.lookup_time.p99, on.lookup_time.p99);
+    EXPECT_EQ(off.avg_timeouts, on.avg_timeouts);
+    EXPECT_EQ(off.completed_lookups, on.completed_lookups);
+    EXPECT_EQ(off.dropped_lookups, on.dropped_lookups);
+    EXPECT_EQ(off.sim_duration, on.sim_duration);
+    EXPECT_EQ(off.final_nodes, on.final_nodes);
+    EXPECT_GT(on.trace_emitted, 0u);
+    EXPECT_EQ(off.trace_emitted, 0u);
+  }
+}
+
+TEST(TraceDeterminism, FaultedRunEmitsFaultEventsWithoutChangingFates) {
+  SimParams p = trace_params();
+  harness::ExperimentOptions off;
+  off.faults.drop_prob = 0.02;
+  off.faults.delay_prob = 0.05;
+  off.faults.dup_prob = 0.01;
+  harness::ExperimentOptions on = off;
+  on.trace.enabled = true;
+  const auto a = harness::run_experiment(p, harness::Protocol::kErtAF,
+                                         harness::SubstrateKind::kCycloid, off);
+  const auto b = harness::run_experiment(p, harness::Protocol::kErtAF,
+                                         harness::SubstrateKind::kCycloid, on);
+  EXPECT_EQ(a.faults.timed_out, b.faults.timed_out);
+  EXPECT_EQ(a.faults.retried, b.faults.retried);
+  EXPECT_EQ(a.faults.recovered, b.faults.recovered);
+  EXPECT_EQ(a.lookup_time.mean, b.lookup_time.mean);
+  EXPECT_EQ(a.sim_duration, b.sim_duration);
+  bool saw_fault_event = false;
+  for (const auto& r : b.trace_records)
+    if (category_of(r.type) == Category::kFault) saw_fault_event = true;
+  EXPECT_TRUE(saw_fault_event);
+}
+
+TEST(TraceDeterminism, EmittedRecordsAllValidateAgainstSchema) {
+  SimParams p = trace_params();
+  p.churn_interarrival = 1.0;
+  harness::ExperimentOptions o = traced_options();
+  o.faults.drop_prob = 0.02;
+  const auto r = harness::run_experiment(
+      p, harness::Protocol::kErtAF, harness::SubstrateKind::kCycloid, o);
+  ASSERT_FALSE(r.trace_records.empty());
+  std::size_t checked = 0;
+  for (const auto& rec : r.trace_records) {
+    std::string line;
+    append_jsonl(line, rec);
+    Record back;
+    std::string err;
+    ASSERT_TRUE(parse_jsonl_line(line, &back, &err)) << line << ": " << err;
+    ++checked;
+  }
+  EXPECT_EQ(checked, r.trace_records.size());
+}
+
+TEST(TraceDeterminism, CategoryMaskRestrictsEngineEmission) {
+  SimParams p = trace_params();
+  harness::ExperimentOptions o = traced_options();
+  o.trace.categories = static_cast<std::uint32_t>(Category::kAdapt) |
+                       static_cast<std::uint32_t>(Category::kLink);
+  const auto r = harness::run_experiment(
+      p, harness::Protocol::kErtAF, harness::SubstrateKind::kCycloid, o);
+  ASSERT_FALSE(r.trace_records.empty());
+  for (const auto& rec : r.trace_records) {
+    const auto c = category_of(rec.type);
+    EXPECT_TRUE(c == Category::kAdapt || c == Category::kLink)
+        << to_string(rec.type);
+  }
+}
+
+TEST(TraceDeterminism, EverySubstrateEmitsLinkEventsForErt) {
+  // The elasticity path of all four overlays reports adopt/shed.
+  SimParams p = trace_params();
+  p.num_nodes = 64;
+  p.num_lookups = 120;
+  harness::ExperimentOptions o = traced_options();
+  o.trace.categories = static_cast<std::uint32_t>(Category::kLink);
+  for (const auto kind :
+       {harness::SubstrateKind::kCycloid, harness::SubstrateKind::kChord,
+        harness::SubstrateKind::kPastry, harness::SubstrateKind::kCan}) {
+    const auto r =
+        harness::run_experiment(p, harness::Protocol::kErtAF, kind, o);
+    EXPECT_GT(r.trace_emitted, 0u) << harness::to_string(kind);
+  }
+}
+
+}  // namespace
+}  // namespace ert::trace

@@ -28,6 +28,14 @@
 //                          timeout=S retries=K backoff=B   loss recovery
 //                        e.g. --faults drop=0.01,crash=5:32
 //     --audit-log FILE   write one violation record per line to FILE
+//     --trace FILE       write the structured event trace as JSON lines
+//                        (docs/TRACING.md); deterministic for a fixed seed
+//                        whatever --threads is
+//     --trace-cats LIST  comma-separated category filter for --trace:
+//                        run,query,hop,overload,adapt,link,fault,churn,all
+//                        (default all)
+//     --trace-cap N      trace ring capacity in records (default 2^18);
+//                        when full the oldest records are evicted
 //
 // Exit code 0 on success, 3 when --audit found invariant violations;
 // prints a one-screen report.
@@ -38,6 +46,7 @@
 
 #include "common/config.h"
 #include "harness/experiment.h"
+#include "trace/jsonl.h"
 
 namespace {
 
@@ -54,7 +63,8 @@ using ert::harness::SubstrateKind;
                "              [--alpha A] [--beta B] [--mu M] [--gamma-l G]\n"
                "              [--poll B] [--data-forwarding] [--probe-cost C]\n"
                "              [--csv FILE] [--audit] [--faults SPEC]\n"
-               "              [--audit-log FILE]\n");
+               "              [--audit-log FILE] [--trace FILE]\n"
+               "              [--trace-cats LIST] [--trace-cap N]\n");
   std::exit(2);
 }
 
@@ -120,6 +130,7 @@ int main(int argc, char** argv) {
   int threads = 0;
   std::string csv;
   std::string audit_log;
+  std::string trace_file;
   ert::harness::ExperimentOptions options;
 
   auto need = [&](int& i) -> const char* {
@@ -168,6 +179,17 @@ int main(int argc, char** argv) {
     else if (a == "--audit") options.audit.enabled = true;
     else if (a == "--faults") options.faults = parse_faults(need(i));
     else if (a == "--audit-log") audit_log = need(i);
+    else if (a == "--trace") {
+      trace_file = need(i);
+      options.trace.enabled = true;
+    } else if (a == "--trace-cats") {
+      if (!ert::trace::parse_categories(need(i), &options.trace.categories))
+        usage("--trace-cats wants run,query,hop,overload,adapt,link,fault,"
+              "churn or all");
+    } else if (a == "--trace-cap") {
+      options.trace.capacity = std::strtoul(need(i), nullptr, 10);
+      if (options.trace.capacity == 0) usage("--trace-cap wants N >= 1");
+    }
     else if (a == "--help" || a == "-h") usage();
     else usage(("unknown option " + a).c_str());
   }
@@ -225,6 +247,17 @@ int main(int argc, char** argv) {
         std::fprintf(f, "%s\n", ert::harness::to_string(v).c_str());
       std::fclose(f);
     }
+  }
+
+  if (!trace_file.empty()) {
+    if (!ert::trace::write_jsonl_file(trace_file, r.trace_records)) {
+      std::perror("ertsim: --trace open");
+      return 1;
+    }
+    std::printf("trace              %zu records to %s (%zu emitted, %zu "
+                "evicted by ring wrap)\n",
+                r.trace_records.size(), trace_file.c_str(), r.trace_emitted,
+                r.trace_dropped);
   }
 
   if (!csv.empty()) {

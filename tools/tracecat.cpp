@@ -1,0 +1,323 @@
+// tracecat — summarize and validate structured trace files (docs/TRACING.md).
+//
+//   tracecat [options] FILE
+//     --validate   strict schema check: exit 1 on the first malformed line
+//     --query N    print the full event chain of query id N
+//     --node N     print the adaptation / link / churn history of node N
+//     --top K      list length for the summary's top-K tables (default 5)
+//
+// FILE is a JSON-lines trace written by `ertsim --trace` ("-" reads stdin).
+// The default report shows per-event-type counts, the longest query hop
+// chains, the most-adapted nodes, and the top congestion offenders (the
+// nodes queries most often met overloaded). Multi-seed traces concatenate
+// per-seed streams (run.begin marks each seed), so query ids are qualified
+// by their run; node tallies aggregate across runs by overlay index.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "trace/jsonl.h"
+#include "trace/trace.h"
+
+namespace {
+
+using ert::trace::EventType;
+using ert::trace::Record;
+
+[[noreturn]] void usage(const char* msg = nullptr) {
+  if (msg) std::fprintf(stderr, "tracecat: %s\n", msg);
+  std::fprintf(stderr,
+               "usage: tracecat [--validate] [--query N] [--node N]\n"
+               "                [--top K] FILE\n");
+  std::exit(2);
+}
+
+/// fault.delay / fault.dup use the query field as a message index, not a
+/// query id — keep them out of per-query chains.
+bool query_scoped(EventType t) {
+  switch (t) {
+    case EventType::kQueryBegin:
+    case EventType::kQueryHop:
+    case EventType::kQueryOverload:
+    case EventType::kQueryTimeout:
+    case EventType::kQueryEnd:
+    case EventType::kQueryDrop:
+    case EventType::kFaultTimeout:
+    case EventType::kFaultRetry:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// One human line per record, spelling out the per-type field semantics.
+std::string describe(const Record& r) {
+  char buf[160];
+  switch (r.type) {
+    case EventType::kRunBegin:
+      std::snprintf(buf, sizeof buf, "seed=%llu nodes=%llu proto=%lld sub=%lld",
+                    (unsigned long long)r.query, (unsigned long long)r.node,
+                    (long long)r.a, (long long)r.b);
+      break;
+    case EventType::kRunEnd:
+      std::snprintf(buf, sizeof buf, "seed=%llu completed=%lld dropped=%lld",
+                    (unsigned long long)r.query, (long long)r.a,
+                    (long long)r.b);
+      break;
+    case EventType::kQueryBegin:
+      std::snprintf(buf, sizeof buf, "q=%llu source=%llu key=%lld",
+                    (unsigned long long)r.query, (unsigned long long)r.node,
+                    (long long)r.a);
+      break;
+    case EventType::kQueryHop:
+      std::snprintf(buf, sizeof buf, "q=%llu %llu -> %lld (cands=%u aset=%lld)",
+                    (unsigned long long)r.query, (unsigned long long)r.node,
+                    (long long)r.a, r.aux, (long long)r.b);
+      break;
+    case EventType::kQueryOverload:
+      std::snprintf(buf, sizeof buf, "q=%llu heavy node=%llu queue=%lld g=%.3f",
+                    (unsigned long long)r.query, (unsigned long long)r.node,
+                    (long long)r.a, (double)r.b / 1000.0);
+      break;
+    case EventType::kQueryTimeout:
+      std::snprintf(buf, sizeof buf, "q=%llu dead node=%llu site=%u",
+                    (unsigned long long)r.query, (unsigned long long)r.node,
+                    r.aux);
+      break;
+    case EventType::kQueryEnd:
+      std::snprintf(buf, sizeof buf, "q=%llu owner=%llu hops=%lld heavy=%lld",
+                    (unsigned long long)r.query, (unsigned long long)r.node,
+                    (long long)r.a, (long long)r.b);
+      break;
+    case EventType::kQueryDrop:
+      std::snprintf(buf, sizeof buf, "q=%llu at=%llu hops=%lld cause=%s",
+                    (unsigned long long)r.query, (unsigned long long)r.node,
+                    (long long)r.a, r.aux == 0 ? "overload" : "fault");
+      break;
+    case EventType::kAdaptShed:
+    case EventType::kAdaptGrow:
+      std::snprintf(buf, sizeof buf, "node=%llu indegree %lld -> %lld (want %u)",
+                    (unsigned long long)r.node, (long long)r.a, (long long)r.b,
+                    r.aux);
+      break;
+    case EventType::kLinkAdopt:
+    case EventType::kLinkShed:
+      std::snprintf(buf, sizeof buf, "node=%llu host=%lld indegree=%lld",
+                    (unsigned long long)r.node, (long long)r.a, (long long)r.b);
+      break;
+    case EventType::kFaultTimeout:
+    case EventType::kFaultRetry:
+      std::snprintf(buf, sizeof buf, "q=%llu dest=%llu attempt=%lld",
+                    (unsigned long long)r.query, (unsigned long long)r.node,
+                    (long long)r.a);
+      break;
+    case EventType::kFaultDelay:
+    case EventType::kFaultDup:
+      std::snprintf(buf, sizeof buf, "msg=%llu extra=%lldus",
+                    (unsigned long long)r.query, (long long)r.a);
+      break;
+    case EventType::kChurnJoin:
+      std::snprintf(buf, sizeof buf, "real=%llu overlay=%lld%s",
+                    (unsigned long long)r.node, (long long)r.a,
+                    r.a < 0 ? " (rejected)" : "");
+      break;
+    case EventType::kChurnDepart:
+    case EventType::kCrash:
+      std::snprintf(buf, sizeof buf, "real=%llu", (unsigned long long)r.node);
+      break;
+  }
+  char out[200];
+  std::snprintf(out, sizeof out, "%12.6f  %-14s %s", r.time,
+                ert::trace::to_string(r.type), buf);
+  return out;
+}
+
+struct QueryTally {
+  std::size_t hops = 0;
+  std::size_t overloads = 0;
+  std::size_t timeouts = 0;
+  double begin_time = 0.0;
+  double end_time = -1.0;  ///< < 0 while unfinished.
+  bool dropped = false;
+};
+
+struct NodeTally {
+  std::size_t sheds = 0;
+  std::size_t grows = 0;
+  std::size_t overload_hits = 0;  ///< times queries met this node heavy.
+};
+
+template <typename Map, typename Score>
+void print_top(const Map& m, std::size_t k, Score score, const char* fmt) {
+  using Entry = typename Map::value_type;
+  std::vector<const Entry*> order;
+  order.reserve(m.size());
+  for (const auto& e : m) order.push_back(&e);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](const Entry* x, const Entry* y) {
+                     return score(x->second) > score(y->second);
+                   });
+  for (std::size_t i = 0; i < order.size() && i < k; ++i) {
+    if (score(order[i]->second) == 0) break;
+    std::printf(fmt, (unsigned long long)order[i]->first.second,
+                (unsigned long long)score(order[i]->second),
+                order[i]->first.first);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool validate = false;
+  bool want_query = false, want_node = false;
+  std::uint64_t query_id = 0, node_id = 0;
+  std::size_t top_k = 5;
+  std::string path;
+
+  auto need = [&](int& i) -> const char* {
+    if (i + 1 >= argc) usage("missing argument value");
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--validate") validate = true;
+    else if (a == "--query") { want_query = true; query_id = std::strtoull(need(i), nullptr, 10); }
+    else if (a == "--node") { want_node = true; node_id = std::strtoull(need(i), nullptr, 10); }
+    else if (a == "--top") top_k = std::strtoul(need(i), nullptr, 10);
+    else if (a == "--help" || a == "-h") usage();
+    else if (!a.empty() && a[0] == '-' && a != "-") usage(("unknown option " + a).c_str());
+    else if (path.empty()) path = a;
+    else usage("more than one FILE");
+  }
+  if (path.empty()) usage("missing FILE");
+
+  std::ifstream file;
+  std::istream* in = &std::cin;
+  if (path != "-") {
+    file.open(path);
+    if (!file) {
+      std::fprintf(stderr, "tracecat: cannot open %s\n", path.c_str());
+      return 1;
+    }
+    in = &file;
+  }
+
+  // key = (run index, query id): query ids restart per seed in a
+  // concatenated multi-seed trace.
+  std::map<std::pair<std::uint32_t, std::uint64_t>, QueryTally> queries;
+  std::map<std::pair<std::uint32_t, std::uint64_t>, NodeTally> nodes;
+  std::size_t counts[ert::trace::kNumEventTypes] = {};
+  std::size_t total = 0, bad = 0, lineno = 0;
+  std::uint32_t run = 0;
+  std::string line;
+  while (std::getline(*in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    Record r;
+    std::string err;
+    if (!ert::trace::parse_jsonl_line(line, &r, &err)) {
+      if (validate) {
+        std::fprintf(stderr, "tracecat: %s:%zu: %s\n", path.c_str(), lineno,
+                     err.c_str());
+        return 1;
+      }
+      ++bad;
+      continue;
+    }
+    ++total;
+    ++counts[static_cast<std::size_t>(r.type)];
+    if (r.type == EventType::kRunBegin) ++run;
+    const std::uint32_t cur_run = run > 0 ? run - 1 : 0;
+
+    if (want_query && query_scoped(r.type) && r.query == query_id)
+      std::printf("%s\n", describe(r).c_str());
+    if (want_node && !query_scoped(r.type) && r.type != EventType::kRunBegin &&
+        r.type != EventType::kRunEnd && r.node == node_id)
+      std::printf("%s\n", describe(r).c_str());
+
+    if (query_scoped(r.type)) {
+      QueryTally& q = queries[{cur_run, r.query}];
+      switch (r.type) {
+        case EventType::kQueryBegin: q.begin_time = r.time; break;
+        case EventType::kQueryHop: ++q.hops; break;
+        case EventType::kQueryOverload: ++q.overloads; break;
+        case EventType::kQueryTimeout: ++q.timeouts; break;
+        case EventType::kQueryEnd: q.end_time = r.time; break;
+        case EventType::kQueryDrop: q.dropped = true; q.end_time = r.time; break;
+        default: break;
+      }
+    }
+    switch (r.type) {
+      case EventType::kQueryOverload:
+        ++nodes[{cur_run, r.node}].overload_hits;
+        break;
+      case EventType::kAdaptShed:
+        ++nodes[{cur_run, r.node}].sheds;
+        break;
+      case EventType::kAdaptGrow:
+        ++nodes[{cur_run, r.node}].grows;
+        break;
+      default:
+        break;
+    }
+  }
+
+  if (validate) {
+    std::printf("%zu records valid\n", total);
+    return 0;
+  }
+  if (want_query || want_node) return 0;
+
+  std::printf("%zu records", total);
+  if (bad > 0) std::printf(" (%zu malformed lines skipped)", bad);
+  std::printf(", %u run%s\n\n", run, run == 1 ? "" : "s");
+
+  std::printf("event counts\n");
+  for (std::size_t t = 0; t < ert::trace::kNumEventTypes; ++t) {
+    if (counts[t] == 0) continue;
+    std::printf("  %-16s %zu\n",
+                ert::trace::to_string(static_cast<EventType>(t)), counts[t]);
+  }
+
+  std::size_t done = 0, dropped = 0;
+  for (const auto& [key, q] : queries) {
+    if (q.end_time >= 0.0 && !q.dropped) ++done;
+    if (q.dropped) ++dropped;
+  }
+  if (!queries.empty()) {
+    std::printf("\nqueries: %zu seen, %zu completed, %zu dropped\n",
+                queries.size(), done, dropped);
+    std::printf("longest hop chains (hops, query, run)\n");
+    print_top(queries, top_k,
+              [](const QueryTally& q) { return q.hops; },
+              "  q=%-10llu %llu hops (run %u)\n");
+    std::printf("slowest queries (latency)\n");
+    std::vector<std::pair<double, std::pair<std::uint32_t, std::uint64_t>>> lat;
+    for (const auto& [key, q] : queries)
+      if (q.end_time >= 0.0) lat.push_back({q.end_time - q.begin_time, key});
+    std::stable_sort(lat.begin(), lat.end(),
+                     [](const auto& x, const auto& y) { return x.first > y.first; });
+    for (std::size_t i = 0; i < lat.size() && i < top_k; ++i)
+      std::printf("  q=%-10llu %.3f s (run %u)\n",
+                  (unsigned long long)lat[i].second.second, lat[i].first,
+                  lat[i].second.first);
+  }
+  if (!nodes.empty()) {
+    std::printf("\ntop congestion offenders (overload encounters)\n");
+    print_top(nodes, top_k,
+              [](const NodeTally& n) { return n.overload_hits; },
+              "  node=%-8llu %llu encounters (run %u)\n");
+    std::printf("most-adapted nodes (sheds + grows)\n");
+    print_top(nodes, top_k,
+              [](const NodeTally& n) { return n.sheds + n.grows; },
+              "  node=%-8llu %llu adaptations (run %u)\n");
+  }
+  return 0;
+}
