@@ -1,0 +1,321 @@
+// Hop-loop microbench: allocation-free fast path vs the pre-refactor one.
+//
+//   bench_route_hop [output.json]     (default BENCH_route_hop.json)
+//
+// Drives the schedule-route-forward workload — pick a source and key, route
+// hop by hop, run Algorithm 4 at every multi-candidate hop — through two
+// identically seeded Cycloid overlays:
+//
+//   fast        scratch-based route_step + templated forward_topology_aware
+//               (ert/forwarding.h): no per-hop heap traffic, sorted
+//               small-buffer A set, concrete probe callable.
+//   reference   the route_step and forwarding implementations as they
+//               shipped before the fast path (reference_routing.h): fresh
+//               vectors and stable_sort merge buffers per hop, std::find
+//               over a vector A set, std::function probe.
+//
+// Both consume the identical Rng draw sequence, so their hop streams must
+// be bit-identical; the bench checksums every hop and aborts on mismatch,
+// making it an equivalence check as well as a stopwatch. A scale section
+// runs the fast loop on an n = 65536 overlay to smoke-test large networks.
+//
+// ERT_BENCH_SMOKE=1 shrinks sizes for CI. Times are best of three
+// repetitions (one in smoke mode).
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "cycloid/overlay.h"
+#include "dht/route_scratch.h"
+#include "ert/forwarding.h"
+#include "json_writer.h"
+#include "reference_routing.h"
+
+namespace {
+
+using ert::Rng;
+using ert::dht::NodeIndex;
+
+bool smoke_mode() {
+  const char* e = std::getenv("ERT_BENCH_SMOKE");
+  return e && *e && std::string(e) != "0";
+}
+
+/// Smallest Cycloid dimension whose id space holds `ids_needed` ids
+/// (mirrors the harness's fit_dimension).
+int fit_dimension(std::size_t ids_needed) {
+  for (int d = 3; d < 25; ++d)
+    if (static_cast<std::size_t>(d) << d >= ids_needed) return d;
+  return 25;
+}
+
+ert::cycloid::Overlay build_overlay(std::size_t n, std::uint64_t seed) {
+  ert::cycloid::OverlayOptions opts;
+  opts.dimension = fit_dimension(2 * n);
+  // Multi-candidate cyclic/leaf entries so the forwarding policy has real
+  // work at most hops (the engine's elastic tables reach similar widths).
+  opts.base_fanout = 3;
+  ert::cycloid::Overlay o(opts);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) o.add_node_random(rng, 1.0, 1 << 20, 0.8);
+  for (NodeIndex i = 0; i < o.num_slots(); ++i) o.build_table(i, rng);
+  return o;
+}
+
+/// Deterministic synthetic load: both loops must see identical probe
+/// results without sharing state. Depends on the probing node `from` the
+/// way the engine's probe did (physical distance is measured from the
+/// current hop).
+ert::core::ProbeResult synth_probe(NodeIndex n, NodeIndex from,
+                                   std::uint64_t salt) {
+  ert::core::ProbeResult r;
+  const std::uint64_t h =
+      (static_cast<std::uint64_t>(n) * 2654435761u) ^ (salt * 40503u);
+  r.load = static_cast<double>(h % 89) / 16.0;
+  r.heavy = (h & 7u) == 0;  // ~12% heavy
+  r.logical_distance = (h >> 8) % 4096;
+  r.physical_distance =
+      static_cast<double>(((h >> 4) ^ static_cast<std::uint64_t>(from)) % 31);
+  r.unit_load = 0.25;
+  return r;
+}
+
+/// Folds a hop into the running checksum (order-sensitive).
+void fold(std::uint64_t& sum, NodeIndex next, int probes) {
+  sum = sum * 1099511628211ull + static_cast<std::uint64_t>(next) * 31u +
+        static_cast<std::uint64_t>(probes);
+}
+
+/// The pre-refactor hop loop: legacy route_step (fresh candidate vector per
+/// hop), vector A set with linear dedup, std::function probe constructed
+/// per forwarding call — exactly what the engine did before this PR.
+struct ReferenceLoop {
+  ert::cycloid::Overlay o;
+  Rng rng;
+  std::uint64_t checksum = 0;
+  std::uint64_t queries = 0;
+
+  ReferenceLoop(std::size_t n, std::uint64_t build_seed, std::uint64_t run_seed)
+      : o(build_overlay(n, build_seed)), rng(run_seed) {}
+
+  std::size_t run(std::size_t lookups) {
+    ert::core::TopoForwardOptions opts;
+    std::size_t hops = 0;
+    std::vector<NodeIndex> overloaded;
+    for (std::size_t q = 0; q < lookups; ++q) {
+      const std::uint64_t salt = ++queries;
+      NodeIndex cur = rng.index(o.num_slots());
+      const std::uint64_t key = rng.bits() % o.space().size();
+      ert::cycloid::RouteCtx ctx;
+      overloaded.clear();
+      for (int guard = 0; guard < 256; ++guard) {
+        const ert::cycloid::RouteStep step =
+            ertbench::refroute::route_step(o, cur, key, ctx);
+        if (step.arrived) break;
+        NodeIndex next = step.candidates.front();
+        int probes = 0;
+        if (step.entry_index != ert::cycloid::kNoEntry &&
+            step.candidates.size() > 1) {
+          // The engine's probe closed over the engine, the query, and the
+          // current hop — past std::function's inline buffer, so the old
+          // loop paid a heap allocation plus type-erased dispatch per hop.
+          const ert::core::ProbeFn probe = [this, salt, cur,
+                                            key](NodeIndex n) {
+            ert::core::ProbeResult r = synth_probe(n, cur, salt);
+            r.logical_distance = o.logical_distance_to_key(n, key);
+            return r;
+          };
+          auto& entry = o.mutable_node(cur).table.entry(step.entry_index);
+          const auto d = ertbench::refroute::forward_topology_aware(
+              entry, step.candidates, overloaded, opts, probe, rng);
+          next = d.next;
+          probes = d.probes;
+          for (NodeIndex ov : d.newly_overloaded) {
+            if (overloaded.size() < ert::core::kOverloadedSetCap &&
+                std::find(overloaded.begin(), overloaded.end(), ov) ==
+                    overloaded.end())
+              overloaded.push_back(ov);
+          }
+        }
+        fold(checksum, next, probes);
+        cur = next;
+        ++hops;
+      }
+    }
+    return hops;
+  }
+};
+
+/// The allocation-free hop loop this PR introduces: identical decisions,
+/// zero steady-state heap traffic.
+struct FastLoop {
+  ert::cycloid::Overlay o;
+  Rng rng;
+  ert::dht::RouteScratch route_scratch;
+  ert::core::ForwardScratch fwd_scratch;
+  ert::core::OverloadedSet overloaded;
+  std::uint64_t checksum = 0;
+  std::uint64_t queries = 0;
+
+  FastLoop(std::size_t n, std::uint64_t build_seed, std::uint64_t run_seed)
+      : o(build_overlay(n, build_seed)), rng(run_seed) {}
+
+  std::size_t run(std::size_t lookups) {
+    ert::core::TopoForwardOptions opts;
+    std::size_t hops = 0;
+    for (std::size_t q = 0; q < lookups; ++q) {
+      const std::uint64_t salt = ++queries;
+      NodeIndex cur = rng.index(o.num_slots());
+      const std::uint64_t key = rng.bits() % o.space().size();
+      ert::cycloid::RouteCtx ctx;
+      overloaded.clear();
+      for (int guard = 0; guard < 256; ++guard) {
+        const ert::dht::RouteStepInfo step =
+            o.route_step(cur, key, ctx, route_scratch);
+        if (step.arrived) break;
+        const auto& cands = route_scratch.candidates;
+        NodeIndex next = cands.front();
+        int probes = 0;
+        if (step.entry_index != ert::cycloid::kNoEntry && cands.size() > 1) {
+          // Same closure as the reference probe, but invoked directly as a
+          // template parameter: no std::function, no heap.
+          const auto probe = [this, salt, cur, key](NodeIndex n) {
+            ert::core::ProbeResult r = synth_probe(n, cur, salt);
+            r.logical_distance = o.logical_distance_to_key(n, key);
+            return r;
+          };
+          auto& entry = o.mutable_node(cur).table.entry(step.entry_index);
+          const ert::core::ForwardStep d = ert::core::forward_topology_aware(
+              entry, std::span<const NodeIndex>(cands), overloaded, opts,
+              probe, rng, fwd_scratch);
+          next = d.next;
+          probes = d.probes;
+          for (NodeIndex ov : fwd_scratch.newly_overloaded)
+            if (overloaded.size() < ert::core::kOverloadedSetCap)
+              overloaded.insert(ov);
+        }
+        fold(checksum, next, probes);
+        cur = next;
+        ++hops;
+      }
+    }
+    return hops;
+  }
+};
+
+template <typename Fn>
+double time_best_of(int reps, Fn&& fn, std::size_t& hops) {
+  double best = 1e300;
+  hops = 0;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    hops += fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = smoke_mode();
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_route_hop.json";
+  const int reps = smoke ? 1 : 3;
+  const std::size_t n = smoke ? 512 : 2048;
+  const std::size_t lookups = smoke ? 3000 : 30000;
+  const std::size_t scale_n = smoke ? 4096 : 65536;
+  const std::size_t scale_lookups = smoke ? 1000 : 10000;
+
+  // Same build seed -> identical overlays; same run seed -> identical draw
+  // streams. Any divergence shows up as a checksum mismatch.
+  FastLoop fast(n, 1, 2);
+  ReferenceLoop ref(n, 1, 2);
+
+  std::size_t fast_hops = 0, ref_hops = 0;
+  const double fast_s = time_best_of(reps, [&] { return fast.run(lookups); },
+                                     fast_hops);
+  const double ref_s = time_best_of(reps, [&] { return ref.run(lookups); },
+                                    ref_hops);
+
+  if (fast.checksum != ref.checksum || fast_hops != ref_hops) {
+    std::fprintf(stderr,
+                 "bench_route_hop: hop streams diverged "
+                 "(fast %llx/%zu vs reference %llx/%zu)\n",
+                 static_cast<unsigned long long>(fast.checksum), fast_hops,
+                 static_cast<unsigned long long>(ref.checksum), ref_hops);
+    return 1;
+  }
+
+  // Scale smoke: the fast loop on a large overlay (no reference run — the
+  // point is that big networks route, not a second stopwatch).
+  const auto build0 = std::chrono::steady_clock::now();
+  FastLoop scale(scale_n, 3, 4);
+  const double scale_build_s = std::chrono::duration<double>(
+                                   std::chrono::steady_clock::now() - build0)
+                                   .count();
+  std::size_t scale_hops = 0;
+  const double scale_s =
+      time_best_of(1, [&] { return scale.run(scale_lookups); }, scale_hops);
+
+  std::FILE* f = std::fopen(out_path, "w");
+  if (!f) {
+    std::perror("bench_route_hop: open output");
+    return 1;
+  }
+  ertbench::JsonWriter w(f);
+  w.begin_object();
+  w.field("bench", "route_hop");
+  w.field("smoke", smoke);
+  w.field("repetitions", reps);
+  w.key("workloads");
+  w.begin_array();
+  w.begin_object();
+  w.field("name", "schedule_route_forward");
+  w.field("substrate", "Cycloid");
+  w.field("nodes", static_cast<std::uint64_t>(n));
+  w.field("lookups_per_rep", static_cast<std::uint64_t>(lookups));
+  w.key("fast");
+  w.begin_object();
+  w.field("hops", static_cast<std::uint64_t>(fast_hops));
+  w.field("seconds", fast_s);
+  w.field("hops_per_sec", static_cast<double>(fast_hops) / reps / fast_s);
+  w.end_object();
+  w.key("reference");
+  w.begin_object();
+  w.field("hops", static_cast<std::uint64_t>(ref_hops));
+  w.field("seconds", ref_s);
+  w.field("hops_per_sec", static_cast<double>(ref_hops) / reps / ref_s);
+  w.end_object();
+  w.field("speedup", ref_s / fast_s);
+  w.field("checksum_match", true);
+  w.end_object();
+  w.end_array();
+  w.key("scale");
+  w.begin_object();
+  w.field("nodes", static_cast<std::uint64_t>(scale_n));
+  w.field("lookups", static_cast<std::uint64_t>(scale_lookups));
+  w.field("build_seconds", scale_build_s);
+  w.field("hops", static_cast<std::uint64_t>(scale_hops));
+  w.field("seconds", scale_s);
+  w.field("hops_per_sec", static_cast<double>(scale_hops) / scale_s);
+  w.end_object();
+  w.end_object();
+  w.finish();
+  std::fclose(f);
+
+  std::printf("schedule_route_forward  fast %8.1f k hops/s   reference %8.1f k hops/s   speedup %.2fx\n",
+              static_cast<double>(fast_hops) / reps / fast_s / 1e3,
+              static_cast<double>(ref_hops) / reps / ref_s / 1e3,
+              ref_s / fast_s);
+  std::printf("scale n=%zu              %8.1f k hops/s   (build %.1fs)\n",
+              scale_n, static_cast<double>(scale_hops) / scale_s / 1e3,
+              scale_build_s);
+  std::printf("wrote %s\n", out_path);
+  return 0;
+}

@@ -1,0 +1,323 @@
+// Pre-refactor forwarding hot path, preserved verbatim for bench_route_hop.
+//
+// This is the topology-aware forwarding implementation (and the allocating
+// index sampler it used) exactly as it stood before the allocation-free
+// fast path landed: fresh vectors for the usable pool, the polled set, the
+// probe results and the light list on every call; an unordered_set in the
+// sparse sampling branch; the overloaded set A as a plain vector scanned
+// with std::find; and the probe behind a std::function. bench_route_hop
+// runs identical workloads through this and through the scratch-based
+// implementation in ert/forwarding.h, checks the two pick bit-identical
+// hops, and reports the speedup.
+//
+// Kept out of src/ on purpose: production code must not grow a second
+// forwarding implementation, and this copy only changes when the bench's
+// baseline is deliberately re-pinned.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "common/bitops.h"
+#include "common/rng.h"
+#include "cycloid/overlay.h"
+#include "dht/ring.h"
+#include "dht/routing_entry.h"
+#include "dht/types.h"
+#include "ert/forwarding.h"
+
+namespace ertbench::refroute {
+
+using ert::Rng;
+using ert::core::ForwardDecision;
+using ert::core::ProbeFn;
+using ert::core::ProbeResult;
+using ert::core::TopoForwardOptions;
+
+/// The seed Rng::sample_indices: allocates its result, an index array in
+/// the dense branch, and a hash set in the sparse branch. Consumes the
+/// same draw sequence as the current scratch-based sampler.
+inline std::vector<std::size_t> sample_indices(Rng& rng, std::size_t n,
+                                               std::size_t k) {
+  std::vector<std::size_t> out;
+  out.reserve(k);
+  if (k >= n) {
+    out.resize(n);
+    for (std::size_t i = 0; i < n; ++i) out[i] = i;
+    return out;
+  }
+  if (k * 3 >= n) {
+    // Dense case: partial Fisher-Yates over an index array.
+    std::vector<std::size_t> all(n);
+    for (std::size_t i = 0; i < n; ++i) all[i] = i;
+    for (std::size_t i = 0; i < k; ++i) {
+      std::swap(all[i], all[i + rng.index(n - i)]);
+    }
+    all.resize(k);
+    return all;
+  }
+  // Sparse case: rejection sampling into a set.
+  std::unordered_set<std::size_t> seen;
+  while (out.size() < k) {
+    const std::size_t v = rng.index(n);
+    if (seen.insert(v).second) out.push_back(v);
+  }
+  return out;
+}
+
+/// Picks `k` distinct random elements from `v` (order random).
+inline std::vector<ert::dht::NodeIndex> pick_random(
+    const std::vector<ert::dht::NodeIndex>& v, std::size_t k, Rng& rng) {
+  std::vector<std::size_t> idx = sample_indices(rng, v.size(), k);
+  std::vector<ert::dht::NodeIndex> out;
+  out.reserve(idx.size());
+  for (std::size_t i : idx) out.push_back(v[i]);
+  return out;
+}
+
+/// Algorithm 4 as shipped before the fast path: one probe std::function
+/// dispatch per poll, four temporary vectors per call.
+inline ForwardDecision forward_topology_aware(
+    ert::dht::RoutingEntry& entry,
+    const std::vector<ert::dht::NodeIndex>& candidates,
+    const std::vector<ert::dht::NodeIndex>& overloaded,
+    const TopoForwardOptions& opts, const ProbeFn& probe, Rng& rng) {
+  using ert::dht::NodeIndex;
+  ForwardDecision d;
+  if (candidates.empty()) return d;
+
+  // Step 3 of Algorithm 4: exclude candidates known to be overloaded, unless
+  // that leaves us with nothing to route through.
+  std::vector<NodeIndex> usable;
+  if (opts.track_overloaded && !overloaded.empty()) {
+    usable.reserve(candidates.size());
+    for (NodeIndex n : candidates) {
+      if (std::find(overloaded.begin(), overloaded.end(), n) ==
+          overloaded.end())
+        usable.push_back(n);
+    }
+  }
+  const std::vector<NodeIndex>& pool = usable.empty() ? candidates : usable;
+
+  // Steps 4-8: with a remembered node, draw only (b - 1) fresh choices;
+  // otherwise draw b.
+  std::vector<NodeIndex> polled;
+  const NodeIndex remembered = entry.memory();
+  const bool have_memory =
+      opts.use_memory && remembered != ert::dht::kNoNode &&
+      std::find(pool.begin(), pool.end(), remembered) != pool.end();
+  if (have_memory) {
+    polled.push_back(remembered);
+    // Avoid drawing the remembered node twice.
+    std::vector<NodeIndex> rest;
+    rest.reserve(pool.size());
+    for (NodeIndex n : pool)
+      if (n != remembered) rest.push_back(n);
+    const auto extra = pick_random(
+        rest, static_cast<std::size_t>(std::max(0, opts.poll_size - 1)), rng);
+    polled.insert(polled.end(), extra.begin(), extra.end());
+  } else {
+    polled = pick_random(pool, static_cast<std::size_t>(opts.poll_size), rng);
+  }
+  assert(!polled.empty());
+
+  // Step 10: probe the polled candidates.
+  std::vector<ProbeResult> results(polled.size());
+  for (std::size_t i = 0; i < polled.size(); ++i) {
+    results[i] = probe(polled[i]);
+    ++d.probes;
+  }
+
+  std::vector<std::size_t> light;
+  for (std::size_t i = 0; i < polled.size(); ++i)
+    if (!results[i].heavy) light.push_back(i);
+
+  std::size_t chosen;
+  if (light.empty()) {
+    // Steps 11-13: all heavy -> remember them in A, take the least loaded.
+    chosen = 0;
+    for (std::size_t i = 1; i < polled.size(); ++i)
+      if (results[i].load < results[chosen].load) chosen = i;
+    if (opts.track_overloaded)
+      d.newly_overloaded.assign(polled.begin(), polled.end());
+  } else if (light.size() < polled.size()) {
+    // Steps 15-17: mixed -> record the heavy ones, choose the best light one.
+    chosen = light.front();
+    for (std::size_t i : light) {
+      if (results[i].logical_distance < results[chosen].logical_distance ||
+          (results[i].logical_distance == results[chosen].logical_distance &&
+           results[i].physical_distance < results[chosen].physical_distance))
+        chosen = i;
+    }
+    if (opts.track_overloaded) {
+      for (std::size_t i = 0; i < polled.size(); ++i)
+        if (results[i].heavy) d.newly_overloaded.push_back(polled[i]);
+    }
+  } else {
+    // Steps 19-22: all light -> logically closest to the target, physical
+    // proximity breaks ties.
+    chosen = 0;
+    for (std::size_t i = 1; i < polled.size(); ++i) {
+      if (results[i].logical_distance < results[chosen].logical_distance ||
+          (results[i].logical_distance == results[chosen].logical_distance &&
+           results[i].physical_distance < results[chosen].physical_distance))
+        chosen = i;
+    }
+  }
+  d.next = polled[chosen];
+
+  // Memory update [22]: after the chosen node takes one more unit of load,
+  // remember the least-loaded of the polled set for the next dispatch.
+  if (opts.use_memory) {
+    std::size_t least = 0;
+    for (std::size_t i = 0; i < polled.size(); ++i) {
+      const double load_i =
+          results[i].load + (i == chosen ? results[i].unit_load : 0.0);
+      const double load_least =
+          results[least].load +
+          (least == chosen ? results[least].unit_load : 0.0);
+      if (load_i < load_least) least = i;
+    }
+    entry.remember(polled[least]);
+  }
+  return d;
+}
+
+/// The seed Cycloid route_step: identical decisions to the current one,
+/// but with the seed implementation's allocation profile — a fresh vector
+/// per phase, candidate lists copied by value into the sort helper, and
+/// std::stable_sort (whose libstdc++ implementation allocates a merge
+/// buffer) instead of the in-scratch insertion sort. Rewritten against the
+/// Overlay's public accessors only where the original touched private
+/// members directly; control flow and comparators are verbatim.
+inline ert::cycloid::RouteStep route_step(const ert::cycloid::Overlay& o,
+                                          ert::dht::NodeIndex cur,
+                                          std::uint64_t key,
+                                          ert::cycloid::RouteCtx& ctx) {
+  using namespace ert::cycloid;
+  using ert::dht::NodeIndex;
+  const auto lv = [&](NodeIndex i) {
+    return o.space().to_linear(o.node(i).id);
+  };
+  RouteStep step;
+  const NodeIndex owner = o.responsible(key);
+  assert(owner != ert::dht::kNoNode);
+  if (owner == cur) {
+    step.arrived = true;
+    return step;
+  }
+  const auto& cn = o.node(cur);
+  const auto& on = o.node(owner);
+  assert(cn.alive);
+  const CycloidId cid = cn.id;
+  const CycloidId oid = on.id;
+  const int h = cid.a == oid.a ? -1 : ert::msb_diff(cid.a, oid.a);
+
+  if (ctx.phase == RouteCtx::Phase::kAscend) {
+    if (h >= 0 && cid.k < h) {
+      for (std::size_t slot : {kInsideLeafEntry, kOutsideLeafEntry}) {
+        std::vector<NodeIndex> ups;
+        for (NodeIndex c : cn.table.entry(slot).candidates())
+          if (o.node(c).id.k > cid.k) ups.push_back(c);
+        if (ups.empty()) continue;
+        std::stable_sort(ups.begin(), ups.end(),
+                         [&](NodeIndex x, NodeIndex y) {
+                           return std::abs(o.node(x).id.k - h) <
+                                  std::abs(o.node(y).id.k - h);
+                         });
+        step.entry_index = slot;
+        step.candidates = std::move(ups);
+        return step;
+      }
+    }
+    ctx.phase = RouteCtx::Phase::kDescend;
+  }
+
+  if (ctx.phase == RouteCtx::Phase::kDescend) {
+    auto by_cycle_distance = [&](std::vector<NodeIndex> cands) {
+      std::stable_sort(cands.begin(), cands.end(),
+                       [&](NodeIndex x, NodeIndex y) {
+                         return o.space().cycle_distance(o.node(x).id.a,
+                                                         oid.a) <
+                                o.space().cycle_distance(o.node(y).id.a,
+                                                         oid.a);
+                       });
+      return cands;
+    };
+    if (h >= 0 && cid.k >= 1 && cid.k == h &&
+        !cn.table.entry(kCubicalEntry).empty()) {
+      step.entry_index = kCubicalEntry;
+      step.candidates =
+          by_cycle_distance(cn.table.entry(kCubicalEntry).candidates());
+      return step;
+    }
+    if (h >= 0 && cid.k >= 1 && cid.k > h &&
+        !cn.table.entry(kCyclicEntry).empty()) {
+      step.entry_index = kCyclicEntry;
+      step.candidates =
+          by_cycle_distance(cn.table.entry(kCyclicEntry).candidates());
+      return step;
+    }
+    ctx.phase = RouteCtx::Phase::kWalk;
+  }
+
+  const std::uint64_t total = o.space().size();
+  const std::size_t my_pos =
+      o.directory().position_distance(lv(cur), lv(owner));
+  const std::uint64_t my_iddist =
+      ert::dht::ring_distance(lv(cur), lv(owner), total);
+  auto progress_rank = [&](NodeIndex c) -> std::int64_t {
+    if (o.node(c).alive) {
+      const std::size_t pos =
+          o.directory().position_distance(lv(c), lv(owner));
+      if (pos >= my_pos) return -1;
+      return static_cast<std::int64_t>(pos);
+    }
+    const std::uint64_t idd = ert::dht::ring_distance(lv(c), lv(owner), total);
+    if (idd >= my_iddist) return -1;
+    return static_cast<std::int64_t>(my_pos);  // dead: rank after live ones
+  };
+  const bool in_owner_cycle = cid.a == oid.a;
+  auto usable = [&](NodeIndex c) {
+    return !in_owner_cycle || o.node(c).id.a == oid.a;
+  };
+  for (int relax = 0; relax < 2; ++relax) {
+    std::size_t best_slot = kNoEntry;
+    std::int64_t best_rank = -1;
+    for (std::size_t slot = 0; slot < kNumEntries; ++slot) {
+      for (NodeIndex c : cn.table.entry(slot).candidates()) {
+        if (relax == 0 && !usable(c)) continue;
+        const std::int64_t r = progress_rank(c);
+        if (r >= 0 && (best_rank < 0 || r < best_rank)) {
+          best_rank = r;
+          best_slot = slot;
+        }
+      }
+    }
+    if (best_slot != kNoEntry) {
+      std::vector<std::pair<std::int64_t, NodeIndex>> ranked;
+      for (NodeIndex c : cn.table.entry(best_slot).candidates()) {
+        if (relax == 0 && !usable(c)) continue;
+        const std::int64_t r = progress_rank(c);
+        if (r >= 0) ranked.emplace_back(r, c);
+      }
+      std::stable_sort(ranked.begin(), ranked.end());
+      step.entry_index = best_slot;
+      step.candidates.reserve(ranked.size());
+      for (const auto& [r, c] : ranked) step.candidates.push_back(c);
+      return step;
+    }
+  }
+  const std::uint64_t next_id =
+      o.directory().step_toward(lv(cur), lv(owner));
+  const auto next = o.directory().owner_of(next_id);
+  assert(next.has_value());
+  step.entry_index = kNoEntry;
+  step.candidates = {*next};
+  return step;
+}
+
+}  // namespace ertbench::refroute

@@ -221,7 +221,21 @@ dht::NodeIndex Overlay::responsible(Point p) const {
 }
 
 RouteStep Overlay::route_step(dht::NodeIndex cur, Point target) const {
+  dht::RouteScratch scratch;
+  const dht::RouteStepInfo info = route_step(cur, target, scratch);
   RouteStep step;
+  step.arrived = info.arrived;
+  step.entry_index = info.entry_index;
+  step.candidates = std::move(scratch.candidates);
+  return step;
+}
+
+dht::RouteStepInfo Overlay::route_step(dht::NodeIndex cur, Point target,
+                                       dht::RouteScratch& scratch) const {
+  dht::RouteStepInfo step;
+  step.entry_index = kNumEntries;
+  auto& cands = scratch.candidates;
+  cands.clear();
   const dht::NodeIndex owner = responsible(target);
   assert(owner != dht::kNoNode);
   if (owner == cur) {
@@ -260,25 +274,23 @@ RouteStep Overlay::route_step(dht::NodeIndex cur, Point target) const {
     // partition: the face toward the target always leads to a closer zone.
     // Tolerate anyway (stale state mid-churn): fall back to the adjacency
     // neighbor with the minimum rank, strictness dropped.
-    std::vector<dht::NodeIndex> all;
     for (dht::NodeIndex c : cn.table.entry(kAdjacencyEntry).candidates())
-      if (nodes_[c].alive) all.push_back(c);
-    assert(!all.empty());
-    std::sort(all.begin(), all.end(), [&](dht::NodeIndex x, dht::NodeIndex y) {
-      return rank(x) < rank(y);
-    });
+      if (nodes_[c].alive) cands.push_back(c);
+    assert(!cands.empty());
+    std::sort(cands.begin(), cands.end(),
+              [&](dht::NodeIndex x, dht::NodeIndex y) {
+                return rank(x) < rank(y);
+              });
     step.entry_index = kNumEntries;
-    step.candidates = std::move(all);
     return step;
   }
-  std::vector<dht::NodeIndex> cands;
   for (dht::NodeIndex c : cn.table.entry(best_entry).candidates())
     if (nodes_[c].alive && better(c)) cands.push_back(c);
-  std::sort(cands.begin(), cands.end(), [&](dht::NodeIndex x, dht::NodeIndex y) {
-    return rank(x) < rank(y);
-  });
+  std::sort(cands.begin(), cands.end(),
+            [&](dht::NodeIndex x, dht::NodeIndex y) {
+              return rank(x) < rank(y);
+            });
   step.entry_index = best_entry;
-  step.candidates = std::move(cands);
   return step;
 }
 

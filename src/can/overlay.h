@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "dht/route_scratch.h"
 #include "dht/routing_entry.h"
 #include "dht/types.h"
 #include "ert/indegree.h"
@@ -105,6 +106,11 @@ class Overlay {
 
   dht::NodeIndex responsible(Point p) const;
   RouteStep route_step(dht::NodeIndex cur, Point target) const;
+
+  /// Allocation-free hop: identical routing decision, but the candidate
+  /// set is written into `scratch.candidates` instead of a fresh vector.
+  dht::RouteStepInfo route_step(dht::NodeIndex cur, Point target,
+                                dht::RouteScratch& scratch) const;
 
   bool link_shortcut(dht::NodeIndex from, dht::NodeIndex to,
                      bool respect_budget);

@@ -259,7 +259,21 @@ std::uint64_t Overlay::logical_distance(dht::NodeIndex a,
 }
 
 RouteStep Overlay::route_step(dht::NodeIndex cur, std::uint64_t key) const {
+  dht::RouteScratch scratch;
+  const dht::RouteStepInfo info = route_step(cur, key, scratch);
   RouteStep step;
+  step.arrived = info.arrived;
+  step.entry_index = info.entry_index;
+  step.candidates = std::move(scratch.candidates);
+  return step;
+}
+
+dht::RouteStepInfo Overlay::route_step(dht::NodeIndex cur, std::uint64_t key,
+                                       dht::RouteScratch& scratch) const {
+  dht::RouteStepInfo step;
+  step.entry_index = 0;
+  auto& cands = scratch.candidates;
+  cands.clear();
   const dht::NodeIndex owner = responsible(key);
   assert(owner != dht::kNoNode);
   if (owner == cur) {
@@ -286,24 +300,26 @@ RouteStep Overlay::route_step(dht::NodeIndex cur, std::uint64_t key) const {
     }
   }
   if (best_slot < cn.table.num_entries()) {
-    std::vector<std::pair<std::uint64_t, dht::NodeIndex>> ranked;
+    auto& ranked = scratch.ranked;
+    ranked.clear();
     for (dht::NodeIndex c : cn.table.entry(best_slot).candidates()) {
       const std::uint64_t step_fwd =
           dht::clockwise(cn.id, nodes_[c].id, ring_size());
       if (step_fwd == 0 || step_fwd > my_gap) continue;
       ranked.emplace_back(my_gap - step_fwd, c);
     }
-    std::stable_sort(ranked.begin(), ranked.end());
+    dht::stable_insertion_sort(
+        ranked.begin(), ranked.end(),
+        [](const auto& a, const auto& b) { return a < b; });
     step.entry_index = best_slot;
-    step.candidates.reserve(ranked.size());
-    for (const auto& [g, c] : ranked) step.candidates.push_back(c);
+    for (const auto& [g, c] : ranked) cands.push_back(c);
     return step;
   }
   // Emergency: directory successor (stabilized ring link).
   const dht::NodeIndex succ = directory_.successor((cn.id + 1) & (ring_size() - 1));
   assert(succ != dht::kNoNode && succ != cur);
   step.entry_index = cn.table.num_entries();
-  step.candidates = {succ};
+  cands.push_back(succ);
   return step;
 }
 

@@ -24,6 +24,7 @@
 
 #include "common/rng.h"
 #include "dht/ring.h"
+#include "dht/route_scratch.h"
 #include "dht/routing_entry.h"
 #include "dht/types.h"
 #include "ert/indegree.h"
@@ -90,6 +91,11 @@ class Overlay {
 
   dht::NodeIndex responsible(std::uint64_t key) const;
   RouteStep route_step(dht::NodeIndex cur, std::uint64_t key) const;
+
+  /// Allocation-free hop: identical routing decision, but the candidate
+  /// set is written into `scratch.candidates` instead of a fresh vector.
+  dht::RouteStepInfo route_step(dht::NodeIndex cur, std::uint64_t key,
+                                dht::RouteScratch& scratch) const;
 
   /// Ring distance from a node to a key (for forwarding tie-breaks).
   std::uint64_t logical_distance_to_key(dht::NodeIndex a,

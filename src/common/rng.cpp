@@ -1,7 +1,7 @@
 #include "common/rng.h"
 
+#include <algorithm>
 #include <cmath>
-#include <unordered_set>
 
 namespace ert {
 
@@ -38,30 +38,39 @@ std::size_t Rng::zipf(std::size_t n, double s) {
 }
 
 std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
+  std::vector<std::size_t> scratch;
   std::vector<std::size_t> out;
   out.reserve(k);
+  sample_indices(n, k, scratch, out);
+  return out;
+}
+
+void Rng::sample_indices(std::size_t n, std::size_t k,
+                         std::vector<std::size_t>& scratch,
+                         std::vector<std::size_t>& out) {
+  out.clear();
   if (k >= n) {
-    out.resize(n);
-    for (std::size_t i = 0; i < n; ++i) out[i] = i;
-    return out;
+    for (std::size_t i = 0; i < n; ++i) out.push_back(i);
+    return;
   }
   if (k * 3 >= n) {
     // Dense case: partial Fisher-Yates over an index array.
-    std::vector<std::size_t> all(n);
-    for (std::size_t i = 0; i < n; ++i) all[i] = i;
+    scratch.resize(n);
+    for (std::size_t i = 0; i < n; ++i) scratch[i] = i;
     for (std::size_t i = 0; i < k; ++i) {
-      std::swap(all[i], all[i + index(n - i)]);
+      std::swap(scratch[i], scratch[i + index(n - i)]);
     }
-    all.resize(k);
-    return all;
+    out.assign(scratch.begin(),
+               scratch.begin() + static_cast<std::ptrdiff_t>(k));
+    return;
   }
-  // Sparse case: rejection sampling into a set.
-  std::unordered_set<std::size_t> seen;
+  // Sparse case: rejection sampling; `out` doubles as the seen set. k is
+  // tiny here (3k < n), so the linear membership scan costs less than the
+  // hash set it replaces — and the accept/reject sequence is unchanged.
   while (out.size() < k) {
     const std::size_t v = index(n);
-    if (seen.insert(v).second) out.push_back(v);
+    if (std::find(out.begin(), out.end(), v) == out.end()) out.push_back(v);
   }
-  return out;
 }
 
 }  // namespace ert

@@ -69,6 +69,16 @@ class Rng {
   /// Sample k distinct indices from [0, n) (k <= n).
   std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k);
 
+  /// Allocation-free variant for the per-hop fast path: writes the sample
+  /// into `out`, using `scratch` as the dense-case index pool. Consumes the
+  /// identical draw sequence and produces the identical output as
+  /// sample_indices(n, k), so the two are exchangeable under the
+  /// determinism contract; steady state allocates nothing once both
+  /// vectors' capacities are warm.
+  void sample_indices(std::size_t n, std::size_t k,
+                      std::vector<std::size_t>& scratch,
+                      std::vector<std::size_t>& out);
+
   /// Split off an independent child stream (for per-node or per-run seeds).
   Rng fork() { return Rng(eng_() ^ 0xd1b54a32d192ed03ull); }
 

@@ -2,6 +2,7 @@
 
 #include "trace/trace.h"
 #include <algorithm>
+#include <array>
 #include <cassert>
 
 namespace ert::cycloid {
@@ -488,7 +489,22 @@ std::uint64_t Overlay::logical_distance_to_key(dht::NodeIndex a,
 
 RouteStep Overlay::route_step(dht::NodeIndex cur, std::uint64_t key,
                               RouteCtx& ctx) const {
+  dht::RouteScratch scratch;
+  const dht::RouteStepInfo info = route_step(cur, key, ctx, scratch);
   RouteStep step;
+  step.arrived = info.arrived;
+  step.entry_index = info.entry_index;
+  step.candidates = std::move(scratch.candidates);
+  return step;
+}
+
+dht::RouteStepInfo Overlay::route_step(dht::NodeIndex cur, std::uint64_t key,
+                                       RouteCtx& ctx,
+                                       dht::RouteScratch& scratch) const {
+  dht::RouteStepInfo step;
+  step.entry_index = kNoEntry;
+  auto& cands = scratch.candidates;
+  cands.clear();
   const dht::NodeIndex owner = responsible(key);
   assert(owner != dht::kNoNode);
   if (owner == cur) {
@@ -510,17 +526,16 @@ RouteStep Overlay::route_step(dht::NodeIndex cur, std::uint64_t key,
       // primaries — highest k — of adjacent cycles) keeps the climb going.
       // k strictly increases either way, so the phase ends within d hops.
       for (std::size_t slot : {kInsideLeafEntry, kOutsideLeafEntry}) {
-        std::vector<dht::NodeIndex> ups;
+        cands.clear();
         for (dht::NodeIndex c : cn.table.entry(slot).candidates())
-          if (nodes_[c].id.k > cid.k) ups.push_back(c);
-        if (ups.empty()) continue;
-        std::stable_sort(ups.begin(), ups.end(),
-                         [&](dht::NodeIndex x, dht::NodeIndex y) {
-                           return std::abs(nodes_[x].id.k - h) <
-                                  std::abs(nodes_[y].id.k - h);
-                         });
+          if (nodes_[c].id.k > cid.k) cands.push_back(c);
+        if (cands.empty()) continue;
+        dht::stable_insertion_sort(cands.begin(), cands.end(),
+                                   [&](dht::NodeIndex x, dht::NodeIndex y) {
+                                     return std::abs(nodes_[x].id.k - h) <
+                                            std::abs(nodes_[y].id.k - h);
+                                   });
         step.entry_index = slot;
-        step.candidates = std::move(ups);
         return step;
       }
     }
@@ -528,29 +543,27 @@ RouteStep Overlay::route_step(dht::NodeIndex cur, std::uint64_t key,
   }
 
   if (ctx.phase == RouteCtx::Phase::kDescend) {
-    auto by_cycle_distance = [&](std::vector<dht::NodeIndex> cands) {
-      std::stable_sort(cands.begin(), cands.end(),
-                       [&](dht::NodeIndex x, dht::NodeIndex y) {
-                         return space_.cycle_distance(nodes_[x].id.a, oid.a) <
-                                space_.cycle_distance(nodes_[y].id.a, oid.a);
-                       });
-      return cands;
+    auto by_cycle_distance = [&](std::size_t slot) {
+      const auto& src = cn.table.entry(slot).candidates();
+      cands.assign(src.begin(), src.end());
+      dht::stable_insertion_sort(
+          cands.begin(), cands.end(), [&](dht::NodeIndex x, dht::NodeIndex y) {
+            return space_.cycle_distance(nodes_[x].id.a, oid.a) <
+                   space_.cycle_distance(nodes_[y].id.a, oid.a);
+          });
+      step.entry_index = slot;
     };
     if (h >= 0 && cid.k >= 1 && cid.k == h &&
         !cn.table.entry(kCubicalEntry).empty()) {
       // Flip bit h via the cubical link; every candidate makes progress.
-      step.entry_index = kCubicalEntry;
-      step.candidates =
-          by_cycle_distance(cn.table.entry(kCubicalEntry).candidates());
+      by_cycle_distance(kCubicalEntry);
       return step;
     }
     if (h >= 0 && cid.k >= 1 && cid.k > h &&
         !cn.table.entry(kCyclicEntry).empty()) {
       // Move between cycles: any cyclic candidate preserves the
       // already-corrected bits >= k and lowers k.
-      step.entry_index = kCyclicEntry;
-      step.candidates =
-          by_cycle_distance(cn.table.entry(kCyclicEntry).candidates());
+      by_cycle_distance(kCyclicEntry);
       return step;
     }
     // No descend step possible from here (target cycle reached, k exhausted,
@@ -562,17 +575,23 @@ RouteStep Overlay::route_step(dht::NodeIndex cur, std::uint64_t key,
   // Cycle walk / greedy fallback: any candidate strictly reducing the
   // ring-position distance to the owner qualifies. Dead (stale) candidates
   // are judged by their last-known id so the timeout path stays realistic.
+  // The owner's directory position is resolved once: every candidate rank
+  // then costs one binary search instead of two.
   const std::uint64_t total = space_.size();
-  const std::size_t my_pos = directory_.position_distance(lv(cur), lv(owner));
-  const std::uint64_t my_iddist = dht::ring_distance(lv(cur), lv(owner), total);
+  const std::uint64_t owner_lv = lv(owner);
+  const std::size_t owner_pos = directory_.position_of(owner_lv);
+  const std::size_t my_pos =
+      directory_.position_gap(directory_.position_of(lv(cur)), owner_pos);
+  const std::uint64_t my_iddist = dht::ring_distance(lv(cur), owner_lv, total);
   auto progress_rank = [&](dht::NodeIndex c) -> std::int64_t {
     // Returns a sort key; negative means "no progress" (filtered out).
     if (nodes_[c].alive) {
-      const std::size_t pos = directory_.position_distance(lv(c), lv(owner));
+      const std::size_t pos =
+          directory_.position_gap(directory_.position_of(lv(c)), owner_pos);
       if (pos >= my_pos) return -1;
       return static_cast<std::int64_t>(pos);
     }
-    const std::uint64_t idd = dht::ring_distance(lv(c), lv(owner), total);
+    const std::uint64_t idd = dht::ring_distance(lv(c), owner_lv, total);
     if (idd >= my_iddist) return -1;
     return static_cast<std::int64_t>(my_pos);  // dead: rank after live ones
   };
@@ -584,34 +603,47 @@ RouteStep Overlay::route_step(dht::NodeIndex cur, std::uint64_t key,
   // there ("traverse cycle" phase) — a position shortcut that exits the
   // cycle can strand the query next to an owner only reachable through its
   // own cycle's leaf links.
+  //
+  // Ranks are computed in a single pass: each slot's qualifying candidates
+  // land in a contiguous segment of scratch.ranked (entry order preserved),
+  // the globally best slot is tracked on the fly, and only its segment is
+  // sorted. Same comparisons in the same order as the two-pass form, so
+  // the chosen slot and candidate order are bit-identical.
   const bool in_owner_cycle = cid.a == oid.a;
   auto usable = [&](dht::NodeIndex c) {
     return !in_owner_cycle || nodes_[c].id.a == oid.a;
   };
   for (int relax = 0; relax < 2; ++relax) {
+    auto& ranked = scratch.ranked;
+    ranked.clear();
+    std::array<std::size_t, kNumEntries + 1> seg{};
     std::size_t best_slot = kNoEntry;
     std::int64_t best_rank = -1;
     for (std::size_t slot = 0; slot < kNumEntries; ++slot) {
+      seg[slot] = ranked.size();
       for (dht::NodeIndex c : cn.table.entry(slot).candidates()) {
         if (relax == 0 && !usable(c)) continue;
         const std::int64_t r = progress_rank(c);
-        if (r >= 0 && (best_rank < 0 || r < best_rank)) {
+        if (r < 0) continue;
+        // Non-negative ranks cast losslessly to the scratch's uint64 keys,
+        // and pair order (rank, node) is unchanged.
+        ranked.emplace_back(static_cast<std::uint64_t>(r), c);
+        if (best_rank < 0 || r < best_rank) {
           best_rank = r;
           best_slot = slot;
         }
       }
     }
+    seg[kNumEntries] = ranked.size();
     if (best_slot != kNoEntry) {
-      std::vector<std::pair<std::int64_t, dht::NodeIndex>> ranked;
-      for (dht::NodeIndex c : cn.table.entry(best_slot).candidates()) {
-        if (relax == 0 && !usable(c)) continue;
-        const std::int64_t r = progress_rank(c);
-        if (r >= 0) ranked.emplace_back(r, c);
-      }
-      std::stable_sort(ranked.begin(), ranked.end());
+      const auto first =
+          ranked.begin() + static_cast<std::ptrdiff_t>(seg[best_slot]);
+      const auto last =
+          ranked.begin() + static_cast<std::ptrdiff_t>(seg[best_slot + 1]);
+      dht::stable_insertion_sort(
+          first, last, [](const auto& a, const auto& b) { return a < b; });
       step.entry_index = best_slot;
-      step.candidates.reserve(ranked.size());
-      for (const auto& [r, c] : ranked) step.candidates.push_back(c);
+      for (auto it = first; it != last; ++it) cands.push_back(it->second);
       return step;
     }
   }
@@ -622,7 +654,7 @@ RouteStep Overlay::route_step(dht::NodeIndex cur, std::uint64_t key,
   const auto next = directory_.owner_of(next_id);
   assert(next.has_value());
   step.entry_index = kNoEntry;
-  step.candidates = {*next};
+  cands.push_back(*next);
   return step;
 }
 

@@ -38,6 +38,7 @@
 #include "common/rng.h"
 #include "cycloid/id.h"
 #include "dht/ring.h"
+#include "dht/route_scratch.h"
 #include "dht/routing_entry.h"
 #include "dht/types.h"
 #include "ert/indegree.h"
@@ -162,6 +163,13 @@ class Overlay {
   /// fresh RouteCtx when the lookup starts.
   RouteStep route_step(dht::NodeIndex cur, std::uint64_t key,
                        RouteCtx& ctx) const;
+
+  /// Allocation-free hop: identical routing decision, but the candidate
+  /// set is written into `scratch.candidates` instead of a fresh vector.
+  /// Steady state allocates nothing once the scratch buffers are warm.
+  dht::RouteStepInfo route_step(dht::NodeIndex cur, std::uint64_t key,
+                                RouteCtx& ctx,
+                                dht::RouteScratch& scratch) const;
 
   // --- elasticity helpers -----------------------------------------------------
 

@@ -90,10 +90,16 @@ std::uint64_t RingDirectory::predecessor_id(std::uint64_t key) const {
 
 std::size_t RingDirectory::position_distance(std::uint64_t a,
                                              std::uint64_t b) const {
-  const std::size_t pa = lower_bound(a);
-  const std::size_t pb = lower_bound(b);
-  assert(pa < ids_.size() && ids_[pa] == a);
-  assert(pb < ids_.size() && ids_[pb] == b);
+  return position_gap(position_of(a), position_of(b));
+}
+
+std::size_t RingDirectory::position_of(std::uint64_t id) const {
+  const std::size_t p = lower_bound(id);
+  assert(p < ids_.size() && ids_[p] == id);
+  return p;
+}
+
+std::size_t RingDirectory::position_gap(std::size_t pa, std::size_t pb) const {
   const std::size_t fwd = pb >= pa ? pb - pa : ids_.size() - pa + pb;
   return std::min(fwd, ids_.size() - fwd);
 }

@@ -67,6 +67,14 @@ class RingDirectory {
   /// shorter way around the sorted ring. Both ids must be occupied.
   std::size_t position_distance(std::uint64_t a, std::uint64_t b) const;
 
+  /// Index of occupied id `id` in the sorted ring order. Pairs with
+  /// position_gap so hot loops comparing many ids against one anchor can
+  /// resolve the anchor's position once instead of per comparison.
+  std::size_t position_of(std::uint64_t id) const;
+
+  /// position_distance expressed on resolved position indices.
+  std::size_t position_gap(std::size_t pa, std::size_t pb) const;
+
   /// Among `a`'s two occupied ring neighbors, the one on the shorter side
   /// toward occupied id `b` (== b when adjacent). Requires size() >= 2.
   std::uint64_t step_toward(std::uint64_t a, std::uint64_t b) const;

@@ -56,103 +56,16 @@ ForwardDecision forward_topology_aware(
     dht::RoutingEntry& entry, const std::vector<dht::NodeIndex>& candidates,
     const std::vector<dht::NodeIndex>& overloaded,
     const TopoForwardOptions& opts, const ProbeFn& probe, Rng& rng) {
+  OverloadedSet a;
+  for (dht::NodeIndex n : overloaded) a.insert(n);
+  ForwardScratch scratch;
+  const ForwardStep s = forward_topology_aware(
+      entry, std::span<const dht::NodeIndex>(candidates), a, opts, probe, rng,
+      scratch);
   ForwardDecision d;
-  if (candidates.empty()) return d;
-
-  // Step 3 of Algorithm 4: exclude candidates known to be overloaded, unless
-  // that leaves us with nothing to route through.
-  std::vector<dht::NodeIndex> usable;
-  if (opts.track_overloaded && !overloaded.empty()) {
-    usable.reserve(candidates.size());
-    for (dht::NodeIndex n : candidates) {
-      if (std::find(overloaded.begin(), overloaded.end(), n) ==
-          overloaded.end())
-        usable.push_back(n);
-    }
-  }
-  const std::vector<dht::NodeIndex>& pool = usable.empty() ? candidates : usable;
-
-  // Steps 4-8: with a remembered node, draw only (b - 1) fresh choices;
-  // otherwise draw b.
-  std::vector<dht::NodeIndex> polled;
-  const dht::NodeIndex remembered = entry.memory();
-  const bool have_memory =
-      opts.use_memory && remembered != dht::kNoNode &&
-      std::find(pool.begin(), pool.end(), remembered) != pool.end();
-  if (have_memory) {
-    polled.push_back(remembered);
-    // Avoid drawing the remembered node twice.
-    std::vector<dht::NodeIndex> rest;
-    rest.reserve(pool.size());
-    for (dht::NodeIndex n : pool)
-      if (n != remembered) rest.push_back(n);
-    const auto extra = pick_random(
-        rest, static_cast<std::size_t>(std::max(0, opts.poll_size - 1)), rng);
-    polled.insert(polled.end(), extra.begin(), extra.end());
-  } else {
-    polled = pick_random(pool, static_cast<std::size_t>(opts.poll_size), rng);
-  }
-  assert(!polled.empty());
-
-  // Step 10: probe the polled candidates.
-  std::vector<ProbeResult> results(polled.size());
-  for (std::size_t i = 0; i < polled.size(); ++i) {
-    results[i] = probe(polled[i]);
-    ++d.probes;
-  }
-
-  std::vector<std::size_t> light;
-  for (std::size_t i = 0; i < polled.size(); ++i)
-    if (!results[i].heavy) light.push_back(i);
-
-  std::size_t chosen;
-  if (light.empty()) {
-    // Steps 11-13: all heavy -> remember them in A, take the least loaded.
-    chosen = 0;
-    for (std::size_t i = 1; i < polled.size(); ++i)
-      if (results[i].load < results[chosen].load) chosen = i;
-    if (opts.track_overloaded)
-      d.newly_overloaded.assign(polled.begin(), polled.end());
-  } else if (light.size() < polled.size()) {
-    // Steps 15-17: mixed -> record the heavy ones, choose the best light one.
-    chosen = light.front();
-    for (std::size_t i : light) {
-      if (results[i].logical_distance < results[chosen].logical_distance ||
-          (results[i].logical_distance == results[chosen].logical_distance &&
-           results[i].physical_distance < results[chosen].physical_distance))
-        chosen = i;
-    }
-    if (opts.track_overloaded) {
-      for (std::size_t i = 0; i < polled.size(); ++i)
-        if (results[i].heavy) d.newly_overloaded.push_back(polled[i]);
-    }
-  } else {
-    // Steps 19-22: all light -> logically closest to the target, physical
-    // proximity breaks ties.
-    chosen = 0;
-    for (std::size_t i = 1; i < polled.size(); ++i) {
-      if (results[i].logical_distance < results[chosen].logical_distance ||
-          (results[i].logical_distance == results[chosen].logical_distance &&
-           results[i].physical_distance < results[chosen].physical_distance))
-        chosen = i;
-    }
-  }
-  d.next = polled[chosen];
-
-  // Memory update [22]: after the chosen node takes one more unit of load,
-  // remember the least-loaded of the polled set for the next dispatch.
-  if (opts.use_memory) {
-    std::size_t least = 0;
-    for (std::size_t i = 0; i < polled.size(); ++i) {
-      const double load_i =
-          results[i].load + (i == chosen ? results[i].unit_load : 0.0);
-      const double load_least =
-          results[least].load +
-          (least == chosen ? results[least].unit_load : 0.0);
-      if (load_i < load_least) least = i;
-    }
-    entry.remember(polled[least]);
-  }
+  d.next = s.next;
+  d.probes = s.probes;
+  d.newly_overloaded = std::move(scratch.newly_overloaded);
   return d;
 }
 

@@ -42,7 +42,7 @@ struct Query {
   std::size_t hops = 0;
   std::size_t heavy_met = 0;
   std::size_t timeouts = 0;
-  std::vector<NodeIndex> overloaded;  ///< the A set of Algorithm 4.
+  core::OverloadedSet overloaded;  ///< the A set of Algorithm 4.
   bool done = false;
   bool returning = false;  ///< data-forwarding mode: response leg.
   bool fault_hit = false;  ///< saw an injected fault (drop/crash) en route.
@@ -409,27 +409,29 @@ class Engine {
         drop_lookup(qid);
         return;
       }
-      HopStep step = substrate_->route_step(qid, v, q.key);
+      const HopStep step = substrate_->route_step(qid, v, q.key, route_scratch_);
       if (step.arrived) {
         finish_lookup(qid);
         return;
       }
-      assert(!step.candidates.empty());
-      if (is_ert(proto_) && step.candidates.size() > 1) {
+      auto& cands = route_scratch_.candidates;
+      assert(!cands.empty());
+      if (is_ert(proto_) && cands.size() > 1) {
         // Elastic entries hold several candidates; departed ones are
         // silently skipped and purged — "when an entry neighbor left,
         // others can be used as a substitute instead of making a detour
         // routing" (Sec. 5.5). A timeout only happens when the whole entry
-        // is stale (handled below).
-        std::vector<NodeIndex> live;
-        live.reserve(step.candidates.size());
-        for (NodeIndex c : step.candidates) {
+        // is stale (handled below). Compacted in place: if every candidate
+        // is dead no write happened, so the full (stale) list survives.
+        std::size_t live = 0;
+        for (std::size_t i = 0; i < cands.size(); ++i) {
+          const NodeIndex c = cands[i];
           if (substrate_->alive(c))
-            live.push_back(c);
+            cands[live++] = c;
           else
             substrate_->purge_dead(v, c);
         }
-        if (!live.empty()) step.candidates = std::move(live);
+        if (live > 0) cands.resize(live);
       }
       int probes = 0;
       const NodeIndex next = select_next(qid, v, step, probes);
@@ -454,7 +456,7 @@ class Engine {
         trace_->emit(trace::EventType::kQueryHop, v, qid,
                      static_cast<std::int64_t>(next),
                      static_cast<std::int64_t>(q.overloaded.size()),
-                     static_cast<std::uint32_t>(step.candidates.size()));
+                     static_cast<std::uint32_t>(cands.size()));
       if (params_.data_forwarding) q.path.push_back(next);
       if (real_of(next) == real_of(v)) {
         // Hop between two virtual servers of the same physical node: no
@@ -501,16 +503,19 @@ class Engine {
   NodeIndex select_next(std::size_t qid, NodeIndex v, const HopStep& step,
                         int& probes) {
     Query& q = queries_[qid];
+    const auto& cands = route_scratch_.candidates;
     if (!uses_forwarding(proto_)) {
       if (is_ert(proto_)) {
         // ERT/A: random walk over the elastic candidate set (Sec. 4.1's
         // baseline policy).
-        return step.candidates[rng_.index(step.candidates.size())];
+        return cands[rng_.index(cands.size())];
       }
       // Base / NS / VS: the substrate's deterministic best candidate.
-      return step.candidates.front();
+      return cands.front();
     }
-    // ERT/F and ERT/AF: Algorithm 4.
+    // ERT/F and ERT/AF: Algorithm 4, through the allocation-free fast path:
+    // the probe lambda is dispatched directly (no per-hop std::function),
+    // and all temporaries live in the engine's ForwardScratch.
     core::TopoForwardOptions opts;
     opts.poll_size = params_.poll_size;
     opts.use_memory = params_.use_memory;
@@ -525,21 +530,19 @@ class Engine {
       pr.unit_load = 1.0 / reals_[r].cap;
       return pr;
     };
-    core::ForwardDecision dec;
     if (dht::RoutingEntry* entry = substrate_->entry(v, step.slot)) {
-      dec = core::forward_topology_aware(*entry, step.candidates, q.overloaded,
-                                         opts, probe, rng_);
-    } else {
-      dec = core::forward_random(step.candidates, rng_);
+      const core::ForwardStep dec = core::forward_topology_aware(
+          *entry, cands, q.overloaded, opts, probe, rng_, fwd_scratch_);
+      probes = dec.probes;
+      // The fast path already filtered out A members, so this is a pure
+      // capped append — no rescans of A.
+      for (NodeIndex o : fwd_scratch_.newly_overloaded) {
+        if (q.overloaded.size() < core::kOverloadedSetCap) q.overloaded.insert(o);
+      }
+      return dec.next;
     }
-    probes = dec.probes;
-    for (NodeIndex o : dec.newly_overloaded) {
-      if (q.overloaded.size() < 64 &&
-          std::find(q.overloaded.begin(), q.overloaded.end(), o) ==
-              q.overloaded.end())
-        q.overloaded.push_back(o);
-    }
-    return dec.next;
+    // Emergency (non-table) hop: uniform choice, as forward_random.
+    return cands.empty() ? dht::kNoNode : cands[rng_.index(cands.size())];
   }
 
   std::size_t hop_cap() const { return 64 + substrate_->num_slots() / 2; }
@@ -560,6 +563,7 @@ class Engine {
     Query& q = queries_[qid];
     if (q.done) return;
     q.done = true;
+    substrate_->finish_query(qid);
     if (q.fault_hit) ++fstats_.recovered;
     if (tracing(trace::Category::kQuery))
       trace_->emit(trace::EventType::kQueryEnd, q.cur, qid,
@@ -591,6 +595,7 @@ class Engine {
     Query& q = queries_[qid];
     if (q.done) return;
     q.done = true;
+    substrate_->finish_query(qid);
     if (tracing(trace::Category::kQuery))
       trace_->emit(trace::EventType::kQueryDrop, q.cur, qid,
                    static_cast<std::int64_t>(q.hops), 0, /*cause=*/0);
@@ -604,6 +609,7 @@ class Engine {
     Query& q = queries_[qid];
     if (q.done) return;
     q.done = true;
+    substrate_->finish_query(qid);
     if (tracing(trace::Category::kQuery))
       trace_->emit(trace::EventType::kQueryDrop, q.cur, qid,
                    static_cast<std::int64_t>(q.hops), 0, /*cause=*/1);
@@ -999,6 +1005,11 @@ class Engine {
   std::vector<NodeIndex> overlay_of_real_;    ///< real -> overlay (non-VS).
   std::vector<std::size_t> real_of_overlay_;  ///< overlay -> real (non-VS).
   std::vector<Query> queries_;
+  /// Per-engine scratch for the allocation-free hop loop: route_step writes
+  /// candidates into route_scratch_, Algorithm 4 works out of fwd_scratch_.
+  /// Engines are per-seed single-threaded, so one of each suffices.
+  dht::RouteScratch route_scratch_;
+  core::ForwardScratch fwd_scratch_;
   metrics::LookupStats lookups_;
   std::vector<ExperimentResult::PeriodSample> timeline_;
   std::unique_ptr<metrics::DegreeTracker> degrees_;

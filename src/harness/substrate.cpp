@@ -1,5 +1,6 @@
 #include "harness/substrate.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
@@ -98,17 +99,26 @@ class CycloidSubstrate final : public SubstrateOps {
     return overlay_->responsible(key);
   }
   void start_query(std::size_t qid) override {
-    if (qid >= ctx_.size()) ctx_.resize(qid + 1);
-    ctx_[qid] = cycloid::RouteCtx{};
+    // qids are issued in increasing order, so appending keeps ctx_ sorted
+    // by qid; finish_query erases the slot, so the vector's size (and its
+    // steady-state capacity) is bounded by the in-flight query count
+    // instead of growing monotonically with every query ever issued.
+    assert(ctx_.empty() || ctx_.back().qid < qid);
+    ctx_.push_back(QueryCtx{qid, cycloid::RouteCtx{}});
   }
-  HopStep route_step(std::size_t qid, NodeIndex cur,
-                     std::uint64_t key) override {
-    assert(qid < ctx_.size());
-    cycloid::RouteStep s = overlay_->route_step(cur, key, ctx_[qid]);
+  void finish_query(std::size_t qid) override {
+    const auto it = find_ctx(qid);
+    if (it != ctx_.end() && it->qid == qid) ctx_.erase(it);
+  }
+  HopStep route_step(std::size_t qid, NodeIndex cur, std::uint64_t key,
+                     dht::RouteScratch& scratch) override {
+    const auto it = find_ctx(qid);
+    assert(it != ctx_.end() && it->qid == qid);
+    const dht::RouteStepInfo s =
+        overlay_->route_step(cur, key, it->ctx, scratch);
     HopStep h;
     h.arrived = s.arrived;
     h.slot = s.entry_index < cycloid::kNumEntries ? s.entry_index : kNoSlot;
-    h.candidates = std::move(s.candidates);
     return h;
   }
   std::uint64_t logical_distance_to_key(NodeIndex a,
@@ -134,8 +144,20 @@ class CycloidSubstrate final : public SubstrateOps {
   }
 
  private:
+  /// Routing context of one in-flight query, kept sorted by qid.
+  struct QueryCtx {
+    std::size_t qid;
+    cycloid::RouteCtx ctx;
+  };
+
+  std::vector<QueryCtx>::iterator find_ctx(std::size_t qid) {
+    return std::lower_bound(
+        ctx_.begin(), ctx_.end(), qid,
+        [](const QueryCtx& c, std::size_t q) { return c.qid < q; });
+  }
+
   std::unique_ptr<cycloid::Overlay> overlay_;
-  std::vector<cycloid::RouteCtx> ctx_;
+  std::vector<QueryCtx> ctx_;
 };
 
 class ChordSubstrate final : public SubstrateOps {
@@ -200,14 +222,14 @@ class ChordSubstrate final : public SubstrateOps {
     return overlay_->responsible(key);
   }
   void start_query(std::size_t) override {}
-  HopStep route_step(std::size_t, NodeIndex cur, std::uint64_t key) override {
-    chord::RouteStep s = overlay_->route_step(cur, key);
+  HopStep route_step(std::size_t, NodeIndex cur, std::uint64_t key,
+                     dht::RouteScratch& scratch) override {
+    const dht::RouteStepInfo s = overlay_->route_step(cur, key, scratch);
     HopStep h;
     h.arrived = s.arrived;
     h.slot = s.entry_index < overlay_->node(cur).table.num_entries()
                  ? s.entry_index
                  : kNoSlot;
-    h.candidates = std::move(s.candidates);
     return h;
   }
   std::uint64_t logical_distance_to_key(NodeIndex a,
@@ -295,14 +317,14 @@ class PastrySubstrate final : public SubstrateOps {
     return overlay_->responsible(key);
   }
   void start_query(std::size_t) override {}
-  HopStep route_step(std::size_t, NodeIndex cur, std::uint64_t key) override {
-    pastry::RouteStep s = overlay_->route_step(cur, key);
+  HopStep route_step(std::size_t, NodeIndex cur, std::uint64_t key,
+                     dht::RouteScratch& scratch) override {
+    const dht::RouteStepInfo s = overlay_->route_step(cur, key, scratch);
     HopStep h;
     h.arrived = s.arrived;
     h.slot = s.entry_index < overlay_->node(cur).table.num_entries()
                  ? s.entry_index
                  : kNoSlot;
-    h.candidates = std::move(s.candidates);
     return h;
   }
   std::uint64_t logical_distance_to_key(NodeIndex a,
@@ -415,12 +437,13 @@ class CanSubstrate final : public SubstrateOps {
     return overlay_->responsible(to_point(key));
   }
   void start_query(std::size_t) override {}
-  HopStep route_step(std::size_t, NodeIndex cur, std::uint64_t key) override {
-    can::RouteStep s = overlay_->route_step(cur, to_point(key));
+  HopStep route_step(std::size_t, NodeIndex cur, std::uint64_t key,
+                     dht::RouteScratch& scratch) override {
+    const dht::RouteStepInfo s =
+        overlay_->route_step(cur, to_point(key), scratch);
     HopStep h;
     h.arrived = s.arrived;
     h.slot = s.entry_index < can::kNumEntries ? s.entry_index : kNoSlot;
-    h.candidates = std::move(s.candidates);
     return h;
   }
   std::uint64_t logical_distance_to_key(NodeIndex a,

@@ -21,6 +21,7 @@
 
 #include "common/config.h"
 #include "common/rng.h"
+#include "dht/route_scratch.h"
 #include "dht/routing_entry.h"
 #include "dht/types.h"
 #include "ert/indegree.h"
@@ -47,16 +48,18 @@ constexpr const char* to_string(SubstrateKind k) {
   return "?";
 }
 
-/// One routing hop, substrate-agnostic.
+inline constexpr std::size_t kNoSlot = std::numeric_limits<std::size_t>::max();
+
+/// One routing hop, substrate-agnostic. The candidate set is not carried
+/// here: route_step writes it into the caller-owned RouteScratch, where it
+/// stays valid (and mutable, for in-place live filtering) until the next
+/// route_step call on the same scratch.
 struct HopStep {
   bool arrived = false;
   /// Index of the table entry the query leaves through, or kNoSlot for
   /// emergency (non-table) hops.
-  std::size_t slot = std::numeric_limits<std::size_t>::max();
-  std::vector<dht::NodeIndex> candidates;
+  std::size_t slot = kNoSlot;
 };
-
-inline constexpr std::size_t kNoSlot = std::numeric_limits<std::size_t>::max();
 
 /// Per-node link bookkeeping summary for the invariant auditor: the elastic
 /// inlink count (backward fingers) and how many links lack their mirror.
@@ -106,9 +109,15 @@ class SubstrateOps {
   virtual std::uint64_t key_space() const = 0;
   virtual dht::NodeIndex responsible(std::uint64_t key) const = 0;
   /// `qid` selects the per-query routing context; call start_query first.
+  /// Writes the candidate set into `scratch.candidates` (allocation-free
+  /// in steady state).
   virtual HopStep route_step(std::size_t qid, dht::NodeIndex cur,
-                             std::uint64_t key) = 0;
+                             std::uint64_t key,
+                             dht::RouteScratch& scratch) = 0;
   virtual void start_query(std::size_t qid) = 0;
+  /// Releases the per-query routing context once the lookup completes,
+  /// drops, or fails; qids are never reused. Default: stateless substrate.
+  virtual void finish_query(std::size_t qid) { (void)qid; }
   virtual std::uint64_t logical_distance_to_key(dht::NodeIndex a,
                                                 std::uint64_t key) const = 0;
   /// Mutable access to a table entry (memory slot for Algorithm 4);

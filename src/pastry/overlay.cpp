@@ -302,7 +302,21 @@ std::uint64_t Overlay::logical_distance(dht::NodeIndex a,
 }
 
 RouteStep Overlay::route_step(dht::NodeIndex cur, std::uint64_t key) const {
+  dht::RouteScratch scratch;
+  const dht::RouteStepInfo info = route_step(cur, key, scratch);
   RouteStep step;
+  step.arrived = info.arrived;
+  step.entry_index = info.entry_index;
+  step.candidates = std::move(scratch.candidates);
+  return step;
+}
+
+dht::RouteStepInfo Overlay::route_step(dht::NodeIndex cur, std::uint64_t key,
+                                       dht::RouteScratch& scratch) const {
+  dht::RouteStepInfo step;
+  step.entry_index = 0;
+  auto& cands = scratch.candidates;
+  cands.clear();
   const dht::NodeIndex owner = responsible(key);
   assert(owner != dht::kNoNode);
   if (owner == cur) {
@@ -319,16 +333,19 @@ RouteStep Overlay::route_step(dht::NodeIndex cur, std::uint64_t key) const {
     const auto& entry = cn.table.entry(slot);
     if (!entry.empty()) {
       step.entry_index = slot;
-      step.candidates = entry.candidates();
+      const auto& src = entry.candidates();
+      cands.assign(src.begin(), src.end());
       // All candidates share >= shared+1 digits with the target: strict
       // prefix progress. Prefer numerically closer ones.
-      std::stable_sort(step.candidates.begin(), step.candidates.end(),
-                       [&](dht::NodeIndex x, dht::NodeIndex y) {
-                         return dht::ring_distance(nodes_[x].id, target,
-                                                   ring_size()) <
-                                dht::ring_distance(nodes_[y].id, target,
-                                                   ring_size());
-                       });
+      dht::stable_insertion_sort(cands.begin(), cands.end(),
+                                 [&](dht::NodeIndex x, dht::NodeIndex y) {
+                                   return dht::ring_distance(nodes_[x].id,
+                                                             target,
+                                                             ring_size()) <
+                                          dht::ring_distance(nodes_[y].id,
+                                                             target,
+                                                             ring_size());
+                                 });
       return step;
     }
   }
@@ -350,22 +367,25 @@ RouteStep Overlay::route_step(dht::NodeIndex cur, std::uint64_t key) const {
     }
   }
   if (best_slot < cn.table.num_entries()) {
-    std::vector<std::pair<std::uint64_t, dht::NodeIndex>> ranked;
+    auto& ranked = scratch.ranked;
+    ranked.clear();
     for (dht::NodeIndex c : cn.table.entry(best_slot).candidates()) {
       if (shared_digits(nodes_[c].id, target) < shared) continue;
       const std::uint64_t d =
           dht::ring_distance(nodes_[c].id, target, ring_size());
       if (d < my_dist) ranked.emplace_back(d, c);
     }
-    std::stable_sort(ranked.begin(), ranked.end());
+    dht::stable_insertion_sort(
+        ranked.begin(), ranked.end(),
+        [](const auto& a, const auto& b) { return a < b; });
     step.entry_index = best_slot;
-    for (const auto& [d, c] : ranked) step.candidates.push_back(c);
-    if (!step.candidates.empty()) return step;
+    for (const auto& [d, c] : ranked) cands.push_back(c);
+    if (!cands.empty()) return step;
   }
   // Emergency: directory-adjacent hop toward the owner.
   const std::uint64_t next_id = directory_.step_toward(cn.id, target);
   step.entry_index = cn.table.num_entries();
-  step.candidates = {*directory_.owner_of(next_id)};
+  cands.push_back(*directory_.owner_of(next_id));
   return step;
 }
 

@@ -1,0 +1,259 @@
+// Zero-allocation proof for the per-hop fast path (this binary replaces
+// the global operator new with a counting hook).
+//
+// The tentpole claim of the fast-path refactor is that a steady-state
+// routing hop — route_step through the substrate adapter plus the
+// topology-aware forwarding decision — touches the heap not at all once
+// the scratch buffers are warm. These tests pin that claim directly: warm
+// a driver on every substrate, flip the counter on, run a window of full
+// lookups, and assert the count stayed zero.
+//
+// ERT_THREADS (the same knob the experiment harness uses for per-seed
+// fan-out) also runs that many independent drivers concurrently, each with
+// its own substrate and scratch state, proving the fast path needs no
+// shared mutable state.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/config.h"
+#include "common/rng.h"
+#include "dht/route_scratch.h"
+#include "dht/routing_entry.h"
+#include "ert/forwarding.h"
+#include "harness/substrate.h"
+
+namespace {
+
+std::atomic<bool> g_count_allocs{false};
+std::atomic<std::uint64_t> g_alloc_count{0};
+
+void note_alloc() {
+  if (g_count_allocs.load(std::memory_order_relaxed))
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+}
+
+void* counted_alloc(std::size_t size) {
+  note_alloc();
+  return std::malloc(size ? size : 1);
+}
+
+void* counted_aligned_alloc(std::size_t size, std::size_t align) {
+  note_alloc();
+  void* p = nullptr;
+  if (posix_memalign(&p, align < sizeof(void*) ? sizeof(void*) : align,
+                     size ? size : 1) != 0)
+    return nullptr;
+  return p;
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  if (void* p = counted_alloc(size)) return p;
+  throw std::bad_alloc{};
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+void* operator new(std::size_t size, std::align_val_t al) {
+  if (void* p = counted_aligned_alloc(size, static_cast<std::size_t>(al)))
+    return p;
+  throw std::bad_alloc{};
+}
+void* operator new[](std::size_t size, std::align_val_t al) {
+  return ::operator new(size, al);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace ert::harness {
+namespace {
+
+using dht::NodeIndex;
+
+/// One self-contained routing world: a substrate plus the scratch state a
+/// per-seed engine would own. run_queries drives full lookups through the
+/// adapter route_step and the templated forwarding fast path — the exact
+/// call pattern of the experiment engine's hop loop, minus queueing.
+struct Driver {
+  std::unique_ptr<SubstrateOps> sub;
+  dht::RouteScratch route_scratch;
+  core::ForwardScratch fwd_scratch;
+  core::OverloadedSet overloaded;
+  Rng rng;
+  std::size_t next_qid = 0;
+  // Filled during the counting window, checked by gtest afterwards (EXPECT
+  // itself allocates, so no asserts inside the window).
+  std::size_t completed = 0;
+  std::size_t hops = 0;
+  bool route_failed = false;
+
+  explicit Driver(SubstrateKind kind, std::uint64_t seed) : rng(seed) {
+    SimParams params;
+    params.num_nodes = 192;
+    sub = make_substrate(kind, params, /*capacity_biased=*/false,
+                         /*enforce_bounds=*/false,
+                         /*ids_needed=*/2 * params.num_nodes,
+                         [](NodeIndex, NodeIndex) { return 1.0; });
+    for (std::size_t i = 0; i < params.num_nodes && !sub->id_space_full(); ++i)
+      sub->add_node(rng, 1.0, 1 << 20, 0.8);
+    for (NodeIndex i = 0; i < sub->num_slots(); ++i) sub->build_table(i, rng);
+  }
+
+  /// Pre-sizes every reusable buffer past anything the window can need and
+  /// forces the OverloadedSet's one-time spill, so the counting window
+  /// starts with warm capacity everywhere.
+  void prewarm() {
+    route_scratch.candidates.reserve(1024);
+    route_scratch.ranked.reserve(1024);
+    fwd_scratch.pool.reserve(1024);
+    fwd_scratch.polled.reserve(64);
+    fwd_scratch.results.reserve(64);
+    fwd_scratch.light.reserve(64);
+    fwd_scratch.sample.reserve(64);
+    fwd_scratch.sample_pool.reserve(1024);
+    fwd_scratch.newly_overloaded.reserve(64);
+    for (std::size_t i = 0; i < core::kOverloadedSetCap; ++i)
+      overloaded.insert(static_cast<NodeIndex>(i));
+    overloaded.clear();
+    run_queries(40);  // warm the adapter's per-query context storage too
+  }
+
+  void run_queries(int count) {
+    core::TopoForwardOptions opts;
+    opts.poll_size = 2;
+    // Synthetic load probe, allocation-free by construction.
+    const auto probe = [this](NodeIndex n) {
+      core::ProbeResult r;
+      const auto h = static_cast<std::uint64_t>(n) * 2654435761u;
+      r.load = static_cast<double>(h % 23) / 8.0;
+      r.heavy = (h & 7u) == 0;
+      r.logical_distance = sub->logical_distance_to_key(n, 0);
+      r.physical_distance = 1.0;
+      r.unit_load = 0.25;
+      return r;
+    };
+    for (int q = 0; q < count; ++q) {
+      const std::size_t qid = next_qid++;
+      NodeIndex cur = rng.index(sub->num_slots());
+      const std::uint64_t key = rng.bits() % sub->key_space();
+      sub->start_query(qid);
+      overloaded.clear();
+      for (int hop = 0; hop < 128; ++hop) {
+        const HopStep step = sub->route_step(qid, cur, key, route_scratch);
+        if (step.arrived) {
+          ++completed;
+          break;
+        }
+        const auto& cands = route_scratch.candidates;
+        if (cands.empty()) {
+          route_failed = true;
+          break;
+        }
+        NodeIndex next = cands.front();
+        dht::RoutingEntry* entry =
+            step.slot != kNoSlot ? sub->entry(cur, step.slot) : nullptr;
+        if (entry != nullptr && cands.size() > 1) {
+          const core::ForwardStep f = core::forward_topology_aware(
+              *entry, std::span<const NodeIndex>(cands), overloaded, opts,
+              probe, rng, fwd_scratch);
+          if (f.next != dht::kNoNode) next = f.next;
+          for (NodeIndex o : fwd_scratch.newly_overloaded)
+            if (overloaded.size() < core::kOverloadedSetCap)
+              overloaded.insert(o);
+        }
+        cur = next;
+        ++hops;
+      }
+      sub->finish_query(qid);
+    }
+  }
+};
+
+int thread_count() {
+  const char* e = std::getenv("ERT_THREADS");
+  if (!e || !*e) return 1;
+  const int n = std::atoi(e);
+  return n > 0 ? n : 1;
+}
+
+class AllocFreeHopLoop : public ::testing::TestWithParam<SubstrateKind> {};
+
+TEST_P(AllocFreeHopLoop, SteadyStateWindowAllocatesNothing) {
+  const int threads = thread_count();
+  std::vector<std::unique_ptr<Driver>> drivers;
+  for (int t = 0; t < threads; ++t) {
+    drivers.push_back(
+        std::make_unique<Driver>(GetParam(), 100 + static_cast<std::uint64_t>(t)));
+    drivers.back()->prewarm();
+  }
+
+  // Threads are created (and their stacks allocated) before the counter
+  // turns on; a spin flag releases them into the measurement window.
+  std::atomic<bool> start{false};
+  std::atomic<int> done{0};
+  std::vector<std::thread> pool;
+  for (int t = 1; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      while (!start.load(std::memory_order_acquire)) {}
+      drivers[static_cast<std::size_t>(t)]->run_queries(150);
+      done.fetch_add(1, std::memory_order_release);
+    });
+  }
+
+  g_alloc_count.store(0);
+  g_count_allocs.store(true);
+  start.store(true, std::memory_order_release);
+  drivers[0]->run_queries(150);
+  while (done.load(std::memory_order_acquire) != threads - 1) {}
+  g_count_allocs.store(false);
+  for (auto& th : pool) th.join();
+
+  EXPECT_EQ(g_alloc_count.load(), 0u)
+      << "heap allocations leaked into the steady-state hop loop on "
+      << to_string(GetParam()) << " with " << threads << " thread(s)";
+  for (const auto& d : drivers) {
+    EXPECT_FALSE(d->route_failed);
+    EXPECT_GT(d->completed, 0u);
+    EXPECT_GT(d->hops, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSubstrates, AllocFreeHopLoop,
+                         ::testing::Values(SubstrateKind::kCycloid,
+                                           SubstrateKind::kChord,
+                                           SubstrateKind::kPastry,
+                                           SubstrateKind::kCan),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+}  // namespace
+}  // namespace ert::harness
