@@ -1,0 +1,177 @@
+// Pre-refactor ring directory, preserved verbatim for bench_build.
+//
+// This is dht::RingDirectory exactly as it stood before the counted-B-tree
+// rewrite: two parallel sorted vectors, std::lower_bound for every query,
+// and O(n) std::vector::insert / erase on every membership change — the
+// representation that made network construction O(n²) and every churn join
+// O(n). bench_build runs identical insert/erase/query workloads through
+// this and through the rank-indexed directory in dht/ring.h and reports
+// the speedup at each scale.
+//
+// Kept out of src/ on purpose: production code must not grow a second
+// directory implementation, and this copy only changes when the bench's
+// baseline is deliberately re-pinned.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "dht/types.h"
+
+namespace ertbench::refring {
+
+using ert::dht::kNoNode;
+using ert::dht::NodeIndex;
+
+/// An ordered, mutable set of occupied ids on a ring, with id -> NodeIndex
+/// resolution. Backing store is a sorted vector: the simulator's overlays
+/// change membership (churn) far less often than they query successors.
+class RingDirectory {
+ public:
+  explicit RingDirectory(std::uint64_t modulus) : modulus_(modulus) {}
+
+  bool insert(std::uint64_t id, NodeIndex node) {
+    assert(modulus_ == 0 || id < modulus_);
+    const std::size_t pos = lower_bound(id);
+    if (pos < ids_.size() && ids_[pos] == id) return false;
+    ids_.insert(ids_.begin() + static_cast<std::ptrdiff_t>(pos), id);
+    owners_.insert(owners_.begin() + static_cast<std::ptrdiff_t>(pos), node);
+    return true;
+  }
+
+  bool erase(std::uint64_t id) {
+    const std::size_t pos = lower_bound(id);
+    if (pos >= ids_.size() || ids_[pos] != id) return false;
+    ids_.erase(ids_.begin() + static_cast<std::ptrdiff_t>(pos));
+    owners_.erase(owners_.begin() + static_cast<std::ptrdiff_t>(pos));
+    return true;
+  }
+
+  bool contains(std::uint64_t id) const {
+    const std::size_t pos = lower_bound(id);
+    return pos < ids_.size() && ids_[pos] == id;
+  }
+
+  std::optional<NodeIndex> owner_of(std::uint64_t id) const {
+    const std::size_t pos = lower_bound(id);
+    if (pos < ids_.size() && ids_[pos] == id) return owners_[pos];
+    return std::nullopt;
+  }
+
+  NodeIndex successor(std::uint64_t key) const {
+    if (ids_.empty()) return kNoNode;
+    std::size_t pos = lower_bound(key);
+    if (pos == ids_.size()) pos = 0;  // wrap
+    return owners_[pos];
+  }
+
+  std::uint64_t successor_id(std::uint64_t key) const {
+    assert(!ids_.empty());
+    std::size_t pos = lower_bound(key);
+    if (pos == ids_.size()) pos = 0;
+    return ids_[pos];
+  }
+
+  NodeIndex predecessor(std::uint64_t key) const {
+    if (ids_.empty()) return kNoNode;
+    std::size_t pos = lower_bound(key);
+    pos = (pos == 0 ? ids_.size() : pos) - 1;
+    return owners_[pos];
+  }
+
+  std::uint64_t predecessor_id(std::uint64_t key) const {
+    assert(!ids_.empty());
+    std::size_t pos = lower_bound(key);
+    pos = (pos == 0 ? ids_.size() : pos) - 1;
+    return ids_[pos];
+  }
+
+  std::size_t position_distance(std::uint64_t a, std::uint64_t b) const {
+    return position_gap(position_of(a), position_of(b));
+  }
+
+  std::size_t position_of(std::uint64_t id) const {
+    const std::size_t p = lower_bound(id);
+    assert(p < ids_.size() && ids_[p] == id);
+    return p;
+  }
+
+  std::size_t position_gap(std::size_t pa, std::size_t pb) const {
+    const std::size_t fwd = pb >= pa ? pb - pa : ids_.size() - pa + pb;
+    return std::min(fwd, ids_.size() - fwd);
+  }
+
+  std::uint64_t step_toward(std::uint64_t a, std::uint64_t b) const {
+    assert(ids_.size() >= 2);
+    const std::size_t pa = lower_bound(a);
+    const std::size_t pb = lower_bound(b);
+    assert(pa < ids_.size() && ids_[pa] == a);
+    const std::size_t fwd = pb >= pa ? pb - pa : ids_.size() - pa + pb;
+    const bool clockwise_shorter = fwd <= ids_.size() - fwd;
+    const std::size_t next =
+        clockwise_shorter ? (pa + 1) % ids_.size()
+                          : (pa == 0 ? ids_.size() - 1 : pa - 1);
+    return ids_[next];
+  }
+
+  std::vector<std::uint64_t> ids_in_range(std::uint64_t lo,
+                                          std::uint64_t hi) const {
+    std::vector<std::uint64_t> out;
+    for (std::size_t pos = lower_bound(lo);
+         pos < ids_.size() && ids_[pos] < hi; ++pos)
+      out.push_back(ids_[pos]);
+    return out;
+  }
+
+  std::vector<std::uint64_t> successors_of(std::uint64_t key,
+                                           std::size_t k) const {
+    std::vector<std::uint64_t> out;
+    if (ids_.empty()) return out;
+    k = std::min(k, ids_.size());
+    std::size_t pos = lower_bound(key);
+    if (pos < ids_.size() && ids_[pos] == key) ++pos;  // exclude key itself
+    out.reserve(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      if (pos >= ids_.size()) pos = 0;
+      if (ids_[pos] == key) break;  // wrapped all the way around
+      out.push_back(ids_[pos]);
+      ++pos;
+    }
+    return out;
+  }
+
+  std::vector<std::uint64_t> predecessors_of(std::uint64_t key,
+                                             std::size_t k) const {
+    std::vector<std::uint64_t> out;
+    if (ids_.empty()) return out;
+    k = std::min(k, ids_.size());
+    std::size_t pos = lower_bound(key);
+    out.reserve(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      pos = (pos == 0 ? ids_.size() : pos) - 1;
+      if (ids_[pos] == key) break;
+      out.push_back(ids_[pos]);
+    }
+    return out;
+  }
+
+  std::size_t size() const { return ids_.size(); }
+  bool empty() const { return ids_.empty(); }
+  std::uint64_t modulus() const { return modulus_; }
+  const std::vector<std::uint64_t>& ids() const { return ids_; }
+
+ private:
+  std::size_t lower_bound(std::uint64_t id) const {
+    return static_cast<std::size_t>(
+        std::lower_bound(ids_.begin(), ids_.end(), id) - ids_.begin());
+  }
+
+  std::uint64_t modulus_;
+  std::vector<std::uint64_t> ids_;        // sorted
+  std::vector<NodeIndex> owners_;         // parallel to ids_
+};
+
+}  // namespace ertbench::refring

@@ -118,6 +118,17 @@ class Overlay {
   std::size_t num_slots() const { return nodes_.size(); }
   std::size_t alive_count() const { return alive_; }
   const dht::RingDirectory& directory() const { return directory_; }
+
+  /// Batched construction: between these calls, add_node stages directory
+  /// inserts so the ring directory is built once from the sorted batch
+  /// (O(n log n) total) instead of per-insert; `expected` pre-sizes the
+  /// slot vector and staging buffers. Queries stay exact throughout.
+  void begin_bulk_insert(std::size_t expected) {
+    if (expected > 0) nodes_.reserve(nodes_.size() + expected);
+    directory_.begin_bulk(expected);
+  }
+  void end_bulk_insert() { directory_.end_bulk(); }
+
   int bits() const { return opts_.bits; }
   std::uint64_t ring_size() const { return std::uint64_t{1} << opts_.bits; }
   std::size_t successor_entry() const {

@@ -1,0 +1,40 @@
+// Peak resident-set-size probe for the scale benchmarks and --build-only.
+//
+// Reads VmHWM ("high water mark") from /proc/self/status, which the kernel
+// maintains per process; this captures the true peak even after memory has
+// been returned to the allocator. Non-Linux platforms report 0 rather than
+// guessing — the benchmarks treat 0 as "unavailable".
+#pragma once
+
+#include <cstddef>
+
+#if defined(__linux__)
+#include <cstdio>
+#include <cstring>
+#endif
+
+namespace ert {
+
+/// Peak RSS of the current process in kilobytes, or 0 when unavailable.
+inline std::size_t peak_rss_kb() {
+#if defined(__linux__)
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (!f) return 0;
+  char line[256];
+  std::size_t kb = 0;
+  while (std::fgets(line, sizeof line, f)) {
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      unsigned long long v = 0;
+      if (std::sscanf(line + 6, "%llu", &v) == 1)
+        kb = static_cast<std::size_t>(v);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb;
+#else
+  return 0;
+#endif
+}
+
+}  // namespace ert

@@ -11,7 +11,9 @@ Overlay::Overlay(OverlayOptions opts, PhysDistFn phys_dist)
     : opts_(opts),
       space_(opts.dimension),
       phys_dist_(std::move(phys_dist)),
-      directory_(space_.size()) {}
+      directory_(space_.size()),
+      class_dirs_(static_cast<std::size_t>(opts.dimension),
+                  dht::RingDirectory(space_.num_cycles())) {}
 
 dht::NodeIndex Overlay::add_node(CycloidId id, double capacity,
                                  int max_indegree, double beta) {
@@ -29,6 +31,7 @@ dht::NodeIndex Overlay::add_node(CycloidId id, double capacity,
   nodes_.push_back(std::move(n));
   const dht::NodeIndex idx = nodes_.size() - 1;
   directory_.insert(v, idx);
+  class_dirs_[static_cast<std::size_t>(id.k)].insert(id.a, idx);
   ++alive_;
   return idx;
 }
@@ -54,9 +57,11 @@ dht::NodeIndex Overlay::add_node_random(Rng& rng, double capacity,
 std::vector<dht::NodeIndex> Overlay::cycle_members(std::uint64_t a) const {
   std::vector<dht::NodeIndex> out;
   const auto d = static_cast<std::uint64_t>(space_.dimension());
-  for (std::uint64_t k = 0; k < d; ++k) {
-    if (auto owner = directory_.owner_of(a * d + k)) out.push_back(*owner);
-  }
+  // Cycle a owns the linear block [a*d, a*d + d); one ordered scan visits
+  // its occupied ids in ascending cyclic index, same as probing each id.
+  directory_.for_each_in_range(
+      a * d, a * d + d,
+      [&](std::uint64_t, dht::NodeIndex owner) { out.push_back(owner); });
   return out;
 }
 
@@ -118,20 +123,21 @@ bool Overlay::eligible(dht::NodeIndex owner, std::size_t slot,
 namespace {
 
 /// Enumerates occupied ids of the form (k_sel, pattern with `free_bits` low
-/// bits free), returning node indices.
-std::vector<dht::NodeIndex> collect_matching(const dht::RingDirectory& dir,
-                                             const IdSpace& space, int k_sel,
-                                             std::uint64_t pattern,
-                                             int free_bits) {
+/// bits free), returning node indices. `class_dir` is the overlay's index
+/// of cyclic class k_sel keyed by cubical index, so ascending keys are
+/// ascending `low` — the same order a probe of each candidate id would
+/// produce — and the scan visits exactly the matching ids, never the other
+/// d - 1 classes interleaved with them in the main directory.
+std::vector<dht::NodeIndex> collect_matching(
+    const dht::RingDirectory& class_dir, std::uint64_t pattern,
+    int free_bits) {
   std::vector<dht::NodeIndex> out;
-  if (k_sel < 0 || k_sel >= space.dimension()) return out;
   const std::uint64_t base = pattern & ~low_mask(free_bits);
   const std::uint64_t span = std::uint64_t{1} << free_bits;
   out.reserve(span / 4);
-  for (std::uint64_t low = 0; low < span; ++low) {
-    const CycloidId id{k_sel, base | low};
-    if (auto owner = dir.owner_of(space.to_linear(id))) out.push_back(*owner);
-  }
+  class_dir.for_each_in_range(
+      base, base + span,
+      [&](std::uint64_t, dht::NodeIndex owner) { out.push_back(owner); });
   return out;
 }
 
@@ -145,12 +151,14 @@ std::vector<dht::NodeIndex> Overlay::eligible_candidates(
     case kCubicalEntry: {
       if (o.id.k < 1) break;
       const std::uint64_t pattern = flip_bit(o.id.a, o.id.k);
-      cands = collect_matching(directory_, space_, o.id.k - 1, pattern, o.id.k);
+      cands = collect_matching(class_dirs_[static_cast<std::size_t>(o.id.k - 1)],
+                               pattern, o.id.k);
       break;
     }
     case kCyclicEntry: {
       if (o.id.k < 1) break;
-      cands = collect_matching(directory_, space_, o.id.k - 1, o.id.a, o.id.k);
+      cands = collect_matching(class_dirs_[static_cast<std::size_t>(o.id.k - 1)],
+                               o.id.a, o.id.k);
       std::erase_if(cands, [&](dht::NodeIndex c) {
         return nodes_[c].id.a == o.id.a;
       });
@@ -357,11 +365,12 @@ std::vector<ExpansionTarget> Overlay::expansion_targets(
   if (k + 1 < space_.dimension()) {
     // Hosts (k+1, ...) whose cubical entry we satisfy: their bit (k+1)
     // differs from ours, bits above match, bits below free.
-    push_hosts(collect_matching(directory_, space_, k + 1,
+    push_hosts(collect_matching(class_dirs_[static_cast<std::size_t>(k + 1)],
                                 flip_bit(me.id.a, k + 1), k + 1),
                kCubicalEntry);
     // Hosts (k+1, ...) whose cyclic entry we satisfy: bits >= k+1 match.
-    auto cyc = collect_matching(directory_, space_, k + 1, me.id.a, k + 1);
+    auto cyc = collect_matching(class_dirs_[static_cast<std::size_t>(k + 1)],
+                                me.id.a, k + 1);
     std::erase_if(cyc, [&](dht::NodeIndex h) {
       return nodes_[h].id.a == me.id.a;
     });
@@ -440,6 +449,7 @@ void Overlay::leave_graceful(dht::NodeIndex i) {
   }
   n.inlinks.clear();
   directory_.erase(lv(i));
+  class_dirs_[static_cast<std::size_t>(n.id.k)].erase(n.id.a);
   n.alive = false;
   --alive_;
 }
@@ -448,6 +458,7 @@ void Overlay::fail(dht::NodeIndex i) {
   OverlayNode& n = nodes_.at(i);
   if (!n.alive) return;
   directory_.erase(lv(i));
+  class_dirs_[static_cast<std::size_t>(n.id.k)].erase(n.id.a);
   n.alive = false;
   --alive_;
   // Stale state stays: nodes pointing at `i` discover the failure on their
@@ -681,7 +692,16 @@ void Overlay::check_invariants() const {
              "backward finger without matching outlink");
     }
     assert(n.budget.indegree() >= 0);
+    // The per-class secondary index must mirror the main directory.
+    assert(directory_.owner_of(lv(i)) == std::optional<dht::NodeIndex>(i));
+    assert(class_dirs_[static_cast<std::size_t>(n.id.k)].owner_of(n.id.a) ==
+           std::optional<dht::NodeIndex>(i));
   }
+  std::size_t class_total = 0;
+  for (const auto& cd : class_dirs_) class_total += cd.size();
+  assert(class_total == directory_.size() &&
+         "class index out of sync with directory");
+  (void)class_total;
 }
 
 }  // namespace ert::cycloid

@@ -201,6 +201,21 @@ class Overlay {
   const IdSpace& space() const { return space_; }
   const dht::RingDirectory& directory() const { return directory_; }
 
+  /// Batched construction: between these calls, add_node stages directory
+  /// inserts so the ring directory is built once from the sorted batch
+  /// (O(n log n) total) instead of per-insert; `expected` pre-sizes the
+  /// slot vector and staging buffers. Queries stay exact throughout.
+  void begin_bulk_insert(std::size_t expected) {
+    if (expected > 0) nodes_.reserve(nodes_.size() + expected);
+    directory_.begin_bulk(expected);
+    for (auto& cd : class_dirs_)
+      cd.begin_bulk(expected / class_dirs_.size() + 1);
+  }
+  void end_bulk_insert() {
+    directory_.end_bulk();
+    for (auto& cd : class_dirs_) cd.end_bulk();
+  }
+
   /// Logical distance between two nodes: ring distance of linear ids.
   std::uint64_t logical_distance(dht::NodeIndex a, dht::NodeIndex b) const;
 
@@ -244,6 +259,13 @@ class Overlay {
   IdSpace space_;
   PhysDistFn phys_dist_;
   dht::RingDirectory directory_;
+  /// Secondary index: class_dirs_[k] holds the cubical indices `a` of the
+  /// occupied ids with cyclic index k. Since linear id = a*d + k, a cubical
+  /// block scan restricted to class k (the shape of every cubical/cyclic
+  /// candidate query) walks exactly the matching ids here instead of
+  /// filtering the d-times-denser main directory. Kept in lockstep with
+  /// directory_ at every insert/erase; never consulted for routing state.
+  std::vector<dht::RingDirectory> class_dirs_;
   std::vector<OverlayNode> nodes_;
   std::size_t alive_ = 0;
   trace::TraceSink* trace_ = nullptr;

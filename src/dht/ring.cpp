@@ -27,65 +27,117 @@ bool in_interval(std::uint64_t x, std::uint64_t from, std::uint64_t to,
   return off > 0 && off <= span;
 }
 
-std::size_t RingDirectory::lower_bound(std::uint64_t id) const {
-  return static_cast<std::size_t>(
-      std::lower_bound(ids_.begin(), ids_.end(), id) - ids_.begin());
+// --- bulk staging ----------------------------------------------------------
+
+void RingDirectory::begin_bulk(std::size_t expected) {
+  assert(!bulk_ && "bulk mode does not nest");
+  bulk_ = true;
+  if (expected > 0) {
+    staged_.reserve(expected);
+    staged_set_.reserve(expected);
+  }
 }
+
+void RingDirectory::end_bulk() {
+  assert(bulk_);
+  flush_bulk();
+  bulk_ = false;
+}
+
+void RingDirectory::flush_bulk() const {
+  if (staged_.empty()) return;
+  std::sort(staged_.begin(), staged_.end());
+  if (!tree_.empty()) {
+    std::vector<std::pair<std::uint64_t, NodeIndex>> merged;
+    merged.reserve(tree_.size() + staged_.size());
+    tree_.materialize(merged);
+    const std::size_t mid = merged.size();
+    merged.insert(merged.end(), staged_.begin(), staged_.end());
+    std::inplace_merge(merged.begin(),
+                       merged.begin() + static_cast<std::ptrdiff_t>(mid),
+                       merged.end());
+    tree_.build_from_sorted(merged);
+  } else {
+    tree_.build_from_sorted(staged_);
+  }
+  staged_.clear();
+  staged_set_.clear();
+}
+
+// --- membership ------------------------------------------------------------
 
 bool RingDirectory::insert(std::uint64_t id, NodeIndex node) {
   assert(modulus_ == 0 || id < modulus_);
-  const std::size_t pos = lower_bound(id);
-  if (pos < ids_.size() && ids_[pos] == id) return false;
-  ids_.insert(ids_.begin() + static_cast<std::ptrdiff_t>(pos), id);
-  owners_.insert(owners_.begin() + static_cast<std::ptrdiff_t>(pos), node);
+  if (bulk_) {
+    if (staged_set_.count(id) != 0 || tree_.contains(id)) return false;
+    staged_.emplace_back(id, node);
+    staged_set_.insert(id);
+    ids_dirty_ = true;
+    return true;
+  }
+  if (!tree_.insert(id, node)) return false;
+  ids_dirty_ = true;
   return true;
 }
 
 bool RingDirectory::erase(std::uint64_t id) {
-  const std::size_t pos = lower_bound(id);
-  if (pos >= ids_.size() || ids_[pos] != id) return false;
-  ids_.erase(ids_.begin() + static_cast<std::ptrdiff_t>(pos));
-  owners_.erase(owners_.begin() + static_cast<std::ptrdiff_t>(pos));
+  flush_bulk();
+  if (!tree_.erase(id)) return false;
+  ids_dirty_ = true;
   return true;
 }
 
 bool RingDirectory::contains(std::uint64_t id) const {
-  const std::size_t pos = lower_bound(id);
-  return pos < ids_.size() && ids_[pos] == id;
+  if (!staged_.empty() && staged_set_.count(id) != 0) return true;
+  return tree_.contains(id);
 }
 
 std::optional<NodeIndex> RingDirectory::owner_of(std::uint64_t id) const {
-  const std::size_t pos = lower_bound(id);
-  if (pos < ids_.size() && ids_[pos] == id) return owners_[pos];
+  flush_bulk();
+  const NodeIndex* v = tree_.find(id);
+  if (v) return *v;
   return std::nullopt;
 }
 
+// --- ordered queries -------------------------------------------------------
+
+std::size_t RingDirectory::lower_bound(std::uint64_t id) const {
+  flush_bulk();
+  return tree_.lower_bound(id).rank;
+}
+
 NodeIndex RingDirectory::successor(std::uint64_t key) const {
-  if (ids_.empty()) return kNoNode;
-  std::size_t pos = lower_bound(key);
-  if (pos == ids_.size()) pos = 0;  // wrap
-  return owners_[pos];
+  flush_bulk();
+  if (tree_.empty()) return kNoNode;
+  CountedBTree::Cursor c = tree_.lower_bound(key).cur;
+  if (!CountedBTree::valid(c)) c = tree_.first();  // wrap
+  return CountedBTree::value(c);
 }
 
 std::uint64_t RingDirectory::successor_id(std::uint64_t key) const {
-  assert(!ids_.empty());
-  std::size_t pos = lower_bound(key);
-  if (pos == ids_.size()) pos = 0;
-  return ids_[pos];
+  flush_bulk();
+  assert(!tree_.empty());
+  CountedBTree::Cursor c = tree_.lower_bound(key).cur;
+  if (!CountedBTree::valid(c)) c = tree_.first();
+  return CountedBTree::key(c);
 }
 
 NodeIndex RingDirectory::predecessor(std::uint64_t key) const {
-  if (ids_.empty()) return kNoNode;
-  std::size_t pos = lower_bound(key);
-  pos = (pos == 0 ? ids_.size() : pos) - 1;
-  return owners_[pos];
+  flush_bulk();
+  if (tree_.empty()) return kNoNode;
+  CountedBTree::Cursor c = tree_.lower_bound(key).cur;
+  c = CountedBTree::valid(c) ? CountedBTree::prev(c) : CountedBTree::Cursor{};
+  if (!CountedBTree::valid(c)) c = tree_.last();  // wrap
+  return CountedBTree::value(c);
 }
 
 std::uint64_t RingDirectory::predecessor_id(std::uint64_t key) const {
-  assert(!ids_.empty());
-  std::size_t pos = lower_bound(key);
-  pos = (pos == 0 ? ids_.size() : pos) - 1;
-  return ids_[pos];
+  flush_bulk();
+  assert(!tree_.empty());
+  CountedBTree::Cursor c = tree_.lower_bound(key).cur;
+  c = CountedBTree::valid(c) ? CountedBTree::prev(c) : CountedBTree::Cursor{};
+  if (!CountedBTree::valid(c)) c = tree_.last();
+  return CountedBTree::key(c);
 }
 
 std::size_t RingDirectory::position_distance(std::uint64_t a,
@@ -94,69 +146,96 @@ std::size_t RingDirectory::position_distance(std::uint64_t a,
 }
 
 std::size_t RingDirectory::position_of(std::uint64_t id) const {
-  const std::size_t p = lower_bound(id);
-  assert(p < ids_.size() && ids_[p] == id);
-  return p;
+  flush_bulk();
+  const CountedBTree::Locate loc = tree_.lower_bound(id);
+  assert(CountedBTree::valid(loc.cur) && CountedBTree::key(loc.cur) == id);
+  return loc.rank;
 }
 
 std::size_t RingDirectory::position_gap(std::size_t pa, std::size_t pb) const {
-  const std::size_t fwd = pb >= pa ? pb - pa : ids_.size() - pa + pb;
-  return std::min(fwd, ids_.size() - fwd);
+  const std::size_t n = size();
+  const std::size_t fwd = pb >= pa ? pb - pa : n - pa + pb;
+  return std::min(fwd, n - fwd);
 }
 
 std::uint64_t RingDirectory::step_toward(std::uint64_t a,
                                          std::uint64_t b) const {
-  assert(ids_.size() >= 2);
-  const std::size_t pa = lower_bound(a);
-  const std::size_t pb = lower_bound(b);
-  assert(pa < ids_.size() && ids_[pa] == a);
-  const std::size_t fwd = pb >= pa ? pb - pa : ids_.size() - pa + pb;
-  const bool clockwise_shorter = fwd <= ids_.size() - fwd;
-  const std::size_t next =
-      clockwise_shorter ? (pa + 1) % ids_.size()
-                        : (pa == 0 ? ids_.size() - 1 : pa - 1);
-  return ids_[next];
+  flush_bulk();
+  assert(tree_.size() >= 2);
+  const CountedBTree::Locate la = tree_.lower_bound(a);
+  assert(CountedBTree::valid(la.cur) && CountedBTree::key(la.cur) == a);
+  const std::size_t pa = la.rank;
+  const std::size_t pb = tree_.lower_bound(b).rank;
+  const std::size_t n = tree_.size();
+  const std::size_t fwd = pb >= pa ? pb - pa : n - pa + pb;
+  const bool clockwise_shorter = fwd <= n - fwd;
+  CountedBTree::Cursor c;
+  if (clockwise_shorter) {
+    c = CountedBTree::next(la.cur);
+    if (!CountedBTree::valid(c)) c = tree_.first();  // (pa + 1) % n
+  } else {
+    c = CountedBTree::prev(la.cur);
+    if (!CountedBTree::valid(c)) c = tree_.last();  // pa == 0 -> n - 1
+  }
+  return CountedBTree::key(c);
 }
 
 std::vector<std::uint64_t> RingDirectory::ids_in_range(std::uint64_t lo,
                                                        std::uint64_t hi) const {
   std::vector<std::uint64_t> out;
-  for (std::size_t pos = lower_bound(lo); pos < ids_.size() && ids_[pos] < hi;
-       ++pos)
-    out.push_back(ids_[pos]);
+  for_each_in_range(lo, hi,
+                    [&](std::uint64_t id, NodeIndex) { out.push_back(id); });
   return out;
 }
 
 std::vector<std::uint64_t> RingDirectory::successors_of(std::uint64_t key,
                                                         std::size_t k) const {
+  flush_bulk();
   std::vector<std::uint64_t> out;
-  if (ids_.empty()) return out;
-  k = std::min(k, ids_.size());
-  std::size_t pos = lower_bound(key);
-  if (pos < ids_.size() && ids_[pos] == key) ++pos;  // exclude key itself
+  if (tree_.empty()) return out;
+  k = std::min(k, tree_.size());
+  CountedBTree::Cursor c = tree_.lower_bound(key).cur;
+  if (CountedBTree::valid(c) && CountedBTree::key(c) == key)
+    c = CountedBTree::next(c);  // exclude key itself
   out.reserve(k);
   for (std::size_t i = 0; i < k; ++i) {
-    if (pos >= ids_.size()) pos = 0;
-    if (ids_[pos] == key) break;  // wrapped all the way around
-    out.push_back(ids_[pos]);
-    ++pos;
+    if (!CountedBTree::valid(c)) c = tree_.first();
+    if (CountedBTree::key(c) == key) break;  // wrapped all the way around
+    out.push_back(CountedBTree::key(c));
+    c = CountedBTree::next(c);
   }
   return out;
 }
 
 std::vector<std::uint64_t> RingDirectory::predecessors_of(
     std::uint64_t key, std::size_t k) const {
+  flush_bulk();
   std::vector<std::uint64_t> out;
-  if (ids_.empty()) return out;
-  k = std::min(k, ids_.size());
-  std::size_t pos = lower_bound(key);
+  if (tree_.empty()) return out;
+  k = std::min(k, tree_.size());
+  CountedBTree::Cursor c = tree_.lower_bound(key).cur;
   out.reserve(k);
   for (std::size_t i = 0; i < k; ++i) {
-    pos = (pos == 0 ? ids_.size() : pos) - 1;
-    if (ids_[pos] == key) break;
-    out.push_back(ids_[pos]);
+    c = CountedBTree::valid(c) ? CountedBTree::prev(c)
+                               : CountedBTree::Cursor{};
+    if (!CountedBTree::valid(c)) c = tree_.last();  // wrap below rank 0
+    if (CountedBTree::key(c) == key) break;
+    out.push_back(CountedBTree::key(c));
   }
   return out;
+}
+
+const std::vector<std::uint64_t>& RingDirectory::ids() const {
+  flush_bulk();
+  if (ids_dirty_) {
+    ids_cache_.clear();
+    ids_cache_.reserve(tree_.size());
+    for (CountedBTree::Cursor c = tree_.first(); CountedBTree::valid(c);
+         c = CountedBTree::next(c))
+      ids_cache_.push_back(CountedBTree::key(c));
+    ids_dirty_ = false;
+  }
+  return ids_cache_;
 }
 
 }  // namespace ert::dht

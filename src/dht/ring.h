@@ -6,8 +6,11 @@
 
 #include <cstdint>
 #include <optional>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
+#include "dht/counted_btree.h"
 #include "dht/types.h"
 
 namespace ert::dht {
@@ -27,8 +30,18 @@ bool in_interval(std::uint64_t x, std::uint64_t from, std::uint64_t to,
                  std::uint64_t modulus);
 
 /// An ordered, mutable set of occupied ids on a ring, with id -> NodeIndex
-/// resolution. Backing store is a sorted vector: the simulator's overlays
-/// change membership (churn) far less often than they query successors.
+/// resolution. Backed by a counted B+-tree (counted_btree.h), so insert,
+/// erase, successor search, and rank queries (position_of / position_gap)
+/// are all O(log n) — churn joins and departures no longer pay the O(n)
+/// element shuffle of a sorted vector.
+///
+/// Bulk construction: between begin_bulk() and end_bulk(), inserts are
+/// staged in an append buffer (contains / size stay exact) and the tree is
+/// built once from the sorted batch — O(n log n) for the whole batch
+/// instead of n tree descents with node splits. Any other query issued
+/// mid-bulk transparently flushes the staged batch first, so results are
+/// identical to the unstaged sequence; the structure is pure and draw-free
+/// either way.
 class RingDirectory {
  public:
   explicit RingDirectory(std::uint64_t modulus) : modulus_(modulus) {}
@@ -57,6 +70,19 @@ class RingDirectory {
   std::vector<std::uint64_t> ids_in_range(std::uint64_t lo,
                                           std::uint64_t hi) const;
 
+  /// Visits (id, owner) for every occupied id in [lo, hi), ascending —
+  /// the allocation-free form of ids_in_range for hot scans.
+  template <typename Fn>
+  void for_each_in_range(std::uint64_t lo, std::uint64_t hi, Fn&& fn) const {
+    flush_bulk();
+    for (CountedBTree::Cursor c = tree_.lower_bound(lo).cur;
+         CountedBTree::valid(c); c = CountedBTree::next(c)) {
+      const std::uint64_t id = CountedBTree::key(c);
+      if (id >= hi) break;
+      fn(id, CountedBTree::value(c));
+    }
+  }
+
   /// The k occupied ids clockwise after `key` (excluding `key` itself).
   std::vector<std::uint64_t> successors_of(std::uint64_t key,
                                            std::size_t k) const;
@@ -79,17 +105,37 @@ class RingDirectory {
   /// toward occupied id `b` (== b when adjacent). Requires size() >= 2.
   std::uint64_t step_toward(std::uint64_t a, std::uint64_t b) const;
 
-  std::size_t size() const { return ids_.size(); }
-  bool empty() const { return ids_.empty(); }
+  /// Enters bulk-insert mode: inserts are staged, then the tree is built
+  /// once from the sorted batch at end_bulk(). `expected` pre-sizes the
+  /// staging buffers. Nestable-free: one level only.
+  void begin_bulk(std::size_t expected = 0);
+  void end_bulk();
+  bool in_bulk() const { return bulk_; }
+
+  std::size_t size() const { return tree_.size() + staged_.size(); }
+  bool empty() const { return size() == 0; }
   std::uint64_t modulus() const { return modulus_; }
-  const std::vector<std::uint64_t>& ids() const { return ids_; }
+
+  /// The occupied ids in ascending order. Materialized lazily from the
+  /// tree and cached until the next mutation; meant for tests and tools,
+  /// not hot paths.
+  const std::vector<std::uint64_t>& ids() const;
 
  private:
+  /// lower_bound over occupied ids: rank of the first id >= `id`.
   std::size_t lower_bound(std::uint64_t id) const;
 
+  /// Sorts and merges any staged inserts into the tree. Const because any
+  /// query may trigger it mid-bulk; the logical contents never change.
+  void flush_bulk() const;
+
   std::uint64_t modulus_;
-  std::vector<std::uint64_t> ids_;        // sorted
-  std::vector<NodeIndex> owners_;         // parallel to ids_
+  mutable CountedBTree tree_;
+  bool bulk_ = false;
+  mutable std::vector<std::pair<std::uint64_t, NodeIndex>> staged_;
+  mutable std::unordered_set<std::uint64_t> staged_set_;
+  mutable std::vector<std::uint64_t> ids_cache_;
+  mutable bool ids_dirty_ = true;
 };
 
 }  // namespace ert::dht

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cmath>
 #include <deque>
 #include <memory>
 
 #include "baselines/virtual_servers.h"
 #include "common/rng.h"
+#include "common/rss.h"
 #include "cycloid/overlay.h"
 #include "ert/adaptation.h"
 #include "ert/capacity.h"
@@ -128,6 +130,17 @@ class Engine {
     return finalize();
   }
 
+  /// Construction only: same Rng draws as run() up to the end of
+  /// build_network, then stop. Timing is the caller's job so the report
+  /// excludes Engine setup.
+  BuildReport build_only() {
+    build_network();
+    BuildReport report;
+    report.real_nodes = reals_.size();
+    report.overlay_slots = substrate_->num_slots();
+    return report;
+  }
+
  private:
   bool done() const {
     return issued_ >= params_.num_lookups && completed_ + dropped_ >= issued_;
@@ -176,14 +189,31 @@ class Engine {
         });
     substrate_->set_trace(trace_.get());
 
+    // Pre-size the construction-time containers: churn keeps appending
+    // after the build, so leave headroom when it is on. Pure capacity
+    // hints — no draws, no behavior change.
+    const std::size_t headroom =
+        params_.churn_interarrival > 0 ? n + n / 2 : n;
+    overlay_of_real_.reserve(headroom);
+    real_of_overlay_.reserve(headroom);
+    reals_.reserve(headroom);
+    prox_.reserve(headroom);
+
+    // Join every node in bulk mode: the ring directory stages the inserts
+    // and builds once from the sorted batch (O(n log n)) instead of paying
+    // a tree descent per join. Membership queries answer exactly during
+    // the batch, so the Rng draw sequence is identical to unbatched joins.
     if (uses_virtual_servers(proto_)) {
       cycloid::Overlay* overlay = substrate_->as_cycloid();
       assert(overlay && "virtual servers require the Cycloid substrate");
+      substrate_->begin_bulk_join(ids_needed);
       vs_ = std::make_unique<baselines::VirtualServerMap>(*overlay, caps_, n,
                                                           rng_);
+      substrate_->end_bulk_join();
       for (NodeIndex v = 0; v < substrate_->num_slots(); ++v)
         substrate_->build_table(v, rng_);
     } else {
+      substrate_->begin_bulk_join(n);
       for (std::size_t r = 0; r < n; ++r) {
         const int dinf = node_max_indegree(r);
         const NodeIndex v =
@@ -191,6 +221,7 @@ class Engine {
         overlay_of_real_.push_back(v);
         real_of_overlay_.push_back(r);
       }
+      substrate_->end_bulk_join();
       for (NodeIndex v = 0; v < substrate_->num_slots(); ++v)
         substrate_->build_table(v, rng_);
       if (is_ert(proto_)) initial_indegree_assignment();
@@ -1042,6 +1073,17 @@ ExperimentResult run_experiment(const SimParams& params, Protocol protocol,
 
 ExperimentResult run_experiment(const SimParams& params, Protocol protocol) {
   return run_experiment(params, protocol, SubstrateKind::kCycloid);
+}
+
+BuildReport run_build_only(const SimParams& params, Protocol protocol,
+                           SubstrateKind substrate) {
+  Engine engine(params, protocol, substrate, ExperimentOptions{});
+  const auto t0 = std::chrono::steady_clock::now();
+  BuildReport report = engine.build_only();
+  const auto t1 = std::chrono::steady_clock::now();
+  report.build_seconds = std::chrono::duration<double>(t1 - t0).count();
+  report.peak_rss_kb = peak_rss_kb();
+  return report;
 }
 
 namespace {

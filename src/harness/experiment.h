@@ -140,4 +140,20 @@ std::vector<ExperimentResult> run_sweep(const std::vector<SweepJob>& jobs,
 /// Smallest Cycloid dimension whose id space holds `ids_needed` ids.
 int fit_dimension(std::size_t ids_needed);
 
+/// What run_build_only measured: the constructed network's shape plus the
+/// wall-clock cost of building it. No workload is issued and no simulated
+/// time elapses.
+struct BuildReport {
+  std::size_t real_nodes = 0;     ///< physical nodes constructed.
+  std::size_t overlay_slots = 0;  ///< overlay slots (> real_nodes under VS).
+  double build_seconds = 0.0;     ///< wall-clock time inside build_network.
+  std::size_t peak_rss_kb = 0;    ///< process peak RSS after the build.
+};
+
+/// Constructs the network exactly as run_experiment would (same Rng draw
+/// sequence) and stops before issuing any workload. Used by the scale
+/// benchmarks and `ertsim --build-only`.
+BuildReport run_build_only(const SimParams& params, Protocol protocol,
+                           SubstrateKind substrate);
+
 }  // namespace ert::harness

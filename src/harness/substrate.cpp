@@ -56,6 +56,10 @@ class CycloidSubstrate final : public SubstrateOps {
                      double beta) override {
     return overlay_->add_node_random(rng, capacity, max_indegree, beta);
   }
+  void begin_bulk_join(std::size_t expected_nodes) override {
+    overlay_->begin_bulk_insert(expected_nodes);
+  }
+  void end_bulk_join() override { overlay_->end_bulk_insert(); }
   void build_table(NodeIndex i, Rng& rng) override {
     overlay_->build_table(i, rng);
   }
@@ -178,6 +182,10 @@ class ChordSubstrate final : public SubstrateOps {
                      double beta) override {
     return overlay_->add_node_random(rng, capacity, max_indegree, beta);
   }
+  void begin_bulk_join(std::size_t expected_nodes) override {
+    overlay_->begin_bulk_insert(expected_nodes);
+  }
+  void end_bulk_join() override { overlay_->end_bulk_insert(); }
   void build_table(NodeIndex i, Rng& rng) override {
     (void)rng;
     overlay_->build_table(i);
@@ -273,6 +281,10 @@ class PastrySubstrate final : public SubstrateOps {
                      double beta) override {
     return overlay_->add_node_random(rng, capacity, max_indegree, beta);
   }
+  void begin_bulk_join(std::size_t expected_nodes) override {
+    overlay_->begin_bulk_insert(expected_nodes);
+  }
+  void end_bulk_join() override { overlay_->end_bulk_insert(); }
   void build_table(NodeIndex i, Rng& rng) override {
     (void)rng;
     overlay_->build_table(i);

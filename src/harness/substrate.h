@@ -79,6 +79,17 @@ class SubstrateOps {
   // --- membership ---
   virtual dht::NodeIndex add_node(Rng& rng, double capacity, int max_indegree,
                                   double beta) = 0;
+  /// Batched initial construction: between begin_bulk_join and
+  /// end_bulk_join, add_node calls may stage their ring-directory inserts
+  /// so the directory is built once from the sorted batch — O(n log n)
+  /// for n joins instead of n independent ordered inserts. Membership
+  /// queries stay exact throughout, so the Rng draw sequence (and thus
+  /// every metric) is identical to unbatched joins. Substrates without a
+  /// batched path ignore the calls.
+  virtual void begin_bulk_join(std::size_t expected_nodes) {
+    (void)expected_nodes;
+  }
+  virtual void end_bulk_join() {}
   virtual void build_table(dht::NodeIndex i, Rng& rng) = 0;
   virtual bool id_space_full() const = 0;
   virtual void fail(dht::NodeIndex i) = 0;

@@ -36,6 +36,9 @@ class ProximityMap {
   /// Adds one node (churn join) and returns its index.
   std::size_t add_node(Rng& rng);
 
+  /// Capacity hint for upcoming churn joins; no draws, no behavior change.
+  void reserve(std::size_t n) { coords_.reserve(n); }
+
   std::size_t size() const { return coords_.size(); }
   Coord coord(std::size_t i) const { return coords_.at(i); }
 

@@ -113,6 +113,16 @@ class Overlay {
   std::size_t alive_count() const { return alive_; }
   const dht::RingDirectory& directory() const { return directory_; }
 
+  /// Batched construction: between these calls, add_node stages directory
+  /// inserts so the ring directory is built once from the sorted batch
+  /// (O(n log n) total) instead of per-insert; `expected` pre-sizes the
+  /// slot vector and staging buffers. Queries stay exact throughout.
+  void begin_bulk_insert(std::size_t expected) {
+    if (expected > 0) nodes_.reserve(nodes_.size() + expected);
+    directory_.begin_bulk(expected);
+  }
+  void end_bulk_insert() { directory_.end_bulk(); }
+
   int rows() const { return opts_.rows; }
   int base() const { return 1 << opts_.bits_per_digit; }
   int id_bits() const { return opts_.rows * opts_.bits_per_digit; }

@@ -36,6 +36,9 @@
 //                        (default all)
 //     --trace-cap N      trace ring capacity in records (default 2^18);
 //                        when full the oldest records are evicted
+//     --build-only       construct the network, print build wall-clock time,
+//                        peak RSS and node/slot counts, then exit 0 without
+//                        issuing any lookups (scale smoke checks)
 //
 // Exit code 0 on success, 3 when --audit found invariant violations;
 // prints a one-screen report.
@@ -64,7 +67,8 @@ using ert::harness::SubstrateKind;
                "              [--poll B] [--data-forwarding] [--probe-cost C]\n"
                "              [--csv FILE] [--audit] [--faults SPEC]\n"
                "              [--audit-log FILE] [--trace FILE]\n"
-               "              [--trace-cats LIST] [--trace-cap N]\n");
+               "              [--trace-cats LIST] [--trace-cap N]\n"
+               "              [--build-only]\n");
   std::exit(2);
 }
 
@@ -128,6 +132,7 @@ int main(int argc, char** argv) {
   SubstrateKind kind = SubstrateKind::kCycloid;
   int seeds = 1;
   int threads = 0;
+  bool build_only = false;
   std::string csv;
   std::string audit_log;
   std::string trace_file;
@@ -190,6 +195,7 @@ int main(int argc, char** argv) {
       options.trace.capacity = std::strtoul(need(i), nullptr, 10);
       if (options.trace.capacity == 0) usage("--trace-cap wants N >= 1");
     }
+    else if (a == "--build-only") build_only = true;
     else if (a == "--help" || a == "-h") usage();
     else usage(("unknown option " + a).c_str());
   }
@@ -197,6 +203,19 @@ int main(int argc, char** argv) {
   if ((proto == Protocol::kVS || proto == Protocol::kNS) &&
       kind != SubstrateKind::kCycloid)
     usage("VS/NS require the cycloid substrate");
+
+  if (build_only) {
+    const auto b = ert::harness::run_build_only(p, proto, kind);
+    std::printf("protocol           %s on %s\n",
+                std::string(ert::harness::to_string(proto)).c_str(),
+                ert::harness::to_string(kind));
+    std::printf("nodes              %zu real, %zu overlay slots\n",
+                b.real_nodes, b.overlay_slots);
+    std::printf("build time         %.3f s\n", b.build_seconds);
+    std::printf("peak RSS           %.1f MiB\n",
+                static_cast<double>(b.peak_rss_kb) / 1024.0);
+    return 0;
+  }
 
   const auto r =
       seeds > 1
