@@ -114,10 +114,11 @@ BENCHMARK(BM_CycloidFullLookup);
 
 void BM_ForwardTopologyAware(benchmark::State& state) {
   Rng rng(4);
+  dht::CandPool pool;
   dht::RoutingEntry entry(dht::EntryKind::kCubical);
   std::vector<dht::NodeIndex> cands;
   for (dht::NodeIndex n = 0; n < 8; ++n) {
-    entry.add(n);
+    entry.add(pool, n);
     cands.push_back(n);
   }
   core::TopoForwardOptions opts;

@@ -1,0 +1,164 @@
+// End-to-end scale tracker: the full ERT pipeline (Poisson queries +
+// overload probing + Algorithm 3 shed/grow + churn) run at figure scale,
+// gated on peak memory and throughput (BENCH_scale.json).
+//
+//   bench_scale [output.json]     (default BENCH_scale.json)
+//
+// Non-smoke rows:
+//   cycloid  n = 2^17, 1M lookups   the partial-cycloid boundary-hub regime
+//   chord    n = 2^20, 2M lookups   the million-node criterion
+//
+// The Cycloid row reports a substantial `dropped` count by design: a
+// partial Cycloid (any n that is not d * 2^d leaves upper levels empty)
+// funnels traffic through boundary hub nodes that shed against the
+// ingress cap even at low mean utilization. Settled (completed +
+// dropped) must still equal the lookup count for the row to pass.
+//
+// Both rows run ERT/AF with churn, the workload clock compressed 8x
+// relative to the calibrated 2048-node figure runs: the arrival rate is
+// 128 * n / 2048 lookups/s and the Table-2 service times shrink by the
+// same factor, so per-node utilization stays at calibrated parity while
+// the injection window fits CI. The adaptation period stretches to
+// T = 8 s so the management plane stays a bounded fraction of the run,
+// and a 64-query ingress queue cap lets the statistically inevitable
+// unstable node at this n bound the drain tail by shedding arrivals as
+// overload drops instead of queueing O(run length).
+// The gates are what the memory-diet refactor promises: process peak RSS
+// stays under 6 GiB through the 2^20 run, and sustained end-to-end
+// throughput stays above the floor. Exit code 1 when a gate fails, so perf
+// regressions fail loudly rather than drifting.
+//
+// ERT_BENCH_SMOKE=1 shrinks to one 4096-node row with proportionally lenient
+// gates so CI finishes in seconds.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "common/rss.h"
+#include "harness/experiment.h"
+#include "json_writer.h"
+
+namespace {
+
+using ert::harness::Protocol;
+using ert::harness::SubstrateKind;
+
+bool smoke_mode() {
+  const char* e = std::getenv("ERT_BENCH_SMOKE");
+  return e && *e && std::string(e) != "0";
+}
+
+struct ScaleRow {
+  const char* name;
+  SubstrateKind kind;
+  std::size_t nodes;
+  std::size_t lookups;
+  double qps_floor;  ///< settled queries per wall second, sustained.
+};
+
+constexpr std::size_t kRssGateKb = 6u * 1024u * 1024u;  // 6 GiB
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_scale.json";
+  const bool smoke = smoke_mode();
+
+  std::vector<ScaleRow> rows;
+  if (smoke) {
+    rows.push_back({"cycloid_smoke", SubstrateKind::kCycloid, 4096, 20'000,
+                    /*qps_floor=*/500.0});
+  } else {
+    rows.push_back({"cycloid_2e17", SubstrateKind::kCycloid,
+                    std::size_t{1} << 17, 1'000'000, /*qps_floor=*/1000.0});
+    rows.push_back({"chord_2e20", SubstrateKind::kChord, std::size_t{1} << 20,
+                    2'000'000, /*qps_floor=*/1000.0});
+  }
+
+  std::FILE* f = std::fopen(out_path, "w");
+  if (!f) {
+    std::perror("bench_scale: open");
+    return 1;
+  }
+  ertbench::JsonWriter w(f);
+  w.begin_object();
+  w.field("bench", "scale");
+  w.field("smoke", smoke);
+  w.field("rss_gate_kb", static_cast<std::uint64_t>(kRssGateKb));
+  w.key("rows");
+  w.begin_array();
+
+  bool all_pass = true;
+  for (const ScaleRow& row : rows) {
+    ert::SimParams p;
+    p.num_nodes = row.nodes;
+    p.num_lookups = row.lookups;
+    p.lookup_rate = 128.0 * static_cast<double>(row.nodes) / 2048.0;
+    p.light_service_time = 0.2 / 8.0;
+    p.heavy_service_time = 1.0 / 8.0;
+    p.churn_interarrival = 1.0;
+    p.adapt_period = 8.0;
+    p.queue_cap = 64;
+    p.seed = 42;
+    p.dimension = ert::harness::fit_dimension(p.num_nodes);
+
+    std::printf("bench_scale: %s n=%zu lookups=%zu rate=%.0f/s ...\n",
+                row.name, row.nodes, row.lookups, p.lookup_rate);
+    std::fflush(stdout);
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto r =
+        ert::harness::run_experiment(p, Protocol::kErtAF, row.kind);
+    const double wall = seconds_since(t0);
+    const std::size_t settled = r.completed_lookups + r.dropped_lookups;
+    const double qps = wall > 0 ? static_cast<double>(settled) / wall : 0.0;
+    const std::size_t rss_kb = ert::peak_rss_kb();
+    const bool rss_ok = rss_kb <= kRssGateKb;
+    const bool qps_ok = qps >= row.qps_floor;
+    const bool complete_ok = settled == row.lookups;
+    const bool pass = rss_ok && qps_ok && complete_ok;
+    all_pass = all_pass && pass;
+
+    w.begin_object();
+    w.field("name", row.name);
+    w.field("substrate", ert::harness::to_string(row.kind));
+    w.field("protocol", "ERT/AF");
+    w.field("nodes", static_cast<std::uint64_t>(row.nodes));
+    w.field("lookups", static_cast<std::uint64_t>(row.lookups));
+    w.field("rate", p.lookup_rate);
+    w.field("completed", static_cast<std::uint64_t>(r.completed_lookups));
+    w.field("dropped", static_cast<std::uint64_t>(r.dropped_lookups));
+    w.field("sim_duration", r.sim_duration);
+    w.field("wall_seconds", wall);
+    w.field("queries_per_sec", qps);
+    w.field("qps_floor", row.qps_floor);
+    w.field("peak_rss_kb", static_cast<std::uint64_t>(rss_kb));
+    w.field("pass", pass);
+    w.end_object();
+
+    std::printf(
+        "bench_scale: %s wall %.1f s, %.0f q/s (floor %.0f), peak RSS "
+        "%.1f MiB (gate %.0f MiB) -> %s\n",
+        row.name, wall, qps, row.qps_floor,
+        static_cast<double>(rss_kb) / 1024.0,
+        static_cast<double>(kRssGateKb) / 1024.0, pass ? "PASS" : "FAIL");
+    std::fflush(stdout);
+  }
+
+  w.end_array();
+  w.field("peak_rss_kb", static_cast<std::uint64_t>(ert::peak_rss_kb()));
+  w.field("pass", all_pass);
+  w.end_object();
+  w.finish();
+  std::fclose(f);
+  std::printf("bench_scale: wrote %s\n", out_path);
+  return all_pass ? 0 : 1;
+}

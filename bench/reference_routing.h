@@ -220,7 +220,8 @@ inline ert::cycloid::RouteStep route_step(const ert::cycloid::Overlay& o,
     if (h >= 0 && cid.k < h) {
       for (std::size_t slot : {kInsideLeafEntry, kOutsideLeafEntry}) {
         std::vector<NodeIndex> ups;
-        for (NodeIndex c : cn.table.entry(slot).candidates())
+        for (const ert::dht::NodeIndex32 c :
+             cn.table.entry(slot).candidates(o.arena().cands))
           if (o.node(c).id.k > cid.k) ups.push_back(c);
         if (ups.empty()) continue;
         std::stable_sort(ups.begin(), ups.end(),
@@ -250,15 +251,17 @@ inline ert::cycloid::RouteStep route_step(const ert::cycloid::Overlay& o,
     if (h >= 0 && cid.k >= 1 && cid.k == h &&
         !cn.table.entry(kCubicalEntry).empty()) {
       step.entry_index = kCubicalEntry;
+      const auto src = cn.table.entry(kCubicalEntry).candidates(o.arena().cands);
       step.candidates =
-          by_cycle_distance(cn.table.entry(kCubicalEntry).candidates());
+          by_cycle_distance(std::vector<NodeIndex>(src.begin(), src.end()));
       return step;
     }
     if (h >= 0 && cid.k >= 1 && cid.k > h &&
         !cn.table.entry(kCyclicEntry).empty()) {
       step.entry_index = kCyclicEntry;
+      const auto src = cn.table.entry(kCyclicEntry).candidates(o.arena().cands);
       step.candidates =
-          by_cycle_distance(cn.table.entry(kCyclicEntry).candidates());
+          by_cycle_distance(std::vector<NodeIndex>(src.begin(), src.end()));
       return step;
     }
     ctx.phase = RouteCtx::Phase::kWalk;
@@ -288,7 +291,8 @@ inline ert::cycloid::RouteStep route_step(const ert::cycloid::Overlay& o,
     std::size_t best_slot = kNoEntry;
     std::int64_t best_rank = -1;
     for (std::size_t slot = 0; slot < kNumEntries; ++slot) {
-      for (NodeIndex c : cn.table.entry(slot).candidates()) {
+      for (const ert::dht::NodeIndex32 c :
+           cn.table.entry(slot).candidates(o.arena().cands)) {
         if (relax == 0 && !usable(c)) continue;
         const std::int64_t r = progress_rank(c);
         if (r >= 0 && (best_rank < 0 || r < best_rank)) {
@@ -299,7 +303,8 @@ inline ert::cycloid::RouteStep route_step(const ert::cycloid::Overlay& o,
     }
     if (best_slot != kNoEntry) {
       std::vector<std::pair<std::int64_t, NodeIndex>> ranked;
-      for (NodeIndex c : cn.table.entry(best_slot).candidates()) {
+      for (const ert::dht::NodeIndex32 c :
+           cn.table.entry(best_slot).candidates(o.arena().cands)) {
         if (relax == 0 && !usable(c)) continue;
         const std::int64_t r = progress_rank(c);
         if (r >= 0) ranked.emplace_back(r, c);

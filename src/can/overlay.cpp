@@ -71,10 +71,12 @@ void Overlay::set_zone(dht::NodeIndex i, const Zone& z, int leaf) {
 
 void Overlay::drop_adjacency(dht::NodeIndex i) {
   auto& entry = nodes_[i].table.entry(kAdjacencyEntry);
-  for (dht::NodeIndex j : std::vector<dht::NodeIndex>(entry.candidates())) {
-    entry.remove(j);
-    nodes_[j].table.entry(kAdjacencyEntry).remove(i);
-  }
+  // Removing i from each neighbor's entry touches other blocks only (erase
+  // never resizes the pool backing), so our own span stays valid; the whole
+  // block is released afterwards.
+  for (const dht::NodeIndex32 j : entry.candidates(arena_.cands))
+    nodes_[j].table.entry(kAdjacencyEntry).remove(arena_.cands, i);
+  entry.release(arena_.cands);
 }
 
 void Overlay::rebuild_adjacency(dht::NodeIndex i) {
@@ -82,8 +84,8 @@ void Overlay::rebuild_adjacency(dht::NodeIndex i) {
   for (dht::NodeIndex j = 0; j < nodes_.size(); ++j) {
     if (j == i || !nodes_[j].alive) continue;
     if (zones_abut(nodes_[i].zone, nodes_[j].zone)) {
-      nodes_[i].table.entry(kAdjacencyEntry).add(j);
-      nodes_[j].table.entry(kAdjacencyEntry).add(i);
+      nodes_[i].table.entry(kAdjacencyEntry).add(arena_.cands, j);
+      nodes_[j].table.entry(kAdjacencyEntry).add(arena_.cands, i);
     }
   }
 }
@@ -163,12 +165,13 @@ int Overlay::deepest_leaf(int t) const {
 void Overlay::leave_graceful(dht::NodeIndex i) {
   CanNode& n = nodes_.at(i);
   if (!n.alive) return;
-  // Tear down elastic links first.
-  for (dht::NodeIndex j :
-       std::vector<dht::NodeIndex>(n.table.entry(kShortcutEntry).candidates()))
-    unlink_shortcut(i, j);
-  for (const auto& f : std::vector<core::BackwardFinger>(n.inlinks.fingers()))
-    unlink_shortcut(f.node, i);
+  // Tear down elastic links first (copies: unlinking mutates both blocks).
+  const auto sc = n.table.entry(kShortcutEntry).candidates(arena_.cands);
+  ids_scratch_.assign(sc.begin(), sc.end());
+  for (dht::NodeIndex j : ids_scratch_) unlink_shortcut(i, j);
+  const auto fs = n.inlinks.fingers(arena_.fingers);
+  evict_scratch_.assign(fs.begin(), fs.end());
+  for (const auto& f : evict_scratch_) unlink_shortcut(f.node, i);
 
   const int leaf = leaf_of_[i];
   if (leaf == root_) {  // last node: the space goes unowned
@@ -260,7 +263,7 @@ dht::RouteStepInfo Overlay::route_step(dht::NodeIndex cur, Point target,
   std::size_t best_entry = kNumEntries;
   std::pair<double, double> best{1e9, 1e9};
   for (std::size_t e = 0; e < kNumEntries; ++e) {
-    for (dht::NodeIndex c : cn.table.entry(e).candidates()) {
+    for (const dht::NodeIndex32 c : cn.table.entry(e).candidates(arena_.cands)) {
       if (!nodes_[c].alive || !better(c)) continue;
       const auto r = rank(c);
       if (r < best) {
@@ -274,7 +277,8 @@ dht::RouteStepInfo Overlay::route_step(dht::NodeIndex cur, Point target,
     // partition: the face toward the target always leads to a closer zone.
     // Tolerate anyway (stale state mid-churn): fall back to the adjacency
     // neighbor with the minimum rank, strictness dropped.
-    for (dht::NodeIndex c : cn.table.entry(kAdjacencyEntry).candidates())
+    for (const dht::NodeIndex32 c :
+         cn.table.entry(kAdjacencyEntry).candidates(arena_.cands))
       if (nodes_[c].alive) cands.push_back(c);
     assert(!cands.empty());
     std::sort(cands.begin(), cands.end(),
@@ -284,7 +288,8 @@ dht::RouteStepInfo Overlay::route_step(dht::NodeIndex cur, Point target,
     step.entry_index = kNumEntries;
     return step;
   }
-  for (dht::NodeIndex c : cn.table.entry(best_entry).candidates())
+  for (const dht::NodeIndex32 c :
+       cn.table.entry(best_entry).candidates(arena_.cands))
     if (nodes_[c].alive && better(c)) cands.push_back(c);
   std::sort(cands.begin(), cands.end(),
             [&](dht::NodeIndex x, dht::NodeIndex y) {
@@ -300,22 +305,25 @@ bool Overlay::link_shortcut(dht::NodeIndex from, dht::NodeIndex to,
   CanNode& t = nodes_.at(to);
   if (!f.alive || !t.alive || from == to) return false;
   if (f.table.entry(kShortcutEntry).size() >= opts_.max_shortcuts) return false;
-  if (f.table.entry(kAdjacencyEntry).contains(to)) return false;  // redundant
+  if (f.table.entry(kAdjacencyEntry).contains(arena_.cands, to))
+    return false;  // redundant
   if (respect_budget && !t.budget.can_accept()) return false;
-  if (t.inlinks.contains(from)) return false;
-  if (!f.table.entry(kShortcutEntry).add(to)) return false;
+  if (t.inlinks.contains(arena_.fingers, from)) return false;
+  if (!f.table.entry(kShortcutEntry).add(arena_.cands, to)) return false;
   const double dist = net::torus_distance(f.zone.center(), t.zone.center());
   if (!t.budget.can_accept()) t.budget.on_forced_inlink();
-  t.inlinks.add(core::BackwardFinger{
-      from, static_cast<std::uint64_t>(dist * 1e9),
-      phys_dist_ ? phys_dist_(from, to) : dist});
+  t.inlinks.add(arena_.fingers,
+                core::BackwardFinger{
+                    from, static_cast<std::uint64_t>(dist * 1e9),
+                    phys_dist_ ? phys_dist_(from, to) : dist});
   t.budget.on_inlink_added();
   return true;
 }
 
 bool Overlay::unlink_shortcut(dht::NodeIndex from, dht::NodeIndex to) {
-  if (!nodes_.at(from).table.entry(kShortcutEntry).remove(to)) return false;
-  nodes_.at(to).inlinks.remove(from);
+  if (!nodes_.at(from).table.entry(kShortcutEntry).remove(arena_.cands, to))
+    return false;
+  nodes_.at(to).inlinks.remove(arena_.fingers, from);
   nodes_.at(to).budget.on_inlink_removed();
   return true;
 }
@@ -325,7 +333,8 @@ int Overlay::expand_indegree(dht::NodeIndex i, int want,
   if (want <= 0) return 0;
   const Point me = nodes_.at(i).zone.center();
   // Hosts within the shortcut radius, nearest first.
-  std::vector<std::pair<double, dht::NodeIndex>> hosts;
+  auto& hosts = hosts_scratch_;
+  hosts.clear();
   for (dht::NodeIndex j = 0; j < nodes_.size(); ++j) {
     if (j == i || !nodes_[j].alive) continue;
     const double d = net::torus_distance(nodes_[j].zone.center(), me);
@@ -351,10 +360,11 @@ int Overlay::expand_indegree(dht::NodeIndex i, int want,
 
 int Overlay::shed_indegree(dht::NodeIndex i, int count) {
   if (count <= 0) return 0;
-  const auto victims =
-      nodes_.at(i).inlinks.pick_evictions(static_cast<std::size_t>(count));
+  nodes_.at(i).inlinks.pick_evictions(arena_.fingers,
+                                      static_cast<std::size_t>(count),
+                                      evict_scratch_, evict_out_);
   int shed = 0;
-  for (dht::NodeIndex v : victims)
+  for (dht::NodeIndex v : evict_out_)
     if (unlink_shortcut(v, i)) {
       ++shed;
       if (trace_ && trace_->wants(trace::Category::kLink))
@@ -377,15 +387,17 @@ void Overlay::check_invariants() const {
     for (dht::NodeIndex j = 0; j < nodes_.size(); ++j) {
       if (j == i || !nodes_[j].alive) continue;
       const bool should = zones_abut(n.zone, nodes_[j].zone);
-      const bool has = n.table.entry(kAdjacencyEntry).contains(j);
+      const bool has = n.table.entry(kAdjacencyEntry).contains(arena_.cands, j);
       assert(should == has && "adjacency incomplete or stale");
       if (has)
-        assert(nodes_[j].table.entry(kAdjacencyEntry).contains(i) &&
+        assert(nodes_[j].table.entry(kAdjacencyEntry).contains(arena_.cands,
+                                                               i) &&
                "adjacency asymmetric");
     }
     // Shortcut bookkeeping.
-    for (dht::NodeIndex c : n.table.entry(kShortcutEntry).candidates()) {
-      assert(nodes_[c].inlinks.contains(i));
+    for (const dht::NodeIndex32 c :
+         n.table.entry(kShortcutEntry).candidates(arena_.cands)) {
+      assert(nodes_[c].inlinks.contains(arena_.fingers, i));
     }
     assert(static_cast<std::size_t>(n.budget.indegree()) == n.inlinks.size());
   }

@@ -117,6 +117,11 @@ class Overlay {
   bool unlink_shortcut(dht::NodeIndex from, dht::NodeIndex to);
 
   const CanNode& node(dht::NodeIndex i) const { return nodes_.at(i); }
+
+  /// Backing store for all pooled candidate / backward-finger sets
+  /// (dht/slab.h); every table or inlink operation threads through it.
+  core::LinkArena& arena() { return arena_; }
+  const core::LinkArena& arena() const { return arena_; }
   std::size_t num_slots() const { return nodes_.size(); }
   std::size_t alive_count() const { return alive_; }
 
@@ -155,6 +160,13 @@ class Overlay {
   int root_ = -1;
   std::size_t alive_ = 0;
   trace::TraceSink* trace_ = nullptr;
+  core::LinkArena arena_;
+  // Warm scratch for the steady-state mutation paths (adaptation, zone
+  // churn), so shed/grow sweeps allocate nothing once capacities settle.
+  std::vector<std::pair<double, dht::NodeIndex>> hosts_scratch_;
+  std::vector<dht::NodeIndex> ids_scratch_;
+  std::vector<core::BackwardFinger> evict_scratch_;
+  std::vector<dht::NodeIndex> evict_out_;
 };
 
 }  // namespace ert::can

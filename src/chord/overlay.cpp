@@ -48,17 +48,19 @@ bool Overlay::eligible(dht::NodeIndex owner, std::size_t slot,
   if (slot == successor_entry()) {
     // Successor list: cand among the first `successor_list` occupied ids
     // after o (positions, so churn keeps the rule meaningful).
-    const auto succs = directory_.successors_of(o.id, opts_.successor_list);
-    return std::find(succs.begin(), succs.end(), c.id) != succs.end();
+    directory_.successors_of(o.id, opts_.successor_list, elig_scratch_);
+    return std::find(elig_scratch_.begin(), elig_scratch_.end(), c.id) !=
+           elig_scratch_.end();
   }
   const int m = static_cast<int>(slot);
   // Loose finger rule (Fig. 1b): cand is one of the first `finger_spread`
   // successors at or after o.id + 2^m.
   const std::uint64_t start = (o.id + (std::uint64_t{1} << m)) & (ring_size() - 1);
   if (directory_.contains(start) && c.id == start) return true;
-  const auto window = directory_.successors_of(
-      start == 0 ? ring_size() - 1 : start - 1, opts_.finger_spread);
-  return std::find(window.begin(), window.end(), c.id) != window.end();
+  directory_.successors_of(start == 0 ? ring_size() - 1 : start - 1,
+                           opts_.finger_spread, elig_scratch_);
+  return std::find(elig_scratch_.begin(), elig_scratch_.end(), c.id) !=
+         elig_scratch_.end();
 }
 
 bool Overlay::link(dht::NodeIndex from, std::size_t slot, dht::NodeIndex to,
@@ -68,22 +70,25 @@ bool Overlay::link(dht::NodeIndex from, std::size_t slot, dht::NodeIndex to,
   if (!f.alive || !t.alive || from == to) return false;
   if (!eligible(from, slot, to)) return false;
   if (respect_budget && !t.budget.can_accept()) return false;
-  if (t.inlinks.contains(from)) return false;  // one role per ordered pair
+  if (t.inlinks.contains(arena_.fingers, from))
+    return false;  // one role per ordered pair
   if (f.table.entry(slot).size() >= opts_.finger_spread &&
       slot != successor_entry())
     return false;  // loose slot is full
-  if (!f.table.entry(slot).add(to)) return false;
+  if (!f.table.entry(slot).add(arena_.cands, to)) return false;
   if (!t.budget.can_accept()) t.budget.on_forced_inlink();
-  t.inlinks.add(core::BackwardFinger{
-      from, logical_distance(from, to),
-      phys_dist_ ? phys_dist_(from, to) : 0.0});
+  t.inlinks.add(arena_.fingers,
+                core::BackwardFinger{
+                    from, logical_distance(from, to),
+                    phys_dist_ ? phys_dist_(from, to) : 0.0});
   t.budget.on_inlink_added();
   return true;
 }
 
 bool Overlay::unlink(dht::NodeIndex from, dht::NodeIndex to) {
-  if (nodes_.at(from).table.remove_everywhere(to) == 0) return false;
-  nodes_.at(to).inlinks.remove(from);
+  if (nodes_.at(from).table.remove_everywhere(arena_.cands, to) == 0)
+    return false;
+  nodes_.at(to).inlinks.remove(arena_.fingers, from);
   nodes_.at(to).budget.on_inlink_removed();
   return true;
 }
@@ -93,8 +98,8 @@ void Overlay::build_table(dht::NodeIndex i) {
   // Successor list first: low fingers usually coincide with the nearest
   // successors, and the one-role-per-pair rule would otherwise leave the
   // successor entry empty (fingers then diversify via the loose window).
-  for (const std::uint64_t id :
-       directory_.successors_of(n.id, opts_.successor_list)) {
+  directory_.successors_of(n.id, opts_.successor_list, ids_scratch_);
+  for (const std::uint64_t id : ids_scratch_) {
     link(i, successor_entry(), *directory_.owner_of(id), false);
   }
   // Fingers: for each m link the successor of id + 2^m (the strict-Chord
@@ -104,8 +109,8 @@ void Overlay::build_table(dht::NodeIndex i) {
         (n.id + (std::uint64_t{1} << m)) & (ring_size() - 1);
     bool linked = false;
     std::uint64_t probe = start == 0 ? ring_size() - 1 : start - 1;
-    for (const std::uint64_t id :
-         directory_.successors_of(probe, opts_.finger_spread)) {
+    directory_.successors_of(probe, opts_.finger_spread, ids_scratch_);
+    for (const std::uint64_t id : ids_scratch_) {
       const dht::NodeIndex cand = *directory_.owner_of(id);
       if (link(i, static_cast<std::size_t>(m), cand,
                opts_.enforce_indegree_bounds)) {
@@ -126,36 +131,48 @@ void Overlay::build_table(dht::NodeIndex i) {
 std::vector<ExpansionTarget> Overlay::expansion_targets(
     dht::NodeIndex i, std::size_t max_targets) const {
   std::vector<ExpansionTarget> out;
+  expansion_targets_into(i, max_targets, out);
+  return out;
+}
+
+void Overlay::expansion_targets_into(dht::NodeIndex i, std::size_t max_targets,
+                                     std::vector<ExpansionTarget>& out) const {
+  out.clear();
   const ChordNode& me = nodes_.at(i);
+  // O(1) "already a backward finger" test: scanning the finger list per
+  // examined host made each adaptation sweep O(indegree^2) per node.
+  inlink_seen_.begin_epoch(nodes_.size());
+  for (const auto& f : me.inlinks.fingers(arena_.fingers))
+    inlink_seen_.mark(f.node);
   for (int m = opts_.bits - 1; m >= 0 && out.size() < max_targets; --m) {
     // Hosts j with succ(j + 2^m) near i: j in the predecessors of i - 2^m.
     const std::uint64_t base =
         (me.id - (std::uint64_t{1} << m)) & (ring_size() - 1);
-    for (const std::uint64_t id :
-         directory_.predecessors_of((base + 1) & (ring_size() - 1),
-                                    opts_.finger_spread)) {
+    directory_.predecessors_of((base + 1) & (ring_size() - 1),
+                               opts_.finger_spread, ids_scratch_);
+    for (const std::uint64_t id : ids_scratch_) {
       if (out.size() >= max_targets) break;
       const dht::NodeIndex host = *directory_.owner_of(id);
-      if (host == i || me.inlinks.contains(host)) continue;
+      if (host == i || inlink_seen_.test(host)) continue;
       out.emplace_back(host, static_cast<std::size_t>(m));
     }
   }
   // Predecessors can adopt us into their successor lists.
-  for (const std::uint64_t id :
-       directory_.predecessors_of(me.id, opts_.successor_list)) {
+  directory_.predecessors_of(me.id, opts_.successor_list, ids_scratch_);
+  for (const std::uint64_t id : ids_scratch_) {
     if (out.size() >= max_targets) break;
     const dht::NodeIndex host = *directory_.owner_of(id);
-    if (host == i || me.inlinks.contains(host)) continue;
+    if (host == i || inlink_seen_.test(host)) continue;
     out.emplace_back(host, successor_entry());
   }
-  return out;
 }
 
 int Overlay::expand_indegree(dht::NodeIndex i, int want,
                              std::size_t max_probes) {
   if (want <= 0) return 0;
   int gained = 0;
-  for (const auto& [host, slot] : expansion_targets(i, max_probes)) {
+  expansion_targets_into(i, max_probes, targets_scratch_);
+  for (const auto& [host, slot] : targets_scratch_) {
     if (gained >= want) break;
     if (!nodes_[i].budget.can_accept()) break;
     if (link(host, slot, i, /*respect_budget=*/true)) {
@@ -171,10 +188,11 @@ int Overlay::expand_indegree(dht::NodeIndex i, int want,
 
 int Overlay::shed_indegree(dht::NodeIndex i, int count) {
   if (count <= 0) return 0;
-  const auto victims =
-      nodes_.at(i).inlinks.pick_evictions(static_cast<std::size_t>(count));
+  nodes_.at(i).inlinks.pick_evictions(arena_.fingers,
+                                      static_cast<std::size_t>(count),
+                                      evict_scratch_, evict_out_);
   int shed = 0;
-  for (dht::NodeIndex v : victims)
+  for (dht::NodeIndex v : evict_out_)
     if (unlink(v, i)) {
       ++shed;
       if (trace_ && trace_->wants(trace::Category::kLink))
@@ -189,15 +207,17 @@ void Overlay::leave_graceful(dht::NodeIndex i) {
   ChordNode& n = nodes_.at(i);
   if (!n.alive) return;
   for (auto& entry : n.table.entries()) {
-    for (dht::NodeIndex c : std::vector<dht::NodeIndex>(entry.candidates())) {
-      nodes_[c].inlinks.remove(i);
+    // The per-candidate bookkeeping touches only the finger pool, so the
+    // candidate span stays valid; the whole block is released afterwards.
+    for (const dht::NodeIndex32 c : entry.candidates(arena_.cands)) {
+      nodes_[c].inlinks.remove(arena_.fingers, i);
       nodes_[c].budget.on_inlink_removed();
-      entry.remove(c);
     }
+    entry.release(arena_.cands);
   }
-  for (const auto& f : std::vector<core::BackwardFinger>(n.inlinks.fingers()))
-    nodes_[f.node].table.remove_everywhere(i);
-  n.inlinks.clear();
+  for (const auto& f : n.inlinks.fingers(arena_.fingers))
+    nodes_[f.node].table.remove_everywhere(arena_.cands, i);
+  n.inlinks.clear(arena_.fingers);
   directory_.erase(n.id);
   n.alive = false;
   --alive_;
@@ -213,27 +233,28 @@ void Overlay::fail(dht::NodeIndex i) {
 
 void Overlay::purge_dead(dht::NodeIndex at, dht::NodeIndex dead) {
   ChordNode& n = nodes_.at(at);
-  n.table.remove_everywhere(dead);
-  if (n.inlinks.remove(dead)) n.budget.on_inlink_removed();
+  n.table.remove_everywhere(arena_.cands, dead);
+  if (n.inlinks.remove(arena_.fingers, dead)) n.budget.on_inlink_removed();
 }
 
 void Overlay::repair_entry(dht::NodeIndex i, std::size_t slot) {
   ChordNode& n = nodes_.at(i);
   auto& entry = n.table.entry(slot);
-  for (dht::NodeIndex c : entry.candidates())
+  for (const dht::NodeIndex32 c : entry.candidates(arena_.cands))
     if (nodes_[c].alive) return;
   if (directory_.size() < 2) return;
   if (slot == successor_entry()) {
-    for (const std::uint64_t id :
-         directory_.successors_of(n.id, opts_.successor_list))
+    directory_.successors_of(n.id, opts_.successor_list, ids_scratch_);
+    for (const std::uint64_t id : ids_scratch_)
       link(i, slot, *directory_.owner_of(id), false);
     return;
   }
   const int m = static_cast<int>(slot);
   const std::uint64_t start =
       (n.id + (std::uint64_t{1} << m)) & (ring_size() - 1);
-  for (const std::uint64_t id : directory_.successors_of(
-           start == 0 ? ring_size() - 1 : start - 1, opts_.finger_spread)) {
+  directory_.successors_of(start == 0 ? ring_size() - 1 : start - 1,
+                           opts_.finger_spread, ids_scratch_);
+  for (const std::uint64_t id : ids_scratch_) {
     if (link(i, slot, *directory_.owner_of(id),
              opts_.enforce_indegree_bounds))
       return;
@@ -288,7 +309,7 @@ dht::RouteStepInfo Overlay::route_step(dht::NodeIndex cur, std::uint64_t key,
   std::size_t best_slot = cn.table.num_entries();
   std::uint64_t best_gap = my_gap;
   for (std::size_t slot = 0; slot < cn.table.num_entries(); ++slot) {
-    for (dht::NodeIndex c : cn.table.entry(slot).candidates()) {
+    for (const dht::NodeIndex32 c : cn.table.entry(slot).candidates(arena_.cands)) {
       const std::uint64_t step_fwd =
           dht::clockwise(cn.id, nodes_[c].id, ring_size());
       if (step_fwd == 0 || step_fwd > my_gap) continue;  // overshoot / self
@@ -302,7 +323,8 @@ dht::RouteStepInfo Overlay::route_step(dht::NodeIndex cur, std::uint64_t key,
   if (best_slot < cn.table.num_entries()) {
     auto& ranked = scratch.ranked;
     ranked.clear();
-    for (dht::NodeIndex c : cn.table.entry(best_slot).candidates()) {
+    for (const dht::NodeIndex32 c :
+         cn.table.entry(best_slot).candidates(arena_.cands)) {
       const std::uint64_t step_fwd =
           dht::clockwise(cn.id, nodes_[c].id, ring_size());
       if (step_fwd == 0 || step_fwd > my_gap) continue;
@@ -328,14 +350,14 @@ void Overlay::check_invariants() const {
     const ChordNode& n = nodes_[i];
     if (!n.alive) continue;
     for (std::size_t slot = 0; slot < n.table.num_entries(); ++slot) {
-      for (dht::NodeIndex c : n.table.entry(slot).candidates()) {
+      for (const dht::NodeIndex32 c : n.table.entry(slot).candidates(arena_.cands)) {
         if (!nodes_[c].alive) continue;
-        assert(nodes_[c].inlinks.contains(i));
+        assert(nodes_[c].inlinks.contains(arena_.fingers, i));
       }
     }
-    for (const auto& f : n.inlinks.fingers()) {
+    for (const auto& f : n.inlinks.fingers(arena_.fingers)) {
       if (!nodes_[f.node].alive) continue;
-      assert(nodes_[f.node].table.links_to(i));
+      assert(nodes_[f.node].table.links_to(arena_.cands, i));
     }
   }
 }

@@ -26,6 +26,7 @@
 #include "dht/ring.h"
 #include "dht/route_scratch.h"
 #include "dht/routing_entry.h"
+#include "dht/stamp_set.h"
 #include "dht/types.h"
 #include "ert/indegree.h"
 
@@ -115,6 +116,11 @@ class Overlay {
 
   const ChordNode& node(dht::NodeIndex i) const { return nodes_.at(i); }
   ChordNode& mutable_node(dht::NodeIndex i) { return nodes_.at(i); }
+
+  /// Backing store for all pooled candidate / backward-finger sets
+  /// (dht/slab.h); every table or inlink operation threads through it.
+  core::LinkArena& arena() { return arena_; }
+  const core::LinkArena& arena() const { return arena_; }
   std::size_t num_slots() const { return nodes_.size(); }
   std::size_t alive_count() const { return alive_; }
   const dht::RingDirectory& directory() const { return directory_; }
@@ -145,12 +151,26 @@ class Overlay {
   void set_trace(trace::TraceSink* sink) { trace_ = sink; }
 
  private:
+  void expansion_targets_into(dht::NodeIndex i, std::size_t max_targets,
+                              std::vector<ExpansionTarget>& out) const;
+
   ChordOptions opts_;
   PhysDistFn phys_dist_;
   dht::RingDirectory directory_;
   std::vector<ChordNode> nodes_;
   std::size_t alive_ = 0;
   trace::TraceSink* trace_ = nullptr;
+  core::LinkArena arena_;
+  // Warm scratch for the steady-state mutation paths (repair, adaptation),
+  // so shed/grow sweeps allocate nothing once capacities settle. Two id
+  // buffers because build/repair iterate one while link() -> eligible()
+  // fills the other.
+  mutable std::vector<std::uint64_t> ids_scratch_;
+  mutable std::vector<std::uint64_t> elig_scratch_;
+  std::vector<ExpansionTarget> targets_scratch_;
+  mutable dht::StampSet inlink_seen_;  ///< expansion_targets_into() only.
+  std::vector<core::BackwardFinger> evict_scratch_;
+  std::vector<dht::NodeIndex> evict_out_;
 };
 
 }  // namespace ert::chord

@@ -32,6 +32,13 @@ struct SimParams {
   double lookup_rate = 1.0;         ///< Poisson lookups per second.
   double light_service_time = 0.2;  ///< seconds per query at a light node.
   double heavy_service_time = 1.0;  ///< seconds per query at a heavy node.
+  /// Ingress queue bound per node: an arrival at a node whose queue
+  /// (in service + waiting) already holds this many queries is shed as an
+  /// overload drop instead of queued. 0 (the default, and the behavior of
+  /// every calibrated figure run) keeps queues unbounded; the `--scale`
+  /// preset sets a cap so a statistically inevitable unstable node at
+  /// n >= 2^17 bounds the drain tail instead of queueing O(run length).
+  std::size_t queue_cap = 0;
 
   // --- ERT parameters (Sec. 3) ---
   /// Indegree per unit capacity; Table 2 default is d + 3. Set

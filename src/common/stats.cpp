@@ -21,7 +21,70 @@ void OnlineStats::merge(const OnlineStats& o) {
   max_ = std::max(max_, o.max_);
 }
 
+namespace {
+
+// kBins geometric bins over [kLo, kHi): bin b (1-based) covers
+// [kLo * r^(b-1), kLo * r^b) with r = (kHi/kLo)^(1/kBins). Everything is
+// expressed through logs so bin lookup is one std::log plus a multiply.
+constexpr double kLogSpanInv = 1.0 / 27.631021115928547;  // 1 / ln(1e12)
+
+}  // namespace
+
+std::size_t Percentiles::bin_of(double x) const {
+  if (!(x > kLo)) return 0;  // underflow (also catches NaN defensively)
+  if (x >= kHi) return kBins + 1;
+  const double frac = std::log(x / kLo) * kLogSpanInv;
+  auto b = static_cast<std::size_t>(frac * static_cast<double>(kBins)) + 1;
+  return std::min(b, kBins);
+}
+
+double Percentiles::bin_value(std::size_t b) const {
+  if (b == 0) return min_;
+  if (b >= kBins + 1) return max_;
+  // Geometric midpoint of the bin, clamped to the observed range so the
+  // reported quantiles never stray outside real data.
+  const double mid = (static_cast<double>(b) - 0.5) / static_cast<double>(kBins);
+  const double v = kLo * std::exp(mid / kLogSpanInv);
+  return std::clamp(v, min_, max_);
+}
+
+void Percentiles::spill() {
+  bins_.assign(kBins + 2, 0);
+  count_ = samples_.size();
+  sum_ = std::accumulate(samples_.begin(), samples_.end(), 0.0);
+  for (const double s : samples_) {
+    ++bins_[bin_of(s)];
+    min_ = std::min(min_, s);
+    max_ = std::max(max_, s);
+  }
+  samples_.clear();
+  samples_.shrink_to_fit();
+  sorted_ = false;
+}
+
+void Percentiles::add_streamed(double x) {
+  ++count_;
+  sum_ += x;
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+  ++bins_[bin_of(x)];
+}
+
 double Percentiles::percentile(double p) const {
+  if (!bins_.empty()) {
+    assert(count_ > 0);
+    if (p <= 0.0) return min_;
+    if (p >= 100.0) return max_;
+    const double rank = p / 100.0 * static_cast<double>(count_);
+    auto target = static_cast<std::size_t>(std::ceil(rank));
+    target = std::min(std::max<std::size_t>(target, 1), count_);
+    std::size_t cum = 0;
+    for (std::size_t b = 0; b < bins_.size(); ++b) {
+      cum += bins_[b];
+      if (cum >= target) return bin_value(b);
+    }
+    return max_;  // unreachable: cum ends at count_
+  }
   assert(!samples_.empty());
   if (!sorted_) {
     std::sort(samples_.begin(), samples_.end());
@@ -36,6 +99,7 @@ double Percentiles::percentile(double p) const {
 }
 
 double Percentiles::mean() const {
+  if (!bins_.empty()) return sum_ / static_cast<double>(count_);
   if (samples_.empty()) return 0.0;
   return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
          static_cast<double>(samples_.size());

@@ -54,23 +54,23 @@ dht::NodeIndex Overlay::add_node_random(Rng& rng, double capacity,
   return add_node(space_.from_linear(v), capacity, max_indegree, beta);
 }
 
-std::vector<dht::NodeIndex> Overlay::cycle_members(std::uint64_t a) const {
-  std::vector<dht::NodeIndex> out;
+void Overlay::cycle_members(std::uint64_t a,
+                            std::vector<dht::NodeIndex>& out) const {
+  out.clear();
   const auto d = static_cast<std::uint64_t>(space_.dimension());
   // Cycle a owns the linear block [a*d, a*d + d); one ordered scan visits
   // its occupied ids in ascending cyclic index, same as probing each id.
   directory_.for_each_in_range(
       a * d, a * d + d,
       [&](std::uint64_t, dht::NodeIndex owner) { out.push_back(owner); });
-  return out;
 }
 
-std::vector<std::uint64_t> Overlay::nearby_cycles(std::uint64_t a,
-                                                  std::size_t count) const {
-  std::vector<std::uint64_t> out;
+void Overlay::nearby_cycles(std::uint64_t a, std::size_t count,
+                            std::vector<std::uint64_t>& out) const {
+  out.clear();
   const auto d = static_cast<std::uint64_t>(space_.dimension());
   const std::uint64_t total = space_.size();
-  if (directory_.empty()) return out;
+  if (directory_.empty()) return;
   // Succeeding side: first occupied id past the end of each found cycle.
   std::uint64_t probe = (a * d + d) % total;
   for (std::size_t i = 0; i < count; ++i) {
@@ -92,7 +92,6 @@ std::vector<std::uint64_t> Overlay::nearby_cycles(std::uint64_t a,
     out.push_back(cyc);
     probe = cyc * d;
   }
-  return out;
 }
 
 bool Overlay::eligible(dht::NodeIndex owner, std::size_t slot,
@@ -112,8 +111,9 @@ bool Overlay::eligible(dht::NodeIndex owner, std::size_t slot,
       // Dynamic eligibility: candidate must live within the nearest
       // occupied cycles on either side (window 2 tolerates races with
       // concurrent joins between link creation and checks).
-      const auto near = nearby_cycles(o.a, 2);
-      return std::find(near.begin(), near.end(), c.a) != near.end();
+      nearby_cycles(o.a, 2, elig_cycles_);
+      return std::find(elig_cycles_.begin(), elig_cycles_.end(), c.a) !=
+             elig_cycles_.end();
     }
     default:
       return false;
@@ -128,53 +128,55 @@ namespace {
 /// ascending `low` — the same order a probe of each candidate id would
 /// produce — and the scan visits exactly the matching ids, never the other
 /// d - 1 classes interleaved with them in the main directory.
-std::vector<dht::NodeIndex> collect_matching(
-    const dht::RingDirectory& class_dir, std::uint64_t pattern,
-    int free_bits) {
-  std::vector<dht::NodeIndex> out;
+void collect_matching(const dht::RingDirectory& class_dir,
+                      std::uint64_t pattern, int free_bits,
+                      std::vector<dht::NodeIndex>& out) {
+  out.clear();
   const std::uint64_t base = pattern & ~low_mask(free_bits);
   const std::uint64_t span = std::uint64_t{1} << free_bits;
   out.reserve(span / 4);
   class_dir.for_each_in_range(
       base, base + span,
       [&](std::uint64_t, dht::NodeIndex owner) { out.push_back(owner); });
-  return out;
 }
 
 }  // namespace
 
-std::vector<dht::NodeIndex> Overlay::eligible_candidates(
+const std::vector<dht::NodeIndex>& Overlay::eligible_candidates(
     dht::NodeIndex owner, std::size_t slot) const {
   const OverlayNode& o = nodes_.at(owner);
-  std::vector<dht::NodeIndex> cands;
+  std::vector<dht::NodeIndex>& cands = ec_out_;
+  cands.clear();
   switch (slot) {
     case kCubicalEntry: {
       if (o.id.k < 1) break;
       const std::uint64_t pattern = flip_bit(o.id.a, o.id.k);
-      cands = collect_matching(class_dirs_[static_cast<std::size_t>(o.id.k - 1)],
-                               pattern, o.id.k);
+      collect_matching(class_dirs_[static_cast<std::size_t>(o.id.k - 1)],
+                       pattern, o.id.k, cands);
       break;
     }
     case kCyclicEntry: {
       if (o.id.k < 1) break;
-      cands = collect_matching(class_dirs_[static_cast<std::size_t>(o.id.k - 1)],
-                               o.id.a, o.id.k);
+      collect_matching(class_dirs_[static_cast<std::size_t>(o.id.k - 1)],
+                       o.id.a, o.id.k, cands);
       std::erase_if(cands, [&](dht::NodeIndex c) {
         return nodes_[c].id.a == o.id.a;
       });
       break;
     }
     case kInsideLeafEntry: {
-      cands = cycle_members(o.id.a);
+      cycle_members(o.id.a, cands);
       std::erase(cands, owner);
       break;
     }
     case kOutsideLeafEntry: {
-      for (std::uint64_t cyc : nearby_cycles(o.id.a, opts_.base_fanout)) {
-        auto members = cycle_members(cyc);
+      nearby_cycles(o.id.a, opts_.base_fanout, cycles_scratch_);
+      for (std::uint64_t cyc : cycles_scratch_) {
+        cycle_members(cyc, members_scratch_);
         // Primary node (largest cyclic index) first, as in Cycloid.
-        std::reverse(members.begin(), members.end());
-        cands.insert(cands.end(), members.begin(), members.end());
+        std::reverse(members_scratch_.begin(), members_scratch_.end());
+        cands.insert(cands.end(), members_scratch_.begin(),
+                     members_scratch_.end());
       }
       break;
     }
@@ -197,30 +199,28 @@ std::vector<dht::NodeIndex> Overlay::eligible_candidates(
   const std::uint64_t my_lv = lv(owner);
   if (slot == kInsideLeafEntry) {
     const int d = space_.dimension();
-    std::stable_sort(cands.begin(), cands.end(),
-                     [&](dht::NodeIndex x, dht::NodeIndex y) {
-                       auto kdist = [&](dht::NodeIndex c) {
-                         const int dk = std::abs(nodes_[c].id.k - o.id.k);
-                         return std::min(dk, d - dk);
-                       };
-                       return kdist(x) < kdist(y);
-                     });
+    dht::stable_sort_scratch(cands, sort_scratch_,
+                             [&](dht::NodeIndex x, dht::NodeIndex y) {
+                               auto kdist = [&](dht::NodeIndex c) {
+                                 const int dk =
+                                     std::abs(nodes_[c].id.k - o.id.k);
+                                 return std::min(dk, d - dk);
+                               };
+                               return kdist(x) < kdist(y);
+                             });
   } else {
     const std::uint64_t pattern =
         slot == kCubicalEntry ? flip_bit(o.id.a, o.id.k) : o.id.a;
-    std::stable_sort(cands.begin(), cands.end(),
-                     [&](dht::NodeIndex x, dht::NodeIndex y) {
-                       const auto dx =
-                           space_.cycle_distance(nodes_[x].id.a, pattern);
-                       const auto dy =
-                           space_.cycle_distance(nodes_[y].id.a, pattern);
-                       if (dx != dy) return dx < dy;
-                       if (slot == kOutsideLeafEntry &&
-                           nodes_[x].id.k != nodes_[y].id.k)
-                         return nodes_[x].id.k > nodes_[y].id.k;
-                       return dht::ring_distance(lv(x), my_lv, space_.size()) <
-                              dht::ring_distance(lv(y), my_lv, space_.size());
-                     });
+    dht::stable_sort_scratch(
+        cands, sort_scratch_, [&](dht::NodeIndex x, dht::NodeIndex y) {
+          const auto dx = space_.cycle_distance(nodes_[x].id.a, pattern);
+          const auto dy = space_.cycle_distance(nodes_[y].id.a, pattern);
+          if (dx != dy) return dx < dy;
+          if (slot == kOutsideLeafEntry && nodes_[x].id.k != nodes_[y].id.k)
+            return nodes_[x].id.k > nodes_[y].id.k;
+          return dht::ring_distance(lv(x), my_lv, space_.size()) <
+                 dht::ring_distance(lv(y), my_lv, space_.size());
+        });
   }
   order_by_policy(owner, cands);
   return cands;
@@ -233,23 +233,26 @@ void Overlay::order_by_policy(dht::NodeIndex owner,
       break;
     case NeighborPolicy::kSpareIndegree:
       // ERT: keep nearest-first order but prefer nodes with spare indegree.
-      std::stable_partition(cands.begin(), cands.end(), [&](dht::NodeIndex c) {
-        return nodes_[c].budget.can_accept();
-      });
+      dht::stable_partition_scratch(cands, part_scratch_,
+                                    [&](dht::NodeIndex c) {
+                                      return nodes_[c].budget.can_accept();
+                                    });
       break;
     case NeighborPolicy::kCapacityBiased:
       // NS [7]: highest capacity first (proximity breaks ties); nodes whose
       // indegree bound is full go last.
-      std::stable_sort(cands.begin(), cands.end(),
-                       [&](dht::NodeIndex x, dht::NodeIndex y) {
-                         if (nodes_[x].capacity != nodes_[y].capacity)
-                           return nodes_[x].capacity > nodes_[y].capacity;
-                         return physical_distance(owner, x) <
-                                physical_distance(owner, y);
-                       });
-      std::stable_partition(cands.begin(), cands.end(), [&](dht::NodeIndex c) {
-        return nodes_[c].budget.can_accept();
-      });
+      dht::stable_sort_scratch(cands, sort_scratch_,
+                               [&](dht::NodeIndex x, dht::NodeIndex y) {
+                                 if (nodes_[x].capacity != nodes_[y].capacity)
+                                   return nodes_[x].capacity >
+                                          nodes_[y].capacity;
+                                 return physical_distance(owner, x) <
+                                        physical_distance(owner, y);
+                               });
+      dht::stable_partition_scratch(cands, part_scratch_,
+                                    [&](dht::NodeIndex c) {
+                                      return nodes_[c].budget.can_accept();
+                                    });
       break;
   }
 }
@@ -263,10 +266,11 @@ bool Overlay::link(dht::NodeIndex from, std::size_t slot, dht::NodeIndex to,
   if (respect_budget && !t.budget.can_accept()) return false;
   // One role per ordered pair: if `from` already points at `to` in another
   // slot, do not double-link (keeps indegree == #pointing nodes).
-  if (t.inlinks.contains(from)) return false;
-  if (!f.table.entry(slot).add(to)) return false;
+  if (t.inlinks.contains(arena_.fingers, from)) return false;
+  if (!f.table.entry(slot).add(arena_.cands, to)) return false;
   if (!t.budget.can_accept()) t.budget.on_forced_inlink();
-  t.inlinks.add(core::BackwardFinger{from, logical_distance(from, to),
+  t.inlinks.add(arena_.fingers,
+                core::BackwardFinger{from, logical_distance(from, to),
                                      physical_distance(from, to)});
   t.budget.on_inlink_added();
   return true;
@@ -275,8 +279,8 @@ bool Overlay::link(dht::NodeIndex from, std::size_t slot, dht::NodeIndex to,
 bool Overlay::unlink(dht::NodeIndex from, dht::NodeIndex to) {
   OverlayNode& f = nodes_.at(from);
   OverlayNode& t = nodes_.at(to);
-  if (f.table.remove_everywhere(to) == 0) return false;
-  t.inlinks.remove(from);
+  if (f.table.remove_everywhere(arena_.cands, to) == 0) return false;
+  t.inlinks.remove(arena_.fingers, from);
   t.budget.on_inlink_removed();
   return true;
 }
@@ -327,7 +331,8 @@ void Overlay::build_table(dht::NodeIndex i, Rng& rng) {
       const std::size_t slot = nodes_[c].id.a == nodes_[i].id.a
                                    ? kInsideLeafEntry
                                    : kOutsideLeafEntry;
-      if (!nodes_[i].table.entry(slot).contains(c)) link(i, slot, c, false);
+      if (!nodes_[i].table.entry(slot).contains(arena_.cands, c))
+        link(i, slot, c, false);
     }
   }
   nodes_[i].table_built = true;
@@ -335,11 +340,12 @@ void Overlay::build_table(dht::NodeIndex i, Rng& rng) {
   // candidate in a slot the newcomer fits adopt it — keeps sparse and
   // churned networks routable (Cycloid's stabilization). Hosts that have
   // not built yet are skipped so genesis builds see virgin entries.
-  for (const auto& [host, slot] : expansion_targets(i, 64)) {
+  expansion_targets_into(i, 64, targets_scratch_);
+  for (const auto& [host, slot] : targets_scratch_) {
     if (!nodes_[host].table_built) continue;
     auto& entry = nodes_[host].table.entry(slot);
     bool has_live = false;
-    for (dht::NodeIndex c : entry.candidates())
+    for (const dht::NodeIndex32 c : entry.candidates(arena_.cands))
       if (nodes_[c].alive) {
         has_live = true;
         break;
@@ -351,47 +357,79 @@ void Overlay::build_table(dht::NodeIndex i, Rng& rng) {
 std::vector<ExpansionTarget> Overlay::expansion_targets(
     dht::NodeIndex i, std::size_t max_targets) const {
   std::vector<ExpansionTarget> out;
+  expansion_targets_into(i, max_targets, out);
+  return out;
+}
+
+void Overlay::expansion_targets_into(dht::NodeIndex i, std::size_t max_targets,
+                                     std::vector<ExpansionTarget>& out) const {
+  out.clear();
   const OverlayNode& me = nodes_.at(i);
   const int k = me.id.k;
-  auto push_hosts = [&](std::vector<dht::NodeIndex> hosts, std::size_t slot) {
-    for (dht::NodeIndex h : hosts) {
-      if (out.size() >= max_targets) return;
-      if (h == i || !nodes_[h].alive) continue;
-      // Algorithm 1 skips ids already among the backward fingers.
-      if (me.inlinks.contains(h)) continue;
-      out.emplace_back(h, slot);
-    }
+  // Stamp the current backward fingers once so the per-host membership test
+  // below is O(1); scanning the finger list per examined host made each
+  // adaptation sweep O(indegree^2) per node once indegrees grew.
+  inlink_seen_.begin_epoch(nodes_.size());
+  for (const auto& f : me.inlinks.fingers(arena_.fingers))
+    inlink_seen_.mark(f.node);
+  // Accepts one host; returns false once `out` is full so streaming scans
+  // stop instead of materializing whole cyclic classes (thousands of nodes
+  // at 2^17) to then keep ~20.
+  auto try_push = [&](dht::NodeIndex h, std::size_t slot) {
+    if (out.size() >= max_targets) return false;
+    if (h == i || !nodes_[h].alive) return true;
+    // Algorithm 1 skips ids already among the backward fingers.
+    if (inlink_seen_.test(h)) return true;
+    out.emplace_back(h, slot);
+    return true;
+  };
+  auto push_hosts = [&](const std::vector<dht::NodeIndex>& hosts,
+                        std::size_t slot) {
+    for (dht::NodeIndex h : hosts)
+      if (!try_push(h, slot)) return;
   };
   if (k + 1 < space_.dimension()) {
+    const dht::RingDirectory& dir =
+        class_dirs_[static_cast<std::size_t>(k + 1)];
+    const std::uint64_t span = std::uint64_t{1} << (k + 1);
     // Hosts (k+1, ...) whose cubical entry we satisfy: their bit (k+1)
-    // differs from ours, bits above match, bits below free.
-    push_hosts(collect_matching(class_dirs_[static_cast<std::size_t>(k + 1)],
-                                flip_bit(me.id.a, k + 1), k + 1),
-               kCubicalEntry);
-    // Hosts (k+1, ...) whose cyclic entry we satisfy: bits >= k+1 match.
-    auto cyc = collect_matching(class_dirs_[static_cast<std::size_t>(k + 1)],
-                                me.id.a, k + 1);
-    std::erase_if(cyc, [&](dht::NodeIndex h) {
-      return nodes_[h].id.a == me.id.a;
-    });
-    push_hosts(std::move(cyc), kCyclicEntry);
+    // differs from ours, bits above match, bits below free. Streamed in
+    // the same ascending-key order collect_matching would produce.
+    const std::uint64_t cub_base =
+        flip_bit(me.id.a, k + 1) & ~low_mask(k + 1);
+    dir.for_each_in_range_until(
+        cub_base, cub_base + span,
+        [&](std::uint64_t, dht::NodeIndex h) {
+          return try_push(h, kCubicalEntry);
+        });
+    // Hosts (k+1, ...) whose cyclic entry we satisfy: bits >= k+1 match
+    // (same-cycle hosts excluded).
+    const std::uint64_t cyc_base = me.id.a & ~low_mask(k + 1);
+    dir.for_each_in_range_until(
+        cyc_base, cyc_base + span, [&](std::uint64_t, dht::NodeIndex h) {
+          if (nodes_[h].id.a == me.id.a) return true;
+          return try_push(h, kCyclicEntry);
+        });
   }
   // Successor/predecessor probing (assumed by Theorem 3.3): same-cycle
   // members can take us into their inside leaf sets, adjacent cycles into
   // their outside leaf sets.
-  auto inside = cycle_members(me.id.a);
-  std::erase(inside, i);
-  push_hosts(std::move(inside), kInsideLeafEntry);
-  for (std::uint64_t cyc : nearby_cycles(me.id.a, 1))
-    push_hosts(cycle_members(cyc), kOutsideLeafEntry);
-  return out;
+  cycle_members(me.id.a, members_scratch_);
+  std::erase(members_scratch_, i);
+  push_hosts(members_scratch_, kInsideLeafEntry);
+  nearby_cycles(me.id.a, 1, cycles_scratch_);
+  for (std::uint64_t cyc : cycles_scratch_) {
+    cycle_members(cyc, members_scratch_);
+    push_hosts(members_scratch_, kOutsideLeafEntry);
+  }
 }
 
 int Overlay::expand_indegree(dht::NodeIndex i, int want,
                              std::size_t max_probes) {
   if (want <= 0) return 0;
   int gained = 0;
-  for (const auto& [host, slot] : expansion_targets(i, max_probes)) {
+  expansion_targets_into(i, max_probes, targets_scratch_);
+  for (const auto& [host, slot] : targets_scratch_) {
     if (gained >= want) break;
     if (!nodes_[i].budget.can_accept()) break;
     if (link(host, slot, i, /*respect_budget=*/true)) {
@@ -411,10 +449,11 @@ int Overlay::shed_indegree(dht::NodeIndex i, int count) {
   count = std::min<int>(count,
                         static_cast<int>(nodes_.at(i).inlinks.size()) - 1);
   if (count <= 0) return 0;
-  const auto victims = nodes_.at(i).inlinks.pick_evictions(
-      static_cast<std::size_t>(count));
+  nodes_.at(i).inlinks.pick_evictions(arena_.fingers,
+                                      static_cast<std::size_t>(count),
+                                      evict_scratch_, evict_out_);
   int shed = 0;
-  for (dht::NodeIndex v : victims) {
+  for (dht::NodeIndex v : evict_out_) {
     if (!unlink(v, i)) continue;
     ++shed;
     if (trace_ && trace_->wants(trace::Category::kLink))
@@ -434,20 +473,22 @@ int Overlay::shed_indegree(dht::NodeIndex i, int count) {
 void Overlay::leave_graceful(dht::NodeIndex i) {
   OverlayNode& n = nodes_.at(i);
   if (!n.alive) return;
-  // Drop our outlinks (fixing the targets' backward fingers).
+  // Drop our outlinks (fixing the targets' backward fingers). The
+  // per-candidate bookkeeping touches only the finger pool, so the
+  // candidate span stays valid; each block is released afterwards.
   for (auto& entry : n.table.entries()) {
-    for (dht::NodeIndex c : std::vector<dht::NodeIndex>(entry.candidates())) {
-      nodes_[c].inlinks.remove(i);
+    for (const dht::NodeIndex32 c : entry.candidates(arena_.cands)) {
+      nodes_[c].inlinks.remove(arena_.fingers, i);
       nodes_[c].budget.on_inlink_removed();
-      entry.remove(c);
     }
+    entry.release(arena_.cands);
   }
-  // Drop our inlinks (fixing the pointers' tables).
-  for (const auto& f :
-       std::vector<core::BackwardFinger>(n.inlinks.fingers())) {
-    nodes_[f.node].table.remove_everywhere(i);
+  // Drop our inlinks (fixing the pointers' tables — the candidate pool,
+  // never the finger pool we are iterating).
+  for (const auto& f : n.inlinks.fingers(arena_.fingers)) {
+    nodes_[f.node].table.remove_everywhere(arena_.cands, i);
   }
-  n.inlinks.clear();
+  n.inlinks.clear(arena_.fingers);
   directory_.erase(lv(i));
   class_dirs_[static_cast<std::size_t>(n.id.k)].erase(n.id.a);
   n.alive = false;
@@ -468,13 +509,13 @@ void Overlay::fail(dht::NodeIndex i) {
 
 void Overlay::purge_dead(dht::NodeIndex at, dht::NodeIndex dead) {
   OverlayNode& n = nodes_.at(at);
-  n.table.remove_everywhere(dead);
-  if (n.inlinks.remove(dead)) n.budget.on_inlink_removed();
+  n.table.remove_everywhere(arena_.cands, dead);
+  if (n.inlinks.remove(arena_.fingers, dead)) n.budget.on_inlink_removed();
 }
 
 void Overlay::repair_entry(dht::NodeIndex i, std::size_t slot) {
   auto& entry = nodes_.at(i).table.entry(slot);
-  for (dht::NodeIndex c : entry.candidates())
+  for (const dht::NodeIndex32 c : entry.candidates(arena_.cands))
     if (nodes_[c].alive) return;  // still has a live candidate
   for (dht::NodeIndex c : eligible_candidates(i, slot)) {
     if (link(i, slot, c, opts_.enforce_indegree_bounds)) return;
@@ -538,7 +579,8 @@ dht::RouteStepInfo Overlay::route_step(dht::NodeIndex cur, std::uint64_t key,
       // k strictly increases either way, so the phase ends within d hops.
       for (std::size_t slot : {kInsideLeafEntry, kOutsideLeafEntry}) {
         cands.clear();
-        for (dht::NodeIndex c : cn.table.entry(slot).candidates())
+        for (const dht::NodeIndex32 c :
+             cn.table.entry(slot).candidates(arena_.cands))
           if (nodes_[c].id.k > cid.k) cands.push_back(c);
         if (cands.empty()) continue;
         dht::stable_insertion_sort(cands.begin(), cands.end(),
@@ -555,7 +597,7 @@ dht::RouteStepInfo Overlay::route_step(dht::NodeIndex cur, std::uint64_t key,
 
   if (ctx.phase == RouteCtx::Phase::kDescend) {
     auto by_cycle_distance = [&](std::size_t slot) {
-      const auto& src = cn.table.entry(slot).candidates();
+      const auto src = cn.table.entry(slot).candidates(arena_.cands);
       cands.assign(src.begin(), src.end());
       dht::stable_insertion_sort(
           cands.begin(), cands.end(), [&](dht::NodeIndex x, dht::NodeIndex y) {
@@ -632,7 +674,8 @@ dht::RouteStepInfo Overlay::route_step(dht::NodeIndex cur, std::uint64_t key,
     std::int64_t best_rank = -1;
     for (std::size_t slot = 0; slot < kNumEntries; ++slot) {
       seg[slot] = ranked.size();
-      for (dht::NodeIndex c : cn.table.entry(slot).candidates()) {
+      for (const dht::NodeIndex32 c :
+           cn.table.entry(slot).candidates(arena_.cands)) {
         if (relax == 0 && !usable(c)) continue;
         const std::int64_t r = progress_rank(c);
         if (r < 0) continue;
@@ -675,10 +718,10 @@ void Overlay::check_invariants() const {
     if (!n.alive) continue;
     std::size_t outdeg = 0;
     for (std::size_t slot = 0; slot < n.table.num_entries(); ++slot) {
-      for (dht::NodeIndex c : n.table.entry(slot).candidates()) {
+      for (const dht::NodeIndex32 c : n.table.entry(slot).candidates(arena_.cands)) {
         ++outdeg;
         if (!nodes_[c].alive) continue;  // stale link, tolerated after fail()
-        assert(nodes_[c].inlinks.contains(i) &&
+        assert(nodes_[c].inlinks.contains(arena_.fingers, i) &&
                "outlink without matching backward finger");
         if (slot != kOutsideLeafEntry) {
           assert(eligible(i, slot, c) && "ineligible candidate in entry");
@@ -686,9 +729,9 @@ void Overlay::check_invariants() const {
       }
     }
     (void)outdeg;
-    for (const auto& f : n.inlinks.fingers()) {
+    for (const auto& f : n.inlinks.fingers(arena_.fingers)) {
       if (!nodes_[f.node].alive) continue;
-      assert(nodes_[f.node].table.links_to(i) &&
+      assert(nodes_[f.node].table.links_to(arena_.cands, i) &&
              "backward finger without matching outlink");
     }
     assert(n.budget.indegree() >= 0);

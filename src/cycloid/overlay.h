@@ -40,6 +40,8 @@
 #include "dht/ring.h"
 #include "dht/route_scratch.h"
 #include "dht/routing_entry.h"
+#include "dht/stable_order.h"
+#include "dht/stamp_set.h"
 #include "dht/types.h"
 #include "ert/indegree.h"
 
@@ -196,6 +198,12 @@ class Overlay {
 
   const OverlayNode& node(dht::NodeIndex i) const { return nodes_.at(i); }
   OverlayNode& mutable_node(dht::NodeIndex i) { return nodes_.at(i); }
+
+  /// Backing store for all pooled candidate / backward-finger sets
+  /// (dht/slab.h); every table or inlink operation threads through it.
+  core::LinkArena& arena() { return arena_; }
+  const core::LinkArena& arena() const { return arena_; }
+
   std::size_t num_slots() const { return nodes_.size(); }
   std::size_t alive_count() const { return alive_; }
   const IdSpace& space() const { return space_; }
@@ -241,16 +249,22 @@ class Overlay {
   std::uint64_t lv(dht::NodeIndex i) const { return space_.to_linear(nodes_[i].id); }
 
   /// All alive nodes eligible for entry `slot` of `owner`, preference-
-  /// ordered per the configured policy.
-  std::vector<dht::NodeIndex> eligible_candidates(dht::NodeIndex owner,
-                                                  std::size_t slot) const;
+  /// ordered per the configured policy. Returns a reference to warm member
+  /// scratch (ec_out_), valid until the next call on this overlay.
+  const std::vector<dht::NodeIndex>& eligible_candidates(dht::NodeIndex owner,
+                                                         std::size_t slot) const;
 
-  /// Nearest occupied cycles != `a` (up to `count` per side).
-  std::vector<std::uint64_t> nearby_cycles(std::uint64_t a,
-                                           std::size_t count) const;
+  /// Nearest occupied cycles != `a` (up to `count` per side), into `out`.
+  void nearby_cycles(std::uint64_t a, std::size_t count,
+                     std::vector<std::uint64_t>& out) const;
 
-  /// Alive members of cycle `a` (indices), ascending k.
-  std::vector<dht::NodeIndex> cycle_members(std::uint64_t a) const;
+  /// Alive members of cycle `a` (indices), ascending k, into `out`.
+  void cycle_members(std::uint64_t a,
+                     std::vector<dht::NodeIndex>& out) const;
+
+  /// Scratch form of expansion_targets (same enumeration, warm buffers).
+  void expansion_targets_into(dht::NodeIndex i, std::size_t max_targets,
+                              std::vector<ExpansionTarget>& out) const;
 
   void order_by_policy(dht::NodeIndex owner,
                        std::vector<dht::NodeIndex>& cands) const;
@@ -269,6 +283,21 @@ class Overlay {
   std::vector<OverlayNode> nodes_;
   std::size_t alive_ = 0;
   trace::TraceSink* trace_ = nullptr;
+  core::LinkArena arena_;
+  // Warm scratch for the steady-state mutation paths (build back-fill,
+  // repair, shed/grow), so the periodic adaptation sweep allocates nothing
+  // once capacities settle. All are logically stackless temporaries;
+  // mutable because several fill from const enumeration helpers.
+  mutable std::vector<dht::NodeIndex> ec_out_;
+  mutable std::vector<dht::NodeIndex> members_scratch_;
+  mutable std::vector<std::uint64_t> cycles_scratch_;
+  mutable std::vector<std::uint64_t> elig_cycles_;  ///< eligible() only.
+  mutable std::vector<ExpansionTarget> targets_scratch_;
+  mutable dht::StampSet inlink_seen_;  ///< expansion_targets_into() only.
+  mutable std::vector<std::pair<std::uint32_t, dht::NodeIndex>> sort_scratch_;
+  mutable std::vector<dht::NodeIndex> part_scratch_;
+  std::vector<core::BackwardFinger> evict_scratch_;
+  std::vector<dht::NodeIndex> evict_out_;
 };
 
 }  // namespace ert::cycloid

@@ -190,9 +190,23 @@ std::vector<std::uint64_t> RingDirectory::ids_in_range(std::uint64_t lo,
 
 std::vector<std::uint64_t> RingDirectory::successors_of(std::uint64_t key,
                                                         std::size_t k) const {
-  flush_bulk();
   std::vector<std::uint64_t> out;
-  if (tree_.empty()) return out;
+  successors_of(key, k, out);
+  return out;
+}
+
+std::vector<std::uint64_t> RingDirectory::predecessors_of(
+    std::uint64_t key, std::size_t k) const {
+  std::vector<std::uint64_t> out;
+  predecessors_of(key, k, out);
+  return out;
+}
+
+void RingDirectory::successors_of(std::uint64_t key, std::size_t k,
+                                  std::vector<std::uint64_t>& out) const {
+  flush_bulk();
+  out.clear();
+  if (tree_.empty()) return;
   k = std::min(k, tree_.size());
   CountedBTree::Cursor c = tree_.lower_bound(key).cur;
   if (CountedBTree::valid(c) && CountedBTree::key(c) == key)
@@ -204,14 +218,13 @@ std::vector<std::uint64_t> RingDirectory::successors_of(std::uint64_t key,
     out.push_back(CountedBTree::key(c));
     c = CountedBTree::next(c);
   }
-  return out;
 }
 
-std::vector<std::uint64_t> RingDirectory::predecessors_of(
-    std::uint64_t key, std::size_t k) const {
+void RingDirectory::predecessors_of(std::uint64_t key, std::size_t k,
+                                    std::vector<std::uint64_t>& out) const {
   flush_bulk();
-  std::vector<std::uint64_t> out;
-  if (tree_.empty()) return out;
+  out.clear();
+  if (tree_.empty()) return;
   k = std::min(k, tree_.size());
   CountedBTree::Cursor c = tree_.lower_bound(key).cur;
   out.reserve(k);
@@ -222,7 +235,6 @@ std::vector<std::uint64_t> RingDirectory::predecessors_of(
     if (CountedBTree::key(c) == key) break;
     out.push_back(CountedBTree::key(c));
   }
-  return out;
 }
 
 const std::vector<std::uint64_t>& RingDirectory::ids() const {

@@ -83,11 +83,34 @@ class RingDirectory {
     }
   }
 
+  /// for_each_in_range with early exit: `fn` returns false to stop the
+  /// scan. Identical visit order; lets capped enumerations (expansion
+  /// targets) avoid walking the rest of a large block.
+  template <typename Fn>
+  void for_each_in_range_until(std::uint64_t lo, std::uint64_t hi,
+                               Fn&& fn) const {
+    flush_bulk();
+    for (CountedBTree::Cursor c = tree_.lower_bound(lo).cur;
+         CountedBTree::valid(c); c = CountedBTree::next(c)) {
+      const std::uint64_t id = CountedBTree::key(c);
+      if (id >= hi) break;
+      if (!fn(id, CountedBTree::value(c))) break;
+    }
+  }
+
   /// The k occupied ids clockwise after `key` (excluding `key` itself).
   std::vector<std::uint64_t> successors_of(std::uint64_t key,
                                            std::size_t k) const;
   std::vector<std::uint64_t> predecessors_of(std::uint64_t key,
                                              std::size_t k) const;
+
+  /// Scratch forms of the neighbor walks: write into `out` (cleared first)
+  /// so steady-state callers — table repair, indegree expansion — reuse
+  /// warm capacity instead of allocating a fresh vector per query.
+  void successors_of(std::uint64_t key, std::size_t k,
+                     std::vector<std::uint64_t>& out) const;
+  void predecessors_of(std::uint64_t key, std::size_t k,
+                       std::vector<std::uint64_t>& out) const;
 
   /// Number of occupied positions separating two occupied ids, walking the
   /// shorter way around the sorted ring. Both ids must be occupied.

@@ -1,26 +1,29 @@
 #include "dht/routing_entry.h"
 
-#include <algorithm>
-
 namespace ert::dht {
 
-bool RoutingEntry::add(NodeIndex n) {
-  if (contains(n)) return false;
-  candidates_.push_back(n);
+bool RoutingEntry::add(CandPool& pool, NodeIndex n) {
+  if (contains(pool, n)) return false;
+  pool.push(cands_, static_cast<NodeIndex32>(n));
   return true;
 }
 
-bool RoutingEntry::remove(NodeIndex n) {
-  auto it = std::find(candidates_.begin(), candidates_.end(), n);
-  if (it == candidates_.end()) return false;
-  candidates_.erase(it);
-  if (memory_ == n) memory_ = kNoNode;
-  return true;
+bool RoutingEntry::remove(CandPool& pool, NodeIndex n) {
+  const auto cands = pool.view(cands_);
+  for (std::uint32_t i = 0; i < cands.size(); ++i) {
+    if (cands[i] == static_cast<NodeIndex32>(n)) {
+      pool.erase_at(cands_, i);
+      if (memory_ == static_cast<NodeIndex32>(n)) memory_ = kNoNode32;
+      return true;
+    }
+  }
+  return false;
 }
 
-bool RoutingEntry::contains(NodeIndex n) const {
-  return std::find(candidates_.begin(), candidates_.end(), n) !=
-         candidates_.end();
+bool RoutingEntry::contains(const CandPool& pool, NodeIndex n) const {
+  for (const NodeIndex32 c : pool.view(cands_))
+    if (c == static_cast<NodeIndex32>(n)) return true;
+  return false;
 }
 
 std::size_t ElasticTable::outdegree() const {
@@ -29,16 +32,16 @@ std::size_t ElasticTable::outdegree() const {
   return total;
 }
 
-std::size_t ElasticTable::remove_everywhere(NodeIndex n) {
+std::size_t ElasticTable::remove_everywhere(CandPool& pool, NodeIndex n) {
   std::size_t removed = 0;
   for (auto& e : entries_)
-    if (e.remove(n)) ++removed;
+    if (e.remove(pool, n)) ++removed;
   return removed;
 }
 
-bool ElasticTable::links_to(NodeIndex n) const {
+bool ElasticTable::links_to(const CandPool& pool, NodeIndex n) const {
   for (const auto& e : entries_)
-    if (e.contains(n)) return true;
+    if (e.contains(pool, n)) return true;
   return false;
 }
 

@@ -10,11 +10,19 @@
 // implements Mitzenmacher's load-balancing-with-memory: the least-loaded
 // recent candidate is remembered and reused as one of the next poll's
 // choices.
+//
+// Candidate sets live in a per-overlay CandPool slab (dht/slab.h) rather
+// than per-entry vectors: an entry is 16 bytes and its candidates are
+// 32-bit indices in a shared backing array, which is what lets a 2^20-node
+// network's routing state fit in a few hundred megabytes. Mutators take
+// the pool explicitly; size/kind/memory need no pool.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
+#include "dht/slab.h"
 #include "dht/types.h"
 
 namespace ert::dht {
@@ -39,28 +47,41 @@ class RoutingEntry {
   EntryKind kind() const { return kind_; }
 
   /// Adds a candidate if not already present; returns true when added.
-  bool add(NodeIndex n);
+  bool add(CandPool& pool, NodeIndex n);
 
   /// Removes a candidate; clears the memory slot if it pointed at `n`.
   /// Returns true when removed.
-  bool remove(NodeIndex n);
+  bool remove(CandPool& pool, NodeIndex n);
 
-  bool contains(NodeIndex n) const;
-  bool empty() const { return candidates_.empty(); }
-  std::size_t size() const { return candidates_.size(); }
+  bool contains(const CandPool& pool, NodeIndex n) const;
+  bool empty() const { return cands_.empty(); }
+  std::size_t size() const { return cands_.size(); }
 
-  const std::vector<NodeIndex>& candidates() const { return candidates_; }
+  /// Candidates in insertion order (erase-compacted, like the vector
+  /// representation this replaces). Indices widen implicitly in range-for.
+  std::span<const NodeIndex32> candidates(const CandPool& pool) const {
+    return pool.view(cands_);
+  }
 
   /// Memory slot for memory-based randomized dispatch (Sec. 4.1).
-  NodeIndex memory() const { return memory_; }
-  void remember(NodeIndex n) { memory_ = n; }
-  void forget() { memory_ = kNoNode; }
+  NodeIndex memory() const {
+    return memory_ == kNoNode32 ? kNoNode : NodeIndex{memory_};
+  }
+  void remember(NodeIndex n) { memory_ = static_cast<NodeIndex32>(n); }
+  void forget() { memory_ = kNoNode32; }
+
+  /// Returns the candidate block to the pool (node teardown).
+  void release(CandPool& pool) {
+    pool.release(cands_);
+    memory_ = kNoNode32;
+  }
 
  private:
   EntryKind kind_ = EntryKind::kFinger;
-  std::vector<NodeIndex> candidates_;
-  NodeIndex memory_ = kNoNode;
+  NodeIndex32 memory_ = kNoNode32;
+  PoolRef cands_;
 };
+static_assert(sizeof(RoutingEntry) == 16, "entries must stay packed");
 
 /// A full elastic routing table: a fixed set of entries (one per slot of the
 /// substrate's geometry) whose candidate lists vary in size, plus the
@@ -84,12 +105,16 @@ class ElasticTable {
   std::size_t outdegree() const;
 
   /// Removes `n` from every entry; returns how many entries dropped it.
-  std::size_t remove_everywhere(NodeIndex n);
+  std::size_t remove_everywhere(CandPool& pool, NodeIndex n);
 
   /// True if `n` appears in any entry.
-  bool links_to(NodeIndex n) const;
+  bool links_to(const CandPool& pool, NodeIndex n) const;
 
-  void clear() { entries_.clear(); }
+  /// Drops all entries, returning their candidate blocks to the pool.
+  void clear(CandPool& pool) {
+    for (auto& e : entries_) e.release(pool);
+    entries_.clear();
+  }
 
  private:
   std::vector<RoutingEntry> entries_;

@@ -1,0 +1,157 @@
+// Per-overlay slab allocator for small per-node link sets.
+//
+// At 2^20 nodes the dominant memory cost of an overlay is not the node
+// array but the heap scatter hanging off it: every RoutingEntry owned a
+// std::vector<std::size_t> (24 bytes of header plus a malloc'd block of
+// 8-byte indices), and every node's backward-finger list owned another.
+// A Slab replaces all of those with one contiguous backing vector per
+// overlay: each set becomes an 8-byte PoolRef handle (offset + packed
+// size/capacity-class) into the slab, elements shrink to their natural
+// width (32-bit node indices — no overlay here exceeds 2^32 slots), and
+// freed blocks recycle through per-class free lists instead of returning
+// to the allocator.
+//
+// Handles are offsets, not pointers, so they survive backing growth.
+// Capacity classes are powers of two (0, 1, 2, 4, 8, ...), mirroring
+// libstdc++'s vector growth, and erase shifts elements left exactly like
+// vector::erase — so candidate iteration order, and therefore every Rng
+// draw downstream of it, is bit-identical to the vector representation
+// this replaces (tests/slab_equivalence_test.cpp pins that claim).
+//
+// Free lists are threaded through the first four bytes of each freed
+// block (T is trivially copyable and at least four bytes wide), so the
+// allocator itself needs no side storage proportional to the block count.
+// Reuse is LIFO per class and single-threaded per run: deterministic.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "dht/types.h"
+
+namespace ert::dht {
+
+/// Handle to one block in a Slab. The size lives in the handle, so
+/// size()/empty() need no slab access; only element access does.
+struct PoolRef {
+  static constexpr std::uint32_t kSizeBits = 27;
+  static constexpr std::uint32_t kSizeMask = (1u << kSizeBits) - 1;
+
+  std::uint32_t off = 0;
+  /// Low 27 bits: element count. High 5 bits: capacity class, where class
+  /// c holds 2^(c-1) elements (class 0 is the empty block at offset 0).
+  std::uint32_t packed = 0;
+
+  std::uint32_t size() const { return packed & kSizeMask; }
+  std::uint32_t cls() const { return packed >> kSizeBits; }
+  bool empty() const { return size() == 0; }
+  void set_size(std::uint32_t s) { packed = (packed & ~kSizeMask) | s; }
+  void set(std::uint32_t offset, std::uint32_t size, std::uint32_t c) {
+    off = offset;
+    packed = (c << kSizeBits) | size;
+  }
+};
+
+template <typename T>
+class Slab {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "blocks move with memcpy semantics");
+  static_assert(sizeof(T) >= sizeof(std::uint32_t),
+                "free lists thread through a block's first four bytes");
+
+ public:
+  static constexpr std::uint32_t kNumClasses = 28;
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+
+  static constexpr std::uint32_t capacity_of(std::uint32_t cls) {
+    return cls == 0 ? 0u : (1u << (cls - 1));
+  }
+
+  Slab() { for (auto& h : free_) h = kNil; }
+
+  void reserve(std::size_t elements) { backing_.reserve(elements); }
+  std::size_t backing_size() const { return backing_.size(); }
+  std::size_t backing_capacity() const { return backing_.capacity(); }
+
+  std::span<const T> view(const PoolRef& r) const {
+    return {backing_.data() + r.off, r.size()};
+  }
+  std::span<T> view(PoolRef& r) {
+    return {backing_.data() + r.off, r.size()};
+  }
+  const T& at(const PoolRef& r, std::uint32_t i) const {
+    return backing_[r.off + i];
+  }
+  T& at(PoolRef& r, std::uint32_t i) { return backing_[r.off + i]; }
+
+  /// Appends `v`, upgrading the block to the next capacity class when full.
+  void push(PoolRef& r, const T& v) {
+    if (r.size() == capacity_of(r.cls())) grow(r);
+    backing_[r.off + r.size()] = v;
+    r.set_size(r.size() + 1);
+  }
+
+  /// Removes the element at `i`, shifting the tail left (vector::erase
+  /// semantics — preserves relative order). The block keeps its class.
+  void erase_at(PoolRef& r, std::uint32_t i) {
+    T* p = backing_.data() + r.off;
+    const std::uint32_t n = r.size();
+    for (std::uint32_t j = i + 1; j < n; ++j) p[j - 1] = p[j];
+    r.set_size(n - 1);
+  }
+
+  /// Returns the block to its class free list and resets the handle.
+  void release(PoolRef& r) {
+    free_block(r.off, r.cls());
+    r = PoolRef{};
+  }
+
+ private:
+  std::uint32_t allocate(std::uint32_t cls) {
+    if (free_[cls] != kNil) {
+      const std::uint32_t off = free_[cls];
+      std::uint32_t next = 0;
+      // void* casts: the first 4 bytes of a freed block hold the free-list
+      // link, which is not a T (silences -Wclass-memaccess for nontrivial T).
+      std::memcpy(&next, static_cast<const void*>(backing_.data() + off),
+                  sizeof(next));
+      free_[cls] = next;
+      return off;
+    }
+    assert(backing_.size() + capacity_of(cls) <
+           static_cast<std::size_t>(kNil));
+    const auto off = static_cast<std::uint32_t>(backing_.size());
+    backing_.resize(backing_.size() + capacity_of(cls));
+    return off;
+  }
+
+  void free_block(std::uint32_t off, std::uint32_t cls) {
+    if (cls == 0) return;
+    std::memcpy(static_cast<void*>(backing_.data() + off), &free_[cls],
+                sizeof(free_[cls]));
+    free_[cls] = off;
+  }
+
+  void grow(PoolRef& r) {
+    const std::uint32_t new_cls = r.cls() + 1;
+    assert(new_cls < kNumClasses);
+    const std::uint32_t new_off = allocate(new_cls);
+    T* dst = backing_.data() + new_off;  // refetch: allocate may reallocate
+    const T* src = backing_.data() + r.off;
+    for (std::uint32_t i = 0; i < r.size(); ++i) dst[i] = src[i];
+    free_block(r.off, r.cls());
+    r.set(new_off, r.size(), new_cls);
+  }
+
+  std::vector<T> backing_;
+  std::uint32_t free_[kNumClasses];
+};
+
+/// Slab of routing-entry candidate sets (32-bit node indices).
+using CandPool = Slab<NodeIndex32>;
+
+}  // namespace ert::dht

@@ -1,0 +1,56 @@
+// Allocation-free stable ordering for small candidate vectors.
+//
+// std::stable_sort and std::stable_partition allocate a temporary merge
+// buffer on every call, which puts them off-limits in the steady-state
+// adaptation paths (shed -> repair_entry runs every sweep). These drop-in
+// replacements produce byte-identical results using caller-owned scratch
+// that stays warm across calls:
+//  * stable_sort_scratch tags each element with its original position and
+//    runs an ordinary (unstable) sort with the position as final
+//    tiebreaker — equal elements keep their relative order, exactly like
+//    std::stable_sort;
+//  * stable_partition_scratch compacts the true-group in place while
+//    spilling the false-group to scratch, then appends it — both groups
+//    keep their relative order, exactly like std::stable_partition.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace ert::dht {
+
+template <typename T, typename Less>
+void stable_sort_scratch(std::vector<T>& v,
+                         std::vector<std::pair<std::uint32_t, T>>& scratch,
+                         Less less) {
+  scratch.clear();
+  scratch.reserve(v.size());
+  for (std::uint32_t p = 0; p < v.size(); ++p) scratch.emplace_back(p, v[p]);
+  std::sort(scratch.begin(), scratch.end(),
+            [&](const std::pair<std::uint32_t, T>& a,
+                const std::pair<std::uint32_t, T>& b) {
+              if (less(a.second, b.second)) return true;
+              if (less(b.second, a.second)) return false;
+              return a.first < b.first;
+            });
+  for (std::size_t p = 0; p < v.size(); ++p) v[p] = scratch[p].second;
+}
+
+template <typename T, typename Pred>
+void stable_partition_scratch(std::vector<T>& v, std::vector<T>& scratch,
+                              Pred pred) {
+  scratch.clear();
+  scratch.reserve(v.size());
+  std::size_t w = 0;
+  for (const T& x : v) {
+    if (pred(x))
+      v[w++] = x;
+    else
+      scratch.push_back(x);
+  }
+  std::copy(scratch.begin(), scratch.end(), v.begin() + w);
+}
+
+}  // namespace ert::dht

@@ -1,0 +1,37 @@
+// Epoch-stamped membership set over dense node indices.
+//
+// A reusable O(1) "is this node in the set I just built?" test for hot
+// enumeration loops. `begin_epoch(n)` starts a fresh logical set without
+// clearing memory (one counter bump); `mark`/`test` are single array
+// accesses. Used by the overlays' indegree-expansion enumerators: the
+// backward-finger list grows with every adaptation sweep, so testing
+// membership by scanning it made each sweep O(indegree^2) per node at
+// scale. Stamps are 64-bit so the epoch counter never wraps in any
+// realistic run.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dht/types.h"
+
+namespace ert::dht {
+
+class StampSet {
+ public:
+  /// Starts a new (empty) set covering indices [0, n). Amortized O(1):
+  /// only grows the backing array when `n` does.
+  void begin_epoch(std::size_t n) {
+    if (stamps_.size() < n) stamps_.resize(n, 0);
+    ++epoch_;
+  }
+
+  void mark(NodeIndex i) { stamps_[i] = epoch_; }
+  bool test(NodeIndex i) const { return stamps_[i] == epoch_; }
+
+ private:
+  std::vector<std::uint64_t> stamps_;
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace ert::dht

@@ -14,6 +14,15 @@ using NodeIndex = std::size_t;
 
 inline constexpr NodeIndex kNoNode = std::numeric_limits<NodeIndex>::max();
 
+/// Compact node index used inside pooled routing state (dht/slab.h). No
+/// overlay in this library addresses more than 2^32 - 1 slots, so link
+/// sets store half-width indices; they widen back to NodeIndex at the API
+/// boundary.
+using NodeIndex32 = std::uint32_t;
+
+inline constexpr NodeIndex32 kNoNode32 =
+    std::numeric_limits<NodeIndex32>::max();
+
 /// A raw key in the linearized id space of an overlay.
 using KeyValue = std::uint64_t;
 

@@ -12,39 +12,44 @@ int IndegreeBudget::initial_target() const {
 
 void IndegreeBudget::lower_bound_by(int k) { max_ = std::max(1, max_ - k); }
 
-bool BackwardFingerList::add(BackwardFinger f) {
-  if (contains(f.node)) return false;
-  fingers_.push_back(f);
+bool BackwardFingerList::add(FingerPool& pool, BackwardFinger f) {
+  if (contains(pool, f.node)) return false;
+  pool.push(ref_, f);
   return true;
 }
 
-bool BackwardFingerList::remove(dht::NodeIndex n) {
-  auto it = std::find_if(fingers_.begin(), fingers_.end(),
-                         [n](const BackwardFinger& f) { return f.node == n; });
-  if (it == fingers_.end()) return false;
-  fingers_.erase(it);
-  return true;
+bool BackwardFingerList::remove(FingerPool& pool, dht::NodeIndex n) {
+  const auto fingers = pool.view(ref_);
+  for (std::uint32_t i = 0; i < fingers.size(); ++i) {
+    if (fingers[i].node == n) {
+      pool.erase_at(ref_, i);
+      return true;
+    }
+  }
+  return false;
 }
 
-bool BackwardFingerList::contains(dht::NodeIndex n) const {
-  return std::any_of(fingers_.begin(), fingers_.end(),
-                     [n](const BackwardFinger& f) { return f.node == n; });
+bool BackwardFingerList::contains(const FingerPool& pool,
+                                  dht::NodeIndex n) const {
+  for (const BackwardFinger& f : pool.view(ref_))
+    if (f.node == n) return true;
+  return false;
 }
 
-std::vector<dht::NodeIndex> BackwardFingerList::pick_evictions(
-    std::size_t k) const {
-  std::vector<BackwardFinger> sorted = fingers_;
-  std::sort(sorted.begin(), sorted.end(),
+void BackwardFingerList::pick_evictions(const FingerPool& pool, std::size_t k,
+                                        std::vector<BackwardFinger>& scratch,
+                                        std::vector<dht::NodeIndex>& out) const {
+  const auto fingers = pool.view(ref_);
+  scratch.assign(fingers.begin(), fingers.end());
+  std::sort(scratch.begin(), scratch.end(),
             [](const BackwardFinger& a, const BackwardFinger& b) {
               if (a.logical_distance != b.logical_distance)
                 return a.logical_distance > b.logical_distance;
               return a.physical_distance > b.physical_distance;
             });
-  k = std::min(k, sorted.size());
-  std::vector<dht::NodeIndex> out;
-  out.reserve(k);
-  for (std::size_t i = 0; i < k; ++i) out.push_back(sorted[i].node);
-  return out;
+  k = std::min(k, scratch.size());
+  out.clear();
+  for (std::size_t i = 0; i < k; ++i) out.push_back(scratch[i].node);
 }
 
 }  // namespace ert::core

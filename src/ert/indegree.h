@@ -5,11 +5,17 @@
 // acceptance rule "only nodes with available capacity d_inf - d >= 1 can be
 // the joining node's neighbors", and periodic adaptation moves d_inf
 // (Sec. 3.3: shedding load lowers the bound, inviting load raises it).
+//
+// Backward-finger sets are pooled (dht/slab.h): a node's list is an 8-byte
+// handle into the overlay's FingerPool, and eviction ranking writes into
+// caller-owned scratch so the periodic adaptation sweep allocates nothing.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
+#include "dht/slab.h"
 #include "dht/types.h"
 
 namespace ert::core {
@@ -76,24 +82,42 @@ struct BackwardFinger {
   double physical_distance = 0.0;
 };
 
+/// Slab of backward-finger sets.
+using FingerPool = dht::Slab<BackwardFinger>;
+
 class BackwardFingerList {
  public:
-  bool add(BackwardFinger f);
-  bool remove(dht::NodeIndex n);
-  bool contains(dht::NodeIndex n) const;
+  bool add(FingerPool& pool, BackwardFinger f);
+  bool remove(FingerPool& pool, dht::NodeIndex n);
+  bool contains(const FingerPool& pool, dht::NodeIndex n) const;
 
-  std::size_t size() const { return fingers_.size(); }
-  bool empty() const { return fingers_.empty(); }
-  const std::vector<BackwardFinger>& fingers() const { return fingers_; }
+  std::size_t size() const { return ref_.size(); }
+  bool empty() const { return ref_.empty(); }
+  std::span<const BackwardFinger> fingers(const FingerPool& pool) const {
+    return pool.view(ref_);
+  }
 
   /// Picks up to k fingers to shed: longest logical distance first, ties by
-  /// longest physical distance. Returns node indices in eviction order.
-  std::vector<dht::NodeIndex> pick_evictions(std::size_t k) const;
+  /// longest physical distance. Writes node indices in eviction order into
+  /// `out` (cleared first); `scratch` is sort space. Both are caller-owned
+  /// so steady-state adaptation reuses warm capacity.
+  void pick_evictions(const FingerPool& pool, std::size_t k,
+                      std::vector<BackwardFinger>& scratch,
+                      std::vector<dht::NodeIndex>& out) const;
 
-  void clear() { fingers_.clear(); }
+  /// Returns the finger block to the pool (node teardown).
+  void clear(FingerPool& pool) { pool.release(ref_); }
 
  private:
-  std::vector<BackwardFinger> fingers_;
+  dht::PoolRef ref_;
+};
+
+/// The per-overlay backing store for all pooled link state: candidate sets
+/// and backward-finger sets. Each overlay owns exactly one and threads it
+/// through every table/inlink operation.
+struct LinkArena {
+  dht::CandPool cands;
+  FingerPool fingers;
 };
 
 }  // namespace ert::core

@@ -1,7 +1,9 @@
 #include "harness/auditor.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <utility>
 
 #include "ert/capacity.h"
 #include "harness/substrate.h"
@@ -47,13 +49,33 @@ void InvariantAuditor::expect_eq(const char* invariant, dht::NodeIndex node,
   report(invariant, node, observed, bound, what);
 }
 
+const std::vector<std::uint32_t>* InvariantAuditor::sample_population(
+    std::size_t population) {
+  const std::size_t k = opts_.sample;
+  if (k == 0 || population <= k) return nullptr;
+  // Partial Fisher-Yates over a reusable index pool, then sort so callers
+  // visit sampled nodes in ascending order (stable record ordering).
+  perm_scratch_.resize(population);
+  for (std::size_t i = 0; i < population; ++i)
+    perm_scratch_[i] = static_cast<std::uint32_t>(i);
+  sample_out_.clear();
+  sample_out_.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j = i + rng_.index(population - i);
+    std::swap(perm_scratch_[i], perm_scratch_[j]);
+    sample_out_.push_back(perm_scratch_[i]);
+  }
+  std::sort(sample_out_.begin(), sample_out_.end());
+  return &sample_out_;
+}
+
 void audit_substrate(InvariantAuditor& auditor, SubstrateOps& sub,
                      bool bounds_enforced, bool adaptive, double alpha,
                      double gamma_c,
                      const std::function<double(dht::NodeIndex)>& capacity_of) {
   const std::size_t slack = auditor.options().indegree_slack;
-  for (dht::NodeIndex v = 0; v < sub.num_slots(); ++v) {
-    if (!sub.alive(v)) continue;
+  const auto audit_one = [&](dht::NodeIndex v) {
+    if (!sub.alive(v)) return;
 
     const LinkAuditCounts links = sub.audit_links(v);
     auditor.expect_eq("links.symmetry", v,
@@ -69,7 +91,7 @@ void audit_substrate(InvariantAuditor& auditor, SubstrateOps& sub,
                       static_cast<double>(budget.indegree()), d,
                       "budget degree vs backward-finger count");
 
-    if (!bounds_enforced) continue;
+    if (!bounds_enforced) return;
     const double dinf = budget.max_indegree();
     auditor.expect_le("indegree.bound-floor", v, 1.0, dinf,
                       "d_inf fell below 1");
@@ -95,6 +117,11 @@ void audit_substrate(InvariantAuditor& auditor, SubstrateOps& sub,
       auditor.expect_le("theorem3.1", v, dinf, d31,
                         "initial d_inf exceeds alpha*gamma_c*c-hat");
     }
+  };
+  if (const auto* sample = auditor.sample_population(sub.num_slots())) {
+    for (const std::uint32_t v : *sample) audit_one(v);
+  } else {
+    for (dht::NodeIndex v = 0; v < sub.num_slots(); ++v) audit_one(v);
   }
   // Structural self-check (assert-based; no-op under NDEBUG).
   sub.check_structure();

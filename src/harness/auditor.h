@@ -36,10 +36,12 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
 
+#include "common/rng.h"
 #include "dht/types.h"
 
 namespace ert::harness {
@@ -56,6 +58,12 @@ struct AuditorOptions {
   /// repairs (link with respect_budget=false) may overshoot the budget to
   /// keep a partition-free table; 0 makes the check strict.
   std::size_t indegree_slack = 0;
+  /// 0 audits every live node each sweep. k > 0 audits a fresh seeded
+  /// k-subset per sweep, making the audit cost O(k) instead of O(n) — the
+  /// only way to keep continuous auditing on at 2^17+ nodes. The subset is
+  /// drawn from the auditor's own Rng stream, never the simulation's, so
+  /// results stay bit-identical at any sample size.
+  std::size_t sample = 0;
 };
 
 /// One invariant violation, first observed at `time`.
@@ -72,9 +80,21 @@ std::string to_string(const InvariantViolation& v);
 
 class InvariantAuditor {
  public:
-  explicit InvariantAuditor(AuditorOptions opts) : opts_(opts) {}
+  /// `seed` feeds the auditor's private sampling stream (see
+  /// AuditorOptions::sample); callers domain-separate it from the
+  /// simulation seed. Unsampled audits never draw from it.
+  explicit InvariantAuditor(AuditorOptions opts, std::uint64_t seed = 0)
+      : opts_(opts), rng_(seed) {}
 
   const AuditorOptions& options() const { return opts_; }
+
+  /// Draws this sweep's audit subset from [0, population). Returns nullptr
+  /// when sampling is off or the whole population fits within the sample
+  /// size (callers then audit everything); otherwise a sorted list of
+  /// `options().sample` distinct indices. Each call consumes auditor Rng
+  /// draws, so callers within one sweep get independent subsets in a
+  /// deterministic sequence.
+  const std::vector<std::uint32_t>* sample_population(std::size_t population);
 
   void begin_sweep(double time) {
     now_ = time;
@@ -100,10 +120,13 @@ class InvariantAuditor {
 
  private:
   AuditorOptions opts_;
+  Rng rng_;  ///< sampling-only stream; the simulation never shares it.
   double now_ = 0.0;
   std::size_t sweeps_ = 0;
   std::size_t total_ = 0;
   std::vector<InvariantViolation> records_;
+  std::vector<std::uint32_t> perm_scratch_;  ///< partial Fisher-Yates pool.
+  std::vector<std::uint32_t> sample_out_;    ///< the sweep's chosen subset.
 };
 
 /// Sweeps every live overlay node of `sub`, checking budget consistency,

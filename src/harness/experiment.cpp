@@ -4,7 +4,6 @@
 #include <cassert>
 #include <chrono>
 #include <cmath>
-#include <deque>
 #include <memory>
 
 #include "baselines/virtual_servers.h"
@@ -35,8 +34,12 @@ namespace {
 
 using dht::NodeIndex;
 
-/// A lookup in flight.
+/// A lookup in flight. Lives in a recycled slot of the engine's queries_
+/// vector (fault-free runs), so the storage scales with peak concurrency,
+/// not total lookups issued; `id` is the lookup's stable monotonic identity
+/// for traces and the substrate's per-query context.
 struct Query {
+  std::uint64_t id = 0;   ///< monotonic issue number, never reused.
   std::uint64_t key = 0;
   NodeIndex cur = dht::kNoNode;  ///< overlay node currently holding it.
   double start_time = 0.0;
@@ -49,6 +52,66 @@ struct Query {
   bool returning = false;  ///< data-forwarding mode: response leg.
   bool fault_hit = false;  ///< saw an injected fault (drop/crash) en route.
   std::vector<NodeIndex> path;  ///< recorded when data forwarding is on.
+
+  /// Readies a recycled slot for a fresh lookup: scalar state zeroed,
+  /// the overloaded set's spill and the path vector keep their capacity.
+  void reset(std::uint64_t new_id) {
+    id = new_id;
+    key = 0;
+    cur = dht::kNoNode;
+    start_time = 0.0;
+    penalty = 0.0;
+    hops = 0;
+    heavy_met = 0;
+    timeouts = 0;
+    overloaded.clear();
+    done = false;
+    returning = false;
+    fault_hit = false;
+    path.clear();
+  }
+};
+
+/// FIFO of waiting query slots: a ring over a lazily grown power-of-two
+/// vector. An idle node costs 32 bytes here where libstdc++'s std::deque
+/// eagerly allocates a ~500-byte chunk map per instance — at 2^20 nodes
+/// that difference alone is half a gigabyte.
+class MiniQueue {
+ public:
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+  void push_back(std::uint32_t v) {
+    if (size_ == buf_.size()) grow();
+    buf_[(head_ + size_) & (buf_.size() - 1)] = v;
+    ++size_;
+  }
+  std::uint32_t front() const { return buf_[head_]; }
+  void pop_front() {
+    head_ = (head_ + 1) & (static_cast<std::uint32_t>(buf_.size()) - 1);
+    --size_;
+  }
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+  template <typename Fn>
+  void for_each(Fn&& fn) const {  // FIFO order
+    for (std::uint32_t i = 0; i < size_; ++i)
+      fn(buf_[(head_ + i) & (buf_.size() - 1)]);
+  }
+
+ private:
+  void grow() {
+    std::vector<std::uint32_t> bigger(buf_.empty() ? 4 : buf_.size() * 2);
+    for (std::uint32_t i = 0; i < size_; ++i)
+      bigger[i] = buf_[(head_ + i) & (buf_.size() - 1)];
+    buf_ = std::move(bigger);
+    head_ = 0;
+  }
+
+  std::vector<std::uint32_t> buf_;  ///< capacity always a power of two.
+  std::uint32_t head_ = 0;
+  std::uint32_t size_ = 0;
 };
 
 /// Per physical node queueing and accounting state.
@@ -62,8 +125,8 @@ struct RealNode {
   bool alive = true;
   core::LoadTracker tracker;
   std::size_t in_service = 0;
-  std::deque<std::size_t> waiting;        ///< queued query ids.
-  std::vector<std::size_t> serving;       ///< query ids in service.
+  MiniQueue waiting;                   ///< queued query slots.
+  std::vector<std::uint32_t> serving;  ///< query slots in service.
   double peak_congestion = 0.0;
   int grow_backoff = 0;  ///< expansion backoff after fruitless probes.
   int grow_wait = 0;
@@ -86,8 +149,11 @@ class Engine {
     // run consumes exactly the same workload randomness as a plain run.
     if (options.faults.enabled())
       faults_ = std::make_unique<FaultInjector>(options.faults, params.seed);
+    // The sampling stream is domain-separated from the workload seed so a
+    // sampled audit consumes no simulation randomness.
     if (options.audit.enabled)
-      auditor_ = std::make_unique<InvariantAuditor>(options.audit);
+      auditor_ = std::make_unique<InvariantAuditor>(
+          options.audit, params.seed ^ 0xa0d17'5a3b1eULL);
     if (options.trace.enabled) {
       trace_ = std::make_unique<trace::TraceSink>(
           options.trace, [this] { return sim_.now(); });
@@ -270,9 +336,33 @@ class Engine {
     }
   }
 
+  /// Claims a queries_ slot for a new lookup. Fault-free runs recycle the
+  /// slots of settled lookups, so queries_ scales with peak concurrency
+  /// instead of num_lookups (2M lookups would otherwise retain ~300 MB of
+  /// dead Query state). Faulted runs never recycle: message duplication
+  /// leaves straggler copies in flight that still dereference their slot
+  /// after the lookup settles, and those must keep finding done == true.
+  std::size_t claim_slot(std::uint64_t id) {
+    if (!free_slots_.empty()) {
+      const std::size_t slot = free_slots_.back();
+      free_slots_.pop_back();
+      queries_[slot].reset(id);
+      return slot;
+    }
+    queries_.emplace_back();
+    queries_.back().id = id;
+    return queries_.size() - 1;
+  }
+
+  void release_slot(std::size_t slot) {
+    if (faults_) return;
+    free_slots_.push_back(static_cast<std::uint32_t>(slot));
+  }
+
   void issue_lookup() {
     ++issued_;
-    Query q;
+    const std::size_t qid = claim_slot(next_query_id_++);
+    Query& q = queries_[qid];
     q.start_time = sim_.now();
     NodeIndex src;
     if (impulse_.enabled()) {
@@ -294,13 +384,10 @@ class Engine {
     }
     q.cur = src;
     if (params_.data_forwarding) q.path.push_back(src);
-    const std::uint64_t key = q.key;
-    queries_.push_back(std::move(q));
-    const std::size_t qid = queries_.size() - 1;
     if (tracing(trace::Category::kQuery))
-      trace_->emit(trace::EventType::kQueryBegin, src, qid,
-                   static_cast<std::int64_t>(key));
-    substrate_->start_query(qid);
+      trace_->emit(trace::EventType::kQueryBegin, src, q.id,
+                   static_cast<std::int64_t>(q.key));
+    substrate_->start_query(q.id);
     arrive(qid, src);
   }
 
@@ -317,7 +404,7 @@ class Engine {
       // query to the dead node's ring successor.
       ++q.timeouts;
       if (tracing(trace::Category::kHop))
-        trace_->emit(trace::EventType::kQueryTimeout, v, qid, 0, 0,
+        trace_->emit(trace::EventType::kQueryTimeout, v, q.id, 0, 0,
                      /*site=*/0);
       const NodeIndex sub = substrate_->live_successor(v);
       ++q.hops;
@@ -328,11 +415,18 @@ class Engine {
     q.cur = v;
     const std::size_t r = real_of(v);
     RealNode& rn = reals_[r];
+    if (params_.queue_cap != 0 &&
+        rn.tracker.queue_length() >= params_.queue_cap) {
+      // Bounded ingress queue (figure-scale runs): a node already at its
+      // cap sheds the arrival as an overload drop rather than queueing it.
+      drop_lookup(qid);
+      return;
+    }
     if (is_heavy(r)) {
       ++q.heavy_met;
       if (tracing(trace::Category::kOverload))
         trace_->emit(
-            trace::EventType::kQueryOverload, v, qid,
+            trace::EventType::kQueryOverload, v, q.id,
             static_cast<std::int64_t>(rn.tracker.queue_length()),
             std::llround(congestion(r) * 1000.0));
     }
@@ -345,14 +439,14 @@ class Engine {
     if (rn.in_service == 0) {
       begin_service(r, qid);
     } else {
-      rn.waiting.push_back(qid);
+      rn.waiting.push_back(static_cast<std::uint32_t>(qid));
     }
   }
 
   void begin_service(std::size_t r, std::size_t qid) {
     RealNode& rn = reals_[r];
     ++rn.in_service;
-    rn.serving.push_back(qid);
+    rn.serving.push_back(static_cast<std::uint32_t>(qid));
     // Table 2: 0.2 s in light nodes, 1 s in heavy nodes, chosen when
     // processing starts, scaled by capacity — "capacity represents the
     // number of queries node i can handle in a given time interval"
@@ -368,7 +462,7 @@ class Engine {
   void complete_service(std::size_t r, std::size_t qid) {
     RealNode& rn = reals_[r];
     --rn.in_service;
-    std::erase(rn.serving, qid);
+    std::erase(rn.serving, static_cast<std::uint32_t>(qid));
     rn.tracker.on_dequeue();
     if (!rn.waiting.empty()) {
       const std::size_t next_qid = rn.waiting.front();
@@ -408,14 +502,14 @@ class Engine {
       ++fstats_.timed_out;
       q.fault_hit = true;
       if (tracing(trace::Category::kFault))
-        trace_->emit(trace::EventType::kFaultTimeout, to, qid, attempt);
+        trace_->emit(trace::EventType::kFaultTimeout, to, q.id, attempt);
       if (faults_->retries_exhausted(attempt + 1)) {
         fail_lookup_fault(qid);
         return;
       }
       ++fstats_.retried;
       if (tracing(trace::Category::kFault))
-        trace_->emit(trace::EventType::kFaultRetry, to, qid, attempt + 1);
+        trace_->emit(trace::EventType::kFaultRetry, to, q.id, attempt + 1);
       sim_.schedule(faults_->retry_delay(attempt),
                     [this, qid, to, latency, attempt] {
                       attempt_send(qid, to, latency, attempt + 1);
@@ -440,7 +534,8 @@ class Engine {
         drop_lookup(qid);
         return;
       }
-      const HopStep step = substrate_->route_step(qid, v, q.key, route_scratch_);
+      const HopStep step =
+          substrate_->route_step(q.id, v, q.key, route_scratch_);
       if (step.arrived) {
         finish_lookup(qid);
         return;
@@ -475,7 +570,7 @@ class Engine {
         // entry, and retry (Sec. 5.5's timeout accounting).
         ++q.timeouts;
         if (tracing(trace::Category::kHop))
-          trace_->emit(trace::EventType::kQueryTimeout, next, qid, 0, 0,
+          trace_->emit(trace::EventType::kQueryTimeout, next, q.id, 0, 0,
                        /*site=*/1);
         q.penalty += params_.timeout_penalty;
         substrate_->purge_dead(v, next);
@@ -484,7 +579,7 @@ class Engine {
       }
       ++q.hops;
       if (tracing(trace::Category::kHop))
-        trace_->emit(trace::EventType::kQueryHop, v, qid,
+        trace_->emit(trace::EventType::kQueryHop, v, q.id,
                      static_cast<std::int64_t>(next),
                      static_cast<std::int64_t>(q.overloaded.size()),
                      static_cast<std::uint32_t>(cands.size()));
@@ -524,7 +619,7 @@ class Engine {
     ++q.hops;
     // Response-leg hop: no candidate set (the path is fixed), aux = 0.
     if (tracing(trace::Category::kHop))
-      trace_->emit(trace::EventType::kQueryHop, q.cur, qid,
+      trace_->emit(trace::EventType::kQueryHop, q.cur, q.id,
                    static_cast<std::int64_t>(next),
                    static_cast<std::int64_t>(q.overloaded.size()), 0);
     const double latency = prox_.latency(real_of(q.cur), real_of(next));
@@ -594,10 +689,10 @@ class Engine {
     Query& q = queries_[qid];
     if (q.done) return;
     q.done = true;
-    substrate_->finish_query(qid);
+    substrate_->finish_query(q.id);
     if (q.fault_hit) ++fstats_.recovered;
     if (tracing(trace::Category::kQuery))
-      trace_->emit(trace::EventType::kQueryEnd, q.cur, qid,
+      trace_->emit(trace::EventType::kQueryEnd, q.cur, q.id,
                    static_cast<std::int64_t>(q.hops),
                    static_cast<std::int64_t>(q.heavy_met));
     metrics::LookupRecord rec;
@@ -607,6 +702,7 @@ class Engine {
     rec.timeouts = q.timeouts;
     lookups_.add(rec);
     ++completed_;
+    release_slot(qid);
     on_lookup_settled();
   }
 
@@ -626,12 +722,13 @@ class Engine {
     Query& q = queries_[qid];
     if (q.done) return;
     q.done = true;
-    substrate_->finish_query(qid);
+    substrate_->finish_query(q.id);
     if (tracing(trace::Category::kQuery))
-      trace_->emit(trace::EventType::kQueryDrop, q.cur, qid,
+      trace_->emit(trace::EventType::kQueryDrop, q.cur, q.id,
                    static_cast<std::int64_t>(q.hops), 0, /*cause=*/0);
     ++dropped_overload_;
     ++dropped_;
+    release_slot(qid);
     on_lookup_settled();
   }
 
@@ -640,12 +737,13 @@ class Engine {
     Query& q = queries_[qid];
     if (q.done) return;
     q.done = true;
-    substrate_->finish_query(qid);
+    substrate_->finish_query(q.id);
     if (tracing(trace::Category::kQuery))
-      trace_->emit(trace::EventType::kQueryDrop, q.cur, qid,
+      trace_->emit(trace::EventType::kQueryDrop, q.cur, q.id,
                    static_cast<std::int64_t>(q.hops), 0, /*cause=*/1);
     ++dropped_fault_;
     ++dropped_;
+    release_slot(qid);
     on_lookup_settled();
   }
 
@@ -882,8 +980,8 @@ class Engine {
     rn.service_ev.cancel();
     std::vector<std::size_t> displaced;
     displaced.reserve(rn.waiting.size() + rn.serving.size());
-    for (std::size_t qid : rn.waiting) displaced.push_back(qid);
-    for (std::size_t qid : rn.serving) displaced.push_back(qid);
+    rn.waiting.for_each([&](std::uint32_t qid) { displaced.push_back(qid); });
+    for (std::uint32_t qid : rn.serving) displaced.push_back(qid);
     rn.waiting.clear();
     rn.serving.clear();
     rn.in_service = 0;
@@ -894,7 +992,7 @@ class Engine {
       ++q.timeouts;
       ++q.hops;
       if (tracing(trace::Category::kHop))
-        trace_->emit(trace::EventType::kQueryTimeout, q.cur, qid, 0, 0,
+        trace_->emit(trace::EventType::kQueryTimeout, q.cur, q.id, 0, 0,
                      /*site=*/2);
       if (crash) {
         // Injected crash: the loss counts against the fault layer.
@@ -950,15 +1048,21 @@ class Engine {
   void audit_sweep() {
     auditor_->begin_sweep(sim_.now());
     // Engine-level queue.consistency: the LoadTracker's queue length must
-    // equal what the engine's queues actually hold for every alive node.
-    for (std::size_t r = 0; r < reals_.size(); ++r) {
+    // equal what the engine's queues actually hold for every alive node
+    // (or a seeded subset of them when --audit-sample caps sweep cost).
+    const auto check_queue = [&](std::size_t r) {
       const RealNode& rn = reals_[r];
-      if (!rn.alive) continue;
+      if (!rn.alive) return;
       auditor_->expect_eq(
           "queue.consistency", static_cast<NodeIndex>(r),
           static_cast<double>(rn.tracker.queue_length()),
           static_cast<double>(rn.waiting.size() + rn.in_service),
           "LoadTracker queue vs waiting + in-service");
+    };
+    if (const auto* sample = auditor_->sample_population(reals_.size())) {
+      for (const std::uint32_t r : *sample) check_queue(r);
+    } else {
+      for (std::size_t r = 0; r < reals_.size(); ++r) check_queue(r);
     }
     const bool bounds = proto_ == Protocol::kNS || is_ert(proto_);
     audit_substrate(*auditor_, *substrate_, bounds, uses_adaptation(proto_),
@@ -1035,7 +1139,9 @@ class Engine {
   std::vector<RealNode> reals_;
   std::vector<NodeIndex> overlay_of_real_;    ///< real -> overlay (non-VS).
   std::vector<std::size_t> real_of_overlay_;  ///< overlay -> real (non-VS).
-  std::vector<Query> queries_;
+  std::vector<Query> queries_;            ///< indexed by recycled slot.
+  std::vector<std::uint32_t> free_slots_;  ///< settled slots, LIFO reuse.
+  std::uint64_t next_query_id_ = 0;
   /// Per-engine scratch for the allocation-free hop loop: route_step writes
   /// candidates into route_scratch_, Algorithm 4 works out of fwd_scratch_.
   /// Engines are per-seed single-threaded, so one of each suffices.

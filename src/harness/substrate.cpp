@@ -23,17 +23,18 @@ using dht::NodeIndex;
 template <typename OverlayT>
 LinkAuditCounts audit_links_ring(const OverlayT& o, NodeIndex i) {
   LinkAuditCounts a;
+  const auto& arena = o.arena();
   const auto& n = o.node(i);
   a.inlinks = n.inlinks.size();
   for (const auto& e : n.table.entries()) {
-    for (NodeIndex c : e.candidates()) {
+    for (const dht::NodeIndex32 c : e.candidates(arena.cands)) {
       if (!o.node(c).alive) continue;
-      if (!o.node(c).inlinks.contains(i)) ++a.missing_backward;
+      if (!o.node(c).inlinks.contains(arena.fingers, i)) ++a.missing_backward;
     }
   }
-  for (const auto& f : n.inlinks.fingers()) {
+  for (const auto& f : n.inlinks.fingers(arena.fingers)) {
     if (!o.node(f.node).alive) continue;
-    if (!o.node(f.node).table.links_to(i)) ++a.missing_forward;
+    if (!o.node(f.node).table.links_to(arena.cands, i)) ++a.missing_forward;
   }
   return a;
 }
@@ -422,22 +423,28 @@ class CanSubstrate final : public SubstrateOps {
 
   LinkAuditCounts audit_links(NodeIndex i) const override {
     LinkAuditCounts a;
+    const auto& arena = overlay_->arena();
     const auto& n = overlay_->node(i);
     a.inlinks = n.inlinks.size();
     // Zone adjacency must be mutual (the space stays partitioned); elastic
     // shortcuts mirror through backward fingers like the ring overlays.
-    for (NodeIndex c : n.table.entry(can::kAdjacencyEntry).candidates()) {
+    for (const dht::NodeIndex32 c :
+         n.table.entry(can::kAdjacencyEntry).candidates(arena.cands)) {
       if (!overlay_->node(c).alive) continue;
-      if (!overlay_->node(c).table.entry(can::kAdjacencyEntry).contains(i))
+      if (!overlay_->node(c).table.entry(can::kAdjacencyEntry).contains(
+              arena.cands, i))
         ++a.missing_backward;
     }
-    for (NodeIndex c : n.table.entry(can::kShortcutEntry).candidates()) {
+    for (const dht::NodeIndex32 c :
+         n.table.entry(can::kShortcutEntry).candidates(arena.cands)) {
       if (!overlay_->node(c).alive) continue;
-      if (!overlay_->node(c).inlinks.contains(i)) ++a.missing_backward;
+      if (!overlay_->node(c).inlinks.contains(arena.fingers, i))
+        ++a.missing_backward;
     }
-    for (const auto& f : n.inlinks.fingers()) {
+    for (const auto& f : n.inlinks.fingers(arena.fingers)) {
       if (!overlay_->node(f.node).alive) continue;
-      if (!overlay_->node(f.node).table.entry(can::kShortcutEntry).contains(i))
+      if (!overlay_->node(f.node).table.entry(can::kShortcutEntry).contains(
+              arena.cands, i))
         ++a.missing_forward;
     }
     return a;

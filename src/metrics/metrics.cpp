@@ -37,19 +37,20 @@ void DegreeTracker::ensure_size(std::size_t n) {
 void DegreeTracker::observe(std::size_t node, std::size_t indegree,
                             std::size_t outdegree) {
   ensure_size(node + 1);
-  max_in_[node] = std::max(max_in_[node], indegree);
-  max_out_[node] = std::max(max_out_[node], outdegree);
+  max_in_[node] = std::max(max_in_[node], static_cast<std::uint32_t>(indegree));
+  max_out_[node] =
+      std::max(max_out_[node], static_cast<std::uint32_t>(outdegree));
 }
 
 PctSummary DegreeTracker::indegree_summary() const {
   Percentiles p;
-  for (std::size_t v : max_in_) p.add(static_cast<double>(v));
+  for (std::uint32_t v : max_in_) p.add(static_cast<double>(v));
   return summarize(p);
 }
 
 PctSummary DegreeTracker::outdegree_summary() const {
   Percentiles p;
-  for (std::size_t v : max_out_) p.add(static_cast<double>(v));
+  for (std::uint32_t v : max_out_) p.add(static_cast<double>(v));
   return summarize(p);
 }
 

@@ -58,11 +58,13 @@ bool Overlay::eligible(dht::NodeIndex owner, std::size_t slot,
   const PastryNode& o = nodes_.at(owner);
   const PastryNode& c = nodes_.at(cand);
   if (slot == leaf_entry()) {
-    const auto succs = directory_.successors_of(o.id, opts_.leaf_half);
-    if (std::find(succs.begin(), succs.end(), c.id) != succs.end())
+    directory_.successors_of(o.id, opts_.leaf_half, elig_scratch_);
+    if (std::find(elig_scratch_.begin(), elig_scratch_.end(), c.id) !=
+        elig_scratch_.end())
       return true;
-    const auto preds = directory_.predecessors_of(o.id, opts_.leaf_half);
-    return std::find(preds.begin(), preds.end(), c.id) != preds.end();
+    directory_.predecessors_of(o.id, opts_.leaf_half, elig_scratch_);
+    return std::find(elig_scratch_.begin(), elig_scratch_.end(), c.id) !=
+           elig_scratch_.end();
   }
   const int row = static_cast<int>(slot) / base();
   const int col = static_cast<int>(slot) % base();
@@ -77,22 +79,24 @@ bool Overlay::link(dht::NodeIndex from, std::size_t slot, dht::NodeIndex to,
   if (!f.alive || !t.alive || from == to) return false;
   if (!eligible(from, slot, to)) return false;
   if (respect_budget && !t.budget.can_accept()) return false;
-  if (t.inlinks.contains(from)) return false;
+  if (t.inlinks.contains(arena_.fingers, from)) return false;
   if (slot != leaf_entry() &&
       f.table.entry(slot).size() >= opts_.entry_spread)
     return false;
-  if (!f.table.entry(slot).add(to)) return false;
+  if (!f.table.entry(slot).add(arena_.cands, to)) return false;
   if (!t.budget.can_accept()) t.budget.on_forced_inlink();
-  t.inlinks.add(core::BackwardFinger{
-      from, logical_distance(from, to),
-      phys_dist_ ? phys_dist_(from, to) : 0.0});
+  t.inlinks.add(arena_.fingers,
+                core::BackwardFinger{
+                    from, logical_distance(from, to),
+                    phys_dist_ ? phys_dist_(from, to) : 0.0});
   t.budget.on_inlink_added();
   return true;
 }
 
 bool Overlay::unlink(dht::NodeIndex from, dht::NodeIndex to) {
-  if (nodes_.at(from).table.remove_everywhere(to) == 0) return false;
-  nodes_.at(to).inlinks.remove(from);
+  if (nodes_.at(from).table.remove_everywhere(arena_.cands, to) == 0)
+    return false;
+  nodes_.at(to).inlinks.remove(arena_.fingers, from);
   nodes_.at(to).budget.on_inlink_removed();
   return true;
 }
@@ -112,9 +116,11 @@ void Overlay::build_table(dht::NodeIndex i) {
       const std::uint64_t lo =
           prefix | (static_cast<std::uint64_t>(v) << shift);
       const std::uint64_t hi = lo + (std::uint64_t{1} << shift);
-      std::vector<dht::NodeIndex> cands;
-      for (const std::uint64_t id : directory_.ids_in_range(lo, hi))
-        cands.push_back(*directory_.owner_of(id));
+      auto& cands = build_cands_;
+      cands.clear();
+      directory_.for_each_in_range(
+          lo, hi,
+          [&](std::uint64_t, dht::NodeIndex c) { cands.push_back(c); });
       if (cands.empty()) continue;
       if (opts_.proximity_neighbor_selection && phys_dist_) {
         std::stable_sort(cands.begin(), cands.end(),
@@ -133,57 +139,69 @@ void Overlay::build_table(dht::NodeIndex i) {
     }
   }
   // Leaf set: nearest ids on both sides.
-  for (const std::uint64_t id :
-       directory_.successors_of(n.id, opts_.leaf_half))
+  directory_.successors_of(n.id, opts_.leaf_half, ids_scratch_);
+  for (const std::uint64_t id : ids_scratch_)
     link(i, leaf_entry(), *directory_.owner_of(id), false);
-  for (const std::uint64_t id :
-       directory_.predecessors_of(n.id, opts_.leaf_half))
+  directory_.predecessors_of(n.id, opts_.leaf_half, ids_scratch_);
+  for (const std::uint64_t id : ids_scratch_)
     link(i, leaf_entry(), *directory_.owner_of(id), false);
   n.table_built = true;
 }
 
 std::vector<ExpansionTarget> Overlay::expansion_targets(
     dht::NodeIndex i, std::size_t max_targets) const {
+  std::vector<ExpansionTarget> out;
+  expansion_targets_into(i, max_targets, out);
+  return out;
+}
+
+void Overlay::expansion_targets_into(dht::NodeIndex i, std::size_t max_targets,
+                                     std::vector<ExpansionTarget>& out) const {
   // Hosts sharing exactly r digits with us can adopt us at row r (their
   // digit r differs from ours by construction). Walk r from deep prefixes
   // (nearby hosts) to shallow.
-  std::vector<ExpansionTarget> out;
+  out.clear();
   const PastryNode& me = nodes_.at(i);
+  // O(1) "already a backward finger" test: scanning the finger list per
+  // examined host made each adaptation sweep O(indegree^2) per node.
+  inlink_seen_.begin_epoch(nodes_.size());
+  for (const auto& f : me.inlinks.fingers(arena_.fingers))
+    inlink_seen_.mark(f.node);
   for (int r = opts_.rows - 1; r >= 0 && out.size() < max_targets; --r) {
     const int shift = id_bits() - r * opts_.bits_per_digit;
     const std::uint64_t prefix =
         shift >= id_bits() ? 0 : me.id & ~low_mask(shift);
     const std::uint64_t block = std::uint64_t{1} << shift;
-    for (const std::uint64_t id :
-         directory_.ids_in_range(prefix, prefix + block)) {
-      if (out.size() >= max_targets) break;
-      const dht::NodeIndex host = *directory_.owner_of(id);
-      if (host == i || me.inlinks.contains(host)) continue;
-      if (shared_digits(me.id, id) != r) continue;  // must diverge at row r
-      out.emplace_back(host, prefix_slot(r, digit_of(me.id, r)));
-    }
+    directory_.for_each_in_range_until(
+        prefix, prefix + block, [&](std::uint64_t id, dht::NodeIndex host) {
+          if (out.size() >= max_targets) return false;
+          if (host == i || inlink_seen_.test(host)) return true;
+          if (shared_digits(me.id, id) != r) return true;  // diverge at r
+          out.emplace_back(host, prefix_slot(r, digit_of(me.id, r)));
+          return true;
+        });
   }
   // Ring neighbors can adopt us into their leaf sets.
-  for (const std::uint64_t id :
-       directory_.successors_of(me.id, opts_.leaf_half)) {
+  directory_.successors_of(me.id, opts_.leaf_half, ids_scratch_);
+  for (const std::uint64_t id : ids_scratch_) {
     if (out.size() >= max_targets) break;
     const dht::NodeIndex host = *directory_.owner_of(id);
-    if (!me.inlinks.contains(host)) out.emplace_back(host, leaf_entry());
+    if (!inlink_seen_.test(host)) out.emplace_back(host, leaf_entry());
   }
-  for (const std::uint64_t id :
-       directory_.predecessors_of(me.id, opts_.leaf_half)) {
+  directory_.predecessors_of(me.id, opts_.leaf_half, ids_scratch_);
+  for (const std::uint64_t id : ids_scratch_) {
     if (out.size() >= max_targets) break;
     const dht::NodeIndex host = *directory_.owner_of(id);
-    if (!me.inlinks.contains(host)) out.emplace_back(host, leaf_entry());
+    if (!inlink_seen_.test(host)) out.emplace_back(host, leaf_entry());
   }
-  return out;
 }
 
 int Overlay::expand_indegree(dht::NodeIndex i, int want,
                              std::size_t max_probes) {
   if (want <= 0) return 0;
   int gained = 0;
-  for (const auto& [host, slot] : expansion_targets(i, max_probes)) {
+  expansion_targets_into(i, max_probes, targets_scratch_);
+  for (const auto& [host, slot] : targets_scratch_) {
     if (gained >= want) break;
     if (!nodes_[i].budget.can_accept()) break;
     if (link(host, slot, i, /*respect_budget=*/true)) {
@@ -199,10 +217,11 @@ int Overlay::expand_indegree(dht::NodeIndex i, int want,
 
 int Overlay::shed_indegree(dht::NodeIndex i, int count) {
   if (count <= 0) return 0;
-  const auto victims =
-      nodes_.at(i).inlinks.pick_evictions(static_cast<std::size_t>(count));
+  nodes_.at(i).inlinks.pick_evictions(arena_.fingers,
+                                      static_cast<std::size_t>(count),
+                                      evict_scratch_, evict_out_);
   int shed = 0;
-  for (dht::NodeIndex v : victims)
+  for (dht::NodeIndex v : evict_out_)
     if (unlink(v, i)) {
       ++shed;
       if (trace_ && trace_->wants(trace::Category::kLink))
@@ -217,15 +236,17 @@ void Overlay::leave_graceful(dht::NodeIndex i) {
   PastryNode& n = nodes_.at(i);
   if (!n.alive) return;
   for (auto& entry : n.table.entries()) {
-    for (dht::NodeIndex c : std::vector<dht::NodeIndex>(entry.candidates())) {
-      nodes_[c].inlinks.remove(i);
+    // The per-candidate bookkeeping touches only the finger pool, so the
+    // candidate span stays valid; the whole block is released afterwards.
+    for (const dht::NodeIndex32 c : entry.candidates(arena_.cands)) {
+      nodes_[c].inlinks.remove(arena_.fingers, i);
       nodes_[c].budget.on_inlink_removed();
-      entry.remove(c);
     }
+    entry.release(arena_.cands);
   }
-  for (const auto& f : std::vector<core::BackwardFinger>(n.inlinks.fingers()))
-    nodes_[f.node].table.remove_everywhere(i);
-  n.inlinks.clear();
+  for (const auto& f : n.inlinks.fingers(arena_.fingers))
+    nodes_[f.node].table.remove_everywhere(arena_.cands, i);
+  n.inlinks.clear(arena_.fingers);
   directory_.erase(n.id);
   n.alive = false;
   --alive_;
@@ -241,22 +262,22 @@ void Overlay::fail(dht::NodeIndex i) {
 
 void Overlay::purge_dead(dht::NodeIndex at, dht::NodeIndex dead) {
   PastryNode& n = nodes_.at(at);
-  n.table.remove_everywhere(dead);
-  if (n.inlinks.remove(dead)) n.budget.on_inlink_removed();
+  n.table.remove_everywhere(arena_.cands, dead);
+  if (n.inlinks.remove(arena_.fingers, dead)) n.budget.on_inlink_removed();
 }
 
 void Overlay::repair_entry(dht::NodeIndex i, std::size_t slot) {
   PastryNode& n = nodes_.at(i);
   auto& entry = n.table.entry(slot);
-  for (dht::NodeIndex c : entry.candidates())
+  for (const dht::NodeIndex32 c : entry.candidates(arena_.cands))
     if (nodes_[c].alive) return;
   if (directory_.size() < 2) return;
   if (slot == leaf_entry()) {
-    for (const std::uint64_t id :
-         directory_.successors_of(n.id, opts_.leaf_half))
+    directory_.successors_of(n.id, opts_.leaf_half, ids_scratch_);
+    for (const std::uint64_t id : ids_scratch_)
       link(i, slot, *directory_.owner_of(id), false);
-    for (const std::uint64_t id :
-         directory_.predecessors_of(n.id, opts_.leaf_half))
+    directory_.predecessors_of(n.id, opts_.leaf_half, ids_scratch_);
+    for (const std::uint64_t id : ids_scratch_)
       link(i, slot, *directory_.owner_of(id), false);
     return;
   }
@@ -267,16 +288,19 @@ void Overlay::repair_entry(dht::NodeIndex i, std::size_t slot) {
   const std::uint64_t prefix =
       n.id & ~low_mask(id_bits() - r * opts_.bits_per_digit);
   const std::uint64_t lo = prefix | (static_cast<std::uint64_t>(v) << shift);
-  for (const std::uint64_t id :
-       directory_.ids_in_range(lo, lo + (std::uint64_t{1} << shift))) {
-    if (link(i, slot, *directory_.owner_of(id),
-             opts_.enforce_indegree_bounds))
-      return;
-  }
-  for (const std::uint64_t id :
-       directory_.ids_in_range(lo, lo + (std::uint64_t{1} << shift))) {
-    if (link(i, slot, *directory_.owner_of(id), false)) return;
-  }
+  bool done = false;
+  directory_.for_each_in_range_until(
+      lo, lo + (std::uint64_t{1} << shift),
+      [&](std::uint64_t, dht::NodeIndex c) {
+        done = link(i, slot, c, opts_.enforce_indegree_bounds);
+        return !done;
+      });
+  if (done) return;
+  directory_.for_each_in_range_until(
+      lo, lo + (std::uint64_t{1} << shift),
+      [&](std::uint64_t, dht::NodeIndex c) {
+        return !link(i, slot, c, false);
+      });
 }
 
 std::uint64_t Overlay::logical_distance_to_key(dht::NodeIndex a,
@@ -333,7 +357,7 @@ dht::RouteStepInfo Overlay::route_step(dht::NodeIndex cur, std::uint64_t key,
     const auto& entry = cn.table.entry(slot);
     if (!entry.empty()) {
       step.entry_index = slot;
-      const auto& src = entry.candidates();
+      const auto src = entry.candidates(arena_.cands);
       cands.assign(src.begin(), src.end());
       // All candidates share >= shared+1 digits with the target: strict
       // prefix progress. Prefer numerically closer ones.
@@ -356,7 +380,7 @@ dht::RouteStepInfo Overlay::route_step(dht::NodeIndex cur, std::uint64_t key,
   std::size_t best_slot = cn.table.num_entries();
   std::uint64_t best_dist = my_dist;
   for (std::size_t slot = 0; slot < cn.table.num_entries(); ++slot) {
-    for (dht::NodeIndex c : cn.table.entry(slot).candidates()) {
+    for (const dht::NodeIndex32 c : cn.table.entry(slot).candidates(arena_.cands)) {
       if (shared_digits(nodes_[c].id, target) < shared) continue;
       const std::uint64_t d =
           dht::ring_distance(nodes_[c].id, target, ring_size());
@@ -369,7 +393,8 @@ dht::RouteStepInfo Overlay::route_step(dht::NodeIndex cur, std::uint64_t key,
   if (best_slot < cn.table.num_entries()) {
     auto& ranked = scratch.ranked;
     ranked.clear();
-    for (dht::NodeIndex c : cn.table.entry(best_slot).candidates()) {
+    for (const dht::NodeIndex32 c :
+         cn.table.entry(best_slot).candidates(arena_.cands)) {
       if (shared_digits(nodes_[c].id, target) < shared) continue;
       const std::uint64_t d =
           dht::ring_distance(nodes_[c].id, target, ring_size());
@@ -394,9 +419,9 @@ void Overlay::check_invariants() const {
     const PastryNode& n = nodes_[i];
     if (!n.alive) continue;
     for (std::size_t slot = 0; slot < n.table.num_entries(); ++slot) {
-      for (dht::NodeIndex c : n.table.entry(slot).candidates()) {
+      for (const dht::NodeIndex32 c : n.table.entry(slot).candidates(arena_.cands)) {
         if (!nodes_[c].alive) continue;
-        assert(nodes_[c].inlinks.contains(i));
+        assert(nodes_[c].inlinks.contains(arena_.fingers, i));
       }
     }
   }

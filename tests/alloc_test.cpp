@@ -255,5 +255,98 @@ INSTANTIATE_TEST_SUITE_P(AllSubstrates, AllocFreeHopLoop,
                            return std::string(to_string(info.param));
                          });
 
+/// The other steady-state path: the periodic adaptation sweep. Shedding
+/// returns candidate/finger blocks to the slabs and growing reacquires
+/// them, so once every size class and scratch vector has seen its peak the
+/// shed/grow cycle must be heap-quiet too.
+struct AdaptDriver {
+  std::unique_ptr<SubstrateOps> sub;
+  Rng rng;
+  std::size_t shed_total = 0;
+  std::size_t grown_total = 0;
+
+  explicit AdaptDriver(SubstrateKind kind, std::uint64_t seed) : rng(seed) {
+    SimParams params;
+    params.num_nodes = 192;
+    sub = make_substrate(kind, params, /*capacity_biased=*/false,
+                         /*enforce_bounds=*/true,
+                         /*ids_needed=*/2 * params.num_nodes,
+                         [](NodeIndex, NodeIndex) { return 1.0; });
+    for (std::size_t i = 0; i < params.num_nodes && !sub->id_space_full(); ++i)
+      sub->add_node(rng, 1.0, /*max_indegree=*/8, 0.8);
+    for (NodeIndex i = 0; i < sub->num_slots(); ++i) sub->build_table(i, rng);
+  }
+
+  /// One engine-shaped sweep: every node sheds a couple of inlinks (bound
+  /// follows, as in Algorithm 3), then raises its bound and regrows.
+  void sweep() {
+    for (NodeIndex v = 0; v < sub->num_slots(); ++v) {
+      if (!sub->alive(v)) continue;
+      auto& budget = sub->budget(v);
+      const int before = budget.max_indegree();
+      budget.lower_bound_by(2);
+      const int shed = sub->shed_indegree(v, 2);
+      budget.raise_bound_by(std::max(1, before - shed) -
+                            budget.max_indegree());
+      shed_total += static_cast<std::size_t>(shed);
+      budget.raise_bound_by(2);
+      const int gained = sub->expand_indegree(v, 2, /*max_probes=*/24);
+      if (gained < 2) budget.lower_bound_by(2 - gained);
+      grown_total += static_cast<std::size_t>(gained);
+    }
+  }
+};
+
+class AllocFreeAdaptation : public ::testing::TestWithParam<SubstrateKind> {};
+
+TEST_P(AllocFreeAdaptation, SteadyStateSweepsAllocateNothing) {
+  const int threads = thread_count();
+  std::vector<std::unique_ptr<AdaptDriver>> drivers;
+  for (int t = 0; t < threads; ++t) {
+    drivers.push_back(std::make_unique<AdaptDriver>(
+        GetParam(), 300 + static_cast<std::uint64_t>(t)));
+    // Generous warm-up: lets slab size classes, eviction scratch, and the
+    // expansion enumerators reach their steady-state footprints.
+    for (int s = 0; s < 50; ++s) drivers.back()->sweep();
+  }
+
+  std::atomic<bool> start{false};
+  std::atomic<int> done{0};
+  std::vector<std::thread> pool;
+  for (int t = 1; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      while (!start.load(std::memory_order_acquire)) {}
+      for (int s = 0; s < 10; ++s)
+        drivers[static_cast<std::size_t>(t)]->sweep();
+      done.fetch_add(1, std::memory_order_release);
+    });
+  }
+
+  g_alloc_count.store(0);
+  g_count_allocs.store(true);
+  start.store(true, std::memory_order_release);
+  for (int s = 0; s < 10; ++s) drivers[0]->sweep();
+  while (done.load(std::memory_order_acquire) != threads - 1) {}
+  g_count_allocs.store(false);
+  for (auto& th : pool) th.join();
+
+  EXPECT_EQ(g_alloc_count.load(), 0u)
+      << "heap allocations leaked into the adaptation sweep on "
+      << to_string(GetParam()) << " with " << threads << " thread(s)";
+  for (const auto& d : drivers) {
+    EXPECT_GT(d->shed_total, 0u);
+    EXPECT_GT(d->grown_total, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSubstrates, AllocFreeAdaptation,
+                         ::testing::Values(SubstrateKind::kCycloid,
+                                           SubstrateKind::kChord,
+                                           SubstrateKind::kPastry,
+                                           SubstrateKind::kCan),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
 }  // namespace
 }  // namespace ert::harness

@@ -6,7 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "harness/experiment.h"
 
@@ -64,6 +67,86 @@ TEST(InvariantAuditorUnit, RecordCapKeepsCounting) {
   for (int i = 0; i < 10; ++i) a.report("theorem3.2", i, 2.0, 1.0);
   EXPECT_EQ(a.records().size(), 4u);
   EXPECT_EQ(a.total_violations(), 10u);
+}
+
+// --- sampled auditing (scale mode) -------------------------------------------
+
+TEST(InvariantAuditorUnit, SamplePopulationIsSortedDistinctAndSeeded) {
+  AuditorOptions opts;
+  opts.enabled = true;
+  opts.sample = 8;
+  InvariantAuditor a(opts, /*seed=*/7);
+  const auto* s = a.sample_population(100);
+  ASSERT_NE(s, nullptr);
+  const std::vector<std::uint32_t> first = *s;
+  EXPECT_EQ(first.size(), 8u);
+  EXPECT_TRUE(std::is_sorted(first.begin(), first.end()));
+  EXPECT_EQ(std::adjacent_find(first.begin(), first.end()), first.end());
+  for (const std::uint32_t v : first) EXPECT_LT(v, 100u);
+  // Same seed reproduces the same draw sequence.
+  InvariantAuditor b(opts, /*seed=*/7);
+  EXPECT_EQ(*b.sample_population(100), first);
+  // A fresh call advances the sequence rather than repeating it forever.
+  const auto* s2 = a.sample_population(100);
+  ASSERT_NE(s2, nullptr);
+  EXPECT_EQ(*s2, *b.sample_population(100));
+}
+
+TEST(InvariantAuditorUnit, SamplingOffOrSmallPopulationAuditsEverything) {
+  AuditorOptions all;
+  all.enabled = true;
+  InvariantAuditor a(all);
+  EXPECT_EQ(a.sample_population(100), nullptr);  // sample == 0: audit all
+  AuditorOptions some;
+  some.enabled = true;
+  some.sample = 50;
+  InvariantAuditor b(some, 1);
+  EXPECT_EQ(b.sample_population(50), nullptr);  // k >= population: audit all
+  EXPECT_NE(b.sample_population(51), nullptr);
+}
+
+TEST(SampledAudit, NeverPerturbsResultsAndStaysClean) {
+  ExperimentOptions sampled;
+  sampled.audit.enabled = true;
+  sampled.audit.sample = 16;
+  const auto s = run_experiment(small_params(), Protocol::kErtAF,
+                                SubstrateKind::kCycloid, sampled);
+  const auto plain =
+      run_experiment(small_params(), Protocol::kErtAF, SubstrateKind::kCycloid);
+  EXPECT_EQ(s.lookup_time.mean, plain.lookup_time.mean);
+  EXPECT_EQ(s.p99_share, plain.p99_share);
+  EXPECT_EQ(s.heavy_encounters, plain.heavy_encounters);
+  EXPECT_EQ(s.completed_lookups, plain.completed_lookups);
+  EXPECT_EQ(s.sim_duration, plain.sim_duration);
+  EXPECT_GT(s.audit_sweeps, 10u);
+  EXPECT_EQ(s.audit_violations, 0u) << violations_text(s);
+}
+
+TEST(SampledAudit, DeterministicAcrossRunsAndThreadCounts) {
+  // The sampler draws from its own Rng (never the simulation's), so a
+  // sampled audit must reproduce exactly: same sweeps, same violations,
+  // same metrics, whatever the worker thread count.
+  SimParams p = small_params();
+  p.churn_interarrival = 0.5;  // repair paths under sampling
+  ExperimentOptions sampled;
+  sampled.audit.enabled = true;
+  sampled.audit.sample = 8;
+  const auto one = run_averaged(p, Protocol::kErtAF, 3,
+                                SubstrateKind::kCycloid, /*threads=*/1,
+                                sampled);
+  const auto four = run_averaged(p, Protocol::kErtAF, 3,
+                                 SubstrateKind::kCycloid, /*threads=*/4,
+                                 sampled);
+  EXPECT_EQ(one.audit_sweeps, four.audit_sweeps);
+  EXPECT_EQ(one.audit_violations, four.audit_violations);
+  EXPECT_EQ(one.lookup_time.mean, four.lookup_time.mean);
+  EXPECT_EQ(one.completed_lookups, four.completed_lookups);
+  EXPECT_EQ(violations_text(one), violations_text(four));
+  const auto again = run_averaged(p, Protocol::kErtAF, 3,
+                                  SubstrateKind::kCycloid, /*threads=*/1,
+                                  sampled);
+  EXPECT_EQ(one.audit_sweeps, again.audit_sweeps);
+  EXPECT_EQ(one.audit_violations, again.audit_violations);
 }
 
 // --- full-matrix fault-free sweeps ------------------------------------------

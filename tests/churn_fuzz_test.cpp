@@ -65,9 +65,10 @@ void fuzz(Overlay& o, Rng& rng, JoinFn join, RouteFn route, int ops) {
         const NodeIndex v = pick_alive(o, rng);
         if (v == dht::kNoNode) break;
         for (const auto& e : o.node(v).table.entries()) {
-          for (NodeIndex c : std::vector<NodeIndex>(e.candidates())) {
+          const auto span = e.candidates(o.arena().cands);
+          const std::vector<NodeIndex> cands(span.begin(), span.end());
+          for (NodeIndex c : cands)
             if (!o.node(c).alive) o.purge_dead(v, c);
-          }
         }
         for (std::size_t slot = 0; slot < o.node(v).table.num_entries();
              ++slot)

@@ -60,8 +60,8 @@ TEST(CycloidOverlay, LinkSymmetryInvariant) {
   for (NodeIndex i = 0; i < o.num_slots(); ++i) {
     const auto& n = o.node(i);
     for (const auto& e : n.table.entries()) {
-      for (NodeIndex c : e.candidates()) {
-        EXPECT_TRUE(o.node(c).inlinks.contains(i));
+      for (const dht::NodeIndex32 c : e.candidates(o.arena().cands)) {
+        EXPECT_TRUE(o.node(c).inlinks.contains(o.arena().fingers, i));
       }
     }
     EXPECT_EQ(static_cast<std::size_t>(n.budget.indegree()),
@@ -141,8 +141,8 @@ TEST(CycloidOverlay, ShedEvictsAndFixesBudget) {
       EXPECT_GE(o.node(i).budget.indegree(), before - 2);
       // Evicted pointers no longer link to i.
       for (NodeIndex j = 0; j < o.num_slots(); ++j) {
-        if (o.node(j).table.links_to(i))
-          EXPECT_TRUE(o.node(i).inlinks.contains(j));
+        if (o.node(j).table.links_to(o.arena().cands, i))
+          EXPECT_TRUE(o.node(i).inlinks.contains(o.arena().fingers, j));
       }
       o.check_invariants();
       return;
@@ -172,7 +172,8 @@ TEST(CycloidOverlay, ShedRepairsEvictedHostsEntries) {
   for (NodeIndex i = 0; i < o.num_slots(); ++i) {
     if (o.node(i).inlinks.size() < 4) continue;
     std::vector<NodeIndex> hosts;
-    for (const auto& f : o.node(i).inlinks.fingers()) hosts.push_back(f.node);
+    for (const auto& f : o.node(i).inlinks.fingers(o.arena().fingers))
+      hosts.push_back(f.node);
     // Record which entries were populated before the shed.
     std::vector<std::vector<bool>> had(hosts.size(),
                                        std::vector<bool>(kNumEntries));
@@ -202,8 +203,8 @@ TEST(CycloidOverlay, GracefulLeaveCleansAllLinks) {
   EXPECT_EQ(o.alive_count(), o.num_slots() - 1);
   for (NodeIndex j = 0; j < o.num_slots(); ++j) {
     if (j == victim) continue;
-    EXPECT_FALSE(o.node(j).table.links_to(victim));
-    EXPECT_FALSE(o.node(j).inlinks.contains(victim));
+    EXPECT_FALSE(o.node(j).table.links_to(o.arena().cands, victim));
+    EXPECT_FALSE(o.node(j).inlinks.contains(o.arena().fingers, victim));
   }
   o.check_invariants();
 }
@@ -212,13 +213,14 @@ TEST(CycloidOverlay, FailLeavesStaleLinks) {
   Overlay o = full_overlay(6);
   const NodeIndex victim = 77;
   ASSERT_GT(o.node(victim).inlinks.size(), 0u);
-  const NodeIndex pointer = o.node(victim).inlinks.fingers().front().node;
+  const NodeIndex pointer =
+      o.node(victim).inlinks.fingers(o.arena().fingers).front().node;
   o.fail(victim);
   EXPECT_FALSE(o.node(victim).alive);
   // The pointer still has the stale link (it will discover via timeout).
-  EXPECT_TRUE(o.node(pointer).table.links_to(victim));
+  EXPECT_TRUE(o.node(pointer).table.links_to(o.arena().cands, victim));
   o.purge_dead(pointer, victim);
-  EXPECT_FALSE(o.node(pointer).table.links_to(victim));
+  EXPECT_FALSE(o.node(pointer).table.links_to(o.arena().cands, victim));
 }
 
 TEST(CycloidOverlay, RepairEntryRefills) {
@@ -227,7 +229,9 @@ TEST(CycloidOverlay, RepairEntryRefills) {
   // Fail every cubical candidate of some node, then repair.
   const NodeIndex i = 200;
   ASSERT_GE(o.node(i).id.k, 1);
-  auto cands = o.node(i).table.entry(kCubicalEntry).candidates();
+  const auto span = o.node(i).table.entry(kCubicalEntry).candidates(
+      o.arena().cands);
+  const std::vector<NodeIndex> cands(span.begin(), span.end());
   ASSERT_FALSE(cands.empty());
   for (NodeIndex c : cands) {
     o.fail(c);
@@ -236,7 +240,8 @@ TEST(CycloidOverlay, RepairEntryRefills) {
   EXPECT_TRUE(o.node(i).table.entry(kCubicalEntry).empty());
   o.repair_entry(i, kCubicalEntry);
   EXPECT_FALSE(o.node(i).table.entry(kCubicalEntry).empty());
-  for (NodeIndex c : o.node(i).table.entry(kCubicalEntry).candidates())
+  for (const dht::NodeIndex32 c :
+       o.node(i).table.entry(kCubicalEntry).candidates(o.arena().cands))
     EXPECT_TRUE(o.node(c).alive);
 }
 

@@ -316,6 +316,39 @@ TEST(Experiment, StructuredTracerOnOffBitIdentical) {
   EXPECT_GT(b.trace_emitted, 0u);
 }
 
+TEST(Experiment, QueueCapShedsOverloadAndSettlesEverything) {
+  // A tight ingress cap under a burst: arrivals beyond the cap are shed
+  // as overload drops, every issued lookup still settles, and the drop
+  // split stays clean (no fault-layer losses on a fault-free run).
+  SimParams p = small_params();
+  p.lookup_rate = 4000.0;  // the whole workload injects in ~0.1 s
+  p.queue_cap = 2;
+  const auto r = run_experiment(p, Protocol::kErtAF);
+  EXPECT_EQ(r.completed_lookups + r.dropped_lookups, 400u);
+  EXPECT_GT(r.dropped_lookups, 0u);
+  EXPECT_EQ(r.dropped_overload, r.dropped_lookups);
+  EXPECT_EQ(r.dropped_fault, 0u);
+}
+
+TEST(Experiment, QueueCapLooseEnoughIsBitIdenticalToUnbounded) {
+  // The cap check consumes no randomness and fires only when a queue
+  // actually reaches the bound, so a cap no queue ever hits must leave
+  // every result scalar untouched — the guarantee that lets every
+  // calibrated (uncapped) figure config stay bit-identical.
+  SimParams p = small_params();
+  p.churn_interarrival = 0.5;
+  const auto unbounded = run_experiment(p, Protocol::kErtAF);
+  p.queue_cap = std::size_t{1} << 30;
+  const auto capped = run_experiment(p, Protocol::kErtAF);
+  EXPECT_EQ(unbounded.completed_lookups, capped.completed_lookups);
+  EXPECT_EQ(unbounded.dropped_lookups, capped.dropped_lookups);
+  EXPECT_EQ(unbounded.heavy_encounters, capped.heavy_encounters);
+  EXPECT_EQ(unbounded.lookup_time.mean, capped.lookup_time.mean);
+  EXPECT_EQ(unbounded.p99_max_congestion, capped.p99_max_congestion);
+  EXPECT_EQ(unbounded.p99_share, capped.p99_share);
+  EXPECT_EQ(unbounded.sim_duration, capped.sim_duration);
+}
+
 TEST(Experiment, AdaptationGrowsIndegreesOverTime) {
   SimParams p = small_params();
   p.trace_timeline = true;

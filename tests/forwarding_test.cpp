@@ -68,8 +68,9 @@ TEST(ForwardBWay, PollSizeCapsProbes) {
 class TopoForwardTest : public ::testing::Test {
  protected:
   TopoForwardTest() : entry_(dht::EntryKind::kCubical) {
-    for (NodeIndex n : {1, 2, 3}) entry_.add(n);
+    for (NodeIndex n : {1, 2, 3}) entry_.add(pool_, n);
   }
+  dht::CandPool pool_;
   dht::RoutingEntry entry_;
   TopoForwardOptions opts_;
   Rng rng_{7};

@@ -47,24 +47,28 @@ TEST(IndegreeBudget, RemoveBelowZeroClamped) {
 }
 
 TEST(BackwardFingerList, AddRemoveContains) {
+  FingerPool pool;
   BackwardFingerList l;
-  EXPECT_TRUE(l.add({1, 100, 0.5}));
-  EXPECT_FALSE(l.add({1, 100, 0.5}));  // duplicate node
-  EXPECT_TRUE(l.add({2, 50, 0.1}));
+  EXPECT_TRUE(l.add(pool, {1, 100, 0.5}));
+  EXPECT_FALSE(l.add(pool, {1, 100, 0.5}));  // duplicate node
+  EXPECT_TRUE(l.add(pool, {2, 50, 0.1}));
   EXPECT_EQ(l.size(), 2u);
-  EXPECT_TRUE(l.contains(1));
-  EXPECT_TRUE(l.remove(1));
-  EXPECT_FALSE(l.remove(1));
-  EXPECT_FALSE(l.contains(1));
+  EXPECT_TRUE(l.contains(pool, 1));
+  EXPECT_TRUE(l.remove(pool, 1));
+  EXPECT_FALSE(l.remove(pool, 1));
+  EXPECT_FALSE(l.contains(pool, 1));
 }
 
 TEST(BackwardFingerList, EvictionOrderLogicalThenPhysical) {
+  FingerPool pool;
   BackwardFingerList l;
-  l.add({1, 100, 0.1});
-  l.add({2, 300, 0.2});
-  l.add({3, 300, 0.9});  // same logical as 2, farther physically
-  l.add({4, 50, 0.5});
-  const auto ev = l.pick_evictions(3);
+  l.add(pool, {1, 100, 0.1});
+  l.add(pool, {2, 300, 0.2});
+  l.add(pool, {3, 300, 0.9});  // same logical as 2, farther physically
+  l.add(pool, {4, 50, 0.5});
+  std::vector<BackwardFinger> scratch;
+  std::vector<dht::NodeIndex> ev;
+  l.pick_evictions(pool, 3, scratch, ev);
   ASSERT_EQ(ev.size(), 3u);
   EXPECT_EQ(ev[0], 3u);  // longest logical, longest physical
   EXPECT_EQ(ev[1], 2u);
@@ -72,16 +76,22 @@ TEST(BackwardFingerList, EvictionOrderLogicalThenPhysical) {
 }
 
 TEST(BackwardFingerList, EvictionsClampToSize) {
+  FingerPool pool;
   BackwardFingerList l;
-  l.add({1, 10, 0.0});
-  EXPECT_EQ(l.pick_evictions(5).size(), 1u);
-  EXPECT_EQ(l.pick_evictions(0).size(), 0u);
+  l.add(pool, {1, 10, 0.0});
+  std::vector<BackwardFinger> scratch;
+  std::vector<dht::NodeIndex> ev;
+  l.pick_evictions(pool, 5, scratch, ev);
+  EXPECT_EQ(ev.size(), 1u);
+  l.pick_evictions(pool, 0, scratch, ev);
+  EXPECT_EQ(ev.size(), 0u);
 }
 
 TEST(BackwardFingerList, Clear) {
+  FingerPool pool;
   BackwardFingerList l;
-  l.add({1, 1, 1});
-  l.clear();
+  l.add(pool, {1, 1, 1});
+  l.clear(pool);
   EXPECT_TRUE(l.empty());
 }
 

@@ -71,7 +71,8 @@ TEST(Pastry, EntryEligibility) {
     for (int r = 0; r < o.rows(); ++r) {
       for (int v = 0; v < o.base(); ++v) {
         const auto slot = o.prefix_slot(r, v);
-        for (NodeIndex c : o.node(i).table.entry(slot).candidates()) {
+        for (const dht::NodeIndex32 c :
+             o.node(i).table.entry(slot).candidates(o.arena().cands)) {
           EXPECT_GE(o.shared_digits(o.node(i).id, o.node(c).id), r);
           EXPECT_EQ(o.digit_of(o.node(c).id, r), v);
         }
@@ -183,7 +184,9 @@ TEST(Pastry, ProximityNeighborSelectionPrefersClose) {
   for (NodeIndex i = 0; i < o.num_slots(); ++i) {
     for (int v = 0; v < o.base(); ++v) {
       if (v == o.digit_of(o.node(i).id, 0)) continue;
-      for (NodeIndex c : o.node(i).table.entry(o.prefix_slot(0, v)).candidates()) {
+      for (const dht::NodeIndex32 c :
+           o.node(i).table.entry(o.prefix_slot(0, v))
+               .candidates(o.arena().cands)) {
         sum += std::abs(coord[i] - coord[c]);
         ++cnt;
       }

@@ -69,10 +69,11 @@ TEST_P(PollSweep, AllLightCandidatesGetTraffic) {
   // share (the randomized policy must not starve anyone).
   const int b = GetParam();
   Rng rng(100 + b);
+  dht::CandPool pool;
   dht::RoutingEntry entry(dht::EntryKind::kCyclic);
   std::vector<dht::NodeIndex> cands;
   for (dht::NodeIndex n = 0; n < 6; ++n) {
-    entry.add(n);
+    entry.add(pool, n);
     cands.push_back(n);
   }
   core::TopoForwardOptions opts;
@@ -94,10 +95,11 @@ TEST_P(PollSweep, AllLightCandidatesGetTraffic) {
 TEST_P(PollSweep, HeavyCandidatesAvoidedWhenLightExists) {
   const int b = GetParam();
   Rng rng(200 + b);
+  dht::CandPool pool;
   dht::RoutingEntry entry(dht::EntryKind::kCyclic);
   std::vector<dht::NodeIndex> cands;
   for (dht::NodeIndex n = 0; n < 6; ++n) {
-    entry.add(n);
+    entry.add(pool, n);
     cands.push_back(n);
   }
   core::TopoForwardOptions opts;

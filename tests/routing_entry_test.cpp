@@ -6,22 +6,24 @@ namespace ert::dht {
 namespace {
 
 TEST(RoutingEntry, AddRemoveContains) {
+  CandPool pool;
   RoutingEntry e(EntryKind::kCubical);
   EXPECT_TRUE(e.empty());
-  EXPECT_TRUE(e.add(3));
-  EXPECT_FALSE(e.add(3));  // duplicate
-  EXPECT_TRUE(e.add(7));
+  EXPECT_TRUE(e.add(pool, 3));
+  EXPECT_FALSE(e.add(pool, 3));  // duplicate
+  EXPECT_TRUE(e.add(pool, 7));
   EXPECT_EQ(e.size(), 2u);
-  EXPECT_TRUE(e.contains(3));
-  EXPECT_TRUE(e.remove(3));
-  EXPECT_FALSE(e.remove(3));
-  EXPECT_FALSE(e.contains(3));
+  EXPECT_TRUE(e.contains(pool, 3));
+  EXPECT_TRUE(e.remove(pool, 3));
+  EXPECT_FALSE(e.remove(pool, 3));
+  EXPECT_FALSE(e.contains(pool, 3));
 }
 
 TEST(RoutingEntry, MemorySlot) {
+  CandPool pool;
   RoutingEntry e(EntryKind::kCyclic);
   EXPECT_EQ(e.memory(), kNoNode);
-  e.add(5);
+  e.add(pool, 5);
   e.remember(5);
   EXPECT_EQ(e.memory(), 5u);
   e.forget();
@@ -29,42 +31,45 @@ TEST(RoutingEntry, MemorySlot) {
 }
 
 TEST(RoutingEntry, RemovingMemberClearsMemory) {
+  CandPool pool;
   RoutingEntry e(EntryKind::kFinger);
-  e.add(5);
-  e.add(9);
+  e.add(pool, 5);
+  e.add(pool, 9);
   e.remember(5);
-  e.remove(5);
+  e.remove(pool, 5);
   EXPECT_EQ(e.memory(), kNoNode);
   // Removing a non-memory member keeps the memory.
   e.remember(9);
-  e.add(11);
-  e.remove(11);
+  e.add(pool, 11);
+  e.remove(pool, 11);
   EXPECT_EQ(e.memory(), 9u);
 }
 
 TEST(ElasticTable, EntriesAndOutdegree) {
+  CandPool pool;
   ElasticTable t;
   const std::size_t a = t.add_entry(EntryKind::kCubical);
   const std::size_t b = t.add_entry(EntryKind::kCyclic);
   EXPECT_EQ(t.num_entries(), 2u);
-  t.entry(a).add(1);
-  t.entry(a).add(2);
-  t.entry(b).add(3);
+  t.entry(a).add(pool, 1);
+  t.entry(a).add(pool, 2);
+  t.entry(b).add(pool, 3);
   EXPECT_EQ(t.outdegree(), 3u);
 }
 
 TEST(ElasticTable, RemoveEverywhere) {
+  CandPool pool;
   ElasticTable t;
   t.add_entry(EntryKind::kCubical);
   t.add_entry(EntryKind::kCyclic);
-  t.entry(0).add(9);
-  t.entry(1).add(9);
-  t.entry(1).add(4);
-  EXPECT_TRUE(t.links_to(9));
-  EXPECT_EQ(t.remove_everywhere(9), 2u);
-  EXPECT_FALSE(t.links_to(9));
+  t.entry(0).add(pool, 9);
+  t.entry(1).add(pool, 9);
+  t.entry(1).add(pool, 4);
+  EXPECT_TRUE(t.links_to(pool, 9));
+  EXPECT_EQ(t.remove_everywhere(pool, 9), 2u);
+  EXPECT_FALSE(t.links_to(pool, 9));
   EXPECT_EQ(t.outdegree(), 1u);
-  EXPECT_EQ(t.remove_everywhere(9), 0u);
+  EXPECT_EQ(t.remove_everywhere(pool, 9), 0u);
 }
 
 TEST(ElasticTable, KindPreserved) {

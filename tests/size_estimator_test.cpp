@@ -98,7 +98,8 @@ TEST(PushSum, ConvergesOnCycloidOverlayGraph) {
   auto neighbors = [&o](dht::NodeIndex i) {
     std::vector<dht::NodeIndex> out;
     for (const auto& e : o.node(i).table.entries())
-      for (dht::NodeIndex c : e.candidates()) out.push_back(c);
+      for (const dht::NodeIndex32 c : e.candidates(o.arena().cands))
+        out.push_back(c);
     return out;
   };
   const std::size_t n = o.num_slots();

@@ -1,0 +1,186 @@
+// Differential equivalence pins for the slab-packed routing state.
+//
+// The memory-diet refactor repacks RoutingEntry candidate sets and
+// backward-finger lists into per-overlay slabs with 32-bit node indices.
+// The claim is representational only: every overlay operation — candidate
+// iteration order, eviction ranking, adaptation decisions — must produce
+// the exact same behavior as the vector-of-size_t representation it
+// replaces. These tests pin that claim end to end: a full experiment
+// (Poisson queries + Algorithm 3 shed/grow + churn) on every substrate,
+// with every scalar metric EXPECT_EQ'd against values captured from the
+// pre-slab tree. Any change in iteration order, Rng draw sequence, or
+// adaptation arithmetic shows up as a metric diff here.
+//
+// Setting ERT_PRINT_PINS=1 prints the observed values at full precision
+// instead of asserting, which is how the pins below were harvested.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/config.h"
+#include "harness/experiment.h"
+
+namespace ert::harness {
+namespace {
+
+struct Pins {
+  std::size_t completed = 0;
+  std::size_t dropped = 0;
+  double sim_duration = 0.0;
+  double avg_path_length = 0.0;
+  double lt_mean = 0.0;
+  double lt_p01 = 0.0;
+  double lt_p99 = 0.0;
+  std::size_t heavy = 0;
+  double p99_share = 0.0;
+  double max_in_mean = 0.0;
+  double max_out_mean = 0.0;
+  double avg_timeouts = 0.0;
+  std::size_t final_nodes = 0;
+};
+
+SimParams make_params() {
+  SimParams p;
+  p.num_nodes = 512;
+  p.num_lookups = 200;
+  p.lookup_rate = 16.0;
+  p.churn_interarrival = 1.0;
+  p.seed = 5;
+  return p;
+}
+
+Pins observe(SubstrateKind kind) {
+  const ExperimentResult r =
+      run_experiment(make_params(), Protocol::kErtAF, kind);
+  Pins p;
+  p.completed = r.completed_lookups;
+  p.dropped = r.dropped_lookups;
+  p.sim_duration = r.sim_duration;
+  p.avg_path_length = r.avg_path_length;
+  p.lt_mean = r.lookup_time.mean;
+  p.lt_p01 = r.lookup_time.p01;
+  p.lt_p99 = r.lookup_time.p99;
+  p.heavy = r.heavy_encounters;
+  p.p99_share = r.p99_share;
+  p.max_in_mean = r.max_indegree.mean;
+  p.max_out_mean = r.max_outdegree.mean;
+  p.avg_timeouts = r.avg_timeouts;
+  p.final_nodes = r.final_nodes;
+  return p;
+}
+
+void check(SubstrateKind kind, const Pins& want) {
+  const Pins got = observe(kind);
+  if (std::getenv("ERT_PRINT_PINS")) {
+    std::printf(
+        "  // %s\n"
+        "  want.completed = %zu;\n"
+        "  want.dropped = %zu;\n"
+        "  want.sim_duration = %.17g;\n"
+        "  want.avg_path_length = %.17g;\n"
+        "  want.lt_mean = %.17g;\n"
+        "  want.lt_p01 = %.17g;\n"
+        "  want.lt_p99 = %.17g;\n"
+        "  want.heavy = %zu;\n"
+        "  want.p99_share = %.17g;\n"
+        "  want.max_in_mean = %.17g;\n"
+        "  want.max_out_mean = %.17g;\n"
+        "  want.avg_timeouts = %.17g;\n"
+        "  want.final_nodes = %zu;\n",
+        to_string(kind), got.completed, got.dropped, got.sim_duration,
+        got.avg_path_length, got.lt_mean, got.lt_p01, got.lt_p99, got.heavy,
+        got.p99_share, got.max_in_mean, got.max_out_mean, got.avg_timeouts,
+        got.final_nodes);
+    return;
+  }
+  EXPECT_EQ(got.completed, want.completed);
+  EXPECT_EQ(got.dropped, want.dropped);
+  EXPECT_EQ(got.sim_duration, want.sim_duration);
+  EXPECT_EQ(got.avg_path_length, want.avg_path_length);
+  EXPECT_EQ(got.lt_mean, want.lt_mean);
+  EXPECT_EQ(got.lt_p01, want.lt_p01);
+  EXPECT_EQ(got.lt_p99, want.lt_p99);
+  EXPECT_EQ(got.heavy, want.heavy);
+  EXPECT_EQ(got.p99_share, want.p99_share);
+  EXPECT_EQ(got.max_in_mean, want.max_in_mean);
+  EXPECT_EQ(got.max_out_mean, want.max_out_mean);
+  EXPECT_EQ(got.avg_timeouts, want.avg_timeouts);
+  EXPECT_EQ(got.final_nodes, want.final_nodes);
+}
+
+TEST(SlabEquivalence, Cycloid) {
+  Pins want;
+  want.completed = 200;
+  want.dropped = 0;
+  want.sim_duration = 52.108474911942338;
+  want.avg_path_length = 8.6449999999999996;
+  want.lt_mean = 11.823330473793378;
+  want.lt_p01 = 1.8299907502400075;
+  want.lt_p99 = 38.739616279317126;
+  want.heavy = 211;
+  want.p99_share = 5.2283787660435808;
+  want.max_in_mean = 16.74228675136116;
+  want.max_out_mean = 16.424682395644282;
+  want.avg_timeouts = 0.040000000000000001;
+  want.final_nodes = 514;
+  check(SubstrateKind::kCycloid, want);
+}
+
+TEST(SlabEquivalence, Chord) {
+  Pins want;
+  want.completed = 200;
+  want.dropped = 0;
+  want.sim_duration = 27.441417271210305;
+  want.avg_path_length = 4.3499999999999996;
+  want.lt_mean = 6.1769621058209703;
+  want.lt_p01 = 0.52632131045385488;
+  want.lt_p99 = 14.739035350579581;
+  want.heavy = 108;
+  want.p99_share = 4.0465045199365628;
+  want.max_in_mean = 15.138376383763838;
+  want.max_out_mean = 14.134686346863468;
+  want.avg_timeouts = 0.040000000000000001;
+  want.final_nodes = 511;
+  check(SubstrateKind::kChord, want);
+}
+
+TEST(SlabEquivalence, Pastry) {
+  Pins want;
+  want.completed = 200;
+  want.dropped = 0;
+  want.sim_duration = 24.259592768357795;
+  want.avg_path_length = 3.7749999999999999;
+  want.lt_mean = 5.2935189626350088;
+  want.lt_p01 = 0.2926487105113087;
+  want.lt_p99 = 10.662006927481395;
+  want.heavy = 79;
+  want.p99_share = 4.414064763427195;
+  want.max_in_mean = 19.145522388059703;
+  want.max_out_mean = 18.527985074626866;
+  want.avg_timeouts = 0.085000000000000006;
+  want.final_nodes = 511;
+  check(SubstrateKind::kPastry, want);
+}
+
+TEST(SlabEquivalence, Can) {
+  Pins want;
+  want.completed = 200;
+  want.dropped = 0;
+  want.sim_duration = 29;
+  want.avg_path_length = 5.79;
+  want.lt_mean = 6.7887062904268873;
+  want.lt_p01 = 1.1896028328462371;
+  want.lt_p99 = 16.139443745819548;
+  want.heavy = 82;
+  want.p99_share = 3.1480104455356792;
+  want.max_in_mean = 13.964944649446494;
+  want.max_out_mean = 12.629151291512915;
+  want.avg_timeouts = 0.014999999999999999;
+  want.final_nodes = 511;
+  check(SubstrateKind::kCan, want);
+}
+
+}  // namespace
+}  // namespace ert::harness

@@ -2,6 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.h"
 #include "common/table_printer.h"
 
 namespace ert {
@@ -91,6 +97,107 @@ TEST(Percentiles, Summary) {
   EXPECT_DOUBLE_EQ(s.mean, 100.5);
   EXPECT_EQ(s.p01, 2.0);
   EXPECT_EQ(s.p99, 198.0);
+}
+
+// Reference copy of the keep-everything collector the exact path must stay
+// bit-identical to: sort + nearest rank, accumulate-in-order mean.
+double reference_percentile(std::vector<double> v, double p) {
+  std::sort(v.begin(), v.end());
+  if (p <= 0.0) return v.front();
+  if (p >= 100.0) return v.back();
+  const double rank = p / 100.0 * static_cast<double>(v.size());
+  auto idx = static_cast<std::size_t>(std::ceil(rank));
+  idx = std::min(std::max<std::size_t>(idx, 1), v.size());
+  return v[idx - 1];
+}
+
+double reference_mean(const std::vector<double>& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0) /
+         static_cast<double>(v.size());
+}
+
+/// 2048 lookup-latency-shaped samples: log-uniform across five decades with
+/// an exponential tail mixed in, the shape the simulator's latency
+/// collectors actually see.
+std::vector<double> latency_shaped_samples(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v;
+  v.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double log_uniform = 1e-3 * std::exp(rng.uniform() * std::log(1e5));
+    v.push_back(i % 4 == 0 ? rng.exponential(0.5) + 1e-3 : log_uniform);
+  }
+  return v;
+}
+
+TEST(StreamingPercentiles, ExactPathBitIdenticalBelowLimit) {
+  const auto data = latency_shaped_samples(2048, 11);
+  Percentiles p;  // default limit 65536: never spills at tier-1 sizes
+  for (double x : data) p.add(x);
+  ASSERT_FALSE(p.streaming());
+  EXPECT_EQ(p.mean(), reference_mean(data));
+  for (double q : {0.0, 1.0, 50.0, 99.0, 100.0})
+    EXPECT_EQ(p.percentile(q), reference_percentile(data, q));
+}
+
+TEST(StreamingPercentiles, AccuracyWithinHalfPercentAtN2048) {
+  const auto data = latency_shaped_samples(2048, 7);
+  Percentiles stream(0);  // force the histogram path from the first sample
+  for (double x : data) stream.add(x);
+  ASSERT_TRUE(stream.streaming());
+  EXPECT_EQ(stream.count(), data.size());
+  for (double q : {1.0, 99.0}) {
+    const double exact = reference_percentile(data, q);
+    EXPECT_NEAR(stream.percentile(q), exact, 0.005 * exact)
+        << "p" << q << " off by more than 0.5%";
+  }
+  const double exact_mean = reference_mean(data);
+  EXPECT_NEAR(stream.mean(), exact_mean, 0.005 * exact_mean);
+}
+
+TEST(StreamingPercentiles, SpillBoundaryPreservesExactAggregates) {
+  Percentiles p(64);
+  std::vector<double> data;
+  for (int i = 0; i < 64; ++i) {
+    data.push_back(0.5 + 0.01 * i);
+    p.add(data.back());
+  }
+  ASSERT_FALSE(p.streaming());
+  p.add(3.75);  // 65th sample crosses the limit
+  data.push_back(3.75);
+  ASSERT_TRUE(p.streaming());
+  EXPECT_EQ(p.count(), 65u);
+  EXPECT_TRUE(p.samples().empty());
+  // min/max/mean survive the spill exactly (mean: same left-to-right sum).
+  EXPECT_EQ(p.min(), 0.5);
+  EXPECT_EQ(p.max(), 3.75);
+  EXPECT_DOUBLE_EQ(p.mean(), reference_mean(data));
+}
+
+TEST(StreamingPercentiles, ExtremesClampToObservedRange) {
+  Percentiles p(0);
+  p.add(1e-9);  // below the histogram's 1e-6 floor: underflow bin
+  p.add(1.0);
+  p.add(1e9);  // above the 1e6 ceiling: overflow bin
+  EXPECT_EQ(p.percentile(0.0), 1e-9);
+  EXPECT_EQ(p.percentile(1.0), 1e-9);
+  EXPECT_EQ(p.percentile(100.0), 1e9);
+  EXPECT_EQ(p.percentile(99.0), 1e9);
+  // The mid bin's reported value stays within [min, max] by construction.
+  const double mid = p.percentile(50.0);
+  EXPECT_GE(mid, 1e-9);
+  EXPECT_LE(mid, 1e9);
+}
+
+TEST(StreamingPercentiles, ClearResetsStreamingState) {
+  Percentiles p(2);
+  for (double x : {1.0, 2.0, 3.0}) p.add(x);
+  ASSERT_TRUE(p.streaming());
+  p.clear();
+  EXPECT_TRUE(p.empty());
+  EXPECT_FALSE(p.streaming());
+  p.add(5.0);
+  EXPECT_EQ(p.median(), 5.0);
 }
 
 TEST(RunningMax, Tracks) {

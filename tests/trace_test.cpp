@@ -186,6 +186,27 @@ TEST(TraceDeterminism, ByteIdenticalAcrossThreadCounts) {
   EXPECT_EQ(to_jsonl(one.trace_records), to_jsonl(four.trace_records));
 }
 
+TEST(TraceDeterminism, RingCapEnforcedAndThreadInvariant) {
+  // A tight --trace-cap must bound retained records per run (scale mode's
+  // memory guard), keep emitted == retained + dropped, and stay
+  // byte-identical across worker thread counts.
+  const SimParams p = trace_params();
+  harness::ExperimentOptions o = traced_options();
+  o.trace.capacity = 64;
+  const auto one = harness::run_averaged(p, harness::Protocol::kErtAF, 2,
+                                         harness::SubstrateKind::kCycloid,
+                                         /*threads=*/1, o);
+  const auto four = harness::run_averaged(p, harness::Protocol::kErtAF, 2,
+                                          harness::SubstrateKind::kCycloid,
+                                          /*threads=*/4, o);
+  EXPECT_LE(one.trace_records.size(), 2 * o.trace.capacity);  // per-seed ring
+  EXPECT_GT(one.trace_dropped, 0u);
+  EXPECT_EQ(one.trace_emitted, one.trace_records.size() + one.trace_dropped);
+  EXPECT_EQ(one.trace_emitted, four.trace_emitted);
+  EXPECT_EQ(one.trace_dropped, four.trace_dropped);
+  EXPECT_EQ(to_jsonl(one.trace_records), to_jsonl(four.trace_records));
+}
+
 TEST(TraceDeterminism, ByteIdenticalForEqualSeeds) {
   const SimParams p = trace_params();
   const auto a = harness::run_experiment(p, harness::Protocol::kErtAF,

@@ -15,12 +15,29 @@
 //     --zipf N:S         Zipf workload: N-key catalog, exponent S
 //     --zipf-drift T     reshuffle popularity ranks every T seconds
 //     --service L:H      light/heavy service seconds (default 0.2:1.0)
+//     --queue-cap N      per-node ingress queue bound; arrivals beyond it
+//                        are shed as overload drops (0 = unbounded, the
+//                        default outside --scale)
 //     --alpha A          indegree per unit capacity (default dimension+3)
 //     --beta B, --mu M, --gamma-l G, --poll B
 //     --data-forwarding  responses retrace the query path
 //     --probe-cost C     seconds charged per load probe
 //     --csv FILE         append one CSV row (with header if new file)
 //     --audit            run the invariant auditor every adaptation period
+//     --audit-sample K   audit a seeded K-subset of nodes per sweep instead
+//                        of all of them (implies --audit); keeps continuous
+//                        auditing affordable at --scale node counts and
+//                        never perturbs simulation results
+//     --scale            end-to-end scale preset: Chord substrate, 2^17
+//                        nodes, 1M lookups, workload clock compressed 8x
+//                        (rate 128*n/2048 lookups/s, Table-2 service
+//                        times / 8), churn 1.0 s, adaptation period 8 s,
+//                        queue cap 64, full ERT pipeline; flags given
+//                        alongside override any preset value. Prints wall
+//                        time, queries/s and peak RSS after the normal
+//                        report
+//     --scale-json FILE  write the scale figures as one JSON object
+//                        (schema in docs/PERFORMANCE.md)
 //     --faults SPEC      inject faults; SPEC is comma-separated key=value:
 //                          drop=P delay=P dup=P       per-message probs
 //                          crash=T:N                  N nodes crash at T s
@@ -42,12 +59,14 @@
 //
 // Exit code 0 on success, 3 when --audit found invariant violations;
 // prints a one-screen report.
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
 #include "common/config.h"
+#include "common/rss.h"
 #include "harness/experiment.h"
 #include "trace/jsonl.h"
 
@@ -63,12 +82,14 @@ using ert::harness::SubstrateKind;
                "              [--lookups N] [--rate R] [--seed S] [--seeds K]\n"
                "              [--threads T]\n"
                "              [--churn T] [--impulse N:K] [--service L:H]\n"
+               "              [--queue-cap N]\n"
                "              [--alpha A] [--beta B] [--mu M] [--gamma-l G]\n"
                "              [--poll B] [--data-forwarding] [--probe-cost C]\n"
-               "              [--csv FILE] [--audit] [--faults SPEC]\n"
+               "              [--csv FILE] [--audit] [--audit-sample K]\n"
+               "              [--faults SPEC]\n"
                "              [--audit-log FILE] [--trace FILE]\n"
                "              [--trace-cats LIST] [--trace-cap N]\n"
-               "              [--build-only]\n");
+               "              [--build-only] [--scale] [--scale-json FILE]\n");
   std::exit(2);
 }
 
@@ -133,6 +154,11 @@ int main(int argc, char** argv) {
   int seeds = 1;
   int threads = 0;
   bool build_only = false;
+  bool scale = false;
+  bool nodes_set = false, lookups_set = false, rate_set = false,
+       churn_set = false, queue_cap_set = false, service_set = false,
+       substrate_set = false;
+  std::string scale_json;
   std::string csv;
   std::string audit_log;
   std::string trace_file;
@@ -145,14 +171,29 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--protocol") proto = parse_protocol(need(i));
-    else if (a == "--substrate") kind = parse_substrate(need(i));
-    else if (a == "--nodes") p.num_nodes = std::strtoul(need(i), nullptr, 10);
-    else if (a == "--lookups") p.num_lookups = std::strtoul(need(i), nullptr, 10);
-    else if (a == "--rate") p.lookup_rate = std::strtod(need(i), nullptr);
+    else if (a == "--substrate") {
+      kind = parse_substrate(need(i));
+      substrate_set = true;
+    }
+    else if (a == "--nodes") {
+      p.num_nodes = std::strtoul(need(i), nullptr, 10);
+      nodes_set = true;
+    }
+    else if (a == "--lookups") {
+      p.num_lookups = std::strtoul(need(i), nullptr, 10);
+      lookups_set = true;
+    }
+    else if (a == "--rate") {
+      p.lookup_rate = std::strtod(need(i), nullptr);
+      rate_set = true;
+    }
     else if (a == "--seed") p.seed = std::strtoull(need(i), nullptr, 10);
     else if (a == "--seeds") seeds = std::atoi(need(i));
     else if (a == "--threads") threads = std::atoi(need(i));
-    else if (a == "--churn") p.churn_interarrival = std::strtod(need(i), nullptr);
+    else if (a == "--churn") {
+      p.churn_interarrival = std::strtod(need(i), nullptr);
+      churn_set = true;
+    }
     else if (a == "--impulse") {
       const char* v = need(i);
       const char* colon = std::strchr(v, ':');
@@ -165,6 +206,11 @@ int main(int argc, char** argv) {
       if (!colon) usage("--service wants L:H");
       p.light_service_time = std::strtod(v, nullptr);
       p.heavy_service_time = std::strtod(colon + 1, nullptr);
+      service_set = true;
+    }
+    else if (a == "--queue-cap") {
+      p.queue_cap = std::strtoul(need(i), nullptr, 10);
+      queue_cap_set = true;
     }
     else if (a == "--alpha") p.alpha_override = std::strtod(need(i), nullptr);
     else if (a == "--beta") p.beta = std::strtod(need(i), nullptr);
@@ -182,6 +228,13 @@ int main(int argc, char** argv) {
     else if (a == "--probe-cost") p.probe_cost = std::strtod(need(i), nullptr);
     else if (a == "--csv") csv = need(i);
     else if (a == "--audit") options.audit.enabled = true;
+    else if (a == "--audit-sample") {
+      options.audit.sample = std::strtoul(need(i), nullptr, 10);
+      if (options.audit.sample == 0) usage("--audit-sample wants K >= 1");
+      options.audit.enabled = true;
+    }
+    else if (a == "--scale") scale = true;
+    else if (a == "--scale-json") scale_json = need(i);
     else if (a == "--faults") options.faults = parse_faults(need(i));
     else if (a == "--audit-log") audit_log = need(i);
     else if (a == "--trace") {
@@ -198,6 +251,39 @@ int main(int argc, char** argv) {
     else if (a == "--build-only") build_only = true;
     else if (a == "--help" || a == "-h") usage();
     else usage(("unknown option " + a).c_str());
+  }
+  if (scale) {
+    // Figure-mode preset: the full pipeline (Poisson queries + overload
+    // probing + shed/grow adaptation + churn) at end-to-end scale. The
+    // workload clock is compressed 8x relative to the calibrated
+    // 2048-node figures: the arrival rate scales as 128 * n / 2048 and
+    // the Table-2 service times shrink by the same factor, so per-node
+    // utilization stays at calibrated parity while 1M queries inject in
+    // ~2 sim-minutes. The adaptation period stretches to T = 8 s so the
+    // management plane (one shed/grow decision per node per period, the
+    // cost that dominates at this n) stays a bounded fraction of the
+    // run, and a 64-query ingress cap bounds the drain tail at the
+    // statistically inevitable unstable nodes. The preset substrate is
+    // Chord: its uniform ring keeps the figure run drop-free, whereas a
+    // partial Cycloid (any n that is not d * 2^d leaves the upper
+    // levels empty) funnels traffic through boundary hub nodes that
+    // shed a large arrival fraction even at low mean utilization —
+    // pass --substrate cycloid to study that regime. Explicit flags
+    // win over the preset.
+    if (!substrate_set) kind = SubstrateKind::kChord;
+    if (!nodes_set) p.num_nodes = std::size_t{1} << 17;
+    if (!lookups_set)
+      p.num_lookups = std::max<std::size_t>(p.num_lookups, 1'000'000);
+    if (!rate_set)
+      p.lookup_rate =
+          128.0 * static_cast<double>(p.num_nodes) / 2048.0;
+    if (!service_set) {
+      p.light_service_time = 0.2 / 8.0;
+      p.heavy_service_time = 1.0 / 8.0;
+    }
+    if (!churn_set) p.churn_interarrival = 1.0;
+    if (!queue_cap_set) p.queue_cap = 64;
+    p.adapt_period = 8.0;
   }
   p.dimension = std::max(p.dimension, ert::harness::fit_dimension(p.num_nodes));
   if ((proto == Protocol::kVS || proto == Protocol::kNS) &&
@@ -217,10 +303,15 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  const auto wall_start = std::chrono::steady_clock::now();
   const auto r =
       seeds > 1
           ? ert::harness::run_averaged(p, proto, seeds, kind, threads, options)
           : ert::harness::run_experiment(p, proto, kind, options);
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
 
   std::printf("protocol           %s on %s\n",
               std::string(ert::harness::to_string(proto)).c_str(),
@@ -301,6 +392,50 @@ int main(int argc, char** argv) {
                  r.avg_path_length, r.lookup_time.mean, r.lookup_time.p99,
                  r.avg_timeouts, r.max_indegree.p99, r.max_outdegree.p99);
     std::fclose(f);
+  }
+  if (scale || !scale_json.empty()) {
+    const std::size_t settled = r.completed_lookups + r.dropped_lookups;
+    const double qps =
+        wall_seconds > 0 ? static_cast<double>(settled) / wall_seconds : 0.0;
+    const std::size_t rss_kb = ert::peak_rss_kb();
+    std::printf("scale              wall %.1f s, %.0f queries/s, peak RSS "
+                "%.1f MiB\n",
+                wall_seconds, qps, static_cast<double>(rss_kb) / 1024.0);
+    if (!scale_json.empty()) {
+      FILE* f = std::fopen(scale_json.c_str(), "w");
+      if (!f) {
+        std::perror("ertsim: --scale-json open");
+        return 1;
+      }
+      std::fprintf(
+          f,
+          "{\n"
+          "  \"protocol\": \"%s\",\n"
+          "  \"substrate\": \"%s\",\n"
+          "  \"nodes\": %zu,\n"
+          "  \"lookups\": %zu,\n"
+          "  \"rate\": %g,\n"
+          "  \"seed\": %llu,\n"
+          "  \"churn_interarrival\": %g,\n"
+          "  \"completed\": %zu,\n"
+          "  \"dropped\": %zu,\n"
+          "  \"sim_duration\": %g,\n"
+          "  \"wall_seconds\": %g,\n"
+          "  \"queries_per_sec\": %g,\n"
+          "  \"peak_rss_kb\": %zu,\n"
+          "  \"lookup_time_mean\": %g,\n"
+          "  \"lookup_time_p99\": %g,\n"
+          "  \"avg_path_length\": %g\n"
+          "}\n",
+          std::string(ert::harness::to_string(proto)).c_str(),
+          ert::harness::to_string(kind), p.num_nodes, p.num_lookups,
+          p.lookup_rate, static_cast<unsigned long long>(p.seed),
+          p.churn_interarrival, r.completed_lookups, r.dropped_lookups,
+          r.sim_duration, wall_seconds, qps, rss_kb, r.lookup_time.mean,
+          r.lookup_time.p99, r.avg_path_length);
+      std::fclose(f);
+      std::printf("scale json         %s\n", scale_json.c_str());
+    }
   }
   if (options.audit.enabled && r.audit_violations > 0) return 3;
   return 0;
