@@ -37,6 +37,8 @@ enum class EntryKind : std::uint8_t {
   kSuccessor,    // Chord: successor list
   kPrefix,       // Pastry/Tapestry: row/column prefix entry
   kLeaf,         // Pastry: leaf set
+  kBucket,       // Kademlia: XOR-metric k-bucket (one per differing-bit level)
+  kFullTable,    // D1HT: single-hop full routing table (every member)
 };
 
 class RoutingEntry {
@@ -48,6 +50,14 @@ class RoutingEntry {
 
   /// Adds a candidate if not already present; returns true when added.
   bool add(CandPool& pool, NodeIndex n);
+
+  /// Appends without the duplicate scan. Only for entries whose
+  /// construction protocol already guarantees uniqueness (the D1HT full
+  /// table, where each pair links exactly once at the later join): add()'s
+  /// linear scan would make an n-member join O(n^2) there.
+  void append(CandPool& pool, NodeIndex n) {
+    pool.push(cands_, static_cast<NodeIndex32>(n));
+  }
 
   /// Removes a candidate; clears the memory slot if it pointed at `n`.
   /// Returns true when removed.

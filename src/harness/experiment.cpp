@@ -244,9 +244,11 @@ class Engine {
       // every join); double the space.
       ids_needed = std::max(ids_needed, 2 * n);
     }
-    assert((!uses_virtual_servers(proto_) && proto_ != Protocol::kNS) ||
-           kind_ == SubstrateKind::kCycloid ||
-           (proto_ != Protocol::kVS && proto_ != Protocol::kNS));
+    assert(!uses_virtual_servers(proto_) || kind_ == SubstrateKind::kCycloid);
+    // NS needs selection freedom among interchangeable neighbors: Cycloid's
+    // neighbor sets and Kademlia's bucket contacts have it; the others don't.
+    assert(proto_ != Protocol::kNS || kind_ == SubstrateKind::kCycloid ||
+           kind_ == SubstrateKind::kKademlia);
     substrate_ = make_substrate(
         kind_, params_, /*capacity_biased=*/proto_ == Protocol::kNS,
         /*enforce_bounds=*/proto_ == Protocol::kNS || is_ert(proto_),

@@ -1,0 +1,84 @@
+// Analytical hop-count validation (ISSUE 7 tentpole).
+//
+// Runs the plain (kBase) protocol on a substrate with query/hop tracing on,
+// reconstructs the empirical hop-count distribution and the per-node
+// arrival-load distribution from the trace stream, and compares the
+// hop CDF against the substrate's closed-form prediction:
+//
+//  - Kademlia: the Roos/Salah-style recursion over XOR-msb states. The
+//    bucket at msb(cur ^ key) covers exactly the radius-2^m ball around the
+//    key, its contacts approximate a uniform k-subset of the ball's
+//    occupants, and the greedy hop either lands on the owner (when it is
+//    among the k) or on the sampled minimum, whose distance msb gives the
+//    next state. See kademlia_hop_pmf below.
+//  - Chord: Binomial(ceil(log2 n), 1/2) — each finger hop clears the top
+//    set bit of the clockwise distance with probability 1/2 per bit (Kong
+//    et al.'s mean-field model of strict Chord). Loose fingers and the
+//    successor list shorten real paths, so this check carries a wider
+//    tolerance than Kademlia's (see docs/SUBSTRATES.md).
+//  - D1HT: degenerate — P(H = 0) = 1/n, else one hop. The gate is that at
+//    least 99% of churn-free lookups resolve in <= 1 hop.
+//
+// The comparison statistic is the Kolmogorov (sup) distance between the
+// empirical and predicted CDFs. Tolerances are pinned per substrate in
+// default_model_tolerance and documented with their measured headroom in
+// docs/SUBSTRATES.md; tests/model_check_test.cpp enforces them at n = 2048
+// and n = 2^14.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "harness/substrate.h"
+
+namespace ert::harness {
+
+struct ModelCheckResult {
+  SubstrateKind kind = SubstrateKind::kChord;
+  std::size_t nodes = 0;
+  std::size_t lookups = 0;  ///< completed lookups the CDF is built from.
+
+  /// P(H <= h) for h = 0 .. max_hops, padded to a common length.
+  std::vector<double> empirical_cdf;
+  std::vector<double> predicted_cdf;
+  double sup_deviation = 0.0;  ///< Kolmogorov distance between the two.
+  double tolerance = 0.0;      ///< pass threshold for sup_deviation.
+
+  double mean_hops_empirical = 0.0;
+  double mean_hops_predicted = 0.0;
+  /// Empirical P(H <= 1) — the D1HT single-hop gate reads this.
+  double one_hop_fraction = 0.0;
+
+  // Per-node arrival load (query receipts per node, from the hop trace).
+  double load_mean = 0.0;
+  double load_max = 0.0;
+  double load_cv = 0.0;  ///< coefficient of variation across alive nodes.
+  /// Total arrivals over all nodes; equals the total hop count, so the
+  /// trace reconstruction is self-checking (conservation).
+  std::size_t load_total = 0;
+
+  bool pass = false;
+};
+
+/// Closed-form hop-count pmf for a Kademlia network of `n` uniform ids in a
+/// 2^bits space with bucket size `k`. Entry h is P(H = h); the vector sums
+/// to ~1 (truncated at bits + 2 hops).
+std::vector<double> kademlia_hop_pmf(std::size_t n, int bits, std::size_t k);
+
+/// Closed-form hop-count pmf for strict Chord: Binomial(ceil(log2 n), 1/2).
+std::vector<double> chord_hop_pmf(std::size_t n);
+
+/// Pinned pass tolerance (sup CDF deviation) per substrate.
+double default_model_tolerance(SubstrateKind kind);
+
+/// Runs kBase on `kind` with `params` (churn-free; asserts no drops) and
+/// compares against the substrate's model. Supported kinds: kChord,
+/// kKademlia, kD1ht.
+ModelCheckResult model_check(SubstrateKind kind, const SimParams& params);
+
+/// Serializes a result as a single JSON object (ertsim --model-check-json).
+std::string model_check_json(const ModelCheckResult& r);
+
+}  // namespace ert::harness

@@ -7,7 +7,9 @@
 #include "can/overlay.h"
 #include "chord/overlay.h"
 #include "cycloid/overlay.h"
+#include "d1ht/overlay.h"
 #include "harness/experiment.h"
+#include "kademlia/overlay.h"
 #include "pastry/overlay.h"
 
 namespace ert::harness {
@@ -172,8 +174,7 @@ class ChordSubstrate final : public SubstrateOps {
     chord::ChordOptions opts;
     opts.enforce_indegree_bounds = enforce_bounds;
     // Ring large enough that random ids rarely collide.
-    int bits = 12;
-    while ((std::uint64_t{1} << bits) < 16 * ids_needed) ++bits;
+    const int bits = substrate_ring_bits(ids_needed);
     opts.bits = bits;
     (void)params;
     overlay_ = std::make_unique<chord::Overlay>(opts, std::move(phys));
@@ -271,8 +272,7 @@ class PastrySubstrate final : public SubstrateOps {
                   std::size_t ids_needed, pastry::Overlay::PhysDistFn phys) {
     pastry::PastryOptions opts;
     opts.enforce_indegree_bounds = enforce_bounds;
-    int bits = 12;
-    while ((std::uint64_t{1} << bits) < 16 * ids_needed) ++bits;
+    const int bits = substrate_ring_bits(ids_needed);
     opts.rows = (bits + opts.bits_per_digit - 1) / opts.bits_per_digit;
     (void)params;
     overlay_ = std::make_unique<pastry::Overlay>(opts, std::move(phys));
@@ -490,7 +490,240 @@ class CanSubstrate final : public SubstrateOps {
   std::unique_ptr<can::Overlay> overlay_;
 };
 
+class KademliaSubstrate final : public SubstrateOps {
+ public:
+  KademliaSubstrate(const SimParams& params, bool capacity_biased,
+                    bool enforce_bounds, std::size_t ids_needed,
+                    kademlia::Overlay::PhysDistFn phys) {
+    kademlia::KademliaOptions opts;
+    opts.enforce_indegree_bounds = enforce_bounds;
+    opts.capacity_biased = capacity_biased;
+    const int bits = substrate_ring_bits(ids_needed);
+    opts.bits = bits;
+    (void)params;
+    overlay_ = std::make_unique<kademlia::Overlay>(opts, std::move(phys));
+  }
+
+  NodeIndex add_node(Rng& rng, double capacity, int max_indegree,
+                     double beta) override {
+    return overlay_->add_node_random(rng, capacity, max_indegree, beta);
+  }
+  void begin_bulk_join(std::size_t expected_nodes) override {
+    overlay_->begin_bulk_insert(expected_nodes);
+  }
+  void end_bulk_join() override { overlay_->end_bulk_insert(); }
+  void build_table(NodeIndex i, Rng& rng) override {
+    overlay_->build_table(i, rng);
+  }
+  bool id_space_full() const override {
+    return overlay_->directory().size() >= overlay_->ring_size();
+  }
+  void fail(NodeIndex i) override { overlay_->fail(i); }
+  bool alive(NodeIndex i) const override { return overlay_->node(i).alive; }
+  std::size_t num_slots() const override { return overlay_->num_slots(); }
+
+  int expand_indegree(NodeIndex i, int want, std::size_t probes) override {
+    return overlay_->expand_indegree(i, want, probes);
+  }
+  int shed_indegree(NodeIndex i, int count) override {
+    return overlay_->shed_indegree(i, count);
+  }
+  core::IndegreeBudget& budget(NodeIndex i) override {
+    return overlay_->mutable_node(i).budget;
+  }
+  std::size_t indegree(NodeIndex i) const override {
+    return overlay_->node(i).inlinks.size();
+  }
+  std::size_t outdegree(NodeIndex i) const override {
+    return overlay_->node(i).table.outdegree();
+  }
+
+  void purge_dead(NodeIndex at, NodeIndex dead) override {
+    overlay_->purge_dead(at, dead);
+  }
+  void repair_entry(NodeIndex i, std::size_t slot) override {
+    if (slot != kNoSlot) overlay_->repair_entry(i, slot);
+  }
+
+  LinkAuditCounts audit_links(NodeIndex i) const override {
+    return audit_links_ring(*overlay_, i);
+  }
+  void check_structure() const override { overlay_->check_invariants(); }
+
+  std::uint64_t key_space() const override { return overlay_->ring_size(); }
+  NodeIndex responsible(std::uint64_t key) const override {
+    return overlay_->responsible(key);
+  }
+  void start_query(std::size_t) override {}
+  HopStep route_step(std::size_t, NodeIndex cur, std::uint64_t key,
+                     dht::RouteScratch& scratch) override {
+    const dht::RouteStepInfo s = overlay_->route_step(cur, key, scratch);
+    HopStep h;
+    h.arrived = s.arrived;
+    h.slot = s.entry_index < overlay_->node(cur).table.num_entries()
+                 ? s.entry_index
+                 : kNoSlot;
+    return h;
+  }
+  std::uint64_t logical_distance_to_key(NodeIndex a,
+                                        std::uint64_t key) const override {
+    return overlay_->logical_distance_to_key(a, key);
+  }
+  dht::RoutingEntry* entry(NodeIndex i, std::size_t slot) override {
+    if (slot == kNoSlot) return nullptr;
+    return &overlay_->mutable_node(i).table.entry(slot);
+  }
+  NodeIndex live_successor(NodeIndex i) const override {
+    // Kademlia's hand-off target is by ownership metric: the alive node
+    // XOR-closest to the dead node's id.
+    return overlay_->responsible(overlay_->node(i).id);
+  }
+  NodeIndex node_at_or_after(std::uint64_t lv) const override {
+    return overlay_->directory().successor(lv & (overlay_->ring_size() - 1));
+  }
+
+  void set_trace(trace::TraceSink* sink) override {
+    overlay_->set_trace(sink);
+  }
+
+ private:
+  std::unique_ptr<kademlia::Overlay> overlay_;
+};
+
+class D1htSubstrate final : public SubstrateOps {
+ public:
+  D1htSubstrate(const SimParams& params, bool enforce_bounds,
+                std::size_t ids_needed, d1ht::Overlay::PhysDistFn phys) {
+    d1ht::D1htOptions opts;
+    opts.enforce_indegree_bounds = enforce_bounds;
+    const int bits = substrate_ring_bits(ids_needed);
+    opts.bits = bits;
+    (void)params;
+    overlay_ = std::make_unique<d1ht::Overlay>(opts, std::move(phys));
+  }
+
+  NodeIndex add_node(Rng& rng, double capacity, int max_indegree,
+                     double beta) override {
+    return overlay_->add_node_random(rng, capacity, max_indegree, beta);
+  }
+  void begin_bulk_join(std::size_t expected_nodes) override {
+    overlay_->begin_bulk_insert(expected_nodes);
+  }
+  void end_bulk_join() override { overlay_->end_bulk_insert(); }
+  void build_table(NodeIndex i, Rng& rng) override {
+    (void)rng;
+    overlay_->build_table(i);
+  }
+  bool id_space_full() const override {
+    return overlay_->directory().size() >= overlay_->ring_size();
+  }
+  void fail(NodeIndex i) override { overlay_->fail(i); }
+  bool alive(NodeIndex i) const override { return overlay_->node(i).alive; }
+  std::size_t num_slots() const override { return overlay_->num_slots(); }
+
+  int expand_indegree(NodeIndex i, int want, std::size_t probes) override {
+    return overlay_->expand_indegree(i, want, probes);
+  }
+  int shed_indegree(NodeIndex i, int count) override {
+    return overlay_->shed_indegree(i, count);
+  }
+  core::IndegreeBudget& budget(NodeIndex i) override {
+    return overlay_->mutable_node(i).budget;
+  }
+  std::size_t indegree(NodeIndex i) const override {
+    // Mandatory full-mesh inlinks plus elastic successor inlinks: the load
+    // metrics should see the O(n) state even though only the elastic part
+    // is budget-governed.
+    return overlay_->node(i).table.entry(d1ht::kFullTableEntry).size() +
+           overlay_->node(i).inlinks.size();
+  }
+  std::size_t outdegree(NodeIndex i) const override {
+    return overlay_->node(i).table.outdegree();
+  }
+
+  void purge_dead(NodeIndex at, NodeIndex dead) override {
+    overlay_->purge_dead(at, dead);
+  }
+  void repair_entry(NodeIndex i, std::size_t slot) override {
+    if (slot != kNoSlot) overlay_->repair_entry(i, slot);
+  }
+
+  LinkAuditCounts audit_links(NodeIndex i) const override {
+    LinkAuditCounts a;
+    const auto& arena = overlay_->arena();
+    const auto& n = overlay_->node(i);
+    a.inlinks = n.inlinks.size();
+    // The full mesh must be mutual (like CAN zone adjacency) but is not
+    // budget-governed; elastic successor links mirror through backward
+    // fingers like the ring overlays.
+    for (const dht::NodeIndex32 c :
+         n.table.entry(d1ht::kFullTableEntry).candidates(arena.cands)) {
+      if (!overlay_->node(c).alive) continue;
+      if (!overlay_->node(c).table.entry(d1ht::kFullTableEntry).contains(
+              arena.cands, i))
+        ++a.missing_backward;
+    }
+    for (const dht::NodeIndex32 c :
+         n.table.entry(d1ht::kSuccessorEntry).candidates(arena.cands)) {
+      if (!overlay_->node(c).alive) continue;
+      if (!overlay_->node(c).inlinks.contains(arena.fingers, i))
+        ++a.missing_backward;
+    }
+    for (const auto& f : n.inlinks.fingers(arena.fingers)) {
+      if (!overlay_->node(f.node).alive) continue;
+      if (!overlay_->node(f.node)
+               .table.entry(d1ht::kSuccessorEntry)
+               .contains(arena.cands, i))
+        ++a.missing_forward;
+    }
+    return a;
+  }
+  void check_structure() const override { overlay_->check_invariants(); }
+
+  std::uint64_t key_space() const override { return overlay_->ring_size(); }
+  NodeIndex responsible(std::uint64_t key) const override {
+    return overlay_->responsible(key);
+  }
+  void start_query(std::size_t) override {}
+  HopStep route_step(std::size_t, NodeIndex cur, std::uint64_t key,
+                     dht::RouteScratch& scratch) override {
+    const dht::RouteStepInfo s = overlay_->route_step(cur, key, scratch);
+    HopStep h;
+    h.arrived = s.arrived;
+    h.slot = s.entry_index < d1ht::kNumEntries ? s.entry_index : kNoSlot;
+    return h;
+  }
+  std::uint64_t logical_distance_to_key(NodeIndex a,
+                                        std::uint64_t key) const override {
+    return overlay_->logical_distance_to_key(a, key);
+  }
+  dht::RoutingEntry* entry(NodeIndex i, std::size_t slot) override {
+    if (slot == kNoSlot) return nullptr;
+    return &overlay_->mutable_node(i).table.entry(slot);
+  }
+  NodeIndex live_successor(NodeIndex i) const override {
+    return overlay_->directory().successor(
+        (overlay_->node(i).id + 1) & (overlay_->ring_size() - 1));
+  }
+  NodeIndex node_at_or_after(std::uint64_t lv) const override {
+    return overlay_->directory().successor(lv & (overlay_->ring_size() - 1));
+  }
+
+  void set_trace(trace::TraceSink* sink) override {
+    overlay_->set_trace(sink);
+  }
+
+ private:
+  std::unique_ptr<d1ht::Overlay> overlay_;
+};
+
 }  // namespace
+
+int substrate_ring_bits(std::size_t ids_needed) {
+  int bits = 12;
+  while ((std::uint64_t{1} << bits) < 16 * ids_needed) ++bits;
+  return bits;
+}
 
 std::unique_ptr<SubstrateOps> make_substrate(SubstrateKind kind,
                                              const SimParams& params,
@@ -514,6 +747,14 @@ std::unique_ptr<SubstrateOps> make_substrate(SubstrateKind kind,
       assert(!capacity_biased && "NS policy is Cycloid-only in this build");
       return std::make_unique<CanSubstrate>(params, enforce_bounds,
                                             std::move(phys));
+    case SubstrateKind::kKademlia:
+      return std::make_unique<KademliaSubstrate>(
+          params, capacity_biased, enforce_bounds, ids_needed, std::move(phys));
+    case SubstrateKind::kD1ht:
+      assert(!capacity_biased &&
+             "NS is undefined on a full mesh: no selection freedom");
+      return std::make_unique<D1htSubstrate>(params, enforce_bounds,
+                                             ids_needed, std::move(phys));
   }
   return nullptr;
 }

@@ -36,14 +36,16 @@ class TraceSink;
 
 namespace ert::harness {
 
-enum class SubstrateKind { kCycloid, kChord, kPastry, kCan };
+enum class SubstrateKind { kCycloid, kChord, kPastry, kCan, kKademlia, kD1ht };
 
 constexpr const char* to_string(SubstrateKind k) {
   switch (k) {
-    case SubstrateKind::kCycloid: return "Cycloid";
-    case SubstrateKind::kChord:   return "Chord";
-    case SubstrateKind::kPastry:  return "Pastry";
-    case SubstrateKind::kCan:     return "CAN";
+    case SubstrateKind::kCycloid:  return "Cycloid";
+    case SubstrateKind::kChord:    return "Chord";
+    case SubstrateKind::kPastry:   return "Pastry";
+    case SubstrateKind::kCan:      return "CAN";
+    case SubstrateKind::kKademlia: return "Kademlia";
+    case SubstrateKind::kD1ht:     return "D1HT";
   }
   return "?";
 }
@@ -151,6 +153,13 @@ class SubstrateOps {
 };
 
 using PhysDistFn = std::function<double(dht::NodeIndex, dht::NodeIndex)>;
+
+/// Ring sizing shared by the ring-id substrates (Chord, Pastry, Kademlia,
+/// D1HT): the smallest power-of-two id space at least 16x oversized for
+/// `ids_needed` nodes, so random ids rarely collide. Exposed so the
+/// analytical hop-count models (harness/model_check.h) run with the same
+/// `bits` the overlay actually got.
+int substrate_ring_bits(std::size_t ids_needed);
 
 /// Factory. `capacity_biased` / `enforce_bounds` mirror the per-protocol
 /// table policies; `phys` supplies physical distances for proximity

@@ -250,7 +250,9 @@ INSTANTIATE_TEST_SUITE_P(AllSubstrates, AllocFreeHopLoop,
                          ::testing::Values(SubstrateKind::kCycloid,
                                            SubstrateKind::kChord,
                                            SubstrateKind::kPastry,
-                                           SubstrateKind::kCan),
+                                           SubstrateKind::kCan,
+                                           SubstrateKind::kKademlia,
+                                           SubstrateKind::kD1ht),
                          [](const auto& info) {
                            return std::string(to_string(info.param));
                          });
@@ -343,7 +345,9 @@ INSTANTIATE_TEST_SUITE_P(AllSubstrates, AllocFreeAdaptation,
                          ::testing::Values(SubstrateKind::kCycloid,
                                            SubstrateKind::kChord,
                                            SubstrateKind::kPastry,
-                                           SubstrateKind::kCan),
+                                           SubstrateKind::kCan,
+                                           SubstrateKind::kKademlia,
+                                           SubstrateKind::kD1ht),
                          [](const auto& info) {
                            return std::string(to_string(info.param));
                          });

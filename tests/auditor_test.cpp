@@ -186,8 +186,9 @@ TEST_P(AuditMatrixTest, AuditingNeverPerturbsResults) {
   EXPECT_EQ(audited.sim_duration, plain.sim_duration);
 }
 
-// The full matrix: every protocol on every substrate it supports (VS and
-// NS are Cycloid-only by construction).
+// The full matrix: every protocol on every substrate it supports (VS is
+// Cycloid-only by construction; NS needs neighbor selection freedom, which
+// only Cycloid's neighbor sets and Kademlia's bucket contacts provide).
 INSTANTIATE_TEST_SUITE_P(
     Matrix, AuditMatrixTest,
     ::testing::Values(
@@ -208,7 +209,16 @@ INSTANTIATE_TEST_SUITE_P(
         Case{Protocol::kBase, SubstrateKind::kCan},
         Case{Protocol::kErtA, SubstrateKind::kCan},
         Case{Protocol::kErtF, SubstrateKind::kCan},
-        Case{Protocol::kErtAF, SubstrateKind::kCan}),
+        Case{Protocol::kErtAF, SubstrateKind::kCan},
+        Case{Protocol::kBase, SubstrateKind::kKademlia},
+        Case{Protocol::kNS, SubstrateKind::kKademlia},
+        Case{Protocol::kErtA, SubstrateKind::kKademlia},
+        Case{Protocol::kErtF, SubstrateKind::kKademlia},
+        Case{Protocol::kErtAF, SubstrateKind::kKademlia},
+        Case{Protocol::kBase, SubstrateKind::kD1ht},
+        Case{Protocol::kErtA, SubstrateKind::kD1ht},
+        Case{Protocol::kErtF, SubstrateKind::kD1ht},
+        Case{Protocol::kErtAF, SubstrateKind::kD1ht}),
     [](const auto& info) {
       std::string name{to_string(info.param.protocol)};
       name += "_";

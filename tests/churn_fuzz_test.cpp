@@ -8,6 +8,8 @@
 
 #include "chord/overlay.h"
 #include "cycloid/overlay.h"
+#include "d1ht/overlay.h"
+#include "kademlia/overlay.h"
 #include "pastry/overlay.h"
 
 namespace ert {
@@ -244,6 +246,126 @@ TEST(ChurnFuzz, Pastry) {
       ASSERT_FALSE(step.candidates.empty());
       NodeIndex next = dht::kNoNode;
       for (NodeIndex c : step.candidates) {
+        if (o.node(c).alive) {
+          next = c;
+          break;
+        }
+        o.purge_dead(cur, c);
+      }
+      if (next == dht::kNoNode) {
+        ++hops;
+        if (hops > 600) FAIL() << "lookup stuck on stale entries";
+        continue;
+      }
+      cur = next;
+      ASSERT_LT(++hops, 600u);
+    }
+    ASSERT_EQ(cur, o.responsible(key));
+  };
+  for (int i = 0; i < 150; ++i) join();
+  fuzz(o, rng, join, route, 800);
+}
+
+TEST(ChurnFuzz, Kademlia) {
+  kademlia::KademliaOptions opts;
+  opts.bits = 14;
+  opts.enforce_indegree_bounds = true;
+  kademlia::Overlay o(opts);
+  Rng rng(404);
+  auto join = [&] {
+    const NodeIndex v = o.add_node_random(rng, rng.uniform(0.3, 4.0), 40, 0.8);
+    o.build_table(v, rng);
+    o.expand_indegree(v, 4, 64);
+  };
+  dht::RouteScratch scratch;
+  auto route = [&](NodeIndex src) {
+    const std::uint64_t key = rng.bits() % o.ring_size();
+    NodeIndex cur = src;
+    std::size_t hops = 0;
+    for (;;) {
+      // Crash-during-routing: with the network above its floor, fail a
+      // random node mid-lookup (sometimes cur itself) and keep routing —
+      // ASan/UBSan then prove no stale NodeIndex is dereferenced.
+      if (o.alive_count() > 48 && rng.index(8) == 0) {
+        const NodeIndex victim = pick_alive(o, rng);
+        if (victim != dht::kNoNode) o.fail(victim);
+      }
+      if (!o.node(cur).alive) {
+        // The node holding the query died: hand off to a live node the
+        // way the engine routes displaced queries, and count the hop.
+        cur = pick_alive(o, rng);
+        if (cur == dht::kNoNode) return;
+        ++hops;
+        if (hops > 600) FAIL() << "lookup stuck after mid-route crashes";
+        continue;
+      }
+      const auto step = o.route_step(cur, key, scratch);
+      if (step.arrived) break;
+      ASSERT_FALSE(scratch.candidates.empty());
+      // Follow the first LIVE candidate, purging stale ones like the
+      // runtime does (Kademlia's timeout-driven lazy eviction).
+      NodeIndex next = dht::kNoNode;
+      for (NodeIndex c : scratch.candidates) {
+        if (o.node(c).alive) {
+          next = c;
+          break;
+        }
+        o.purge_dead(cur, c);
+      }
+      if (next == dht::kNoNode) {
+        ++hops;
+        if (hops > 600) FAIL() << "lookup stuck on stale entries";
+        continue;
+      }
+      cur = next;
+      ASSERT_LT(++hops, 600u);
+    }
+    ASSERT_EQ(cur, o.responsible(key));
+  };
+  for (int i = 0; i < 150; ++i) join();
+  fuzz(o, rng, join, route, 800);
+}
+
+TEST(ChurnFuzz, D1ht) {
+  d1ht::D1htOptions opts;
+  opts.bits = 14;
+  opts.enforce_indegree_bounds = true;
+  d1ht::Overlay o(opts);
+  Rng rng(505);
+  auto join = [&] {
+    const NodeIndex v = o.add_node_random(rng, rng.uniform(0.3, 4.0), 40, 0.8);
+    o.build_table(v);
+    o.expand_indegree(v, 4, 64);
+  };
+  dht::RouteScratch scratch;
+  auto route = [&](NodeIndex src) {
+    const std::uint64_t key = rng.bits() % o.ring_size();
+    NodeIndex cur = src;
+    std::size_t hops = 0;
+    for (;;) {
+      // Crash-during-routing: with the network above its floor, fail a
+      // random node mid-lookup (sometimes cur itself) and keep routing —
+      // ASan/UBSan then prove no stale NodeIndex is dereferenced.
+      if (o.alive_count() > 48 && rng.index(8) == 0) {
+        const NodeIndex victim = pick_alive(o, rng);
+        if (victim != dht::kNoNode) o.fail(victim);
+      }
+      if (!o.node(cur).alive) {
+        // The node holding the query died: hand off to a live node the
+        // way the engine routes displaced queries, and count the hop.
+        cur = pick_alive(o, rng);
+        if (cur == dht::kNoNode) return;
+        ++hops;
+        if (hops > 600) FAIL() << "lookup stuck after mid-route crashes";
+        continue;
+      }
+      const auto step = o.route_step(cur, key, scratch);
+      if (step.arrived) break;
+      ASSERT_FALSE(scratch.candidates.empty());
+      // Follow the first LIVE candidate, purging stale ones like EDRA's
+      // detection timeouts would.
+      NodeIndex next = dht::kNoNode;
+      for (NodeIndex c : scratch.candidates) {
         if (o.node(c).alive) {
           next = c;
           break;

@@ -53,7 +53,16 @@ INSTANTIATE_TEST_SUITE_P(
                       Case{SubstrateKind::kCan, Protocol::kBase},
                       Case{SubstrateKind::kCan, Protocol::kErtA},
                       Case{SubstrateKind::kCan, Protocol::kErtF},
-                      Case{SubstrateKind::kCan, Protocol::kErtAF}),
+                      Case{SubstrateKind::kCan, Protocol::kErtAF},
+                      Case{SubstrateKind::kKademlia, Protocol::kBase},
+                      Case{SubstrateKind::kKademlia, Protocol::kNS},
+                      Case{SubstrateKind::kKademlia, Protocol::kErtA},
+                      Case{SubstrateKind::kKademlia, Protocol::kErtF},
+                      Case{SubstrateKind::kKademlia, Protocol::kErtAF},
+                      Case{SubstrateKind::kD1ht, Protocol::kBase},
+                      Case{SubstrateKind::kD1ht, Protocol::kErtA},
+                      Case{SubstrateKind::kD1ht, Protocol::kErtF},
+                      Case{SubstrateKind::kD1ht, Protocol::kErtAF}),
     [](const auto& info) {
       std::string name{to_string(info.param.kind)};
       name += "_";
@@ -101,9 +110,31 @@ TEST(Substrate, ErtImprovesCongestionOnCan) {
   EXPECT_LT(ert.heavy_encounters, base.heavy_encounters);
 }
 
+TEST(Substrate, D1htRoutesInOneHop) {
+  // The whole point of the full table: churn-free lookups resolve at the
+  // first forward (source -> owner), so the mean path length sits at ~1
+  // (exactly 1 minus the lookups that start at the owner).
+  const auto r =
+      run_experiment(small_params(), Protocol::kBase, SubstrateKind::kD1ht);
+  EXPECT_EQ(r.completed_lookups, 400u);
+  EXPECT_LE(r.avg_path_length, 1.0);
+  EXPECT_GT(r.avg_path_length, 0.9);
+}
+
+TEST(Substrate, KademliaPathsLogarithmic) {
+  // O(log n) buckets: paths comparable to Chord's, far below the
+  // constant-degree Cycloid.
+  SimParams p = small_params();
+  const auto kad =
+      run_experiment(p, Protocol::kBase, SubstrateKind::kKademlia);
+  const auto cyc = run_experiment(p, Protocol::kBase, SubstrateKind::kCycloid);
+  EXPECT_LT(kad.avg_path_length, cyc.avg_path_length);
+}
+
 TEST(Substrate, DeterministicPerSubstrate) {
   for (auto kind : {SubstrateKind::kChord, SubstrateKind::kPastry,
-                    SubstrateKind::kCan}) {
+                    SubstrateKind::kCan, SubstrateKind::kKademlia,
+                    SubstrateKind::kD1ht}) {
     const auto a = run_experiment(small_params(), Protocol::kErtAF, kind);
     const auto b = run_experiment(small_params(), Protocol::kErtAF, kind);
     EXPECT_DOUBLE_EQ(a.lookup_time.mean, b.lookup_time.mean);

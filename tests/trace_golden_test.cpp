@@ -1,5 +1,6 @@
 // Golden-trace regression tests: a small fixed-seed run of every protocol
-// on Cycloid must reproduce its checked-in event stream byte for byte —
+// on Cycloid — plus the protocol matrix of the Kademlia and D1HT
+// substrates — must reproduce its checked-in event stream byte for byte:
 // the exact hop sequence plus the adaptation decisions. Any change to
 // routing order, forwarding policy, adaptation timing, or Rng consumption
 // shows up here as a readable JSONL diff instead of a silent metric shift.
@@ -13,6 +14,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <tuple>
 
 #include "harness/experiment.h"
 #include "trace/jsonl.h"
@@ -20,6 +22,8 @@
 
 namespace ert::harness {
 namespace {
+
+using GoldenCase = std::tuple<SubstrateKind, Protocol>;
 
 SimParams golden_params() {
   SimParams p;
@@ -44,9 +48,20 @@ std::string slug(Protocol p) {
   return "unknown";
 }
 
-class GoldenTraceTest : public ::testing::TestWithParam<Protocol> {};
+/// Cycloid keeps the original bare filenames so the six pre-existing golden
+/// files stay byte-identical; the newer substrates get a kind prefix.
+std::string golden_path(const GoldenCase& c) {
+  const auto [kind, proto] = c;
+  std::string name = "trace_";
+  if (kind == SubstrateKind::kKademlia) name += "kademlia_";
+  if (kind == SubstrateKind::kD1ht) name += "d1ht_";
+  return std::string(ERT_GOLDEN_DIR) + "/" + name + slug(proto) + ".jsonl";
+}
+
+class GoldenTraceTest : public ::testing::TestWithParam<GoldenCase> {};
 
 TEST_P(GoldenTraceTest, MatchesCheckedInTrace) {
+  const auto [kind, proto] = GetParam();
   ExperimentOptions o;
   o.trace.enabled = true;
   // Query spans, the per-hop chain, and the adaptation stream: the events
@@ -55,15 +70,13 @@ TEST_P(GoldenTraceTest, MatchesCheckedInTrace) {
   o.trace.categories = static_cast<std::uint32_t>(trace::Category::kQuery) |
                        static_cast<std::uint32_t>(trace::Category::kHop) |
                        static_cast<std::uint32_t>(trace::Category::kAdapt);
-  const auto r = run_experiment(golden_params(), GetParam(),
-                                SubstrateKind::kCycloid, o);
+  const auto r = run_experiment(golden_params(), proto, kind, o);
   ASSERT_EQ(r.trace_dropped, 0u)
       << "golden run must fit the ring; raise o.trace.capacity";
   ASSERT_GT(r.trace_records.size(), 0u);
   const std::string got = trace::to_jsonl(r.trace_records);
 
-  const std::string path =
-      std::string(ERT_GOLDEN_DIR) + "/trace_" + slug(GetParam()) + ".jsonl";
+  const std::string path = golden_path(GetParam());
   if (std::getenv("ERT_REGEN_GOLDEN") != nullptr) {
     std::ofstream out(path, std::ios::binary | std::ios::trunc);
     ASSERT_TRUE(out) << "cannot write " << path;
@@ -95,6 +108,7 @@ TEST_P(GoldenTraceTest, MatchesCheckedInTrace) {
 }
 
 TEST_P(GoldenTraceTest, GoldenRunIsThreadCountInvariant) {
+  const auto [kind, proto] = GetParam();
   // The same fixed-seed run through the averaged path must serialize to
   // the same bytes for 1 and 4 worker threads.
   ExperimentOptions o;
@@ -102,20 +116,36 @@ TEST_P(GoldenTraceTest, GoldenRunIsThreadCountInvariant) {
   o.trace.categories = static_cast<std::uint32_t>(trace::Category::kQuery) |
                        static_cast<std::uint32_t>(trace::Category::kHop) |
                        static_cast<std::uint32_t>(trace::Category::kAdapt);
-  const auto one = run_averaged(golden_params(), GetParam(), 2,
-                                SubstrateKind::kCycloid, 1, o);
-  const auto four = run_averaged(golden_params(), GetParam(), 2,
-                                 SubstrateKind::kCycloid, 4, o);
+  const auto one = run_averaged(golden_params(), proto, 2, kind, 1, o);
+  const auto four = run_averaged(golden_params(), proto, 2, kind, 4, o);
   EXPECT_EQ(trace::to_jsonl(one.trace_records),
             trace::to_jsonl(four.trace_records));
 }
 
 INSTANTIATE_TEST_SUITE_P(
-    AllProtocols, GoldenTraceTest,
-    ::testing::Values(Protocol::kBase, Protocol::kNS, Protocol::kVS,
-                      Protocol::kErtA, Protocol::kErtF, Protocol::kErtAF),
+    AllSubstrates, GoldenTraceTest,
+    ::testing::Values(
+        // Cycloid: the full six-protocol matrix (VS is Cycloid-only).
+        std::make_tuple(SubstrateKind::kCycloid, Protocol::kBase),
+        std::make_tuple(SubstrateKind::kCycloid, Protocol::kNS),
+        std::make_tuple(SubstrateKind::kCycloid, Protocol::kVS),
+        std::make_tuple(SubstrateKind::kCycloid, Protocol::kErtA),
+        std::make_tuple(SubstrateKind::kCycloid, Protocol::kErtF),
+        std::make_tuple(SubstrateKind::kCycloid, Protocol::kErtAF),
+        // Kademlia: bucket contacts give NS its selection freedom.
+        std::make_tuple(SubstrateKind::kKademlia, Protocol::kBase),
+        std::make_tuple(SubstrateKind::kKademlia, Protocol::kNS),
+        std::make_tuple(SubstrateKind::kKademlia, Protocol::kErtA),
+        std::make_tuple(SubstrateKind::kKademlia, Protocol::kErtF),
+        std::make_tuple(SubstrateKind::kKademlia, Protocol::kErtAF),
+        // D1HT: no NS (a full mesh has no neighbor selection freedom).
+        std::make_tuple(SubstrateKind::kD1ht, Protocol::kBase),
+        std::make_tuple(SubstrateKind::kD1ht, Protocol::kErtA),
+        std::make_tuple(SubstrateKind::kD1ht, Protocol::kErtF),
+        std::make_tuple(SubstrateKind::kD1ht, Protocol::kErtAF)),
     [](const auto& info) {
-      std::string s = slug(info.param);
+      std::string s = std::string(to_string(std::get<0>(info.param))) + "_" +
+                      slug(std::get<1>(info.param));
       for (auto& c : s)
         if (c == '-') c = '_';
       return s;

@@ -2,7 +2,7 @@
 //
 //   ertsim [options]
 //     --protocol  base|ns|vs|ert-a|ert-f|ert-af   (default ert-af)
-//     --substrate cycloid|chord|pastry|can        (default cycloid)
+//     --substrate cycloid|chord|pastry|can|kademlia|d1ht  (default cycloid)
 //     --nodes N          (default 2048)
 //     --lookups N        (default 3000)
 //     --rate R           lookups per second (default 16)
@@ -56,9 +56,15 @@
 //     --build-only       construct the network, print build wall-clock time,
 //                        peak RSS and node/slot counts, then exit 0 without
 //                        issuing any lookups (scale smoke checks)
+//     --model-check      run a churn-free base-protocol experiment and
+//                        compare the empirical hop-count CDF against the
+//                        substrate's closed-form model (chord, kademlia,
+//                        d1ht; see docs/SUBSTRATES.md); exit 4 on mismatch
+//     --model-check-json FILE  also write the comparison as one JSON
+//                        object (implies --model-check)
 //
-// Exit code 0 on success, 3 when --audit found invariant violations;
-// prints a one-screen report.
+// Exit code 0 on success, 3 when --audit found invariant violations, 4
+// when --model-check found a model mismatch; prints a one-screen report.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -68,6 +74,7 @@
 #include "common/config.h"
 #include "common/rss.h"
 #include "harness/experiment.h"
+#include "harness/model_check.h"
 #include "trace/jsonl.h"
 
 namespace {
@@ -89,7 +96,8 @@ using ert::harness::SubstrateKind;
                "              [--faults SPEC]\n"
                "              [--audit-log FILE] [--trace FILE]\n"
                "              [--trace-cats LIST] [--trace-cap N]\n"
-               "              [--build-only] [--scale] [--scale-json FILE]\n");
+               "              [--build-only] [--scale] [--scale-json FILE]\n"
+               "              [--model-check] [--model-check-json FILE]\n");
   std::exit(2);
 }
 
@@ -141,6 +149,8 @@ SubstrateKind parse_substrate(const std::string& s) {
   if (s == "chord") return SubstrateKind::kChord;
   if (s == "pastry") return SubstrateKind::kPastry;
   if (s == "can") return SubstrateKind::kCan;
+  if (s == "kademlia") return SubstrateKind::kKademlia;
+  if (s == "d1ht") return SubstrateKind::kD1ht;
   usage("unknown substrate");
 }
 
@@ -154,11 +164,13 @@ int main(int argc, char** argv) {
   int seeds = 1;
   int threads = 0;
   bool build_only = false;
+  bool model_check = false;
   bool scale = false;
   bool nodes_set = false, lookups_set = false, rate_set = false,
        churn_set = false, queue_cap_set = false, service_set = false,
        substrate_set = false;
   std::string scale_json;
+  std::string model_check_json_file;
   std::string csv;
   std::string audit_log;
   std::string trace_file;
@@ -249,6 +261,11 @@ int main(int argc, char** argv) {
       if (options.trace.capacity == 0) usage("--trace-cap wants N >= 1");
     }
     else if (a == "--build-only") build_only = true;
+    else if (a == "--model-check") model_check = true;
+    else if (a == "--model-check-json") {
+      model_check_json_file = need(i);
+      model_check = true;
+    }
     else if (a == "--help" || a == "-h") usage();
     else usage(("unknown option " + a).c_str());
   }
@@ -286,9 +303,56 @@ int main(int argc, char** argv) {
     p.adapt_period = 8.0;
   }
   p.dimension = std::max(p.dimension, ert::harness::fit_dimension(p.num_nodes));
-  if ((proto == Protocol::kVS || proto == Protocol::kNS) &&
-      kind != SubstrateKind::kCycloid)
-    usage("VS/NS require the cycloid substrate");
+  if (proto == Protocol::kVS && kind != SubstrateKind::kCycloid)
+    usage("VS requires the cycloid substrate");
+  if (proto == Protocol::kNS && kind != SubstrateKind::kCycloid &&
+      kind != SubstrateKind::kKademlia)
+    usage("NS needs neighbor selection freedom (cycloid or kademlia)");
+  if (kind == SubstrateKind::kCycloid) {
+    const std::size_t full = static_cast<std::size_t>(p.dimension)
+                             << p.dimension;
+    if (p.num_nodes != full)
+      std::fprintf(
+          stderr,
+          "ertsim: warning: %zu nodes is a partial Cycloid (the full d*2^d "
+          "network at d=%d holds %zu): the empty upper cycles funnel traffic "
+          "through boundary hub nodes, which shed a large arrival fraction "
+          "even at low mean utilization. Use --substrate chord for a uniform "
+          "ring at this n, or pick n = d*2^d to study the complete topology "
+          "(see docs/SUBSTRATES.md).\n",
+          p.num_nodes, p.dimension, full);
+  }
+
+  if (model_check) {
+    if (kind != SubstrateKind::kChord && kind != SubstrateKind::kKademlia &&
+        kind != SubstrateKind::kD1ht)
+      usage("--model-check has closed-form models for chord, kademlia, d1ht");
+    if (p.churn_interarrival > 0.0)
+      usage("--model-check assumes a churn-free run (drop --churn)");
+    const auto mc = ert::harness::model_check(kind, p);
+    std::printf("model check        %s, %zu nodes, %zu lookups\n",
+                ert::harness::to_string(mc.kind), mc.nodes, mc.lookups);
+    std::printf("hop CDF deviation  %.4f  (tolerance %.2f)\n",
+                mc.sup_deviation, mc.tolerance);
+    std::printf("mean hops          %.3f empirical vs %.3f predicted\n",
+                mc.mean_hops_empirical, mc.mean_hops_predicted);
+    std::printf("one-hop fraction   %.4f\n", mc.one_hop_fraction);
+    std::printf("per-node load      mean %.2f, max %.0f, cv %.3f\n",
+                mc.load_mean, mc.load_max, mc.load_cv);
+    std::printf("verdict            %s\n", mc.pass ? "PASS" : "MISMATCH");
+    if (!model_check_json_file.empty()) {
+      FILE* f = std::fopen(model_check_json_file.c_str(), "w");
+      if (!f) {
+        std::perror("ertsim: --model-check-json open");
+        return 1;
+      }
+      const std::string j = ert::harness::model_check_json(mc);
+      std::fprintf(f, "%s\n", j.c_str());
+      std::fclose(f);
+      std::printf("model check json   %s\n", model_check_json_file.c_str());
+    }
+    return mc.pass ? 0 : 4;
+  }
 
   if (build_only) {
     const auto b = ert::harness::run_build_only(p, proto, kind);

@@ -216,6 +216,7 @@ int main(int argc, char** argv) {
   std::size_t counts[ert::trace::kNumEventTypes] = {};
   std::size_t total = 0, bad = 0, lineno = 0;
   std::uint32_t run = 0;
+  bool partial_cycloid = false;
   std::string line;
   while (std::getline(*in, line)) {
     ++lineno;
@@ -233,7 +234,19 @@ int main(int argc, char** argv) {
     }
     ++total;
     ++counts[static_cast<std::size_t>(r.type)];
-    if (r.type == EventType::kRunBegin) ++run;
+    if (r.type == EventType::kRunBegin) {
+      ++run;
+      // run.begin: node = num_nodes, b = substrate id (0 = Cycloid). A
+      // Cycloid run whose n is not d * 2^d leaves upper cycles empty, so
+      // its congestion-offender table is expected to concentrate on the
+      // boundary hub nodes.
+      if (r.b == 0) {
+        bool full = false;
+        for (std::uint64_t d = 1; d <= 26; ++d)
+          if ((d << d) == r.node) full = true;
+        if (!full) partial_cycloid = true;
+      }
+    }
     const std::uint32_t cur_run = run > 0 ? run - 1 : 0;
 
     if (want_query && query_scoped(r.type) && r.query == query_id)
@@ -319,5 +332,11 @@ int main(int argc, char** argv) {
               [](const NodeTally& n) { return n.sheds + n.grows; },
               "  node=%-8llu %llu adaptations (run %u)\n");
   }
+  if (partial_cycloid)
+    std::printf(
+        "\nnote: this trace is from a partial Cycloid (n != d*2^d), whose "
+        "empty upper cycles funnel traffic through boundary hub nodes — "
+        "concentrated offenders above are the expected topology effect, not "
+        "a protocol regression (see docs/SUBSTRATES.md)\n");
   return 0;
 }
