@@ -4,6 +4,7 @@
 #include <cassert>
 #include <chrono>
 #include <cmath>
+#include <limits>
 #include <memory>
 
 #include "baselines/virtual_servers.h"
@@ -18,6 +19,7 @@
 #include "harness/substrate.h"
 #include "metrics/metrics.h"
 #include "net/proximity.h"
+#include "scenario/engine.h"
 #include "sim/simulator.h"
 #include "workload/workload.h"
 
@@ -144,7 +146,8 @@ class Engine {
       : params_(params),
         proto_(proto),
         kind_(substrate),
-        rng_(params.seed) {
+        rng_(params.seed),
+        scen_opts_(options.scenario) {
     // The injector owns dedicated Rng streams; with an all-zero plan the
     // run consumes exactly the same workload randomness as a plain run.
     if (options.faults.enabled())
@@ -182,6 +185,14 @@ class Engine {
           substrate_->key_space(), params_.zipf_catalog,
           params_.zipf_exponent, rng_);
       if (params_.zipf_drift_period > 0) schedule_zipf_drift();
+    }
+    // The scenario driver owns a domain-separated stream, so constructing
+    // it here (after the substrate fixes key_space) consumes no workload
+    // randomness; inert scenarios build no driver at all.
+    if (!scen_opts_.inert()) {
+      scen_ = std::make_unique<scenario::ScenarioDriver>(
+          scen_opts_, params_.seed, substrate_->key_space());
+      schedule_scenario_phases();
     }
     schedule_next_lookup();
     if (uses_adaptation(proto_)) schedule_adaptation();
@@ -239,9 +250,11 @@ class Engine {
       ids_needed = static_cast<std::size_t>(
           1.5 * static_cast<double>(n) * std::log2(std::max<double>(2.0, n)));
     }
-    if (params_.churn_interarrival > 0) {
-      // Churn needs id-space headroom for joins (a full Cycloid rejects
-      // every join); double the space.
+    const bool membership_churn =
+        params_.churn_interarrival > 0 || scen_opts_.changes_membership();
+    if (membership_churn) {
+      // Churn (parameter-driven or scenario-driven) needs id-space headroom
+      // for joins (a full Cycloid rejects every join); double the space.
       ids_needed = std::max(ids_needed, 2 * n);
     }
     assert(!uses_virtual_servers(proto_) || kind_ == SubstrateKind::kCycloid);
@@ -260,8 +273,7 @@ class Engine {
     // Pre-size the construction-time containers: churn keeps appending
     // after the build, so leave headroom when it is on. Pure capacity
     // hints — no draws, no behavior change.
-    const std::size_t headroom =
-        params_.churn_interarrival > 0 ? n + n / 2 : n;
+    const std::size_t headroom = membership_churn ? n + n / 2 : n;
     overlay_of_real_.reserve(headroom);
     real_of_overlay_.reserve(headroom);
     reals_.reserve(headroom);
@@ -283,7 +295,7 @@ class Engine {
     } else {
       substrate_->begin_bulk_join(n);
       for (std::size_t r = 0; r < n; ++r) {
-        const int dinf = node_max_indegree(r);
+        const int dinf = node_max_indegree(r, rng_);
         const NodeIndex v =
             substrate_->add_node(rng_, caps_.normalized(r), dinf, params_.beta);
         overlay_of_real_.push_back(v);
@@ -301,9 +313,12 @@ class Engine {
     observe_degrees();
   }
 
-  int node_max_indegree(std::size_t r) {
+  /// `rng` is the stream charged for the capacity-estimation noise draw:
+  /// the workload stream for construction and parameter churn, the
+  /// scenario stream for scenario-driven joins.
+  int node_max_indegree(std::size_t r, Rng& rng) {
     if (is_ert(proto_) || proto_ == Protocol::kNS) {
-      const double est = caps_.estimated(r, params_.gamma_c, rng_);
+      const double est = caps_.estimated(r, params_.gamma_c, rng);
       return core::max_indegree(params_.alpha(), est);
     }
     return 1 << 20;  // Base/VS: no indegree control.
@@ -325,7 +340,13 @@ class Engine {
 
   void schedule_next_lookup() {
     if (issued_ >= params_.num_lookups) return;
-    sim_.schedule(rng_.exponential(params_.lookup_rate), [this] {
+    // Scenario rate phases modulate the Poisson intensity. With no driver
+    // the expression is untouched, and a driver whose phases are idle at
+    // `now` returns exactly 1.0 — rate * 1.0 == rate bit-exactly, so the
+    // arrival draws only change while a flash/diurnal phase is live.
+    double rate = params_.lookup_rate;
+    if (scen_) rate *= scen_->rate_multiplier(sim_.now());
+    sim_.schedule(rng_.exponential(rate), [this] {
       issue_lookup();
       schedule_next_lookup();
     });
@@ -384,6 +405,11 @@ class Engine {
       src = pick_alive_overlay_node();
       q.key = rng_.bits() % substrate_->key_space();
     }
+    // An active hotspot phase overrides the key with a rotating-Zipf pick
+    // from the scenario stream. The base key draw above still happens, so
+    // the workload stream stays aligned across the phase boundary and the
+    // override is purely a value substitution.
+    if (scen_) scen_->hotspot_key(sim_.now(), &q.key);
     q.cur = src;
     if (params_.data_forwarding) q.path.push_back(src);
     if (tracing(trace::Category::kQuery))
@@ -795,6 +821,7 @@ class Engine {
         budget.raise_bound_by(target - budget.max_indegree());
         rn.grow_backoff = 0;  // shedding frees hosts: growth may work again
         rn.grow_wait = 0;
+        ++adapt_sheds_;
         if (trace_adapt)
           trace_->emit(trace::EventType::kAdaptShed, v, 0,
                        static_cast<std::int64_t>(ind_before),
@@ -818,6 +845,7 @@ class Engine {
           rn.grow_wait = rn.grow_backoff;
         } else {
           rn.grow_backoff = 0;
+          ++adapt_grows_;
         }
         if (trace_adapt)
           trace_->emit(trace::EventType::kAdaptGrow, v, 0,
@@ -899,10 +927,24 @@ class Engine {
 
   void churn_join() {
     if (done()) return;
-    const double raw = rng_.bounded_pareto(
+    join_real(rng_);
+  }
+
+  /// One node join, fully charged to `rng`: capacity draw, proximity
+  /// placement, overlay insertion, table build, and initial indegree
+  /// probing. Parameter churn passes the workload stream (the historical
+  /// draw order, byte for byte); scenario churn passes the scenario stream.
+  void join_real(Rng& rng) {
+    const double raw = rng.bounded_pareto(
         params_.pareto_shape, params_.capacity_lo, params_.capacity_hi);
+    join_with_capacity(rng, raw);
+  }
+
+  /// Join with a predetermined raw capacity — partition rejoins bring nodes
+  /// back with the capacities they left with.
+  void join_with_capacity(Rng& rng, double raw) {
     const std::size_t r = caps_.add_node(raw);
-    prox_.add_node(rng_);
+    prox_.add_node(rng);
     RealNode rn;
     rn.cap = caps_.normalized(r);
     reals_.push_back(std::move(rn));
@@ -911,9 +953,9 @@ class Engine {
     std::int64_t overlay_slot = -1;
     if (vs_) {
       cycloid::Overlay* overlay = substrate_->as_cycloid();
-      for (NodeIndex v : vs_->add_real_node(*overlay, caps_, r, rng_)) {
+      for (NodeIndex v : vs_->add_real_node(*overlay, caps_, r, rng)) {
         if (overlay_slot < 0) overlay_slot = static_cast<std::int64_t>(v);
-        substrate_->build_table(v, rng_);
+        substrate_->build_table(v, rng);
       }
     } else {
       if (substrate_->id_space_full()) {
@@ -924,11 +966,11 @@ class Engine {
         return;
       }
       const NodeIndex v = substrate_->add_node(
-          rng_, caps_.normalized(r), node_max_indegree(r), params_.beta);
+          rng, caps_.normalized(r), node_max_indegree(r, rng), params_.beta);
       overlay_slot = static_cast<std::int64_t>(v);
       overlay_of_real_.push_back(v);
       real_of_overlay_.push_back(r);
-      substrate_->build_table(v, rng_);
+      substrate_->build_table(v, rng);
       if (is_ert(proto_)) {
         const auto& budget = substrate_->budget(v);
         const int want = budget.initial_target() - budget.indegree();
@@ -1034,6 +1076,105 @@ class Engine {
     }
   }
 
+  // --- scenario phases (docs/SCENARIOS.md) -------------------------------------------
+
+  /// Schedules the start event of every non-inert membership phase. Rate
+  /// and hotspot phases need no events — they are sampled at each arrival.
+  /// Like crash waves, scheduled phase events advance the simulated clock
+  /// to their firing time even when the workload settles first.
+  void schedule_scenario_phases() {
+    const auto& phases = scen_->scenario().phases;
+    partition_caps_.resize(phases.size());
+    for (std::size_t i = 0; i < phases.size(); ++i) {
+      const scenario::Phase& p = phases[i];
+      if (p.inert()) continue;
+      if (p.type == scenario::PhaseType::kChurn) {
+        sim_.schedule(p.start, [this, i] { scenario_churn_tick(i); });
+      } else if (p.type == scenario::PhaseType::kPartition) {
+        sim_.schedule(p.start, [this, i] { partition_start(i); });
+      }
+    }
+  }
+
+  /// One scenario-churn event: a join plus a capacity-biased departure,
+  /// then the next tick after an exponential gap — all drawn from the
+  /// scenario stream, leaving the workload stream untouched.
+  void scenario_churn_tick(std::size_t pi) {
+    if (done()) return;
+    const scenario::Phase& ph = scen_->scenario().phases[pi];
+    if (sim_.now() >= ph.end) return;
+    Rng& rng = scen_->rng();
+    join_real(rng);
+    scenario_depart(ph.bias, rng);
+    const double gap = rng.exponential(1.0 / ph.interarrival);
+    if (sim_.now() + gap < ph.end)
+      sim_.schedule(gap, [this, pi] { scenario_churn_tick(pi); });
+  }
+
+  /// Weak nodes die more: departure victims are the weakest of `bias`
+  /// uniformly sampled candidates (bias 1 = uniform churn). Dead samples
+  /// rank as infinitely strong so a tournament never "wins" a dead node
+  /// unless every sample was dead, in which case we redraw.
+  void scenario_depart(int bias, Rng& rng) {
+    if (alive_reals() < std::max<std::size_t>(16, params_.num_nodes / 4))
+      return;
+    for (int tries = 0; tries < 64; ++tries) {
+      const std::size_t r = scenario::tournament_weakest(
+          reals_.size(), bias,
+          [&](std::size_t i) {
+            return reals_[i].alive ? caps_.raw(i)
+                                   : std::numeric_limits<double>::infinity();
+          },
+          rng);
+      if (!reals_[r].alive) continue;
+      depart_real(r);
+      return;
+    }
+  }
+
+  /// Partition onset: `fraction` of the alive nodes drop out at once (mass
+  /// silent departure — the surviving half discovers the split through
+  /// timeouts, exactly like churn departures). Their raw capacities are
+  /// recorded so the rejoin wave brings the same population back.
+  void partition_start(std::size_t pi) {
+    if (done()) return;
+    const scenario::Phase& ph = scen_->scenario().phases[pi];
+    std::vector<std::size_t> alive;
+    alive.reserve(reals_.size());
+    for (std::size_t r = 0; r < reals_.size(); ++r)
+      if (reals_[r].alive) alive.push_back(r);
+    // Keep a minimal surviving core so the overlay stays routable even at
+    // fraction 0.9 (the churn floor of n/4 would silently cap the wave).
+    constexpr std::size_t kKeep = 8;
+    if (alive.size() <= kKeep) return;
+    std::size_t k = static_cast<std::size_t>(
+        ph.fraction * static_cast<double>(alive.size()));
+    k = std::min(k, alive.size() - kKeep);
+    if (k == 0) return;
+    Rng& rng = scen_->rng();
+    std::vector<double>& caps = partition_caps_[pi];
+    caps.clear();
+    caps.reserve(k);
+    for (std::size_t idx : rng.sample_indices(alive.size(), k)) {
+      const std::size_t r = alive[idx];
+      caps.push_back(caps_.raw(r));
+      depart_real(r);
+    }
+    sim_.schedule(std::max(0.0, ph.end - sim_.now()),
+                  [this, pi] { partition_rejoin(pi); });
+  }
+
+  /// Rejoin wave: the partitioned nodes come back as fresh joins (new ids,
+  /// empty tables) carrying their recorded capacities.
+  void partition_rejoin(std::size_t pi) {
+    std::vector<double>& caps = partition_caps_[pi];
+    if (!done()) {
+      Rng& rng = scen_->rng();
+      for (double raw : caps) join_with_capacity(rng, raw);
+    }
+    caps.clear();
+  }
+
   // --- continuous invariant auditing (docs/FAULTS.md) ------------------------------
 
   void schedule_audit() {
@@ -1042,7 +1183,15 @@ class Engine {
                               ? auditor_->options().period
                               : params_.adapt_period;
     audit_ev_ = sim_.schedule(period, [this] {
-      audit_sweep();
+      // Inside a partition phase's waiver window the Theorem 3.1/3.2
+      // sweep is skipped (and counted): mass silent departure leaves
+      // stale links by design, and the bounds are only promised again
+      // `settle` seconds after the rejoin (docs/SCENARIOS.md).
+      if (scen_ && scen_->audit_waived(sim_.now())) {
+        ++audit_waived_;
+      } else {
+        audit_sweep();
+      }
       schedule_audit();
     });
   }
@@ -1110,8 +1259,11 @@ class Engine {
     res.sim_duration = sim_.now();
     res.final_nodes = alive_reals();
     res.faults = fstats_;
+    res.adapt_sheds = adapt_sheds_;
+    res.adapt_grows = adapt_grows_;
     if (auditor_) {
       res.audit_sweeps = auditor_->sweeps();
+      res.audit_waived_sweeps = audit_waived_;
       res.audit_violations = auditor_->total_violations();
       res.audit_records = auditor_->records();
     }
@@ -1158,6 +1310,14 @@ class Engine {
   std::size_t dropped_overload_ = 0;
   std::size_t dropped_fault_ = 0;
   std::unique_ptr<FaultInjector> faults_;    ///< null in fault-free runs.
+  scenario::Scenario scen_opts_;             ///< as configured; may be inert.
+  std::unique_ptr<scenario::ScenarioDriver> scen_;  ///< null when inert.
+  /// Raw capacities of each partition phase's departed nodes, held for the
+  /// rejoin wave; indexed like the scenario's phase list.
+  std::vector<std::vector<double>> partition_caps_;
+  std::size_t adapt_sheds_ = 0;
+  std::size_t adapt_grows_ = 0;
+  std::size_t audit_waived_ = 0;
   std::unique_ptr<InvariantAuditor> auditor_;  ///< null unless audit.enabled.
   std::unique_ptr<trace::TraceSink> trace_;  ///< null unless trace.enabled.
   sim::EventHandle audit_ev_;  ///< pending sweep, cancelled on settle.
@@ -1208,6 +1368,7 @@ ExperimentResult reduce_in_seed_order(const std::vector<ExperimentResult>& runs)
   double heavy = 0.0, completed = 0.0, dropped = 0.0;
   double d_overload = 0.0, d_fault = 0.0;
   double timed_out = 0.0, retried = 0.0, recovered = 0.0, crashed = 0.0;
+  double sheds = 0.0, grows = 0.0;
   for (const ExperimentResult& r : runs) {
     acc.p99_max_congestion += w * r.p99_max_congestion;
     acc.mean_max_congestion += w * r.mean_max_congestion;
@@ -1233,11 +1394,14 @@ ExperimentResult reduce_in_seed_order(const std::vector<ExperimentResult>& runs)
     retried += w * static_cast<double>(r.faults.retried);
     recovered += w * static_cast<double>(r.faults.recovered);
     crashed += w * static_cast<double>(r.faults.crashed_nodes);
+    sheds += w * static_cast<double>(r.adapt_sheds);
+    grows += w * static_cast<double>(r.adapt_grows);
     acc.sim_duration += w * r.sim_duration;
     acc.final_nodes = r.final_nodes;
     // Audit output sums (not averages): sweeps and violations are totals
     // across seeds, and records concatenate in seed order.
     acc.audit_sweeps += r.audit_sweeps;
+    acc.audit_waived_sweeps += r.audit_waived_sweeps;
     acc.audit_violations += r.audit_violations;
     acc.audit_records.insert(acc.audit_records.end(), r.audit_records.begin(),
                              r.audit_records.end());
@@ -1257,6 +1421,8 @@ ExperimentResult reduce_in_seed_order(const std::vector<ExperimentResult>& runs)
   acc.faults.retried = static_cast<std::size_t>(std::llround(retried));
   acc.faults.recovered = static_cast<std::size_t>(std::llround(recovered));
   acc.faults.crashed_nodes = static_cast<std::size_t>(std::llround(crashed));
+  acc.adapt_sheds = static_cast<std::size_t>(std::llround(sheds));
+  acc.adapt_grows = static_cast<std::size_t>(std::llround(grows));
   return acc;
 }
 

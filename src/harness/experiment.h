@@ -13,6 +13,7 @@
 #include "harness/protocol.h"
 #include "harness/substrate.h"
 #include "metrics/metrics.h"
+#include "scenario/scenario.h"
 #include "trace/trace.h"
 
 namespace ert::harness {
@@ -28,6 +29,11 @@ struct ExperimentOptions {
   /// enabled tracer observes only, so metrics and sim_duration stay
   /// bit-identical to a tracer-off run.
   trace::TraceConfig trace;
+  /// Declarative workload scenario (docs/SCENARIOS.md). An empty or
+  /// all-inert scenario constructs no driver, schedules no events, and
+  /// consumes no randomness: the run is bit-identical to a plain run in
+  /// every metric, sim_duration included (the zero-intensity contract).
+  scenario::Scenario scenario;
 };
 
 struct ExperimentResult {
@@ -78,10 +84,18 @@ struct ExperimentResult {
   // Fault-injection accounting (zero in fault-free runs).
   metrics::FaultCounters faults;
 
+  // Elastic-table adaptation work (Algorithm 3): shed actions executed and
+  // grow attempts that gained at least one link. Averaged over seeds like
+  // the other counters.
+  std::size_t adapt_sheds = 0;
+  std::size_t adapt_grows = 0;
+
   // Invariant-audit report (empty unless options.audit.enabled). Under
   // run_averaged / run_sweep, sweeps and violations sum over seeds and
-  // records concatenate in seed order.
+  // records concatenate in seed order. `audit_waived_sweeps` counts ticks
+  // skipped inside a scenario partition's waiver window (also summed).
   std::size_t audit_sweeps = 0;
+  std::size_t audit_waived_sweeps = 0;
   std::size_t audit_violations = 0;
   std::vector<InvariantViolation> audit_records;
 

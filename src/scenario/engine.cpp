@@ -1,0 +1,24 @@
+#include "scenario/engine.h"
+
+namespace ert::scenario {
+
+ScenarioDriver::ScenarioDriver(const Scenario& scenario, std::uint64_t seed,
+                               std::uint64_t space_size)
+    : scen_(scenario), rng_(seed ^ kScenarioSeedSalt) {
+  samplers_.resize(scen_.phases.size());
+  for (std::size_t i = 0; i < scen_.phases.size(); ++i) {
+    const Phase& p = scen_.phases[i];
+    if (p.type != PhaseType::kHotspot || p.inert()) continue;
+    samplers_[i] = std::make_unique<workload::RotatingZipf>(
+        space_size, p.catalog, p.exponent, p.rotate, p.start, rng_);
+  }
+}
+
+bool ScenarioDriver::hotspot_key(double t, std::uint64_t* key) {
+  const std::size_t i = scen_.hotspot_at(t);
+  if (i == Scenario::npos) return false;
+  *key = samplers_[i]->pick(t, rng_);
+  return true;
+}
+
+}  // namespace ert::scenario

@@ -1,0 +1,81 @@
+// Runtime half of the scenario layer: a ScenarioDriver owns the scenario's
+// domain-separated Rng stream and the per-hotspot-phase rotating-Zipf
+// samplers, and answers the experiment engine's three questions — "what is
+// the rate multiplier now?", "does a hotspot override this key?", and "is
+// the invariant audit waived right now?".
+//
+// Determinism contract: the driver's Rng is seeded from the experiment seed
+// XOR a scenario-only constant, so scenario draws (hotspot catalogs, hot-key
+// picks, scenario churn) never touch the workload stream. An inert scenario
+// constructs no samplers and answers multiplier 1.0 / no-hotspot / not-
+// waived without consuming a single draw, which is what makes zero-intensity
+// runs bit-identical to plain runs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "scenario/scenario.h"
+#include "workload/workload.h"
+
+namespace ert::scenario {
+
+/// Domain-separation constant for the scenario Rng stream (the auditor and
+/// fault layers use the same scheme with their own constants).
+inline constexpr std::uint64_t kScenarioSeedSalt = 0x5ce7a12095c3aULL;
+
+class ScenarioDriver {
+ public:
+  /// Builds the per-phase samplers; draws only from the scenario stream
+  /// (seed ^ kScenarioSeedSalt), and only for non-inert hotspot phases.
+  ScenarioDriver(const Scenario& scenario, std::uint64_t seed,
+                 std::uint64_t space_size);
+
+  const Scenario& scenario() const { return scen_; }
+
+  /// Arrival-rate factor at time t (exactly 1.0 when nothing is active).
+  double rate_multiplier(double t) const { return scen_.rate_multiplier(t); }
+
+  /// When a hotspot phase is active at t, overwrites *key with a hot key
+  /// (one Zipf draw from the scenario stream) and returns true; otherwise
+  /// leaves *key untouched and returns false without consuming randomness.
+  bool hotspot_key(double t, std::uint64_t* key);
+
+  bool audit_waived(double t) const { return scen_.audit_waived(t); }
+
+  /// The scenario-owned stream, for scenario churn/partition scheduling.
+  Rng& rng() { return rng_; }
+
+ private:
+  Scenario scen_;
+  Rng rng_;
+  // Indexed like scen_.phases; null for every phase that is not a live
+  // hotspot phase.
+  std::vector<std::unique_ptr<workload::RotatingZipf>> samplers_;
+};
+
+/// Capacity-biased victim selection for scenario churn: samples `k`
+/// candidates uniformly from [0, n) via `pick` indices and returns the one
+/// with the smallest capacity (ties keep the earlier sample). k == 1 is
+/// uniform churn. With i.i.d. capacities the winner lands in the weakest
+/// decile with probability 1 - 0.9^k — the analytic gate in
+/// tests/scenario_test.cpp.
+template <typename CapacityFn>
+std::size_t tournament_weakest(std::size_t n, int k, CapacityFn&& capacity,
+                               Rng& rng) {
+  std::size_t best = rng.index(n);
+  double best_cap = capacity(best);
+  for (int i = 1; i < k; ++i) {
+    const std::size_t c = rng.index(n);
+    const double cap = capacity(c);
+    if (cap < best_cap) {
+      best = c;
+      best_cap = cap;
+    }
+  }
+  return best;
+}
+
+}  // namespace ert::scenario

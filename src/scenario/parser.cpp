@@ -1,0 +1,272 @@
+#include "scenario/parser.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace ert::scenario {
+
+std::string ParseResult::message(const std::string& file) const {
+  std::string out;
+  if (!file.empty()) out += file + ":";
+  if (line > 0) out += (file.empty() ? "line " : "") + std::to_string(line) + ": ";
+  else if (!file.empty()) out += " ";
+  return out + error;
+}
+
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t a = s.find_first_not_of(" \t\r");
+  if (a == std::string::npos) return {};
+  std::size_t b = s.find_last_not_of(" \t\r");
+  return s.substr(a, b - a + 1);
+}
+
+bool parse_double(const std::string& v, double* out) {
+  if (v.empty()) return false;
+  const char* begin = v.c_str();
+  char* endp = nullptr;
+  errno = 0;
+  const double d = std::strtod(begin, &endp);
+  if (endp != begin + v.size() || errno == ERANGE) return false;
+  if (!(d == d)) return false;  // reject nan spellings
+  *out = d;
+  return true;
+}
+
+bool parse_count(const std::string& v, std::size_t* out) {
+  if (v.empty()) return false;
+  for (char c : v)
+    if (c < '0' || c > '9') return false;
+  if (v.size() > 9) return false;  // caps counts well below overflow
+  *out = static_cast<std::size_t>(std::strtoull(v.c_str(), nullptr, 10));
+  return true;
+}
+
+bool parse_bool(const std::string& v, bool* out) {
+  if (v == "true" || v == "1") { *out = true; return true; }
+  if (v == "false" || v == "0") { *out = false; return true; }
+  return false;
+}
+
+bool parse_type(const std::string& v, PhaseType* out) {
+  for (PhaseType t : {PhaseType::kFlash, PhaseType::kDiurnal,
+                      PhaseType::kHotspot, PhaseType::kChurn,
+                      PhaseType::kPartition}) {
+    if (v == to_string(t)) { *out = t; return true; }
+  }
+  return false;
+}
+
+ParseResult fail(int line, std::string msg) {
+  ParseResult r;
+  r.line = line;
+  r.error = std::move(msg);
+  return r;
+}
+
+// One scenario-file key applied to the current phase. Returns an error
+// message (empty on success); keys are only legal for their phase type so
+// a `multiplier` inside a churn phase is caught at the offending line.
+std::string apply_key(Phase* p, const std::string& key,
+                      const std::string& value) {
+  const PhaseType t = p->type;
+  double d = 0.0;
+  const bool is_num = parse_double(value, &d);
+  auto num = [&](double* field) -> std::string {
+    if (!is_num) return "expected a number for '" + key + "', got '" + value + "'";
+    *field = d;
+    return {};
+  };
+  if (key == "start") return num(&p->start);
+  if (key == "end") return num(&p->end);
+  if (t == PhaseType::kFlash) {
+    if (key == "multiplier") return num(&p->multiplier);
+    if (key == "ramp") return num(&p->ramp);
+  } else if (t == PhaseType::kDiurnal) {
+    if (key == "period") return num(&p->period);
+    if (key == "amplitude") return num(&p->amplitude);
+  } else if (t == PhaseType::kHotspot) {
+    if (key == "catalog") {
+      if (!parse_count(value, &p->catalog))
+        return "expected a non-negative integer for 'catalog', got '" + value + "'";
+      return {};
+    }
+    if (key == "exponent") return num(&p->exponent);
+    if (key == "rotate") return num(&p->rotate);
+  } else if (t == PhaseType::kChurn) {
+    if (key == "interarrival") return num(&p->interarrival);
+    if (key == "bias") {
+      std::size_t b = 0;
+      if (!parse_count(value, &b) || b == 0 || b > 1024)
+        return "expected an integer in [1, 1024] for 'bias', got '" + value + "'";
+      p->bias = static_cast<int>(b);
+      return {};
+    }
+  } else if (t == PhaseType::kPartition) {
+    if (key == "fraction") return num(&p->fraction);
+    if (key == "settle") return num(&p->settle);
+    if (key == "waive_audit") {
+      if (!parse_bool(value, &p->waive_audit))
+        return "expected true/false for 'waive_audit', got '" + value + "'";
+      return {};
+    }
+  }
+  return "unknown key '" + key + "' for a " + std::string(to_string(t)) +
+         " phase";
+}
+
+}  // namespace
+
+ParseResult parse(const std::string& text) {
+  ParseResult r;
+  Scenario& s = r.scenario;
+  bool in_phase = false;      // seen [phase]; `type =` may still be pending
+  bool have_type = false;     // the current phase's type is known
+  Phase current;
+  int lineno = 0;
+  // A phase's keys are buffered until `type` fixes which keys are legal;
+  // in the canonical form type always comes first so the buffer stays empty.
+  std::vector<std::pair<int, std::pair<std::string, std::string>>> pending;
+
+  auto flush_phase = [&]() -> std::string {
+    if (!in_phase) return {};
+    if (!have_type) return "phase is missing a 'type' key";
+    s.phases.push_back(current);
+    return {};
+  };
+
+  std::istringstream in(text);
+  std::string raw;
+  while (std::getline(in, raw)) {
+    ++lineno;
+    std::string line = trim(raw);
+    if (line.empty() || line[0] == '#') continue;
+
+    if (line == "[phase]") {
+      std::string err = flush_phase();
+      if (!err.empty()) return fail(lineno, std::move(err));
+      in_phase = true;
+      have_type = false;
+      current = Phase{};
+      pending.clear();
+      continue;
+    }
+    if (line[0] == '[')
+      return fail(lineno, "unknown section '" + line + "' (expected [phase])");
+
+    std::size_t eq = line.find('=');
+    if (eq == std::string::npos)
+      return fail(lineno, "expected 'key = value', got '" + line + "'");
+    std::string key = trim(line.substr(0, eq));
+    std::string value = trim(line.substr(eq + 1));
+    if (key.empty()) return fail(lineno, "empty key before '='");
+    if (value.empty())
+      return fail(lineno, "empty value for key '" + key + "'");
+
+    if (!in_phase) {
+      if (key == "name") {
+        s.name = value;
+        continue;
+      }
+      return fail(lineno,
+                  "unknown header key '" + key + "' (only 'name' may appear "
+                  "before the first [phase])");
+    }
+
+    if (key == "type") {
+      if (have_type)
+        return fail(lineno, "duplicate 'type' key in phase");
+      if (!parse_type(value, &current.type))
+        return fail(lineno, "unknown phase type '" + value +
+                                "' (expected flash, diurnal, hotspot, churn, "
+                                "or partition)");
+      have_type = true;
+      for (const auto& [pl, kv] : pending) {
+        std::string err = apply_key(&current, kv.first, kv.second);
+        if (!err.empty()) return fail(pl, std::move(err));
+      }
+      pending.clear();
+      continue;
+    }
+    if (!have_type) {
+      pending.emplace_back(lineno, std::make_pair(key, value));
+      continue;
+    }
+    std::string err = apply_key(&current, key, value);
+    if (!err.empty()) return fail(lineno, std::move(err));
+  }
+
+  std::string err = flush_phase();
+  if (!err.empty()) return fail(lineno, std::move(err));
+
+  err = validate(s);
+  if (!err.empty()) return fail(lineno, std::move(err));
+
+  r.ok = true;
+  return r;
+}
+
+ParseResult parse_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return fail(0, "cannot open scenario file '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse(buf.str());
+}
+
+namespace {
+
+std::string fmt(double d) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  // Shortest round-trip: prefer fewer digits when they parse back exactly.
+  for (int prec = 1; prec < 17; ++prec) {
+    char shorter[40];
+    std::snprintf(shorter, sizeof(shorter), "%.*g", prec, d);
+    if (std::strtod(shorter, nullptr) == d) return shorter;
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string serialize(const Scenario& s) {
+  std::ostringstream out;
+  if (!s.name.empty()) out << "name = " << s.name << "\n";
+  for (const Phase& p : s.phases) {
+    out << "\n[phase]\ntype = " << to_string(p.type) << "\n";
+    out << "start = " << fmt(p.start) << "\n";
+    out << "end = " << fmt(p.end) << "\n";
+    switch (p.type) {
+      case PhaseType::kFlash:
+        out << "multiplier = " << fmt(p.multiplier) << "\n";
+        out << "ramp = " << fmt(p.ramp) << "\n";
+        break;
+      case PhaseType::kDiurnal:
+        out << "period = " << fmt(p.period) << "\n";
+        out << "amplitude = " << fmt(p.amplitude) << "\n";
+        break;
+      case PhaseType::kHotspot:
+        out << "catalog = " << p.catalog << "\n";
+        out << "exponent = " << fmt(p.exponent) << "\n";
+        out << "rotate = " << fmt(p.rotate) << "\n";
+        break;
+      case PhaseType::kChurn:
+        out << "interarrival = " << fmt(p.interarrival) << "\n";
+        out << "bias = " << p.bias << "\n";
+        break;
+      case PhaseType::kPartition:
+        out << "fraction = " << fmt(p.fraction) << "\n";
+        out << "settle = " << fmt(p.settle) << "\n";
+        out << "waive_audit = " << (p.waive_audit ? "true" : "false") << "\n";
+        break;
+    }
+  }
+  return out.str();
+}
+
+}  // namespace ert::scenario

@@ -1,0 +1,47 @@
+// Scenario file format: a deliberately tiny line-oriented key=value
+// dialect, parsed by hand (no dependencies) with line-numbered errors.
+//
+//   # comment                      blank lines and #-comments are skipped
+//   name = flash-crowd             scenario header (before any [phase])
+//   [phase]                        opens a phase; first key must be `type`
+//   type = flash                   flash|diurnal|hotspot|churn|partition
+//   start = 5                      numbers parse with strtod, full-token
+//   end = 15
+//   multiplier = 8
+//
+// Unknown keys, keys for the wrong phase type, malformed numbers, missing
+// `type`, and out-of-range values are all rejected with `line N: message`.
+// serialize() emits a canonical form (every field of every phase, %.17g
+// doubles) whose parse is exactly the original scenario, so
+// parse(serialize(parse(x))) == parse(x) — pinned with fuzzed inputs in
+// tests/scenario_parser_test.cpp.
+#pragma once
+
+#include <string>
+
+#include "scenario/scenario.h"
+
+namespace ert::scenario {
+
+struct ParseResult {
+  bool ok = false;
+  Scenario scenario;
+  int line = 0;        ///< 1-based line of the first error (0 when ok).
+  std::string error;   ///< empty when ok.
+
+  /// "file:line: message" (or "line N: message" without a file).
+  std::string message(const std::string& file = {}) const;
+};
+
+/// Parses scenario text. Never throws; malformed input of any shape yields
+/// ok == false with a line-numbered error.
+ParseResult parse(const std::string& text);
+
+/// Reads and parses a file; a missing/unreadable file reports line 0.
+ParseResult parse_file(const std::string& path);
+
+/// Canonical text form: parse(serialize(s)) reproduces `s` exactly
+/// (doubles print with enough digits to round-trip).
+std::string serialize(const Scenario& s);
+
+}  // namespace ert::scenario

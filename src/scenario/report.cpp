@@ -1,0 +1,251 @@
+#include "scenario/report.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+#include "common/table_printer.h"
+
+namespace ert::scenario {
+
+namespace {
+
+constexpr const char* kSchema = "ert.scenario.report.v1";
+
+std::string fmt(double d) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  for (int prec = 1; prec < 17; ++prec) {
+    char shorter[40];
+    std::snprintf(shorter, sizeof(shorter), "%.*g", prec, d);
+    if (std::strtod(shorter, nullptr) == d) return shorter;
+  }
+  return buf;
+}
+
+void append_escaped(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      *out += buf;
+    } else {
+      out->push_back(c);
+    }
+  }
+  out->push_back('"');
+}
+
+// Minimal recursive-descent JSON reader, scoped to what the report schema
+// needs: objects, arrays, strings, numbers, and booleans.
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text) : text_(text) {}
+
+  bool fail(const std::string& msg) {
+    if (error_.empty())
+      error_ = "offset " + std::to_string(pos_) + ": " + msg;
+    return false;
+  }
+  const std::string& error() const { return error_; }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  bool expect(char c) {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != c)
+      return fail(std::string("expected '") + c + "'");
+    ++pos_;
+    return true;
+  }
+
+  bool peek_is(char c) {
+    skip_ws();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  bool at_end() {
+    skip_ws();
+    return pos_ >= text_.size();
+  }
+
+  bool read_string(std::string* out) {
+    if (!expect('"')) return false;
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        char e = text_[pos_++];
+        if (e == '"' || e == '\\' || e == '/') out->push_back(e);
+        else if (e == 'n') out->push_back('\n');
+        else if (e == 't') out->push_back('\t');
+        else if (e == 'r') out->push_back('\r');
+        else return fail("unsupported escape in string");
+      } else {
+        out->push_back(c);
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool read_number(double* out) {
+    skip_ws();
+    const char* begin = text_.c_str() + pos_;
+    char* endp = nullptr;
+    errno = 0;
+    const double d = std::strtod(begin, &endp);
+    if (endp == begin || errno == ERANGE) return fail("expected a number");
+    pos_ += static_cast<std::size_t>(endp - begin);
+    *out = d;
+    return true;
+  }
+
+  bool read_count(std::size_t* out) {
+    double d = 0.0;
+    if (!read_number(&d)) return false;
+    if (d < 0.0 || d != static_cast<double>(static_cast<std::size_t>(d)))
+      return fail("expected a non-negative integer");
+    *out = static_cast<std::size_t>(d);
+    return true;
+  }
+
+ private:
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+bool read_cell(JsonReader& in, Cell* c) {
+  if (!in.expect('{')) return false;
+  bool first = true;
+  while (!in.peek_is('}')) {
+    if (!first && !in.expect(',')) return false;
+    first = false;
+    std::string key;
+    if (!in.read_string(&key) || !in.expect(':')) return false;
+    if (key == "protocol") { if (!in.read_string(&c->protocol)) return false; }
+    else if (key == "substrate") { if (!in.read_string(&c->substrate)) return false; }
+    else if (key == "scenario") { if (!in.read_string(&c->scenario)) return false; }
+    else if (key == "mean_latency") { if (!in.read_number(&c->mean_latency)) return false; }
+    else if (key == "p99_latency") { if (!in.read_number(&c->p99_latency)) return false; }
+    else if (key == "completed") { if (!in.read_count(&c->completed)) return false; }
+    else if (key == "dropped_overload") { if (!in.read_count(&c->dropped_overload)) return false; }
+    else if (key == "dropped_fault") { if (!in.read_count(&c->dropped_fault)) return false; }
+    else if (key == "adapt_sheds") { if (!in.read_count(&c->adapt_sheds)) return false; }
+    else if (key == "adapt_grows") { if (!in.read_count(&c->adapt_grows)) return false; }
+    else if (key == "audit_sweeps") { if (!in.read_count(&c->audit_sweeps)) return false; }
+    else if (key == "audit_waived_sweeps") { if (!in.read_count(&c->audit_waived_sweeps)) return false; }
+    else if (key == "audit_violations") { if (!in.read_count(&c->audit_violations)) return false; }
+    else if (key == "verdict") { if (!in.read_string(&c->verdict)) return false; }
+    else return in.fail("unknown cell field '" + key + "'");
+  }
+  return in.expect('}');
+}
+
+}  // namespace
+
+std::string to_json(const Report& r) {
+  std::string out;
+  out += "{\n  \"schema\": \"";
+  out += kSchema;
+  out += "\",\n  \"cells\": [";
+  for (std::size_t i = 0; i < r.cells.size(); ++i) {
+    const Cell& c = r.cells[i];
+    out += i ? ",\n    {" : "\n    {";
+    out += "\"protocol\": ";      append_escaped(&out, c.protocol);
+    out += ", \"substrate\": ";   append_escaped(&out, c.substrate);
+    out += ", \"scenario\": ";    append_escaped(&out, c.scenario);
+    out += ", \"mean_latency\": " + fmt(c.mean_latency);
+    out += ", \"p99_latency\": " + fmt(c.p99_latency);
+    out += ", \"completed\": " + std::to_string(c.completed);
+    out += ", \"dropped_overload\": " + std::to_string(c.dropped_overload);
+    out += ", \"dropped_fault\": " + std::to_string(c.dropped_fault);
+    out += ", \"adapt_sheds\": " + std::to_string(c.adapt_sheds);
+    out += ", \"adapt_grows\": " + std::to_string(c.adapt_grows);
+    out += ", \"audit_sweeps\": " + std::to_string(c.audit_sweeps);
+    out += ", \"audit_waived_sweeps\": " + std::to_string(c.audit_waived_sweeps);
+    out += ", \"audit_violations\": " + std::to_string(c.audit_violations);
+    out += ", \"verdict\": ";     append_escaped(&out, c.verdict);
+    out += "}";
+  }
+  out += r.cells.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+bool from_json(const std::string& text, Report* out, std::string* error) {
+  JsonReader in(text);
+  Report r;
+  bool have_schema = false;
+  auto done = [&](bool ok) {
+    if (!ok && error) *error = in.error();
+    return ok;
+  };
+  if (!in.expect('{')) return done(false);
+  bool first = true;
+  while (!in.peek_is('}')) {
+    if (!first && !in.expect(',')) return done(false);
+    first = false;
+    std::string key;
+    if (!in.read_string(&key) || !in.expect(':')) return done(false);
+    if (key == "schema") {
+      std::string v;
+      if (!in.read_string(&v)) return done(false);
+      if (v != kSchema)
+        return done(in.fail("unsupported schema '" + v + "'"));
+      have_schema = true;
+    } else if (key == "cells") {
+      if (!in.expect('[')) return done(false);
+      bool first_cell = true;
+      while (!in.peek_is(']')) {
+        if (!first_cell && !in.expect(',')) return done(false);
+        first_cell = false;
+        Cell c;
+        if (!read_cell(in, &c)) return done(false);
+        r.cells.push_back(std::move(c));
+      }
+      if (!in.expect(']')) return done(false);
+    } else {
+      return done(in.fail("unknown report field '" + key + "'"));
+    }
+  }
+  if (!in.expect('}')) return done(false);
+  if (!in.at_end()) return done(in.fail("trailing content after report"));
+  if (!have_schema) return done(in.fail("missing 'schema' field"));
+  *out = std::move(r);
+  return true;
+}
+
+std::string to_table(const Report& r) {
+  TablePrinter t({"protocol", "substrate", "scenario", "p99_lat", "mean_lat",
+                  "completed", "drop_ovl", "drop_flt", "sheds", "grows",
+                  "audit"});
+  for (const Cell& c : r.cells) {
+    std::string audit = c.verdict;
+    if (c.verdict != "off") {
+      audit += " (" + std::to_string(c.audit_violations) + " viol";
+      if (c.audit_waived_sweeps)
+        audit += ", " + std::to_string(c.audit_waived_sweeps) + " waived";
+      audit += ")";
+    }
+    t.add_row({c.protocol, c.substrate, c.scenario, fmt_num(c.p99_latency, 4),
+               fmt_num(c.mean_latency, 4), std::to_string(c.completed),
+               std::to_string(c.dropped_overload),
+               std::to_string(c.dropped_fault), std::to_string(c.adapt_sheds),
+               std::to_string(c.adapt_grows), audit});
+  }
+  return t.to_string();
+}
+
+}  // namespace ert::scenario

@@ -1,0 +1,58 @@
+// Comparative report for the protocol × scenario matrix: one Cell per
+// (protocol, substrate, scenario) run carrying the congestion-control
+// headline numbers — tail latency, the overload/fault drop split, how hard
+// the elastic table worked (shed/grow counts), and the auditor's verdict.
+//
+// The JSON form (`ertsim --scenario-json`, read back by tools/scenariocat
+// and the round-trip tests) is emitted and parsed by this file's own tiny
+// JSON reader — same no-dependency policy as the scenario parser.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ert::scenario {
+
+struct Cell {
+  std::string protocol;
+  std::string substrate;
+  std::string scenario;
+
+  double mean_latency = 0.0;  ///< seconds, mean completed-lookup time.
+  double p99_latency = 0.0;   ///< seconds, 99th percentile.
+  std::size_t completed = 0;
+  std::size_t dropped_overload = 0;  ///< congestion-path drops.
+  std::size_t dropped_fault = 0;     ///< fault-layer drops.
+  std::size_t adapt_sheds = 0;       ///< Algorithm 3 shed actions.
+  std::size_t adapt_grows = 0;       ///< Algorithm 3 grow actions.
+  std::size_t audit_sweeps = 0;
+  std::size_t audit_waived_sweeps = 0;  ///< skipped inside partition windows.
+  std::size_t audit_violations = 0;
+
+  /// "pass" (audited, clean), "fail" (violations), or "off" (not audited).
+  /// A pass with waived sweeps is still "pass" — the waiver window is part
+  /// of the scenario's documented contract.
+  std::string verdict = "off";
+
+  bool operator==(const Cell&) const = default;
+};
+
+struct Report {
+  std::vector<Cell> cells;
+
+  bool operator==(const Report&) const = default;
+};
+
+/// Serializes with a stable field order and round-trippable doubles.
+std::string to_json(const Report& r);
+
+/// Parses what to_json emits (and hand-written equivalents). On failure
+/// returns false and sets *error to a positioned message; unknown fields
+/// are rejected so schema drift fails loudly.
+bool from_json(const std::string& text, Report* out, std::string* error);
+
+/// Aligned text table, one row per cell (scenariocat's default view).
+std::string to_table(const Report& r);
+
+}  // namespace ert::scenario

@@ -1,0 +1,132 @@
+#include "scenario/scenario.h"
+
+#include <cmath>
+
+namespace ert::scenario {
+
+const char* to_string(PhaseType t) {
+  switch (t) {
+    case PhaseType::kFlash:     return "flash";
+    case PhaseType::kDiurnal:   return "diurnal";
+    case PhaseType::kHotspot:   return "hotspot";
+    case PhaseType::kChurn:     return "churn";
+    case PhaseType::kPartition: return "partition";
+  }
+  return "?";
+}
+
+bool Phase::inert() const {
+  if (end <= start) return true;  // empty window
+  switch (type) {
+    case PhaseType::kFlash:     return multiplier == 1.0;
+    case PhaseType::kDiurnal:   return amplitude == 0.0;
+    case PhaseType::kHotspot:   return catalog == 0;
+    case PhaseType::kChurn:     return interarrival <= 0.0;
+    case PhaseType::kPartition: return fraction <= 0.0;
+  }
+  return true;
+}
+
+bool Scenario::inert() const {
+  for (const Phase& p : phases)
+    if (!p.inert()) return false;
+  return true;
+}
+
+bool Scenario::changes_membership() const {
+  for (const Phase& p : phases) {
+    if (p.inert()) continue;
+    if (p.type == PhaseType::kChurn || p.type == PhaseType::kPartition)
+      return true;
+  }
+  return false;
+}
+
+double Scenario::rate_multiplier(double t) const {
+  double m = 1.0;
+  for (const Phase& p : phases) {
+    if (p.inert() || !p.active(t)) continue;
+    if (p.type == PhaseType::kFlash) {
+      // Plateau at `multiplier`, with a linear on/off ramp of `ramp`
+      // seconds clipped to the window. ramp == 0 gives the pure impulse
+      // edge; the neutral multiplier 1.0 yields f == 1.0 exactly.
+      double f = 1.0;
+      if (p.ramp > 0.0) {
+        const double up = (t - p.start) / p.ramp;
+        const double down = (p.end - t) / p.ramp;
+        f = std::min(1.0, std::min(up, down));
+        f = std::max(0.0, f);
+      }
+      m *= 1.0 + (p.multiplier - 1.0) * f;
+    } else if (p.type == PhaseType::kDiurnal) {
+      constexpr double kTau = 6.283185307179586476925286766559;  // 2*pi
+      m *= 1.0 + p.amplitude * std::sin(kTau * (t - p.start) / p.period);
+    }
+  }
+  return m;
+}
+
+std::size_t Scenario::hotspot_at(double t) const {
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    const Phase& p = phases[i];
+    if (p.type == PhaseType::kHotspot && !p.inert() && p.active(t)) return i;
+  }
+  return npos;
+}
+
+bool Scenario::audit_waived(double t) const {
+  for (const Phase& p : phases) {
+    if (p.type != PhaseType::kPartition || p.inert() || !p.waive_audit)
+      continue;
+    if (t >= p.start && t < p.end + p.settle) return true;
+  }
+  return false;
+}
+
+namespace {
+
+std::string phase_err(std::size_t i, const char* msg) {
+  return "phase " + std::to_string(i + 1) + ": " + msg;
+}
+
+}  // namespace
+
+std::string validate(const Scenario& s) {
+  for (std::size_t i = 0; i < s.phases.size(); ++i) {
+    const Phase& p = s.phases[i];
+    if (p.start < 0.0) return phase_err(i, "start must be >= 0");
+    if (p.end < p.start) return phase_err(i, "end must be >= start");
+    switch (p.type) {
+      case PhaseType::kFlash:
+        if (p.multiplier <= 0.0)
+          return phase_err(i, "multiplier must be > 0");
+        if (p.ramp < 0.0) return phase_err(i, "ramp must be >= 0");
+        break;
+      case PhaseType::kDiurnal:
+        if (p.amplitude < 0.0 || p.amplitude >= 1.0)
+          return phase_err(i, "amplitude must be in [0, 1)");
+        if (p.amplitude > 0.0 && p.period <= 0.0)
+          return phase_err(i, "period must be > 0");
+        break;
+      case PhaseType::kHotspot:
+        if (p.catalog > (std::size_t{1} << 20))
+          return phase_err(i, "catalog is implausibly large (> 2^20)");
+        if (p.exponent < 0.0) return phase_err(i, "exponent must be >= 0");
+        if (p.rotate < 0.0) return phase_err(i, "rotate must be >= 0");
+        break;
+      case PhaseType::kChurn:
+        if (p.interarrival < 0.0)
+          return phase_err(i, "interarrival must be >= 0");
+        if (p.bias < 1) return phase_err(i, "bias must be >= 1");
+        break;
+      case PhaseType::kPartition:
+        if (p.fraction < 0.0 || p.fraction > 0.9)
+          return phase_err(i, "fraction must be in [0, 0.9]");
+        if (p.settle < 0.0) return phase_err(i, "settle must be >= 0");
+        break;
+    }
+  }
+  return {};
+}
+
+}  // namespace ert::scenario

@@ -1,0 +1,117 @@
+// Declarative scenario model: composable workload phases on a timeline.
+//
+// The paper's Sec. 5 workloads (Poisson arrivals, one impulse, uniform
+// churn) are a single operating point; production DHT traffic is meaner.
+// A Scenario strings together phases that modulate the experiment while it
+// runs:
+//
+//   flash      time-varying arrival process: the Poisson rate is multiplied
+//              by `multiplier` inside [start, end), with an optional linear
+//              on/off ramp of `ramp` seconds (the Sec. 5.4 impulse is the
+//              special case ramp = 0 over a hot key set).
+//   diurnal    sinusoidal rate modulation: rate *= 1 + amplitude *
+//              sin(2*pi*(t-start)/period), the day/night load swing.
+//   hotspot    Zipf-skewed key popularity over a `catalog` of hot keys with
+//              the rank order rotating every `rotate` seconds (rotating
+//              hotspots: the hot set moves, tables must re-adapt).
+//   churn      capacity-correlated join/leave process: mean interarrival
+//              `interarrival` seconds; departures pick the weakest of
+//              `bias` sampled candidates (bias = 1 is uniform churn; weak
+//              nodes die more, as measured in deployed swarms).
+//   partition  at `start`, `fraction` of the alive nodes drop out at once
+//              (the reachable half's view of a network split, in the
+//              spirit of CONE-DHT's self-stabilization model); at `end`
+//              they rejoin as fresh nodes carrying their old capacities.
+//              While partitioned (plus `settle` seconds after the rejoin)
+//              the Theorem 3.1/3.2 audit is waived when `waive_audit` is
+//              set — see docs/SCENARIOS.md for the contract.
+//
+// Phases compose freely: rate phases multiply, the first active hotspot
+// phase overrides key selection, churn/partition phases run independent
+// membership processes. A phase whose knobs are at their neutral value is
+// *inert*; a scenario whose phases are all inert changes nothing — runs are
+// bit-identical to the plain run in every metric including sim_duration
+// (the zero-intensity contract, pinned by tests/scenario_golden_test.cpp).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ert::scenario {
+
+enum class PhaseType { kFlash, kDiurnal, kHotspot, kChurn, kPartition };
+
+const char* to_string(PhaseType t);
+
+struct Phase {
+  PhaseType type = PhaseType::kFlash;
+  double start = 0.0;  ///< simulated seconds; phase is active in [start, end).
+  double end = 0.0;    ///< for partition: the rejoin time.
+
+  // --- flash ---
+  double multiplier = 1.0;  ///< arrival-rate factor at full strength.
+  double ramp = 0.0;        ///< linear on/off ramp length, seconds.
+
+  // --- diurnal ---
+  double period = 0.0;     ///< sine period, seconds.
+  double amplitude = 0.0;  ///< in [0, 1): swing around the base rate.
+
+  // --- hotspot ---
+  std::size_t catalog = 0;  ///< # of hot keys (0 = inert).
+  double exponent = 1.0;    ///< Zipf popularity exponent.
+  double rotate = 0.0;      ///< rank-rotation period, seconds (0 = static).
+
+  // --- churn ---
+  double interarrival = 0.0;  ///< mean seconds between joins (and leaves).
+  int bias = 1;  ///< departure tournament size; 1 = uniform churn.
+
+  // --- partition ---
+  double fraction = 0.0;    ///< of alive nodes partitioned away, [0, 0.9].
+  double settle = 5.0;      ///< audit-waiver tail after the rejoin, seconds.
+  bool waive_audit = true;  ///< waive invariant sweeps inside the window.
+
+  bool operator==(const Phase&) const = default;
+
+  /// True inside the phase's active window.
+  bool active(double t) const { return t >= start && t < end; }
+
+  /// A phase at its neutral setting: it can never change a run.
+  bool inert() const;
+};
+
+struct Scenario {
+  std::string name;
+  std::vector<Phase> phases;
+
+  bool operator==(const Scenario&) const = default;
+
+  /// An empty or all-inert scenario: bit-identical to the plain run.
+  bool inert() const;
+
+  /// True when any non-inert phase adds or removes members (churn or
+  /// partition): the engine then sizes the id space with join headroom,
+  /// exactly as it does for SimParams::churn_interarrival.
+  bool changes_membership() const;
+
+  /// Rate-modulation factor at time t: the product of every active flash
+  /// and diurnal phase's multiplier. Exactly 1.0 when none is active or
+  /// all are inert, so `rate * rate_multiplier(t)` leaves the plain
+  /// arrival draws bit-identical under the zero-intensity contract.
+  double rate_multiplier(double t) const;
+
+  /// Index of the first non-inert hotspot phase active at t, or npos.
+  std::size_t hotspot_at(double t) const;
+
+  /// True inside a waiving partition phase's [start, end + settle) window.
+  bool audit_waived(double t) const;
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+};
+
+/// Range/consistency validation shared by the parser and programmatic
+/// construction. Returns an empty string when valid, else a message naming
+/// the offending phase (1-based) and field.
+std::string validate(const Scenario& s);
+
+}  // namespace ert::scenario

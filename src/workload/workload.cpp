@@ -50,4 +50,26 @@ std::uint64_t ZipfKeys::pick(Rng& rng) {
   return keys_[rng.zipf(keys_.size(), exponent_)];
 }
 
+RotatingZipf::RotatingZipf(std::uint64_t space_size, std::size_t catalog,
+                           double exponent, double rotate, double origin,
+                           Rng& rng)
+    : exponent_(exponent), rotate_(rotate), origin_(origin) {
+  assert(space_size > 0);
+  keys_.reserve(catalog);
+  for (std::size_t i = 0; i < catalog; ++i)
+    keys_.push_back(static_cast<std::uint64_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(space_size) - 1)));
+}
+
+std::size_t RotatingZipf::epoch(double t) const {
+  if (rotate_ <= 0.0 || t <= origin_) return 0;
+  return static_cast<std::size_t>((t - origin_) / rotate_);
+}
+
+std::uint64_t RotatingZipf::pick(double t, Rng& rng) const {
+  assert(!keys_.empty());
+  const std::size_t rank = rng.zipf(keys_.size(), exponent_);
+  return keys_[(rank + epoch(t)) % keys_.size()];
+}
+
 }  // namespace ert::workload

@@ -67,4 +67,32 @@ class ZipfKeys {
   double exponent_;
 };
 
+/// Zipf popularity with a rotating hot set: ranks shift deterministically by
+/// one catalog slot every `rotate` simulated seconds, so the hottest key
+/// moves through the catalog without consuming any Rng draws for the
+/// rotation itself (determinism contract: only `pick` consumes randomness,
+/// exactly one zipf draw per call). `rotate == 0` pins the ranking.
+class RotatingZipf {
+ public:
+  /// Draws `catalog` keys uniformly from the id space using `rng`.
+  RotatingZipf(std::uint64_t space_size, std::size_t catalog, double exponent,
+               double rotate, double origin, Rng& rng);
+
+  /// Zipf rank at time t: rank r maps to key (r + epoch(t)) % catalog.
+  std::uint64_t pick(double t, Rng& rng) const;
+
+  /// Completed rotation periods since `origin` (0 when rotate == 0).
+  std::size_t epoch(double t) const;
+
+  std::size_t catalog_size() const { return keys_.size(); }
+  double exponent() const { return exponent_; }
+  const std::vector<std::uint64_t>& keys() const { return keys_; }
+
+ private:
+  std::vector<std::uint64_t> keys_;
+  double exponent_;
+  double rotate_;
+  double origin_;
+};
+
 }  // namespace ert::workload

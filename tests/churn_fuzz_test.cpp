@@ -153,6 +153,176 @@ TEST(ChurnFuzz, Cycloid) {
   fuzz(o, rng, join, route, 800);
 }
 
+TEST(ChurnFuzz, CycloidPartitionWave) {
+  // The scenario engine's partition phase at the overlay level: half of
+  // the alive set silent-fails in one burst (the reachable side's view of
+  // a network split), lookups keep routing through the wreckage with
+  // timeout-driven purge/repair, then a rejoin wave brings the population
+  // back. Invariants are re-checked after every stage, and the whole
+  // thing runs under ASan/UBSan in CI.
+  cycloid::OverlayOptions opts;
+  opts.dimension = 7;
+  opts.policy = cycloid::NeighborPolicy::kSpareIndegree;
+  opts.enforce_indegree_bounds = true;
+  cycloid::Overlay o(opts);
+  Rng rng(707);
+  auto join = [&] {
+    if (o.directory().size() + 8 >= o.space().size()) return;
+    const NodeIndex v = o.add_node_random(rng, rng.uniform(0.3, 4.0), 40, 0.8);
+    o.build_table(v, rng);
+    o.expand_indegree(v, 4, 64);
+  };
+  auto route = [&](NodeIndex src) {
+    const std::uint64_t key = rng.bits() % o.space().size();
+    cycloid::RouteCtx ctx;
+    NodeIndex cur = src;
+    std::size_t hops = 0;
+    for (;;) {
+      if (!o.node(cur).alive) {
+        cur = pick_alive(o, rng);
+        if (cur == dht::kNoNode) return;
+        ++hops;
+        if (hops > 600) FAIL() << "lookup stuck after the partition wave";
+        continue;
+      }
+      const auto step = o.route_step(cur, key, ctx);
+      if (step.arrived) break;
+      ASSERT_FALSE(step.candidates.empty());
+      NodeIndex next = dht::kNoNode;
+      for (NodeIndex c : step.candidates) {
+        if (o.node(c).alive) {
+          next = c;
+          break;
+        }
+        o.purge_dead(cur, c);
+      }
+      if (next == dht::kNoNode) {
+        if (step.entry_index < cycloid::kNoEntry)
+          o.repair_entry(cur, step.entry_index);
+        ++hops;
+        if (hops > 600) FAIL() << "lookup stuck on stale entries";
+        continue;
+      }
+      cur = next;
+      ASSERT_LT(++hops, 600u);
+    }
+    ASSERT_EQ(cur, o.responsible(key));
+  };
+
+  for (int i = 0; i < 150; ++i) join();
+  o.check_invariants();
+  const std::size_t before = o.alive_count();
+
+  for (int wave = 0; wave < 2; ++wave) {
+    // Burst-fail half of the alive set in one go: no repair runs between
+    // victims, which is what separates a partition from gradual churn.
+    std::vector<NodeIndex> victims;
+    for (NodeIndex v = 0; v < o.num_slots(); ++v)
+      if (o.node(v).alive && rng.bernoulli(0.5)) victims.push_back(v);
+    // Keep a floor so routing always has somewhere to hand off to.
+    while (o.alive_count() - victims.size() < 24) victims.pop_back();
+    for (NodeIndex v : victims) o.fail(v);
+    o.check_invariants();
+
+    // The surviving side must still resolve lookups while purging the
+    // dead half out of its tables.
+    for (int i = 0; i < 120; ++i) {
+      const NodeIndex src = pick_alive(o, rng);
+      ASSERT_NE(src, dht::kNoNode);
+      route(src);
+    }
+    // Sweep repairs like the runtime's timeout path would.
+    for (NodeIndex v = 0; v < o.num_slots(); ++v) {
+      if (!o.node(v).alive) continue;
+      for (std::size_t slot = 0; slot < o.node(v).table.num_entries(); ++slot)
+        o.repair_entry(v, slot);
+    }
+    o.check_invariants();
+
+    // Rejoin wave: the departed population's worth of fresh joins.
+    for (std::size_t i = 0; i < victims.size(); ++i) join();
+    o.check_invariants();
+    for (int i = 0; i < 120; ++i) {
+      const NodeIndex src = pick_alive(o, rng);
+      ASSERT_NE(src, dht::kNoNode);
+      route(src);
+    }
+  }
+  o.check_invariants();
+  EXPECT_GE(o.alive_count(), before / 2);
+}
+
+TEST(ChurnFuzz, ChordPartitionWave) {
+  // Same wave shape on Chord: successor-list and finger repair have to
+  // absorb a burst of silent failures rather than one death at a time.
+  chord::ChordOptions opts;
+  opts.bits = 14;
+  opts.enforce_indegree_bounds = true;
+  chord::Overlay o(opts);
+  Rng rng(808);
+  auto join = [&] {
+    const NodeIndex v = o.add_node_random(rng, rng.uniform(0.3, 4.0), 40, 0.8);
+    o.build_table(v);
+    o.expand_indegree(v, 4, 64);
+  };
+  auto route = [&](NodeIndex src) {
+    const std::uint64_t key = rng.bits() % o.ring_size();
+    NodeIndex cur = src;
+    std::size_t hops = 0;
+    for (;;) {
+      if (!o.node(cur).alive) {
+        cur = pick_alive(o, rng);
+        if (cur == dht::kNoNode) return;
+        ++hops;
+        if (hops > 600) FAIL() << "lookup stuck after the partition wave";
+        continue;
+      }
+      const auto step = o.route_step(cur, key);
+      if (step.arrived) break;
+      ASSERT_FALSE(step.candidates.empty());
+      NodeIndex next = dht::kNoNode;
+      for (NodeIndex c : step.candidates) {
+        if (o.node(c).alive) {
+          next = c;
+          break;
+        }
+        o.purge_dead(cur, c);
+      }
+      if (next == dht::kNoNode) {
+        ++hops;
+        if (hops > 600) FAIL() << "lookup stuck on stale entries";
+        continue;
+      }
+      cur = next;
+      ASSERT_LT(++hops, 600u);
+    }
+    ASSERT_EQ(cur, o.responsible(key));
+  };
+
+  for (int i = 0; i < 150; ++i) join();
+  o.check_invariants();
+
+  std::vector<NodeIndex> victims;
+  for (NodeIndex v = 0; v < o.num_slots(); ++v)
+    if (o.node(v).alive && rng.bernoulli(0.5)) victims.push_back(v);
+  while (o.alive_count() - victims.size() < 24) victims.pop_back();
+  for (NodeIndex v : victims) o.fail(v);
+  o.check_invariants();
+  for (int i = 0; i < 120; ++i) {
+    const NodeIndex src = pick_alive(o, rng);
+    ASSERT_NE(src, dht::kNoNode);
+    route(src);
+  }
+  for (std::size_t i = 0; i < victims.size(); ++i) join();
+  o.check_invariants();
+  for (int i = 0; i < 120; ++i) {
+    const NodeIndex src = pick_alive(o, rng);
+    ASSERT_NE(src, dht::kNoNode);
+    route(src);
+  }
+  o.check_invariants();
+}
+
 TEST(ChurnFuzz, Chord) {
   chord::ChordOptions opts;
   opts.bits = 14;

@@ -1,0 +1,374 @@
+// Scenario-engine tests: the rotating-Zipf hotspot sampler against its
+// analytic frequencies (chi-squared gate), the analytic shape of every
+// arrival-process phase, the capacity-bias of tournament departures, and
+// the engine-level behavior of each phase type (rate compression, hotspot
+// key funneling, churn membership, partition/rejoin symmetry).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "harness/experiment.h"
+#include "scenario/engine.h"
+#include "scenario/scenario.h"
+#include "trace/trace.h"
+#include "workload/workload.h"
+
+namespace ert::scenario {
+namespace {
+
+Phase make_phase(PhaseType t, double start, double end) {
+  Phase p;
+  p.type = t;
+  p.start = start;
+  p.end = end;
+  return p;
+}
+
+// --- rotating-Zipf sampler vs analytic frequencies ---------------------------
+
+TEST(RotatingZipfSampler, MatchesAnalyticZipfFrequenciesChiSquared) {
+  constexpr std::size_t kCatalog = 16;
+  constexpr double kExponent = 1.0;
+  constexpr std::size_t kDraws = 120000;
+  Rng rng(42);
+  workload::RotatingZipf z(1 << 20, kCatalog, kExponent, /*rotate=*/0.0,
+                           /*origin=*/0.0, rng);
+
+  std::map<std::uint64_t, std::size_t> counts;
+  for (std::size_t i = 0; i < kDraws; ++i) ++counts[z.pick(0.0, rng)];
+
+  // Rng::zipf is an inverse-CDF sampler over the harmonic envelope: the
+  // analytic mass of 1-based rank k is (H(k+1/2) - H(k-1/2)) / (H(n+1/2)
+  // - H(1/2)) with H(x) = ln(x) at s = 1. That is the sampler's exact
+  // law, so the chi-squared gate tests against it — and a separate loop
+  // below pins it to within a few percent of the ideal r^-s / H_n pmf.
+  const auto h = [](double x) { return std::log(x); };
+  const double total = h(kCatalog + 0.5) - h(0.5);
+  double ideal_norm = 0.0;
+  for (std::size_t r = 1; r <= kCatalog; ++r)
+    ideal_norm += std::pow(static_cast<double>(r), -kExponent);
+  double chi2 = 0.0;
+  for (std::size_t r = 0; r < kCatalog; ++r) {
+    const double k = static_cast<double>(r + 1);
+    const double p = (h(k + 0.5) - h(k - 0.5)) / total;
+    const double expected = p * static_cast<double>(kDraws);
+    const double observed = static_cast<double>(counts[z.keys()[r]]);
+    chi2 += (observed - expected) * (observed - expected) / expected;
+
+    const double ideal = std::pow(k, -kExponent) / ideal_norm;
+    EXPECT_LT(std::abs(p - ideal) / ideal, 0.12)
+        << "envelope drifted from the Zipf pmf at rank " << r;
+  }
+  // df = 15, p = 0.001 critical value 37.70: a correct sampler fails a
+  // fixed seed with probability ~1e-3, and this seed passes.
+  EXPECT_LT(chi2, 37.70) << "chi2 = " << chi2;
+}
+
+TEST(RotatingZipfSampler, RotationShiftsRanksDeterministically) {
+  Rng setup(7);
+  workload::RotatingZipf z(1 << 16, 8, 1.2, /*rotate=*/2.0, /*origin=*/1.0,
+                           setup);
+  EXPECT_EQ(z.epoch(0.0), 0u);   // before origin
+  EXPECT_EQ(z.epoch(1.0), 0u);
+  EXPECT_EQ(z.epoch(2.9), 0u);
+  EXPECT_EQ(z.epoch(3.0), 1u);
+  EXPECT_EQ(z.epoch(7.5), 3u);
+
+  // pick(t) consumes exactly one zipf draw and maps rank r to
+  // keys[(r + epoch) % n]: twin Rng streams must agree on the mapping.
+  for (double t : {1.0, 3.0, 5.5, 42.0}) {
+    Rng a(99), b(99);
+    const std::uint64_t key = z.pick(t, a);
+    const std::size_t rank = b.zipf(8, 1.2);
+    EXPECT_EQ(key, z.keys()[(rank + z.epoch(t)) % 8]) << "t = " << t;
+  }
+}
+
+TEST(RotatingZipfSampler, StaticSamplerNeverRotates) {
+  Rng setup(3);
+  workload::RotatingZipf z(1 << 16, 4, 0.8, /*rotate=*/0.0, /*origin=*/0.0,
+                           setup);
+  EXPECT_EQ(z.epoch(1e9), 0u);
+}
+
+// --- arrival-process phase shapes --------------------------------------------
+
+TEST(PhaseShapes, FlashPlateauWithLinearRamps) {
+  Scenario s;
+  Phase p = make_phase(PhaseType::kFlash, 10.0, 20.0);
+  p.multiplier = 5.0;
+  p.ramp = 2.0;
+  s.phases.push_back(p);
+
+  EXPECT_EQ(s.rate_multiplier(9.999), 1.0);   // before
+  EXPECT_EQ(s.rate_multiplier(10.0), 1.0);    // ramp starts at 1x
+  EXPECT_DOUBLE_EQ(s.rate_multiplier(11.0), 3.0);   // halfway up
+  EXPECT_DOUBLE_EQ(s.rate_multiplier(12.0), 5.0);   // plateau
+  EXPECT_DOUBLE_EQ(s.rate_multiplier(15.0), 5.0);
+  EXPECT_DOUBLE_EQ(s.rate_multiplier(19.0), 3.0);   // halfway down
+  EXPECT_EQ(s.rate_multiplier(20.0), 1.0);    // after (half-open window)
+}
+
+TEST(PhaseShapes, FlashWithoutRampIsAnImpulseEdge) {
+  Scenario s;
+  Phase p = make_phase(PhaseType::kFlash, 5.0, 8.0);
+  p.multiplier = 8.0;
+  s.phases.push_back(p);
+  EXPECT_EQ(s.rate_multiplier(4.999), 1.0);
+  EXPECT_EQ(s.rate_multiplier(5.0), 8.0);
+  EXPECT_EQ(s.rate_multiplier(7.999), 8.0);
+  EXPECT_EQ(s.rate_multiplier(8.0), 1.0);
+}
+
+TEST(PhaseShapes, DiurnalSineSwing) {
+  Scenario s;
+  Phase p = make_phase(PhaseType::kDiurnal, 0.0, 100.0);
+  p.period = 8.0;
+  p.amplitude = 0.5;
+  s.phases.push_back(p);
+  EXPECT_NEAR(s.rate_multiplier(0.0), 1.0, 1e-12);   // sin(0)
+  EXPECT_NEAR(s.rate_multiplier(2.0), 1.5, 1e-12);   // peak
+  EXPECT_NEAR(s.rate_multiplier(4.0), 1.0, 1e-12);   // midline
+  EXPECT_NEAR(s.rate_multiplier(6.0), 0.5, 1e-12);   // trough
+  EXPECT_NEAR(s.rate_multiplier(10.0), 1.5, 1e-12);  // next period's peak
+}
+
+TEST(PhaseShapes, OverlappingRatePhasesMultiply) {
+  Scenario s;
+  Phase flash = make_phase(PhaseType::kFlash, 0.0, 10.0);
+  flash.multiplier = 2.0;
+  Phase diurnal = make_phase(PhaseType::kDiurnal, 0.0, 10.0);
+  diurnal.period = 8.0;
+  diurnal.amplitude = 0.5;
+  s.phases.push_back(flash);
+  s.phases.push_back(diurnal);
+  EXPECT_NEAR(s.rate_multiplier(2.0), 2.0 * 1.5, 1e-12);
+  EXPECT_NEAR(s.rate_multiplier(6.0), 2.0 * 0.5, 1e-12);
+}
+
+TEST(PhaseShapes, HotspotSelectionAndAuditWaiver) {
+  Scenario s;
+  Phase hot = make_phase(PhaseType::kHotspot, 1.0, 2.0);
+  hot.catalog = 8;
+  Phase part = make_phase(PhaseType::kPartition, 10.0, 20.0);
+  part.fraction = 0.5;
+  part.settle = 5.0;
+  s.phases.push_back(hot);
+  s.phases.push_back(part);
+
+  EXPECT_EQ(s.hotspot_at(0.5), Scenario::npos);
+  EXPECT_EQ(s.hotspot_at(1.5), 0u);
+  EXPECT_EQ(s.hotspot_at(2.0), Scenario::npos);
+
+  EXPECT_FALSE(s.audit_waived(9.999));
+  EXPECT_TRUE(s.audit_waived(10.0));      // partition onset
+  EXPECT_TRUE(s.audit_waived(19.999));    // still split
+  EXPECT_TRUE(s.audit_waived(24.999));    // settle tail after rejoin
+  EXPECT_FALSE(s.audit_waived(25.0));
+
+  s.phases[1].waive_audit = false;
+  EXPECT_FALSE(s.audit_waived(15.0));
+}
+
+// --- the zero-intensity contract at the model level --------------------------
+
+TEST(ZeroIntensity, AllNeutralPhasesAreInert) {
+  Scenario s;
+  s.phases.push_back(make_phase(PhaseType::kFlash, 0.0, 10.0));      // x1.0
+  s.phases.push_back(make_phase(PhaseType::kDiurnal, 0.0, 10.0));    // amp 0
+  s.phases.push_back(make_phase(PhaseType::kHotspot, 0.0, 10.0));    // 0 keys
+  s.phases.push_back(make_phase(PhaseType::kChurn, 0.0, 10.0));      // rate 0
+  s.phases.push_back(make_phase(PhaseType::kPartition, 0.0, 10.0));  // 0 frac
+  EXPECT_TRUE(s.inert());
+  EXPECT_FALSE(s.changes_membership());
+  // Exactly 1.0 — not approximately: rate * 1.0 must be bit-identical.
+  EXPECT_EQ(s.rate_multiplier(5.0), 1.0);
+  EXPECT_EQ(s.hotspot_at(5.0), Scenario::npos);
+  EXPECT_FALSE(s.audit_waived(5.0));
+
+  Phase live = make_phase(PhaseType::kChurn, 0.0, 10.0);
+  live.interarrival = 0.5;
+  s.phases.push_back(live);
+  EXPECT_FALSE(s.inert());
+  EXPECT_TRUE(s.changes_membership());
+}
+
+TEST(ZeroIntensity, EmptyWindowIsInertWhateverTheKnobs) {
+  Phase p = make_phase(PhaseType::kFlash, 5.0, 5.0);
+  p.multiplier = 100.0;
+  EXPECT_TRUE(p.inert());
+}
+
+// --- capacity-biased departures ----------------------------------------------
+
+TEST(TournamentSelection, BiasMatchesAnalyticWeakDecileProbability) {
+  // capacity(i) = i: the weakest decile is exactly i < n/10. With k
+  // uniform samples the minimum lands there with probability 1 - 0.9^k.
+  constexpr std::size_t kN = 1000;
+  constexpr int kTrials = 20000;
+  Rng rng(11);
+  const auto capacity = [](std::size_t i) { return static_cast<double>(i); };
+  for (const int k : {1, 4}) {
+    int weak = 0;
+    for (int t = 0; t < kTrials; ++t) {
+      if (tournament_weakest(kN, k, capacity, rng) < kN / 10) ++weak;
+    }
+    const double expected = 1.0 - std::pow(0.9, k);
+    const double got = static_cast<double>(weak) / kTrials;
+    EXPECT_NEAR(got, expected, 0.02) << "tournament size " << k;
+  }
+}
+
+TEST(TournamentSelection, SizeOneIsUniform) {
+  Rng a(5), b(5);
+  const auto capacity = [](std::size_t) { return 1.0; };
+  for (int i = 0; i < 100; ++i)
+    EXPECT_EQ(tournament_weakest(64, 1, capacity, a), b.index(64));
+}
+
+// --- engine-level phase behavior ----------------------------------------------
+
+SimParams engine_params() {
+  SimParams p;
+  p.num_nodes = 256;
+  p.dimension = harness::fit_dimension(256);
+  p.num_lookups = 400;
+  p.lookup_rate = 16.0;
+  p.seed = 5;
+  return p;
+}
+
+// Last query.begin timestamp: the arrival span, independent of how long
+// congested queues take to drain afterwards.
+double last_arrival(const harness::ExperimentResult& r) {
+  double t = 0.0;
+  for (const auto& rec : r.trace_records)
+    if (rec.type == trace::EventType::kQueryBegin) t = std::max(t, rec.time);
+  return t;
+}
+
+TEST(ScenarioEngine, FlashCrowdCompressesArrivals) {
+  harness::ExperimentOptions plain_opts;
+  plain_opts.trace.enabled = true;
+  plain_opts.trace.categories =
+      static_cast<std::uint32_t>(trace::Category::kQuery);
+  const auto plain = harness::run_experiment(
+      engine_params(), harness::Protocol::kErtAF,
+      harness::SubstrateKind::kCycloid, plain_opts);
+
+  harness::ExperimentOptions opts = plain_opts;
+  opts.scenario.name = "flash";
+  Phase p = make_phase(PhaseType::kFlash, 0.0, 1e9);
+  p.multiplier = 8.0;
+  opts.scenario.phases.push_back(p);
+  const auto flash = harness::run_experiment(
+      engine_params(), harness::Protocol::kErtAF,
+      harness::SubstrateKind::kCycloid, opts);
+
+  // 8x the arrival rate injects the same 400 lookups in ~1/8 the wall
+  // time. (sim_duration itself is dominated by queue drain at these
+  // params, so the arrival span is what the multiplier must compress.)
+  EXPECT_EQ(flash.completed_lookups + flash.dropped_lookups, 400u);
+  const double plain_span = last_arrival(plain);
+  const double flash_span = last_arrival(flash);
+  ASSERT_GT(plain_span, 0.0);
+  EXPECT_LT(flash_span, 0.5 * plain_span)
+      << "plain " << plain_span << "s vs flash " << flash_span << "s";
+}
+
+TEST(ScenarioEngine, HotspotFunnelsKeysIntoTheCatalog) {
+  harness::ExperimentOptions opts;
+  opts.trace.enabled = true;
+  opts.trace.categories =
+      static_cast<std::uint32_t>(trace::Category::kQuery);
+  opts.scenario.name = "hotspot";
+  Phase p = make_phase(PhaseType::kHotspot, 0.0, 1e9);
+  p.catalog = 4;
+  p.exponent = 1.0;
+  opts.scenario.phases.push_back(p);
+  const auto r = harness::run_experiment(
+      engine_params(), harness::Protocol::kErtAF,
+      harness::SubstrateKind::kCycloid, opts);
+
+  // Every query.begin key must come from the 4-key hot catalog.
+  std::map<std::int64_t, std::size_t> keys;
+  for (const auto& rec : r.trace_records)
+    if (rec.type == trace::EventType::kQueryBegin) ++keys[rec.a];
+  EXPECT_GT(keys.size(), 0u);
+  EXPECT_LE(keys.size(), 4u);
+}
+
+TEST(ScenarioEngine, ScenarioChurnTurnsOverMembership) {
+  harness::ExperimentOptions opts;
+  opts.scenario.name = "churn";
+  Phase p = make_phase(PhaseType::kChurn, 0.0, 1e9);
+  p.interarrival = 0.2;
+  p.bias = 4;
+  opts.scenario.phases.push_back(p);
+  const auto r = harness::run_experiment(
+      engine_params(), harness::Protocol::kErtAF,
+      harness::SubstrateKind::kCycloid, opts);
+  const auto plain = harness::run_experiment(
+      engine_params(), harness::Protocol::kErtAF,
+      harness::SubstrateKind::kCycloid);
+  // Joins and biased departures ran: the run diverged from the plain one
+  // and still settled every lookup.
+  EXPECT_EQ(r.completed_lookups + r.dropped_lookups, 400u);
+  EXPECT_NE(r.sim_duration, plain.sim_duration);
+}
+
+TEST(ScenarioEngine, PartitionDepartsAndRejoinsTheSamePopulation) {
+  harness::ExperimentOptions opts;
+  opts.audit.enabled = true;
+  opts.scenario.name = "partition";
+  Phase p = make_phase(PhaseType::kPartition, 2.0, 4.0);
+  p.fraction = 0.3;
+  p.settle = 1.0;
+  opts.scenario.phases.push_back(p);
+  const auto r = harness::run_experiment(
+      engine_params(), harness::Protocol::kErtAF,
+      harness::SubstrateKind::kCycloid, opts);
+
+  // Everyone who left came back (as fresh joins), so the alive count ends
+  // where it started; the waiver window covered [2, 5) of the audit chain.
+  EXPECT_EQ(r.final_nodes, 256u);
+  EXPECT_GT(r.audit_waived_sweeps, 0u);
+  EXPECT_EQ(r.audit_violations, 0u);
+  EXPECT_EQ(r.completed_lookups + r.dropped_lookups, 400u);
+}
+
+TEST(ScenarioEngine, MatrixReductionIsThreadCountInvariant) {
+  harness::ExperimentOptions opts;
+  opts.audit.enabled = true;
+  opts.scenario.name = "mix";
+  Phase flash = make_phase(PhaseType::kFlash, 1.0, 3.0);
+  flash.multiplier = 4.0;
+  flash.ramp = 0.5;
+  Phase churn = make_phase(PhaseType::kChurn, 0.5, 6.0);
+  churn.interarrival = 0.3;
+  churn.bias = 3;
+  opts.scenario.phases.push_back(flash);
+  opts.scenario.phases.push_back(churn);
+  const auto one = harness::run_averaged(
+      engine_params(), harness::Protocol::kErtAF, 3,
+      harness::SubstrateKind::kCycloid, /*threads=*/1, opts);
+  const auto four = harness::run_averaged(
+      engine_params(), harness::Protocol::kErtAF, 3,
+      harness::SubstrateKind::kCycloid, /*threads=*/4, opts);
+  EXPECT_EQ(one.lookup_time.mean, four.lookup_time.mean);
+  EXPECT_EQ(one.lookup_time.p99, four.lookup_time.p99);
+  EXPECT_EQ(one.sim_duration, four.sim_duration);
+  EXPECT_EQ(one.completed_lookups, four.completed_lookups);
+  EXPECT_EQ(one.adapt_sheds, four.adapt_sheds);
+  EXPECT_EQ(one.adapt_grows, four.adapt_grows);
+  EXPECT_EQ(one.audit_sweeps, four.audit_sweeps);
+  EXPECT_EQ(one.audit_waived_sweeps, four.audit_waived_sweeps);
+}
+
+}  // namespace
+}  // namespace ert::scenario

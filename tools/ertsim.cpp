@@ -62,19 +62,36 @@
 //                        d1ht; see docs/SUBSTRATES.md); exit 4 on mismatch
 //     --model-check-json FILE  also write the comparison as one JSON
 //                        object (implies --model-check)
+//     --scenario FILE    declarative workload scenario (docs/SCENARIOS.md);
+//                        repeatable. Any --scenario switches to matrix
+//                        mode: every listed protocol runs every scenario
+//                        (audit always on), and a comparative report —
+//                        p99 latency, the overload/fault drop split,
+//                        adaptation counts, auditor verdict per cell — is
+//                        printed as a table. Exit 3 if any cell failed its
+//                        audit.
+//     --protocols LIST   comma-separated protocol axis for the scenario
+//                        matrix (default: the --protocol value)
+//     --scenario-json FILE  write the comparative report as JSON
+//                        (schema ert.scenario.report.v1; tools/scenariocat
+//                        pretty-prints, validates, and diffs it)
 //
-// Exit code 0 on success, 3 when --audit found invariant violations, 4
-// when --model-check found a model mismatch; prints a one-screen report.
+// Exit code 0 on success, 3 when --audit (or a scenario matrix) found
+// invariant violations, 4 when --model-check found a model mismatch;
+// prints a one-screen report.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "common/config.h"
 #include "common/rss.h"
 #include "harness/experiment.h"
 #include "harness/model_check.h"
+#include "scenario/parser.h"
+#include "scenario/report.h"
 #include "trace/jsonl.h"
 
 namespace {
@@ -97,7 +114,9 @@ using ert::harness::SubstrateKind;
                "              [--audit-log FILE] [--trace FILE]\n"
                "              [--trace-cats LIST] [--trace-cap N]\n"
                "              [--build-only] [--scale] [--scale-json FILE]\n"
-               "              [--model-check] [--model-check-json FILE]\n");
+               "              [--model-check] [--model-check-json FILE]\n"
+               "              [--scenario FILE]... [--protocols LIST]\n"
+               "              [--scenario-json FILE]\n");
   std::exit(2);
 }
 
@@ -154,6 +173,20 @@ SubstrateKind parse_substrate(const std::string& s) {
   usage("unknown substrate");
 }
 
+std::vector<Protocol> parse_protocol_list(const std::string& spec) {
+  std::vector<Protocol> out;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string tok = spec.substr(pos, comma - pos);
+    if (!tok.empty()) out.push_back(parse_protocol(tok));
+    pos = comma + 1;
+  }
+  if (out.empty()) usage("--protocols wants a comma-separated list");
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -174,6 +207,9 @@ int main(int argc, char** argv) {
   std::string csv;
   std::string audit_log;
   std::string trace_file;
+  std::string scenario_json;
+  std::vector<ert::scenario::Scenario> scenarios;
+  std::vector<Protocol> protocols;
   ert::harness::ExperimentOptions options;
 
   auto need = [&](int& i) -> const char* {
@@ -260,6 +296,16 @@ int main(int argc, char** argv) {
       options.trace.capacity = std::strtoul(need(i), nullptr, 10);
       if (options.trace.capacity == 0) usage("--trace-cap wants N >= 1");
     }
+    else if (a == "--scenario") {
+      const char* file = need(i);
+      const auto parsed = ert::scenario::parse_file(file);
+      if (!parsed.ok) usage(parsed.message(file).c_str());
+      ert::scenario::Scenario s = parsed.scenario;
+      if (s.name.empty()) s.name = file;
+      scenarios.push_back(std::move(s));
+    }
+    else if (a == "--protocols") protocols = parse_protocol_list(need(i));
+    else if (a == "--scenario-json") scenario_json = need(i);
     else if (a == "--build-only") build_only = true;
     else if (a == "--model-check") model_check = true;
     else if (a == "--model-check-json") {
@@ -321,6 +367,78 @@ int main(int argc, char** argv) {
           "ring at this n, or pick n = d*2^d to study the complete topology "
           "(see docs/SUBSTRATES.md).\n",
           p.num_nodes, p.dimension, full);
+  }
+
+  if (!protocols.empty() && scenarios.empty())
+    usage("--protocols only makes sense with --scenario");
+
+  if (!scenarios.empty()) {
+    // Matrix mode: every protocol runs every scenario on the one chosen
+    // substrate, with the invariant auditor always on so each cell carries
+    // a verdict. The (protocol, scenario, seed) units fan out through
+    // run_sweep, so the report is bit-identical for any --threads.
+    if (protocols.empty()) protocols.push_back(proto);
+    for (Protocol pr : protocols) {
+      if (pr == Protocol::kVS && kind != SubstrateKind::kCycloid)
+        usage("VS requires the cycloid substrate");
+      if (pr == Protocol::kNS && kind != SubstrateKind::kCycloid &&
+          kind != SubstrateKind::kKademlia)
+        usage("NS needs neighbor selection freedom (cycloid or kademlia)");
+    }
+    options.audit.enabled = true;
+    std::vector<ert::harness::SweepJob> jobs;
+    for (Protocol pr : protocols) {
+      for (const auto& scen : scenarios) {
+        ert::harness::SweepJob job;
+        job.params = p;
+        job.protocol = pr;
+        job.substrate = kind;
+        job.seeds = seeds;
+        job.options = options;
+        job.options.scenario = scen;
+        jobs.push_back(std::move(job));
+      }
+    }
+    const auto results = ert::harness::run_sweep(jobs, threads);
+    ert::scenario::Report report;
+    bool any_fail = false;
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+      const auto& r = results[j];
+      ert::scenario::Cell cell;
+      cell.protocol = std::string(ert::harness::to_string(jobs[j].protocol));
+      cell.substrate = ert::harness::to_string(kind);
+      cell.scenario = jobs[j].options.scenario.name;
+      cell.mean_latency = r.lookup_time.mean;
+      cell.p99_latency = r.lookup_time.p99;
+      cell.completed = r.completed_lookups;
+      cell.dropped_overload = r.dropped_overload;
+      cell.dropped_fault = r.dropped_fault;
+      cell.adapt_sheds = r.adapt_sheds;
+      cell.adapt_grows = r.adapt_grows;
+      cell.audit_sweeps = r.audit_sweeps;
+      cell.audit_waived_sweeps = r.audit_waived_sweeps;
+      cell.audit_violations = r.audit_violations;
+      cell.verdict = r.audit_violations == 0 ? "pass" : "fail";
+      if (r.audit_violations > 0) any_fail = true;
+      report.cells.push_back(std::move(cell));
+    }
+    std::printf("scenario matrix    %zu protocols x %zu scenarios on %s "
+                "(%d seed%s each)\n\n",
+                protocols.size(), scenarios.size(),
+                ert::harness::to_string(kind), seeds, seeds == 1 ? "" : "s");
+    std::printf("%s", ert::scenario::to_table(report).c_str());
+    if (!scenario_json.empty()) {
+      FILE* f = std::fopen(scenario_json.c_str(), "w");
+      if (!f) {
+        std::perror("ertsim: --scenario-json open");
+        return 1;
+      }
+      const std::string j = ert::scenario::to_json(report);
+      std::fwrite(j.data(), 1, j.size(), f);
+      std::fclose(f);
+      std::printf("\nscenario json      %s\n", scenario_json.c_str());
+    }
+    return any_fail ? 3 : 0;
   }
 
   if (model_check) {

@@ -1,0 +1,116 @@
+// scenariocat — inspect scenario-matrix reports (and scenario files).
+//
+//   scenariocat REPORT.json              pretty-print the comparative table
+//   scenariocat --validate REPORT.json   parse + schema-check, exit 0/1
+//   scenariocat --diff A.json B.json     compare two reports cell by cell;
+//                                        exit 1 and list differing cells
+//                                        (thread-invariance / regression
+//                                        checks in CI)
+//   scenariocat --check-scenario FILE    parse + validate a scenario file,
+//                                        echo its canonical form, exit 0/1
+//
+// Reads the ert.scenario.report.v1 JSON emitted by `ertsim --scenario-json`
+// (docs/SCENARIOS.md has the schema).
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "scenario/parser.h"
+#include "scenario/report.h"
+
+namespace {
+
+[[noreturn]] void usage(const char* msg = nullptr) {
+  if (msg) std::fprintf(stderr, "scenariocat: %s\n", msg);
+  std::fprintf(stderr,
+               "usage: scenariocat REPORT.json\n"
+               "       scenariocat --validate REPORT.json\n"
+               "       scenariocat --diff A.json B.json\n"
+               "       scenariocat --check-scenario FILE\n");
+  std::exit(2);
+}
+
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+bool load_report(const std::string& path, ert::scenario::Report* report) {
+  std::string text;
+  if (!read_file(path, &text)) {
+    std::fprintf(stderr, "scenariocat: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::string err;
+  if (!ert::scenario::from_json(text, report, &err)) {
+    std::fprintf(stderr, "scenariocat: %s: %s\n", path.c_str(), err.c_str());
+    return false;
+  }
+  return true;
+}
+
+std::string cell_key(const ert::scenario::Cell& c) {
+  return c.protocol + " / " + c.substrate + " / " + c.scenario;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string a1 = argv[1];
+
+  if (a1 == "--validate") {
+    if (argc != 3) usage("--validate wants one report file");
+    ert::scenario::Report report;
+    if (!load_report(argv[2], &report)) return 1;
+    std::printf("%s: valid (%zu cells)\n", argv[2], report.cells.size());
+    return 0;
+  }
+
+  if (a1 == "--diff") {
+    if (argc != 4) usage("--diff wants two report files");
+    ert::scenario::Report a, b;
+    if (!load_report(argv[2], &a) || !load_report(argv[3], &b)) return 1;
+    if (a == b) {
+      std::printf("reports identical (%zu cells)\n", a.cells.size());
+      return 0;
+    }
+    if (a.cells.size() != b.cells.size()) {
+      std::printf("cell counts differ: %zu vs %zu\n", a.cells.size(),
+                  b.cells.size());
+      return 1;
+    }
+    for (std::size_t i = 0; i < a.cells.size(); ++i) {
+      if (a.cells[i] == b.cells[i]) continue;
+      std::printf("cell %zu differs: %s\n", i, cell_key(a.cells[i]).c_str());
+      ert::scenario::Report one;
+      one.cells = {a.cells[i], b.cells[i]};
+      std::printf("%s", ert::scenario::to_table(one).c_str());
+    }
+    return 1;
+  }
+
+  if (a1 == "--check-scenario") {
+    if (argc != 3) usage("--check-scenario wants one scenario file");
+    const auto parsed = ert::scenario::parse_file(argv[2]);
+    if (!parsed.ok) {
+      std::fprintf(stderr, "scenariocat: %s\n",
+                   parsed.message(argv[2]).c_str());
+      return 1;
+    }
+    std::printf("%s", ert::scenario::serialize(parsed.scenario).c_str());
+    return 0;
+  }
+
+  if (a1.rfind("--", 0) == 0) usage(("unknown option " + a1).c_str());
+  if (argc != 2) usage();
+  ert::scenario::Report report;
+  if (!load_report(a1, &report)) return 1;
+  std::printf("%s", ert::scenario::to_table(report).c_str());
+  return 0;
+}
