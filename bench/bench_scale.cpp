@@ -58,6 +58,10 @@ struct ScaleRow {
   std::size_t nodes;
   std::size_t lookups;
   double qps_floor;  ///< settled queries per wall second, sustained.
+  /// 1 = serial engine; > 1 = sharded conservative-window PDES
+  /// (docs/PDES.md). The chord row runs sharded so the artifact tracks the
+  /// single-run million-node configuration, not just seed fan-out.
+  int sim_threads;
 };
 
 constexpr std::size_t kRssGateKb = 6u * 1024u * 1024u;  // 6 GiB
@@ -76,12 +80,16 @@ int main(int argc, char** argv) {
   std::vector<ScaleRow> rows;
   if (smoke) {
     rows.push_back({"cycloid_smoke", SubstrateKind::kCycloid, 4096, 20'000,
-                    /*qps_floor=*/500.0});
+                    /*qps_floor=*/500.0, /*sim_threads=*/1});
+    rows.push_back({"chord_smoke_pdes4", SubstrateKind::kChord, 4096, 20'000,
+                    /*qps_floor=*/500.0, /*sim_threads=*/4});
   } else {
     rows.push_back({"cycloid_2e17", SubstrateKind::kCycloid,
-                    std::size_t{1} << 17, 1'000'000, /*qps_floor=*/1000.0});
-    rows.push_back({"chord_2e20", SubstrateKind::kChord, std::size_t{1} << 20,
-                    2'000'000, /*qps_floor=*/1000.0});
+                    std::size_t{1} << 17, 1'000'000, /*qps_floor=*/1000.0,
+                    /*sim_threads=*/1});
+    rows.push_back({"chord_2e20_pdes4", SubstrateKind::kChord,
+                    std::size_t{1} << 20, 2'000'000, /*qps_floor=*/1000.0,
+                    /*sim_threads=*/4});
   }
 
   std::FILE* f = std::fopen(out_path, "w");
@@ -109,6 +117,7 @@ int main(int argc, char** argv) {
     p.adapt_period = 8.0;
     p.queue_cap = 64;
     p.seed = 42;
+    p.sim_threads = row.sim_threads;
     p.dimension = ert::harness::fit_dimension(p.num_nodes);
 
     std::printf("bench_scale: %s n=%zu lookups=%zu rate=%.0f/s ...\n",
@@ -134,6 +143,7 @@ int main(int argc, char** argv) {
     w.field("nodes", static_cast<std::uint64_t>(row.nodes));
     w.field("lookups", static_cast<std::uint64_t>(row.lookups));
     w.field("rate", p.lookup_rate);
+    w.field("sim_threads", row.sim_threads);
     w.field("completed", static_cast<std::uint64_t>(r.completed_lookups));
     w.field("dropped", static_cast<std::uint64_t>(r.dropped_lookups));
     w.field("sim_duration", r.sim_duration);

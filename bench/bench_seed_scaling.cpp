@@ -12,6 +12,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/config.h"
@@ -75,9 +76,16 @@ int main(int argc, char** argv) {
   }
   const auto proto = ert::harness::Protocol::kErtAF;
 
-  const int hw = ert::harness::default_threads();
+  // Two distinct counts: `effective` is what the fan-out will actually use
+  // by default (ERT_THREADS overrides it), `cores` is the physical truth.
+  // They were previously conflated — default_threads() was recorded under
+  // the key "hardware_concurrency", so an ERT_THREADS=2 run on a 64-core
+  // box claimed 2 cores.
+  const int effective = ert::harness::default_threads();
+  const unsigned hw_raw = std::thread::hardware_concurrency();
+  const int cores = hw_raw ? static_cast<int>(hw_raw) : 1;
   std::vector<int> thread_counts{1, 2, 4};
-  if (hw > 4) thread_counts.push_back(hw);
+  if (effective > 4) thread_counts.push_back(effective);
 
   struct Run {
     int threads;
@@ -106,7 +114,8 @@ int main(int argc, char** argv) {
   w.field("bench", "seed_scaling");
   w.field("smoke", smoke);
   w.field("seeds", seeds);
-  w.field("hardware_concurrency", hw);
+  w.field("effective_threads", effective);
+  w.field("hardware_concurrency", cores);
   w.key("params");
   w.begin_object();
   w.field("protocol", "ERT/AF");

@@ -84,6 +84,14 @@ struct SimParams {
   /// nodes, degrees) into ExperimentResult::timeline.
   bool trace_timeline = false;
 
+  // --- parallel simulation (docs/PDES.md) ---
+  /// Worker threads for the sharded conservative-PDES engine. 1 (default)
+  /// uses the serial single-queue engine and is bit-identical to it;
+  /// > 1 shards the node population and is statistically equivalent
+  /// (model-check + invariant-audit gated), not bit-identical. Workloads
+  /// the sharded engine does not support fall back to serial.
+  int sim_threads = 1;
+
   // --- misc ---
   std::uint64_t seed = 1;
   double timeout_penalty = 0.5;  ///< seconds lost when contacting a departed node.

@@ -98,6 +98,23 @@ double Percentiles::percentile(double p) const {
   return samples_[idx - 1];
 }
 
+void Percentiles::merge(const Percentiles& o) {
+  if (o.count() == 0) return;
+  if (o.bins_.empty()) {
+    // Replaying the other side's retained samples through add() keeps the
+    // un-spilled + un-spilled case bit-identical to having collected the
+    // union directly (in self-then-other order).
+    for (const double s : o.samples_) add(s);
+    return;
+  }
+  if (bins_.empty()) spill();
+  for (std::size_t b = 0; b < bins_.size(); ++b) bins_[b] += o.bins_[b];
+  count_ += o.count_;
+  sum_ += o.sum_;
+  min_ = std::min(min_, o.min_);
+  max_ = std::max(max_, o.max_);
+}
+
 double Percentiles::mean() const {
   if (!bins_.empty()) return sum_ / static_cast<double>(count_);
   if (samples_.empty()) return 0.0;

@@ -96,6 +96,12 @@ class Percentiles {
   double min() const { return percentile(0.0); }
   double max() const { return percentile(100.0); }
 
+  /// Folds another collector into this one. Order-sensitive only through
+  /// sample order while both sides are un-spilled (quantiles themselves are
+  /// order-free); the sharded engine merges per-shard collectors in shard
+  /// order so results are deterministic.
+  void merge(const Percentiles& o);
+
   /// The retained samples; empty once the collector has spilled.
   const std::vector<double>& samples() const { return samples_; }
   void clear() {

@@ -15,7 +15,9 @@
 #include "ert/capacity.h"
 #include "ert/forwarding.h"
 #include "ert/load_tracker.h"
+#include "harness/engine_detail.h"
 #include "harness/parallel.h"
+#include "harness/pdes_engine.h"
 #include "harness/substrate.h"
 #include "metrics/metrics.h"
 #include "net/proximity.h"
@@ -36,108 +38,12 @@ namespace {
 
 using dht::NodeIndex;
 
-/// A lookup in flight. Lives in a recycled slot of the engine's queries_
-/// vector (fault-free runs), so the storage scales with peak concurrency,
-/// not total lookups issued; `id` is the lookup's stable monotonic identity
-/// for traces and the substrate's per-query context.
-struct Query {
-  std::uint64_t id = 0;   ///< monotonic issue number, never reused.
-  std::uint64_t key = 0;
-  NodeIndex cur = dht::kNoNode;  ///< overlay node currently holding it.
-  double start_time = 0.0;
-  double penalty = 0.0;  ///< timeout penalty to fold into the next hop.
-  std::size_t hops = 0;
-  std::size_t heavy_met = 0;
-  std::size_t timeouts = 0;
-  core::OverloadedSet overloaded;  ///< the A set of Algorithm 4.
-  bool done = false;
-  bool returning = false;  ///< data-forwarding mode: response leg.
-  bool fault_hit = false;  ///< saw an injected fault (drop/crash) en route.
-  std::vector<NodeIndex> path;  ///< recorded when data forwarding is on.
-
-  /// Readies a recycled slot for a fresh lookup: scalar state zeroed,
-  /// the overloaded set's spill and the path vector keep their capacity.
-  void reset(std::uint64_t new_id) {
-    id = new_id;
-    key = 0;
-    cur = dht::kNoNode;
-    start_time = 0.0;
-    penalty = 0.0;
-    hops = 0;
-    heavy_met = 0;
-    timeouts = 0;
-    overloaded.clear();
-    done = false;
-    returning = false;
-    fault_hit = false;
-    path.clear();
-  }
-};
-
-/// FIFO of waiting query slots: a ring over a lazily grown power-of-two
-/// vector. An idle node costs 32 bytes here where libstdc++'s std::deque
-/// eagerly allocates a ~500-byte chunk map per instance — at 2^20 nodes
-/// that difference alone is half a gigabyte.
-class MiniQueue {
- public:
-  bool empty() const { return size_ == 0; }
-  std::size_t size() const { return size_; }
-  void push_back(std::uint32_t v) {
-    if (size_ == buf_.size()) grow();
-    buf_[(head_ + size_) & (buf_.size() - 1)] = v;
-    ++size_;
-  }
-  std::uint32_t front() const { return buf_[head_]; }
-  void pop_front() {
-    head_ = (head_ + 1) & (static_cast<std::uint32_t>(buf_.size()) - 1);
-    --size_;
-  }
-  void clear() {
-    head_ = 0;
-    size_ = 0;
-  }
-  template <typename Fn>
-  void for_each(Fn&& fn) const {  // FIFO order
-    for (std::uint32_t i = 0; i < size_; ++i)
-      fn(buf_[(head_ + i) & (buf_.size() - 1)]);
-  }
-
- private:
-  void grow() {
-    std::vector<std::uint32_t> bigger(buf_.empty() ? 4 : buf_.size() * 2);
-    for (std::uint32_t i = 0; i < size_; ++i)
-      bigger[i] = buf_[(head_ + i) & (buf_.size() - 1)];
-    buf_ = std::move(bigger);
-    head_ = 0;
-  }
-
-  std::vector<std::uint32_t> buf_;  ///< capacity always a power of two.
-  std::uint32_t head_ = 0;
-  std::uint32_t size_ = 0;
-};
-
-/// Per physical node queueing and accounting state.
-struct RealNode {
-  /// Normalized capacity c-hat: queries the node can handle per unit
-  /// period (mean 1 across the network). Congestion g = queue / c-hat, so
-  /// "ideally g stays around 1" (Sec. 5) holds when each node has about
-  /// its fair backlog. The indegree bound floor(0.5 + alpha*c-hat) is a
-  /// separate quantity (see ert::core::max_indegree).
-  double cap = 1.0;
-  bool alive = true;
-  core::LoadTracker tracker;
-  std::size_t in_service = 0;
-  MiniQueue waiting;                   ///< queued query slots.
-  std::vector<std::uint32_t> serving;  ///< query slots in service.
-  double peak_congestion = 0.0;
-  int grow_backoff = 0;  ///< expansion backoff after fruitless probes.
-  int grow_wait = 0;
-  /// Pending completion of the single FIFO server (cancelled when the node
-  /// departs or crashes with a query in service). Node-level rather than
-  /// per-query: under message duplication one query id can be in service at
-  /// two nodes at once, and each node must only ever cancel its own event.
-  sim::EventHandle service_ev;
-};
+// Query / MiniQueue / RealNode moved to engine_detail.h, shared (via their
+// slot-type template) with the sharded PDES engine. The 32-bit aliases are
+// the exact historical structures.
+using detail::MiniQueue;
+using detail::Query;
+using detail::RealNode;
 
 class Engine {
  public:
@@ -1330,6 +1236,14 @@ class Engine {
 ExperimentResult run_experiment(const SimParams& params, Protocol protocol,
                                 SubstrateKind substrate,
                                 const ExperimentOptions& options) {
+  // sim_threads > 1 routes supported workloads through the sharded
+  // conservative-PDES engine (docs/PDES.md); everything else — including
+  // sim_threads == 1, which must stay bit-identical to the historical
+  // engine — runs the serial single-queue path below.
+  if (params.sim_threads > 1 &&
+      pdes_supported(params, protocol, substrate, options)) {
+    return run_experiment_sharded(params, protocol, substrate, options);
+  }
   Engine engine(params, protocol, substrate, options);
   return engine.run();
 }

@@ -1,0 +1,41 @@
+// Sharded parallel experiment engine (docs/PDES.md).
+//
+// run_experiment dispatches here when params.sim_threads > 1 and
+// pdes_supported() accepts the workload. The engine partitions the physical
+// nodes into sim_threads shards (hash of the real-node index), runs each
+// shard's queueing and routing on its own pooled event queue under the
+// ShardedSimulator's conservative windowing (lookahead = the latency floor,
+// net::kDefaultBaseLatency), and executes everything that must observe
+// cross-shard state — churn, crash waves, adaptation sweeps, invariant
+// audits, timeline samples — as coordinator-side global events with every
+// shard quiescent.
+//
+// Determinism: for a fixed (seed, sim_threads) the run is bit-identical
+// regardless of how many OS threads actually execute the windows. Results
+// are NOT bit-identical to the serial engine (per-shard Rng streams replace
+// the single workload stream); equivalence to it is statistical, gated by
+// --model-check and the invariant auditor (tests/pdes_equivalence_test.cpp).
+#pragma once
+
+#include "common/config.h"
+#include "harness/experiment.h"
+#include "harness/protocol.h"
+#include "harness/substrate.h"
+
+namespace ert::harness {
+
+/// True when the sharded engine supports this workload. Unsupported (serial
+/// fallback): virtual-server protocols, impulse workloads, non-inert
+/// scenarios, message duplication (breaks the single-handler ownership
+/// model), and networks too small to shard (n < 8 * sim_threads).
+bool pdes_supported(const SimParams& params, Protocol protocol,
+                    SubstrateKind substrate, const ExperimentOptions& options);
+
+/// Runs one experiment on the sharded engine. Call through run_experiment —
+/// it performs the pdes_supported gate and the sim_threads dispatch.
+ExperimentResult run_experiment_sharded(const SimParams& params,
+                                        Protocol protocol,
+                                        SubstrateKind substrate,
+                                        const ExperimentOptions& options);
+
+}  // namespace ert::harness

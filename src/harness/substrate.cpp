@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstring>
 
 #include "can/overlay.h"
 #include "chord/overlay.h"
@@ -123,6 +124,23 @@ class CycloidSubstrate final : public SubstrateOps {
     assert(it != ctx_.end() && it->qid == qid);
     const dht::RouteStepInfo s =
         overlay_->route_step(cur, key, it->ctx, scratch);
+    HopStep h;
+    h.arrived = s.arrived;
+    h.slot = s.entry_index < cycloid::kNumEntries ? s.entry_index : kNoSlot;
+    return h;
+  }
+  HopStep route_step(NodeIndex cur, std::uint64_t key, RouteCtxBlob& blob,
+                     dht::RouteScratch& scratch) override {
+    // The caller-held blob carries the monotone routing phase. Its
+    // zero-initialized state must decode as a fresh context; verified by
+    // the static_asserts (kAscend is the first, zero-valued enumerator).
+    static_assert(sizeof(cycloid::RouteCtx) <= sizeof(RouteCtxBlob::bytes));
+    static_assert(static_cast<std::uint8_t>(
+                      cycloid::RouteCtx::Phase::kAscend) == 0);
+    cycloid::RouteCtx ctx;
+    std::memcpy(&ctx, blob.bytes, sizeof(ctx));
+    const dht::RouteStepInfo s = overlay_->route_step(cur, key, ctx, scratch);
+    std::memcpy(blob.bytes, &ctx, sizeof(ctx));
     HopStep h;
     h.arrived = s.arrived;
     h.slot = s.entry_index < cycloid::kNumEntries ? s.entry_index : kNoSlot;

@@ -131,6 +131,22 @@ class SubstrateOps {
   /// Releases the per-query routing context once the lookup completes,
   /// drops, or fails; qids are never reused. Default: stateless substrate.
   virtual void finish_query(std::size_t qid) { (void)qid; }
+
+  /// Caller-held per-query routing context for the sharded engine, which
+  /// cannot use the qid-keyed start/finish protocol (queries migrate
+  /// between shards, and the adapter-side ctx map would be shared mutable
+  /// state). Zero-initialized bytes must mean "query just started".
+  struct RouteCtxBlob {
+    unsigned char bytes[8] = {};
+  };
+  /// Context-carrying variant of route_step. Stateless substrates ignore
+  /// the blob; Cycloid stores its monotone routing phase in it. The engine
+  /// must use exactly one of the two protocols per query.
+  virtual HopStep route_step(dht::NodeIndex cur, std::uint64_t key,
+                             RouteCtxBlob& ctx, dht::RouteScratch& scratch) {
+    (void)ctx;
+    return route_step(0, cur, key, scratch);
+  }
   virtual std::uint64_t logical_distance_to_key(dht::NodeIndex a,
                                                 std::uint64_t key) const = 0;
   /// Mutable access to a table entry (memory slot for Algorithm 4);

@@ -65,6 +65,15 @@ class LookupStats {
   PctSummary latency_summary() const { return summarize(latency_); }
   const Percentiles& latencies() const { return latency_; }
 
+  /// Folds another collector in (sharded engine: merged in shard order).
+  void merge(const LookupStats& o) {
+    count_ += o.count_;
+    heavy_total_ += o.heavy_total_;
+    path_total_ += o.path_total_;
+    timeout_total_ += o.timeout_total_;
+    latency_.merge(o.latency_);
+  }
+
  private:
   std::size_t count_ = 0;
   std::size_t heavy_total_ = 0;

@@ -24,13 +24,19 @@ struct Coord {
 /// Distance between two points on the unit torus (wrap-around Euclidean).
 double torus_distance(Coord a, Coord b);
 
+/// Default latency floor of the model: every message costs at least this
+/// much regardless of distance. The sharded PDES driver (sim/sharded.h)
+/// uses it as its conservative lookahead, so it must stay a *lower bound*
+/// on any latency the engine charges.
+inline constexpr double kDefaultBaseLatency = 0.010;
+
 /// Per-node coordinates plus a latency model. Link latency is
 /// `base + scale * distance`, defaulting to a 10..80 ms spread — the figures
 /// depend only on relative order, not the absolute scale.
 class ProximityMap {
  public:
   ProximityMap() = default;
-  ProximityMap(std::size_t n, Rng& rng, double base_latency = 0.010,
+  ProximityMap(std::size_t n, Rng& rng, double base_latency = kDefaultBaseLatency,
                double latency_scale = 0.100);
 
   /// Adds one node (churn join) and returns its index.
@@ -44,6 +50,7 @@ class ProximityMap {
 
   double distance(std::size_t a, std::size_t b) const;
   double latency(std::size_t a, std::size_t b) const;
+  double base_latency() const { return base_latency_; }
 
  private:
   std::vector<Coord> coords_;

@@ -1,0 +1,166 @@
+#include "sim/sharded.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace ert::sim {
+
+namespace {
+constexpr Time kInf = std::numeric_limits<Time>::infinity();
+}
+
+ShardedSimulator::ShardedSimulator(int shards, Time lookahead, int workers)
+    : shards_(static_cast<std::size_t>(shards)),
+      lookahead_(lookahead),
+      workers_(workers <= 0 ? shards : std::min(workers, shards)) {
+  assert(shards >= 1);
+  assert(lookahead > 0.0 && "conservative windowing needs a latency floor");
+  lanes_.resize(static_cast<std::size_t>(shards) *
+                static_cast<std::size_t>(shards));
+  executed_.assign(static_cast<std::size_t>(shards), 0);
+  if (workers_ > 1) {
+    // The coordinator participates in every window, so the pool only needs
+    // workers_ - 1 threads to reach the requested parallelism.
+    pool_.reserve(static_cast<std::size_t>(workers_ - 1));
+    for (int w = 0; w < workers_ - 1; ++w)
+      pool_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ShardedSimulator::~ShardedSimulator() {
+  if (!pool_.empty()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_work_.notify_all();
+    for (std::thread& t : pool_) t.join();
+  }
+}
+
+void ShardedSimulator::post(int from, int to, Time when, EventFn fn) {
+  assert(from >= 0 && from < shards() && to >= 0 && to < shards());
+  assert(from != to && "intra-shard work goes through shard(s).schedule_at");
+  assert(when >= window_end_ &&
+         "cross-shard send below the lookahead floor breaks conservatism");
+  lanes_[static_cast<std::size_t>(from) *
+             static_cast<std::size_t>(shards()) +
+         static_cast<std::size_t>(to)]
+      .push_back(Msg{when, std::move(fn)});
+}
+
+void ShardedSimulator::reserve_mailboxes(std::size_t per_lane) {
+  for (auto& lane : lanes_) lane.reserve(per_lane);
+}
+
+Time ShardedSimulator::min_shard_next() {
+  Time t = kInf;
+  for (Simulator& s : shards_) t = std::min(t, s.next_time());
+  return t;
+}
+
+void ShardedSimulator::drain_mailboxes() {
+  // Deterministic delivery order: receiving shard major, sending shard
+  // minor, staging order within a lane. schedule_at's (time, seq) heap
+  // order then fixes execution order for equal timestamps.
+  const auto S = static_cast<std::size_t>(shards());
+  for (std::size_t to = 0; to < S; ++to) {
+    Simulator& dst = shards_[to];
+    for (std::size_t from = 0; from < S; ++from) {
+      auto& lane = lanes_[from * S + to];
+      for (Msg& m : lane) dst.schedule_at(m.when, std::move(m.fn));
+      lane.clear();  // keeps capacity: steady state allocates nothing
+    }
+  }
+}
+
+void ShardedSimulator::worker_run_shards() {
+  const int S = shards();
+  for (;;) {
+    const int s = next_shard_.fetch_add(1, std::memory_order_relaxed);
+    if (s >= S) break;
+    executed_[static_cast<std::size_t>(s)] +=
+        shards_[static_cast<std::size_t>(s)].run_before(cur_wend_);
+  }
+}
+
+void ShardedSimulator::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_work_.wait(lock, [&] { return stop_ || epoch_ != seen; });
+      if (stop_) return;
+      seen = epoch_;
+    }
+    worker_run_shards();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--busy_ == 0) cv_done_.notify_one();
+    }
+  }
+}
+
+void ShardedSimulator::run_window(Time wend) {
+  window_end_ = wend;
+  cur_wend_ = wend;
+  next_shard_.store(0, std::memory_order_relaxed);
+  if (pool_.empty()) {
+    // Inline path (one worker or one shard): same claim loop, same order
+    // of shard visits, no synchronization.
+    worker_run_shards();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    busy_ = static_cast<int>(pool_.size());
+    ++epoch_;
+  }
+  cv_work_.notify_all();
+  worker_run_shards();  // the coordinator is the workers_-th worker
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_done_.wait(lock, [&] { return busy_ == 0; });
+}
+
+std::size_t ShardedSimulator::run() {
+  std::size_t global_executed = 0;
+  for (;;) {
+    const Time ts = min_shard_next();
+    Time tg = global_.next_time();
+    if (ts == kInf && tg == kInf) break;
+    if (tg <= ts) {
+      // Global batch: every shard is quiescent at tg (all shard events
+      // < tg have run), so the event may observe and mutate any shard's
+      // state and schedule follow-ups on any queue. Each step can change
+      // the earliest shard event, so re-check per iteration.
+      do {
+        global_.step();
+        ++global_executed;
+        tg = global_.next_time();
+        // tg < kInf guard: inf <= inf would otherwise keep stepping an
+        // empty global queue once both sides drain.
+      } while (tg < kInf && tg <= min_shard_next());
+      if (hooks_.post_global) hooks_.post_global(global_.now());
+      continue;
+    }
+    // Window [ts, wend): capped by the lookahead promise and by the next
+    // global event (a window never spans one).
+    const Time wend = std::min(ts + lookahead_, tg);
+    run_window(wend);
+    drain_mailboxes();
+    if (hooks_.pre_global) hooks_.pre_global(wend);
+    if (hooks_.post_global) hooks_.post_global(wend);
+  }
+  std::size_t total = global_executed;
+  for (const std::size_t e : executed_) total += e;
+  return total;
+}
+
+Time ShardedSimulator::now_max() const {
+  Time t = global_.now();
+  for (const Simulator& s : shards_) t = std::max(t, s.now());
+  return t;
+}
+
+}  // namespace ert::sim

@@ -1,0 +1,156 @@
+// Sharded conservative parallel discrete-event driver (docs/PDES.md).
+//
+// Partitions a simulation into S independent event queues (one pooled
+// Simulator per shard) plus one coordinator-owned global queue, and runs
+// them under fixed-window conservative synchronization: every shard
+// executes its events inside [W, W_end) in parallel, where
+//
+//   W_end = min(W + lookahead, next_global_event_time)
+//
+// and `lookahead` is the model's minimum cross-shard message latency. A
+// cross-shard send made at time t inside a window carries a timestamp
+// >= t + lookahead >= W_end, so it always lands in a *later* window; the
+// messages are staged in per-(from, to) mailbox lanes (owned exclusively
+// by the sending shard, so staging is lock-free) and drained into the
+// target queues at the window barrier in deterministic (to, from, stage
+// order) order. This is Chandy–Misra-style conservative PDES with
+// null-message-free windowing: the latency floor plays the role of the
+// null messages' lookahead promise.
+//
+// Global events (membership churn, adaptation sweeps, audits — anything
+// that must observe or mutate cross-shard state) live on the global queue
+// and run on the coordinator thread with every shard quiescent: a window
+// never spans a global event's timestamp, and a global event at time t
+// runs only after all shard events < t have executed.
+//
+// Determinism contract: for a fixed (event population, shard count) the
+// execution is bit-identical regardless of the worker thread count —
+// shards share no mutable state inside a window, mailbox drain order is
+// fixed, and equal-timestamp events within one shard keep the Simulator's
+// (time, seq) scheduling order. See docs/PDES.md for the engine-level
+// two-tier contract built on top of this.
+//
+// Steady-state allocation: shard slabs/heaps recycle (PR 1 kernel),
+// mailbox lanes keep their capacity across drains, and window dispatch
+// uses a persistent worker pool — after warm-up, running windows performs
+// zero heap allocations (pinned by tests/alloc_test.cpp).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace ert::sim {
+
+class ShardedSimulator {
+ public:
+  /// Callbacks the driver runs at synchronization points, both on the
+  /// coordinator thread with all shards quiescent.
+  struct BarrierHooks {
+    /// After every window's mailbox drain, before any due global event:
+    /// the engine applies deferred cross-shard mutations here (e.g. table
+    /// repairs recorded during routing). Argument: the window's end time.
+    std::function<void(Time)> pre_global;
+    /// After the window barrier's hooks *and* after every batch of global
+    /// events: membership-dependent derived state (load snapshots, alive
+    /// lists, arrival rates) is refreshed here. Argument: current time.
+    std::function<void(Time)> post_global;
+  };
+
+  /// `workers` caps the worker threads used per window (0 = one per
+  /// shard). The pool is spawned once here; with one shard or one worker
+  /// everything runs inline on the calling thread and no threads exist.
+  ShardedSimulator(int shards, Time lookahead, int workers = 0);
+  ~ShardedSimulator();
+
+  ShardedSimulator(const ShardedSimulator&) = delete;
+  ShardedSimulator& operator=(const ShardedSimulator&) = delete;
+
+  int shards() const { return static_cast<int>(shards_.size()); }
+  Time lookahead() const { return lookahead_; }
+  int workers() const { return workers_; }
+
+  /// Shard-local event queue; schedule intra-shard work directly on it.
+  /// Stable address for the driver's lifetime (EventHandles stay valid).
+  Simulator& shard(int s) { return shards_[static_cast<std::size_t>(s)]; }
+  const Simulator& shard(int s) const {
+    return shards_[static_cast<std::size_t>(s)];
+  }
+
+  /// Coordinator-owned queue for barrier-synchronized global events.
+  Simulator& global() { return global_; }
+
+  /// End of the window currently executing (valid inside window events and
+  /// the pre_global hook).
+  Time window_end() const { return window_end_; }
+
+  /// Cross-shard send, callable only from shard `from`'s window execution:
+  /// stages `fn` to run on shard `to` at absolute time `when`. Conservative
+  /// lookahead requires when >= window_end() (asserted) — callers guarantee
+  /// it by scheduling at now + latency with latency >= lookahead(). Barrier
+  /// and global-event code must use shard(to).schedule_at directly instead
+  /// (every shard is quiescent there, and posted messages would otherwise
+  /// sit staged until the *next* window's drain).
+  void post(int from, int to, Time when, EventFn fn);
+
+  void set_hooks(BarrierHooks hooks) { hooks_ = std::move(hooks); }
+
+  /// Pre-sizes every mailbox lane (zero-allocation steady state).
+  void reserve_mailboxes(std::size_t per_lane);
+
+  /// Runs windows until every shard queue, mailbox lane, and the global
+  /// queue are empty. Returns the total number of events executed.
+  std::size_t run();
+
+  /// Maximum simulated time reached across the shard clocks and the global
+  /// clock — the sharded analogue of Simulator::now() after run().
+  Time now_max() const;
+
+ private:
+  struct Msg {
+    Time when;
+    EventFn fn;
+  };
+
+  Time min_shard_next();
+  void drain_mailboxes();
+  void run_window(Time wend);   ///< parallel or inline shard execution.
+  void worker_loop();
+  void worker_run_shards();     ///< claim loop shared by pool + coordinator.
+
+  std::vector<Simulator> shards_;  ///< sized once; addresses are stable.
+  Simulator global_;
+  Time lookahead_;
+  int workers_;
+  Time window_end_ = 0.0;
+  BarrierHooks hooks_;
+
+  /// Mailbox lanes, indexed [from * S + to]. A lane is written only by
+  /// `from`'s window execution and drained only at barriers, so no lock
+  /// guards it; the pool barrier provides the happens-before edges.
+  std::vector<std::vector<Msg>> lanes_;
+
+  /// Per-shard executed-event counters (written by whichever worker ran
+  /// the shard; summed at barriers, deterministic).
+  std::vector<std::size_t> executed_;
+
+  // --- persistent worker pool (empty when workers_ <= 1) ---
+  std::vector<std::thread> pool_;
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  std::uint64_t epoch_ = 0;      ///< bumped per window to release workers.
+  int busy_ = 0;                 ///< workers still running this window.
+  bool stop_ = false;
+  std::atomic<int> next_shard_{0};  ///< window work-claim cursor.
+  Time cur_wend_ = 0.0;             ///< deadline of the window in flight.
+};
+
+}  // namespace ert::sim

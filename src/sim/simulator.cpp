@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 
 namespace ert::sim {
 
@@ -115,6 +116,22 @@ std::size_t Simulator::run_until(Time deadline) {
   }
   if (now_ < deadline) now_ = deadline;
   return executed;
+}
+
+std::size_t Simulator::run_before(Time deadline) {
+  std::size_t executed = 0;
+  while (settle_front()) {
+    if (heap_.front().when >= deadline) break;
+    fire_front();
+    ++executed;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return executed;
+}
+
+Time Simulator::next_time() {
+  if (!settle_front()) return std::numeric_limits<Time>::infinity();
+  return heap_.front().when;
 }
 
 bool Simulator::step() {

@@ -65,6 +65,17 @@ class Simulator {
   /// Runs events with time <= deadline; leaves later events queued.
   std::size_t run_until(Time deadline);
 
+  /// Runs events with time strictly < deadline, then advances the clock to
+  /// exactly `deadline`. The windowed PDES driver (sim/sharded.h) executes
+  /// each shard over [window_start, window_end) with this: events at the
+  /// window boundary itself belong to the next window, after the barrier.
+  std::size_t run_before(Time deadline);
+
+  /// Earliest pending event time, or +infinity when the queue is empty.
+  /// Reclaims stale cancelled entries encountered on the way, so repeated
+  /// peeks stay O(1) amortized.
+  Time next_time();
+
   /// Executes at most one event; returns false if the queue is empty.
   bool step();
 

@@ -29,6 +29,7 @@
 #include "dht/routing_entry.h"
 #include "ert/forwarding.h"
 #include "harness/substrate.h"
+#include "sim/sharded.h"
 
 namespace {
 
@@ -350,6 +351,83 @@ INSTANTIATE_TEST_SUITE_P(AllSubstrates, AllocFreeAdaptation,
                                            SubstrateKind::kD1ht),
                          [](const auto& info) {
                            return std::string(to_string(info.param));
+                         });
+
+/// The sharded PDES kernel (docs/PDES.md): per-shard pooled queues, the
+/// sender-owned mailbox lanes, and the window barrier exchange. After a
+/// warm-up batch has sized every shard's slab/heap, every mailbox lane,
+/// and the worker pool, running further event batches — including
+/// cross-shard posts every few events — must be heap-silent.
+struct ShardedKernelDriver {
+  static constexpr sim::Time kLookahead = 0.010;
+
+  sim::ShardedSimulator driver;
+  std::vector<std::size_t> remaining;
+  std::vector<std::size_t> fired;
+  std::vector<std::size_t> received;  ///< cross-shard deliveries per shard.
+
+  explicit ShardedKernelDriver(int shards)
+      : driver(shards, kLookahead),
+        remaining(static_cast<std::size_t>(shards), 0),
+        fired(static_cast<std::size_t>(shards), 0),
+        received(static_cast<std::size_t>(shards), 0) {
+    driver.reserve_mailboxes(256);
+  }
+
+  /// Self-rescheduling per-shard chain; every fourth firing also posts a
+  /// cross-shard message at the lookahead horizon (the exact transport
+  /// pattern of the sharded engine's send_hop).
+  void chain(int s) {
+    const auto si = static_cast<std::size_t>(s);
+    ++fired[si];
+    if (driver.shards() > 1 && (fired[si] & 3u) == 0) {
+      const int to = (s + 1) % driver.shards();
+      driver.post(s, to, driver.shard(s).now() + kLookahead,
+                  [this, to] { ++received[static_cast<std::size_t>(to)]; });
+    }
+    if (--remaining[si] == 0) return;
+    driver.shard(s).schedule(0.004, [this, s] { chain(s); });
+  }
+
+  /// Seeds one chain per shard and drives the window loop to quiescence.
+  void run_batch(std::size_t events_per_shard) {
+    for (int s = 0; s < driver.shards(); ++s) {
+      remaining[static_cast<std::size_t>(s)] = events_per_shard;
+      driver.shard(s).schedule(0.004, [this, s] { chain(s); });
+    }
+    driver.run();
+  }
+};
+
+class AllocFreeShardedKernel : public ::testing::TestWithParam<int> {};
+
+TEST_P(AllocFreeShardedKernel, SteadyStateWindowsAllocateNothing) {
+  ShardedKernelDriver d(GetParam());
+  // Two warm-up batches: the first sizes slabs, heaps, and lanes; the
+  // second proves those footprints are the steady state before counting.
+  d.run_batch(300);
+  d.run_batch(300);
+
+  g_alloc_count.store(0);
+  g_count_allocs.store(true);
+  d.run_batch(300);
+  g_count_allocs.store(false);
+
+  EXPECT_EQ(g_alloc_count.load(), 0u)
+      << "heap allocations leaked into the sharded window loop with "
+      << GetParam() << " shard(s)";
+  for (int s = 0; s < d.driver.shards(); ++s)
+    EXPECT_EQ(d.fired[static_cast<std::size_t>(s)], 900u);
+  if (d.driver.shards() > 1) {
+    std::size_t delivered = 0;
+    for (const std::size_t r : d.received) delivered += r;
+    EXPECT_GT(delivered, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SimThreads, AllocFreeShardedKernel,
+                         ::testing::Values(1, 4), [](const auto& info) {
+                           return "shards" + std::to_string(info.param);
                          });
 
 }  // namespace

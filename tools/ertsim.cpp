@@ -10,6 +10,14 @@
 //     --seeds K          average over K seeds (default 1)
 //     --threads T        worker threads for the seed fan-out (default: all
 //                        cores; the result is identical for any T)
+//     --sim-threads N    shards for the parallel in-run engine
+//                        (docs/PDES.md). 1 (default) = the serial engine,
+//                        bit-identical to every prior release; N > 1 =
+//                        statistically equivalent sharded run (fixed
+//                        (seed, N) stays bit-identical whatever the core
+//                        count). Unsupported workloads (VS, impulse,
+//                        scenarios, dup faults, tiny networks) fall back
+//                        to the serial engine
 //     --churn T          mean join/leave interarrival seconds (0 = off)
 //     --impulse N:K      skewed workload: N source nodes, K hot keys
 //     --zipf N:S         Zipf workload: N-key catalog, exponent S
@@ -90,6 +98,7 @@
 #include "common/rss.h"
 #include "harness/experiment.h"
 #include "harness/model_check.h"
+#include "harness/pdes_engine.h"
 #include "scenario/parser.h"
 #include "scenario/report.h"
 #include "trace/jsonl.h"
@@ -104,7 +113,7 @@ using ert::harness::SubstrateKind;
   std::fprintf(stderr,
                "usage: ertsim [--protocol P] [--substrate S] [--nodes N]\n"
                "              [--lookups N] [--rate R] [--seed S] [--seeds K]\n"
-               "              [--threads T]\n"
+               "              [--threads T] [--sim-threads N]\n"
                "              [--churn T] [--impulse N:K] [--service L:H]\n"
                "              [--queue-cap N]\n"
                "              [--alpha A] [--beta B] [--mu M] [--gamma-l G]\n"
@@ -238,6 +247,10 @@ int main(int argc, char** argv) {
     else if (a == "--seed") p.seed = std::strtoull(need(i), nullptr, 10);
     else if (a == "--seeds") seeds = std::atoi(need(i));
     else if (a == "--threads") threads = std::atoi(need(i));
+    else if (a == "--sim-threads") {
+      p.sim_threads = std::atoi(need(i));
+      if (p.sim_threads < 1) usage("--sim-threads wants N >= 1");
+    }
     else if (a == "--churn") {
       p.churn_interarrival = std::strtod(need(i), nullptr);
       churn_set = true;
@@ -500,6 +513,13 @@ int main(int argc, char** argv) {
               ert::harness::to_string(kind));
   std::printf("network            %zu nodes, %zu lookups at %.1f/s\n",
               p.num_nodes, p.num_lookups, p.lookup_rate);
+  if (p.sim_threads > 1) {
+    const bool sharded =
+        ert::harness::pdes_supported(p, proto, kind, options);
+    std::printf("sim threads        %d shards (%s)\n", p.sim_threads,
+                sharded ? "conservative PDES"
+                        : "unsupported workload, serial fallback");
+  }
   std::printf("completed          %zu (+%zu dropped), sim time %.1f s\n",
               r.completed_lookups, r.dropped_lookups, r.sim_duration);
   std::printf("p99 max congestion %.3f   (mean %.3f, min-cap node %.3f)\n",
@@ -598,6 +618,7 @@ int main(int argc, char** argv) {
           "  \"lookups\": %zu,\n"
           "  \"rate\": %g,\n"
           "  \"seed\": %llu,\n"
+          "  \"sim_threads\": %d,\n"
           "  \"churn_interarrival\": %g,\n"
           "  \"completed\": %zu,\n"
           "  \"dropped\": %zu,\n"
@@ -612,7 +633,8 @@ int main(int argc, char** argv) {
           std::string(ert::harness::to_string(proto)).c_str(),
           ert::harness::to_string(kind), p.num_nodes, p.num_lookups,
           p.lookup_rate, static_cast<unsigned long long>(p.seed),
-          p.churn_interarrival, r.completed_lookups, r.dropped_lookups,
+          p.sim_threads, p.churn_interarrival, r.completed_lookups,
+          r.dropped_lookups,
           r.sim_duration, wall_seconds, qps, rss_kb, r.lookup_time.mean,
           r.lookup_time.p99, r.avg_path_length);
       std::fclose(f);
