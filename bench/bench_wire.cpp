@@ -1,0 +1,311 @@
+// Wire-format perf tracker: encode/decode microbench plus the end-to-end
+// cost of --bytes accounting (BENCH_wire.json).
+//
+//   bench_wire [output.json]      (default BENCH_wire.json)
+//
+// Two layers, matching the docs/WIRE.md perf contract:
+//   - microbench: per-type encode and decode throughput on a hot stack
+//     buffer. Gates: probe encode and decode >= 5M frames/s; forward with
+//     an 8-entry A set >= 2M frames/s (both far below real hardware, so a
+//     gate trip means an algorithmic regression, not noise).
+//   - end-to-end: a full ERT/AF run with the meter off vs on, best of
+//     three walls each. Gates: overhead <= 10%, and every scalar metric
+//     bit-identical between the two runs (the observational contract) —
+//     checked at n = 2048 always and at the n = 2^17 --scale preset in
+//     full mode.
+//
+// ERT_BENCH_SMOKE=1 shrinks the e2e run and skips the 2^17 row; the
+// microbench gates still apply.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "harness/experiment.h"
+#include "json_writer.h"
+#include "wire/wire.h"
+
+namespace {
+
+using ert::harness::ExperimentResult;
+using ert::harness::Protocol;
+using ert::harness::SubstrateKind;
+
+bool smoke_mode() {
+  const char* e = std::getenv("ERT_BENCH_SMOKE");
+  return e && *e && std::string(e) != "0";
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// FNV-1a over the bit patterns of every scalar the result carries, so
+/// "identical" means identical doubles, not identical printf roundings.
+class Checksum {
+ public:
+  void add(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    add(bits);
+  }
+  void add(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h_ ^= (v >> (8 * i)) & 0xff;
+      h_ *= 0x100000001b3ULL;
+    }
+  }
+  std::uint64_t get() const { return h_; }
+
+ private:
+  std::uint64_t h_ = 0xcbf29ce484222325ULL;
+};
+
+std::uint64_t result_checksum(const ExperimentResult& r) {
+  Checksum c;
+  c.add(r.p99_max_congestion);
+  c.add(r.mean_max_congestion);
+  c.add(r.min_cap_node_congestion);
+  c.add(r.p99_share);
+  c.add(static_cast<std::uint64_t>(r.heavy_encounters));
+  c.add(r.avg_path_length);
+  c.add(r.lookup_time.mean);
+  c.add(r.lookup_time.p01);
+  c.add(r.lookup_time.p99);
+  c.add(r.avg_timeouts);
+  c.add(r.max_indegree.mean);
+  c.add(r.max_indegree.p99);
+  c.add(r.max_outdegree.mean);
+  c.add(r.max_outdegree.p99);
+  c.add(static_cast<std::uint64_t>(r.completed_lookups));
+  c.add(static_cast<std::uint64_t>(r.dropped_lookups));
+  c.add(r.sim_duration);
+  c.add(static_cast<std::uint64_t>(r.final_nodes));
+  c.add(static_cast<std::uint64_t>(r.adapt_sheds));
+  c.add(static_cast<std::uint64_t>(r.adapt_grows));
+  return c.get();
+}
+
+struct MicroRow {
+  const char* name;
+  std::size_t frame_bytes;
+  double encode_mfps;  ///< million frames per second.
+  double decode_mfps;
+};
+
+/// Times `iters` encodes and decodes of one message; the varying low field
+/// defeats constant folding and the accumulated sizes defeat dead-code
+/// elimination.
+template <typename M>
+MicroRow bench_codec(const char* name, M& msg, std::uint64_t* vary,
+                     long iters) {
+  std::uint8_t buf[ert::wire::kMaxFrameBytes];
+  std::uint64_t sink = 0;
+
+  auto t0 = std::chrono::steady_clock::now();
+  for (long i = 0; i < iters; ++i) {
+    *vary = static_cast<std::uint64_t>(i) & 0x3FFF;
+    sink += ert::wire::encode(msg, buf, sizeof buf);
+  }
+  const double enc_wall = seconds_since(t0);
+
+  *vary = 0x2A;
+  const std::size_t size = ert::wire::encode(msg, buf, sizeof buf);
+  t0 = std::chrono::steady_clock::now();
+  for (long i = 0; i < iters; ++i) {
+    const auto r = ert::wire::decode(buf, size);
+    sink += r.consumed + r.msg.f[0];
+  }
+  const double dec_wall = seconds_since(t0);
+
+  if (sink == 0xdead) std::printf("impossible\n");  // keep `sink` live
+  MicroRow row;
+  row.name = name;
+  row.frame_bytes = size;
+  row.encode_mfps = static_cast<double>(iters) / enc_wall / 1e6;
+  row.decode_mfps = static_cast<double>(iters) / dec_wall / 1e6;
+  std::printf("micro %-12s %3zu B   encode %7.1f M/s   decode %7.1f M/s\n",
+              name, size, row.encode_mfps, row.decode_mfps);
+  return row;
+}
+
+struct E2eRow {
+  std::size_t nodes;
+  std::size_t lookups;
+  double wall_off;
+  double wall_on;
+  double overhead;  ///< wall_on / wall_off - 1.
+  bool metrics_identical;
+};
+
+E2eRow bench_e2e(const ert::SimParams& p, int reps) {
+  ert::harness::ExperimentOptions off_opts;
+  ert::harness::ExperimentOptions on_opts;
+  on_opts.wire.bytes = true;
+
+  E2eRow row;
+  row.nodes = p.num_nodes;
+  row.lookups = p.num_lookups;
+  row.wall_off = 1e300;
+  row.wall_on = 1e300;
+  row.metrics_identical = true;
+  // Interleave off/on reps so drift (thermal, cache state) hits both arms;
+  // best-of-reps keeps scheduler noise out of a 10% gate.
+  for (int i = 0; i < reps; ++i) {
+    auto t0 = std::chrono::steady_clock::now();
+    const auto off = ert::harness::run_experiment(p, Protocol::kErtAF,
+                                                  SubstrateKind::kChord,
+                                                  off_opts);
+    row.wall_off = std::min(row.wall_off, seconds_since(t0));
+    t0 = std::chrono::steady_clock::now();
+    const auto on = ert::harness::run_experiment(p, Protocol::kErtAF,
+                                                 SubstrateKind::kChord,
+                                                 on_opts);
+    row.wall_on = std::min(row.wall_on, seconds_since(t0));
+    row.metrics_identical = row.metrics_identical &&
+                            result_checksum(off) == result_checksum(on) &&
+                            on.bytes.total_msgs() > 0;
+  }
+  row.overhead = row.wall_on / row.wall_off - 1.0;
+  std::printf(
+      "e2e n=%-7zu off %6.2f s   on %6.2f s   overhead %+5.1f%%   %s\n",
+      row.nodes, row.wall_off, row.wall_on, 100.0 * row.overhead,
+      row.metrics_identical ? "bit-identical" : "METRIC MISMATCH");
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_wire.json";
+  const bool smoke = smoke_mode();
+  const long iters = smoke ? 400'000 : 4'000'000;
+
+  std::vector<MicroRow> micro;
+  {
+    ert::wire::Probe probe{7, 1234, 56789, 3};
+    micro.push_back(bench_codec("probe", probe, &probe.queue_len, iters));
+  }
+  {
+    ert::wire::ProbeReply reply{7, 56789, 1234, 3};
+    micro.push_back(bench_codec("probe-reply", reply, &reply.queue_len, iters));
+  }
+  std::size_t aset[64];
+  for (std::size_t i = 0; i < 64; ++i) aset[i] = 1000 + 37 * i;
+  {
+    ert::wire::Forward fwd{7, 987654321, 1234, 56789, 5, false, 8, aset};
+    micro.push_back(bench_codec("forward-a8", fwd, &fwd.hops, iters));
+  }
+  {
+    ert::wire::Forward fwd{7, 987654321, 1234, 56789, 5, true, 64, aset};
+    micro.push_back(bench_codec("forward-a64", fwd, &fwd.hops, iters));
+  }
+  {
+    ert::wire::AdaptShed shed{1234, 2};
+    micro.push_back(bench_codec("adapt-shed", shed, &shed.delta, iters));
+  }
+  {
+    ert::wire::BackwardAdd add{1234, 56789, 12};
+    micro.push_back(bench_codec("backward-add", add, &add.indegree_after,
+                                iters));
+  }
+  {
+    ert::wire::Join join{1234, 567};
+    micro.push_back(bench_codec("join", join, &join.overlay, iters));
+  }
+  {
+    ert::wire::Leave leave{1234};
+    micro.push_back(bench_codec("leave", leave, &leave.node, iters));
+  }
+
+  bool micro_ok = true;
+  for (const MicroRow& r : micro) {
+    const double floor_mfps =
+        std::strncmp(r.name, "forward", 7) == 0 ? 2.0 : 5.0;
+    if (r.encode_mfps < floor_mfps || r.decode_mfps < floor_mfps) {
+      std::printf("micro gate MISSED on %s (floor %.0f M/s)\n", r.name,
+                  floor_mfps);
+      micro_ok = false;
+    }
+  }
+
+  std::vector<E2eRow> e2e;
+  {
+    ert::SimParams p;  // Table-2 defaults: n = 2048, 3000 lookups.
+    p.seed = 42;
+    if (smoke) p.num_lookups = 1000;
+    e2e.push_back(bench_e2e(p, smoke ? 2 : 3));
+  }
+  if (!smoke) {
+    // The --scale preset at n = 2^17 (bench_pdes workload clock): the
+    // overhead gate must hold when the meter charges a million links.
+    ert::SimParams p;
+    p.seed = 42;
+    p.num_nodes = std::size_t{1} << 17;
+    p.num_lookups = 200'000;
+    p.lookup_rate = 128.0 * static_cast<double>(p.num_nodes) / 2048.0;
+    p.light_service_time = 0.2 / 8.0;
+    p.heavy_service_time = 1.0 / 8.0;
+    p.queue_cap = 64;
+    p.dimension = ert::harness::fit_dimension(p.num_nodes);
+    e2e.push_back(bench_e2e(p, 2));
+  }
+
+  bool e2e_ok = true;
+  for (const E2eRow& r : e2e)
+    e2e_ok = e2e_ok && r.metrics_identical && r.overhead <= 0.10;
+  const bool pass = micro_ok && e2e_ok;
+
+  std::FILE* f = std::fopen(out_path, "w");
+  if (!f) {
+    std::perror("bench_wire: open output");
+    return 1;
+  }
+  ertbench::JsonWriter w(f);
+  w.begin_object();
+  w.field("bench", "wire");
+  w.field("smoke", smoke);
+  w.field("micro_iters", static_cast<std::uint64_t>(iters));
+  w.key("micro");
+  w.begin_array();
+  for (const MicroRow& r : micro) {
+    w.begin_object();
+    w.field("message", r.name);
+    w.field("frame_bytes", static_cast<std::uint64_t>(r.frame_bytes));
+    w.field("encode_mframes_per_sec", r.encode_mfps);
+    w.field("decode_mframes_per_sec", r.decode_mfps);
+    w.end_object();
+  }
+  w.end_array();
+  w.field("micro_gates_ok", micro_ok);
+  w.key("e2e");
+  w.begin_array();
+  for (const E2eRow& r : e2e) {
+    w.begin_object();
+    w.field("nodes", static_cast<std::uint64_t>(r.nodes));
+    w.field("lookups", static_cast<std::uint64_t>(r.lookups));
+    w.field("wall_seconds_bytes_off", r.wall_off);
+    w.field("wall_seconds_bytes_on", r.wall_on);
+    w.field("bytes_on_overhead", r.overhead);
+    w.field("metrics_identical", r.metrics_identical);
+    w.end_object();
+  }
+  w.end_array();
+  w.field("overhead_gate", 0.10);
+  w.field("e2e_gates_ok", e2e_ok);
+  w.field("pass", pass);
+  w.end_object();
+  w.finish();
+  std::fclose(f);
+
+  std::printf("micro gates %s, e2e gates %s -> %s; wrote %s\n",
+              micro_ok ? "met" : "MISSED", e2e_ok ? "met" : "MISSED",
+              pass ? "PASS" : "FAIL", out_path);
+  return pass ? 0 : 1;
+}

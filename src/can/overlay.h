@@ -34,6 +34,10 @@ namespace ert::trace {
 class TraceSink;
 }
 
+namespace ert::wire {
+class ByteMeter;
+}
+
 namespace ert::can {
 
 using Point = net::Coord;  // unit torus
@@ -133,6 +137,7 @@ class Overlay {
   /// (link.adopt / link.shed from expand_indegree / shed_indegree); null
   /// disables emission. Observes only. See docs/TRACING.md.
   void set_trace(trace::TraceSink* sink) { trace_ = sink; }
+  void set_meter(wire::ByteMeter* meter) { meter_ = meter; }
 
  private:
   /// Split-tree bookkeeping: every leaf is an alive node's zone.
@@ -160,6 +165,7 @@ class Overlay {
   int root_ = -1;
   std::size_t alive_ = 0;
   trace::TraceSink* trace_ = nullptr;
+  wire::ByteMeter* meter_ = nullptr;
   core::LinkArena arena_;
   // Warm scratch for the steady-state mutation paths (adaptation, zone
   // churn), so shed/grow sweeps allocate nothing once capacities settle.

@@ -34,6 +34,10 @@ namespace ert::trace {
 class TraceSink;
 }
 
+namespace ert::wire {
+class ByteMeter;
+}
+
 namespace ert::chord {
 
 struct ChordOptions {
@@ -149,6 +153,7 @@ class Overlay {
   /// (link.adopt / link.shed from expand_indegree / shed_indegree); null
   /// disables emission. Observes only. See docs/TRACING.md.
   void set_trace(trace::TraceSink* sink) { trace_ = sink; }
+  void set_meter(wire::ByteMeter* meter) { meter_ = meter; }
 
  private:
   void expansion_targets_into(dht::NodeIndex i, std::size_t max_targets,
@@ -160,6 +165,7 @@ class Overlay {
   std::vector<ChordNode> nodes_;
   std::size_t alive_ = 0;
   trace::TraceSink* trace_ = nullptr;
+  wire::ByteMeter* meter_ = nullptr;
   core::LinkArena arena_;
   // Warm scratch for the steady-state mutation paths (repair, adaptation),
   // so shed/grow sweeps allocate nothing once capacities settle. Two id

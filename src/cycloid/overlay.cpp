@@ -1,6 +1,7 @@
 #include "cycloid/overlay.h"
 
 #include "trace/trace.h"
+#include "wire/meter.h"
 #include <algorithm>
 #include <array>
 #include <cassert>
@@ -438,6 +439,8 @@ int Overlay::expand_indegree(dht::NodeIndex i, int want,
         trace_->emit(trace::EventType::kLinkAdopt, i, 0,
                      static_cast<std::int64_t>(host),
                      static_cast<std::int64_t>(nodes_[i].inlinks.size()));
+      if (meter_)
+        meter_->on_backward_add(i, host, nodes_[i].inlinks.size());
     }
   }
   return gained;
@@ -460,6 +463,8 @@ int Overlay::shed_indegree(dht::NodeIndex i, int count) {
       trace_->emit(trace::EventType::kLinkShed, i, 0,
                    static_cast<std::int64_t>(v),
                    static_cast<std::int64_t>(nodes_[i].inlinks.size()));
+    if (meter_)
+      meter_->on_backward_drop(i, v, nodes_[i].inlinks.size());
     // The evicted host lost a candidate; if that leaves a slot with no live
     // option its routing would degrade to the walk — repair right away.
     if (nodes_[v].alive) {

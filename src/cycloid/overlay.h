@@ -49,6 +49,10 @@ namespace ert::trace {
 class TraceSink;
 }
 
+namespace ert::wire {
+class ByteMeter;
+}
+
 namespace ert::cycloid {
 
 /// Entry-slot layout shared by every node.
@@ -244,6 +248,7 @@ class Overlay {
   /// null (the default) disables emission. The sink only observes — it
   /// never changes overlay behavior. See docs/TRACING.md.
   void set_trace(trace::TraceSink* sink) { trace_ = sink; }
+  void set_meter(wire::ByteMeter* meter) { meter_ = meter; }
 
  private:
   std::uint64_t lv(dht::NodeIndex i) const { return space_.to_linear(nodes_[i].id); }
@@ -283,6 +288,7 @@ class Overlay {
   std::vector<OverlayNode> nodes_;
   std::size_t alive_ = 0;
   trace::TraceSink* trace_ = nullptr;
+  wire::ByteMeter* meter_ = nullptr;
   core::LinkArena arena_;
   // Warm scratch for the steady-state mutation paths (build back-fill,
   // repair, shed/grow), so the periodic adaptation sweep allocates nothing

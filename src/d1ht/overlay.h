@@ -35,6 +35,10 @@ namespace ert::trace {
 class TraceSink;
 }
 
+namespace ert::wire {
+class ByteMeter;
+}
+
 namespace ert::d1ht {
 
 inline constexpr std::size_t kFullTableEntry = 0;
@@ -132,6 +136,7 @@ class Overlay {
   void check_invariants() const;
 
   void set_trace(trace::TraceSink* sink) { trace_ = sink; }
+  void set_meter(wire::ByteMeter* meter) { meter_ = meter; }
 
  private:
   void expansion_targets_into(dht::NodeIndex i, std::size_t max_targets,
@@ -143,6 +148,7 @@ class Overlay {
   std::vector<D1htNode> nodes_;
   std::size_t alive_ = 0;
   trace::TraceSink* trace_ = nullptr;
+  wire::ByteMeter* meter_ = nullptr;
   core::LinkArena arena_;
   mutable std::vector<std::uint64_t> ids_scratch_;
   mutable std::vector<std::uint64_t> elig_scratch_;

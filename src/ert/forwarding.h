@@ -71,6 +71,10 @@ class OverloadedSet {
   bool empty() const { return size_ == 0; }
   std::size_t size() const { return size_; }
 
+  /// Sorted members as a contiguous read-only view — the A set travels
+  /// with every Forward frame, so the serializer reads it in place.
+  const dht::NodeIndex* entries() const { return data(); }
+
   bool contains(dht::NodeIndex n) const {
     const dht::NodeIndex* b = data();
     const dht::NodeIndex* e = b + size_;

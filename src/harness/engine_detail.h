@@ -38,6 +38,9 @@ struct Query {
   bool done = false;
   bool returning = false;  ///< data-forwarding mode: response leg.
   bool fault_hit = false;  ///< saw an injected fault (drop/crash) en route.
+  /// Encoded size of the in-flight tracked frame carrying this query
+  /// (bytes accounting only; 0 whenever the query is not on the wire).
+  std::uint32_t wire_bytes = 0;
   std::vector<dht::NodeIndex> path;  ///< recorded when data forwarding is on.
 
   /// Readies a recycled slot for a fresh lookup: scalar state zeroed,
@@ -56,6 +59,7 @@ struct Query {
     done = false;
     returning = false;
     fault_hit = false;
+    wire_bytes = 0;
     path.clear();
   }
 };

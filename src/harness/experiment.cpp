@@ -1,6 +1,7 @@
 #include "harness/experiment.h"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 #include <chrono>
 #include <cmath>
@@ -68,6 +69,11 @@ class Engine {
           options.trace, [this] { return sim_.now(); });
       if (faults_) faults_->set_trace(trace_.get());
     }
+    // Like the tracer, the meter observes only (docs/WIRE.md): bytes-off
+    // constructs nothing, bytes-on changes no metric.
+    if (options.wire.bytes)
+      meter_ = std::make_unique<wire::ByteMeter>(options.wire,
+                                                 [this] { return sim_.now(); });
   }
 
   ExperimentResult run() {
@@ -76,6 +82,13 @@ class Engine {
                    params_.seed, static_cast<std::int64_t>(proto_),
                    static_cast<std::int64_t>(kind_));
     build_network();
+    // Attached after the build: the meter accounts steady-state protocol
+    // traffic; bulk construction is table setup, not message exchange.
+    if (meter_) {
+      substrate_->set_meter(meter_.get());
+      meter_->set_link_map([this](std::size_t v) { return real_of(v); });
+      meter_->reserve_links(reals_.capacity());
+    }
     if (params_.impulse_nodes > 0) {
       const std::uint64_t space = substrate_->key_space();
       const std::uint64_t scaled = std::max<std::uint64_t>(
@@ -329,6 +342,11 @@ class Engine {
 
   void arrive(std::size_t qid, NodeIndex v) {
     Query& q = queries_[qid];
+    // The tracked copy of this query landed: its frame leaves the wire.
+    if (meter_ && q.wire_bytes) {
+      meter_->in_flight_sub(q.wire_bytes);
+      q.wire_bytes = 0;
+    }
     // Under duplication one query can have several copies in flight; once
     // any copy finishes (or the lookup is failed), the stragglers evaporate
     // here. Fault-free runs never take this branch.
@@ -342,6 +360,7 @@ class Engine {
                      /*site=*/0);
       const NodeIndex sub = substrate_->live_successor(v);
       ++q.hops;
+      if (meter_) account_forward(qid, sub, /*track=*/true);
       sim_.schedule(params_.timeout_penalty,
                     [this, qid, sub] { arrive(qid, sub); });
       return;
@@ -421,10 +440,33 @@ class Engine {
   /// Query::done absorbs the extra copies).
   void send_hop(std::size_t qid, NodeIndex to, double latency) {
     if (!faults_ || !faults_->plan().message_faults()) {
+      if (meter_) account_forward(qid, to, /*track=*/true);
       sim_.schedule(latency, [this, qid, to] { arrive(qid, to); });
       return;
     }
     attempt_send(qid, to, latency, 0);
+  }
+
+  /// Serializes and accounts one Forward transmission of query `qid` from
+  /// q.cur to `to`. With `track` the frame joins the bytes-in-flight gauge
+  /// (cleared when it arrives); dropped and duplicate transmissions are
+  /// accounted untracked — their bytes hit the wire but the copy is not the
+  /// one whose arrival the gauge follows.
+  void account_forward(std::size_t qid, NodeIndex to, bool track) {
+    Query& q = queries_[qid];
+    const wire::Forward m{q.id,
+                          q.key,
+                          q.cur,
+                          to,
+                          q.hops,
+                          q.returning,
+                          static_cast<std::uint32_t>(q.overloaded.size()),
+                          q.overloaded.entries()};
+    const std::uint32_t size = meter_->send(m, real_of(q.cur));
+    if (track) {
+      q.wire_bytes = size;
+      meter_->in_flight_add(size);
+    }
   }
 
   void attempt_send(std::size_t qid, NodeIndex to, double latency,
@@ -432,6 +474,8 @@ class Engine {
     Query& q = queries_[qid];
     if (q.done) return;
     const MessageFate f = faults_->fate();
+    // Every transmission attempt burns wire bytes, dropped ones included.
+    if (meter_) account_forward(qid, to, /*track=*/!f.dropped);
     if (f.dropped) {
       ++fstats_.timed_out;
       q.fault_hit = true;
@@ -453,6 +497,7 @@ class Engine {
     sim_.schedule(latency + f.extra_delay,
                   [this, qid, to] { arrive(qid, to); });
     if (f.duplicated) {
+      if (meter_) account_forward(qid, to, /*track=*/false);
       sim_.schedule(latency + f.extra_delay + f.dup_extra_delay,
                     [this, qid, to] { arrive(qid, to); });
     }
@@ -588,6 +633,13 @@ class Engine {
       pr.logical_distance = substrate_->logical_distance_to_key(c, q.key);
       pr.physical_distance = prox_.distance(real_of(v), r);
       pr.unit_load = 1.0 / reals_[r].cap;
+      if (meter_) {
+        // Algorithm 4's DHT-lookahead probe is a round trip on the wire.
+        const auto qlen =
+            static_cast<std::uint64_t>(reals_[r].tracker.queue_length());
+        meter_->send(wire::Probe{q.id, v, c, qlen}, real_of(v));
+        meter_->send(wire::ProbeReply{q.id, c, v, qlen}, r);
+      }
       return pr;
     };
     if (dht::RoutingEntry* entry = substrate_->entry(v, step.slot)) {
@@ -733,6 +785,10 @@ class Engine {
                        static_cast<std::int64_t>(ind_before),
                        static_cast<std::int64_t>(substrate_->indegree(v)),
                        static_cast<std::uint32_t>(dec.delta));
+        if (meter_)
+          meter_->send(
+              wire::AdaptShed{v, static_cast<std::uint64_t>(dec.delta)},
+              real_of(v));
       } else if (dec.action == core::AdaptAction::kGrow) {
         if (rn.grow_wait > 0) {
           --rn.grow_wait;
@@ -758,6 +814,10 @@ class Engine {
                        static_cast<std::int64_t>(ind_before),
                        static_cast<std::int64_t>(substrate_->indegree(v)),
                        static_cast<std::uint32_t>(dec.delta));
+        if (meter_)
+          meter_->send(
+              wire::AdaptGrow{v, static_cast<std::uint64_t>(dec.delta)},
+              real_of(v));
       }
     }
     observe_degrees();
@@ -885,6 +945,10 @@ class Engine {
     }
     if (tracing(trace::Category::kChurn))
       trace_->emit(trace::EventType::kChurnJoin, r, 0, overlay_slot);
+    // Accepted joins announce themselves; a rejected join (id space full,
+    // slot -1) returned above and sent nothing.
+    if (meter_ && overlay_slot >= 0)
+      meter_->send(wire::Join{r, static_cast<std::uint64_t>(overlay_slot)}, r);
     degrees_->ensure_size(reals_.size());
   }
 
@@ -915,6 +979,10 @@ class Engine {
       trace_->emit(crash ? trace::EventType::kCrash
                          : trace::EventType::kChurnDepart,
                    r);
+    // A departing node gets its leave notice out (partition departures
+    // included — the wave is modeled as simultaneous departures); a crash
+    // sends nothing.
+    if (meter_ && !crash) meter_->send(wire::Leave{r}, r);
     // Silent failure: stale links remain and are discovered via timeouts.
     if (vs_) {
       for (NodeIndex v : vs_->vnodes_of(r)) substrate_->fail(v);
@@ -950,6 +1018,7 @@ class Engine {
         ++fstats_.timed_out;
       }
       const NodeIndex sub = substrate_->live_successor(q.cur);
+      if (meter_) account_forward(qid, sub, /*track=*/true);
       sim_.schedule(params_.timeout_penalty,
                     [this, qid, sub] { arrive(qid, sub); });
     }
@@ -1182,6 +1251,10 @@ class Engine {
       res.trace_emitted = trace_->emitted();
       res.trace_dropped = trace_->dropped();
     }
+    if (meter_) {
+      res.bytes = meter_->totals();
+      if (meter_->capturing()) res.wire_capture = meter_->capture();
+    }
     return res;
   }
 
@@ -1226,6 +1299,7 @@ class Engine {
   std::size_t audit_waived_ = 0;
   std::unique_ptr<InvariantAuditor> auditor_;  ///< null unless audit.enabled.
   std::unique_ptr<trace::TraceSink> trace_;  ///< null unless trace.enabled.
+  std::unique_ptr<wire::ByteMeter> meter_;   ///< null unless wire.bytes.
   sim::EventHandle audit_ev_;  ///< pending sweep, cancelled on settle.
   sim::EventHandle timeline_ev_;  ///< pending timeline sample, ditto.
   metrics::FaultCounters fstats_;
@@ -1283,6 +1357,12 @@ ExperimentResult reduce_in_seed_order(const std::vector<ExperimentResult>& runs)
   double d_overload = 0.0, d_fault = 0.0;
   double timed_out = 0.0, retried = 0.0, recovered = 0.0, crashed = 0.0;
   double sheds = 0.0, grows = 0.0;
+  // Byte counters average over seeds like the other counters (accumulated
+  // in double, rounded once), except the peaks: in-flight peaks sum (an
+  // upper bound) and backlog peaks max, matching ByteTotals::merge.
+  std::array<double, 16> bmc{}, bmb{};
+  double b_cm = 0.0, b_cb = 0.0, b_qm = 0.0, b_qb = 0.0;
+  double b_if = 0.0, b_pif = 0.0, b_delayed = 0.0;
   for (const ExperimentResult& r : runs) {
     acc.p99_max_congestion += w * r.p99_max_congestion;
     acc.mean_max_congestion += w * r.mean_max_congestion;
@@ -1325,6 +1405,22 @@ ExperimentResult reduce_in_seed_order(const std::vector<ExperimentResult>& runs)
     acc.trace_dropped += r.trace_dropped;
     acc.trace_records.insert(acc.trace_records.end(), r.trace_records.begin(),
                              r.trace_records.end());
+    for (std::size_t i = 0; i < bmc.size(); ++i) {
+      bmc[i] += w * static_cast<double>(r.bytes.msg_count[i]);
+      bmb[i] += w * static_cast<double>(r.bytes.msg_bytes[i]);
+    }
+    b_cm += w * static_cast<double>(r.bytes.control_msgs);
+    b_cb += w * static_cast<double>(r.bytes.control_bytes);
+    b_qm += w * static_cast<double>(r.bytes.query_msgs);
+    b_qb += w * static_cast<double>(r.bytes.query_bytes);
+    b_if += w * static_cast<double>(r.bytes.in_flight_bytes);
+    b_pif += w * static_cast<double>(r.bytes.peak_in_flight_bytes);
+    b_delayed += w * static_cast<double>(r.bytes.delayed_msgs);
+    acc.bytes.queueing_delay_sum += w * r.bytes.queueing_delay_sum;
+    acc.bytes.peak_backlog_bytes =
+        std::max(acc.bytes.peak_backlog_bytes, r.bytes.peak_backlog_bytes);
+    // Wire captures concatenate in seed order, like the trace stream.
+    acc.wire_capture += r.wire_capture;
   }
   acc.heavy_encounters = static_cast<std::size_t>(std::llround(heavy));
   acc.completed_lookups = static_cast<std::size_t>(std::llround(completed));
@@ -1337,6 +1433,18 @@ ExperimentResult reduce_in_seed_order(const std::vector<ExperimentResult>& runs)
   acc.faults.crashed_nodes = static_cast<std::size_t>(std::llround(crashed));
   acc.adapt_sheds = static_cast<std::size_t>(std::llround(sheds));
   acc.adapt_grows = static_cast<std::size_t>(std::llround(grows));
+  for (std::size_t i = 0; i < bmc.size(); ++i) {
+    acc.bytes.msg_count[i] = static_cast<std::uint64_t>(std::llround(bmc[i]));
+    acc.bytes.msg_bytes[i] = static_cast<std::uint64_t>(std::llround(bmb[i]));
+  }
+  acc.bytes.control_msgs = static_cast<std::uint64_t>(std::llround(b_cm));
+  acc.bytes.control_bytes = static_cast<std::uint64_t>(std::llround(b_cb));
+  acc.bytes.query_msgs = static_cast<std::uint64_t>(std::llround(b_qm));
+  acc.bytes.query_bytes = static_cast<std::uint64_t>(std::llround(b_qb));
+  acc.bytes.in_flight_bytes = static_cast<std::uint64_t>(std::llround(b_if));
+  acc.bytes.peak_in_flight_bytes =
+      static_cast<std::uint64_t>(std::llround(b_pif));
+  acc.bytes.delayed_msgs = static_cast<std::uint64_t>(std::llround(b_delayed));
   return acc;
 }
 

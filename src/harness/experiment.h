@@ -15,6 +15,7 @@
 #include "metrics/metrics.h"
 #include "scenario/scenario.h"
 #include "trace/trace.h"
+#include "wire/meter.h"
 
 namespace ert::harness {
 
@@ -34,6 +35,11 @@ struct ExperimentOptions {
   /// consumes no randomness: the run is bit-identical to a plain run in
   /// every metric, sim_duration included (the zero-intensity contract).
   scenario::Scenario scenario;
+  /// Byte-accurate wire accounting (docs/WIRE.md). Off by default: no
+  /// meter is constructed and the send path is untouched. On, the meter
+  /// observes only (serializes + counts, no randomness, no events), so
+  /// every metric stays bit-identical to a bytes-off run.
+  wire::MeterConfig wire;
 };
 
 struct ExperimentResult {
@@ -106,6 +112,15 @@ struct ExperimentResult {
   std::vector<trace::Record> trace_records;
   std::size_t trace_emitted = 0;
   std::size_t trace_dropped = 0;
+
+  // Wire byte accounting (all-zero unless options.wire.bytes). Under
+  // run_averaged / run_sweep the counters average over seeds like every
+  // other counter; in_flight_bytes is the end-of-run gauge (normally 0).
+  metrics::ByteTotals bytes;
+  /// Serialized message stream as "<type> <hex>" lines when
+  /// options.wire.capture is set (golden wire traces); per-seed streams
+  /// concatenate in seed order.
+  std::string wire_capture;
 };
 
 /// Runs one simulation. Deterministic for a given (params.seed, protocol,

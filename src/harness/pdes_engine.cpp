@@ -17,9 +17,11 @@
 #include "harness/engine_detail.h"
 #include "harness/substrate.h"
 #include "metrics/metrics.h"
+#include "net/bandwidth.h"
 #include "net/proximity.h"
 #include "sim/sharded.h"
 #include "trace/trace.h"
+#include "wire/meter.h"
 #include "workload/workload.h"
 
 namespace ert::harness {
@@ -141,6 +143,19 @@ class ShardedEngine {
       global_trace_ = std::make_unique<trace::TraceSink>(
           options.trace, [this] { return driver_.global().now(); });
     }
+    if (options.wire.bytes) {
+      // One LinkModel shared by every meter: a physical node has one egress
+      // bucket no matter which clock observes it. The coordinator meter
+      // serves global events (adaptation, churn, relocation); each shard
+      // gets its own meter below, mirroring the tracer's sink-per-shard
+      // pattern.
+      links_ = std::make_unique<net::LinkModel>(
+          net::BandwidthParams{options.wire.link_rate,
+                               options.wire.link_burst});
+      global_meter_ = std::make_unique<wire::ByteMeter>(
+          options.wire, [this] { return driver_.global().now(); },
+          links_.get());
+    }
     shards_.reserve(static_cast<std::size_t>(S_));
     const std::size_t per = params.num_lookups / static_cast<std::size_t>(S_);
     const std::size_t rem = params.num_lookups % static_cast<std::size_t>(S_);
@@ -165,6 +180,16 @@ class ShardedEngine {
             options.trace, [clock] { return clock->now(); });
         if (sh->faults) sh->faults->set_trace(sh->trace.get());
       }
+      if (options.wire.bytes) {
+        sim::Simulator* clock = &driver_.shard(s);
+        sh->meter = std::make_unique<wire::ByteMeter>(
+            options.wire, [clock] { return clock->now(); }, links_.get());
+        // A shard may serialize a frame whose nominal sender lives on
+        // another shard (a remote probe reply); it still counts in the
+        // totals, but only the owner shard may charge the shared bucket.
+        sh->meter->set_bucket_filter(
+            [this, s](std::size_t link) { return shard_of_real(link) == s; });
+      }
       sh->pool.init(params.num_lookups);
       shards_.push_back(std::move(sh));
     }
@@ -176,6 +201,16 @@ class ShardedEngine {
                           params_.seed, static_cast<std::int64_t>(proto_),
                           static_cast<std::int64_t>(kind_));
     build_network();
+    if (global_meter_) {
+      // Attached after construction, like the serial engine: only
+      // steady-state traffic is billed, not the bulk-join link setup. The
+      // eager pre-size (to the churn headroom reals_ was reserved with)
+      // keeps shard-side sends from ever growing the shared bucket vector.
+      substrate_->set_meter(global_meter_.get());
+      global_meter_->set_link_map([this](std::size_t v) { return real_of(v); });
+      global_meter_->reserve_links(reals_.capacity());
+      for (auto& sh : shards_) sh->meter->reserve_links(reals_.capacity());
+    }
     assign_shards();
     if (params_.zipf_catalog > 0) {
       zipf_ = std::make_unique<workload::ZipfKeys>(
@@ -222,6 +257,7 @@ class ShardedEngine {
     metrics::FaultCounters fstats;
     std::unique_ptr<FaultInjector> faults;      ///< message fates only.
     std::unique_ptr<trace::TraceSink> trace;    ///< shard-clock sink.
+    std::unique_ptr<wire::ByteMeter> meter;     ///< shard-clock byte meter.
     dht::RouteScratch route_scratch;
     core::ForwardScratch fwd_scratch;
     std::vector<RepairRec> repairs;  ///< deferred purge/repair, barrier-run.
@@ -441,9 +477,29 @@ class ShardedEngine {
     }
   }
 
+  /// Serializes and accounts one Forward transmission of `ref` toward `to`,
+  /// charged to the handling shard's meter. The in-flight gauge is tracked
+  /// only for intra-shard deliveries: the arrival-side decrement runs on
+  /// the receiver's meter, and touching another shard's meter would race.
+  /// Cross-shard frames still count fully in the byte totals.
+  void account_forward(int h, QueryRef ref, NodeIndex to, bool track) {
+    Query& q = query(ref);
+    const wire::Forward m{q.id,        q.key,
+                          q.cur,       to,
+                          q.hops,      q.returning,
+                          static_cast<std::uint32_t>(q.overloaded.size()),
+                          q.overloaded.entries()};
+    const std::uint32_t size = shard(h).meter->send(m, real_of(q.cur));
+    if (track && shard_of(to) == h) {
+      q.wire_bytes = size;
+      shard(h).meter->in_flight_add(size);
+    }
+  }
+
   void send_hop(int h, QueryRef ref, NodeIndex to, double latency) {
     Shard& sh = shard(h);
     if (!sh.faults || !sh.faults->plan().message_faults()) {
+      if (sh.meter) account_forward(h, ref, to, /*track=*/true);
       deliver(h, ref, to, latency);
       return;
     }
@@ -456,6 +512,9 @@ class ShardedEngine {
     Query& q = query(ref);
     if (q.done) return;
     const MessageFate f = sh.faults->fate();
+    // Dropped frames still burn sender bandwidth; only delivered frames
+    // enter the in-flight gauge.
+    if (sh.meter) account_forward(h, ref, to, /*track=*/!f.dropped);
     if (f.dropped) {
       ++sh.fstats.timed_out;
       q.fault_hit = true;
@@ -483,6 +542,10 @@ class ShardedEngine {
 
   void arrive(int h, QueryRef ref, NodeIndex v) {
     Query& q = query(ref);
+    if (auto* m = shard(h).meter.get(); m && q.wire_bytes) {
+      m->in_flight_sub(q.wire_bytes);
+      q.wire_bytes = 0;
+    }
     if (q.done) return;  // settled while a retry/timeout copy was in flight
     if (!substrate_->alive(v)) {
       ++q.timeouts;
@@ -491,6 +554,7 @@ class ShardedEngine {
                        /*site=*/0);
       const NodeIndex sub = substrate_->live_successor(v);
       ++q.hops;
+      if (shard(h).meter) account_forward(h, ref, sub, /*track=*/true);
       deliver(h, ref, sub, params_.timeout_penalty);
       return;
     }
@@ -640,6 +704,7 @@ class ShardedEngine {
                        /*site=*/0);
       const NodeIndex sub = substrate_->live_successor(q.cur);
       ++q.hops;
+      if (shard(h).meter) account_forward(h, ref, sub, /*track=*/true);
       deliver(h, ref, sub, params_.timeout_penalty);
       return;
     }
@@ -692,6 +757,14 @@ class ShardedEngine {
       pr.logical_distance = substrate_->logical_distance_to_key(c, q.key);
       pr.physical_distance = prox_.distance(real_of(v), r);
       pr.unit_load = 1.0 / reals_[r].cap;
+      if (sh.meter) {
+        // The probe leaves v's egress; the reply leaves the probed node's —
+        // which may live on another shard, where the bucket filter skips
+        // the charge (the totals still count both frames).
+        const auto ql = static_cast<std::uint64_t>(qlen);
+        sh.meter->send(wire::Probe{q.id, v, c, ql}, real_of(v));
+        sh.meter->send(wire::ProbeReply{q.id, c, v, ql}, r);
+      }
       return pr;
     };
     if (dht::RoutingEntry* entry = substrate_->entry(v, step.slot)) {
@@ -901,6 +974,10 @@ class ShardedEngine {
                               static_cast<std::int64_t>(ind_before),
                               static_cast<std::int64_t>(substrate_->indegree(v)),
                               static_cast<std::uint32_t>(dec.delta));
+        if (global_meter_)
+          global_meter_->send(
+              wire::AdaptShed{v, static_cast<std::uint64_t>(dec.delta)},
+              real_of(v));
       } else if (dec.action == core::AdaptAction::kGrow) {
         if (rn.grow_wait > 0) {
           --rn.grow_wait;
@@ -924,6 +1001,10 @@ class ShardedEngine {
                               static_cast<std::int64_t>(ind_before),
                               static_cast<std::int64_t>(substrate_->indegree(v)),
                               static_cast<std::uint32_t>(dec.delta));
+        if (global_meter_)
+          global_meter_->send(
+              wire::AdaptGrow{v, static_cast<std::uint64_t>(dec.delta)},
+              real_of(v));
       }
     }
     observe_degrees();
@@ -1011,6 +1092,9 @@ class ShardedEngine {
     shard_of_real_.push_back(static_cast<std::uint32_t>(s));
     snap_queue_.push_back(0);
     dirty_epoch_.push_back(0);
+    // Coordinator-quiescent: safe to grow the shared bucket vector here,
+    // and it must happen here so shard-side sends never do.
+    if (links_) links_->ensure_size(reals_.size());
     membership_dirty_ = true;
     std::int64_t overlay_slot = -1;
     if (substrate_->id_space_full()) {
@@ -1036,6 +1120,9 @@ class ShardedEngine {
     ++alive_total_;
     if (gtracing(trace::Category::kChurn))
       global_trace_->emit(trace::EventType::kChurnJoin, r, 0, overlay_slot);
+    if (global_meter_)
+      global_meter_->send(
+          wire::Join{r, static_cast<std::uint64_t>(overlay_slot)}, r);
     degrees_->ensure_size(reals_.size());
   }
 
@@ -1063,6 +1150,8 @@ class ShardedEngine {
       global_trace_->emit(crash ? trace::EventType::kCrash
                                 : trace::EventType::kChurnDepart,
                           r);
+    // A crash is silent on the wire; a graceful departure announces itself.
+    if (global_meter_ && !crash) global_meter_->send(wire::Leave{r}, r);
     if (overlay_of_real_[r] != dht::kNoNode)
       substrate_->fail(overlay_of_real_[r]);
     relocate_queries_from(r, crash);
@@ -1094,6 +1183,17 @@ class ShardedEngine {
         ++gstats_.timed_out;
       }
       const NodeIndex sub = substrate_->live_successor(q.cur);
+      if (global_meter_) {
+        // Handoff of a displaced query: billed on the coordinator meter
+        // (relocation is a global event); untracked in the gauge because
+        // the arrival-side decrement belongs to the receiving shard.
+        const wire::Forward m{q.id,        q.key,
+                              q.cur,       sub,
+                              q.hops,      q.returning,
+                              static_cast<std::uint32_t>(q.overloaded.size()),
+                              q.overloaded.entries()};
+        global_meter_->send(m, real_of(q.cur));
+      }
       const int t = shard_of(sub);
       sim(t).schedule_at(tnow + params_.timeout_penalty,
                          [this, t, ref, sub] { arrive(t, ref, sub); });
@@ -1211,6 +1311,20 @@ class ShardedEngine {
       res.audit_violations = auditor_->total_violations();
       res.audit_records = auditor_->records();
     }
+    if (global_meter_) {
+      // Coordinator totals first, then shards in shard order — a pure
+      // function of (seed, sim_threads), like the trace merge below. The
+      // concatenated capture stream is likewise coordinator-first; for
+      // sim_threads > 1 its interleaving differs from the serial engine's
+      // (golden wire streams pin scenario runs, which fall back to the
+      // serial engine and are therefore --sim-threads invariant).
+      res.bytes = global_meter_->totals();
+      for (const auto& sh : shards_) res.bytes.merge(sh->meter->totals());
+      if (global_meter_->capturing()) {
+        res.wire_capture = global_meter_->capture();
+        for (const auto& sh : shards_) res.wire_capture += sh->meter->capture();
+      }
+    }
     if (global_trace_) {
       if (global_trace_->wants(trace::Category::kRun))
         global_trace_->emit(trace::EventType::kRunEnd, 0, params_.seed,
@@ -1263,6 +1377,10 @@ class ShardedEngine {
   std::size_t adapt_grows_ = 0;
   std::unique_ptr<InvariantAuditor> auditor_;
   std::unique_ptr<trace::TraceSink> global_trace_;
+  /// Shared egress buckets (one per real node) + the coordinator-side
+  /// meter; shard meters live in Shard and borrow links_.
+  std::unique_ptr<net::LinkModel> links_;
+  std::unique_ptr<wire::ByteMeter> global_meter_;
   sim::EventHandle audit_ev_;
   sim::EventHandle timeline_ev_;
 };

@@ -12,6 +12,7 @@
 #include "harness/experiment.h"
 #include "kademlia/overlay.h"
 #include "pastry/overlay.h"
+#include "wire/meter.h"
 
 namespace ert::harness {
 namespace {
@@ -167,6 +168,9 @@ class CycloidSubstrate final : public SubstrateOps {
   void set_trace(trace::TraceSink* sink) override {
     overlay_->set_trace(sink);
   }
+  void set_meter(wire::ByteMeter* meter) override {
+    overlay_->set_meter(meter);
+  }
 
  private:
   /// Routing context of one in-flight query, kept sorted by qid.
@@ -279,6 +283,9 @@ class ChordSubstrate final : public SubstrateOps {
   void set_trace(trace::TraceSink* sink) override {
     overlay_->set_trace(sink);
   }
+  void set_meter(wire::ByteMeter* meter) override {
+    overlay_->set_meter(meter);
+  }
 
  private:
   std::unique_ptr<chord::Overlay> overlay_;
@@ -376,6 +383,9 @@ class PastrySubstrate final : public SubstrateOps {
 
   void set_trace(trace::TraceSink* sink) override {
     overlay_->set_trace(sink);
+  }
+  void set_meter(wire::ByteMeter* meter) override {
+    overlay_->set_meter(meter);
   }
 
  private:
@@ -503,6 +513,9 @@ class CanSubstrate final : public SubstrateOps {
   void set_trace(trace::TraceSink* sink) override {
     overlay_->set_trace(sink);
   }
+  void set_meter(wire::ByteMeter* meter) override {
+    overlay_->set_meter(meter);
+  }
 
  private:
   std::unique_ptr<can::Overlay> overlay_;
@@ -602,6 +615,9 @@ class KademliaSubstrate final : public SubstrateOps {
 
   void set_trace(trace::TraceSink* sink) override {
     overlay_->set_trace(sink);
+  }
+  void set_meter(wire::ByteMeter* meter) override {
+    overlay_->set_meter(meter);
   }
 
  private:
@@ -729,6 +745,9 @@ class D1htSubstrate final : public SubstrateOps {
 
   void set_trace(trace::TraceSink* sink) override {
     overlay_->set_trace(sink);
+  }
+  void set_meter(wire::ByteMeter* meter) override {
+    overlay_->set_meter(meter);
   }
 
  private:

@@ -34,6 +34,10 @@ namespace ert::trace {
 class TraceSink;
 }
 
+namespace ert::wire {
+class ByteMeter;
+}
+
 namespace ert::harness {
 
 enum class SubstrateKind { kCycloid, kChord, kPastry, kCan, kKademlia, kD1ht };
@@ -166,6 +170,8 @@ class SubstrateOps {
   /// Forwards a structured-trace sink to the wrapped overlay so its ERT
   /// elasticity path can emit link.adopt / link.shed records; null detaches.
   virtual void set_trace(trace::TraceSink* sink) = 0;
+  /// Attaches the byte meter (docs/WIRE.md); null detaches.
+  virtual void set_meter(wire::ByteMeter* meter) = 0;
 };
 
 using PhysDistFn = std::function<double(dht::NodeIndex, dht::NodeIndex)>;

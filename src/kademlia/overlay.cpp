@@ -5,6 +5,7 @@
 
 #include "kademlia/kbucket.h"
 #include "trace/trace.h"
+#include "wire/meter.h"
 
 namespace ert::kademlia {
 
@@ -234,6 +235,8 @@ int Overlay::expand_indegree(dht::NodeIndex i, int want,
         trace_->emit(trace::EventType::kLinkAdopt, i, 0,
                      static_cast<std::int64_t>(host),
                      static_cast<std::int64_t>(nodes_[i].inlinks.size()));
+      if (meter_)
+        meter_->on_backward_add(i, host, nodes_[i].inlinks.size());
     }
   }
   return gained;
@@ -252,6 +255,8 @@ int Overlay::shed_indegree(dht::NodeIndex i, int count) {
         trace_->emit(trace::EventType::kLinkShed, i, 0,
                      static_cast<std::int64_t>(v),
                      static_cast<std::int64_t>(nodes_[i].inlinks.size()));
+      if (meter_)
+        meter_->on_backward_drop(i, v, nodes_[i].inlinks.size());
     }
   return shed;
 }

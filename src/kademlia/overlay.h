@@ -43,6 +43,10 @@ namespace ert::trace {
 class TraceSink;
 }
 
+namespace ert::wire {
+class ByteMeter;
+}
+
 namespace ert::kademlia {
 
 struct KademliaOptions {
@@ -148,6 +152,7 @@ class Overlay {
   void check_invariants() const;
 
   void set_trace(trace::TraceSink* sink) { trace_ = sink; }
+  void set_meter(wire::ByteMeter* meter) { meter_ = meter; }
 
  private:
   /// Aligned base of `me`'s bucket-m interval: the 2^m ids whose XOR
@@ -170,6 +175,7 @@ class Overlay {
   std::vector<KademliaNode> nodes_;
   std::size_t alive_ = 0;
   trace::TraceSink* trace_ = nullptr;
+  wire::ByteMeter* meter_ = nullptr;
   core::LinkArena arena_;
   // Warm scratch for the mutation paths (build, repair, adaptation) so the
   // steady-state sweeps allocate nothing once capacities settle.

@@ -3,6 +3,8 @@
 // and routing-table degree statistics.
 #pragma once
 
+#include <algorithm>
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -80,6 +82,56 @@ class LookupStats {
   std::size_t path_total_ = 0;
   std::size_t timeout_total_ = 0;
   Percentiles latency_;
+};
+
+/// Byte accounting for the wire format (docs/WIRE.md): per-message-type
+/// message and byte counts, the control-vs-query split, and the
+/// token-bucket bandwidth model's observational diagnostics. Populated by
+/// wire::ByteMeter only when `--bytes` accounting is on; otherwise all
+/// zero.
+struct ByteTotals {
+  /// Indexed by wire::MsgType (kNumMsgTypes = 9 <= 16; spare slots stay 0
+  /// so the array is stable if the catalog grows).
+  std::array<std::uint64_t, 16> msg_count{};
+  std::array<std::uint64_t, 16> msg_bytes{};
+
+  std::uint64_t control_msgs = 0;
+  std::uint64_t control_bytes = 0;
+  std::uint64_t query_msgs = 0;  ///< kForward frames (incl. response legs).
+  std::uint64_t query_bytes = 0;
+
+  std::uint64_t in_flight_bytes = 0;       ///< gauge: sent, not yet arrived.
+  std::uint64_t peak_in_flight_bytes = 0;  ///< high-water mark of the gauge.
+
+  // Token-bucket diagnostics (would-be queueing; never fed back into the
+  // simulated timeline — see net/bandwidth.h).
+  std::uint64_t delayed_msgs = 0;      ///< frames that found an empty bucket.
+  double queueing_delay_sum = 0.0;     ///< would-be delay, seconds.
+  double peak_backlog_bytes = 0.0;     ///< worst per-link token deficit seen.
+
+  std::uint64_t total_msgs() const { return control_msgs + query_msgs; }
+  std::uint64_t total_bytes() const { return control_bytes + query_bytes; }
+
+  /// Folds another collector in (sharded engine: merged in shard order).
+  /// Counters sum exactly. peak_in_flight_bytes sums, which is an upper
+  /// bound across shards whose peaks need not coincide in time;
+  /// peak_backlog_bytes maxes, which is exact because shards own disjoint
+  /// links.
+  void merge(const ByteTotals& o) {
+    for (std::size_t i = 0; i < msg_count.size(); ++i) {
+      msg_count[i] += o.msg_count[i];
+      msg_bytes[i] += o.msg_bytes[i];
+    }
+    control_msgs += o.control_msgs;
+    control_bytes += o.control_bytes;
+    query_msgs += o.query_msgs;
+    query_bytes += o.query_bytes;
+    in_flight_bytes += o.in_flight_bytes;
+    peak_in_flight_bytes += o.peak_in_flight_bytes;
+    delayed_msgs += o.delayed_msgs;
+    queueing_delay_sum += o.queueing_delay_sum;
+    peak_backlog_bytes = std::max(peak_backlog_bytes, o.peak_backlog_bytes);
+  }
 };
 
 /// Tracks per-node peak routing-table degrees over a run (Fig. 7 reports

@@ -1,0 +1,11 @@
+#include "net/bandwidth.h"
+
+namespace ert::net {
+
+double LinkModel::total_backlog() const {
+  double sum = 0.0;
+  for (const TokenBucket& b : buckets_) sum += b.backlog();
+  return sum;
+}
+
+}  // namespace ert::net

@@ -1,0 +1,101 @@
+// Per-link bandwidth/queueing model for byte-accurate accounting
+// (docs/WIRE.md).
+//
+// Every physical node gets one egress token bucket: tokens refill at
+// `rate` bytes/second up to `burst` bytes, and each serialized frame
+// drains its encoded size. The model is strictly OBSERVATIONAL — it
+// computes the queueing delay a frame *would* have seen and the backlog a
+// link *would* have carried, without feeding either back into the
+// simulated timeline. That keeps the byte-accounting contract exact: a
+// `--bytes` run is bit-identical to a plain run in every metric, the
+// same way the tracer and auditor only observe (the latency floor the
+// PDES lookahead depends on is untouched by construction).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ert::net {
+
+struct BandwidthParams {
+  double rate = 1.0e6;     ///< egress bytes per second per node.
+  double burst = 65536.0;  ///< bucket depth, bytes.
+};
+
+/// One egress link. Tokens may go negative: the deficit is the backlog the
+/// link would be queueing, and deficit / rate is the delay the next frame
+/// would see.
+class TokenBucket {
+ public:
+  /// Charges `bytes` at time `now`. Returns the would-be queueing delay in
+  /// seconds (0 when the bucket had the tokens).
+  double on_send(double now, double bytes, const BandwidthParams& p) {
+    // Clocks from different callers need not be monotone per link (the
+    // sharded engine's global events run on the coordinator clock); clamp
+    // so refill never runs backwards.
+    const double elapsed = std::max(0.0, now - last_);
+    last_ = std::max(last_, now);
+    tokens_ = std::min(p.burst, tokens_ + elapsed * p.rate);
+    const double delay = tokens_ >= bytes ? 0.0 : (bytes - tokens_) / p.rate;
+    tokens_ -= bytes;
+    return delay;
+  }
+
+  /// Bytes the link would currently be queueing (the token deficit).
+  double backlog() const { return std::max(0.0, -tokens_); }
+
+ private:
+  double tokens_ = 0.0;  ///< starts full via lazy init in LinkModel.
+  double last_ = 0.0;
+  friend class LinkModel;
+};
+
+/// The per-node egress buckets. Indexed by real (physical) node; grows with
+/// churn joins. reserve() up front keeps the steady-state send path
+/// allocation-free.
+class LinkModel {
+ public:
+  explicit LinkModel(const BandwidthParams& params = BandwidthParams{})
+      : params_(params) {}
+
+  void reserve(std::size_t n) { buckets_.reserve(n); }
+
+  /// Eagerly creates buckets [0, n). The sharded engine shares one
+  /// LinkModel across shard meters; pre-sizing from the quiescent
+  /// coordinator keeps shard-side on_send() from ever growing the vector
+  /// (growth from a worker thread would race with other shards' sends).
+  void ensure_size(std::size_t n) { ensure(n); }
+
+  /// Charges one frame of `bytes` on `link`'s egress at `now`; returns the
+  /// would-be queueing delay in seconds.
+  double on_send(std::size_t link, double now, double bytes) {
+    ensure(link + 1);
+    return buckets_[link].on_send(now, bytes, params_);
+  }
+
+  double backlog(std::size_t link) const {
+    return link < buckets_.size() ? buckets_[link].backlog() : 0.0;
+  }
+
+  std::size_t size() const { return buckets_.size(); }
+  const BandwidthParams& params() const { return params_; }
+
+  /// Sum of all links' current would-be backlogs, bytes (diagnostics).
+  double total_backlog() const;
+
+ private:
+  void ensure(std::size_t n) {
+    while (buckets_.size() < n) {
+      TokenBucket b;
+      b.tokens_ = params_.burst;  // new links start with a full bucket
+      buckets_.push_back(b);
+    }
+  }
+
+  BandwidthParams params_;
+  std::vector<TokenBucket> buckets_;
+};
+
+}  // namespace ert::net

@@ -30,6 +30,10 @@ namespace ert::trace {
 class TraceSink;
 }
 
+namespace ert::wire {
+class ByteMeter;
+}
+
 namespace ert::pastry {
 
 struct PastryOptions {
@@ -149,6 +153,7 @@ class Overlay {
   /// (link.adopt / link.shed from expand_indegree / shed_indegree); null
   /// disables emission. Observes only. See docs/TRACING.md.
   void set_trace(trace::TraceSink* sink) { trace_ = sink; }
+  void set_meter(wire::ByteMeter* meter) { meter_ = meter; }
 
  private:
   void expansion_targets_into(dht::NodeIndex i, std::size_t max_targets,
@@ -160,6 +165,7 @@ class Overlay {
   std::vector<PastryNode> nodes_;
   std::size_t alive_ = 0;
   trace::TraceSink* trace_ = nullptr;
+  wire::ByteMeter* meter_ = nullptr;
   core::LinkArena arena_;
   // Warm scratch for the steady-state mutation paths (build, repair,
   // shed/grow). Two id buffers because callers iterate one while

@@ -145,6 +145,8 @@ bool read_cell(JsonReader& in, Cell* c) {
     else if (key == "dropped_fault") { if (!in.read_count(&c->dropped_fault)) return false; }
     else if (key == "adapt_sheds") { if (!in.read_count(&c->adapt_sheds)) return false; }
     else if (key == "adapt_grows") { if (!in.read_count(&c->adapt_grows)) return false; }
+    else if (key == "bytes_control") { if (!in.read_count(&c->bytes_control)) return false; }
+    else if (key == "bytes_query") { if (!in.read_count(&c->bytes_query)) return false; }
     else if (key == "audit_sweeps") { if (!in.read_count(&c->audit_sweeps)) return false; }
     else if (key == "audit_waived_sweeps") { if (!in.read_count(&c->audit_waived_sweeps)) return false; }
     else if (key == "audit_violations") { if (!in.read_count(&c->audit_violations)) return false; }
@@ -174,6 +176,8 @@ std::string to_json(const Report& r) {
     out += ", \"dropped_fault\": " + std::to_string(c.dropped_fault);
     out += ", \"adapt_sheds\": " + std::to_string(c.adapt_sheds);
     out += ", \"adapt_grows\": " + std::to_string(c.adapt_grows);
+    out += ", \"bytes_control\": " + std::to_string(c.bytes_control);
+    out += ", \"bytes_query\": " + std::to_string(c.bytes_query);
     out += ", \"audit_sweeps\": " + std::to_string(c.audit_sweeps);
     out += ", \"audit_waived_sweeps\": " + std::to_string(c.audit_waived_sweeps);
     out += ", \"audit_violations\": " + std::to_string(c.audit_violations);
@@ -230,7 +234,7 @@ bool from_json(const std::string& text, Report* out, std::string* error) {
 std::string to_table(const Report& r) {
   TablePrinter t({"protocol", "substrate", "scenario", "p99_lat", "mean_lat",
                   "completed", "drop_ovl", "drop_flt", "sheds", "grows",
-                  "audit"});
+                  "bytes_ctl", "bytes_qry", "audit"});
   for (const Cell& c : r.cells) {
     std::string audit = c.verdict;
     if (c.verdict != "off") {
@@ -243,7 +247,8 @@ std::string to_table(const Report& r) {
                fmt_num(c.mean_latency, 4), std::to_string(c.completed),
                std::to_string(c.dropped_overload),
                std::to_string(c.dropped_fault), std::to_string(c.adapt_sheds),
-               std::to_string(c.adapt_grows), audit});
+               std::to_string(c.adapt_grows), std::to_string(c.bytes_control),
+               std::to_string(c.bytes_query), audit});
   }
   return t.to_string();
 }

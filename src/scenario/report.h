@@ -26,6 +26,11 @@ struct Cell {
   std::size_t dropped_fault = 0;     ///< fault-layer drops.
   std::size_t adapt_sheds = 0;       ///< Algorithm 3 shed actions.
   std::size_t adapt_grows = 0;       ///< Algorithm 3 grow actions.
+  /// Wire bytes by plane (docs/WIRE.md), 0 unless the run metered bytes.
+  /// Control = probes, replies, adaptation, backward-link and membership
+  /// messages; query = Forward frames.
+  std::size_t bytes_control = 0;
+  std::size_t bytes_query = 0;
   std::size_t audit_sweeps = 0;
   std::size_t audit_waived_sweeps = 0;  ///< skipped inside partition windows.
   std::size_t audit_violations = 0;

@@ -1,0 +1,108 @@
+#include "wire/meter.h"
+
+namespace ert::wire {
+
+ByteMeter::ByteMeter(const MeterConfig& cfg, ClockFn clock,
+                     net::LinkModel* shared_links)
+    : cfg_(cfg), clock_(std::move(clock)) {
+  if (shared_links) {
+    links_ = shared_links;
+  } else {
+    owned_links_ = std::make_unique<net::LinkModel>(
+        net::BandwidthParams{cfg.link_rate, cfg.link_burst});
+    links_ = owned_links_.get();
+  }
+  pool_.prewarm(1);
+}
+
+void ByteMeter::reserve_links(std::size_t n) {
+  // Eager, not reserve(): a shared LinkModel must never grow from a shard
+  // thread, and pre-created buckets also keep the serial steady state
+  // allocation-free.
+  links_->ensure_size(n);
+  pool_.prewarm(2);
+}
+
+std::uint32_t ByteMeter::account(MsgType type, const std::uint8_t* frame,
+                                 std::size_t size, std::size_t sender_link) {
+  const std::size_t t = static_cast<std::size_t>(type);
+  totals_.msg_count[t] += 1;
+  totals_.msg_bytes[t] += size;
+  if (is_query(type)) {
+    totals_.query_msgs += 1;
+    totals_.query_bytes += size;
+  } else {
+    totals_.control_msgs += 1;
+    totals_.control_bytes += size;
+  }
+  if (!bucket_filter_ || bucket_filter_(sender_link)) {
+    const double delay = links_->on_send(sender_link, clock_(),
+                                         static_cast<double>(size));
+    if (delay > 0.0) {
+      totals_.delayed_msgs += 1;
+      totals_.queueing_delay_sum += delay;
+      const double backlog = links_->backlog(sender_link);
+      if (backlog > totals_.peak_backlog_bytes)
+        totals_.peak_backlog_bytes = backlog;
+    }
+  }
+  if (cfg_.capture) {
+    static const char kHex[] = "0123456789abcdef";
+    capture_ += to_string(type);
+    capture_ += ' ';
+    for (std::size_t i = 0; i < size; ++i) {
+      capture_ += kHex[frame[i] >> 4];
+      capture_ += kHex[frame[i] & 0x0F];
+    }
+    capture_ += '\n';
+  }
+  return static_cast<std::uint32_t>(size);
+}
+
+template <typename M>
+std::uint32_t ByteMeter::encode_and_account(const M& m, MsgType type,
+                                            std::size_t sender_link) {
+  std::uint8_t* buf = pool_.acquire();
+  const std::size_t size = encode(m, buf, kMaxFrameBytes);
+  const std::uint32_t r = account(type, buf, size, sender_link);
+  pool_.release(buf);
+  return r;
+}
+
+std::uint32_t ByteMeter::send(const Probe& m, std::size_t sender_link) {
+  return encode_and_account(m, MsgType::kProbe, sender_link);
+}
+std::uint32_t ByteMeter::send(const ProbeReply& m, std::size_t sender_link) {
+  return encode_and_account(m, MsgType::kProbeReply, sender_link);
+}
+std::uint32_t ByteMeter::send(const Forward& m, std::size_t sender_link) {
+  return encode_and_account(m, MsgType::kForward, sender_link);
+}
+std::uint32_t ByteMeter::send(const AdaptShed& m, std::size_t sender_link) {
+  return encode_and_account(m, MsgType::kAdaptShed, sender_link);
+}
+std::uint32_t ByteMeter::send(const AdaptGrow& m, std::size_t sender_link) {
+  return encode_and_account(m, MsgType::kAdaptGrow, sender_link);
+}
+std::uint32_t ByteMeter::send(const Join& m, std::size_t sender_link) {
+  return encode_and_account(m, MsgType::kJoin, sender_link);
+}
+std::uint32_t ByteMeter::send(const Leave& m, std::size_t sender_link) {
+  return encode_and_account(m, MsgType::kLeave, sender_link);
+}
+
+void ByteMeter::on_backward_add(std::size_t node, std::size_t host,
+                                std::size_t indegree_after) {
+  const BackwardAdd m{node, host, indegree_after};
+  const std::size_t link = link_map_ ? link_map_(node) : node;
+  encode_and_account(m, MsgType::kBackwardAdd, link);
+}
+
+void ByteMeter::on_backward_drop(std::size_t node, std::size_t host,
+                                 std::size_t indegree_after) {
+  const BackwardDrop m{node, host, indegree_after};
+  const std::size_t link = link_map_ ? link_map_(node) : node;
+  encode_and_account(m, MsgType::kBackwardDrop, link);
+}
+
+}  // namespace ert::wire

@@ -1,0 +1,148 @@
+// Byte-accurate send-path accounting (docs/WIRE.md).
+//
+// When `--bytes` is on, every protocol message the engine or an overlay
+// emits is serialized through a ByteMeter: the frame is encoded into an
+// arena-pooled buffer (recycled per delivery, no steady-state heap
+// allocation — pinned by tests/alloc_test.cpp), its size is charged to the
+// sender's egress token bucket (net::LinkModel), and the per-type /
+// control-vs-query counters in metrics::ByteTotals advance. The meter is
+// strictly observational: it draws no randomness, schedules no events, and
+// mutates no protocol state, so a run with the meter attached is
+// bit-identical in every metric to one without.
+//
+// Threading: none. Each engine shard owns (or is handed) its meter and
+// calls it from its own event loop, mirroring the tracer's buffer-per-shard
+// pattern. The sharded engine shares one LinkModel across shard meters —
+// safe because each physical node's bucket is only ever touched by the
+// shard that owns the node (or by the global meter during quiescence).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "metrics/metrics.h"
+#include "net/bandwidth.h"
+#include "wire/wire.h"
+
+namespace ert::wire {
+
+/// Knobs for `--bytes` accounting (ExperimentOptions::wire).
+struct MeterConfig {
+  bool bytes = false;    ///< master switch; off = meter never constructed.
+  bool capture = false;  ///< record the serialized stream (golden tests).
+  double link_rate = 1.0e6;   ///< egress bytes/second per physical node.
+  double link_burst = 65536;  ///< token-bucket depth, bytes.
+};
+
+/// Fixed-size frame buffers handed out and recycled per delivery. All
+/// blocks are kMaxFrameBytes; prewarm() pre-allocates so acquire/release
+/// never touch the heap in steady state.
+class BufferPool {
+ public:
+  void prewarm(std::size_t n) {
+    while (blocks_.size() < n) {
+      blocks_.push_back(std::make_unique<std::uint8_t[]>(kMaxFrameBytes));
+      free_.push_back(blocks_.back().get());
+    }
+  }
+
+  std::uint8_t* acquire() {
+    if (free_.empty()) prewarm(blocks_.size() + 1);
+    std::uint8_t* b = free_.back();
+    free_.pop_back();
+    return b;
+  }
+
+  void release(std::uint8_t* b) { free_.push_back(b); }
+
+  std::size_t capacity() const { return blocks_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<std::uint8_t[]>> blocks_;
+  std::vector<std::uint8_t*> free_;
+};
+
+/// Serializes and accounts one side's protocol messages.
+class ByteMeter {
+ public:
+  using ClockFn = std::function<double()>;
+  /// Maps an overlay slot to the physical node that hosts it (overlays
+  /// speak overlay indices; egress buckets are per physical node).
+  using LinkMapFn = std::function<std::size_t(std::size_t)>;
+
+  /// `shared_links` lets the sharded engine hand all shard meters one
+  /// LinkModel; null means the meter owns its own.
+  ByteMeter(const MeterConfig& cfg, ClockFn clock,
+            net::LinkModel* shared_links = nullptr);
+
+  // Engine-side sends. `sender_link` is the physical node whose egress the
+  // frame is charged to. Each returns the encoded frame size in bytes.
+  std::uint32_t send(const Probe& m, std::size_t sender_link);
+  std::uint32_t send(const ProbeReply& m, std::size_t sender_link);
+  std::uint32_t send(const Forward& m, std::size_t sender_link);
+  std::uint32_t send(const AdaptShed& m, std::size_t sender_link);
+  std::uint32_t send(const AdaptGrow& m, std::size_t sender_link);
+  std::uint32_t send(const Join& m, std::size_t sender_link);
+  std::uint32_t send(const Leave& m, std::size_t sender_link);
+
+  // Overlay-side hooks, mirroring the trace kLinkAdopt/kLinkShed emit
+  // sites. `node`/`host` are overlay slots; the configured link map (set by
+  // the harness) translates the sending side to its physical node. The
+  // adopting node sends the notification to the host it now points at.
+  void on_backward_add(std::size_t node, std::size_t host,
+                       std::size_t indegree_after);
+  void on_backward_drop(std::size_t node, std::size_t host,
+                        std::size_t indegree_after);
+
+  void set_link_map(LinkMapFn fn) { link_map_ = std::move(fn); }
+
+  /// Restricts which egress buckets this meter may charge. The sharded
+  /// engine gives each shard meter a filter accepting only links the shard
+  /// owns: a frame whose sender lives on another shard (a remote probe
+  /// reply) still counts in the totals, but skips the shared token bucket
+  /// — charging it would race with the owner shard. Unset = charge all.
+  void set_bucket_filter(std::function<bool(std::size_t)> fn) {
+    bucket_filter_ = std::move(fn);
+  }
+
+  /// Bytes-in-flight gauge: add on send, subtract on arrival/drop cleanup.
+  void in_flight_add(std::uint32_t bytes) {
+    totals_.in_flight_bytes += bytes;
+    if (totals_.in_flight_bytes > totals_.peak_in_flight_bytes)
+      totals_.peak_in_flight_bytes = totals_.in_flight_bytes;
+  }
+  void in_flight_sub(std::uint32_t bytes) { totals_.in_flight_bytes -= bytes; }
+
+  /// Pre-sizes the egress buckets and the buffer pool so the steady-state
+  /// send path never allocates (call once after the network is built, with
+  /// churn headroom).
+  void reserve_links(std::size_t n);
+
+  const metrics::ByteTotals& totals() const { return totals_; }
+  const std::string& capture() const { return capture_; }
+  bool capturing() const { return cfg_.capture; }
+  net::LinkModel* links() { return links_; }
+
+ private:
+  std::uint32_t account(MsgType type, const std::uint8_t* frame,
+                        std::size_t size, std::size_t sender_link);
+  template <typename M>
+  std::uint32_t encode_and_account(const M& m, MsgType type,
+                                   std::size_t sender_link);
+
+  MeterConfig cfg_;
+  ClockFn clock_;
+  LinkMapFn link_map_;
+  std::function<bool(std::size_t)> bucket_filter_;
+  std::unique_ptr<net::LinkModel> owned_links_;
+  net::LinkModel* links_;
+  BufferPool pool_;
+  metrics::ByteTotals totals_;
+  std::string capture_;
+};
+
+}  // namespace ert::wire

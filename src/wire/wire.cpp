@@ -1,0 +1,225 @@
+#include "wire/wire.h"
+
+namespace ert::wire {
+
+const char* to_string(MsgType t) {
+  switch (t) {
+    case MsgType::kProbe: return "probe";
+    case MsgType::kProbeReply: return "probe-reply";
+    case MsgType::kForward: return "forward";
+    case MsgType::kAdaptShed: return "adapt-shed";
+    case MsgType::kAdaptGrow: return "adapt-grow";
+    case MsgType::kBackwardAdd: return "backward-add";
+    case MsgType::kBackwardDrop: return "backward-drop";
+    case MsgType::kJoin: return "join";
+    case MsgType::kLeave: return "leave";
+  }
+  return "?";
+}
+
+const char* to_string(DecodeStatus s) {
+  switch (s) {
+    case DecodeStatus::kOk: return "ok";
+    case DecodeStatus::kTruncated: return "truncated";
+    case DecodeStatus::kBadType: return "bad-type";
+    case DecodeStatus::kBadLength: return "bad-length";
+    case DecodeStatus::kBadVarint: return "bad-varint";
+    case DecodeStatus::kTrailingGarbage: return "trailing-garbage";
+  }
+  return "?";
+}
+
+std::size_t num_fields(MsgType t) {
+  switch (t) {
+    case MsgType::kProbe: return 4;
+    case MsgType::kProbeReply: return 4;
+    case MsgType::kForward: return 5;  // + the A-set length varint
+    case MsgType::kAdaptShed: return 2;
+    case MsgType::kAdaptGrow: return 2;
+    case MsgType::kBackwardAdd: return 3;
+    case MsgType::kBackwardDrop: return 3;
+    case MsgType::kJoin: return 2;
+    case MsgType::kLeave: return 1;
+  }
+  return 0;
+}
+
+namespace {
+
+/// Shared encode skeleton: payload scalars in catalog order, then the
+/// optional fixed-width A set (Forward only).
+struct FrameSpec {
+  MsgType type;
+  std::uint8_t flags = 0;
+  std::uint64_t f[5] = {};
+  std::size_t nfields = 0;
+  std::uint32_t aset_len = 0;
+  const std::size_t* aset = nullptr;
+};
+
+std::size_t payload_size(const FrameSpec& s) {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < s.nfields; ++i) n += varint_size(s.f[i]);
+  if (s.type == MsgType::kForward)
+    n += varint_size(s.aset_len) + std::size_t{4} * s.aset_len;
+  return n;
+}
+
+std::size_t encode_frame(const FrameSpec& s, std::uint8_t* out,
+                         std::size_t cap) {
+  const std::size_t payload = payload_size(s);
+  const std::size_t total = kHeaderSize + payload;
+  if (payload > 0xFFFF || total > cap) return 0;
+  out[0] = static_cast<std::uint8_t>(s.type);
+  out[1] = s.flags;
+  out[2] = static_cast<std::uint8_t>(payload & 0xFF);
+  out[3] = static_cast<std::uint8_t>(payload >> 8);
+  std::size_t pos = kHeaderSize;
+  for (std::size_t i = 0; i < s.nfields; ++i)
+    pos += put_varint(out + pos, s.f[i]);
+  if (s.type == MsgType::kForward) {
+    pos += put_varint(out + pos, s.aset_len);
+    for (std::uint32_t i = 0; i < s.aset_len; ++i) {
+      const auto v = static_cast<std::uint32_t>(s.aset[i]);
+      out[pos++] = static_cast<std::uint8_t>(v & 0xFF);
+      out[pos++] = static_cast<std::uint8_t>((v >> 8) & 0xFF);
+      out[pos++] = static_cast<std::uint8_t>((v >> 16) & 0xFF);
+      out[pos++] = static_cast<std::uint8_t>(v >> 24);
+    }
+  }
+  return pos;
+}
+
+FrameSpec spec_of(const Probe& m) {
+  return FrameSpec{MsgType::kProbe, 0,
+                   {m.qid, m.prober, m.target, m.queue_len}, 4, 0, nullptr};
+}
+FrameSpec spec_of(const ProbeReply& m) {
+  return FrameSpec{MsgType::kProbeReply, 0,
+                   {m.qid, m.target, m.prober, m.queue_len}, 4, 0, nullptr};
+}
+FrameSpec spec_of(const Forward& m) {
+  return FrameSpec{MsgType::kForward,
+                   static_cast<std::uint8_t>(m.returning ? kFlagReturning : 0),
+                   {m.qid, m.key, m.from, m.to, m.hops},
+                   5,
+                   m.aset_len,
+                   m.aset};
+}
+FrameSpec spec_of(const AdaptShed& m) {
+  return FrameSpec{MsgType::kAdaptShed, 0, {m.node, m.delta}, 2, 0, nullptr};
+}
+FrameSpec spec_of(const AdaptGrow& m) {
+  return FrameSpec{MsgType::kAdaptGrow, 0, {m.node, m.delta}, 2, 0, nullptr};
+}
+FrameSpec spec_of(const BackwardAdd& m) {
+  return FrameSpec{MsgType::kBackwardAdd, 0,
+                   {m.node, m.host, m.indegree_after}, 3, 0, nullptr};
+}
+FrameSpec spec_of(const BackwardDrop& m) {
+  return FrameSpec{MsgType::kBackwardDrop, 0,
+                   {m.node, m.host, m.indegree_after}, 3, 0, nullptr};
+}
+FrameSpec spec_of(const Join& m) {
+  return FrameSpec{MsgType::kJoin, 0, {m.node, m.overlay}, 2, 0, nullptr};
+}
+FrameSpec spec_of(const Leave& m) {
+  return FrameSpec{MsgType::kLeave, 0, {m.node}, 1, 0, nullptr};
+}
+
+}  // namespace
+
+#define ERT_WIRE_DEFINE_CODEC(T)                                       \
+  std::size_t encoded_size(const T& m) {                               \
+    return kHeaderSize + payload_size(spec_of(m));                     \
+  }                                                                    \
+  std::size_t encode(const T& m, std::uint8_t* out, std::size_t cap) { \
+    return encode_frame(spec_of(m), out, cap);                         \
+  }
+
+ERT_WIRE_DEFINE_CODEC(Probe)
+ERT_WIRE_DEFINE_CODEC(ProbeReply)
+ERT_WIRE_DEFINE_CODEC(Forward)
+ERT_WIRE_DEFINE_CODEC(AdaptShed)
+ERT_WIRE_DEFINE_CODEC(AdaptGrow)
+ERT_WIRE_DEFINE_CODEC(BackwardAdd)
+ERT_WIRE_DEFINE_CODEC(BackwardDrop)
+ERT_WIRE_DEFINE_CODEC(Join)
+ERT_WIRE_DEFINE_CODEC(Leave)
+
+#undef ERT_WIRE_DEFINE_CODEC
+
+DecodeResult decode(const std::uint8_t* in, std::size_t cap) {
+  DecodeResult r;
+  if (cap < kHeaderSize) {
+    r.status = DecodeStatus::kTruncated;
+    return r;
+  }
+  if (in[0] >= kNumMsgTypes) {
+    r.status = DecodeStatus::kBadType;
+    return r;
+  }
+  const auto type = static_cast<MsgType>(in[0]);
+  const std::uint8_t flags = in[1];
+  const std::size_t payload = static_cast<std::size_t>(in[2]) |
+                              (static_cast<std::size_t>(in[3]) << 8);
+  if (kHeaderSize + payload > cap) {
+    r.status = DecodeStatus::kTruncated;
+    return r;
+  }
+  // From here on the frame is fully present: any inconsistency between the
+  // header length and the payload's self-describing content is kBadLength,
+  // except a varint that overflows 64 bits (kBadVarint).
+  const std::uint8_t* p = in + kHeaderSize;
+  std::size_t pos = 0;
+  Decoded& m = r.msg;
+  m.type = type;
+  m.flags = flags;
+  m.nfields = static_cast<std::uint32_t>(num_fields(type));
+  for (std::uint32_t i = 0; i < m.nfields; ++i) {
+    const std::size_t n = get_varint(p + pos, payload - pos, &m.f[i]);
+    if (n == 0) {
+      // Distinguish: a varint cut short by the declared payload end is a
+      // length mismatch; ten continuation bytes are an overflow.
+      r.status = payload - pos >= kMaxVarintBytes ? DecodeStatus::kBadVarint
+                                                  : DecodeStatus::kBadLength;
+      return r;
+    }
+    pos += n;
+  }
+  if (type == MsgType::kForward) {
+    std::uint64_t len = 0;
+    const std::size_t n = get_varint(p + pos, payload - pos, &len);
+    if (n == 0) {
+      r.status = payload - pos >= kMaxVarintBytes ? DecodeStatus::kBadVarint
+                                                  : DecodeStatus::kBadLength;
+      return r;
+    }
+    pos += n;
+    if (len > (payload - pos) / 4) {
+      r.status = DecodeStatus::kBadLength;
+      return r;
+    }
+    m.aset_len = static_cast<std::uint32_t>(len);
+    m.aset_bytes = p + pos;
+    pos += 4 * len;
+  }
+  if (pos != payload) {
+    r.status = DecodeStatus::kBadLength;
+    return r;
+  }
+  r.status = DecodeStatus::kOk;
+  r.consumed = kHeaderSize + payload;
+  return r;
+}
+
+DecodeResult decode_exact(const std::uint8_t* in, std::size_t cap) {
+  DecodeResult r = decode(in, cap);
+  if (r.status == DecodeStatus::kOk && r.consumed != cap) {
+    r = DecodeResult{};
+    r.status = DecodeStatus::kTrailingGarbage;
+  }
+  return r;
+}
+
+}  // namespace ert::wire

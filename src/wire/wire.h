@@ -1,0 +1,249 @@
+// Compact binary wire format for the protocol messages (docs/WIRE.md).
+//
+// The simulator historically moved in-memory structs between nodes; the
+// paper counts "traffic" in hops. Production DHT congestion is bytes in
+// flight, and the single-hop DHT line of work treats control-traffic bytes
+// as a first-class metric — so every protocol message (probe, probe-reply,
+// forward, adapt shed/grow, backward-finger add/drop, join/leave) gets a
+// canonical serialized form, produced on the send path when byte
+// accounting is on (wire::ByteMeter) and consumed by the golden wire
+// traces, the differential fuzz, and tracecat's size reconstruction.
+//
+// Frame layout (little-endian, no padding):
+//
+//   byte 0      message type (MsgType)
+//   byte 1      flags (kFlagReturning on response-leg forwards)
+//   bytes 2-3   payload length in bytes, u16 LE
+//   bytes 4...  payload
+//
+// Payload scalars are LEB128 varints (7 bits per byte, little-endian,
+// high bit = continuation, at most 10 bytes for a u64). The Forward
+// payload ends with its overloaded set A as |A| fixed-width 4-byte LE
+// entries: fixed width keeps the encoded size a pure function of |A| (so
+// tracecat can reconstruct byte counts from trace records, which carry
+// |A| but not the members) and lets a decoder scan the set in place
+// without copying.
+//
+// Decoding is zero-copy: scalars decode into a fixed Decoded struct and
+// the A set stays a view into the input buffer. decode() never reads past
+// `cap` and classifies every malformed input with a precise DecodeStatus
+// (pinned by tests/wire_fuzz_test.cpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace ert::wire {
+
+/// Every message the simulated protocol exchanges between distinct
+/// physical nodes. Query traffic is kForward (including response legs);
+/// everything else is control traffic.
+enum class MsgType : std::uint8_t {
+  kProbe = 0,         ///< Algorithm 4 load probe: qid, prober, target, qlen.
+  kProbeReply = 1,    ///< probe answer: qid, target, prober, queue_len.
+  kForward = 2,       ///< query hop: qid, key, from, to, hops, A set.
+  kAdaptShed = 3,     ///< Algorithm 3 shed decision: node, delta.
+  kAdaptGrow = 4,     ///< Algorithm 3 grow decision: node, delta.
+  kBackwardAdd = 5,   ///< backward-finger adopt: node, host, indegree_after.
+  kBackwardDrop = 6,  ///< backward-finger drop: node, host, indegree_after.
+  kJoin = 7,          ///< membership join: real node, overlay slot.
+  kLeave = 8,         ///< graceful departure notice: real node.
+};
+
+inline constexpr std::size_t kNumMsgTypes = 9;
+
+/// Canonical lowercase name, e.g. "forward" (golden capture lines, tools).
+const char* to_string(MsgType t);
+
+/// Query-plane traffic (kForward); everything else is control plane.
+inline bool is_query(MsgType t) { return t == MsgType::kForward; }
+
+inline constexpr std::size_t kHeaderSize = 4;
+/// Forward flag: this frame is a response leg retracing the query path.
+inline constexpr std::uint8_t kFlagReturning = 0x01;
+
+/// Largest frame the catalog can produce with an A set capped at
+/// core::kOverloadedSetCap (64): header + 5 ten-byte varints + 64 * 4.
+/// Pool buffers reserve this once so the steady-state encode path never
+/// allocates.
+inline constexpr std::size_t kMaxFrameBytes = kHeaderSize + 5 * 10 + 64 * 4;
+
+// --- varints -----------------------------------------------------------------
+
+inline constexpr std::size_t kMaxVarintBytes = 10;
+
+/// Encoded size of v as a LEB128 varint (1..10 bytes).
+inline std::size_t varint_size(std::uint64_t v) {
+  std::size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+/// Writes v; the caller guarantees room (use varint_size). Returns bytes
+/// written.
+inline std::size_t put_varint(std::uint8_t* out, std::uint64_t v) {
+  std::size_t n = 0;
+  while (v >= 0x80) {
+    out[n++] = static_cast<std::uint8_t>(v) | 0x80u;
+    v >>= 7;
+  }
+  out[n++] = static_cast<std::uint8_t>(v);
+  return n;
+}
+
+/// Reads one varint from in[0..cap). Returns bytes consumed, or 0 when the
+/// buffer ends mid-varint or the encoding runs past 10 bytes (overflow).
+inline std::size_t get_varint(const std::uint8_t* in, std::size_t cap,
+                              std::uint64_t* v) {
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < cap && i < kMaxVarintBytes; ++i) {
+    const std::uint8_t b = in[i];
+    if (i == 9 && b > 0x01) return 0;  // would overflow 64 bits
+    acc |= static_cast<std::uint64_t>(b & 0x7Fu) << (7 * i);
+    if ((b & 0x80u) == 0) {
+      *v = acc;
+      return i + 1;
+    }
+  }
+  return 0;
+}
+
+// --- per-type payload structs ------------------------------------------------
+
+struct Probe {
+  std::uint64_t qid = 0;
+  std::uint64_t prober = 0;
+  std::uint64_t target = 0;
+  std::uint64_t queue_len = 0;
+};
+
+struct ProbeReply {
+  std::uint64_t qid = 0;
+  std::uint64_t target = 0;
+  std::uint64_t prober = 0;
+  std::uint64_t queue_len = 0;
+};
+
+struct Forward {
+  std::uint64_t qid = 0;
+  std::uint64_t key = 0;
+  std::uint64_t from = 0;
+  std::uint64_t to = 0;
+  std::uint64_t hops = 0;
+  bool returning = false;
+  /// The overloaded set A (Algorithm 4), as the engine holds it. Entries
+  /// are truncated to 32 bits on the wire (node indices are < 2^32 — the
+  /// overlay uses NodeIndex32 internally).
+  std::uint32_t aset_len = 0;
+  const std::size_t* aset = nullptr;
+};
+
+struct AdaptShed {
+  std::uint64_t node = 0;
+  std::uint64_t delta = 0;
+};
+
+struct AdaptGrow {
+  std::uint64_t node = 0;
+  std::uint64_t delta = 0;
+};
+
+struct BackwardAdd {
+  std::uint64_t node = 0;
+  std::uint64_t host = 0;
+  std::uint64_t indegree_after = 0;
+};
+
+struct BackwardDrop {
+  std::uint64_t node = 0;
+  std::uint64_t host = 0;
+  std::uint64_t indegree_after = 0;
+};
+
+struct Join {
+  std::uint64_t node = 0;     ///< real node index.
+  std::uint64_t overlay = 0;  ///< overlay slot the join landed on.
+};
+
+struct Leave {
+  std::uint64_t node = 0;  ///< real node index.
+};
+
+// --- encoding ----------------------------------------------------------------
+
+std::size_t encoded_size(const Probe& m);
+std::size_t encoded_size(const ProbeReply& m);
+std::size_t encoded_size(const Forward& m);
+std::size_t encoded_size(const AdaptShed& m);
+std::size_t encoded_size(const AdaptGrow& m);
+std::size_t encoded_size(const BackwardAdd& m);
+std::size_t encoded_size(const BackwardDrop& m);
+std::size_t encoded_size(const Join& m);
+std::size_t encoded_size(const Leave& m);
+
+/// Writes the full frame (header + payload) into out[0..cap). Returns the
+/// frame size, or 0 when cap is too small. Never allocates.
+std::size_t encode(const Probe& m, std::uint8_t* out, std::size_t cap);
+std::size_t encode(const ProbeReply& m, std::uint8_t* out, std::size_t cap);
+std::size_t encode(const Forward& m, std::uint8_t* out, std::size_t cap);
+std::size_t encode(const AdaptShed& m, std::uint8_t* out, std::size_t cap);
+std::size_t encode(const AdaptGrow& m, std::uint8_t* out, std::size_t cap);
+std::size_t encode(const BackwardAdd& m, std::uint8_t* out, std::size_t cap);
+std::size_t encode(const BackwardDrop& m, std::uint8_t* out, std::size_t cap);
+std::size_t encode(const Join& m, std::uint8_t* out, std::size_t cap);
+std::size_t encode(const Leave& m, std::uint8_t* out, std::size_t cap);
+
+// --- decoding ----------------------------------------------------------------
+
+enum class DecodeStatus : std::uint8_t {
+  kOk = 0,
+  kTruncated,        ///< buffer ends before the frame does.
+  kBadType,          ///< header type byte outside the catalog.
+  kBadLength,        ///< header length disagrees with the payload content.
+  kBadVarint,        ///< varint overflows 64 bits.
+  kTrailingGarbage,  ///< decode_exact: bytes after the frame end.
+};
+
+const char* to_string(DecodeStatus s);
+
+/// Number of varint scalar fields each message type carries (before the
+/// Forward A set).
+std::size_t num_fields(MsgType t);
+
+/// One decoded message: scalars in catalog order in f[], the Forward A set
+/// as a zero-copy view into the input buffer.
+struct Decoded {
+  MsgType type = MsgType::kProbe;
+  std::uint8_t flags = 0;
+  std::uint64_t f[5] = {};
+  std::uint32_t nfields = 0;
+  std::uint32_t aset_len = 0;
+  const std::uint8_t* aset_bytes = nullptr;  ///< view; 4 bytes per entry.
+
+  bool returning() const { return (flags & kFlagReturning) != 0; }
+  std::uint32_t aset_at(std::size_t i) const {
+    std::uint32_t v;
+    std::memcpy(&v, aset_bytes + 4 * i, 4);
+    return v;  // stored little-endian; this build targets LE hosts
+  }
+};
+
+struct DecodeResult {
+  DecodeStatus status = DecodeStatus::kOk;
+  std::size_t consumed = 0;  ///< frame size when kOk, else 0.
+  Decoded msg;
+};
+
+/// Decodes one frame from in[0..cap). Trailing bytes after the frame are
+/// allowed (stream decoding); `consumed` says where the next frame starts.
+DecodeResult decode(const std::uint8_t* in, std::size_t cap);
+
+/// Like decode(), but the frame must end exactly at `cap` (datagram
+/// decoding); otherwise kTrailingGarbage.
+DecodeResult decode_exact(const std::uint8_t* in, std::size_t cap);
+
+}  // namespace ert::wire

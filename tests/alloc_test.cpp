@@ -30,6 +30,8 @@
 #include "ert/forwarding.h"
 #include "harness/substrate.h"
 #include "sim/sharded.h"
+#include "wire/meter.h"
+#include "wire/wire.h"
 
 namespace {
 
@@ -429,6 +431,68 @@ INSTANTIATE_TEST_SUITE_P(SimThreads, AllocFreeShardedKernel,
                          ::testing::Values(1, 4), [](const auto& info) {
                            return "shards" + std::to_string(info.param);
                          });
+
+/// The wire serialize path (docs/WIRE.md): encode into an arena-pooled
+/// buffer, account per-type and per-plane totals, and charge the link's
+/// token bucket. After reserve_links has pre-created the buckets and the
+/// pool, a steady-state window of sends — every message type, including
+/// Forward frames carrying a full A set — must be heap-silent. Capture
+/// mode is excluded by design: it appends to a growing string and is a
+/// golden-test-only configuration.
+TEST(AllocFreeWireSerialize, SteadyStateSendsAllocateNothing) {
+  constexpr std::size_t kLinks = 64;
+  wire::MeterConfig cfg;
+  cfg.bytes = true;
+  double now = 0.0;
+  wire::ByteMeter meter(cfg, [&now] { return now; });
+  meter.set_link_map([](std::size_t v) { return v % kLinks; });
+  meter.reserve_links(kLinks);
+
+  std::size_t aset[core::kOverloadedSetCap];
+  for (std::size_t i = 0; i < core::kOverloadedSetCap; ++i)
+    aset[i] = i * 2654435761u;
+  Rng rng(41);
+
+  // One warm lap over every type and link, then the counted window runs
+  // the same mix — the warm lap proves nothing in it was one-time growth.
+  std::uint64_t sent = 0;
+  const auto lap = [&](int rounds) {
+    for (int it = 0; it < rounds; ++it) {
+      const std::uint64_t v = rng.bits();
+      const std::size_t link = rng.index(kLinks);
+      now += 0.001;
+      sent += meter.send(wire::Probe{v, v >> 7, v >> 13, v & 0xFF}, link);
+      sent += meter.send(wire::ProbeReply{v, v >> 13, v >> 7, v & 0xFF}, link);
+      const auto len =
+          static_cast<std::uint32_t>(rng.index(core::kOverloadedSetCap + 1));
+      const std::uint32_t size = meter.send(
+          wire::Forward{v, v >> 3, v >> 17, v >> 23, v & 0x3F,
+                        (v & 1) != 0, len, aset},
+          link);
+      meter.in_flight_add(size);
+      meter.in_flight_sub(size);
+      sent += size;
+      sent += meter.send(wire::AdaptShed{v >> 5, 2}, link);
+      sent += meter.send(wire::AdaptGrow{v >> 5, 3}, link);
+      meter.on_backward_add(v >> 9, v >> 11, 7);
+      meter.on_backward_drop(v >> 9, v >> 11, 6);
+      sent += meter.send(wire::Join{v >> 21, v & 0x7F}, link);
+      sent += meter.send(wire::Leave{v >> 21}, link);
+    }
+  };
+  lap(64);
+
+  g_alloc_count.store(0);
+  g_count_allocs.store(true);
+  lap(256);
+  g_count_allocs.store(false);
+
+  EXPECT_EQ(g_alloc_count.load(), 0u)
+      << "heap allocations leaked into the wire serialize path";
+  EXPECT_GT(sent, 0u);
+  EXPECT_EQ(meter.totals().total_msgs(), 320u * 9u);
+  EXPECT_EQ(meter.totals().in_flight_bytes, 0u);
+}
 
 }  // namespace
 }  // namespace ert::harness

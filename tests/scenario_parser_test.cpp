@@ -248,6 +248,8 @@ Report sample_report() {
   a.dropped_fault = 1;
   a.adapt_sheds = 123;
   a.adapt_grows = 45;
+  a.bytes_control = 98765;
+  a.bytes_query = 1234567;
   a.audit_sweeps = 30;
   a.audit_waived_sweeps = 3;
   a.audit_violations = 0;

@@ -1,0 +1,286 @@
+// Differential fuzz for the binary wire format (docs/WIRE.md): every
+// message type round-trips encode -> decode_exact bit-exactly across the
+// full varint size spectrum, every truncated prefix is rejected as
+// kTruncated, corrupt frames land on the precise DecodeStatus the header
+// comment promises (kBadType / kBadLength / kBadVarint), trailing bytes
+// are tolerated by decode() and rejected by decode_exact(), and random
+// byte soup never crashes the decoder (run under ASan/UBSan in CI's wire
+// job).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/rng.h"
+#include "wire/wire.h"
+
+namespace ert::wire {
+namespace {
+
+/// Draws a u64 whose varint length is uniform-ish over 1..10 bytes, so the
+/// fuzz exercises every encoded width (raw bits() almost always needs 10).
+std::uint64_t sized_bits(Rng& rng) {
+  const std::size_t shift = rng.index(65);  // 0..64
+  return shift == 64 ? 0 : rng.bits() >> shift;
+}
+
+/// One fuzz-built message of any type, kept in encodable form plus the
+/// fields we expect back from the decoder.
+struct Built {
+  MsgType type;
+  std::uint64_t f[5] = {};
+  std::size_t nfields = 0;
+  bool returning = false;
+  std::vector<std::size_t> aset;
+  std::size_t size = 0;
+  std::uint8_t buf[kMaxFrameBytes] = {};
+};
+
+Built build(Rng& rng, MsgType type) {
+  Built b;
+  b.type = type;
+  b.nfields = num_fields(type);
+  for (std::size_t i = 0; i < b.nfields; ++i) b.f[i] = sized_bits(rng);
+  switch (type) {
+    case MsgType::kProbe: {
+      const Probe m{b.f[0], b.f[1], b.f[2], b.f[3]};
+      b.size = encode(m, b.buf, sizeof b.buf);
+      EXPECT_EQ(b.size, encoded_size(m));
+      break;
+    }
+    case MsgType::kProbeReply: {
+      const ProbeReply m{b.f[0], b.f[1], b.f[2], b.f[3]};
+      b.size = encode(m, b.buf, sizeof b.buf);
+      EXPECT_EQ(b.size, encoded_size(m));
+      break;
+    }
+    case MsgType::kForward: {
+      b.returning = rng.bernoulli(0.5);
+      b.aset.resize(rng.index(65));  // 0..64, the OverloadedSet cap
+      for (auto& v : b.aset)
+        v = static_cast<std::uint32_t>(rng.bits());  // node indices < 2^32
+      const Forward m{b.f[0],      b.f[1],
+                      b.f[2],      b.f[3],
+                      b.f[4],      b.returning,
+                      static_cast<std::uint32_t>(b.aset.size()),
+                      b.aset.data()};
+      b.size = encode(m, b.buf, sizeof b.buf);
+      EXPECT_EQ(b.size, encoded_size(m));
+      break;
+    }
+    case MsgType::kAdaptShed: {
+      const AdaptShed m{b.f[0], b.f[1]};
+      b.size = encode(m, b.buf, sizeof b.buf);
+      EXPECT_EQ(b.size, encoded_size(m));
+      break;
+    }
+    case MsgType::kAdaptGrow: {
+      const AdaptGrow m{b.f[0], b.f[1]};
+      b.size = encode(m, b.buf, sizeof b.buf);
+      EXPECT_EQ(b.size, encoded_size(m));
+      break;
+    }
+    case MsgType::kBackwardAdd: {
+      const BackwardAdd m{b.f[0], b.f[1], b.f[2]};
+      b.size = encode(m, b.buf, sizeof b.buf);
+      EXPECT_EQ(b.size, encoded_size(m));
+      break;
+    }
+    case MsgType::kBackwardDrop: {
+      const BackwardDrop m{b.f[0], b.f[1], b.f[2]};
+      b.size = encode(m, b.buf, sizeof b.buf);
+      EXPECT_EQ(b.size, encoded_size(m));
+      break;
+    }
+    case MsgType::kJoin: {
+      const Join m{b.f[0], b.f[1]};
+      b.size = encode(m, b.buf, sizeof b.buf);
+      EXPECT_EQ(b.size, encoded_size(m));
+      break;
+    }
+    case MsgType::kLeave: {
+      const Leave m{b.f[0]};
+      b.size = encode(m, b.buf, sizeof b.buf);
+      EXPECT_EQ(b.size, encoded_size(m));
+      break;
+    }
+  }
+  EXPECT_GT(b.size, 0u);
+  EXPECT_LE(b.size, kMaxFrameBytes);
+  return b;
+}
+
+void expect_round_trip(const Built& b) {
+  const DecodeResult r = decode_exact(b.buf, b.size);
+  ASSERT_EQ(r.status, DecodeStatus::kOk) << to_string(b.type);
+  EXPECT_EQ(r.consumed, b.size);
+  EXPECT_EQ(r.msg.type, b.type);
+  EXPECT_EQ(r.msg.nfields, b.nfields);
+  for (std::size_t i = 0; i < b.nfields; ++i)
+    EXPECT_EQ(r.msg.f[i], b.f[i]) << to_string(b.type) << " field " << i;
+  if (b.type == MsgType::kForward) {
+    EXPECT_EQ(r.msg.returning(), b.returning);
+    ASSERT_EQ(r.msg.aset_len, b.aset.size());
+    for (std::size_t i = 0; i < b.aset.size(); ++i)
+      EXPECT_EQ(r.msg.aset_at(i), static_cast<std::uint32_t>(b.aset[i]));
+  } else {
+    EXPECT_EQ(r.msg.flags, 0);
+    EXPECT_EQ(r.msg.aset_len, 0u);
+  }
+}
+
+TEST(WireFuzz, RoundTripsEveryTypeAcrossVarintWidths) {
+  Rng rng(0x5eedULL);
+  for (int iter = 0; iter < 4000; ++iter) {
+    const auto type = static_cast<MsgType>(rng.index(kNumMsgTypes));
+    expect_round_trip(build(rng, type));
+  }
+}
+
+TEST(WireFuzz, EveryTruncatedPrefixIsTruncated) {
+  Rng rng(77);
+  for (int iter = 0; iter < 200; ++iter) {
+    const auto type = static_cast<MsgType>(rng.index(kNumMsgTypes));
+    const Built b = build(rng, type);
+    for (std::size_t cap = 0; cap < b.size; ++cap) {
+      const DecodeResult r = decode(b.buf, cap);
+      EXPECT_EQ(r.status, DecodeStatus::kTruncated)
+          << to_string(type) << " prefix " << cap << "/" << b.size;
+      EXPECT_EQ(r.consumed, 0u);
+    }
+  }
+}
+
+TEST(WireFuzz, BadTypeByteIsBadType) {
+  Rng rng(78);
+  const Built b = build(rng, MsgType::kProbe);
+  std::uint8_t buf[kMaxFrameBytes];
+  std::memcpy(buf, b.buf, b.size);
+  for (int t = static_cast<int>(kNumMsgTypes); t < 256; t += 13) {
+    buf[0] = static_cast<std::uint8_t>(t);
+    EXPECT_EQ(decode(buf, b.size).status, DecodeStatus::kBadType) << t;
+  }
+}
+
+TEST(WireFuzz, PaddedPayloadIsBadLength) {
+  // Declare one payload byte more than the content holds; the scalar walk
+  // then stops short of the declared end.
+  Rng rng(79);
+  for (int iter = 0; iter < 100; ++iter) {
+    const auto type = static_cast<MsgType>(rng.index(kNumMsgTypes));
+    Built b = build(rng, type);
+    ASSERT_LT(b.size + 1, sizeof b.buf);
+    const std::size_t payload = b.size - kHeaderSize + 1;
+    b.buf[2] = static_cast<std::uint8_t>(payload & 0xFF);
+    b.buf[3] = static_cast<std::uint8_t>(payload >> 8);
+    b.buf[b.size] = 0x00;  // padding byte so the frame is "fully present"
+    EXPECT_EQ(decode(b.buf, b.size + 1).status, DecodeStatus::kBadLength)
+        << to_string(type);
+  }
+}
+
+TEST(WireFuzz, VarintCutByPayloadEndIsBadLength) {
+  // leave frame whose single field is a lone continuation byte: the varint
+  // runs off the declared payload end (< 10 bytes left -> length bug, not
+  // overflow).
+  const std::uint8_t frame[] = {0x08, 0x00, 0x01, 0x00, 0x80};
+  EXPECT_EQ(decode(frame, sizeof frame).status, DecodeStatus::kBadLength);
+}
+
+TEST(WireFuzz, TenByteVarintOverflowIsBadVarint) {
+  // leave frame with ten continuation-heavy bytes: byte 10 carries bits
+  // above 2^64, which is an encoding overflow even though the payload has
+  // room for a maximal varint.
+  const std::uint8_t frame[] = {0x08, 0x00, 0x0A, 0x00, 0xFF, 0xFF, 0xFF,
+                                0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x02};
+  EXPECT_EQ(decode(frame, sizeof frame).status, DecodeStatus::kBadVarint);
+}
+
+TEST(WireFuzz, ForwardAsetOverrunIsBadLength) {
+  // forward frame declaring |A| = 3 with zero set bytes behind it.
+  std::uint8_t frame[kMaxFrameBytes];
+  const Forward m{1, 2, 3, 4, 5, false, 0, nullptr};
+  const std::size_t size = encode(m, frame, sizeof frame);
+  ASSERT_GT(size, 0u);
+  frame[size - 1] = 0x03;  // the trailing |A| varint: claim 3 entries
+  EXPECT_EQ(decode(frame, size).status, DecodeStatus::kBadLength);
+}
+
+TEST(WireFuzz, TrailingBytesStreamVsDatagram) {
+  Rng rng(80);
+  for (int iter = 0; iter < 200; ++iter) {
+    const auto type = static_cast<MsgType>(rng.index(kNumMsgTypes));
+    const Built b = build(rng, type);
+    std::vector<std::uint8_t> buf(b.buf, b.buf + b.size);
+    const std::size_t extra = 1 + rng.index(16);
+    for (std::size_t i = 0; i < extra; ++i)
+      buf.push_back(static_cast<std::uint8_t>(rng.bits()));
+    // Stream decoding points at the next frame; datagram decoding rejects.
+    const DecodeResult s = decode(buf.data(), buf.size());
+    EXPECT_EQ(s.status, DecodeStatus::kOk);
+    EXPECT_EQ(s.consumed, b.size);
+    EXPECT_EQ(decode_exact(buf.data(), buf.size()).status,
+              DecodeStatus::kTrailingGarbage);
+  }
+}
+
+TEST(WireFuzz, BackToBackFramesStreamDecode) {
+  // A concatenated capture stream decodes frame by frame via `consumed`.
+  Rng rng(81);
+  std::vector<std::uint8_t> stream;
+  std::vector<Built> frames;
+  for (int i = 0; i < 64; ++i) {
+    frames.push_back(build(rng, static_cast<MsgType>(rng.index(kNumMsgTypes))));
+    stream.insert(stream.end(), frames.back().buf,
+                  frames.back().buf + frames.back().size);
+  }
+  std::size_t pos = 0;
+  for (const Built& b : frames) {
+    const DecodeResult r = decode(stream.data() + pos, stream.size() - pos);
+    ASSERT_EQ(r.status, DecodeStatus::kOk);
+    ASSERT_EQ(r.consumed, b.size);
+    EXPECT_EQ(r.msg.type, b.type);
+    pos += r.consumed;
+  }
+  EXPECT_EQ(pos, stream.size());
+}
+
+TEST(WireFuzz, RandomBytesNeverCrashAndClassify) {
+  Rng rng(0xdec0dedULL);
+  std::vector<std::uint8_t> buf;
+  for (int iter = 0; iter < 20000; ++iter) {
+    buf.resize(rng.index(kMaxFrameBytes + 32));
+    for (auto& c : buf) c = static_cast<std::uint8_t>(rng.bits());
+    const DecodeResult r = decode(buf.data(), buf.size());
+    if (r.status == DecodeStatus::kOk) {
+      EXPECT_LE(r.consumed, buf.size());
+      EXPECT_GE(r.consumed, kHeaderSize);
+      // Whatever decoded must re-encode to its own size class: the A set
+      // view stays inside the buffer.
+      if (r.msg.aset_len > 0) {
+        EXPECT_GE(r.msg.aset_bytes, buf.data());
+        EXPECT_LE(r.msg.aset_bytes + 4 * r.msg.aset_len,
+                  buf.data() + buf.size());
+      }
+    } else {
+      EXPECT_EQ(r.consumed, 0u);
+    }
+  }
+}
+
+TEST(WireFuzz, MutatedValidFramesNeverCrash) {
+  Rng rng(0xabad1dea);
+  for (int iter = 0; iter < 5000; ++iter) {
+    Built b = build(rng, static_cast<MsgType>(rng.index(kNumMsgTypes)));
+    const std::size_t flips = 1 + rng.index(4);
+    for (std::size_t i = 0; i < flips; ++i)
+      b.buf[rng.index(b.size)] ^= static_cast<std::uint8_t>(1 + rng.bits() % 255);
+    const std::size_t cap = rng.bernoulli(0.25) ? rng.index(b.size + 1) : b.size;
+    (void)decode(b.buf, cap);
+    (void)decode_exact(b.buf, cap);
+  }
+}
+
+}  // namespace
+}  // namespace ert::wire

@@ -1,0 +1,246 @@
+// Wire-format unit tests (docs/WIRE.md): varint boundary behavior, header
+// byte layout, catalog metadata, and two end-to-end cross-checks against
+// the engine — (a) on a fault-free churn-free kBase run the metered query
+// bytes equal the byte total reconstructed from the kQueryHop trace, and
+// (b) every frame in a capture stream decodes and the per-type counts
+// match the ByteTotals counters. Plus the observational contract: a
+// bytes-on run is bit-identical to a bytes-off run in every metric.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "trace/trace.h"
+#include "wire/wire.h"
+
+namespace ert::wire {
+namespace {
+
+// --- varints -----------------------------------------------------------------
+
+TEST(Varint, SizeBoundaries) {
+  EXPECT_EQ(varint_size(0), 1u);
+  EXPECT_EQ(varint_size(127), 1u);
+  EXPECT_EQ(varint_size(128), 2u);
+  EXPECT_EQ(varint_size((1ULL << 14) - 1), 2u);
+  EXPECT_EQ(varint_size(1ULL << 14), 3u);
+  EXPECT_EQ(varint_size((1ULL << 63) - 1), 9u);
+  EXPECT_EQ(varint_size(1ULL << 63), 10u);
+  EXPECT_EQ(varint_size(~0ULL), kMaxVarintBytes);
+}
+
+TEST(Varint, PutGetRoundTripAtEveryWidthBoundary) {
+  std::vector<std::uint64_t> values = {0, 1, 127, 128, ~0ULL};
+  for (int k = 1; k < 10; ++k) {
+    values.push_back((1ULL << (7 * k)) - 1);  // last value of width k
+    values.push_back(1ULL << (7 * k));        // first value of width k+1
+  }
+  for (const std::uint64_t v : values) {
+    std::uint8_t buf[kMaxVarintBytes];
+    const std::size_t n = put_varint(buf, v);
+    EXPECT_EQ(n, varint_size(v)) << v;
+    std::uint64_t back = 1;
+    EXPECT_EQ(get_varint(buf, n, &back), n) << v;
+    EXPECT_EQ(back, v);
+    // One byte short must fail, not read past the buffer.
+    std::uint64_t junk;
+    EXPECT_EQ(get_varint(buf, n - 1, &junk), 0u) << v;
+  }
+}
+
+TEST(Varint, OverflowEncodingRejected) {
+  // Ten bytes whose final byte carries bits >= 2^64.
+  std::uint8_t buf[kMaxVarintBytes];
+  for (int i = 0; i < 9; ++i) buf[i] = 0xFF;
+  buf[9] = 0x02;
+  std::uint64_t out;
+  EXPECT_EQ(get_varint(buf, sizeof buf, &out), 0u);
+  buf[9] = 0x01;  // exactly 2^63 in the top position: still representable
+  EXPECT_EQ(get_varint(buf, sizeof buf, &out), kMaxVarintBytes);
+  EXPECT_EQ(out, ~0ULL);
+}
+
+// --- frame layout ------------------------------------------------------------
+
+TEST(WireFrame, HeaderBytesAreTypeFlagsLenLE) {
+  std::uint8_t buf[kMaxFrameBytes];
+  const Probe m{1, 2, 3, 300};
+  const std::size_t size = encode(m, buf, sizeof buf);
+  ASSERT_EQ(size, encoded_size(m));
+  EXPECT_EQ(buf[0], static_cast<std::uint8_t>(MsgType::kProbe));
+  EXPECT_EQ(buf[1], 0);  // no flags on a probe
+  const std::size_t payload = buf[2] | (std::size_t{buf[3]} << 8);
+  EXPECT_EQ(payload, size - kHeaderSize);
+  // qid=1, prober=2, target=3 are one varint byte each; 300 takes two.
+  EXPECT_EQ(payload, 5u);
+}
+
+TEST(WireFrame, ForwardReturningSetsTheFlagBit) {
+  std::uint8_t buf[kMaxFrameBytes];
+  Forward m{9, 8, 7, 6, 5, /*returning=*/true, 0, nullptr};
+  std::size_t size = encode(m, buf, sizeof buf);
+  ASSERT_GT(size, 0u);
+  EXPECT_EQ(buf[1], kFlagReturning);
+  EXPECT_TRUE(decode_exact(buf, size).msg.returning());
+  m.returning = false;
+  size = encode(m, buf, sizeof buf);
+  EXPECT_EQ(buf[1], 0);
+  EXPECT_FALSE(decode_exact(buf, size).msg.returning());
+}
+
+TEST(WireFrame, EncodeFailsCleanlyWhenTheBufferIsTooSmall) {
+  std::uint8_t buf[kMaxFrameBytes];
+  const Leave m{~0ULL};
+  const std::size_t size = encode(m, buf, sizeof buf);
+  ASSERT_GT(size, 0u);
+  for (std::size_t cap = 0; cap < size; ++cap)
+    EXPECT_EQ(encode(m, buf, cap), 0u) << cap;
+}
+
+TEST(WireCatalog, NamesFieldsAndPlanes) {
+  EXPECT_STREQ(to_string(MsgType::kProbe), "probe");
+  EXPECT_STREQ(to_string(MsgType::kProbeReply), "probe-reply");
+  EXPECT_STREQ(to_string(MsgType::kForward), "forward");
+  EXPECT_STREQ(to_string(MsgType::kAdaptShed), "adapt-shed");
+  EXPECT_STREQ(to_string(MsgType::kAdaptGrow), "adapt-grow");
+  EXPECT_STREQ(to_string(MsgType::kBackwardAdd), "backward-add");
+  EXPECT_STREQ(to_string(MsgType::kBackwardDrop), "backward-drop");
+  EXPECT_STREQ(to_string(MsgType::kJoin), "join");
+  EXPECT_STREQ(to_string(MsgType::kLeave), "leave");
+  const std::size_t expected[] = {4, 4, 5, 2, 2, 3, 3, 2, 1};
+  for (std::size_t t = 0; t < kNumMsgTypes; ++t) {
+    EXPECT_EQ(num_fields(static_cast<MsgType>(t)), expected[t]);
+    EXPECT_EQ(is_query(static_cast<MsgType>(t)), t == 2u)
+        << to_string(static_cast<MsgType>(t));
+  }
+}
+
+// --- engine cross-checks -----------------------------------------------------
+
+SimParams small_params() {
+  SimParams p;
+  p.num_nodes = 64;
+  p.dimension = harness::fit_dimension(p.num_nodes);
+  p.num_lookups = 300;
+  p.lookup_rate = 25.0;
+  p.seed = 7;
+  return p;
+}
+
+TEST(WireEngine, QueryBytesMatchTraceReconstructionOnBase) {
+  // kBase, fault-free, churn-free: the only wire traffic is Forward frames
+  // and every transmission has exactly one kQueryHop record, so the meter
+  // must agree byte-for-byte with a reconstruction from the trace. kBase
+  // also sends no probes and carries an empty A set, which the totals
+  // must reflect.
+  const SimParams p = small_params();
+  harness::ExperimentOptions opts;
+  opts.wire.bytes = true;
+  opts.trace.enabled = true;
+  opts.trace.categories = static_cast<std::uint32_t>(trace::Category::kQuery) |
+                          static_cast<std::uint32_t>(trace::Category::kHop);
+  const auto r = harness::run_experiment(p, harness::Protocol::kBase,
+                                         harness::SubstrateKind::kChord, opts);
+  ASSERT_GT(r.completed_lookups, 0u);
+  ASSERT_EQ(r.trace_dropped, 0u);
+
+  std::map<std::uint64_t, std::uint64_t> key_of, hops_of;
+  std::uint64_t rebuilt_bytes = 0, rebuilt_msgs = 0;
+  for (const trace::Record& rec : r.trace_records) {
+    if (rec.type == trace::EventType::kQueryBegin) {
+      key_of[rec.query] = static_cast<std::uint64_t>(rec.a);
+    } else if (rec.type == trace::EventType::kQueryHop) {
+      EXPECT_EQ(rec.b, 0) << "kBase must carry an empty A set";
+      const Forward m{rec.query,
+                      key_of[rec.query],
+                      rec.node,
+                      static_cast<std::uint64_t>(rec.a),
+                      ++hops_of[rec.query],
+                      false,
+                      static_cast<std::uint32_t>(rec.b),
+                      nullptr};
+      rebuilt_bytes += encoded_size(m);
+      ++rebuilt_msgs;
+    }
+  }
+  const auto fwd = static_cast<std::size_t>(MsgType::kForward);
+  EXPECT_EQ(r.bytes.msg_count[fwd], rebuilt_msgs);
+  EXPECT_EQ(r.bytes.query_msgs, rebuilt_msgs);
+  EXPECT_EQ(r.bytes.query_bytes, rebuilt_bytes);
+  EXPECT_EQ(r.bytes.msg_bytes[fwd], rebuilt_bytes);
+  const auto probe = static_cast<std::size_t>(MsgType::kProbe);
+  EXPECT_EQ(r.bytes.msg_count[probe], 0u) << "kBase never probes";
+  EXPECT_EQ(r.bytes.in_flight_bytes, 0u) << "gauge must drain by run end";
+}
+
+TEST(WireEngine, CaptureStreamDecodesAndMatchesTotals) {
+  const SimParams p = small_params();
+  harness::ExperimentOptions opts;
+  opts.wire.bytes = true;
+  opts.wire.capture = true;
+  const auto r = harness::run_experiment(p, harness::Protocol::kErtAF,
+                                         harness::SubstrateKind::kCycloid,
+                                         opts);
+  ASSERT_FALSE(r.wire_capture.empty());
+
+  std::uint64_t count[kNumMsgTypes] = {};
+  std::uint64_t bytes[kNumMsgTypes] = {};
+  std::istringstream lines(r.wire_capture);
+  std::string name, hex;
+  while (lines >> name >> hex) {
+    ASSERT_EQ(hex.size() % 2, 0u) << name << " " << hex;
+    std::vector<std::uint8_t> frame(hex.size() / 2);
+    for (std::size_t i = 0; i < frame.size(); ++i) {
+      const auto nib = [&](char c) -> unsigned {
+        return c <= '9' ? static_cast<unsigned>(c - '0')
+                        : static_cast<unsigned>(c - 'a') + 10;
+      };
+      frame[i] = static_cast<std::uint8_t>(nib(hex[2 * i]) << 4 |
+                                           nib(hex[2 * i + 1]));
+    }
+    const DecodeResult d = decode_exact(frame.data(), frame.size());
+    ASSERT_EQ(d.status, DecodeStatus::kOk) << name << " " << hex;
+    EXPECT_STREQ(to_string(d.msg.type), name.c_str());
+    count[static_cast<std::size_t>(d.msg.type)] += 1;
+    bytes[static_cast<std::size_t>(d.msg.type)] += frame.size();
+  }
+  for (std::size_t t = 0; t < kNumMsgTypes; ++t) {
+    EXPECT_EQ(count[t], r.bytes.msg_count[t])
+        << to_string(static_cast<MsgType>(t));
+    EXPECT_EQ(bytes[t], r.bytes.msg_bytes[t])
+        << to_string(static_cast<MsgType>(t));
+  }
+}
+
+TEST(WireEngine, MeteringIsObservational) {
+  // The --bytes meter draws no randomness and schedules nothing, so every
+  // metric must stay bit-identical to a bytes-off run.
+  const SimParams p = small_params();
+  const auto off = harness::run_experiment(p, harness::Protocol::kErtAF,
+                                           harness::SubstrateKind::kCycloid);
+  harness::ExperimentOptions opts;
+  opts.wire.bytes = true;
+  const auto on = harness::run_experiment(p, harness::Protocol::kErtAF,
+                                          harness::SubstrateKind::kCycloid,
+                                          opts);
+  EXPECT_EQ(off.completed_lookups, on.completed_lookups);
+  EXPECT_EQ(off.dropped_lookups, on.dropped_lookups);
+  EXPECT_EQ(off.avg_path_length, on.avg_path_length);
+  EXPECT_EQ(off.lookup_time.mean, on.lookup_time.mean);
+  EXPECT_EQ(off.lookup_time.p99, on.lookup_time.p99);
+  EXPECT_EQ(off.p99_max_congestion, on.p99_max_congestion);
+  EXPECT_EQ(off.sim_duration, on.sim_duration);
+  EXPECT_EQ(off.adapt_sheds, on.adapt_sheds);
+  EXPECT_EQ(off.adapt_grows, on.adapt_grows);
+  // And the off run carries no byte state at all.
+  EXPECT_EQ(off.bytes.total_msgs(), 0u);
+  EXPECT_TRUE(off.wire_capture.empty());
+  EXPECT_GT(on.bytes.total_msgs(), 0u);
+}
+
+}  // namespace
+}  // namespace ert::wire

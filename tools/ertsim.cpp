@@ -30,6 +30,16 @@
 //     --beta B, --mu M, --gamma-l G, --poll B
 //     --data-forwarding  responses retrace the query path
 //     --probe-cost C     seconds charged per load probe
+//     --bytes            serialize every protocol message through the
+//                        binary wire format (docs/WIRE.md) and report
+//                        byte-accurate bandwidth accounting: per-type
+//                        message sizes, the control-vs-query byte split,
+//                        and the per-link token-bucket queueing picture.
+//                        Strictly observational — every simulation metric
+//                        is bit-identical with or without it
+//     --link-rate R      egress bytes/second per node for --bytes
+//                        token buckets (default 1e6)
+//     --link-burst B     token-bucket depth in bytes (default 65536)
 //     --csv FILE         append one CSV row (with header if new file)
 //     --audit            run the invariant auditor every adaptation period
 //     --audit-sample K   audit a seeded K-subset of nodes per sweep instead
@@ -102,6 +112,7 @@
 #include "scenario/parser.h"
 #include "scenario/report.h"
 #include "trace/jsonl.h"
+#include "wire/wire.h"
 
 namespace {
 
@@ -118,6 +129,7 @@ using ert::harness::SubstrateKind;
                "              [--queue-cap N]\n"
                "              [--alpha A] [--beta B] [--mu M] [--gamma-l G]\n"
                "              [--poll B] [--data-forwarding] [--probe-cost C]\n"
+               "              [--bytes] [--link-rate R] [--link-burst B]\n"
                "              [--csv FILE] [--audit] [--audit-sample K]\n"
                "              [--faults SPEC]\n"
                "              [--audit-log FILE] [--trace FILE]\n"
@@ -287,6 +299,15 @@ int main(int argc, char** argv) {
     else if (a == "--zipf-drift") p.zipf_drift_period = std::strtod(need(i), nullptr);
     else if (a == "--data-forwarding") p.data_forwarding = true;
     else if (a == "--probe-cost") p.probe_cost = std::strtod(need(i), nullptr);
+    else if (a == "--bytes") options.wire.bytes = true;
+    else if (a == "--link-rate") {
+      options.wire.link_rate = std::strtod(need(i), nullptr);
+      if (options.wire.link_rate <= 0) usage("--link-rate wants R > 0");
+    }
+    else if (a == "--link-burst") {
+      options.wire.link_burst = std::strtod(need(i), nullptr);
+      if (options.wire.link_burst <= 0) usage("--link-burst wants B > 0");
+    }
     else if (a == "--csv") csv = need(i);
     else if (a == "--audit") options.audit.enabled = true;
     else if (a == "--audit-sample") {
@@ -428,6 +449,8 @@ int main(int argc, char** argv) {
       cell.dropped_fault = r.dropped_fault;
       cell.adapt_sheds = r.adapt_sheds;
       cell.adapt_grows = r.adapt_grows;
+      cell.bytes_control = r.bytes.control_bytes;
+      cell.bytes_query = r.bytes.query_bytes;
       cell.audit_sweeps = r.audit_sweeps;
       cell.audit_waived_sweeps = r.audit_waived_sweeps;
       cell.audit_violations = r.audit_violations;
@@ -535,6 +558,36 @@ int main(int argc, char** argv) {
               r.max_indegree.mean, r.max_indegree.p01, r.max_indegree.p99);
   std::printf("max outdegree      %.1f  (p1 %.0f, p99 %.0f)\n",
               r.max_outdegree.mean, r.max_outdegree.p01, r.max_outdegree.p99);
+  if (options.wire.bytes) {
+    const auto& b = r.bytes;
+    const auto ull = [](std::uint64_t v) {
+      return static_cast<unsigned long long>(v);
+    };
+    std::printf("wire bytes         %llu total in %llu msgs\n",
+                ull(b.total_bytes()), ull(b.total_msgs()));
+    std::printf("  control          %llu bytes in %llu msgs\n",
+                ull(b.control_bytes), ull(b.control_msgs));
+    std::printf("  query            %llu bytes in %llu msgs\n",
+                ull(b.query_bytes), ull(b.query_msgs));
+    for (std::size_t t = 0; t < ert::wire::kNumMsgTypes; ++t) {
+      if (b.msg_count[t] == 0) continue;
+      std::printf("  %-16s %llu bytes in %llu msgs (%.1f B/msg)\n",
+                  ert::wire::to_string(static_cast<ert::wire::MsgType>(t)),
+                  ull(b.msg_bytes[t]), ull(b.msg_count[t]),
+                  static_cast<double>(b.msg_bytes[t]) /
+                      static_cast<double>(b.msg_count[t]));
+    }
+    std::printf("link model         rate %g B/s, burst %g B: %llu delayed "
+                "msgs, mean queueing %.4f s\n",
+                options.wire.link_rate, options.wire.link_burst,
+                ull(b.delayed_msgs),
+                b.delayed_msgs
+                    ? b.queueing_delay_sum / static_cast<double>(b.delayed_msgs)
+                    : 0.0);
+    std::printf("peaks              backlog %.0f B on one link, %llu B of "
+                "query frames in flight\n",
+                b.peak_backlog_bytes, ull(b.peak_in_flight_bytes));
+  }
   if (options.faults.enabled()) {
     std::printf("faults             %zu timed out, %zu retried, %zu recovered, "
                 "%zu crashed\n",

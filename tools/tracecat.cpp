@@ -8,10 +8,19 @@
 //
 // FILE is a JSON-lines trace written by `ertsim --trace` ("-" reads stdin).
 // The default report shows per-event-type counts, the longest query hop
-// chains, the most-adapted nodes, and the top congestion offenders (the
-// nodes queries most often met overloaded). Multi-seed traces concatenate
-// per-seed streams (run.begin marks each seed), so query ids are qualified
-// by their run; node tallies aggregate across runs by overlay index.
+// chains, the most-adapted nodes, the top congestion offenders (the
+// nodes queries most often met overloaded), and a reconstructed wire-size
+// table: each traced hop / adaptation / link / membership event maps to
+// its binary frame (docs/WIRE.md), whose encoded size is a pure function
+// of the record's fields, giving per-message-type byte counts and the
+// control-vs-query split without rerunning the simulation. The
+// reconstruction approximates `ertsim --bytes` rather than matching it:
+// load probes, probe replies, and timeout retransmissions are engine-side
+// only (never traced), while construction-time link adopts are traced but
+// never billed (the meter attaches after the network is built).
+// Multi-seed traces concatenate per-seed streams (run.begin marks each
+// seed), so query ids are qualified by their run; node tallies aggregate
+// across runs by overlay index.
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
@@ -25,6 +34,7 @@
 
 #include "trace/jsonl.h"
 #include "trace/trace.h"
+#include "wire/wire.h"
 
 namespace {
 
@@ -146,6 +156,20 @@ struct QueryTally {
   double begin_time = 0.0;
   double end_time = -1.0;  ///< < 0 while unfinished.
   bool dropped = false;
+  std::uint64_t key = 0;  ///< lookup key (query.begin), for Forward frames.
+};
+
+/// Reconstructed wire traffic: every traced event that corresponds to a
+/// protocol message contributes its exact encoded frame size (the Forward
+/// size needs only |A|, carried by the hop record, not the set members).
+struct WireTally {
+  std::uint64_t count[ert::wire::kNumMsgTypes] = {};
+  std::uint64_t bytes[ert::wire::kNumMsgTypes] = {};
+
+  void add(ert::wire::MsgType t, std::size_t size) {
+    ++count[static_cast<std::size_t>(t)];
+    bytes[static_cast<std::size_t>(t)] += size;
+  }
 };
 
 struct NodeTally {
@@ -213,6 +237,7 @@ int main(int argc, char** argv) {
   // concatenated multi-seed trace.
   std::map<std::pair<std::uint32_t, std::uint64_t>, QueryTally> queries;
   std::map<std::pair<std::uint32_t, std::uint64_t>, NodeTally> nodes;
+  WireTally wires;
   std::size_t counts[ert::trace::kNumEventTypes] = {};
   std::size_t total = 0, bad = 0, lineno = 0;
   std::uint32_t run = 0;
@@ -258,7 +283,10 @@ int main(int argc, char** argv) {
     if (query_scoped(r.type)) {
       QueryTally& q = queries[{cur_run, r.query}];
       switch (r.type) {
-        case EventType::kQueryBegin: q.begin_time = r.time; break;
+        case EventType::kQueryBegin:
+          q.begin_time = r.time;
+          q.key = static_cast<std::uint64_t>(r.a);
+          break;
         case EventType::kQueryHop: ++q.hops; break;
         case EventType::kQueryOverload: ++q.overloads; break;
         case EventType::kQueryTimeout: ++q.timeouts; break;
@@ -280,6 +308,59 @@ int main(int argc, char** argv) {
       default:
         break;
     }
+
+    // Frame-size reconstruction (docs/WIRE.md): map the record back to the
+    // message it stands for. The engine emits the hop record after
+    // incrementing the hop counter, so the tally (just updated above) holds
+    // the frame's hops field; |A| rides in the record's b field.
+    switch (r.type) {
+      case EventType::kQueryHop: {
+        const QueryTally& q = queries[{cur_run, r.query}];
+        ert::wire::Forward m;
+        m.qid = r.query;
+        m.key = q.key;
+        m.from = r.node;
+        m.to = static_cast<std::uint64_t>(r.a);
+        m.hops = q.hops;
+        m.aset_len = static_cast<std::uint32_t>(r.b);
+        wires.add(ert::wire::MsgType::kForward, ert::wire::encoded_size(m));
+        break;
+      }
+      case EventType::kAdaptShed:
+        wires.add(ert::wire::MsgType::kAdaptShed,
+                  ert::wire::encoded_size(ert::wire::AdaptShed{r.node, r.aux}));
+        break;
+      case EventType::kAdaptGrow:
+        wires.add(ert::wire::MsgType::kAdaptGrow,
+                  ert::wire::encoded_size(ert::wire::AdaptGrow{r.node, r.aux}));
+        break;
+      case EventType::kLinkAdopt:
+        wires.add(ert::wire::MsgType::kBackwardAdd,
+                  ert::wire::encoded_size(ert::wire::BackwardAdd{
+                      r.node, static_cast<std::uint64_t>(r.a),
+                      static_cast<std::uint64_t>(r.b)}));
+        break;
+      case EventType::kLinkShed:
+        wires.add(ert::wire::MsgType::kBackwardDrop,
+                  ert::wire::encoded_size(ert::wire::BackwardDrop{
+                      r.node, static_cast<std::uint64_t>(r.a),
+                      static_cast<std::uint64_t>(r.b)}));
+        break;
+      case EventType::kChurnJoin:
+        // A rejected join (overlay slot -1) never made it onto the wire.
+        if (r.a >= 0)
+          wires.add(ert::wire::MsgType::kJoin,
+                    ert::wire::encoded_size(ert::wire::Join{
+                        r.node, static_cast<std::uint64_t>(r.a)}));
+        break;
+      case EventType::kChurnDepart:
+        // Crashes are silent; only graceful departures announce themselves.
+        wires.add(ert::wire::MsgType::kLeave,
+                  ert::wire::encoded_size(ert::wire::Leave{r.node}));
+        break;
+      default:
+        break;
+    }
   }
 
   if (validate) {
@@ -297,6 +378,37 @@ int main(int argc, char** argv) {
     if (counts[t] == 0) continue;
     std::printf("  %-16s %zu\n",
                 ert::trace::to_string(static_cast<EventType>(t)), counts[t]);
+  }
+
+  std::uint64_t wire_total_bytes = 0, wire_total_msgs = 0;
+  std::uint64_t wire_query_bytes = 0, wire_query_msgs = 0;
+  for (std::size_t t = 0; t < ert::wire::kNumMsgTypes; ++t) {
+    wire_total_bytes += wires.bytes[t];
+    wire_total_msgs += wires.count[t];
+    if (ert::wire::is_query(static_cast<ert::wire::MsgType>(t))) {
+      wire_query_bytes += wires.bytes[t];
+      wire_query_msgs += wires.count[t];
+    }
+  }
+  if (wire_total_msgs > 0) {
+    std::printf("\nwire sizes (reconstructed; docs/WIRE.md)\n");
+    for (std::size_t t = 0; t < ert::wire::kNumMsgTypes; ++t) {
+      if (wires.count[t] == 0) continue;
+      std::printf("  %-16s %llu bytes in %llu msgs (%.1f B/msg)\n",
+                  ert::wire::to_string(static_cast<ert::wire::MsgType>(t)),
+                  (unsigned long long)wires.bytes[t],
+                  (unsigned long long)wires.count[t],
+                  (double)wires.bytes[t] / (double)wires.count[t]);
+    }
+    std::printf("  control %llu bytes in %llu msgs, query %llu bytes in "
+                "%llu msgs\n",
+                (unsigned long long)(wire_total_bytes - wire_query_bytes),
+                (unsigned long long)(wire_total_msgs - wire_query_msgs),
+                (unsigned long long)wire_query_bytes,
+                (unsigned long long)wire_query_msgs);
+    std::printf("  (probes, probe replies and timeout retransmissions are "
+                "engine-side only: `ertsim --bytes` counts them, traces "
+                "cannot)\n");
   }
 
   std::size_t done = 0, dropped = 0;
